@@ -1,0 +1,722 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. 6) on the simulated platform, plus the ablation
+   studies called out in DESIGN.md and bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything, scaled down
+     dune exec bench/main.exe -- table1       -- Table 1 only
+     dune exec bench/main.exe -- fig7         -- Fig. 7 table only
+     dune exec bench/main.exe -- fig3         -- Fig. 3 class counts
+     dune exec bench/main.exe -- ablations    -- ablation studies
+     dune exec bench/main.exe -- micro        -- bechamel micro-benches
+     dune exec bench/main.exe -- --full ...   -- paper-sized campaigns
+
+   Absolute numbers differ from the paper (simulator vs 4 Raspberry Pi
+   boards over 7 days); the *shape* — which campaigns find
+   counterexamples, and the refined-vs-unguided ratios of Sec. A.6.1 —
+   is the reproduction target.  See EXPERIMENTS.md. *)
+
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Platform = Scamv_isa.Platform
+module Executor = Scamv_microarch.Executor
+module Core = Scamv_microarch.Core
+module Refinement = Scamv_models.Refinement
+module Catalog = Scamv_models.Catalog
+module Region = Scamv_models.Region
+module Templates = Scamv_gen.Templates
+module Gen = Scamv_gen.Gen
+module Campaign = Scamv.Campaign
+module Pipeline = Scamv.Pipeline
+module Stats = Scamv.Stats
+module Text_table = Scamv_util.Text_table
+module Exec = Scamv_symbolic.Exec
+module Synth = Scamv_relation.Synth
+module Solver = Scamv_smt.Solver
+module T = Scamv_smt.Term
+
+let platform = Platform.cortex_a53
+let region = Region.paper_unaligned platform
+let region_pa = Region.paper_page_aligned platform
+
+let view_of_region (r : Region.t) =
+  Executor.Region { first_set = r.Region.first_set; last_set = r.Region.last_set }
+
+(* ------------------------------------------------------------------ *)
+(* Campaign catalogue: one row per column of Table 1 / Fig. 7           *)
+(* ------------------------------------------------------------------ *)
+
+type row_spec = {
+  id : string;
+  template : Templates.t Gen.t;
+  setup : Refinement.t;
+  view : Executor.view;
+  programs : int;  (* scaled-down default *)
+  full_programs : int;  (* the paper's count *)
+  tests : int;
+  paper : string;  (* the paper's counterexample / experiments summary *)
+}
+
+let table1_rows =
+  [
+    {
+      id = "Mpart unguided (Mpc)";
+      template = Templates.stride;
+      setup = Refinement.mpart_unguided platform region;
+      view = view_of_region region;
+      programs = 30;
+      full_programs = 450;
+      tests = 30;
+      paper = "21 cx / 13752 exp";
+    };
+    {
+      id = "Mpart + Mpart' (Mpc&Mline)";
+      template = Templates.stride;
+      setup = Refinement.mpart_vs_mpart' platform region;
+      view = view_of_region region;
+      programs = 30;
+      full_programs = 450;
+      tests = 30;
+      paper = "447 cx / 18000 exp";
+    };
+    {
+      id = "Mpart page-aligned unguided";
+      template = Templates.stride;
+      setup = Refinement.mpart_unguided platform region_pa;
+      view = view_of_region region_pa;
+      programs = 30;
+      full_programs = 425;
+      tests = 30;
+      paper = "0 cx / 12860 exp";
+    };
+    {
+      id = "Mpart page-aligned + Mpart'";
+      template = Templates.stride;
+      setup = Refinement.mpart_vs_mpart' platform region_pa;
+      view = view_of_region region_pa;
+      programs = 30;
+      full_programs = 425;
+      tests = 30;
+      paper = "0 cx / 17000 exp";
+    };
+    {
+      id = "Mct template A unguided";
+      template = Templates.template_a;
+      setup = Refinement.mct_unguided;
+      view = Executor.Full_cache;
+      programs = 30;
+      full_programs = 655;
+      tests = 30;
+      paper = "6 cx / 26200 exp";
+    };
+    {
+      id = "Mct template A + Mspec";
+      template = Templates.template_a;
+      setup = Refinement.mct_vs_mspec ();
+      view = Executor.Full_cache;
+      programs = 30;
+      full_programs = 652;
+      tests = 30;
+      paper = "12462 cx / 25737 exp";
+    };
+    {
+      id = "Mct template B unguided";
+      template = Templates.template_b;
+      setup = Refinement.mct_unguided;
+      view = Executor.Full_cache;
+      programs = 30;
+      full_programs = 942;
+      tests = 30;
+      paper = "0 cx / 37680 exp";
+    };
+    {
+      id = "Mct template B + Mspec";
+      template = Templates.template_b;
+      setup = Refinement.mct_vs_mspec ();
+      view = Executor.Full_cache;
+      programs = 30;
+      full_programs = 941;
+      tests = 30;
+      paper = "4838 cx / 37640 exp";
+    };
+  ]
+
+let fig7_rows =
+  [
+    {
+      id = "Mct template C unguided";
+      template = Templates.template_c;
+      setup = Refinement.mct_unguided;
+      view = Executor.Full_cache;
+      programs = 8;
+      full_programs = 8;
+      tests = 100;
+      paper = "0 cx / 8000 exp";
+    };
+    {
+      id = "Mct template C + Mspec";
+      template = Templates.template_c;
+      setup = Refinement.mct_vs_mspec ();
+      view = Executor.Full_cache;
+      programs = 8;
+      full_programs = 8;
+      tests = 100;
+      paper = "3423 cx / 8000 exp";
+    };
+    {
+      id = "Mspec1 template C + Mspec";
+      template = Templates.template_c;
+      setup = Refinement.mspec1_vs_mspec ();
+      view = Executor.Full_cache;
+      programs = 8;
+      full_programs = 8;
+      tests = 100;
+      paper = "0 cx / 8000 exp";
+    };
+    {
+      id = "Mspec1 template B + Mspec";
+      template = Templates.template_b;
+      setup = Refinement.mspec1_vs_mspec ();
+      view = Executor.Full_cache;
+      programs = 30;
+      full_programs = 915;
+      tests = 30;
+      paper = "206 cx / 36600 exp";
+    };
+    {
+      id = "Mct template D + Mspec'";
+      template = Templates.template_d;
+      setup = Refinement.mct_vs_mspec_straight_line ();
+      view = Executor.Full_cache;
+      programs = 30;
+      full_programs = 478;
+      tests = 30;
+      paper = "0 cx / 47800 exp";
+    };
+  ]
+
+let run_rows ~full ~title rows =
+  Format.printf "@.## %s (%s campaigns)@.@.%!" title
+    (if full then "paper-sized" else "scaled-down");
+  let measured =
+    List.map
+      (fun spec ->
+        let programs = if full then spec.full_programs else spec.programs in
+        let cfg =
+          Campaign.make ~name:spec.id ~template:spec.template ~setup:spec.setup
+            ~view:spec.view ~programs ~tests_per_program:spec.tests ()
+        in
+        let outcome = Campaign.run cfg in
+        (spec, outcome))
+      rows
+  in
+  let rows_txt =
+    List.map
+      (fun (spec, (outcome : Campaign.outcome)) ->
+        Stats.row ~name:spec.id outcome.Campaign.stats @ [ spec.paper ])
+      measured
+  in
+  print_string
+    (Text_table.render ~header:(Stats.header @ [ "paper (full scale)" ]) ~rows:rows_txt);
+  measured
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: partitioning of the input space                             *)
+(* ------------------------------------------------------------------ *)
+
+let x = Reg.x
+
+let running_example =
+  [|
+    Ast.Ldr (x 2, { Ast.base = x 0; offset = Ast.Imm 0L; scale = 0 });
+    Ast.Add (x 1, x 1, Ast.Imm 1L);
+    Ast.Cmp (x 0, Ast.Reg (x 1));
+    Ast.B_cond (Ast.Hs, 5);
+    Ast.Ldr (x 3, { Ast.base = x 2; offset = Ast.Imm 0L; scale = 0 });
+  |]
+
+let fig3 () =
+  Format.printf "@.## Fig. 3: equivalence classes of the running example@.@.";
+  let module Model = Scamv_smt.Model in
+  let module Obs = Scamv_bir.Obs in
+  let module Vars = Scamv_bir.Vars in
+  let domain =
+    List.concat_map
+      (fun x0 ->
+        List.concat_map
+          (fun x1 ->
+            List.map (fun c -> (Int64.of_int x0, Int64.of_int x1, Int64.of_int c)) [ 0; 64 ])
+          (List.init 8 Fun.id))
+      (List.init 8 Fun.id)
+  in
+  let model_of (x0, x1, cell) =
+    Model.empty
+    |> fun m ->
+    Model.add_var m (Vars.reg (x 0)) (Model.Bv (x0, 64))
+    |> fun m ->
+    Model.add_var m (Vars.reg (x 1)) (Model.Bv (x1, 64))
+    |> fun m -> Model.add_mem_cell m Vars.mem_name ~addr:x0 ~value:cell
+  in
+  let count bir keep =
+    let leaves = Exec.execute bir in
+    let table = Hashtbl.create 64 in
+    List.iter
+      (fun input ->
+        let model = model_of input in
+        let leaf =
+          List.find
+            (fun (l : Exec.leaf) -> Scamv_smt.Eval.eval_bool model l.Exec.path_cond)
+            leaves
+        in
+        let trace = Exec.concrete_obs model leaf |> List.filter (fun (t, _, _) -> keep t) in
+        Hashtbl.replace table trace ())
+      domain;
+    Hashtbl.length table
+  in
+  let pc = count (Scamv_models.Model.annotate Catalog.mpc running_example) (fun t -> t = Obs.Base) in
+  let ct = count (Scamv_models.Model.annotate Catalog.mct running_example) (fun t -> t = Obs.Base) in
+  let spec =
+    count
+      (Refinement.annotate (Refinement.mct_vs_mspec ()) running_example)
+      (fun t -> t = Obs.Base || t = Obs.Refined)
+  in
+  print_string
+    (Text_table.render
+       ~header:[ "panel"; "model"; "classes over 128 inputs" ]
+       ~rows:
+         [
+           [ "(b) support"; "Mpc"; string_of_int pc ];
+           [ "(a) under validation"; "Mct"; string_of_int ct ];
+           [ "(c) refined"; "Mspec"; string_of_int spec ];
+         ])
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ablation_projection () =
+  (* Sec. 5.1: one symbolic execution with tagged observations vs running
+     the pipeline separately for M1 and M2. *)
+  Format.printf "@.## Ablation: single-run projection vs naive two-run refinement@.@.";
+  let programs =
+    List.init 20 (fun i ->
+        (Gen.generate ~seed:(Int64.of_int (i + 1)) Templates.template_b).Templates.program)
+  in
+  let setup = Refinement.mct_vs_mspec () in
+  let (), combined =
+    time_it (fun () ->
+        List.iter (fun p -> ignore (Exec.execute (Refinement.annotate setup p))) programs)
+  in
+  let (), naive =
+    time_it (fun () ->
+        List.iter
+          (fun p ->
+            ignore (Exec.execute (Scamv_models.Model.annotate Catalog.mct p));
+            ignore (Exec.execute (Refinement.annotate setup p)))
+          programs)
+  in
+  print_string
+    (Text_table.render
+       ~header:[ "strategy"; "symbolic-execution time (20 programs)" ]
+       ~rows:
+         [
+           [ "tagged single run (Sec. 5.1)"; Printf.sprintf "%.4fs" combined ];
+           [ "naive M1 + M2 runs"; Printf.sprintf "%.4fs" naive ];
+           [ "saving"; Printf.sprintf "%.1f%%" (100. *. (1. -. (combined /. naive))) ];
+         ])
+
+let ablation_path_split () =
+  (* Sec. 5.4: per-path-pair relations vs the monolithic Eq. 1 formula. *)
+  Format.printf "@.## Ablation: per-path-pair relations vs monolithic Eq. 1@.@.";
+  let program = (Gen.generate ~seed:3L Templates.template_b).Templates.program in
+  let setup = Refinement.mct_unguided in
+  let bir = Refinement.annotate setup program in
+  let leaves = Exec.execute bir in
+  let cfg = { Synth.platform; require_refined_difference = false } in
+  let pairs = Synth.compatible_pairs leaves in
+  let (), split_time =
+    time_it (fun () ->
+        List.iter
+          (fun pair ->
+            match Synth.pair_relation cfg leaves pair with
+            | None -> ()
+            | Some r ->
+              let s = Solver.make_session r.Synth.assertions in
+              for _ = 1 to 5 do
+                ignore (Solver.next_model s)
+              done)
+          pairs)
+  in
+  let (), mono_time =
+    time_it (fun () ->
+        let full = Synth.full_equivalence cfg leaves in
+        let s = Solver.make_session [ full ] in
+        for _ = 1 to 5 * List.length pairs do
+          ignore (Solver.next_model s)
+        done)
+  in
+  print_string
+    (Text_table.render
+       ~header:[ "strategy"; "time for equal model count" ]
+       ~rows:
+         [
+           [ "per-path-pair split (Sec. 5.4)"; Printf.sprintf "%.4fs" split_time ];
+           [ "monolithic Eq. 1"; Printf.sprintf "%.4fs" mono_time ];
+         ]);
+  Format.printf
+    "(note: the monolithic relation omits the per-path platform constraints@.\
+    \ and provides no path-pair coverage - its models may all come from one@.\
+    \ path pair, which is exactly what the round-robin split prevents)@."
+
+let ablation_prefetch_threshold () =
+  Format.printf "@.## Ablation: prefetcher trigger threshold vs Mpart violations@.@.";
+  let rows =
+    List.map
+      (fun threshold ->
+        let setup = Refinement.mpart_vs_mpart' platform region in
+        let cfg =
+          Campaign.make
+            ~name:(Printf.sprintf "threshold %d" threshold)
+            ~template:Templates.stride ~setup ~view:(view_of_region region) ~programs:15
+            ~tests_per_program:20 ()
+        in
+        let cfg =
+          {
+            cfg with
+            Campaign.executor =
+              {
+                cfg.Campaign.executor with
+                Executor.core =
+                  { cfg.Campaign.executor.Executor.core with Core.prefetch_threshold = threshold };
+              };
+          }
+        in
+        let s = (Campaign.run cfg).Campaign.stats in
+        [
+          string_of_int threshold;
+          string_of_int s.Stats.counterexamples;
+          string_of_int s.Stats.experiments;
+        ])
+      [ 2; 3; 4; 5; 6 ]
+  in
+  print_string
+    (Text_table.render
+       ~header:[ "prefetch threshold (loads)"; "counterexamples"; "experiments" ]
+       ~rows)
+
+let ablation_spec_window () =
+  Format.printf "@.## Ablation: speculation window vs Mct/template-C violations@.@.";
+  let rows =
+    List.map
+      (fun window ->
+        let setup = Refinement.mct_vs_mspec () in
+        let cfg =
+          Campaign.make
+            ~name:(Printf.sprintf "window %d" window)
+            ~template:Templates.template_c ~setup ~view:Executor.Full_cache ~programs:8
+            ~tests_per_program:25 ()
+        in
+        let cfg =
+          {
+            cfg with
+            Campaign.executor =
+              {
+                cfg.Campaign.executor with
+                Executor.core =
+                  { cfg.Campaign.executor.Executor.core with Core.spec_window = window };
+              };
+          }
+        in
+        let s = (Campaign.run cfg).Campaign.stats in
+        [
+          string_of_int window;
+          string_of_int s.Stats.counterexamples;
+          string_of_int s.Stats.experiments;
+        ])
+      [ 0; 1; 2; 4; 8; 16 ]
+  in
+  print_string
+    (Text_table.render
+       ~header:[ "speculation window (instrs)"; "counterexamples"; "experiments" ]
+       ~rows)
+
+let ablation_forwarding () =
+  (* Sec. 6.5: the tailored model Mspec1 is core-specific.  On a core with
+     speculative forwarding (classic Spectre-PHT microarchitecture) the
+     dependent second load issues, so Mspec1 stops being sound. *)
+  Format.printf "@.## Ablation: speculative forwarding vs Mspec1 soundness (template C)@.@.";
+  let rows =
+    List.map
+      (fun (name, core_cfg) ->
+        let cfg =
+          Campaign.make ~name ~template:Templates.template_c
+            ~setup:(Refinement.mspec1_vs_mspec ()) ~view:Executor.Full_cache ~programs:8
+            ~tests_per_program:25 ()
+        in
+        let cfg =
+          { cfg with Campaign.executor = { cfg.Campaign.executor with Executor.core = core_cfg } }
+        in
+        let s = (Campaign.run cfg).Campaign.stats in
+        [ name; string_of_int s.Stats.counterexamples; string_of_int s.Stats.experiments ])
+      [ ("Cortex-A53 (no forwarding)", Core.cortex_a53); ("out-of-order core", Core.out_of_order) ]
+  in
+  print_string
+    (Text_table.render ~header:[ "core"; "counterexamples"; "experiments" ] ~rows)
+
+let ablations () =
+  ablation_projection ();
+  ablation_path_split ();
+  ablation_prefetch_threshold ();
+  ablation_spec_window ();
+  ablation_forwarding ()
+
+(* ------------------------------------------------------------------ *)
+(* A.6.1 checklist                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let checklist table1 fig7 =
+  Format.printf "@.## Sec. A.6.1 evaluation checklist (refined vs unguided)@.@.";
+  let find id rows =
+    List.find_map
+      (fun (spec, (o : Campaign.outcome)) ->
+        if spec.id = id then Some o.Campaign.stats else None)
+      rows
+    |> Option.get
+  in
+  let ratio a b =
+    if b = 0 then "inf" else Printf.sprintf "%.1fx" (float_of_int a /. float_of_int b)
+  in
+  let mpart_u = find "Mpart unguided (Mpc)" table1
+  and mpart_r = find "Mpart + Mpart' (Mpc&Mline)" table1
+  and a_u = find "Mct template A unguided" table1
+  and a_r = find "Mct template A + Mspec" table1
+  and b_u = find "Mct template B unguided" table1
+  and b_r = find "Mct template B + Mspec" table1
+  and c_u = find "Mct template C unguided" fig7
+  and c_r = find "Mct template C + Mspec" fig7 in
+  let rows =
+    [
+      [
+        "Mpart: counterexamples, refined vs unguided";
+        ratio mpart_r.Stats.counterexamples mpart_u.Stats.counterexamples;
+        "~20x";
+      ];
+      [
+        "Mpart: programs w/ counterexample";
+        ratio mpart_r.Stats.programs_with_counterexample
+          mpart_u.Stats.programs_with_counterexample;
+        "~4x";
+      ];
+      [
+        "Mct A: counterexamples, refined vs unguided";
+        ratio a_r.Stats.counterexamples a_u.Stats.counterexamples;
+        "~2000x";
+      ];
+      [
+        "Mct B: refined finds counterexamples, unguided none";
+        Printf.sprintf "%d vs %d" b_r.Stats.counterexamples b_u.Stats.counterexamples;
+        "4838 vs 0";
+      ];
+      [
+        "Mct C: refined finds counterexamples, unguided none";
+        Printf.sprintf "%d vs %d" c_r.Stats.counterexamples c_u.Stats.counterexamples;
+        "3423 vs 0";
+      ];
+    ]
+  in
+  print_string (Text_table.render ~header:[ "check"; "measured"; "paper" ] ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: model repair and the other side channels                 *)
+(* ------------------------------------------------------------------ *)
+
+let repair () =
+  Format.printf "@.## Extension: model repair (Sec. 8 future work)@.@.";
+  let rows =
+    List.map
+      (fun (name, template, programs) ->
+        let o = Scamv.Repair.run ~programs ~tests_per_program:15 ~template () in
+        let trail =
+          String.concat ", "
+            (List.map
+               (fun (s : Scamv.Repair.step) ->
+                 Printf.sprintf "k=%d:%d cx"
+                   s.Scamv.Repair.tried.Scamv.Repair.observed_transient_loads
+                   s.Scamv.Repair.stats.Stats.counterexamples)
+               o.Scamv.Repair.steps)
+        in
+        let result =
+          match o.Scamv.Repair.repaired with
+          | Some c -> Printf.sprintf "k = %d" c.Scamv.Repair.observed_transient_loads
+          | None -> "not repaired"
+        in
+        [ name; trail; result ])
+      [
+        ("template C (dependent loads)", Templates.template_c, 8);
+        ("template B (independent loads)", Templates.template_b, 40);
+        ("template A (guarded load)", Templates.template_a, 20);
+      ]
+  in
+  print_string
+    (Text_table.render ~header:[ "workload"; "validation trail"; "repaired model" ] ~rows)
+
+let channels () =
+  Format.printf "@.## Extension: channel-relative soundness (TLB / timing)@.@.";
+  let run name template setup view =
+    let cfg =
+      Campaign.make ~name ~template ~setup ~view ~programs:10 ~tests_per_program:20
+        ~seed:5L ()
+    in
+    let s = (Campaign.run cfg).Campaign.stats in
+    [ name; string_of_int s.Stats.counterexamples; string_of_int s.Stats.experiments ]
+  in
+  let two_reads =
+    Gen.return
+      {
+        Templates.template_name = "two reads";
+        program =
+          [|
+            Ast.Ldr (x 1, { Ast.base = x 0; offset = Ast.Imm 0L; scale = 0 });
+            Ast.Ldr (x 2, { Ast.base = x 3; offset = Ast.Imm 0L; scale = 0 });
+          |];
+      }
+  in
+  let rows =
+    [
+      run "Mpage vs TLB attacker (Mline refined)" Templates.stride
+        (Refinement.mpage_vs_mline platform) Executor.Tlb_state;
+      run "Mpage vs cache attacker (Mline refined)" Templates.stride
+        (Refinement.mpage_vs_mline platform) Executor.Full_cache;
+      run "Mct vs TLB attacker (unguided)" Templates.stride Refinement.mct_unguided
+        Executor.Tlb_state;
+      run "Mpc vs timing attacker (Mline refined)" two_reads
+        (Refinement.refine_with_model ~base:Catalog.mpc ~refined:(Catalog.mline platform) ())
+        Executor.Total_time;
+      run "Mct vs timing attacker (unguided)" two_reads Refinement.mct_unguided
+        Executor.Total_time;
+    ]
+  in
+  print_string
+    (Text_table.render ~header:[ "validation"; "counterexamples"; "experiments" ] ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  Format.printf "@.## Bechamel micro-benchmarks (one per table/figure + primitives)@.@.%!";
+  let open Bechamel in
+  let program_a = (Gen.generate ~seed:7L Templates.template_a).Templates.program in
+  let program_c = (Gen.generate ~seed:7L Templates.template_c).Templates.program in
+  let stride = (Gen.generate ~seed:7L Templates.stride).Templates.program in
+  (* Table 1, cache-coloring columns: one refinement-guided test case. *)
+  let t_table1_mpart =
+    let setup = Refinement.mpart_vs_mpart' platform region in
+    let cfg = Pipeline.default_config setup in
+    Test.make ~name:"table1 mpart-refined test case"
+      (Staged.stage (fun () ->
+           let s = Pipeline.prepare cfg stride in
+           ignore (Pipeline.next_test_case s)))
+  in
+  (* Table 1, speculation columns: one refinement-guided test case. *)
+  let t_table1_mct =
+    let setup = Refinement.mct_vs_mspec () in
+    let cfg = Pipeline.default_config setup in
+    Test.make ~name:"table1 mct-A-refined test case"
+      (Staged.stage (fun () ->
+           let s = Pipeline.prepare cfg program_a in
+           ignore (Pipeline.next_test_case s)))
+  in
+  (* Fig. 7: Mspec1 preparation on template C. *)
+  let t_fig7 =
+    let setup = Refinement.mspec1_vs_mspec () in
+    let cfg = Pipeline.default_config setup in
+    Test.make ~name:"fig7 mspec1-C preparation"
+      (Staged.stage (fun () -> ignore (Pipeline.prepare cfg program_c)))
+  in
+  (* Fig. 3: symbolic execution of the instrumented running example. *)
+  let t_fig3 =
+    let bir = Refinement.annotate (Refinement.mct_vs_mspec ()) running_example in
+    Test.make ~name:"fig3 symbolic execution" (Staged.stage (fun () -> ignore (Exec.execute bir)))
+  in
+  (* Fig. 6: one full experiment (training + 2 x 10 measured runs). *)
+  let t_fig6 =
+    let setup = Refinement.mct_vs_mspec () in
+    let cfg = Pipeline.default_config setup in
+    let session = Pipeline.prepare cfg program_a in
+    let tc = Option.get (Pipeline.next_test_case session) in
+    let experiment =
+      {
+        Executor.program = program_a;
+        state1 = tc.Pipeline.state1;
+        state2 = tc.Pipeline.state2;
+        train = tc.Pipeline.train;
+      }
+    in
+    Test.make ~name:"fig6 one experiment on the simulator"
+      (Staged.stage (fun () -> ignore (Executor.run (Executor.default_config ()) experiment)))
+  in
+  (* Substrate primitives. *)
+  let t_sat =
+    Test.make ~name:"primitive SMT solve (64-bit add relation)"
+      (Staged.stage (fun () ->
+           let a = T.bv_var "a" 64 and b = T.bv_var "b" 64 in
+           ignore (Solver.solve [ T.eq (T.add a b) (T.bv_const 12345L 64); T.ult a b ])))
+  in
+  let t_sim =
+    let core = Core.create Core.cortex_a53 in
+    Test.make ~name:"primitive simulator run (stride)"
+      (Staged.stage (fun () ->
+           Core.reset_cache core;
+           let m = Scamv_isa.Machine.create () in
+           Scamv_isa.Machine.set_reg m (Reg.x 12) platform.Platform.mem_base;
+           ignore (Core.run core stride m)))
+  in
+  let tests =
+    Test.make_grouped ~name:"scamv" ~fmt:"%s %s"
+      [ t_table1_mpart; t_table1_mct; t_fig7; t_fig3; t_fig6; t_sat; t_sim ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns = match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan in
+      rows := [ name; Printf.sprintf "%11.0f ns" ns ] :: !rows)
+    results;
+  print_string
+    (Text_table.render ~header:[ "benchmark"; "time per run" ] ~rows:(List.sort compare !rows))
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let what = match args with [] -> [ "all" ] | _ -> args in
+  let wants k = List.mem k what || List.mem "all" what in
+  let table1 =
+    if wants "table1" then Some (run_rows ~full ~title:"Table 1" table1_rows) else None
+  in
+  let fig7 =
+    if wants "fig7" then Some (run_rows ~full ~title:"Fig. 7 table" fig7_rows) else None
+  in
+  (match (table1, fig7) with Some t1, Some f7 -> checklist t1 f7 | _ -> ());
+  if wants "fig3" then fig3 ();
+  if wants "ablations" then ablations ();
+  if wants "repair" then repair ();
+  if wants "channels" then channels ();
+  if wants "micro" then micro ();
+  Format.printf "@.done.@."

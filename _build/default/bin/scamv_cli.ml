@@ -1,0 +1,187 @@
+(* Command-line front end to the Scam-V reproduction.
+
+   scamv campaign --template A --setup mct-vs-mspec ...   run a campaign
+   scamv show --template C --setup mspec1-vs-mspec        inspect a program
+   scamv models                                           list models/setups
+*)
+
+module Ast = Scamv_isa.Ast
+module Platform = Scamv_isa.Platform
+module Executor = Scamv_microarch.Executor
+module Refinement = Scamv_models.Refinement
+module Region = Scamv_models.Region
+module Templates = Scamv_gen.Templates
+module Gen = Scamv_gen.Gen
+module Campaign = Scamv.Campaign
+module Pipeline = Scamv.Pipeline
+module Stats = Scamv.Stats
+open Cmdliner
+
+let platform = Platform.cortex_a53
+
+(* ---- setups ---- *)
+
+let region = Region.paper_unaligned platform
+let region_pa = Region.paper_page_aligned platform
+
+let setups =
+  [
+    ("mct-unguided", fun () -> Refinement.mct_unguided);
+    ("mct-vs-mspec", fun () -> Refinement.mct_vs_mspec ());
+    ("mspec1-vs-mspec", fun () -> Refinement.mspec1_vs_mspec ());
+    ("mct-vs-mspec-sl", fun () -> Refinement.mct_vs_mspec_straight_line ());
+    ("mpart-unguided", fun () -> Refinement.mpart_unguided platform region);
+    ("mpart-vs-mpart'", fun () -> Refinement.mpart_vs_mpart' platform region);
+    ("mpart-pa-unguided", fun () -> Refinement.mpart_unguided platform region_pa);
+    ("mpart-pa-vs-mpart'", fun () -> Refinement.mpart_vs_mpart' platform region_pa);
+  ]
+
+let default_view name =
+  if String.length name >= 5 && String.sub name 0 5 = "mpart" then
+    if String.length name >= 8 && String.sub name 0 8 = "mpart-pa" then
+      Executor.Region
+        { first_set = region_pa.Region.first_set; last_set = region_pa.Region.last_set }
+    else
+      Executor.Region
+        { first_set = region.Region.first_set; last_set = region.Region.last_set }
+  else Executor.Full_cache
+
+(* ---- common options ---- *)
+
+let template_arg =
+  let doc = "Test-program template: stride, A, B, C or D (Fig. 5 / Fig. 7)." in
+  Arg.(value & opt string "A" & info [ "template"; "t" ] ~docv:"NAME" ~doc)
+
+let setup_arg =
+  let doc =
+    "Validation setup (model under validation and refinement): "
+    ^ String.concat ", " (List.map fst setups)
+    ^ "."
+  in
+  Arg.(value & opt string "mct-vs-mspec" & info [ "setup"; "m" ] ~docv:"SETUP" ~doc)
+
+let seed_arg =
+  let doc = "Random seed; campaigns are fully reproducible from it." in
+  Arg.(value & opt int64 2021L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let lookup_setup name =
+  match List.assoc_opt name setups with
+  | Some s -> Ok (s ())
+  | None -> Error (`Msg ("unknown setup " ^ name ^ "; see `scamv models`"))
+
+let lookup_template name =
+  match Templates.by_name name with
+  | t -> Ok t
+  | exception Invalid_argument msg -> Error (`Msg msg)
+
+(* ---- campaign command ---- *)
+
+let campaign_cmd =
+  let programs_arg =
+    Arg.(value & opt int 50 & info [ "programs"; "p" ] ~docv:"N" ~doc:"Programs to generate.")
+  in
+  let tests_arg =
+    Arg.(value & opt int 30 & info [ "tests"; "k" ] ~docv:"K" ~doc:"Test cases per program.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print progress events.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Export the experiment journal as CSV.")
+  in
+  let run template_name setup_name programs tests seed verbose csv =
+    let ( let* ) = Result.bind in
+    let* template = lookup_template template_name in
+    let* setup = lookup_setup setup_name in
+    let name = Printf.sprintf "%s on template %s" setup_name template_name in
+    let cfg =
+      Campaign.make ~name ~template ~setup ~view:(default_view setup_name) ~programs
+        ~tests_per_program:tests ~seed ()
+    in
+    let on_event = if verbose then print_endline else fun _ -> () in
+    let journal = Scamv.Journal.create () in
+    let outcome = Campaign.run ~on_event ~journal cfg in
+    print_string
+      (Scamv_util.Text_table.render ~header:Stats.header
+         ~rows:[ Stats.row ~name outcome.Campaign.stats ]);
+    Printf.printf "wall time: %.1fs\n" outcome.Campaign.wall_seconds;
+    (match csv with
+    | None -> ()
+    | Some path ->
+      Scamv.Journal.write_csv journal ~path;
+      Printf.printf "journal: %d experiments written to %s\n"
+        (Scamv.Journal.length journal) path);
+    Ok ()
+  in
+  let term =
+    Term.(
+      const run $ template_arg $ setup_arg $ programs_arg $ tests_arg $ seed_arg
+      $ verbose_arg $ csv_arg)
+  in
+  let info =
+    Cmd.info "campaign" ~doc:"Run a validation campaign and print Table-1-style statistics."
+  in
+  Cmd.v info Term.(term_result term)
+
+(* ---- show command ---- *)
+
+let show_cmd =
+  let run template_name setup_name seed =
+    let ( let* ) = Result.bind in
+    let* template = lookup_template template_name in
+    let* setup = lookup_setup setup_name in
+    let { Templates.program; template_name = name } = Gen.generate ~seed template in
+    Format.printf "=== template %s instance ===@.%a@." name Ast.pp_program program;
+    Format.printf "=== instrumented BIR (%s) ===@.%a@." setup.Refinement.name
+      Scamv_bir.Program.pp
+      (Refinement.annotate setup program);
+    let leaves = Scamv_symbolic.Exec.execute (Refinement.annotate setup program) in
+    Format.printf "=== symbolic paths ===@.";
+    List.iteri
+      (fun i l -> Format.printf "--- path %d ---@.%a@." i Scamv_symbolic.Exec.pp_leaf l)
+      leaves;
+    let cfg = Pipeline.default_config setup in
+    let session = Pipeline.prepare ~seed cfg program in
+    (match Pipeline.next_test_case session with
+    | None -> Format.printf "=== no test case (relation unsatisfiable) ===@."
+    | Some tc ->
+      Format.printf "=== first test case ===@.state 1:@.%a@.state 2:@.%a@."
+        Scamv_isa.Machine.pp tc.Pipeline.state1 Scamv_isa.Machine.pp tc.Pipeline.state2);
+    Ok ()
+  in
+  let term = Term.(const run $ template_arg $ setup_arg $ seed_arg) in
+  let info =
+    Cmd.info "show"
+      ~doc:"Generate one program and show its instrumentation, paths and a test case."
+  in
+  Cmd.v info Term.(term_result term)
+
+(* ---- models command ---- *)
+
+let models_cmd =
+  let run () =
+    print_endline "Observational models:";
+    List.iter
+      (fun (m : Scamv_models.Model.t) ->
+        Printf.printf "  %-8s %s\n" m.Scamv_models.Model.name m.Scamv_models.Model.description)
+      (Scamv_models.Catalog.all_static platform region
+      @ [
+          Scamv_models.Catalog.mspec ();
+          Scamv_models.Catalog.mspec1 ();
+          Scamv_models.Catalog.mspec_straight_line ();
+        ]);
+    print_endline "";
+    print_endline "Validation setups (--setup):";
+    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) setups;
+    Ok ()
+  in
+  let info = Cmd.info "models" ~doc:"List the available models and validation setups." in
+  Cmd.v info Term.(term_result (const run $ const ()))
+
+let () =
+  let doc = "Validation of side-channel models via observation refinement (MICRO'21)" in
+  let info = Cmd.info "scamv" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ campaign_cmd; show_cmd; models_cmd ]))

@@ -1,0 +1,1 @@
+examples/coloring_audit.ml: Format Int64 Scamv Scamv_gen Scamv_isa Scamv_microarch Scamv_models

@@ -1,0 +1,1 @@
+examples/coloring_audit.mli:

@@ -1,0 +1,1 @@
+examples/microarch_matters.ml: Format Int64 List Scamv Scamv_gen Scamv_isa Scamv_microarch Scamv_models

@@ -1,0 +1,1 @@
+examples/microarch_matters.mli:

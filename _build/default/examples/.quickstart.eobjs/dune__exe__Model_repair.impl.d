@@ -1,0 +1,1 @@
+examples/model_repair.ml: Format List Printf Scamv Scamv_gen

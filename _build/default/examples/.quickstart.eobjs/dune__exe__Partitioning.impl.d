@@ -1,0 +1,1 @@
+examples/partitioning.ml: Format Fun Hashtbl Int64 List Printf Scamv_bir Scamv_isa Scamv_models Scamv_smt Scamv_symbolic

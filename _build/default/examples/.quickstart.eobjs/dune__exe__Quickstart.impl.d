@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Int64 List Scamv Scamv_bir Scamv_isa Scamv_microarch Scamv_models Scamv_symbolic

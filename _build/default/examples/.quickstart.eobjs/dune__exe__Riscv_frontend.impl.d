@@ -1,0 +1,1 @@
+examples/riscv_frontend.ml: Format Printf Scamv Scamv_gen Scamv_isa Scamv_microarch Scamv_models Scamv_riscv

@@ -1,0 +1,1 @@
+examples/riscv_frontend.mli:

@@ -1,0 +1,1 @@
+examples/siscloak_attack.ml: Format Int64 List Option Scamv_isa Scamv_microarch

@@ -1,0 +1,1 @@
+examples/siscloak_attack.mli:

@@ -1,0 +1,1 @@
+examples/templates_tour.ml: Format Int64 List Scamv_bir Scamv_gen Scamv_isa Scamv_models

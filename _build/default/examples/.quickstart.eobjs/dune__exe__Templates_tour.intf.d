@@ -1,0 +1,1 @@
+examples/templates_tour.mli:

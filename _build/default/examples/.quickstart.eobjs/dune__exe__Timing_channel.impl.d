@@ -1,0 +1,1 @@
+examples/timing_channel.ml: Format Scamv Scamv_gen Scamv_isa Scamv_microarch Scamv_models

@@ -1,0 +1,81 @@
+(* Cache-coloring audit (Sec. 4.2.1 / 6.2 as a user would apply it):
+   given a security-sensitive routine — here a table lookup like an AES
+   T-table round — validate the cache-partitioning model Mpart against
+   the simulated hardware, with and without a page-aligned attacker
+   region, using Mpart' refinement and Mline coverage for guidance.
+
+   The audit reproduces the operational conclusion of the paper: cache
+   coloring is unsound against the prefetcher unless the partition is
+   page aligned.
+
+   Run with:  dune exec examples/coloring_audit.exe *)
+
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Platform = Scamv_isa.Platform
+module Executor = Scamv_microarch.Executor
+module Refinement = Scamv_models.Refinement
+module Region = Scamv_models.Region
+module Gen = Scamv_gen.Gen
+module Campaign = Scamv.Campaign
+module Stats = Scamv.Stats
+
+let x = Reg.x
+let platform = Platform.cortex_a53
+
+(* A table-walk routine: the key-dependent starting row (x0 + x1) is read
+   and the walk continues down the next rows — the sequential pattern a
+   T-table cipher produces when traversing a table column.  Equidistant
+   accesses are exactly what wakes the stride prefetcher up. *)
+let lookup_routine =
+  let row = 64L in
+  let read k dest =
+    Ast.Ldr
+      (dest, { Ast.base = x 0; offset = Ast.Imm (Int64.mul (Int64.of_int k) row); scale = 0 })
+  in
+  Gen.return
+    {
+      Scamv_gen.Templates.template_name = "t-table walk";
+      program =
+        [|
+          Ast.Add (x 0, x 0, Ast.Reg (x 1)) (* key-dependent starting row *);
+          read 0 (x 4);
+          read 1 (x 5);
+          read 2 (x 6);
+          read 3 (x 7);
+        |];
+    }
+
+let audit ~name region =
+  let view =
+    Executor.Region { first_set = region.Region.first_set; last_set = region.Region.last_set }
+  in
+  let setup = Refinement.mpart_vs_mpart' platform region in
+  let cfg =
+    Campaign.make ~name ~template:lookup_routine ~setup ~view ~programs:1
+      ~tests_per_program:400 ~seed:7L ()
+  in
+  let outcome = Campaign.run cfg in
+  let s = outcome.Campaign.stats in
+  Format.printf "%-34s experiments=%4d counterexamples=%4d inconclusive=%3d@." name
+    s.Stats.experiments s.Stats.counterexamples s.Stats.inconclusive;
+  s.Stats.counterexamples
+
+let () =
+  Format.printf
+    "Auditing a T-table lookup routine under cache coloring (Mpart),@.\
+     refined by Mpart' with Mline coverage:@.@.";
+  let unaligned = audit ~name:"attacker region sets 61..127" (Region.paper_unaligned platform) in
+  let aligned = audit ~name:"page-aligned region sets 64..127" (Region.paper_page_aligned platform) in
+  Format.printf "@.";
+  if unaligned > 0 then
+    Format.printf
+      "FINDING: the prefetcher crosses the unaligned colour boundary - the@.\
+       routine's table accesses leak into the attacker-visible sets even@.\
+       though the model Mpart claims isolation (Sec. 6.2).@."
+  else Format.printf "unexpected: no violation found for the unaligned region@.";
+  if aligned = 0 then
+    Format.printf
+      "MITIGATION VALIDATED: with a page-aligned partition no counterexample@.\
+       is found - prefetching stops at the page boundary.@."
+  else Format.printf "unexpected: page-aligned partition leaked@."

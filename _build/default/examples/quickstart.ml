@@ -1,0 +1,104 @@
+(* Quickstart: the paper's running example (Fig. 2) through the whole
+   pipeline — observation augmentation, speculative instrumentation
+   (Fig. 4), symbolic execution, relation synthesis, test-case
+   generation, and execution on the simulated Cortex-A53.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Machine = Scamv_isa.Machine
+module Executor = Scamv_microarch.Executor
+module Refinement = Scamv_models.Refinement
+module Catalog = Scamv_models.Catalog
+module Model = Scamv_models.Model
+module Exec = Scamv_symbolic.Exec
+module Pipeline = Scamv.Pipeline
+
+let x = Reg.x
+
+(* Fig. 2: x2 := mem[x0]; if x0 < x1 + 1 then x3 := mem[x2].
+   (The bound is materialized with an explicit add + compare.) *)
+let running_example =
+  [|
+    Ast.Ldr (x 2, { Ast.base = x 0; offset = Ast.Imm 0L; scale = 0 });
+    Ast.Add (x 1, x 1, Ast.Imm 1L);
+    Ast.Cmp (x 0, Ast.Reg (x 1));
+    Ast.B_cond (Ast.Hs, 5) (* skip the body when x0 >= x1 + 1 *);
+    Ast.Ldr (x 3, { Ast.base = x 2; offset = Ast.Imm 0L; scale = 0 });
+  |]
+
+let banner title = Format.printf "@.=== %s ===@." title
+
+let () =
+  banner "Fig. 2: the running example";
+  Format.printf "%a@." Ast.pp_program running_example;
+
+  banner "Observation augmentation with Mct (pc + accessed addresses)";
+  let bir_mct = Model.annotate Catalog.mct running_example in
+  Format.printf "%a@." Scamv_bir.Program.pp bir_mct;
+
+  banner "Fig. 4: Mspec instrumentation (shadow statements on branch edges)";
+  let setup = Refinement.mct_vs_mspec () in
+  let bir_spec = Refinement.annotate setup running_example in
+  Format.printf "%a@." Scamv_bir.Program.pp bir_spec;
+
+  banner "Symbolic execution: one terminating state per path";
+  let leaves = Exec.execute bir_spec in
+  List.iteri
+    (fun i leaf -> Format.printf "--- path %d ---@.%a@." i Exec.pp_leaf leaf)
+    leaves;
+
+  banner "Test-case generation (M1 = Mct equivalent, M2 = Mspec distinct)";
+  let cfg = Pipeline.default_config setup in
+  let session = Pipeline.prepare ~seed:42L cfg running_example in
+  (match Pipeline.next_test_case session with
+  | None -> Format.printf "no test case (did the relation become unsat?)@."
+  | Some tc ->
+    Format.printf "state 1:@.%a@." Machine.pp tc.Pipeline.state1;
+    Format.printf "state 2:@.%a@." Machine.pp tc.Pipeline.state2;
+    Format.printf "training states: %d@." (List.length tc.Pipeline.train);
+
+    banner "Execution on the simulated Cortex-A53";
+    let verdict =
+      Executor.run ~seed:1L
+        (Executor.default_config ())
+        {
+          Executor.program = running_example;
+          state1 = tc.Pipeline.state1;
+          state2 = tc.Pipeline.state2;
+          train = tc.Pipeline.train;
+        }
+    in
+    Format.printf "verdict: %s@."
+      (match verdict with
+      | Executor.Distinguishable ->
+        "DISTINGUISHABLE - counterexample to Mct's soundness (speculative leak)"
+      | Executor.Indistinguishable -> "indistinguishable"
+      | Executor.Inconclusive -> "inconclusive"));
+
+  banner "Unguided search on the same program, for contrast";
+  let unguided = Pipeline.default_config Refinement.mct_unguided in
+  let session = Pipeline.prepare ~seed:42L unguided running_example in
+  let counter = ref 0 in
+  let tested = ref 0 in
+  let continue_loop = ref true in
+  while !continue_loop && !tested < 20 do
+    match Pipeline.next_test_case session with
+    | None -> continue_loop := false
+    | Some tc ->
+      incr tested;
+      let verdict =
+        Executor.run
+          ~seed:(Int64.of_int !tested)
+          (Executor.default_config ())
+          {
+            Executor.program = running_example;
+            state1 = tc.Pipeline.state1;
+            state2 = tc.Pipeline.state2;
+            train = tc.Pipeline.train;
+          }
+      in
+      if verdict = Executor.Distinguishable then incr counter
+  done;
+  Format.printf "unguided: %d counterexamples in %d experiments@." !counter !tested

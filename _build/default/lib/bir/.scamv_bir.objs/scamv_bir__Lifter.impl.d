@@ -1,0 +1,1 @@
+lib/bir/lifter.ml: Array Int64 List Obs Program Scamv_isa Scamv_smt Vars

@@ -1,0 +1,1 @@
+lib/bir/lifter.mli: Obs Program Scamv_isa Scamv_smt

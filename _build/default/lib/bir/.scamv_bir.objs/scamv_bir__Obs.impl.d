@@ -1,0 +1,1 @@
+lib/bir/obs.ml: Format List Scamv_smt

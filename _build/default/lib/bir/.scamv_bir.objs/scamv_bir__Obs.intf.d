@@ -1,0 +1,1 @@
+lib/bir/obs.mli: Format Scamv_smt

@@ -1,0 +1,1 @@
+lib/bir/program.ml: Format Int List Map Obs Printf Scamv_smt

@@ -1,0 +1,1 @@
+lib/bir/program.mli: Format Obs Scamv_smt

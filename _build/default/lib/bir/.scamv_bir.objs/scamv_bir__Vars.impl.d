@@ -1,0 +1,1 @@
+lib/bir/vars.ml: List Scamv_isa Scamv_smt String

@@ -1,0 +1,1 @@
+lib/bir/vars.mli: Scamv_isa Scamv_smt

@@ -1,0 +1,36 @@
+(** Lifting ISA programs to BIR.
+
+    The lifter produces one block per instruction (block id = instruction
+    index) plus a halt block, and invokes observation hooks at the points
+    observational models care about: instruction fetch, data loads, data
+    stores, and branch resolutions.  The hook results are inserted as
+    [Observe] statements, realizing the "observation augmentation" phase
+    of the Scam-V pipeline (Fig. 1). *)
+
+type hooks = {
+  on_fetch : pc:int -> Obs.t list;
+  on_load : pc:int -> addr:Scamv_smt.Term.t -> Obs.t list;
+  on_store : pc:int -> addr:Scamv_smt.Term.t -> Obs.t list;
+  on_branch : pc:int -> cond:Scamv_smt.Term.t -> Obs.t list;
+      (** [cond] is the branch condition over the flag variables
+          ([Term.tt] for unconditional branches). *)
+}
+
+val no_hooks : hooks
+(** Produce no observations (the bare architectural model). *)
+
+val operand_term : Scamv_isa.Ast.operand -> Scamv_smt.Term.t
+val address_term : Scamv_isa.Ast.addressing -> Scamv_smt.Term.t
+(** Address expression over the canonical register variables. *)
+
+val cond_term : Scamv_isa.Ast.cond -> Scamv_smt.Term.t
+(** Condition-code predicate over the canonical flag variables. *)
+
+val instr_assigns : Scamv_isa.Ast.instr -> (string * Scamv_smt.Term.t) list
+(** The state updates of one instruction over canonical variables, in
+    order.  Branches and nop yield no assignments.  Reused by the
+    speculation instrumentation with shadow renaming. *)
+
+val lift : ?hooks:hooks -> Scamv_isa.Ast.program -> Program.t
+(** @raise Invalid_argument if {!Scamv_isa.Ast.validate} rejects the
+    program. *)

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Journal Option Pipeline Printf Scamv_gen Scamv_microarch Scamv_models Scamv_util Stats

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Journal Pipeline Scamv_gen Scamv_microarch Scamv_models Stats

@@ -1,0 +1,1 @@
+lib/core/journal.ml: Buffer Format Fun List Printf Scamv_microarch String

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Lazy List Scamv_bir Scamv_isa Scamv_models Scamv_relation Scamv_smt Scamv_symbolic Scamv_util

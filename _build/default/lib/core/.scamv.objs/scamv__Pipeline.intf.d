@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Scamv_bir Scamv_isa Scamv_models Scamv_smt Scamv_symbolic

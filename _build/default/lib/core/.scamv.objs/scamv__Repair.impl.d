@@ -1,0 +1,1 @@
+lib/core/repair.ml: Campaign List Printf Scamv_bir Scamv_microarch Scamv_models Stats

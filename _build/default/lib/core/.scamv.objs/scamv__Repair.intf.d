@@ -1,0 +1,1 @@
+lib/core/repair.mli: Scamv_gen Scamv_models Stats

@@ -1,0 +1,1 @@
+lib/core/stats.mli: Format Scamv_microarch Scamv_util

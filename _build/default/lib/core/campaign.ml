@@ -1,0 +1,118 @@
+module Gen = Scamv_gen.Gen
+module Templates = Scamv_gen.Templates
+module Refinement = Scamv_models.Refinement
+module Executor = Scamv_microarch.Executor
+module Splitmix = Scamv_util.Splitmix
+module Stopwatch = Scamv_util.Stopwatch
+
+type config = {
+  name : string;
+  template : Templates.t Gen.t;
+  setup : Refinement.t;
+  view : Executor.view;
+  programs : int;
+  tests_per_program : int;
+  seed : int64;
+  executor : Executor.config;
+  pipeline : Refinement.t -> Pipeline.config;
+}
+
+let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
+    ?(tests_per_program = 30) ?(seed = 2021L) () =
+  {
+    name;
+    template;
+    setup;
+    view;
+    programs;
+    tests_per_program;
+    seed;
+    executor = Executor.default_config ~view ();
+    pipeline = Pipeline.default_config;
+  }
+
+type outcome = {
+  config_name : string;
+  stats : Stats.t;
+  wall_seconds : float;
+}
+
+let run ?(on_event = fun _ -> ()) ?journal cfg =
+  let watch = Stopwatch.start () in
+  let stats = ref Stats.empty in
+  let rng = ref (Splitmix.of_seed cfg.seed) in
+  let pipeline_cfg = cfg.pipeline cfg.setup in
+  for program_index = 0 to cfg.programs - 1 do
+    let program_rng, rng' = Splitmix.split !rng in
+    rng := rng';
+    let { Templates.program; template_name }, program_rng =
+      Gen.run cfg.template program_rng
+    in
+    let pipeline_seed, program_rng = Splitmix.next program_rng in
+    let program_rng = ref program_rng in
+    let session, prepare_seconds =
+      Stopwatch.time (fun () -> Pipeline.prepare ~seed:pipeline_seed pipeline_cfg program)
+    in
+    let found = ref false in
+    let continue_tests = ref true in
+    let test_index = ref 0 in
+    (* The per-program preparation cost (symbolic execution + relation
+       synthesis) is charged to the first test case, matching how the
+       paper reports average generation time per experiment. *)
+    let carry_gen_cost = ref prepare_seconds in
+    while !continue_tests && !test_index < cfg.tests_per_program do
+      let tc_opt, gen_seconds = Stopwatch.time (fun () -> Pipeline.next_test_case session) in
+      (match tc_opt with
+      | None -> continue_tests := false
+      | Some tc ->
+        let experiment =
+          {
+            Executor.program;
+            state1 = tc.Pipeline.state1;
+            state2 = tc.Pipeline.state2;
+            train = tc.Pipeline.train;
+          }
+        in
+        let exp_seed, program_rng' = Splitmix.next !program_rng in
+        program_rng := program_rng';
+        let verdict, exe_seconds =
+          Stopwatch.time (fun () -> Executor.run ~seed:exp_seed cfg.executor experiment)
+        in
+        let elapsed = Stopwatch.elapsed_s watch in
+        let was_first =
+          verdict = Executor.Distinguishable && (!stats).Stats.counterexamples = 0
+        in
+        let total_gen_seconds = gen_seconds +. !carry_gen_cost in
+        stats :=
+          Stats.record_experiment !stats ~verdict ~gen_seconds:total_gen_seconds
+            ~exe_seconds ~elapsed;
+        carry_gen_cost := 0.0;
+        Option.iter
+          (fun j ->
+            Journal.record j
+              {
+                Journal.campaign = cfg.name;
+                program_index;
+                test_index = !test_index;
+                template = template_name;
+                path_pair = tc.Pipeline.pair;
+                verdict;
+                generation_seconds = total_gen_seconds;
+                execution_seconds = exe_seconds;
+              })
+          journal;
+        if verdict = Executor.Distinguishable then found := true;
+        if was_first then
+          on_event
+            (Printf.sprintf "[%s] first counterexample after %.2fs (program %d, test %d)"
+               cfg.name elapsed program_index !test_index));
+      incr test_index
+    done;
+    stats := Stats.record_program !stats ~found_counterexample:!found;
+    if (program_index + 1) mod 25 = 0 then
+      on_event
+        (Printf.sprintf "[%s] %d/%d programs, %d experiments, %d counterexamples"
+           cfg.name (program_index + 1) cfg.programs (!stats).Stats.experiments
+           (!stats).Stats.counterexamples)
+  done;
+  { config_name = cfg.name; stats = !stats; wall_seconds = Stopwatch.elapsed_s watch }

@@ -1,0 +1,37 @@
+(** Campaign driver: generate programs from a template, generate test
+    cases per program through the pipeline, execute every test case on the
+    simulated platform, and accumulate Table-1-style statistics. *)
+
+type config = {
+  name : string;
+  template : Scamv_gen.Templates.t Scamv_gen.Gen.t;
+  setup : Scamv_models.Refinement.t;
+  view : Scamv_microarch.Executor.view;
+  programs : int;
+  tests_per_program : int;
+  seed : int64;
+  executor : Scamv_microarch.Executor.config;
+  pipeline : Scamv_models.Refinement.t -> Pipeline.config;
+}
+
+val make :
+  name:string ->
+  template:Scamv_gen.Templates.t Scamv_gen.Gen.t ->
+  setup:Scamv_models.Refinement.t ->
+  ?view:Scamv_microarch.Executor.view ->
+  ?programs:int ->
+  ?tests_per_program:int ->
+  ?seed:int64 ->
+  unit ->
+  config
+
+type outcome = {
+  config_name : string;
+  stats : Stats.t;
+  wall_seconds : float;
+}
+
+val run : ?on_event:(string -> unit) -> ?journal:Journal.t -> config -> outcome
+(** Runs the whole campaign.  [on_event] receives one-line progress
+    messages (program counts, first counterexample, ...); every executed
+    experiment is appended to [journal] when one is supplied. *)

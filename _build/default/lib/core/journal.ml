@@ -1,0 +1,64 @@
+module Executor = Scamv_microarch.Executor
+
+type entry = {
+  campaign : string;
+  program_index : int;
+  test_index : int;
+  template : string;
+  path_pair : int * int;
+  verdict : Executor.verdict;
+  generation_seconds : float;
+  execution_seconds : float;
+}
+
+type t = { mutable entries_rev : entry list; mutable count : int }
+
+let create () = { entries_rev = []; count = 0 }
+
+let record t e =
+  t.entries_rev <- e :: t.entries_rev;
+  t.count <- t.count + 1
+
+let entries t = List.rev t.entries_rev
+let length t = t.count
+
+let counterexamples t =
+  List.filter (fun e -> e.verdict = Executor.Distinguishable) (entries t)
+
+let verdict_counts t =
+  List.fold_left
+    (fun (d, i, u) e ->
+      match e.verdict with
+      | Executor.Distinguishable -> (d + 1, i, u)
+      | Executor.Indistinguishable -> (d, i + 1, u)
+      | Executor.Inconclusive -> (d, i, u + 1))
+    (0, 0, 0) (entries t)
+
+let verdict_string = function
+  | Executor.Distinguishable -> "distinguishable"
+  | Executor.Indistinguishable -> "indistinguishable"
+  | Executor.Inconclusive -> "inconclusive"
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_string v)
+
+let quote s = "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "campaign,program,test,template,path1,path2,verdict,gen_seconds,exe_seconds\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%s,%d,%d,%s,%.6f,%.6f\n" (quote e.campaign)
+           e.program_index e.test_index (quote e.template) (fst e.path_pair)
+           (snd e.path_pair) (verdict_string e.verdict) e.generation_seconds
+           e.execution_seconds))
+    (entries t);
+  Buffer.contents buf
+
+let write_csv t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_csv t))

@@ -1,0 +1,37 @@
+(** Experiment journal, the analogue of the artifact's EmbExp-Logs
+    database (Sec. A.3): every executed experiment is recorded with its
+    provenance and verdict, and campaigns can be exported for offline
+    analysis. *)
+
+type entry = {
+  campaign : string;
+  program_index : int;
+  test_index : int;
+  template : string;
+  path_pair : int * int;  (** leaf indexes of the two states' paths *)
+  verdict : Scamv_microarch.Executor.verdict;
+  generation_seconds : float;
+  execution_seconds : float;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> entry -> unit
+val entries : t -> entry list
+(** In recording order. *)
+
+val length : t -> int
+
+val counterexamples : t -> entry list
+
+val verdict_counts : t -> int * int * int
+(** (distinguishable, indistinguishable, inconclusive). *)
+
+val to_csv : t -> string
+(** Header plus one row per entry; fields are comma-separated, names
+    quoted. *)
+
+val write_csv : t -> path:string -> unit
+
+val pp_verdict : Format.formatter -> Scamv_microarch.Executor.verdict -> unit

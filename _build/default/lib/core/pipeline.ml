@@ -1,0 +1,107 @@
+module Solver = Scamv_smt.Solver
+module Model = Scamv_smt.Model
+module Exec = Scamv_symbolic.Exec
+module Synth = Scamv_relation.Synth
+module Training = Scamv_relation.Training
+module Concretize = Scamv_relation.Concretize
+module Refinement = Scamv_models.Refinement
+module Splitmix = Scamv_util.Splitmix
+
+type config = {
+  setup : Refinement.t;
+  platform : Scamv_isa.Platform.t;
+  diversify : bool;
+  max_steps : int;
+}
+
+let default_config setup =
+  {
+    setup;
+    platform = Scamv_isa.Platform.cortex_a53;
+    diversify = Refinement.has_refinement setup;
+    max_steps = 4096;
+  }
+
+type test_case = {
+  pair : int * int;
+  state1 : Scamv_isa.Machine.t;
+  state2 : Scamv_isa.Machine.t;
+  train : Scamv_isa.Machine.t list;
+  model : Model.t;
+}
+
+type pair_session = {
+  pair : int * int;
+  session : Solver.session;
+  training : Scamv_isa.Machine.t list Lazy.t;
+}
+
+type t = {
+  cfg : config;
+  isa_program : Scamv_isa.Ast.program;
+  bir_program : Scamv_bir.Program.t;
+  leaf_list : Exec.leaf list;
+  mutable queue : pair_session list;  (* round-robin of live sessions *)
+}
+
+let prepare ?(seed = 0L) cfg isa_program =
+  let bir_program = Refinement.annotate cfg.setup isa_program in
+  let leaf_list = Exec.execute ~max_steps:cfg.max_steps bir_program in
+  let synth_cfg =
+    {
+      Synth.platform = cfg.platform;
+      require_refined_difference = Refinement.has_refinement cfg.setup;
+    }
+  in
+  let pairs = Synth.compatible_pairs leaf_list in
+  let rng = ref (Splitmix.of_seed seed) in
+  let sessions =
+    List.filter_map
+      (fun pair ->
+        match Synth.pair_relation synth_cfg leaf_list pair with
+        | None -> None
+        | Some relation ->
+          let pair_seed, rng' = Splitmix.next !rng in
+          rng := rng';
+          (* Coverage observations, when present, define the blocking set:
+             successive models then come from different classes of the
+             supporting model (Sec. 4.1).  Unguided generation blocks on
+             register inputs only (the original register-enumeration
+             behaviour); refined generation without coverage blocks on
+             everything the relation mentions. *)
+          let track =
+            match relation.Synth.coverage_track with
+            | _ :: _ as t -> Some t
+            | [] ->
+              if Refinement.has_refinement cfg.setup then None
+              else Some relation.Synth.register_track
+          in
+          let session =
+            Solver.make_session ?track ~seed:pair_seed relation.Synth.assertions
+          in
+          let training =
+            lazy
+              (Training.training_states ~platform:cfg.platform ~leaves:leaf_list ~pair)
+          in
+          Some { pair; session; training })
+      pairs
+  in
+  { cfg; isa_program; bir_program; leaf_list; queue = sessions }
+
+let program t = t.isa_program
+let bir t = t.bir_program
+let leaves t = t.leaf_list
+let pair_count t = List.length t.queue
+
+let rec next_test_case t =
+  match t.queue with
+  | [] -> None
+  | ps :: rest -> (
+    match Solver.next_model ~diversify:t.cfg.diversify ps.session with
+    | None ->
+      t.queue <- rest;
+      next_test_case t
+    | Some model ->
+      t.queue <- rest @ [ ps ];
+      let state1, state2 = Concretize.test_states model in
+      Some { pair = ps.pair; state1; state2; train = Lazy.force ps.training; model })

@@ -1,0 +1,45 @@
+(** The Scam-V test-case generation pipeline (Fig. 1):
+
+    program -> observation augmentation -> symbolic execution ->
+    relation synthesis -> SMT model enumeration -> test case.
+
+    Symbolic execution and relation synthesis run once per program and are
+    cached; only model enumeration runs per test case (the caching
+    optimization of Sec. 5).  Path pairs are explored round-robin
+    (Sec. 5.4), and each pair keeps its own SMT enumeration session. *)
+
+type config = {
+  setup : Scamv_models.Refinement.t;
+  platform : Scamv_isa.Platform.t;
+  diversify : bool;
+      (** randomize solver phases between enumerated models, spreading
+          test cases across the state space *)
+  max_steps : int;  (** symbolic execution step bound *)
+}
+
+val default_config : Scamv_models.Refinement.t -> config
+
+type test_case = {
+  pair : int * int;  (** leaf indexes of the two states' paths *)
+  state1 : Scamv_isa.Machine.t;
+  state2 : Scamv_isa.Machine.t;
+  train : Scamv_isa.Machine.t list;
+  model : Scamv_smt.Model.t;  (** the raw satisfying assignment *)
+}
+
+type t
+(** Cached per-program generation state. *)
+
+val prepare : ?seed:int64 -> config -> Scamv_isa.Ast.program -> t
+(** Annotate, symbolically execute, synthesize the per-pair relations and
+    open the enumeration sessions. *)
+
+val program : t -> Scamv_isa.Ast.program
+val bir : t -> Scamv_bir.Program.t
+val leaves : t -> Scamv_symbolic.Exec.leaf list
+val pair_count : t -> int
+(** Number of path pairs that can produce test cases. *)
+
+val next_test_case : t -> test_case option
+(** The next test case, drawn from the path-pair sessions in round-robin
+    order; [None] once every session is exhausted. *)

@@ -1,0 +1,95 @@
+module Summary = Scamv_util.Summary
+module Executor = Scamv_microarch.Executor
+
+type t = {
+  programs : int;
+  programs_with_counterexample : int;
+  experiments : int;
+  counterexamples : int;
+  inconclusive : int;
+  generation_time : Summary.t;
+  execution_time : Summary.t;
+  time_to_first_counterexample : float option;
+}
+
+let empty =
+  {
+    programs = 0;
+    programs_with_counterexample = 0;
+    experiments = 0;
+    counterexamples = 0;
+    inconclusive = 0;
+    generation_time = Summary.empty;
+    execution_time = Summary.empty;
+    time_to_first_counterexample = None;
+  }
+
+let record_program t ~found_counterexample =
+  {
+    t with
+    programs = t.programs + 1;
+    programs_with_counterexample =
+      (t.programs_with_counterexample + if found_counterexample then 1 else 0);
+  }
+
+let record_experiment t ~verdict ~gen_seconds ~exe_seconds ~elapsed =
+  let counterexample = verdict = Executor.Distinguishable in
+  {
+    t with
+    experiments = t.experiments + 1;
+    counterexamples = (t.counterexamples + if counterexample then 1 else 0);
+    inconclusive =
+      (t.inconclusive + if verdict = Executor.Inconclusive then 1 else 0);
+    generation_time = Summary.add t.generation_time gen_seconds;
+    execution_time = Summary.add t.execution_time exe_seconds;
+    time_to_first_counterexample =
+      (match t.time_to_first_counterexample with
+      | Some _ as ttc -> ttc
+      | None -> if counterexample then Some elapsed else None);
+  }
+
+let counterexample_rate t =
+  if t.experiments = 0 then 0.0
+  else float_of_int t.counterexamples /. float_of_int t.experiments
+
+let header =
+  [
+    "campaign";
+    "programs";
+    "w/count.";
+    "experiments";
+    "counterex.";
+    "inconcl.";
+    "avg gen (s)";
+    "avg exe (s)";
+    "T.T.C. (s)";
+  ]
+
+let row ~name t =
+  [
+    name;
+    string_of_int t.programs;
+    string_of_int t.programs_with_counterexample;
+    string_of_int t.experiments;
+    string_of_int t.counterexamples;
+    string_of_int t.inconclusive;
+    Printf.sprintf "%.4f" (Summary.mean t.generation_time);
+    Printf.sprintf "%.4f" (Summary.mean t.execution_time);
+    (match t.time_to_first_counterexample with
+    | None -> "-"
+    | Some s -> Printf.sprintf "%.2f" s);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>programs: %d (with counterexample: %d)@,\
+     experiments: %d, counterexamples: %d, inconclusive: %d@,\
+     avg generation: %.4fs, avg execution: %.4fs@,\
+     time to first counterexample: %s@]"
+    t.programs t.programs_with_counterexample t.experiments t.counterexamples
+    t.inconclusive
+    (Summary.mean t.generation_time)
+    (Summary.mean t.execution_time)
+    (match t.time_to_first_counterexample with
+    | None -> "-"
+    | Some s -> Printf.sprintf "%.2fs" s)

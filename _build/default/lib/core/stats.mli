@@ -1,0 +1,32 @@
+(** Campaign statistics, mirroring the rows of Table 1 / Fig. 7. *)
+
+type t = {
+  programs : int;
+  programs_with_counterexample : int;
+  experiments : int;
+  counterexamples : int;
+  inconclusive : int;
+  generation_time : Scamv_util.Summary.t;  (** per-test-case synthesis time *)
+  execution_time : Scamv_util.Summary.t;  (** per-experiment run time *)
+  time_to_first_counterexample : float option;  (** wall seconds, None = never *)
+}
+
+val empty : t
+
+val record_program : t -> found_counterexample:bool -> t
+val record_experiment :
+  t ->
+  verdict:Scamv_microarch.Executor.verdict ->
+  gen_seconds:float ->
+  exe_seconds:float ->
+  elapsed:float ->
+  t
+
+val counterexample_rate : t -> float
+val pp : Format.formatter -> t -> unit
+
+val row : name:string -> t -> string list
+(** Table row: name, programs, w/counterexample, experiments,
+    counterexamples, inconclusive, avg gen (s), avg exe (s), TTC (s). *)
+
+val header : string list

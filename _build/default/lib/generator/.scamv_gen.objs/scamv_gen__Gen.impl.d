@@ -1,0 +1,1 @@
+lib/generator/gen.ml: List Scamv_isa Scamv_util

@@ -1,0 +1,1 @@
+lib/generator/gen.mli: Scamv_isa Scamv_util

@@ -1,0 +1,1 @@
+lib/generator/templates.ml: Array Gen Int64 List Scamv_isa

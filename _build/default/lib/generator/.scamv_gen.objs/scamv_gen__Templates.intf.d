@@ -1,0 +1,1 @@
+lib/generator/templates.mli: Gen Scamv_isa

@@ -1,0 +1,128 @@
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+open Gen.Syntax
+
+type t = { template_name : string; program : Ast.program }
+
+let conds = [ Ast.Eq; Ast.Ne; Ast.Hs; Ast.Lo; Ast.Hi; Ast.Ls; Ast.Ge; Ast.Lt ]
+
+let reg_addr base offset = { Ast.base; offset = Ast.Reg offset; scale = 0 }
+let imm_addr base imm = { Ast.base; offset = Ast.Imm imm; scale = 0 }
+
+(* Stride Template (Sec. 6.2): 3..5 loads from [r0], [r0+v], [r0+2v], ...
+   with the distance a multiple of the cache line size so consecutive
+   accesses hit different sets. *)
+let stride =
+  let* count = Gen.int_in 3 5 in
+  let* line_multiple = Gen.int_in 1 4 in
+  let v = Int64.of_int (64 * line_multiple) in
+  let* regs = Gen.distinct_regs (count + 1) in
+  match regs with
+  | base :: dests ->
+    let loads =
+      List.mapi
+        (fun i dest -> Ast.Ldr (dest, imm_addr base (Int64.mul (Int64.of_int i) v)))
+        dests
+    in
+    Gen.return { template_name = "stride"; program = Array.of_list loads }
+  | [] -> assert false
+
+(* Template A (Fig. 5): anticipated load, comparison, guarded dependent
+   load.  Side constraints from Sec. 6.3: r2 <> r1 and r4 not in
+   {r1, r2}; r6 is free and may alias r0 or r1 (the subclass unguided
+   search stumbles on). *)
+let template_a =
+  let* r0 = Gen.reg in
+  let* r1 = Gen.reg_avoiding [ r0 ] in
+  let* r2 = Gen.reg_avoiding [ r1 ] in
+  let* r4 = Gen.reg_avoiding [ r1; r2 ] in
+  let* r5 = Gen.reg in
+  let* r6 = Gen.reg in
+  let* cond = Gen.choose conds in
+  let program =
+    [|
+      Ast.Ldr (r2, reg_addr r0 r1);
+      Ast.Cmp (r1, Ast.Reg r4);
+      Ast.B_cond (cond, 4) (* skip the body *);
+      Ast.Ldr (r5, reg_addr r6 r2);
+    |]
+  in
+  Gen.return { template_name = "A"; program }
+
+(* Template B (Fig. 5): 0..2 loads, comparison with a random predicate,
+   1..2 loads in the body; no register-allocation constraints at all. *)
+let template_b =
+  let any_load =
+    let* d = Gen.reg in
+    let* b = Gen.reg in
+    let* o = Gen.reg in
+    Gen.return (Ast.Ldr (d, reg_addr b o))
+  in
+  let* before = Gen.bind (Gen.int_in 0 2) (fun n -> Gen.list n any_load) in
+  let* body = Gen.bind (Gen.int_in 1 2) (fun n -> Gen.list n any_load) in
+  let* ra = Gen.reg in
+  let* rb = Gen.reg in
+  let* cond = Gen.choose conds in
+  let prefix = before @ [ Ast.Cmp (ra, Ast.Reg rb) ] in
+  let skip_target = List.length prefix + 1 + List.length body in
+  let program =
+    Array.of_list (prefix @ (Ast.B_cond (cond, skip_target) :: body))
+  in
+  Gen.return { template_name = "B"; program }
+
+(* Template C (Fig. 7): two causally dependent loads in the branch body,
+   optionally interleaved with an arithmetic operation on the loaded
+   value.  Registers are distinct so the dependency is guaranteed. *)
+let template_c =
+  let* regs = Gen.distinct_regs 8 in
+  match regs with
+  | [ r1; r2; r3; r5; r6; r7; r8; r9 ] ->
+    let* cond = Gen.choose conds in
+    let* middle_op =
+      Gen.opt 0.5
+        (let* imm = Gen.int_in 1 255 in
+         let* op = Gen.choose [ `Add; `Eor ] in
+         Gen.return (op, Int64.of_int imm))
+    in
+    let body =
+      match middle_op with
+      | None -> [ Ast.Ldr (r6, reg_addr r5 r3); Ast.Ldr (r8, reg_addr r7 r6) ]
+      | Some (op, imm) ->
+        let arith =
+          match op with
+          | `Add -> Ast.Add (r9, r6, Ast.Imm imm)
+          | `Eor -> Ast.Eor (r9, r6, Ast.Imm imm)
+        in
+        [ Ast.Ldr (r6, reg_addr r5 r3); arith; Ast.Ldr (r8, reg_addr r7 r9) ]
+    in
+    let skip_target = 2 + List.length body in
+    let program =
+      Array.of_list (Ast.Cmp (r1, Ast.Reg r2) :: Ast.B_cond (cond, skip_target) :: body)
+    in
+    Gen.return { template_name = "C"; program }
+  | _ -> assert false
+
+(* Template D (Fig. 7): loads placed textually after an unconditional
+   direct branch; they never execute architecturally and leak only if the
+   processor speculates straight-line past the branch. *)
+let template_d =
+  let any_load =
+    let* d = Gen.reg in
+    let* b = Gen.reg in
+    let* o = Gen.reg in
+    Gen.return (Ast.Ldr (d, reg_addr b o))
+  in
+  let* before = Gen.bind (Gen.int_in 0 1) (fun n -> Gen.list n any_load) in
+  let* dead = Gen.bind (Gen.int_in 1 2) (fun n -> Gen.list n any_load) in
+  let jump_at = List.length before in
+  let target = jump_at + 1 + List.length dead in
+  let program = Array.of_list (before @ (Ast.B target :: dead)) in
+  Gen.return { template_name = "D"; program }
+
+let by_name = function
+  | "stride" -> stride
+  | "A" -> template_a
+  | "B" -> template_b
+  | "C" -> template_c
+  | "D" -> template_d
+  | name -> invalid_arg ("Templates.by_name: unknown template " ^ name)

@@ -1,0 +1,1 @@
+lib/isa/ast.ml: Array Format List Printf Reg

@@ -1,0 +1,1 @@
+lib/isa/ast.mli: Format Reg Stdlib

@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Format Int64 List Map Reg

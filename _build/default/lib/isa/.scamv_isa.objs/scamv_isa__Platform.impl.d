@@ -1,0 +1,1 @@
+lib/isa/platform.ml: Int64 Scamv_util

@@ -1,0 +1,1 @@
+lib/isa/semantics.ml: Array Ast Bool Int64 List Machine Scamv_util

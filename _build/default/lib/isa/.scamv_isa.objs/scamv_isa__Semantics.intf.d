@@ -1,0 +1,1 @@
+lib/isa/semantics.mli: Ast Machine

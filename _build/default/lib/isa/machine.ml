@@ -1,0 +1,40 @@
+type flags = { n : bool; z : bool; c : bool; v : bool }
+
+module Int64_map = Map.Make (Int64)
+
+type t = {
+  regs : int64 array;
+  mutable flags : flags;
+  mutable mem : int64 Int64_map.t;
+}
+
+let zero_flags = { n = false; z = false; c = false; v = false }
+let create () = { regs = Array.make Reg.count 0L; flags = zero_flags; mem = Int64_map.empty }
+let copy t = { regs = Array.copy t.regs; flags = t.flags; mem = t.mem }
+let get_reg t r = t.regs.(Reg.index r)
+let set_reg t r v = t.regs.(Reg.index r) <- v
+let get_flags t = t.flags
+let set_flags t flags = t.flags <- flags
+
+let load t addr =
+  match Int64_map.find_opt addr t.mem with None -> 0L | Some v -> v
+
+let store t addr v = t.mem <- Int64_map.add addr v t.mem
+let mem_bindings t = Int64_map.bindings t.mem
+
+let normalized_mem t = Int64_map.filter (fun _ v -> not (Int64.equal v 0L)) t.mem
+
+let equal_arch a b =
+  Array.for_all2 Int64.equal a.regs b.regs
+  && a.flags = b.flags
+  && Int64_map.equal Int64.equal (normalized_mem a) (normalized_mem b)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i v -> if not (Int64.equal v 0L) then Format.fprintf ppf "x%d = 0x%Lx@," i v)
+    t.regs;
+  let { n; z; c; v } = t.flags in
+  Format.fprintf ppf "flags = {n=%b z=%b c=%b v=%b}@," n z c v;
+  List.iter (fun (a, v) -> Format.fprintf ppf "mem[0x%Lx] = 0x%Lx@," a v) (mem_bindings t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Concrete architectural machine state: 31 general-purpose 64-bit
+    registers, NZCV flags, and a sparse word-addressed memory.
+
+    Memory granularity matches the rest of the reproduction: each address
+    names one 64-bit cell (see DESIGN.md, "Memory model"). *)
+
+type flags = { n : bool; z : bool; c : bool; v : bool }
+
+type t
+
+val create : unit -> t
+(** Zeroed registers and flags, empty memory. *)
+
+val copy : t -> t
+
+val get_reg : t -> Reg.t -> int64
+val set_reg : t -> Reg.t -> int64 -> unit
+val get_flags : t -> flags
+val set_flags : t -> flags -> unit
+
+val load : t -> int64 -> int64
+(** Unwritten cells read as zero. *)
+
+val store : t -> int64 -> int64 -> unit
+val mem_bindings : t -> (int64 * int64) list
+(** Written cells, sorted by address. *)
+
+val equal_arch : t -> t -> bool
+(** Architectural equality: registers, flags and written memory agree
+    (cells explicitly written with the default value count as unwritten). *)
+
+val pp : Format.formatter -> t -> unit

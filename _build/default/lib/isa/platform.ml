@@ -1,0 +1,35 @@
+module Bits = Scamv_util.Bits
+
+type t = {
+  line_shift : int;
+  set_count : int;
+  way_count : int;
+  page_shift : int;
+  mem_base : int64;
+  mem_size : int64;
+}
+
+let cortex_a53 =
+  {
+    line_shift = 6;
+    set_count = 128;
+    way_count = 4;
+    page_shift = 12;
+    mem_base = 0x8000_0000L;
+    mem_size = 0x20_0000L (* 2 MiB experiment region *);
+  }
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+let set_index_bits t = log2 t.set_count
+
+let set_index t addr =
+  Int64.to_int
+    (Bits.extract ~hi:(t.line_shift + set_index_bits t - 1) ~lo:t.line_shift addr)
+
+let page_index t addr = Int64.shift_right_logical addr t.page_shift
+
+let line_base t addr =
+  Int64.logand addr (Int64.lognot (Bits.mask t.line_shift))
+
+let in_memory_range t addr =
+  Bits.ule t.mem_base addr && Bits.ult addr (Int64.add t.mem_base t.mem_size)

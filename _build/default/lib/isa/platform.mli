@@ -1,0 +1,32 @@
+(** Cortex-A53-like platform parameters shared by the observational models
+    (which need address-to-cache-set arithmetic) and the
+    microarchitectural simulator.
+
+    Defaults model the evaluation platform of the paper (Raspberry Pi 3):
+    32 KiB L1D, 4-way, 64-byte lines, 128 sets, 4 KiB pages. *)
+
+type t = {
+  line_shift : int;  (** log2 of the cache line size, 6 for 64 B *)
+  set_count : int;  (** number of cache sets (power of two), 128 *)
+  way_count : int;  (** associativity, 4 *)
+  page_shift : int;  (** log2 of the page size, 12 for 4 KiB *)
+  mem_base : int64;  (** base of the cacheable experiment memory region *)
+  mem_size : int64;  (** size of the experiment memory region in bytes *)
+}
+
+val cortex_a53 : t
+
+val set_index_bits : t -> int
+(** Number of address bits selecting the cache set. *)
+
+val set_index : t -> int64 -> int
+(** Cache set index of a byte address. *)
+
+val page_index : t -> int64 -> int64
+(** Page number of a byte address. *)
+
+val line_base : t -> int64 -> int64
+(** Address rounded down to its cache line. *)
+
+val in_memory_range : t -> int64 -> bool
+(** Whether an address lies within the experiment memory region. *)

@@ -1,0 +1,14 @@
+type t = int
+
+let count = 31
+
+let x i =
+  if i < 0 || i >= count then invalid_arg "Reg.x: register index out of range";
+  i
+
+let index r = r
+let equal = Int.equal
+let compare = Int.compare
+let all = List.init count (fun i -> i)
+let name r = "x" ^ string_of_int r
+let pp ppf r = Format.pp_print_string ppf (name r)

@@ -1,0 +1,18 @@
+(** General-purpose registers of the AArch64 subset (x0 .. x30). *)
+
+type t
+
+val x : int -> t
+(** [x i] is register [xi]; [i] must be in [0, 30]. *)
+
+val index : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val count : int
+(** Number of general-purpose registers (31). *)
+
+val all : t list
+val name : t -> string
+(** ["x0"] .. ["x30"], matching the SMT variable naming convention. *)
+
+val pp : Format.formatter -> t -> unit

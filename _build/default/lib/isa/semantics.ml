@@ -1,0 +1,110 @@
+module Bits = Scamv_util.Bits
+
+type event =
+  | Fetch of int
+  | Load of int64
+  | Store of int64
+  | Branch of { pc : int; taken : bool; target : int }
+
+type step_result = { next_pc : int; events : event list }
+
+let eval_operand m = function
+  | Ast.Reg r -> Machine.get_reg m r
+  | Ast.Imm v -> v
+
+let eval_address m { Ast.base; offset; scale } =
+  Int64.add (Machine.get_reg m base) (Int64.shift_left (eval_operand m offset) scale)
+
+let eval_cond (f : Machine.flags) = function
+  | Ast.Eq -> f.z
+  | Ast.Ne -> not f.z
+  | Ast.Hs -> f.c
+  | Ast.Lo -> not f.c
+  | Ast.Hi -> f.c && not f.z
+  | Ast.Ls -> (not f.c) || f.z
+  | Ast.Ge -> Bool.equal f.n f.v
+  | Ast.Lt -> not (Bool.equal f.n f.v)
+  | Ast.Gt -> (not f.z) && Bool.equal f.n f.v
+  | Ast.Le -> f.z || not (Bool.equal f.n f.v)
+
+let flags_of_cmp a b =
+  let result = Int64.sub a b in
+  {
+    Machine.n = Bits.bit result 63;
+    z = Int64.equal result 0L;
+    (* Carry for subtraction: set iff no borrow, i.e. a >= b unsigned. *)
+    c = Bits.ule b a;
+    (* Signed overflow: operands of different sign and result sign
+       differs from the first operand. *)
+    v = Bits.bit (Int64.logand (Int64.logxor a b) (Int64.logxor a result)) 63;
+  }
+
+let shift_amount v = if Bits.ult v 64L then Int64.to_int v else 64
+
+let alu_op op a b =
+  match op with
+  | `Add -> Int64.add a b
+  | `Sub -> Int64.sub a b
+  | `And -> Int64.logand a b
+  | `Orr -> Int64.logor a b
+  | `Eor -> Int64.logxor a b
+  | `Lsl ->
+    let k = shift_amount b in
+    if k >= 64 then 0L else Int64.shift_left a k
+  | `Lsr ->
+    let k = shift_amount b in
+    if k >= 64 then 0L else Int64.shift_right_logical a k
+  | `Asr ->
+    let k = shift_amount b in
+    Int64.shift_right a (min k 63)
+
+let step program m pc =
+  if pc < 0 || pc >= Array.length program then
+    invalid_arg "Semantics.step: pc out of range";
+  let fetch = Fetch pc in
+  let binary op d a operand =
+    Machine.set_reg m d (alu_op op (Machine.get_reg m a) (eval_operand m operand));
+    { next_pc = pc + 1; events = [ fetch ] }
+  in
+  match program.(pc) with
+  | Ast.Nop -> { next_pc = pc + 1; events = [ fetch ] }
+  | Ast.Mov (d, op) ->
+    Machine.set_reg m d (eval_operand m op);
+    { next_pc = pc + 1; events = [ fetch ] }
+  | Ast.Add (d, a, op) -> binary `Add d a op
+  | Ast.Sub (d, a, op) -> binary `Sub d a op
+  | Ast.And_ (d, a, op) -> binary `And d a op
+  | Ast.Orr (d, a, op) -> binary `Orr d a op
+  | Ast.Eor (d, a, op) -> binary `Eor d a op
+  | Ast.Lsl (d, a, op) -> binary `Lsl d a op
+  | Ast.Lsr (d, a, op) -> binary `Lsr d a op
+  | Ast.Asr (d, a, op) -> binary `Asr d a op
+  | Ast.Ldr (d, addr) ->
+    let a = eval_address m addr in
+    Machine.set_reg m d (Machine.load m a);
+    { next_pc = pc + 1; events = [ fetch; Load a ] }
+  | Ast.Str (s, addr) ->
+    let a = eval_address m addr in
+    Machine.store m a (Machine.get_reg m s);
+    { next_pc = pc + 1; events = [ fetch; Store a ] }
+  | Ast.Cmp (a, op) ->
+    Machine.set_flags m (flags_of_cmp (Machine.get_reg m a) (eval_operand m op));
+    { next_pc = pc + 1; events = [ fetch ] }
+  | Ast.B target ->
+    { next_pc = target; events = [ fetch; Branch { pc; taken = true; target } ] }
+  | Ast.B_cond (c, target) ->
+    let taken = eval_cond (Machine.get_flags m) c in
+    let next_pc = if taken then target else pc + 1 in
+    { next_pc; events = [ fetch; Branch { pc; taken; target } ] }
+
+type trace = event list
+
+let run ?(fuel = 10_000) program m =
+  let rec go pc fuel acc =
+    if pc < 0 || pc >= Array.length program then List.rev acc
+    else if fuel = 0 then failwith "Semantics.run: fuel exhausted (cyclic program?)"
+    else
+      let { next_pc; events } = step program m pc in
+      go next_pc (fuel - 1) (List.rev_append events acc)
+  in
+  go 0 fuel []

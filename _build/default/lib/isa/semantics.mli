@@ -1,0 +1,36 @@
+(** Architectural (in-order, non-speculative) semantics.
+
+    The single-instruction step is exposed so the microarchitectural
+    simulator can reuse it for both committed and transient execution;
+    [run] is the reference executor used for differential testing against
+    the BIR lifter and the symbolic engine. *)
+
+type event =
+  | Fetch of int  (** instruction index executed *)
+  | Load of int64  (** data memory address read *)
+  | Store of int64  (** data memory address written *)
+  | Branch of { pc : int; taken : bool; target : int }
+      (** resolved direct branch (conditional or not) *)
+
+type step_result = {
+  next_pc : int;
+  events : event list;  (** in program order; [Fetch] first *)
+}
+
+val eval_operand : Machine.t -> Ast.operand -> int64
+val eval_address : Machine.t -> Ast.addressing -> int64
+val eval_cond : Machine.flags -> Ast.cond -> bool
+
+val flags_of_cmp : int64 -> int64 -> Machine.flags
+(** NZCV after [cmp a, b] (i.e. [a - b] at width 64). *)
+
+val step : Ast.program -> Machine.t -> int -> step_result
+(** Execute the instruction at the given index, mutating the machine.
+    @raise Invalid_argument if the index is out of range. *)
+
+type trace = event list
+
+val run : ?fuel:int -> Ast.program -> Machine.t -> trace
+(** Run from index 0 until the pc leaves the program.  [fuel] bounds the
+    number of executed instructions (default 10_000).
+    @raise Failure when fuel is exhausted (cyclic program). *)

@@ -1,0 +1,1 @@
+lib/microarch/cache.ml: Array Int64 List Scamv_isa

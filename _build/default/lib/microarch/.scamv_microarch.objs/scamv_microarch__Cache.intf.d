@@ -1,0 +1,1 @@
+lib/microarch/cache.mli: Scamv_isa

@@ -1,0 +1,1 @@
+lib/microarch/core.ml: Array Cache Hashtbl Int64 List Predictor Prefetcher Scamv_isa Scamv_util Tlb

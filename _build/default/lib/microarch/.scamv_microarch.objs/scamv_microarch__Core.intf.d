@@ -1,0 +1,1 @@
+lib/microarch/core.mli: Cache Predictor Scamv_isa Tlb

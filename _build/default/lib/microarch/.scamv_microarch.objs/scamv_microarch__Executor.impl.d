@@ -1,0 +1,1 @@
+lib/microarch/executor.ml: Cache Core Int64 List Scamv_isa Scamv_util Tlb

@@ -1,0 +1,1 @@
+lib/microarch/executor.mli: Core Scamv_isa

@@ -1,0 +1,1 @@
+lib/microarch/flush_reload.mli: Core

@@ -1,0 +1,1 @@
+lib/microarch/predictor.ml: Array

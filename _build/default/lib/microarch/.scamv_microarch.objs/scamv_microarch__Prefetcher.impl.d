@@ -1,0 +1,1 @@
+lib/microarch/prefetcher.ml: Int64 Scamv_isa Scamv_util

@@ -1,0 +1,1 @@
+lib/microarch/prefetcher.mli: Scamv_isa Scamv_util

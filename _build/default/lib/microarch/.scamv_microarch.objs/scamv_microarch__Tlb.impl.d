@@ -1,0 +1,1 @@
+lib/microarch/tlb.ml: Int64 List Scamv_isa

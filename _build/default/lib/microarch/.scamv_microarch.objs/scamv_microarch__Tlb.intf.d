@@ -1,0 +1,1 @@
+lib/microarch/tlb.mli: Scamv_isa

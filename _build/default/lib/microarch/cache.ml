@@ -1,0 +1,63 @@
+module Platform = Scamv_isa.Platform
+
+(* Each set is a list of line base addresses, most recently used first,
+   length bounded by the way count. *)
+type t = {
+  platform : Platform.t;
+  sets : int64 list array;
+}
+
+let create platform = { platform; sets = Array.make platform.Platform.set_count [] }
+let reset t = Array.fill t.sets 0 (Array.length t.sets) []
+
+let set_of t addr = Platform.set_index t.platform addr
+
+let touch t addr ~demand =
+  let line = Platform.line_base t.platform addr in
+  let idx = set_of t addr in
+  let ways = t.platform.Platform.way_count in
+  let present = List.exists (Int64.equal line) t.sets.(idx) in
+  let without = List.filter (fun l -> not (Int64.equal line l)) t.sets.(idx) in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  t.sets.(idx) <- line :: take (ways - 1) without;
+  ignore demand;
+  if present then `Hit else `Miss
+
+let access t addr = touch t addr ~demand:true
+let fill t addr = ignore (touch t addr ~demand:false)
+
+let flush_line t addr =
+  let line = Platform.line_base t.platform addr in
+  let idx = set_of t addr in
+  t.sets.(idx) <- List.filter (fun l -> not (Int64.equal line l)) t.sets.(idx)
+
+let contains t addr =
+  let line = Platform.line_base t.platform addr in
+  List.exists (Int64.equal line) t.sets.(set_of t addr)
+
+let snapshot_range t lo hi =
+  let out = ref [] in
+  for idx = hi downto lo do
+    match t.sets.(idx) with
+    | [] -> ()
+    | lines -> out := (idx, List.sort Int64.unsigned_compare lines) :: !out
+  done;
+  !out
+
+let snapshot t = snapshot_range t 0 (Array.length t.sets - 1)
+
+let snapshot_region t ~first_set ~last_set =
+  let hi = min last_set (Array.length t.sets - 1) in
+  let lo = max 0 first_set in
+  snapshot_range t lo hi
+
+let equal_snapshot a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (ia, la) (ib, lb) ->
+         ia = ib && List.length la = List.length lb && List.for_all2 Int64.equal la lb)
+       a b

@@ -1,0 +1,33 @@
+(** Set-associative L1 data cache with LRU replacement.
+
+    Models the Cortex-A53 L1D (32 KiB: 128 sets x 4 ways x 64 B by
+    default).  Only presence of lines matters for the attacker views used
+    in the experiments; coherence and write policy are out of scope
+    (transient and committed loads allocate, stores are ignored by the
+    channel per Sec. 6.1's load-driven experiments). *)
+
+type t
+
+val create : Scamv_isa.Platform.t -> t
+val reset : t -> unit
+
+val access : t -> int64 -> [ `Hit | `Miss ]
+(** Demand access to a byte address: reports hit/miss and allocates the
+    line (LRU update on hit). *)
+
+val fill : t -> int64 -> unit
+(** Allocate a line without reporting (prefetch fill). *)
+
+val flush_line : t -> int64 -> unit
+(** Invalidate the line containing the address, if present. *)
+
+val contains : t -> int64 -> bool
+
+val snapshot : t -> (int * int64 list) list
+(** Per-set contents: (set index, sorted line base addresses) for every
+    non-empty set — the "TrustZone cache dump" of Sec. 6.1. *)
+
+val snapshot_region : t -> first_set:int -> last_set:int -> (int * int64 list) list
+(** Dump restricted to the attacker-accessible sets. *)
+
+val equal_snapshot : (int * int64 list) list -> (int * int64 list) list -> bool

@@ -1,0 +1,310 @@
+module Ast = Scamv_isa.Ast
+module Machine = Scamv_isa.Machine
+module Semantics = Scamv_isa.Semantics
+module Platform = Scamv_isa.Platform
+module Reg = Scamv_isa.Reg
+module Splitmix = Scamv_util.Splitmix
+
+type config = {
+  platform : Platform.t;
+  spec_window : int;
+  spec_max_loads : int;
+  prefetch_threshold : int;
+  prefetch_fire_prob : float;
+  mispredict_noise : float;
+  speculative_forwarding : bool;
+  tlb_entries : int;
+  fuel : int;
+}
+
+let cortex_a53 =
+  {
+    platform = Platform.cortex_a53;
+    spec_window = 8;
+    spec_max_loads = 4;
+    prefetch_threshold = 3;
+    prefetch_fire_prob = 0.97;
+    mispredict_noise = 0.001;
+    speculative_forwarding = false;
+    tlb_entries = 10;
+    fuel = 10_000;
+  }
+
+let out_of_order =
+  {
+    cortex_a53 with
+    spec_window = 32;
+    spec_max_loads = 16;
+    speculative_forwarding = true;
+  }
+
+type event =
+  | Commit_load of int64
+  | Commit_store of int64
+  | Commit_branch of { pc : int; taken : bool; predicted : bool }
+  | Transient_load of int64
+  | Transient_suppressed of int
+  | Prefetch of int64
+
+type t = {
+  cfg : config;
+  cache : Cache.t;
+  tlb : Tlb.t;
+  prefetcher : Prefetcher.t;
+  predictor : Predictor.t;
+  mutable rng : Splitmix.t;
+  mutable cycles : int;
+}
+
+let create ?(seed = 0L) cfg =
+  {
+    cfg;
+    cache = Cache.create cfg.platform;
+    tlb = Tlb.create ~entries:cfg.tlb_entries cfg.platform;
+    prefetcher =
+      Prefetcher.create ~threshold:cfg.prefetch_threshold
+        ~fire_prob:cfg.prefetch_fire_prob cfg.platform;
+    predictor = Predictor.create ();
+    rng = Splitmix.of_seed seed;
+    cycles = 0;
+  }
+
+let config t = t.cfg
+let cache t = t.cache
+let tlb t = t.tlb
+let predictor t = t.predictor
+
+let reset_cache t =
+  Cache.reset t.cache;
+  Tlb.reset t.tlb;
+  Prefetcher.reset t.prefetcher
+
+let reset_predictor t = Predictor.reset t.predictor
+let last_run_cycles t = t.cycles
+
+(* Simple A53-flavoured timing model. *)
+let issue_cycles = 1
+let l1_hit_cycles = 3
+let l1_miss_cycles = 140
+let mispredict_penalty = 8
+let reseed t seed = t.rng <- Splitmix.of_seed seed
+
+let draw_float t =
+  let v, rng = Splitmix.float t.rng in
+  t.rng <- rng;
+  v
+
+(* A demand access (committed or transient load) goes through the cache
+   and feeds the prefetcher, which may trigger an additional fill. *)
+let demand_access t events addr =
+  ignore (Tlb.access t.tlb addr);
+  let outcome = Cache.access t.cache addr in
+  let rng = ref t.rng in
+  (match Prefetcher.observe t.prefetcher ~rng addr with
+  | Some target ->
+    Cache.fill t.cache target;
+    events := Prefetch target :: !events
+  | None -> ());
+  t.rng <- !rng;
+  outcome
+
+(* ---- transient (wrong-path) execution ---- *)
+
+(* Shadow register file with taint bits.  Reads fall back to the
+   architectural state; writes stay in the shadow. *)
+type shadow = {
+  machine : Machine.t;  (* architectural state, read-only here *)
+  values : (int, int64) Hashtbl.t;
+  tainted : (int, unit) Hashtbl.t;
+}
+
+let shadow_of machine = { machine; values = Hashtbl.create 8; tainted = Hashtbl.create 8 }
+
+let shadow_get sh r =
+  match Hashtbl.find_opt sh.values (Reg.index r) with
+  | Some v -> v
+  | None -> Machine.get_reg sh.machine r
+
+let shadow_set sh r v ~taint =
+  Hashtbl.replace sh.values (Reg.index r) v;
+  if taint then Hashtbl.replace sh.tainted (Reg.index r) ()
+  else Hashtbl.remove sh.tainted (Reg.index r)
+
+let shadow_tainted sh r = Hashtbl.mem sh.tainted (Reg.index r)
+
+let operand_value sh = function Ast.Reg r -> shadow_get sh r | Ast.Imm v -> v
+let operand_tainted sh = function Ast.Reg r -> shadow_tainted sh r | Ast.Imm _ -> false
+
+let address_value sh { Ast.base; offset; scale } =
+  Int64.add (shadow_get sh base) (Int64.shift_left (operand_value sh offset) scale)
+
+let address_tainted sh { Ast.base; offset; scale = _ } =
+  shadow_tainted sh base || operand_tainted sh offset
+
+let alu op a b =
+  match op with
+  | `Add -> Int64.add a b
+  | `Sub -> Int64.sub a b
+  | `And -> Int64.logand a b
+  | `Orr -> Int64.logor a b
+  | `Eor -> Int64.logxor a b
+  | `Lsl -> if Scamv_util.Bits.ult b 64L then Int64.shift_left a (Int64.to_int b) else 0L
+  | `Lsr ->
+    if Scamv_util.Bits.ult b 64L then Int64.shift_right_logical a (Int64.to_int b) else 0L
+  | `Asr ->
+    let k = if Scamv_util.Bits.ult b 64L then Int64.to_int b else 63 in
+    Int64.shift_right a (min k 63)
+
+(* Execute the wrong path transiently, starting at [pc].  Architectural
+   state is never modified; cache and prefetcher are.  [max_loads] is the
+   number of transient loads the window admits: 1 when the branch resolves
+   quickly, more when its compare was waiting on a memory load (Sec. 6.5:
+   "in some circumstances Cortex-A53 can execute more than one transient
+   load"). *)
+let transient_execute t events program machine ~start_pc ~max_loads =
+  let len = Array.length program in
+  let sh = shadow_of machine in
+  let loads = ref 0 in
+  let rec go pc steps =
+    if steps >= t.cfg.spec_window || pc < 0 || pc >= len then ()
+    else
+      let continue_at next = go next (steps + 1) in
+      match program.(pc) with
+      | Ast.B _ | Ast.B_cond _ ->
+        (* Depth-one speculation: a further branch ends the window. *)
+        ()
+      | Ast.Nop -> continue_at (pc + 1)
+      | Ast.Mov (d, op) ->
+        shadow_set sh d (operand_value sh op) ~taint:(operand_tainted sh op);
+        continue_at (pc + 1)
+      | Ast.Add (d, a, op) -> alu_step d a op `Add pc steps
+      | Ast.Sub (d, a, op) -> alu_step d a op `Sub pc steps
+      | Ast.And_ (d, a, op) -> alu_step d a op `And pc steps
+      | Ast.Orr (d, a, op) -> alu_step d a op `Orr pc steps
+      | Ast.Eor (d, a, op) -> alu_step d a op `Eor pc steps
+      | Ast.Lsl (d, a, op) -> alu_step d a op `Lsl pc steps
+      | Ast.Lsr (d, a, op) -> alu_step d a op `Lsr pc steps
+      | Ast.Asr (d, a, op) -> alu_step d a op `Asr pc steps
+      | Ast.Cmp _ ->
+        (* Transient flag updates are invisible to the channel and no
+           further transient branch consumes them (depth-one window). *)
+        continue_at (pc + 1)
+      | Ast.Str _ ->
+        (* No allocation before commit. *)
+        continue_at (pc + 1)
+      | Ast.Ldr (d, addr) ->
+        if
+          ((not t.cfg.speculative_forwarding) && address_tainted sh addr)
+          || !loads >= max_loads
+        then begin
+          (* The address depends on a previous transient load result: the
+             A53 cannot forward it, so no memory request is issued. *)
+          events := Transient_suppressed pc :: !events;
+          shadow_set sh d 0L ~taint:true;
+          continue_at (pc + 1)
+        end
+        else begin
+          let a = address_value sh addr in
+          incr loads;
+          events := Transient_load a :: !events;
+          ignore (demand_access t events a);
+          (* On the A53 the loaded value arrives but is unusable
+             downstream; a forwarding core taints nothing. *)
+          shadow_set sh d (Machine.load machine a) ~taint:(not t.cfg.speculative_forwarding);
+          continue_at (pc + 1)
+        end
+  and alu_step d a op kind pc steps =
+    let taint = shadow_tainted sh a || operand_tainted sh op in
+    shadow_set sh d (alu kind (shadow_get sh a) (operand_value sh op)) ~taint;
+    go (pc + 1) (steps + 1)
+  in
+  go start_pc 0
+
+(* ---- committed execution ---- *)
+
+(* How many committed instructions back a register load still delays a
+   dependent compare (roughly the L1 load-to-use window). *)
+let load_use_window = 4
+
+let run t program machine =
+  t.cycles <- 0;
+  let charge c = t.cycles <- t.cycles + c in
+  let events = ref [] in
+  let len = Array.length program in
+  (* Committed-instruction index at which each register was last loaded
+     from memory; drives the branch-resolution-latency rule above. *)
+  let loaded_at = Array.make Scamv_isa.Reg.count (-1) in
+  let instr_count = ref 0 in
+  (* Whether the flags currently in effect were produced by a compare
+     whose operands were waiting on a recent load. *)
+  let flags_delayed = ref false in
+  let rec go pc fuel =
+    if pc < 0 || pc >= len then ()
+    else if fuel = 0 then failwith "Core.run: fuel exhausted"
+    else begin
+      incr instr_count;
+      let next_pc =
+        match program.(pc) with
+        | Ast.B_cond (c, target) ->
+          let taken = Semantics.eval_cond (Machine.get_flags machine) c in
+          let predicted =
+            let p = Predictor.predict t.predictor pc in
+            if t.cfg.mispredict_noise > 0.0 && draw_float t < t.cfg.mispredict_noise then
+              not p
+            else p
+          in
+          Predictor.update t.predictor pc ~taken;
+          events := Commit_branch { pc; taken; predicted } :: !events;
+          charge issue_cycles;
+          if predicted <> taken then charge mispredict_penalty;
+          if predicted <> taken && t.cfg.spec_window > 0 then begin
+            let wrong_start = if predicted then min target len else pc + 1 in
+            (* A branch whose compare was not delayed by memory resolves
+               fast: the window only covers one load issue. *)
+            let max_loads =
+              if !flags_delayed || t.cfg.speculative_forwarding then t.cfg.spec_max_loads
+              else 1
+            in
+            transient_execute t events program machine ~start_pc:wrong_start ~max_loads
+          end;
+          if taken then target else pc + 1
+        | Ast.B target ->
+          (* Direct unconditional branch: predicted perfectly, no
+             straight-line speculation on the A53. *)
+          charge issue_cycles;
+          target
+        | instr ->
+          (match instr with
+          | Ast.Cmp (a, op) ->
+            let recently r =
+              let at = loaded_at.(Scamv_isa.Reg.index r) in
+              at >= 0 && !instr_count - at <= load_use_window
+            in
+            let op_recent = match op with Ast.Reg r -> recently r | Ast.Imm _ -> false in
+            flags_delayed := recently a || op_recent
+          | Ast.Ldr (d, _) -> loaded_at.(Scamv_isa.Reg.index d) <- !instr_count
+          | _ -> ());
+          let { Semantics.next_pc; events = arch_events } =
+            Semantics.step program machine pc
+          in
+          charge issue_cycles;
+          List.iter
+            (function
+              | Semantics.Load a ->
+                events := Commit_load a :: !events;
+                let outcome = demand_access t events a in
+                charge (match outcome with `Hit -> l1_hit_cycles | `Miss -> l1_miss_cycles)
+              | Semantics.Store a ->
+                events := Commit_store a :: !events;
+                (* Stores allocate on commit (write-allocate L1). *)
+                ignore (Tlb.access t.tlb a);
+                ignore (Cache.access t.cache a)
+              | Semantics.Fetch _ | Semantics.Branch _ -> ())
+            arch_events;
+          next_pc
+      in
+      go next_pc (fuel - 1)
+    end
+  in
+  go 0 t.cfg.fuel;
+  List.rev !events

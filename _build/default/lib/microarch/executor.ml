@@ -1,0 +1,80 @@
+module Machine = Scamv_isa.Machine
+module Splitmix = Scamv_util.Splitmix
+
+type view =
+  | Full_cache
+  | Region of { first_set : int; last_set : int }
+  | Tlb_state
+  | Total_time
+type verdict = Distinguishable | Indistinguishable | Inconclusive
+
+type config = {
+  core : Core.config;
+  view : view;
+  repetitions : int;
+  train_runs : int;
+}
+
+let default_config ?(view = Full_cache) () =
+  { core = Core.cortex_a53; view; repetitions = 10; train_runs = 5 }
+
+type experiment = {
+  program : Scamv_isa.Ast.program;
+  state1 : Machine.t;
+  state2 : Machine.t;
+  train : Machine.t list;
+}
+
+let take_view cfg core =
+  match cfg.view with
+  | Full_cache -> Cache.snapshot (Core.cache core)
+  | Region { first_set; last_set } ->
+    Cache.snapshot_region (Core.cache core) ~first_set ~last_set
+  | Tlb_state -> [ (0, Tlb.snapshot (Core.tlb core)) ]
+  | Total_time -> [ (0, [ Int64.of_int (Core.last_run_cycles core) ]) ]
+
+(* One measured run: fresh predictor, training executions (cache cleared
+   before each, predictor persists), then the measured execution from a
+   cold cache. *)
+let measured_run cfg core program ~train state =
+  Core.reset_predictor core;
+  List.iter
+    (fun st ->
+      Core.reset_cache core;
+      ignore (Core.run core program (Machine.copy st)))
+    (List.concat_map (fun st -> List.init cfg.train_runs (fun _ -> st)) train);
+  Core.reset_cache core;
+  ignore (Core.run core program (Machine.copy state));
+  take_view cfg core
+
+(* Repeat a measured run and demand identical cache dumps. *)
+let stable_view cfg core rng program ~train state =
+  let rec go i prev =
+    if i >= cfg.repetitions then Some prev
+    else begin
+      let seed, rng' = Splitmix.next !rng in
+      rng := rng';
+      Core.reseed core seed;
+      let v = measured_run cfg core program ~train state in
+      if Cache.equal_snapshot v prev then go (i + 1) prev else None
+    end
+  in
+  let seed, rng' = Splitmix.next !rng in
+  rng := rng';
+  Core.reseed core seed;
+  let first = measured_run cfg core program ~train state in
+  go 1 first
+
+let run ?(seed = 0L) cfg { program; state1; state2; train } =
+  let core = Core.create cfg.core in
+  let rng = ref (Splitmix.of_seed seed) in
+  match stable_view cfg core rng program ~train state1 with
+  | None -> Inconclusive
+  | Some v1 -> (
+    match stable_view cfg core rng program ~train state2 with
+    | None -> Inconclusive
+    | Some v2 -> if Cache.equal_snapshot v1 v2 then Indistinguishable else Distinguishable)
+
+let observe_once ?(seed = 0L) cfg program ~train state =
+  let core = Core.create ~seed cfg.core in
+  measured_run cfg core program ~train state

@@ -1,0 +1,15 @@
+type t = { core : Core.t }
+
+let hit_cycles = 40
+let miss_cycles = 220
+
+let create ?seed cfg = { core = Core.create ?seed cfg }
+let core t = t.core
+let flush t addr = Cache.flush_line (Core.cache t.core) addr
+
+let reload_time t addr =
+  let hit = Cache.contains (Core.cache t.core) addr in
+  ignore (Cache.access (Core.cache t.core) addr);
+  if hit then hit_cycles else miss_cycles
+
+let was_cached t addr = reload_time t addr < (hit_cycles + miss_cycles) / 2

@@ -1,0 +1,23 @@
+(** Flush+Reload measurement primitive (Sec. 2.1), used by the SiSCloak
+    end-to-end attack demonstration (Sec. 6.4) instead of the privileged
+    cache dump: the attacker flushes a line, lets the victim run, then
+    times a reload using the cycle counter (PMC). *)
+
+type t
+
+val create : ?seed:int64 -> Core.config -> t
+
+val core : t -> Core.t
+(** The core shared between attacker and victim. *)
+
+val flush : t -> int64 -> unit
+
+val reload_time : t -> int64 -> int
+(** Timed access in cycles; the access allocates the line (as a real
+    reload would). *)
+
+val hit_cycles : int
+val miss_cycles : int
+
+val was_cached : t -> int64 -> bool
+(** [reload_time] compared against the hit/miss threshold. *)

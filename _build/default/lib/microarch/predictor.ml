@@ -1,0 +1,17 @@
+type t = { counters : int array; mask : int }
+
+let create ?(entries = 256) () =
+  if entries <= 0 || entries land (entries - 1) <> 0 then
+    invalid_arg "Predictor.create: entries must be a positive power of two";
+  { counters = Array.make entries 1 (* weakly not taken *); mask = entries - 1 }
+
+let reset t = Array.fill t.counters 0 (Array.length t.counters) 1
+let slot t pc = pc land t.mask
+let predict t pc = t.counters.(slot t pc) >= 2
+
+let update t pc ~taken =
+  let i = slot t pc in
+  let c = t.counters.(i) in
+  t.counters.(i) <- (if taken then min 3 (c + 1) else max 0 (c - 1))
+
+let counter t pc = t.counters.(slot t pc)

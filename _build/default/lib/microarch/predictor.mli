@@ -1,0 +1,14 @@
+(** Pattern-history-table branch predictor: 2-bit saturating counters
+    indexed by the branch's program counter (Sec. 4.2.2).  Counters start
+    at "weakly not taken", so untrained branches predict not-taken. *)
+
+type t
+
+val create : ?entries:int -> unit -> t
+(** [entries] must be a power of two (default 256). *)
+
+val reset : t -> unit
+val predict : t -> int -> bool
+val update : t -> int -> taken:bool -> unit
+val counter : t -> int -> int
+(** Raw counter value (0..3) of the entry a pc maps to, for tests. *)

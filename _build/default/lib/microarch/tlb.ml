@@ -1,0 +1,31 @@
+module Platform = Scamv_isa.Platform
+
+type t = {
+  platform : Platform.t;
+  entries : int;
+  mutable pages : int64 list;  (* most recently used first *)
+}
+
+let create ?(entries = 10) platform =
+  if entries <= 0 then invalid_arg "Tlb.create: entries must be positive";
+  { platform; entries; pages = [] }
+
+let reset t = t.pages <- []
+
+let access t addr =
+  let page = Platform.page_index t.platform addr in
+  let present = List.exists (Int64.equal page) t.pages in
+  let others = List.filter (fun p -> not (Int64.equal page p)) t.pages in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | p :: rest -> p :: take (n - 1) rest
+  in
+  t.pages <- page :: take (t.entries - 1) others;
+  if present then `Hit else `Miss
+
+let contains t addr =
+  let page = Platform.page_index t.platform addr in
+  List.exists (Int64.equal page) t.pages
+
+let snapshot t = List.sort Int64.unsigned_compare t.pages

@@ -1,0 +1,22 @@
+(** Data micro-TLB: fully associative, LRU, page granularity.
+
+    Models the Cortex-A53 10-entry data micro-TLB.  The TLB is a second
+    side channel (Sec. 2.3 lists TLB state among the channels Scam-V can
+    be extended to): two executions touching the same cache lines can
+    still be distinguished by which *pages* they walked. *)
+
+type t
+
+val create : ?entries:int -> Scamv_isa.Platform.t -> t
+(** [entries] defaults to 10 (the A53 data micro-TLB). *)
+
+val reset : t -> unit
+
+val access : t -> int64 -> [ `Hit | `Miss ]
+(** Translate a byte address: LRU-touches (and allocates) its page. *)
+
+val contains : t -> int64 -> bool
+(** Whether the page of the address is currently resident. *)
+
+val snapshot : t -> int64 list
+(** Resident page numbers, sorted — the attacker's TLB-probing view. *)

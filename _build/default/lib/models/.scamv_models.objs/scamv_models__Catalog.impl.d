@@ -1,0 +1,1 @@
+lib/models/catalog.ml: Int64 List Model Region Scamv_bir Scamv_isa Scamv_smt Speculation

@@ -1,0 +1,1 @@
+lib/models/catalog.mli: Model Region Scamv_isa

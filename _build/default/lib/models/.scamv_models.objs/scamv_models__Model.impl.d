@@ -1,0 +1,1 @@
+lib/models/model.ml: List Scamv_bir Speculation

@@ -1,0 +1,1 @@
+lib/models/model.mli: Scamv_bir Scamv_isa Speculation

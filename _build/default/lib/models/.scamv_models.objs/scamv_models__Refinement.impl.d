@@ -1,0 +1,1 @@
+lib/models/refinement.ml: Catalog List Model Option Printf Scamv_bir Speculation

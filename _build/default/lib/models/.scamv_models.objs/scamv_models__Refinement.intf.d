@@ -1,0 +1,1 @@
+lib/models/refinement.mli: Model Region Scamv_bir Scamv_isa Speculation

@@ -1,0 +1,1 @@
+lib/models/region.ml: Format Int64 Scamv_isa Scamv_smt

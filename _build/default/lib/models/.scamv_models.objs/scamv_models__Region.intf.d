@@ -1,0 +1,1 @@
+lib/models/region.mli: Format Scamv_isa Scamv_smt

@@ -1,0 +1,1 @@
+lib/models/speculation.ml: Array List Map Scamv_bir Scamv_isa Scamv_smt String

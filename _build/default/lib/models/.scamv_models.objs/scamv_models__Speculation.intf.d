@@ -1,0 +1,1 @@
+lib/models/speculation.mli: Scamv_bir Scamv_isa

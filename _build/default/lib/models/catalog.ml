@@ -1,0 +1,180 @@
+module Term = Scamv_smt.Term
+module Obs = Scamv_bir.Obs
+module Lifter = Scamv_bir.Lifter
+module Vars = Scamv_bir.Vars
+module Reg = Scamv_isa.Reg
+
+type t = Model.t
+
+let no_hooks ~tag:_ = Lifter.no_hooks
+
+let pc_obs ~tag ~pc = Obs.make ~tag ~kind:"pc" [ Term.bv_const (Int64.of_int pc) 64 ]
+
+let pc_hooks ~tag =
+  { Lifter.no_hooks with Lifter.on_fetch = (fun ~pc -> [ pc_obs ~tag ~pc ]) }
+
+let addr_hooks ~tag =
+  let obs ~pc:_ ~addr = [ Obs.make ~tag ~kind:"load_addr" [ addr ] ] in
+  { Lifter.no_hooks with Lifter.on_load = obs; on_store = obs }
+
+let mpc =
+  {
+    Model.name = "Mpc";
+    description = "observes the program counter of every instruction (path coverage)";
+    hooks = pc_hooks;
+    spec = None;
+  }
+
+let mct =
+  {
+    Model.name = "Mct";
+    description = "constant-time model: program counter and every accessed address";
+    hooks = (fun ~tag -> Model.merge_hooks [ pc_hooks ~tag; addr_hooks ~tag ]);
+    spec = None;
+  }
+
+let mline platform =
+  let obs ~tag ~pc:_ ~addr =
+    [ Obs.make ~tag ~kind:"cache_line" [ Region.set_index_term platform addr ] ]
+  in
+  {
+    Model.name = "Mline";
+    description = "observes the cache set index of every access (line coverage)";
+    hooks =
+      (fun ~tag ->
+        { Lifter.no_hooks with Lifter.on_load = obs ~tag; on_store = obs ~tag });
+    spec = None;
+  }
+
+let mpage platform =
+  let obs ~tag ~pc:_ ~addr =
+    let page =
+      Term.lshr addr (Term.bv_const (Int64.of_int platform.Scamv_isa.Platform.page_shift) 64)
+    in
+    [ Obs.make ~tag ~kind:"page" [ page ] ]
+  in
+  {
+    Model.name = "Mpage";
+    description = "observes the page index of every access (TLB channel)";
+    hooks =
+      (fun ~tag ->
+        { Lifter.no_hooks with Lifter.on_load = obs ~tag; on_store = obs ~tag });
+    spec = None;
+  }
+
+let mpart platform region =
+  let obs ~tag ~pc:_ ~addr =
+    [
+      Obs.make ~tag ~kind:"ar_addr"
+        ~cond:(Region.contains_term platform region addr)
+        [ addr ];
+    ]
+  in
+  {
+    Model.name = "Mpart";
+    description =
+      "cache-partitioning model: addresses of accesses in the attacker region";
+    hooks =
+      (fun ~tag ->
+        { Lifter.no_hooks with Lifter.on_load = obs ~tag; on_store = obs ~tag });
+    spec = None;
+  }
+
+let mpart_refined platform region =
+  (* The extra observations of Mpart' over Mpart: the cache set index of
+     accesses outside the attacker region.  Requiring these to differ
+     steers generation towards pairs whose hidden accesses land in
+     different sets - the prerequisite for distinguishable prefetches. *)
+  let obs ~tag ~pc:_ ~addr =
+    [
+      Obs.make ~tag ~kind:"non_ar_line"
+        ~cond:(Term.not_ (Region.contains_term platform region addr))
+        [ Region.set_index_term platform addr ];
+    ]
+  in
+  {
+    Model.name = "Mpart'";
+    description = "refinement of Mpart: set indexes of accesses outside the region";
+    hooks =
+      (fun ~tag ->
+        { Lifter.no_hooks with Lifter.on_load = obs ~tag; on_store = obs ~tag });
+    spec = None;
+  }
+
+let mspec ?window () =
+  {
+    Model.name = "Mspec";
+    description = "Mct plus all transient loads of mispredicted branches";
+    hooks = mct.Model.hooks;
+    spec =
+      Some
+        (fun ~tag ->
+          let base = Speculation.mspec ?window () in
+          { base with Speculation.load_tag = (fun _ -> Some tag) });
+  }
+
+let mspec1 ?window () =
+  {
+    Model.name = "Mspec1";
+    description = "Mct plus the first transient load of mispredicted branches";
+    hooks = mct.Model.hooks;
+    spec =
+      Some
+        (fun ~tag ->
+          let base = Speculation.mspec1 ?window () in
+          {
+            base with
+            Speculation.load_tag = (fun i -> if i = 0 then Some tag else None);
+          });
+  }
+
+let mspec_straight_line ?window () =
+  {
+    Model.name = "Mspec'";
+    description = "Mct plus transient loads after unconditional direct branches";
+    hooks = mct.Model.hooks;
+    spec =
+      Some
+        (fun ~tag ->
+          let base = Speculation.mspec_straight_line ?window () in
+          { base with Speculation.load_tag = (fun _ -> Some tag) });
+  }
+
+let mfull =
+  let fetch ~tag ~pc =
+    let regs = List.map (fun r -> Vars.reg_term r) Reg.all in
+    [ pc_obs ~tag ~pc; Obs.make ~tag ~kind:"regfile" regs ]
+  in
+  {
+    Model.name = "Mfull";
+    description =
+      "observes the program counter and the whole register file: trivially sound";
+    hooks =
+      (fun ~tag ->
+        Model.merge_hooks
+          [
+            { Lifter.no_hooks with Lifter.on_fetch = fetch ~tag };
+            addr_hooks ~tag;
+          ]);
+    spec = None;
+  }
+
+let mempty =
+  {
+    Model.name = "Mempty";
+    description = "observes nothing: all states equivalent";
+    hooks = no_hooks;
+    spec = None;
+  }
+
+let all_static platform region =
+  [
+    mpc;
+    mct;
+    mline platform;
+    mpage platform;
+    mpart platform region;
+    mpart_refined platform region;
+    mfull;
+    mempty;
+  ]

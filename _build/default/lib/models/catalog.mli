@@ -1,0 +1,40 @@
+(** The observational models of the paper (Sec. 4).
+
+    - {!mpc}: program-counter model, the path-coverage support model
+      (Sec. 4.1.1).
+    - {!mline}: cache-set-index model, the line-coverage support model
+      (Sec. 4.1.2); observes the set index of every access.
+    - {!mct}: constant-time model (Sec. 4.2.2): program counter plus every
+      accessed address.
+    - {!mpart}: cache-partitioning model (Sec. 4.2.1): addresses of
+      accesses within the attacker-accessible region only.
+    - {!mpart_refined}: its refinement [Mpart']: additionally the set
+      index of accesses *outside* the region (the extra observations that
+      guide the search towards prefetch-triggering states).
+    - {!mspec}, {!mspec1}, {!mspec_straight_line}: speculative models
+      (Sec. 4.2.2 and 6.5) built on {!Speculation}.
+    - {!mfull} / {!mempty}: the trivially sound / trivially coarse
+      extremes of the refinement order (Sec. 3). *)
+
+type t = Model.t
+
+val mpc : t
+val mct : t
+val mline : Scamv_isa.Platform.t -> t
+
+(** Observes the *page index* of every access: the natural model of the
+    TLB side channel (Sec. 2.3 lists TLB state among the channels the
+    framework extends to).  Sound against a TLB-probing attacker but
+    unsound against the cache channel, which resolves below page
+    granularity — the demonstration workload of [examples/tlb_channel]. *)
+val mpage : Scamv_isa.Platform.t -> t
+val mpart : Scamv_isa.Platform.t -> Region.t -> t
+val mpart_refined : Scamv_isa.Platform.t -> Region.t -> t
+val mspec : ?window:int -> unit -> t
+val mspec1 : ?window:int -> unit -> t
+val mspec_straight_line : ?window:int -> unit -> t
+val mfull : t
+val mempty : t
+
+val all_static : Scamv_isa.Platform.t -> Region.t -> t list
+(** Every non-speculative model, for the documentation examples. *)

@@ -1,0 +1,24 @@
+module Lifter = Scamv_bir.Lifter
+module Obs = Scamv_bir.Obs
+
+type t = {
+  name : string;
+  description : string;
+  hooks : tag:Obs.tag -> Lifter.hooks;
+  spec : (tag:Obs.tag -> Speculation.config) option;
+}
+
+let merge_hooks hook_list =
+  {
+    Lifter.on_fetch = (fun ~pc -> List.concat_map (fun h -> h.Lifter.on_fetch ~pc) hook_list);
+    on_load = (fun ~pc ~addr -> List.concat_map (fun h -> h.Lifter.on_load ~pc ~addr) hook_list);
+    on_store = (fun ~pc ~addr -> List.concat_map (fun h -> h.Lifter.on_store ~pc ~addr) hook_list);
+    on_branch =
+      (fun ~pc ~cond -> List.concat_map (fun h -> h.Lifter.on_branch ~pc ~cond) hook_list);
+  }
+
+let annotate ?(tag = Obs.Base) model program =
+  let bir = Lifter.lift ~hooks:(model.hooks ~tag) program in
+  match model.spec with
+  | None -> bir
+  | Some spec -> Speculation.instrument (spec ~tag) program bir

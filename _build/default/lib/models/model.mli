@@ -1,0 +1,23 @@
+(** Observational models as instrumentation recipes.
+
+    A model is a set of ISA-level observation hooks plus an optional
+    speculative instrumentation; {!annotate} produces the BIR program the
+    symbolic engine runs (the "observation augmentation" phase).  Models
+    compose: {!Refinement} builds the combined [M1 /\ not M2] programs. *)
+
+type t = {
+  name : string;
+  description : string;
+  hooks : tag:Scamv_bir.Obs.tag -> Scamv_bir.Lifter.hooks;
+      (** the model's observations, emitted with the given tag *)
+  spec : (tag:Scamv_bir.Obs.tag -> Speculation.config) option;
+      (** speculative instrumentation, if the model observes transient
+          behaviour *)
+}
+
+val annotate : ?tag:Scamv_bir.Obs.tag -> t -> Scamv_isa.Ast.program -> Scamv_bir.Program.t
+(** Instrument a program with this model's observations only (default tag
+    [Base]). *)
+
+val merge_hooks : Scamv_bir.Lifter.hooks list -> Scamv_bir.Lifter.hooks
+(** Concatenate the observations of several hook sets, in order. *)

@@ -1,0 +1,138 @@
+module Term = Scamv_smt.Term
+module Sort = Scamv_smt.Sort
+module Ast = Scamv_isa.Ast
+module Obs = Scamv_bir.Obs
+module Program = Scamv_bir.Program
+module Lifter = Scamv_bir.Lifter
+module Vars = Scamv_bir.Vars
+module String_map = Map.Make (String)
+
+type config = {
+  max_instrs : int;
+  load_tag : int -> Obs.tag option;
+  instrument_uncond : bool;
+}
+
+let mspec ?(window = 8) () =
+  { max_instrs = window; load_tag = (fun _ -> Some Obs.Refined); instrument_uncond = false }
+
+let mspec1 ?(window = 8) () =
+  {
+    max_instrs = window;
+    load_tag = (fun i -> Some (if i = 0 then Obs.Base else Obs.Refined));
+    instrument_uncond = false;
+  }
+
+let mspec_straight_line ?(window = 8) () =
+  { max_instrs = window; load_tag = (fun _ -> Some Obs.Refined); instrument_uncond = true }
+
+let spec_load_kind = "spec_load"
+
+(* Straight-line wrong-path slice starting at [from_pc]: stop at program
+   end, at any branch, at the join point [stop_at], or at the window
+   bound. *)
+let collect_wrong_path program ~from_pc ~stop_at ~max_instrs =
+  let len = Array.length program in
+  let rec go pc n acc =
+    if n >= max_instrs || pc >= len || pc = stop_at then List.rev acc
+    else
+      let instr = program.(pc) in
+      if Ast.is_branch instr then List.rev acc else go (pc + 1) (n + 1) (instr :: acc)
+  in
+  go from_pc 0 []
+
+(* Turn a wrong-path instruction slice into shadow statements.  The
+   renaming map sends canonical variable names to their current shadow
+   name once written; unwritten variables still read the architectural
+   state, which is exactly the transient-copy semantics of Fig. 4. *)
+let shadow_stmts config instrs =
+  let var_of_sort name = function
+    | Sort.Bv w -> Term.bv_var name w
+    | Sort.Bool -> Term.bool_var name
+    | Sort.Mem -> Term.mem_var name
+  in
+  let apply_renaming renaming term =
+    Term.subst
+      (fun name sort ->
+        match String_map.find_opt name renaming with
+        | None -> None
+        | Some name' -> Some (var_of_sort name' sort))
+      term
+  in
+  let step (renaming, load_index, stmts_rev) instr =
+    let assigns = Lifter.instr_assigns instr in
+    let observation =
+      match instr with
+      | Ast.Ldr (_, addr) -> (
+        match config.load_tag load_index with
+        | None -> []
+        | Some tag ->
+          let addr_term = apply_renaming renaming (Lifter.address_term addr) in
+          [ Program.Observe (Obs.make ~tag ~kind:spec_load_kind [ addr_term ]) ])
+      | _ -> []
+    in
+    let renaming, assign_stmts_rev =
+      List.fold_left
+        (fun (renaming, acc) (x, e) ->
+          let e' = apply_renaming renaming e in
+          let x' = Vars.shadow x in
+          (String_map.add x x' renaming, Program.Assign (x', e') :: acc))
+        (renaming, []) assigns
+    in
+    let load_index = if Ast.is_load instr then load_index + 1 else load_index in
+    (renaming, load_index, List.rev_append assign_stmts_rev (List.rev_append observation stmts_rev))
+  in
+  let _, _, stmts_rev = List.fold_left step (String_map.empty, 0, []) instrs in
+  List.rev stmts_rev
+
+let instrument config isa_program bir =
+  let len = Array.length isa_program in
+  let next_id = ref (Program.fresh_id bir) in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let stubs = ref [] in
+  (* Returns the id the edge should point to: either the original
+     successor or a new stub block carrying the shadow statements. *)
+  let edge_with_shadow ~succ ~wrong_path_start ~stop_at =
+    let slice =
+      collect_wrong_path isa_program ~from_pc:wrong_path_start ~stop_at
+        ~max_instrs:config.max_instrs
+    in
+    match shadow_stmts config slice with
+    | [] -> succ
+    | stmts ->
+      let id = fresh () in
+      stubs := { Program.id; stmts; term = Program.Jmp succ } :: !stubs;
+      id
+  in
+  let rewire (b : Program.block) =
+    if b.id >= len then b
+    else
+      match (isa_program.(b.id), b.term) with
+      | Ast.B_cond (_, target), Program.Cjmp (c, then_id, else_id) ->
+        (* On the taken edge the CPU mispredicted "not taken" and runs the
+           fall-through arm transiently, and vice versa. *)
+        let taken_edge =
+          edge_with_shadow ~succ:then_id ~wrong_path_start:(b.id + 1)
+            ~stop_at:(min target len)
+        in
+        let fall_edge =
+          edge_with_shadow ~succ:else_id ~wrong_path_start:(min target len)
+            ~stop_at:(b.id + 1)
+        in
+        { b with term = Program.Cjmp (c, taken_edge, fall_edge) }
+      | Ast.B target, Program.Jmp succ when config.instrument_uncond ->
+        (* Straight-line speculation: the wrong path is the code textually
+           after the unconditional branch. *)
+        ignore target;
+        let edge =
+          edge_with_shadow ~succ ~wrong_path_start:(b.id + 1) ~stop_at:(-1)
+        in
+        { b with term = Program.Jmp edge }
+      | _ -> b
+  in
+  let rewired = Program.map_blocks rewire bir in
+  Program.add_blocks !stubs rewired

@@ -1,0 +1,46 @@
+(** Speculative observation instrumentation (Sec. 4.2.2, Fig. 4).
+
+    For every conditional branch, the statements of each branch arm are
+    inlined as *shadow statements* at the start of the opposite arm:
+    shadow statements operate on shadow variables (a transient copy of the
+    state at prediction time) and emit observations for the memory loads
+    the CPU could issue while running the wrong path.  Shadow statements
+    never modify architectural variables, so the instrumented program is
+    observationally transparent to the non-speculative models.
+
+    The transformation is performed by inserting stub blocks on the branch
+    edges, so a join block shared with other paths never receives foreign
+    shadow code.
+
+    Variants of the paper are expressed through {!config}:
+    - [Mspec]  : [load_tag i = Some Refined] for all [i];
+    - [Mspec1] : first transient load [Base] (part of the model under
+      validation), the rest [Refined];
+    - [Mspec'] : [instrument_uncond = true], turning unconditional direct
+      branches into tautological conditionals (straight-line
+      speculation). *)
+
+type config = {
+  max_instrs : int;
+      (** transient window: how many wrong-path instructions are inlined *)
+  load_tag : int -> Scamv_bir.Obs.tag option;
+      (** observation tag for the [i]-th (0-based) transient load of an
+          arm; [None] leaves the load unobserved (it still updates the
+          shadow state) *)
+  instrument_uncond : bool;
+      (** also instrument unconditional direct branches (straight-line
+          speculation, Sec. 6.5) *)
+}
+
+val mspec : ?window:int -> unit -> config
+val mspec1 : ?window:int -> unit -> config
+val mspec_straight_line : ?window:int -> unit -> config
+
+val spec_load_kind : string
+(** The [Obs.kind] used for transient load observations. *)
+
+val instrument :
+  config -> Scamv_isa.Ast.program -> Scamv_bir.Program.t -> Scamv_bir.Program.t
+(** [instrument cfg isa bir] adds shadow stub blocks to the lifted [bir]
+    of [isa].  Block ids of [bir] must equal instruction indexes (as
+    produced by {!Scamv_bir.Lifter.lift}). *)

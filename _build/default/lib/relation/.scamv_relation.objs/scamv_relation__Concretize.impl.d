@@ -1,0 +1,1 @@
+lib/relation/concretize.ml: List Scamv_bir Scamv_isa Scamv_smt Synth

@@ -1,0 +1,1 @@
+lib/relation/concretize.mli: Scamv_isa Scamv_smt

@@ -1,0 +1,1 @@
+lib/relation/synth.ml: Array Fun Int64 List Printf Scamv_bir Scamv_isa Scamv_smt Scamv_symbolic Set Stdlib String

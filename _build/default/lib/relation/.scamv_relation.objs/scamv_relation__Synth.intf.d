@@ -1,0 +1,1 @@
+lib/relation/synth.mli: Scamv_isa Scamv_smt Scamv_symbolic

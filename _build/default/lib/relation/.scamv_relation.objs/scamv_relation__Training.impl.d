@@ -1,0 +1,1 @@
+lib/relation/training.ml: Array Concretize Hashtbl List Scamv_smt Scamv_symbolic Synth

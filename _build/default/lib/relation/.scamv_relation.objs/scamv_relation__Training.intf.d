@@ -1,0 +1,1 @@
+lib/relation/training.mli: Scamv_isa Scamv_symbolic

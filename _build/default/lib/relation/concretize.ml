@@ -1,0 +1,29 @@
+module Model = Scamv_smt.Model
+module Machine = Scamv_isa.Machine
+module Reg = Scamv_isa.Reg
+module Vars = Scamv_bir.Vars
+
+let machine_of_model ~suffix model =
+  let m = Machine.create () in
+  List.iter
+    (fun r ->
+      match Model.find_var model (Vars.reg r ^ suffix) with
+      | Some (Model.Bv (v, _)) -> Machine.set_reg m r v
+      | Some (Model.Bool _) | None -> ())
+    Reg.all;
+  let flag name = Model.bool_exn model (name ^ suffix) in
+  Machine.set_flags m
+    {
+      Machine.n = flag Vars.flag_n;
+      z = flag Vars.flag_z;
+      c = flag Vars.flag_c;
+      v = flag Vars.flag_v;
+    };
+  List.iter
+    (fun (addr, value) -> Machine.store m addr value)
+    (Model.mem_cells model (Vars.mem_name ^ suffix));
+  m
+
+let test_states model =
+  ( machine_of_model ~suffix:Synth.suffix1 model,
+    machine_of_model ~suffix:Synth.suffix2 model )

@@ -1,0 +1,12 @@
+(** Turning SMT models into concrete machine states (the "generate test
+    case" step).  A model assigns the suffixed variables of one or both
+    states; this module reads one suffix back into an architectural
+    {!Scamv_isa.Machine.t}: registers, flags, and the memory cells the
+    relation constrained (everything else is zero, matching the platform
+    module's memory initialization). *)
+
+val machine_of_model : suffix:string -> Scamv_smt.Model.t -> Scamv_isa.Machine.t
+
+val test_states :
+  Scamv_smt.Model.t -> Scamv_isa.Machine.t * Scamv_isa.Machine.t
+(** Both states of a test case (suffixes ["_1"] and ["_2"]). *)

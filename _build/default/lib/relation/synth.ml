@@ -1,0 +1,196 @@
+module Term = Scamv_smt.Term
+module Sort = Scamv_smt.Sort
+module Obs = Scamv_bir.Obs
+module Exec = Scamv_symbolic.Exec
+module Platform = Scamv_isa.Platform
+
+type config = {
+  platform : Platform.t;
+  require_refined_difference : bool;
+}
+
+let suffix1 = "_1"
+let suffix2 = "_2"
+let suffix_train = "_t"
+
+type pair_relation = {
+  leaf1 : int;
+  leaf2 : int;
+  assertions : Term.t list;
+  coverage_track : (string * Sort.t) list;
+  register_track : (string * Sort.t) list;
+}
+
+let rename_obs suffix o = Obs.map_terms (Term.rename (fun v -> v ^ suffix)) o
+let rename_term suffix t = Term.rename (fun v -> v ^ suffix) t
+
+let by_tag tag obs = List.filter (fun (o : Obs.t) -> o.Obs.tag = tag) obs
+
+let widths_of (o : Obs.t) =
+  List.map
+    (fun v -> match Term.sort_of v with Sort.Bv w -> w | _ -> -1)
+    o.Obs.values
+
+(* Two observation lists are structurally compatible when they can be
+   compared position by position. *)
+let compatible obs1 obs2 =
+  List.length obs1 = List.length obs2
+  && List.for_all2
+       (fun (a : Obs.t) (b : Obs.t) ->
+         String.equal a.Obs.kind b.Obs.kind && widths_of a = widths_of b)
+       obs1 obs2
+
+let compatible_pairs leaves =
+  let leaves = Array.of_list leaves in
+  let n = Array.length leaves in
+  let base i = by_tag Obs.Base leaves.(i).Exec.obs in
+  let diagonal = ref [] and mixed = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if compatible (base i) (base j) then
+        if i = j then diagonal := (i, i) :: !diagonal
+        else if i < j then mixed := (i, j) :: !mixed
+  (* (j, i) is symmetric to (i, j); exploring one orientation suffices *)
+    done
+  done;
+  !diagonal @ !mixed
+
+(* Pointwise equality of two (renamed) observations: the conditions must
+   agree, and when they fire the values must agree — exactly the shape of
+   the Mpart relation displayed in Sec. 4.2.1. *)
+let obs_equal (o1 : Obs.t) (o2 : Obs.t) =
+  let values_eq = Term.and_l (List.map2 Term.eq o1.Obs.values o2.Obs.values) in
+  Term.and_ (Term.iff o1.Obs.cond o2.Obs.cond) (Term.implies o1.Obs.cond values_eq)
+
+let obs_list_equal obs1 obs2 =
+  if not (compatible obs1 obs2) then Term.ff
+  else Term.and_l (List.map2 obs_equal obs1 obs2)
+
+(* Negation of pointwise equality, for the refined observations: either
+   the conditions disagree, or both fire with different values. *)
+let obs_differ (o1 : Obs.t) (o2 : Obs.t) =
+  let values_neq = Term.or_l (List.map2 Term.neq o1.Obs.values o2.Obs.values) in
+  Term.or_
+    (Term.not_ (Term.iff o1.Obs.cond o2.Obs.cond))
+    (Term.and_l [ o1.Obs.cond; o2.Obs.cond; values_neq ])
+
+let obs_list_differ obs1 obs2 =
+  if not (compatible obs1 obs2) then Term.tt
+  else Term.or_l (List.map2 obs_differ obs1 obs2)
+
+let in_range (p : Platform.t) addr =
+  Term.and_
+    (Term.ule (Term.bv_const p.Platform.mem_base 64) addr)
+    (Term.ult addr (Term.bv_const (Int64.add p.Platform.mem_base p.Platform.mem_size) 64))
+
+let range_constraints platform obs =
+  List.concat_map
+    (fun (o : Obs.t) ->
+      List.map (fun v -> Term.implies o.Obs.cond (in_range platform v)) o.Obs.values)
+    (by_tag Obs.Platform obs)
+
+let range_constraints_of_leaf platform (leaf : Exec.leaf) =
+  range_constraints platform leaf.Exec.obs
+
+(* Input variables the relation mentions, restricted to registers and
+   flags.  Unguided enumeration blocks on exactly these (the original
+   Scam-V pipeline enumerated register assignments; memory completion is
+   left to the solver's defaults), so unguided test cases naturally come
+   out "too similar" in the paper's sense — the refined relation is what
+   forces a difference that matters. *)
+let register_inputs assertions =
+  let module S = Set.Make (struct
+    type t = string * Sort.t
+
+    let compare = Stdlib.compare
+  end) in
+  List.fold_left
+    (fun acc t ->
+      List.fold_left
+        (fun acc (name, sort) ->
+          match sort with Sort.Mem -> acc | Sort.Bv _ | Sort.Bool -> S.add (name, sort) acc)
+        acc (Term.free_vars t))
+    S.empty assertions
+  |> S.elements
+
+let pair_relation config leaves (i, j) =
+  let leaves = Array.of_list leaves in
+  let leaf1 = leaves.(i) and leaf2 = leaves.(j) in
+  let obs1 = List.map (rename_obs suffix1) leaf1.Exec.obs in
+  let obs2 = List.map (rename_obs suffix2) leaf2.Exec.obs in
+  let base_eq = obs_list_equal (by_tag Obs.Base obs1) (by_tag Obs.Base obs2) in
+  if Term.equal base_eq Term.ff then None
+  else begin
+    let refined1 = by_tag Obs.Refined obs1 and refined2 = by_tag Obs.Refined obs2 in
+    let refined_req =
+      if config.require_refined_difference then
+        if refined1 = [] && refined2 = [] then None
+        else Some (obs_list_differ refined1 refined2)
+      else Some Term.tt
+    in
+    match refined_req with
+    | None -> None
+    | Some refined_differ ->
+      if Term.equal refined_differ Term.ff then None
+      else begin
+        let coverage =
+          List.mapi
+            (fun k (o : Obs.t) -> (Printf.sprintf "cov!%d" k, o))
+            (by_tag Obs.Coverage obs1 @ by_tag Obs.Coverage obs2)
+        in
+        let coverage_defs =
+          List.concat_map
+            (fun (name, (o : Obs.t)) ->
+              List.mapi
+                (fun v_idx v ->
+                  match Term.sort_of v with
+                  | Sort.Bv w ->
+                    Term.eq (Term.bv_var (Printf.sprintf "%s!%d" name v_idx) w) v
+                  | _ -> Term.tt)
+                o.Obs.values)
+            coverage
+        in
+        let coverage_track =
+          List.concat_map
+            (fun (name, (o : Obs.t)) ->
+              List.mapi
+                (fun v_idx v ->
+                  match Term.sort_of v with
+                  | Sort.Bv w -> Some (Printf.sprintf "%s!%d" name v_idx, Sort.Bv w)
+                  | _ -> None)
+                o.Obs.values
+              |> List.filter_map Fun.id)
+            coverage
+        in
+        let assertions =
+          [
+            rename_term suffix1 leaf1.Exec.path_cond;
+            rename_term suffix2 leaf2.Exec.path_cond;
+            base_eq;
+            refined_differ;
+          ]
+          @ List.map (rename_term suffix1) (range_constraints config.platform leaf1.Exec.obs)
+          @ List.map (rename_term suffix2) (range_constraints config.platform leaf2.Exec.obs)
+          @ coverage_defs
+        in
+        Some
+          {
+            leaf1 = i;
+            leaf2 = j;
+            assertions;
+            coverage_track;
+            register_track = register_inputs assertions;
+          }
+      end
+  end
+
+let full_equivalence config leaves =
+  ignore config;
+  let conjunct (l1 : Exec.leaf) (l2 : Exec.leaf) =
+    let p1 = rename_term suffix1 l1.Exec.path_cond in
+    let p2 = rename_term suffix2 l2.Exec.path_cond in
+    let base1 = List.map (rename_obs suffix1) (by_tag Obs.Base l1.Exec.obs) in
+    let base2 = List.map (rename_obs suffix2) (by_tag Obs.Base l2.Exec.obs) in
+    Term.implies (Term.and_ p1 p2) (obs_list_equal base1 base2)
+  in
+  Term.and_l (List.concat_map (fun l1 -> List.map (conjunct l1) leaves) leaves)

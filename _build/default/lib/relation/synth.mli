@@ -1,0 +1,69 @@
+(** Relation synthesis (Sec. 2.3, Eq. 1, and the optimizations of
+    Sec. 5.2/5.4).
+
+    Given the symbolic leaves of an instrumented program, this module
+    builds, per pair of execution paths, the formula whose models are test
+    cases: two input states (suffixes ["_1"] / ["_2"]) that
+
+    - satisfy the two path conditions,
+    - produce equal [Base] observation lists ([M1]-equivalence),
+    - and, when refinement is on, differ in some [Refined] observation
+      ([M2]-distinctness),
+
+    together with the platform well-formedness constraints (every accessed
+    address inside the experiment memory region) and a state-distinctness
+    condition (two bit-identical states are never a useful test case).
+
+    Splitting the relation by path pair is the optimization of Sec. 5.4:
+    each formula covers one conjunct of Eq. 1, and the pipeline explores
+    path pairs round-robin. *)
+
+type config = {
+  platform : Scamv_isa.Platform.t;
+  require_refined_difference : bool;
+      (** [true] = refinement-guided generation ([s1 ~M1 s2 /\ s1 !~M2 s2]);
+          [false] = unguided generation from plain [M1]-equivalence *)
+}
+
+val suffix1 : string
+val suffix2 : string
+val suffix_train : string
+
+type pair_relation = {
+  leaf1 : int;  (** index into the leaf list *)
+  leaf2 : int;
+  assertions : Scamv_smt.Term.t list;
+  coverage_track : (string * Scamv_smt.Sort.t) list;
+      (** fresh variables equated to the coverage observations; when
+          non-empty the enumeration session should block on exactly
+          these, which walks the supporting model's equivalence classes *)
+  register_track : (string * Scamv_smt.Sort.t) list;
+      (** register and flag inputs of the relation; unguided enumeration
+          blocks on these (memory contents are left to solver defaults,
+          as in the original register-only Scam-V pipeline) *)
+}
+
+val compatible_pairs : Scamv_symbolic.Exec.leaf list -> (int * int) list
+(** Path pairs whose [Base] observation lists are structurally compatible
+    (same length, kinds and arities) — the only pairs whose conjunct of
+    Eq. 1 is not trivially false.  Ordered diagonal-first ((0,0), (1,1),
+    ..., then mixed pairs). *)
+
+val pair_relation :
+  config -> Scamv_symbolic.Exec.leaf list -> int * int -> pair_relation option
+(** [None] when the pair cannot yield test cases (structurally
+    incompatible base observations, or refinement required but the pair
+    has no refined observations). *)
+
+val full_equivalence : config -> Scamv_symbolic.Exec.leaf list -> Scamv_smt.Term.t
+(** The monolithic Eq. 1 relation over all path pairs (without coverage or
+    platform constraints) — kept for the ablation benchmark comparing it
+    against the per-pair split. *)
+
+val in_range : Scamv_isa.Platform.t -> Scamv_smt.Term.t -> Scamv_smt.Term.t
+(** Address-in-experiment-region predicate. *)
+
+val range_constraints_of_leaf :
+  Scamv_isa.Platform.t -> Scamv_symbolic.Exec.leaf -> Scamv_smt.Term.t list
+(** The well-formedness constraints of one path, over canonical (unsuffixed)
+    variables; used when solving for predictor-training states. *)

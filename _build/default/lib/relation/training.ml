@@ -1,0 +1,27 @@
+module Term = Scamv_smt.Term
+module Solver = Scamv_smt.Solver
+module Exec = Scamv_symbolic.Exec
+
+let training_states ~platform ~leaves ~pair:(i, j) =
+  let arr = Array.of_list leaves in
+  let trace1 = arr.(i).Exec.trace and trace2 = arr.(j).Exec.trace in
+  let seen = Hashtbl.create 4 in
+  Hashtbl.add seen trace1 ();
+  if not (Hashtbl.mem seen trace2) then Hashtbl.add seen trace2 ();
+  List.filter_map
+    (fun (leaf : Exec.leaf) ->
+      if Hashtbl.mem seen leaf.Exec.trace then None
+      else begin
+        Hashtbl.add seen leaf.Exec.trace ();
+        let rename = Term.rename (fun v -> v ^ Synth.suffix_train) in
+        let assertions =
+          rename leaf.Exec.path_cond
+          :: List.map rename
+               (Synth.range_constraints_of_leaf platform leaf)
+        in
+        match Solver.solve assertions with
+        | Solver.Sat model ->
+          Some (Concretize.machine_of_model ~suffix:Synth.suffix_train model)
+        | Solver.Unsat -> None
+      end)
+    leaves

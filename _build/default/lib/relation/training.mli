@@ -1,0 +1,16 @@
+(** Branch misprediction training (Sec. 5.3).
+
+    For a test-case pair taking path [p], the predictor must be trained to
+    predict the *other* direction, so the measured runs misspeculate.  A
+    training state is a satisfying assignment of a different path
+    condition [p' <> p], found with the SMT solver. *)
+
+val training_states :
+  platform:Scamv_isa.Platform.t ->
+  leaves:Scamv_symbolic.Exec.leaf list ->
+  pair:int * int ->
+  Scamv_isa.Machine.t list
+(** Training inputs for a test case whose states take the paths of the
+    given leaf pair: one state per satisfiable path whose trace differs
+    from both leaves' traces (deduplicated by trace).  Empty when the
+    program has a single path (no branch to train). *)

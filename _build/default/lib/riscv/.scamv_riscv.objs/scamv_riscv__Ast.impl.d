@@ -1,0 +1,1 @@
+lib/riscv/ast.ml: Array Format List Printf

@@ -1,0 +1,1 @@
+lib/riscv/ast.mli: Format Stdlib

@@ -1,0 +1,1 @@
+lib/riscv/semantics.ml: Array Ast Int64 Map

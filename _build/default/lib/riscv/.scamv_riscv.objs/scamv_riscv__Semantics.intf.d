@@ -1,0 +1,1 @@
+lib/riscv/semantics.mli: Ast

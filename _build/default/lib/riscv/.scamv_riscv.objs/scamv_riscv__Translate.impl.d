@@ -1,0 +1,1 @@
+lib/riscv/translate.ml: Array Ast Format Int64 List Scamv_isa Semantics

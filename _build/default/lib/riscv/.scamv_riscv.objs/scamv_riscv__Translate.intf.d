@@ -1,0 +1,1 @@
+lib/riscv/translate.mli: Ast Scamv_isa Semantics Stdlib

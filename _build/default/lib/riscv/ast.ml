@@ -1,0 +1,96 @@
+type reg = int
+
+let x i =
+  if i < 0 || i > 31 then invalid_arg "Riscv.Ast.x: register index out of range";
+  i
+
+let reg_name r = "x" ^ string_of_int r
+
+type instr =
+  | Addi of reg * reg * int64
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Andi of reg * reg * int64
+  | Ori of reg * reg * int64
+  | Xori of reg * reg * int64
+  | Slli of reg * reg * int
+  | Srli of reg * reg * int
+  | Srai of reg * reg * int
+  | Ld of reg * int64 * reg
+  | Sd of reg * int64 * reg
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Bge of reg * reg * int
+  | Bltu of reg * reg * int
+  | Bgeu of reg * reg * int
+  | Jal of reg * int
+  | Nop
+
+type program = instr array
+
+let branch_target = function
+  | Beq (_, _, t) | Bne (_, _, t) | Blt (_, _, t) | Bge (_, _, t)
+  | Bltu (_, _, t) | Bgeu (_, _, t) | Jal (_, t) ->
+    Some t
+  | _ -> None
+
+let validate program =
+  let len = Array.length program in
+  let problem = ref None in
+  Array.iteri
+    (fun i instr ->
+      if !problem = None then begin
+        (match branch_target instr with
+        | Some t when t < 0 || t > len ->
+          problem := Some (Printf.sprintf "instruction %d: target %d out of range" i t)
+        | _ -> ());
+        match instr with
+        | Slli (_, _, k) | Srli (_, _, k) | Srai (_, _, k) ->
+          if k < 0 || k > 63 then
+            problem := Some (Printf.sprintf "instruction %d: bad shift amount %d" i k)
+        | _ -> ()
+      end)
+    program;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let pp_instr ppf instr =
+  let r = reg_name in
+  match instr with
+  | Addi (d, a, v) -> Format.fprintf ppf "addi %s, %s, %Ld" (r d) (r a) v
+  | Add (d, a, b) -> Format.fprintf ppf "add %s, %s, %s" (r d) (r a) (r b)
+  | Sub (d, a, b) -> Format.fprintf ppf "sub %s, %s, %s" (r d) (r a) (r b)
+  | And_ (d, a, b) -> Format.fprintf ppf "and %s, %s, %s" (r d) (r a) (r b)
+  | Or_ (d, a, b) -> Format.fprintf ppf "or %s, %s, %s" (r d) (r a) (r b)
+  | Xor (d, a, b) -> Format.fprintf ppf "xor %s, %s, %s" (r d) (r a) (r b)
+  | Andi (d, a, v) -> Format.fprintf ppf "andi %s, %s, %Ld" (r d) (r a) v
+  | Ori (d, a, v) -> Format.fprintf ppf "ori %s, %s, %Ld" (r d) (r a) v
+  | Xori (d, a, v) -> Format.fprintf ppf "xori %s, %s, %Ld" (r d) (r a) v
+  | Slli (d, a, k) -> Format.fprintf ppf "slli %s, %s, %d" (r d) (r a) k
+  | Srli (d, a, k) -> Format.fprintf ppf "srli %s, %s, %d" (r d) (r a) k
+  | Srai (d, a, k) -> Format.fprintf ppf "srai %s, %s, %d" (r d) (r a) k
+  | Ld (d, imm, b) -> Format.fprintf ppf "ld %s, %Ld(%s)" (r d) imm (r b)
+  | Sd (s, imm, b) -> Format.fprintf ppf "sd %s, %Ld(%s)" (r s) imm (r b)
+  | Beq (a, b, t) -> Format.fprintf ppf "beq %s, %s, L%d" (r a) (r b) t
+  | Bne (a, b, t) -> Format.fprintf ppf "bne %s, %s, L%d" (r a) (r b) t
+  | Blt (a, b, t) -> Format.fprintf ppf "blt %s, %s, L%d" (r a) (r b) t
+  | Bge (a, b, t) -> Format.fprintf ppf "bge %s, %s, L%d" (r a) (r b) t
+  | Bltu (a, b, t) -> Format.fprintf ppf "bltu %s, %s, L%d" (r a) (r b) t
+  | Bgeu (a, b, t) -> Format.fprintf ppf "bgeu %s, %s, L%d" (r a) (r b) t
+  | Jal (d, t) -> Format.fprintf ppf "jal %s, L%d" (r d) t
+  | Nop -> Format.pp_print_string ppf "nop"
+
+let pp_program ppf program =
+  let targets = Array.to_list program |> List.filter_map branch_target in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i instr ->
+      if List.mem i targets then Format.fprintf ppf "L%d:@," i;
+      Format.fprintf ppf "  %a@," pp_instr instr)
+    program;
+  if List.mem (Array.length program) targets then
+    Format.fprintf ppf "L%d:@," (Array.length program);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,81 @@
+module Int64_map = Map.Make (Int64)
+
+type state = { regs : int64 array; mutable mem : int64 Int64_map.t }
+
+let create () = { regs = Array.make 32 0L; mem = Int64_map.empty }
+let get_reg s r = if r = 0 then 0L else s.regs.(r)
+let set_reg s r v = if r <> 0 then s.regs.(r) <- v
+let load s a = match Int64_map.find_opt a s.mem with None -> 0L | Some v -> v
+let store s a v = s.mem <- Int64_map.add a v s.mem
+let mem_bindings s = Int64_map.bindings s.mem
+
+let run ?(fuel = 10_000) program s =
+  let len = Array.length program in
+  let rec go pc fuel =
+    if pc < 0 || pc >= len then ()
+    else if fuel = 0 then failwith "Riscv.Semantics.run: fuel exhausted"
+    else begin
+      let next =
+        match program.(pc) with
+        | Ast.Nop -> pc + 1
+        | Ast.Addi (d, a, v) ->
+          set_reg s d (Int64.add (get_reg s a) v);
+          pc + 1
+        | Ast.Add (d, a, b) ->
+          set_reg s d (Int64.add (get_reg s a) (get_reg s b));
+          pc + 1
+        | Ast.Sub (d, a, b) ->
+          set_reg s d (Int64.sub (get_reg s a) (get_reg s b));
+          pc + 1
+        | Ast.And_ (d, a, b) ->
+          set_reg s d (Int64.logand (get_reg s a) (get_reg s b));
+          pc + 1
+        | Ast.Or_ (d, a, b) ->
+          set_reg s d (Int64.logor (get_reg s a) (get_reg s b));
+          pc + 1
+        | Ast.Xor (d, a, b) ->
+          set_reg s d (Int64.logxor (get_reg s a) (get_reg s b));
+          pc + 1
+        | Ast.Andi (d, a, v) ->
+          set_reg s d (Int64.logand (get_reg s a) v);
+          pc + 1
+        | Ast.Ori (d, a, v) ->
+          set_reg s d (Int64.logor (get_reg s a) v);
+          pc + 1
+        | Ast.Xori (d, a, v) ->
+          set_reg s d (Int64.logxor (get_reg s a) v);
+          pc + 1
+        | Ast.Slli (d, a, k) ->
+          set_reg s d (Int64.shift_left (get_reg s a) k);
+          pc + 1
+        | Ast.Srli (d, a, k) ->
+          set_reg s d (Int64.shift_right_logical (get_reg s a) k);
+          pc + 1
+        | Ast.Srai (d, a, k) ->
+          set_reg s d (Int64.shift_right (get_reg s a) k);
+          pc + 1
+        | Ast.Ld (d, imm, b) ->
+          set_reg s d (load s (Int64.add (get_reg s b) imm));
+          pc + 1
+        | Ast.Sd (src, imm, b) ->
+          store s (Int64.add (get_reg s b) imm) (get_reg s src);
+          pc + 1
+        | Ast.Beq (a, b, t) -> if Int64.equal (get_reg s a) (get_reg s b) then t else pc + 1
+        | Ast.Bne (a, b, t) ->
+          if not (Int64.equal (get_reg s a) (get_reg s b)) then t else pc + 1
+        | Ast.Blt (a, b, t) ->
+          if Int64.compare (get_reg s a) (get_reg s b) < 0 then t else pc + 1
+        | Ast.Bge (a, b, t) ->
+          if Int64.compare (get_reg s a) (get_reg s b) >= 0 then t else pc + 1
+        | Ast.Bltu (a, b, t) ->
+          if Int64.unsigned_compare (get_reg s a) (get_reg s b) < 0 then t else pc + 1
+        | Ast.Bgeu (a, b, t) ->
+          if Int64.unsigned_compare (get_reg s a) (get_reg s b) >= 0 then t else pc + 1
+        | Ast.Jal (d, t) ->
+          set_reg s d (Int64.of_int (pc + 1)) (* link value: index granularity *);
+          t
+      in
+      go next (fuel - 1)
+    end
+  in
+  go 0 fuel

@@ -1,0 +1,170 @@
+module Arm = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Machine = Scamv_isa.Machine
+
+let map_reg r =
+  if r = 0 then invalid_arg "Riscv.Translate.map_reg: x0 has no target register"
+  else Reg.x (r - 1)
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* Operand for an RV64 source register: the zero register reads as an
+   immediate. *)
+let operand r = if r = 0 then Arm.Imm 0L else Arm.Reg (map_reg r)
+
+(* [targets] is filled in by the second pass; during the first pass the
+   RV64 index is kept and patched later. *)
+let alu_rrr ~mk d a b =
+  if d = 0 then [ Arm.Nop ]
+  else
+    let d' = map_reg d in
+    match (a, b) with
+    | 0, 0 -> [ Arm.Mov (d', Arm.Imm 0L) ]
+    | _ -> mk d' a b
+
+let rec translate_instr pc (instr : Ast.instr) : Arm.instr list =
+  match instr with
+  | Ast.Nop -> [ Arm.Nop ]
+  | Ast.Addi (d, a, v) ->
+    if d = 0 then [ Arm.Nop ]
+    else if a = 0 then [ Arm.Mov (map_reg d, Arm.Imm v) ]
+    else [ Arm.Add (map_reg d, map_reg a, Arm.Imm v) ]
+  | Ast.Add (d, a, b) ->
+    alu_rrr d a b ~mk:(fun d' a b ->
+        match (a, b) with
+        | 0, b -> [ Arm.Mov (d', Arm.Reg (map_reg b)) ]
+        | a, 0 -> [ Arm.Mov (d', Arm.Reg (map_reg a)) ]
+        | a, b -> [ Arm.Add (d', map_reg a, Arm.Reg (map_reg b)) ])
+  | Ast.Sub (d, a, b) ->
+    alu_rrr d a b ~mk:(fun d' a b ->
+        match (a, b) with
+        | a, 0 -> [ Arm.Mov (d', Arm.Reg (map_reg a)) ]
+        | 0, b ->
+          if d = b then
+            unsupported "instruction %d: sub %s, x0, %s (in-place negation)" pc
+              (Ast.reg_name d) (Ast.reg_name b)
+          else
+            [ Arm.Mov (d', Arm.Imm 0L); Arm.Sub (d', d', Arm.Reg (map_reg b)) ]
+        | a, b -> [ Arm.Sub (d', map_reg a, Arm.Reg (map_reg b)) ])
+  | Ast.And_ (d, a, b) ->
+    alu_rrr d a b ~mk:(fun d' a b ->
+        if a = 0 || b = 0 then [ Arm.Mov (d', Arm.Imm 0L) ]
+        else [ Arm.And_ (d', map_reg a, Arm.Reg (map_reg b)) ])
+  | Ast.Or_ (d, a, b) ->
+    alu_rrr d a b ~mk:(fun d' a b ->
+        match (a, b) with
+        | 0, r | r, 0 -> [ Arm.Mov (d', Arm.Reg (map_reg r)) ]
+        | a, b -> [ Arm.Orr (d', map_reg a, Arm.Reg (map_reg b)) ])
+  | Ast.Xor (d, a, b) ->
+    alu_rrr d a b ~mk:(fun d' a b ->
+        match (a, b) with
+        | 0, r | r, 0 -> [ Arm.Mov (d', Arm.Reg (map_reg r)) ]
+        | a, b -> [ Arm.Eor (d', map_reg a, Arm.Reg (map_reg b)) ])
+  | Ast.Andi (d, a, v) ->
+    if d = 0 then [ Arm.Nop ]
+    else if a = 0 then [ Arm.Mov (map_reg d, Arm.Imm 0L) ]
+    else [ Arm.And_ (map_reg d, map_reg a, Arm.Imm v) ]
+  | Ast.Ori (d, a, v) ->
+    if d = 0 then [ Arm.Nop ]
+    else if a = 0 then [ Arm.Mov (map_reg d, Arm.Imm v) ]
+    else [ Arm.Orr (map_reg d, map_reg a, Arm.Imm v) ]
+  | Ast.Xori (d, a, v) ->
+    if d = 0 then [ Arm.Nop ]
+    else if a = 0 then [ Arm.Mov (map_reg d, Arm.Imm v) ]
+    else [ Arm.Eor (map_reg d, map_reg a, Arm.Imm v) ]
+  | Ast.Slli (d, a, k) ->
+    if d = 0 then [ Arm.Nop ]
+    else if a = 0 then [ Arm.Mov (map_reg d, Arm.Imm 0L) ]
+    else [ Arm.Lsl (map_reg d, map_reg a, Arm.Imm (Int64.of_int k)) ]
+  | Ast.Srli (d, a, k) ->
+    if d = 0 then [ Arm.Nop ]
+    else if a = 0 then [ Arm.Mov (map_reg d, Arm.Imm 0L) ]
+    else [ Arm.Lsr (map_reg d, map_reg a, Arm.Imm (Int64.of_int k)) ]
+  | Ast.Srai (d, a, k) ->
+    if d = 0 then [ Arm.Nop ]
+    else if a = 0 then [ Arm.Mov (map_reg d, Arm.Imm 0L) ]
+    else [ Arm.Asr (map_reg d, map_reg a, Arm.Imm (Int64.of_int k)) ]
+  | Ast.Ld (d, imm, b) ->
+    if d = 0 then unsupported "instruction %d: load to x0 needs a scratch register" pc
+    else if b = 0 then unsupported "instruction %d: x0-based addressing" pc
+    else [ Arm.Ldr (map_reg d, { Arm.base = map_reg b; offset = Arm.Imm imm; scale = 0 }) ]
+  | Ast.Sd (src, imm, b) ->
+    if src = 0 then unsupported "instruction %d: store of x0 needs a scratch register" pc
+    else if b = 0 then unsupported "instruction %d: x0-based addressing" pc
+    else
+      [ Arm.Str (map_reg src, { Arm.base = map_reg b; offset = Arm.Imm imm; scale = 0 }) ]
+  | Ast.Beq (a, b, t) -> branch pc Arm.Eq a b t
+  | Ast.Bne (a, b, t) -> branch pc Arm.Ne a b t
+  | Ast.Blt (a, b, t) -> branch pc Arm.Lt a b t
+  | Ast.Bge (a, b, t) -> branch pc Arm.Ge a b t
+  | Ast.Bltu (a, b, t) -> branch pc Arm.Lo a b t
+  | Ast.Bgeu (a, b, t) -> branch pc Arm.Hs a b t
+  | Ast.Jal (d, t) ->
+    if d = 0 then [ Arm.B t ]
+    else unsupported "instruction %d: linking jal" pc
+
+(* RV64 branches compare two registers; the target ISA compares a
+   register with an operand.  With [a = x0] the comparison is mirrored. *)
+and branch pc cond a b t =
+  let mirror = function
+    | Arm.Eq -> Arm.Eq
+    | Arm.Ne -> Arm.Ne
+    | Arm.Lt -> Arm.Gt
+    | Arm.Ge -> Arm.Le
+    | Arm.Lo -> Arm.Hi
+    | Arm.Hs -> Arm.Ls
+    | c -> c
+  in
+  match (a, b) with
+  | 0, 0 ->
+    (* Constant condition on 0 ? 0. *)
+    let taken =
+      match cond with
+      | Arm.Eq | Arm.Ge | Arm.Hs -> true
+      | Arm.Ne | Arm.Lt | Arm.Lo -> false
+      | _ -> unsupported "instruction %d: unexpected condition" pc
+    in
+    if taken then [ Arm.B t ] else [ Arm.Nop ]
+  | 0, b -> [ Arm.Cmp (map_reg b, Arm.Imm 0L); Arm.B_cond (mirror cond, t) ]
+  | a, b -> [ Arm.Cmp (map_reg a, operand b); Arm.B_cond (cond, t) ]
+
+let translate program =
+  match Ast.validate program with
+  | Error msg -> Error ("invalid RV64 program: " ^ msg)
+  | Ok () -> (
+    try
+      let len = Array.length program in
+      (* First pass: per-instruction translations with guest-index branch
+         targets, and the guest->target index map. *)
+      let chunks = Array.mapi translate_instr program in
+      let offsets = Array.make (len + 1) 0 in
+      Array.iteri (fun i chunk -> offsets.(i + 1) <- offsets.(i) + List.length chunk) chunks;
+      (* Second pass: patch branch targets through the offset map. *)
+      let patch = function
+        | Arm.B t -> Arm.B offsets.(t)
+        | Arm.B_cond (c, t) -> Arm.B_cond (c, offsets.(t))
+        | instr -> instr
+      in
+      Ok (Array.of_list (List.concat_map (List.map patch) (Array.to_list chunks)))
+    with Unsupported msg -> Error msg)
+
+let machine_of_state (s : Semantics.state) =
+  let m = Machine.create () in
+  for r = 1 to 31 do
+    Machine.set_reg m (map_reg r) (Semantics.get_reg s r)
+  done;
+  List.iter (fun (a, v) -> Machine.store m a v) (Semantics.mem_bindings s);
+  m
+
+let states_agree (s : Semantics.state) (m : Machine.t) =
+  let regs_ok =
+    List.for_all
+      (fun r -> Int64.equal (Semantics.get_reg s r) (Machine.get_reg m (map_reg r)))
+      (List.init 31 (fun i -> i + 1))
+  in
+  let mem_of bindings =
+    List.filter (fun (_, v) -> not (Int64.equal v 0L)) bindings
+  in
+  regs_ok && mem_of (Semantics.mem_bindings s) = mem_of (Machine.mem_bindings m)

@@ -1,0 +1,30 @@
+(** Translation from RV64 to the common AArch64-subset ISA — the
+    "binary translator" a new guest architecture contributes to Scam-V
+    (Sec. 2.3).  After translation, observation augmentation, symbolic
+    execution, relation synthesis and the simulator all apply unchanged.
+
+    Register convention: RISC-V [x1 .. x31] map to AArch64 [x0 .. x30];
+    reads of the hardwired-zero [x0] become immediates, ALU writes to
+    [x0] become no-ops.  RISC-V branches compare registers directly, so
+    each branch becomes a [cmp]+[b.cond] pair (the guest has no flags to
+    preserve); instruction indexes are remapped accordingly.
+
+    A few RV64 idioms have no side-effect-faithful image in the target
+    subset and are rejected: loads *to* [x0] (the memory access would
+    need a scratch register), stores *of* [x0], [x0]-based addressing,
+    register-amount shifts ([sll]/[srl]/[sra]; immediate shifts are
+    supported), linking jumps ([jal] with [rd <> x0]), and [sub rd, x0,
+    rd] (negation in place). *)
+
+val map_reg : Ast.reg -> Scamv_isa.Reg.t
+(** @raise Invalid_argument on [x0], which has no target register. *)
+
+val translate : Ast.program -> (Scamv_isa.Ast.program, string) Stdlib.result
+
+val machine_of_state : Semantics.state -> Scamv_isa.Machine.t
+(** The AArch64 machine state corresponding to an RV64 state (registers
+    remapped, memory shared). *)
+
+val states_agree : Semantics.state -> Scamv_isa.Machine.t -> bool
+(** Register-file (x1..x31 vs x0..x30) and memory agreement, for the
+    differential translator tests. *)

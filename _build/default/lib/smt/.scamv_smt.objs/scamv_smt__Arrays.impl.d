@@ -1,0 +1,1 @@
+lib/smt/arrays.ml: Eval List Map Model Printf Sort String Term

@@ -1,0 +1,1 @@
+lib/smt/arrays.mli: Model Term

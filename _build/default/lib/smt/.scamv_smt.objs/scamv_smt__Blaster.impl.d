@@ -1,0 +1,1 @@
+lib/smt/blaster.ml: Array Hashtbl List Model Printf Sat Scamv_util Sort String Term

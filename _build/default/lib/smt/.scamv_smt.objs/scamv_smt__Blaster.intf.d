@@ -1,0 +1,1 @@
+lib/smt/blaster.mli: Model Sat Sort Term

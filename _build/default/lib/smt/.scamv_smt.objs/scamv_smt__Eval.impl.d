@@ -1,0 +1,1 @@
+lib/smt/eval.ml: Bool Int64 Model Scamv_util Sort Term

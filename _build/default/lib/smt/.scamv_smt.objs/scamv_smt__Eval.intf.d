@@ -1,0 +1,1 @@
+lib/smt/eval.mli: Model Term

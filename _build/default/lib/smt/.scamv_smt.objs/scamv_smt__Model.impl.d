@@ -1,0 +1,1 @@
+lib/smt/model.ml: Format Int64 List Map String

@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Arrays Blaster List Model Option Sat Scamv_util Set Sort Stdlib String Term

@@ -1,0 +1,1 @@
+lib/smt/solver.mli: Model Sort Term

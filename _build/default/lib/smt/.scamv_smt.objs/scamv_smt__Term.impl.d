@@ -1,0 +1,1 @@
+lib/smt/term.ml: Format Hashtbl Int64 List Scamv_util Set Sort Stdlib

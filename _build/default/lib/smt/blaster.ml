@@ -1,0 +1,354 @@
+module Bits = Scamv_util.Bits
+
+type gate_key =
+  | K_and of Sat.lit * Sat.lit
+  | K_xor of Sat.lit * Sat.lit
+  | K_ite of Sat.lit * Sat.lit * Sat.lit
+
+type t = {
+  sat : Sat.t;
+  true_lit : Sat.lit;
+  gates : (gate_key, Sat.lit) Hashtbl.t;
+  bool_cache : (Term.t, Sat.lit) Hashtbl.t;
+  bv_cache : (Term.t, Sat.lit array) Hashtbl.t;
+  inputs : (string, Sort.t * Sat.lit array) Hashtbl.t;
+}
+
+let create ?seed ?default_phase () =
+  let sat = Sat.create ?seed ?default_phase () in
+  let v = Sat.new_var sat in
+  Sat.add_clause sat [ Sat.pos v ];
+  {
+    sat;
+    true_lit = Sat.pos v;
+    gates = Hashtbl.create 1024;
+    bool_cache = Hashtbl.create 256;
+    bv_cache = Hashtbl.create 256;
+    inputs = Hashtbl.create 64;
+  }
+
+let solver t = t.sat
+let lit_true t = t.true_lit
+let lit_false t = Sat.negate t.true_lit
+let is_true t l = l = t.true_lit
+let is_false t l = l = Sat.negate t.true_lit
+let fresh t = Sat.pos (Sat.new_var t.sat)
+
+(* ---- gates with structural hashing and constant folding ---- *)
+
+let g_and t a b =
+  if is_false t a || is_false t b then lit_false t
+  else if is_true t a then b
+  else if is_true t b then a
+  else if a = b then a
+  else if a = Sat.negate b then lit_false t
+  else begin
+    let a, b = if a < b then (a, b) else (b, a) in
+    let key = K_and (a, b) in
+    match Hashtbl.find_opt t.gates key with
+    | Some o -> o
+    | None ->
+      let o = fresh t in
+      Sat.add_clause t.sat [ Sat.negate o; a ];
+      Sat.add_clause t.sat [ Sat.negate o; b ];
+      Sat.add_clause t.sat [ o; Sat.negate a; Sat.negate b ];
+      Hashtbl.add t.gates key o;
+      o
+  end
+
+let g_or t a b = Sat.negate (g_and t (Sat.negate a) (Sat.negate b))
+
+let g_xor t a b =
+  if is_false t a then b
+  else if is_false t b then a
+  else if is_true t a then Sat.negate b
+  else if is_true t b then Sat.negate a
+  else if a = b then lit_false t
+  else if a = Sat.negate b then lit_true t
+  else begin
+    (* Normalize: positive operands, ordered; track output polarity. *)
+    let flip = ref false in
+    let norm l =
+      if Sat.is_pos l then l
+      else begin
+        flip := not !flip;
+        Sat.negate l
+      end
+    in
+    let a = norm a and b = norm b in
+    let a, b = if a < b then (a, b) else (b, a) in
+    let key = K_xor (a, b) in
+    let o =
+      match Hashtbl.find_opt t.gates key with
+      | Some o -> o
+      | None ->
+        let o = fresh t in
+        Sat.add_clause t.sat [ Sat.negate o; a; b ];
+        Sat.add_clause t.sat [ Sat.negate o; Sat.negate a; Sat.negate b ];
+        Sat.add_clause t.sat [ o; Sat.negate a; b ];
+        Sat.add_clause t.sat [ o; a; Sat.negate b ];
+        Hashtbl.add t.gates key o;
+        o
+    in
+    if !flip then Sat.negate o else o
+  end
+
+let g_iff t a b = Sat.negate (g_xor t a b)
+
+let g_ite t c a b =
+  if is_true t c then a
+  else if is_false t c then b
+  else if a = b then a
+  else if is_true t a && is_false t b then c
+  else if is_false t a && is_true t b then Sat.negate c
+  else begin
+    let key = K_ite (c, a, b) in
+    match Hashtbl.find_opt t.gates key with
+    | Some o -> o
+    | None ->
+      let o = fresh t in
+      Sat.add_clause t.sat [ Sat.negate c; Sat.negate a; o ];
+      Sat.add_clause t.sat [ Sat.negate c; a; Sat.negate o ];
+      Sat.add_clause t.sat [ c; Sat.negate b; o ];
+      Sat.add_clause t.sat [ c; b; Sat.negate o ];
+      Hashtbl.add t.gates key o;
+      o
+  end
+
+let g_implies t a b = g_or t (Sat.negate a) b
+
+(* ---- vectors (little-endian: index 0 = LSB) ---- *)
+
+let vec_const t v w =
+  Array.init w (fun i -> if Bits.bit v i then lit_true t else lit_false t)
+
+let vec_eq t a b =
+  let acc = ref (lit_true t) in
+  Array.iteri (fun i ai -> acc := g_and t !acc (g_iff t ai b.(i))) a;
+  !acc
+
+(* a + b + carry_in; returns sum vector (drops final carry). *)
+let vec_add ?(carry_in = `Zero) t a b =
+  let w = Array.length a in
+  let sum = Array.make w (lit_false t) in
+  let carry = ref (match carry_in with `Zero -> lit_false t | `One -> lit_true t) in
+  for i = 0 to w - 1 do
+    let x = a.(i) and y = b.(i) and c = !carry in
+    let xy = g_xor t x y in
+    sum.(i) <- g_xor t xy c;
+    carry := g_or t (g_and t x y) (g_and t xy c)
+  done;
+  sum
+
+let vec_not (_ : t) a = Array.map Sat.negate a
+let vec_neg t a = vec_add ~carry_in:`One t (vec_not t a) (vec_const t 0L (Array.length a))
+let vec_sub t a b = vec_add ~carry_in:`One t a (vec_not t b)
+
+(* Unsigned a < b via MSB-first comparison chain. *)
+let vec_ult t a b =
+  let w = Array.length a in
+  let lt = ref (lit_false t) in
+  let eq_so_far = ref (lit_true t) in
+  for i = w - 1 downto 0 do
+    let bit_lt = g_and t (Sat.negate a.(i)) b.(i) in
+    lt := g_or t !lt (g_and t !eq_so_far bit_lt);
+    eq_so_far := g_and t !eq_so_far (g_iff t a.(i) b.(i))
+  done;
+  !lt
+
+let vec_ule t a b = g_or t (vec_ult t a b) (vec_eq t a b)
+
+let vec_slt t a b =
+  let w = Array.length a in
+  let a' = Array.copy a and b' = Array.copy b in
+  a'.(w - 1) <- Sat.negate a.(w - 1);
+  b'.(w - 1) <- Sat.negate b.(w - 1);
+  vec_ult t a' b'
+
+let vec_sle t a b = g_or t (vec_slt t a b) (vec_eq t a b)
+
+let vec_ite t c a b = Array.init (Array.length a) (fun i -> g_ite t c a.(i) b.(i))
+
+let vec_binary_pointwise t f a b = Array.init (Array.length a) (fun i -> f t a.(i) b.(i))
+
+(* Barrel shifter.  [shift_one dir fill k v] shifts [v] by [2^stage]
+   positions.  Amounts >= width produce all-[fill]. *)
+let vec_shift t ~dir ~fill a amount =
+  let w = Array.length a in
+  let fill_lit = match fill with `Zero -> lit_false t | `Sign -> a.(w - 1) in
+  let stages = 6 (* 2^6 = 64 >= any supported width *) in
+  let shift_by_const v k =
+    Array.init w (fun i ->
+        match dir with
+        | `Left -> if i - k >= 0 then v.(i - k) else lit_false t
+        | `Right -> if i + k < w then v.(i + k) else fill_lit)
+  in
+  let result = ref a in
+  for s = 0 to stages - 1 do
+    let k = 1 lsl s in
+    let sel = if s < Array.length amount then amount.(s) else lit_false t in
+    let shifted = if k >= w then Array.make w fill_lit else shift_by_const !result k in
+    result := vec_ite t sel shifted !result
+  done;
+  (* Amount bits beyond 2^6 positions: any set high bit zeroes (or
+     sign-fills) the result. *)
+  let high = ref (lit_false t) in
+  Array.iteri (fun i l -> if i >= stages then high := g_or t !high l) amount;
+  vec_ite t !high (Array.make w fill_lit) !result
+
+let vec_mul t a b =
+  let w = Array.length a in
+  let acc = ref (vec_const t 0L w) in
+  for i = 0 to w - 1 do
+    let partial =
+      Array.init w (fun j -> if j < i then lit_false t else g_and t b.(i) a.(j - i))
+    in
+    acc := vec_add t !acc partial
+  done;
+  !acc
+
+(* ---- inputs ---- *)
+
+let input_literals t (name, sort) =
+  match Hashtbl.find_opt t.inputs name with
+  | Some (s, lits) ->
+    if not (Sort.equal s sort) then
+      raise (Term.Sort_error (Printf.sprintf "variable %s used at two sorts" name));
+    lits
+  | None ->
+    let n = match sort with Sort.Bool -> 1 | Sort.Bv w -> w | Sort.Mem -> 0 in
+    if n = 0 then invalid_arg "Blaster: memory variable reached the blaster";
+    let lits = Array.init n (fun _ -> fresh t) in
+    (* Bias branching towards deciding high bits first, so conflict-driven
+       flips during model enumeration land on low bits: enumerated models
+       then differ by small amounts, like Z3's default models. *)
+    Array.iteri
+      (fun i l -> Sat.nudge_activity t.sat (Sat.var_of l) (1e-3 *. float_of_int (i + 1)))
+      lits;
+    Hashtbl.add t.inputs name (sort, lits);
+    lits
+
+(* ---- term translation ---- *)
+
+let rec blast_bool t (term : Term.t) : Sat.lit =
+  match Hashtbl.find_opt t.bool_cache term with
+  | Some l -> l
+  | None ->
+    let l =
+      match term with
+      | Term.True -> lit_true t
+      | Term.False -> lit_false t
+      | Term.Var (x, Sort.Bool) -> (input_literals t (x, Sort.Bool)).(0)
+      | Term.Var (x, s) ->
+        raise
+          (Term.Sort_error
+             (Printf.sprintf "boolean context, variable %s : %s" x (Sort.to_string s)))
+      | Term.Not a -> Sat.negate (blast_bool t a)
+      | Term.And (a, b) -> g_and t (blast_bool t a) (blast_bool t b)
+      | Term.Or (a, b) -> g_or t (blast_bool t a) (blast_bool t b)
+      | Term.Implies (a, b) -> g_implies t (blast_bool t a) (blast_bool t b)
+      | Term.Iff (a, b) -> g_iff t (blast_bool t a) (blast_bool t b)
+      | Term.Eq (a, b) -> (
+        match Term.sort_of a with
+        | Sort.Bool -> g_iff t (blast_bool t a) (blast_bool t b)
+        | Sort.Bv _ -> vec_eq t (blast_bv t a) (blast_bv t b)
+        | Sort.Mem -> raise (Term.Sort_error "memory equality in blaster"))
+      | Term.Ult (a, b) -> vec_ult t (blast_bv t a) (blast_bv t b)
+      | Term.Ule (a, b) -> vec_ule t (blast_bv t a) (blast_bv t b)
+      | Term.Slt (a, b) -> vec_slt t (blast_bv t a) (blast_bv t b)
+      | Term.Sle (a, b) -> vec_sle t (blast_bv t a) (blast_bv t b)
+      | Term.Ite (c, a, b) -> g_ite t (blast_bool t c) (blast_bool t a) (blast_bool t b)
+      | Term.Bv_const _ | Term.Bv_unop _ | Term.Bv_binop _ | Term.Extract _
+      | Term.Concat _ | Term.Zero_extend _ | Term.Sign_extend _ ->
+        raise (Term.Sort_error "bitvector term in boolean context")
+      | Term.Select _ | Term.Store _ ->
+        invalid_arg "Blaster: memory operation reached the blaster"
+    in
+    Hashtbl.add t.bool_cache term l;
+    l
+
+and blast_bv t (term : Term.t) : Sat.lit array =
+  match Hashtbl.find_opt t.bv_cache term with
+  | Some v -> v
+  | None ->
+    let v =
+      match term with
+      | Term.Var (x, (Sort.Bv _ as s)) -> input_literals t (x, s)
+      | Term.Bv_const (v, w) -> vec_const t v w
+      | Term.Bv_unop (Term.Neg, a) -> vec_neg t (blast_bv t a)
+      | Term.Bv_unop (Term.Lognot, a) -> vec_not t (blast_bv t a)
+      | Term.Bv_binop (op, a, b) -> blast_binop t op (blast_bv t a) (blast_bv t b)
+      | Term.Extract (hi, lo, a) ->
+        let va = blast_bv t a in
+        Array.sub va lo (hi - lo + 1)
+      | Term.Concat (a, b) ->
+        let va = blast_bv t a and vb = blast_bv t b in
+        Array.append vb va
+      | Term.Zero_extend (k, a) ->
+        let va = blast_bv t a in
+        Array.append va (Array.make k (lit_false t))
+      | Term.Sign_extend (k, a) ->
+        let va = blast_bv t a in
+        Array.append va (Array.make k va.(Array.length va - 1))
+      | Term.Ite (c, a, b) -> vec_ite t (blast_bool t c) (blast_bv t a) (blast_bv t b)
+      | Term.Select _ | Term.Store _ ->
+        invalid_arg "Blaster: memory operation reached the blaster"
+      | Term.True | Term.False | Term.Not _ | Term.And _ | Term.Or _
+      | Term.Implies _ | Term.Iff _ | Term.Eq _ | Term.Ult _ | Term.Ule _
+      | Term.Slt _ | Term.Sle _ | Term.Var _ ->
+        raise (Term.Sort_error "boolean term in bitvector context")
+    in
+    Hashtbl.add t.bv_cache term v;
+    v
+
+and blast_binop t op a b =
+  match op with
+  | Term.Add -> vec_add t a b
+  | Term.Sub -> vec_sub t a b
+  | Term.Mul -> vec_mul t a b
+  | Term.Logand -> vec_binary_pointwise t g_and a b
+  | Term.Logor -> vec_binary_pointwise t g_or a b
+  | Term.Logxor -> vec_binary_pointwise t g_xor a b
+  | Term.Shl -> vec_shift t ~dir:`Left ~fill:`Zero a b
+  | Term.Lshr -> vec_shift t ~dir:`Right ~fill:`Zero a b
+  | Term.Ashr -> vec_shift t ~dir:`Right ~fill:`Sign a b
+
+let assert_term t term =
+  (match Term.sort_of term with
+  | Sort.Bool -> ()
+  | s -> raise (Term.Sort_error ("assertion of sort " ^ Sort.to_string s)));
+  let l = blast_bool t term in
+  Sat.add_clause t.sat [ l ]
+
+let lit_model_value t l =
+  let v = Sat.value t.sat (Sat.var_of l) in
+  if Sat.is_pos l then v else not v
+
+let read_model t =
+  Hashtbl.fold
+    (fun name (sort, lits) acc ->
+      match sort with
+      | Sort.Bool -> Model.add_var acc name (Model.Bool (lit_model_value t lits.(0)))
+      | Sort.Bv w ->
+        let v = ref 0L in
+        Array.iteri (fun i l -> if lit_model_value t l then v := Bits.set_bit !v i true) lits;
+        Model.add_var acc name (Model.Bv (!v, w))
+      | Sort.Mem -> acc)
+    t.inputs Model.empty
+
+let inputs t =
+  Hashtbl.fold (fun name (sort, lits) acc -> (name, sort, lits) :: acc) t.inputs []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let block_assignment t vars =
+  let clause =
+    List.concat_map
+      (fun key ->
+        let lits = input_literals t key in
+        Array.to_list
+          (Array.map
+             (fun l -> if lit_model_value t l then Sat.negate l else l)
+             lits))
+      vars
+  in
+  Sat.add_clause t.sat clause

@@ -1,0 +1,32 @@
+(** Tseitin bit-blaster: turns array-free terms into CNF over a {!Sat}
+    solver, maintaining a map from input variables to their literals so
+    models can be read back and blocking clauses formulated. *)
+
+type t
+
+val create : ?seed:int64 -> ?default_phase:bool -> unit -> t
+(** Fresh blasting context with an empty solver. *)
+
+val assert_term : t -> Term.t -> unit
+(** Assert a Bool-sorted, array-free term.
+    @raise Term.Sort_error on non-boolean terms.
+    @raise Invalid_argument if the term still contains memory operations. *)
+
+val solver : t -> Sat.t
+(** The underlying SAT solver (for [solve] and phase control). *)
+
+val input_literals : t -> (string * Sort.t) -> Sat.lit array
+(** Literals allocated for an input variable (length 1 for Bool).
+    Allocates them on first use so callers can track variables that do not
+    occur in any assertion. *)
+
+val read_model : t -> Model.t
+(** Read values of every input variable after a successful solve. *)
+
+val inputs : t -> (string * Sort.t * Sat.lit array) list
+(** All allocated input variables with their literals, sorted by name
+    (deterministic), for the model minimizer. *)
+
+val block_assignment : t -> (string * Sort.t) list -> unit
+(** Add a clause forbidding the current assignment of the given input
+    variables (model enumeration step). *)

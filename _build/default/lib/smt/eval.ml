@@ -1,0 +1,89 @@
+module Bits = Scamv_util.Bits
+
+(* Memories evaluate to a lookup function so store overlays compose
+   without materializing maps. *)
+let rec eval_mem model (t : Term.t) : int64 -> int64 =
+  match t with
+  | Term.Var (m, Sort.Mem) -> fun addr -> Model.mem_lookup model m addr
+  | Term.Store (m, a, v) ->
+    let base = eval_mem model m in
+    let a = eval_bv model a and v = eval_bv model v in
+    fun addr -> if Int64.equal addr a then v else base addr
+  | Term.Ite (c, a, b) ->
+    if eval_bool model c then eval_mem model a else eval_mem model b
+  | _ -> invalid_arg "Eval.eval_mem: not a memory term"
+
+and eval_bool model (t : Term.t) : bool =
+  match t with
+  | Term.True -> true
+  | Term.False -> false
+  | Term.Var (x, Sort.Bool) -> Model.bool_exn model x
+  | Term.Not a -> not (eval_bool model a)
+  | Term.And (a, b) -> eval_bool model a && eval_bool model b
+  | Term.Or (a, b) -> eval_bool model a || eval_bool model b
+  | Term.Implies (a, b) -> (not (eval_bool model a)) || eval_bool model b
+  | Term.Iff (a, b) -> Bool.equal (eval_bool model a) (eval_bool model b)
+  | Term.Eq (a, b) -> (
+    match Term.sort_of a with
+    | Sort.Bool -> Bool.equal (eval_bool model a) (eval_bool model b)
+    | Sort.Bv _ -> Int64.equal (eval_bv model a) (eval_bv model b)
+    | Sort.Mem -> invalid_arg "Eval: memory equality")
+  | Term.Ult (a, b) -> Bits.ult (eval_bv model a) (eval_bv model b)
+  | Term.Ule (a, b) -> Bits.ule (eval_bv model a) (eval_bv model b)
+  | Term.Slt (a, b) ->
+    let w = width a in
+    Bits.slt ~width:w (eval_bv model a) (eval_bv model b)
+  | Term.Sle (a, b) ->
+    let w = width a in
+    not (Bits.slt ~width:w (eval_bv model b) (eval_bv model a))
+  | Term.Ite (c, a, b) ->
+    if eval_bool model c then eval_bool model a else eval_bool model b
+  | _ -> invalid_arg "Eval.eval_bool: not a boolean term"
+
+and width (t : Term.t) =
+  match Term.sort_of t with
+  | Sort.Bv w -> w
+  | _ -> invalid_arg "Eval.width: not a bitvector"
+
+and eval_bv model (t : Term.t) : int64 =
+  match t with
+  | Term.Var (x, Sort.Bv _) -> Bits.truncate (width t) (Model.bv_exn model x)
+  | Term.Bv_const (v, _) -> v
+  | Term.Bv_unop (Term.Neg, a) -> Bits.truncate (width t) (Int64.neg (eval_bv model a))
+  | Term.Bv_unop (Term.Lognot, a) ->
+    Bits.truncate (width t) (Int64.lognot (eval_bv model a))
+  | Term.Bv_binop (op, a, b) ->
+    let w = width a in
+    let va = eval_bv model a and vb = eval_bv model b in
+    eval_binop op w va vb
+  | Term.Extract (hi, lo, a) -> Bits.extract ~hi ~lo (eval_bv model a)
+  | Term.Concat (a, b) ->
+    let wb = width b in
+    Int64.logor (Int64.shift_left (eval_bv model a) wb) (eval_bv model b)
+  | Term.Zero_extend (_, a) -> eval_bv model a
+  | Term.Sign_extend (k, a) ->
+    let w = width a in
+    Bits.truncate (w + k) (Bits.sign_extend w (eval_bv model a))
+  | Term.Ite (c, a, b) -> if eval_bool model c then eval_bv model a else eval_bv model b
+  | Term.Select (m, a) -> eval_mem model m (eval_bv model a)
+  | _ -> invalid_arg "Eval.eval_bv: not a bitvector term"
+
+and eval_binop op w x y =
+  match op with
+  | Term.Add -> Bits.truncate w (Int64.add x y)
+  | Term.Sub -> Bits.truncate w (Int64.sub x y)
+  | Term.Mul -> Bits.truncate w (Int64.mul x y)
+  | Term.Logand -> Int64.logand x y
+  | Term.Logor -> Int64.logor x y
+  | Term.Logxor -> Int64.logxor x y
+  | Term.Shl ->
+    if Bits.ult y (Int64.of_int w) then Bits.truncate w (Int64.shift_left x (Int64.to_int y))
+    else 0L
+  | Term.Lshr ->
+    if Bits.ult y (Int64.of_int w) then Int64.shift_right_logical x (Int64.to_int y)
+    else 0L
+  | Term.Ashr ->
+    let x_ext = Bits.sign_extend w x in
+    if Bits.ult y (Int64.of_int w) then
+      Bits.truncate w (Int64.shift_right x_ext (Int64.to_int y))
+    else Bits.truncate w (Int64.shift_right x_ext 63)

@@ -1,0 +1,12 @@
+(** Reference interpreter for terms.
+
+    Used (a) to cross-check the bit-blaster in property tests, and (b) to
+    validate that enumerated models really satisfy the synthesized
+    relations before they are turned into test cases. *)
+
+val eval_bool : Model.t -> Term.t -> bool
+(** Evaluate a Bool-sorted term.  Unassigned variables default to
+    [false] / [0L] / empty memory. *)
+
+val eval_bv : Model.t -> Term.t -> int64
+(** Evaluate a Bv-sorted term; result is truncated to the term's width. *)

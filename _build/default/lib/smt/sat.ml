@@ -1,0 +1,482 @@
+(* CDCL in the MiniSat tradition.  Data layout: variables are integers
+   starting at 1; literal l of variable v is 2*v (positive) or 2*v+1
+   (negative).  Clauses are int arrays whose first two literals are
+   watched.  The trail records assignments in order; `reason` links each
+   implied variable to its asserting clause for conflict analysis. *)
+
+type lit = int
+
+let pos v = 2 * v
+let neg_of_var v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let is_pos l = l land 1 = 0
+
+type clause = int array
+
+(* Assignment: 0 = unassigned, 1 = true, -1 = false (per variable). *)
+type t = {
+  mutable nvars : int;
+  mutable assign : int array;  (* var -> -1/0/1 *)
+  mutable level : int array;  (* var -> decision level *)
+  mutable reason : clause option array;  (* var -> implying clause *)
+  mutable phase : bool array;  (* var -> saved phase *)
+  mutable activity : float array;  (* var -> VSIDS activity *)
+  mutable watches : clause list array;  (* lit -> watching clauses *)
+  mutable trail : int array;  (* literal trail *)
+  mutable trail_size : int;
+  mutable trail_lim : int array;  (* trail sizes at decision points *)
+  mutable trail_lim_size : int;
+  mutable qhead : int;  (* propagation pointer *)
+  mutable clauses : clause list;  (* original + learned, for re-solving *)
+  mutable unsat : bool;  (* empty/contradictory clause seen *)
+  mutable var_inc : float;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable rng : Scamv_util.Splitmix.t;
+  mutable random_branch_freq : float;
+  default_phase : bool;
+  (* Order heap: binary max-heap on activity. *)
+  mutable heap : int array;
+  mutable heap_size : int;
+  mutable heap_pos : int array;  (* var -> index in heap, -1 if absent *)
+  mutable seen : bool array;  (* scratch for conflict analysis *)
+}
+
+let create ?seed ?(default_phase = false) () =
+  let cap = 16 in
+  {
+    nvars = 0;
+    assign = Array.make cap 0;
+    level = Array.make cap 0;
+    reason = Array.make cap None;
+    phase = Array.make cap default_phase;
+    activity = Array.make cap 0.0;
+    watches = Array.make (2 * cap) [];
+    trail = Array.make cap 0;
+    trail_size = 0;
+    trail_lim = Array.make cap 0;
+    trail_lim_size = 0;
+    qhead = 0;
+    clauses = [];
+    unsat = false;
+    var_inc = 1.0;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    rng = Scamv_util.Splitmix.of_seed (Option.value seed ~default:0L);
+    random_branch_freq = (match seed with None -> 0.0 | Some _ -> 0.02);
+    default_phase;
+    heap = Array.make cap 0;
+    heap_size = 0;
+    heap_pos = Array.make cap (-1);
+    seen = Array.make cap false;
+  }
+
+let num_vars t = t.nvars
+let stats_conflicts t = t.conflicts
+let stats_decisions t = t.decisions
+let stats_propagations t = t.propagations
+
+(* ---- dynamic growth ---- *)
+
+let grow_arr a n fill =
+  if Array.length a >= n then a
+  else begin
+    let a' = Array.make (max n (2 * Array.length a)) fill in
+    Array.blit a 0 a' 0 (Array.length a);
+    a'
+  end
+
+let ensure_var_cap t n =
+  t.assign <- grow_arr t.assign (n + 1) 0;
+  t.level <- grow_arr t.level (n + 1) 0;
+  t.reason <- grow_arr t.reason (n + 1) None;
+  t.phase <- grow_arr t.phase (n + 1) t.default_phase;
+  t.activity <- grow_arr t.activity (n + 1) 0.0;
+  t.watches <- grow_arr t.watches (2 * (n + 1)) [];
+  t.trail <- grow_arr t.trail (n + 1) 0;
+  t.trail_lim <- grow_arr t.trail_lim (n + 1) 0;
+  t.heap <- grow_arr t.heap (n + 1) 0;
+  t.heap_pos <- grow_arr t.heap_pos (n + 1) (-1);
+  t.seen <- grow_arr t.seen (n + 1) false
+
+(* ---- order heap ---- *)
+
+let heap_less t a b = t.activity.(a) > t.activity.(b)
+
+let rec heap_sift_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less t t.heap.(i) t.heap.(p) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(p);
+      t.heap.(p) <- tmp;
+      t.heap_pos.(t.heap.(i)) <- i;
+      t.heap_pos.(t.heap.(p)) <- p;
+      heap_sift_up t p
+    end
+  end
+
+let rec heap_sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_size && heap_less t t.heap.(l) t.heap.(!best) then best := l;
+  if r < t.heap_size && heap_less t t.heap.(r) t.heap.(!best) then best := r;
+  if !best <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!best);
+    t.heap.(!best) <- tmp;
+    t.heap_pos.(t.heap.(i)) <- i;
+    t.heap_pos.(t.heap.(!best)) <- !best;
+    heap_sift_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    t.heap.(t.heap_size) <- v;
+    t.heap_pos.(v) <- t.heap_size;
+    t.heap_size <- t.heap_size + 1;
+    heap_sift_up t t.heap_pos.(v)
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_size <- t.heap_size - 1;
+  t.heap_pos.(v) <- -1;
+  if t.heap_size > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_size);
+    t.heap_pos.(t.heap.(0)) <- 0;
+    heap_sift_down t 0
+  end;
+  v
+
+let heap_update t v = if t.heap_pos.(v) >= 0 then heap_sift_up t t.heap_pos.(v)
+
+(* ---- variables ---- *)
+
+let new_var t =
+  let v = t.nvars + 1 in
+  t.nvars <- v;
+  ensure_var_cap t v;
+  t.assign.(v) <- 0;
+  t.activity.(v) <- 0.0;
+  t.heap_pos.(v) <- -1;
+  heap_insert t v;
+  v
+
+let lit_value t l =
+  let a = t.assign.(var_of l) in
+  if a = 0 then 0 else if is_pos l then a else -a
+
+let decision_level t = t.trail_lim_size
+
+(* ---- activity ---- *)
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 1 to t.nvars do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  heap_update t v
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+(* ---- assignment / trail ---- *)
+
+let enqueue t l reason =
+  t.propagations <- t.propagations + 1;
+  let v = var_of l in
+  t.assign.(v) <- (if is_pos l then 1 else -1);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  t.phase.(v) <- is_pos l;
+  t.trail.(t.trail_size) <- l;
+  t.trail_size <- t.trail_size + 1
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    (* trail_lim.(k) is the trail size at the moment level k+1 started. *)
+    let sz = t.trail_lim.(lvl) in
+    for i = t.trail_size - 1 downto sz do
+      let v = var_of t.trail.(i) in
+      t.assign.(v) <- 0;
+      t.reason.(v) <- None;
+      heap_insert t v
+    done;
+    t.trail_size <- sz;
+    t.qhead <- sz;
+    t.trail_lim_size <- lvl
+  end
+
+(* ---- clauses ---- *)
+
+let watch t l c = t.watches.(l) <- c :: t.watches.(l)
+
+let attach_clause t c =
+  watch t (negate c.(0)) c;
+  watch t (negate c.(1)) c
+
+(* Propagate all pending assignments; returns the conflicting clause if a
+   conflict is found. *)
+let propagate t : clause option =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < t.trail_size do
+    let l = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    (* l became true; visit clauses watching ~l via index l. *)
+    let ws = t.watches.(l) in
+    t.watches.(l) <- [];
+    let rec go = function
+      | [] -> ()
+      | c :: rest -> (
+        (* Ensure the false literal is at position 1. *)
+        let false_lit = negate l in
+        if c.(0) = false_lit then begin
+          c.(0) <- c.(1);
+          c.(1) <- false_lit
+        end;
+        if lit_value t c.(0) = 1 then begin
+          (* Clause already satisfied; keep watching. *)
+          t.watches.(l) <- c :: t.watches.(l);
+          go rest
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let n = Array.length c in
+          let rec find i = if i >= n then -1 else if lit_value t c.(i) <> -1 then i else find (i + 1) in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.(1) <- c.(k);
+            c.(k) <- false_lit;
+            watch t (negate c.(1)) c;
+            go rest
+          end
+          else if lit_value t c.(0) = -1 then begin
+            (* Conflict: restore remaining watches and stop. *)
+            t.watches.(l) <- c :: t.watches.(l);
+            List.iter (fun c' -> t.watches.(l) <- c' :: t.watches.(l)) rest;
+            conflict := Some c
+          end
+          else begin
+            (* Unit: propagate c.(0). *)
+            t.watches.(l) <- c :: t.watches.(l);
+            enqueue t c.(0) (Some c);
+            go rest
+          end
+        end)
+    in
+    go ws
+  done;
+  !conflict
+
+let add_clause t lits =
+  (* Normalize: drop duplicate/false-at-level-0 literals, detect tautology
+     and already-true clauses.  Must be called at decision level 0. *)
+  cancel_until t 0;
+  ignore (propagate t);
+  if not t.unsat then begin
+    let lits = List.sort_uniq compare lits in
+    (* After sorting, the two literals of one variable are adjacent. *)
+    let rec has_adjacent_negation = function
+      | a :: (b :: _ as rest) -> b = a + 1 && a land 1 = 0 || has_adjacent_negation rest
+      | _ -> false
+    in
+    let tautology =
+      has_adjacent_negation lits || List.exists (fun l -> lit_value t l = 1) lits
+    in
+    if not tautology then begin
+      let lits = List.filter (fun l -> lit_value t l <> -1) lits in
+      match lits with
+      | [] -> t.unsat <- true
+      | [ l ] ->
+        enqueue t l None;
+        if propagate t <> None then t.unsat <- true
+      | _ ->
+        let c = Array.of_list lits in
+        attach_clause t c;
+        t.clauses <- c :: t.clauses
+    end
+  end
+
+(* ---- conflict analysis (first UIP) ---- *)
+
+let analyze t confl =
+  let learnt = ref [] in
+  let seen = t.seen in
+  let touched = ref [] in
+  let counter = ref 0 in
+  let p = ref 0 in
+  (* 0 encodes "undefined" before the first iteration *)
+  let idx = ref (t.trail_size - 1) in
+  let btlevel = ref 0 in
+  let confl = ref (Some confl) in
+  let first = ref true in
+  let continue_loop = ref true in
+  while !continue_loop do
+    (match !confl with
+    | None -> ()
+    | Some c ->
+      let start = if !first then 0 else 1 in
+      for i = start to Array.length c - 1 do
+        let q = c.(i) in
+        let v = var_of q in
+        if (not seen.(v)) && t.level.(v) > 0 then begin
+          seen.(v) <- true;
+          touched := v :: !touched;
+          var_bump t v;
+          if t.level.(v) >= decision_level t then incr counter
+          else begin
+            learnt := q :: !learnt;
+            if t.level.(v) > !btlevel then btlevel := t.level.(v)
+          end
+        end
+      done);
+    first := false;
+    (* Select next literal to look at (walk trail backwards). *)
+    let rec next_seen i = if seen.(var_of t.trail.(i)) then i else next_seen (i - 1) in
+    idx := next_seen !idx;
+    p := t.trail.(!idx);
+    let v = var_of !p in
+    confl := t.reason.(v);
+    seen.(v) <- false;
+    idx := !idx - 1;
+    decr counter;
+    if !counter = 0 then continue_loop := false
+  done;
+  List.iter (fun v -> seen.(v) <- false) !touched;
+  (negate !p :: !learnt, !btlevel)
+
+(* ---- search ---- *)
+
+let pick_branch_var t =
+  let use_random, rng = Scamv_util.Splitmix.float t.rng in
+  t.rng <- rng;
+  let random_pick () =
+    if t.heap_size = 0 then -1
+    else begin
+      let i, rng = Scamv_util.Splitmix.int t.rng t.heap_size in
+      t.rng <- rng;
+      let v = t.heap.(i) in
+      if t.assign.(v) = 0 then v else -1
+    end
+  in
+  let v =
+    if t.random_branch_freq > 0.0 && use_random < t.random_branch_freq then random_pick ()
+    else -1
+  in
+  if v > 0 then v
+  else begin
+    let rec pop () =
+      if t.heap_size = 0 then -1
+      else begin
+        let v = heap_pop t in
+        if t.assign.(v) = 0 then v else pop ()
+      end
+    in
+    pop ()
+  end
+
+(* Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let rec luby i =
+  let rec order k = if (1 lsl k) - 1 >= i then k else order (k + 1) in
+  let k = order 1 in
+  if i = (1 lsl k) - 1 then 1 lsl (k - 1) else luby (i - (1 lsl (k - 1)) + 1)
+
+let push_level t =
+  t.trail_lim.(t.trail_lim_size) <- t.trail_size;
+  t.trail_lim_size <- t.trail_lim_size + 1
+
+let solve ?(assumptions = [||]) t =
+  if t.unsat then false
+  else begin
+    cancel_until t 0;
+    (* Refill the heap with all unassigned vars (fresh solve). *)
+    for v = 1 to t.nvars do
+      if t.assign.(v) = 0 then heap_insert t v
+    done;
+    if propagate t <> None then begin
+      t.unsat <- true;
+      false
+    end
+    else begin
+      let restart_num = ref 0 in
+      let result = ref None in
+      while !result = None do
+        incr restart_num;
+        let budget = 100 * luby !restart_num in
+        let local_conflicts = ref 0 in
+        let restart = ref false in
+        while !result = None && not !restart do
+          match propagate t with
+          | Some confl ->
+            t.conflicts <- t.conflicts + 1;
+            incr local_conflicts;
+            if decision_level t = 0 then begin
+              t.unsat <- true;
+              result := Some false
+            end
+            else begin
+              let learnt, btlevel = analyze t confl in
+              cancel_until t btlevel;
+              (match learnt with
+              | [] -> t.unsat <- true
+              | [ l ] ->
+                enqueue t l None
+              | l :: _ ->
+                let c = Array.of_list learnt in
+                attach_clause t c;
+                t.clauses <- c :: t.clauses;
+                enqueue t l (Some c));
+              var_decay t;
+              if !local_conflicts >= budget then restart := true
+            end
+          | None ->
+            if decision_level t < Array.length assumptions then begin
+              (* Assert the next assumption as a decision.  A falsified
+                 assumption means unsatisfiable *under these assumptions*
+                 only; the clause set itself stays usable. *)
+              let a = assumptions.(decision_level t) in
+              match lit_value t a with
+              | -1 -> result := Some false
+              | 1 -> push_level t (* already implied: empty level *)
+              | _ ->
+                push_level t;
+                enqueue t a None
+            end
+            else begin
+              let v = pick_branch_var t in
+              if v < 0 then result := Some true
+              else begin
+                t.decisions <- t.decisions + 1;
+                push_level t;
+                let l = if t.phase.(v) then pos v else neg_of_var v in
+                enqueue t l None
+              end
+            end
+        done;
+        if !restart then cancel_until t 0
+      done;
+      Option.get !result
+    end
+  end
+
+let value t v = t.assign.(v) = 1
+
+let nudge_activity t v amount =
+  t.activity.(v) <- t.activity.(v) +. amount;
+  heap_update t v
+
+let reset_phases t = Array.fill t.phase 0 (Array.length t.phase) t.default_phase
+
+let randomize_phases t seed =
+  let rng = ref (Scamv_util.Splitmix.of_seed seed) in
+  for v = 1 to t.nvars do
+    let b, r = Scamv_util.Splitmix.bool !rng in
+    rng := r;
+    t.phase.(v) <- b
+  done

@@ -1,0 +1,74 @@
+(** CDCL SAT solver (two-watched literals, 1UIP clause learning, VSIDS
+    activities, Luby restarts, phase saving).
+
+    This is the decision core under the bit-blaster; it replaces the Z3
+    backend of the original Scam-V pipeline.  The solver is incremental in
+    the sense needed for model enumeration: clauses (e.g. blocking
+    clauses) can be added between [solve] calls. *)
+
+type t
+
+type lit = int
+(** Literal encoding: variable [v >= 1] yields positive literal [2*v] and
+    negative literal [2*v + 1]. *)
+
+val pos : int -> lit
+(** Positive literal of a variable. *)
+
+val neg_of_var : int -> lit
+(** Negative literal of a variable. *)
+
+val negate : lit -> lit
+val var_of : lit -> int
+val is_pos : lit -> bool
+
+val create : ?seed:int64 -> ?default_phase:bool -> unit -> t
+(** [create ()] makes an empty solver.  [default_phase] is the polarity
+    tried first for unassigned variables (default [false], which yields
+    zeros-first models similar to Z3 default models).  [seed] enables a
+    small random component in branching to diversify enumerated models. *)
+
+val new_var : t -> int
+(** Allocate a fresh variable. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> lit list -> unit
+(** Add a clause over existing variables.  Adding the empty clause (or a
+    clause falsified at level 0) makes the instance permanently UNSAT. *)
+
+val solve : ?assumptions:lit array -> t -> bool
+(** [solve t] returns [true] iff the clause set is satisfiable; when
+    [true], {!value} reads the satisfying assignment.
+
+    [assumptions] are literals asserted as the first decisions: a [false]
+    result under assumptions means "unsatisfiable together with the
+    assumptions" and leaves the solver usable (only a conflict at decision
+    level zero marks the instance permanently UNSAT).  Used by the
+    lexicographic model minimizer. *)
+
+val value : t -> int -> bool
+(** Value of a variable in the last satisfying assignment.
+    Only meaningful after [solve] returned [true]. *)
+
+val randomize_phases : t -> int64 -> unit
+(** Re-seed saved phases randomly; used by diversified enumeration. *)
+
+val reset_phases : t -> unit
+(** Forget saved phases, restoring the default polarity.  Model
+    enumeration calls this before every non-diversified solve so each
+    model is re-derived near-minimal (like Z3 default models) instead of
+    drifting with the previous assignment. *)
+
+val nudge_activity : t -> int -> float -> unit
+(** Add a small initial activity to a variable (before solving), biasing
+    the branching order.  The bit-blaster gives the high bits of input
+    words slightly more activity than the low bits, so enumeration flips
+    low bits first and produces small-difference models like Z3's default
+    model completion. *)
+
+val stats_conflicts : t -> int
+(** Total conflicts so far, for the micro-benchmarks. *)
+
+val stats_decisions : t -> int
+val stats_propagations : t -> int

@@ -1,0 +1,137 @@
+module Splitmix = Scamv_util.Splitmix
+
+type result = Sat of Model.t | Unsat
+
+type session = {
+  blaster : Blaster.t;
+  reads : Arrays.read list;
+  track : (string * Sort.t) list;  (* boolean/bitvector inputs to block on *)
+  mutable count : int;
+  mutable exhausted : bool;
+  mutable rng : Splitmix.t;
+}
+
+let default_track formulas (reads : Arrays.read list) =
+  (* Track every non-memory free variable of the original formulas plus
+     every memory read variable, so enumerated models differ on program-
+     visible state (registers or read memory cells). *)
+  let module S = Set.Make (struct
+    type t = string * Sort.t
+
+    let compare = Stdlib.compare
+  end) in
+  let base =
+    List.fold_left
+      (fun acc f ->
+        List.fold_left
+          (fun acc (x, s) ->
+            match s with Sort.Mem -> acc | _ -> S.add (x, s) acc)
+          acc (Term.free_vars f))
+      S.empty formulas
+  in
+  let with_reads =
+    List.fold_left
+      (fun acc (r : Arrays.read) -> S.add (r.var_name, Sort.Bv 64) acc)
+      base reads
+  in
+  S.elements with_reads
+
+let expand_track reads track =
+  (* A tracked memory means: track all of its read variables. *)
+  List.concat_map
+    (fun (x, s) ->
+      match s with
+      | Sort.Mem ->
+        List.filter_map
+          (fun (r : Arrays.read) ->
+            if String.equal r.mem_name x then Some (r.var_name, Sort.Bv 64) else None)
+          reads
+      | _ -> [ (x, s) ])
+    track
+
+let make_session ?seed ?default_phase ?track formulas =
+  let { Arrays.formulas = fs; side_conditions; reads } = Arrays.eliminate formulas in
+  let blaster = Blaster.create ?seed ?default_phase () in
+  List.iter (Blaster.assert_term blaster) fs;
+  List.iter (Blaster.assert_term blaster) side_conditions;
+  let track =
+    match track with
+    | None -> default_track formulas reads
+    | Some t -> expand_track reads t
+  in
+  (* Allocate literals for tracked variables even if simplification erased
+     them from the assertions, so they are reported in models. *)
+  List.iter (fun key -> ignore (Blaster.input_literals blaster key)) track;
+  {
+    blaster;
+    reads;
+    track;
+    count = 0;
+    exhausted = false;
+    rng = Splitmix.of_seed (Option.value seed ~default:1L);
+  }
+
+(* Lexicographic model minimization: greedily clear set bits of the input
+   variables, most significant first, re-solving under assumptions.  This
+   makes every non-diversified model the canonical smallest one allowed
+   by the clauses (including the accumulated blocking clauses) — the
+   behaviour of Z3-style default models, on which the unguided-search
+   characteristics of the paper depend. *)
+let minimize_model s =
+  let sat = Blaster.solver s.blaster in
+  let lit_true l =
+    if Sat.is_pos l then Sat.value sat (Sat.var_of l)
+    else not (Sat.value sat (Sat.var_of l))
+  in
+  let pins = ref [] in
+  List.iter
+    (fun (_, _, lits) ->
+      for i = Array.length lits - 1 downto 0 do
+        let l = lits.(i) in
+        if not (lit_true l) then pins := Sat.negate l :: !pins
+        else if Sat.solve ~assumptions:(Array.of_list (Sat.negate l :: !pins)) sat
+        then pins := Sat.negate l :: !pins
+        else begin
+          pins := l :: !pins;
+          (* Restore a model satisfying the pins so the next bit reads a
+             valid current value. *)
+          let restored = Sat.solve ~assumptions:(Array.of_list !pins) sat in
+          assert restored
+        end
+      done)
+    (Blaster.inputs s.blaster)
+
+let next_model ?(diversify = false) s =
+  if s.exhausted then None
+  else begin
+    if diversify then begin
+      let seed, rng = Splitmix.next s.rng in
+      s.rng <- rng;
+      Sat.randomize_phases (Blaster.solver s.blaster) seed
+    end
+    else Sat.reset_phases (Blaster.solver s.blaster);
+    if Sat.solve (Blaster.solver s.blaster) then begin
+      if not diversify then minimize_model s;
+      let model = Blaster.read_model s.blaster in
+      let model = Arrays.recover_memories model s.reads in
+      Blaster.block_assignment s.blaster s.track;
+      s.count <- s.count + 1;
+      Some model
+    end
+    else begin
+      s.exhausted <- true;
+      None
+    end
+  end
+
+let models_found s = s.count
+
+let stats s =
+  let sat = Blaster.solver s.blaster in
+  (Sat.stats_conflicts sat, Sat.stats_decisions sat, Sat.stats_propagations sat)
+
+let var_count s = Sat.num_vars (Blaster.solver s.blaster)
+
+let solve ?seed ?default_phase formulas =
+  let s = make_session ?seed ?default_phase formulas in
+  match next_model s with Some m -> Sat m | None -> Unsat

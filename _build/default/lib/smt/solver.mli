@@ -1,0 +1,43 @@
+(** Top-level SMT interface: QF_ABV satisfiability and model enumeration.
+
+    This module plays the role Z3 plays in the original Scam-V pipeline
+    (Sec. 5.2): relation formulas come in, concrete register/memory
+    valuations (test cases) come out. *)
+
+type result = Sat of Model.t | Unsat
+
+val solve : ?seed:int64 -> ?default_phase:bool -> Term.t list -> result
+(** One-shot satisfiability of the conjunction of the given formulas.
+    The returned model assigns every variable occurring in the formulas,
+    including partial memory contents for every address the formulas
+    read. *)
+
+type session
+(** An enumeration session over a fixed set of assertions. *)
+
+val make_session :
+  ?seed:int64 ->
+  ?default_phase:bool ->
+  ?track:(string * Sort.t) list ->
+  Term.t list ->
+  session
+(** [make_session fs] prepares enumeration of models of [/\ fs].
+
+    [track] lists the variables over which models must differ (default:
+    every free variable of [fs], with memories tracked through the cells
+    they read).  Tracking matters: the paper enumerates *distinct test
+    cases*, i.e. assignments that differ on program-visible state. *)
+
+val next_model : ?diversify:bool -> session -> Model.t option
+(** Next model, or [None] when the space is exhausted.  With [diversify]
+    the solver randomizes decision phases first, spreading consecutive
+    models across the state space instead of walking it in lexicographic
+    order (used by the refinement-guided campaigns). *)
+
+val models_found : session -> int
+
+val stats : session -> int * int * int
+(** (conflicts, decisions, propagations) of the underlying SAT solver. *)
+
+val var_count : session -> int
+(** Number of SAT variables allocated (inputs + gates). *)

@@ -1,0 +1,14 @@
+type t = Bool | Bv of int | Mem
+
+let equal a b =
+  match (a, b) with
+  | Bool, Bool | Mem, Mem -> true
+  | Bv w1, Bv w2 -> w1 = w2
+  | (Bool | Bv _ | Mem), _ -> false
+
+let pp ppf = function
+  | Bool -> Format.pp_print_string ppf "Bool"
+  | Bv w -> Format.fprintf ppf "(BitVec %d)" w
+  | Mem -> Format.pp_print_string ppf "(Array (BitVec 64) (BitVec 64))"
+
+let to_string t = Format.asprintf "%a" pp t

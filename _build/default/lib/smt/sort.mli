@@ -1,0 +1,11 @@
+(** Sorts of the QF_ABV-style term language used for path conditions,
+    observation expressions and synthesized relations. *)
+
+type t =
+  | Bool  (** propositions *)
+  | Bv of int  (** fixed-width bit vectors; width in [1, 64] *)
+  | Mem  (** memories: arrays from 64-bit addresses to 64-bit words *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

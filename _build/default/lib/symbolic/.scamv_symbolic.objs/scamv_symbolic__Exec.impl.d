@@ -1,0 +1,1 @@
+lib/symbolic/exec.ml: Format List Map Scamv_bir Scamv_smt String

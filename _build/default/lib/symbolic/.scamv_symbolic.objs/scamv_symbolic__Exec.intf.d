@@ -1,0 +1,1 @@
+lib/symbolic/exec.mli: Format Scamv_bir Scamv_smt

@@ -1,0 +1,65 @@
+module Term = Scamv_smt.Term
+module Model = Scamv_smt.Model
+module Eval = Scamv_smt.Eval
+module Program = Scamv_bir.Program
+module Obs = Scamv_bir.Obs
+module String_map = Map.Make (String)
+
+type leaf = { path_cond : Term.t; obs : Obs.t list; trace : int list }
+
+exception Step_limit_exceeded
+
+(* The environment maps written variables to their symbolic values; an
+   unwritten variable denotes itself (an input). *)
+let substitute env term =
+  Term.subst (fun name _sort -> String_map.find_opt name env) term
+
+let execute ?(max_steps = 4096) program =
+  let leaves = ref [] in
+  let rec go block_id env path_cond obs_rev trace_rev steps =
+    if steps > max_steps then raise Step_limit_exceeded;
+    let b = Program.block program block_id in
+    let trace_rev = block_id :: trace_rev in
+    let env, obs_rev =
+      List.fold_left
+        (fun (env, obs_rev) stmt ->
+          match stmt with
+          | Program.Assign (x, e) -> (String_map.add x (substitute env e) env, obs_rev)
+          | Program.Observe o -> (env, Obs.map_terms (substitute env) o :: obs_rev))
+        (env, obs_rev) b.Program.stmts
+    in
+    match b.Program.term with
+    | Program.Halt ->
+      leaves :=
+        { path_cond; obs = List.rev obs_rev; trace = List.rev trace_rev } :: !leaves
+    | Program.Jmp next -> go next env path_cond obs_rev trace_rev (steps + 1)
+    | Program.Cjmp (c, then_id, else_id) ->
+      let c = substitute env c in
+      let explore cond target =
+        match Term.and_ path_cond cond with
+        | Term.False -> ()
+        | pc -> go target env pc obs_rev trace_rev (steps + 1)
+      in
+      explore c then_id;
+      explore (Term.not_ c) else_id
+  in
+  go (Program.entry program) String_map.empty Term.tt [] [] 0;
+  List.rev !leaves
+
+let concrete_obs model leaf =
+  List.filter_map
+    (fun (o : Obs.t) ->
+      if Eval.eval_bool model o.cond then
+        Some (o.tag, o.kind, List.map (Eval.eval_bv model) o.values)
+      else None)
+    leaf.obs
+
+let pp_leaf ppf { path_cond; obs; trace } =
+  Format.fprintf ppf "@[<v>path: %a@,trace: %a@,"
+    Term.pp path_cond
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    trace;
+  List.iter (fun o -> Format.fprintf ppf "%a@," Obs.pp o) obs;
+  Format.fprintf ppf "@]"

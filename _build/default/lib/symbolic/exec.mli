@@ -1,0 +1,34 @@
+(** Symbolic execution of BIR programs (the "symbolic execution" phase of
+    the Scam-V pipeline, Sec. 2.3).
+
+    The program is executed with symbolic inputs; every feasible-looking
+    path yields a terminating symbolic state: the path condition [pσ] and
+    the list of symbolic observations [lσ], all expressed over the initial
+    program variables. *)
+
+type leaf = {
+  path_cond : Scamv_smt.Term.t;
+      (** condition on the initial state for this path *)
+  obs : Scamv_bir.Obs.t list;
+      (** observations in emission order, over initial variables *)
+  trace : int list;  (** block ids visited, entry first *)
+}
+
+exception Step_limit_exceeded
+
+val execute : ?max_steps:int -> Scamv_bir.Program.t -> leaf list
+(** All paths, in depth-first order (then-branch first).  Paths whose
+    condition simplifies to [false] syntactically are pruned; remaining
+    conditions may still be unsatisfiable (the SMT solver decides later).
+
+    @raise Step_limit_exceeded when a path exceeds [max_steps] blocks
+    (default 4096), which indicates a cyclic program. *)
+
+val concrete_obs :
+  Scamv_smt.Model.t -> leaf -> (Scamv_bir.Obs.tag * string * int64 list) list
+(** Evaluate a leaf's observation list under a concrete input valuation,
+    dropping observations whose condition is false: the observation trace
+    the model predicts for that input.  Used by tests and by the
+    test-case validator. *)
+
+val pp_leaf : Format.formatter -> leaf -> unit

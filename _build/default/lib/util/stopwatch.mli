@@ -1,0 +1,14 @@
+(** Wall-clock timing for campaign statistics (generation time, execution
+    time, time to first counterexample). *)
+
+type t
+(** A running stopwatch. *)
+
+val start : unit -> t
+(** Start measuring now. *)
+
+val elapsed_s : t -> float
+(** Seconds elapsed since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and also returns its duration in seconds. *)

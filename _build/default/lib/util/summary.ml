@@ -1,0 +1,13 @@
+type t = { n : int; sum : float; mn : float; mx : float }
+
+let empty = { n = 0; sum = 0.; mn = nan; mx = nan }
+
+let add t x =
+  if t.n = 0 then { n = 1; sum = x; mn = x; mx = x }
+  else { n = t.n + 1; sum = t.sum +. x; mn = min t.mn x; mx = max t.mx x }
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n
+let min_value t = t.mn
+let max_value t = t.mx

@@ -1,0 +1,17 @@
+(** Streaming summary statistics (count / mean / min / max / total) for
+    per-experiment timings. *)
+
+type t
+
+val empty : t
+val add : t -> float -> t
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the added samples; [0.] when empty. *)
+
+val min_value : t -> float
+(** Smallest sample; [nan] when empty. *)
+
+val max_value : t -> float
+(** Largest sample; [nan] when empty. *)

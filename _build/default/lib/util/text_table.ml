@@ -1,0 +1,38 @@
+let render ~header ~rows =
+  let all = header :: rows in
+  let arity = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> arity then invalid_arg "Text_table.render: ragged row")
+    rows;
+  let widths = Array.make arity 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 1024 in
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let emit_row row =
+    Buffer.add_string buf "| ";
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_string buf " |\n"
+  in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  emit_row header;
+  rule ();
+  List.iter emit_row rows;
+  rule ();
+  Buffer.contents buf

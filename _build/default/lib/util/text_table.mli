@@ -1,0 +1,6 @@
+(** Plain-text table rendering for the benchmark harness output (the rows
+    of Table 1 and the Fig. 7 table). *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] renders an aligned ASCII table.  Every row must
+    have the same arity as [header]. *)

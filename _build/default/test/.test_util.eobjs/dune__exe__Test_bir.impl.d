@@ -1,0 +1,1 @@
+test/test_bir.ml: Alcotest Format Int64 List QCheck QCheck_alcotest Scamv_bir Scamv_gen Scamv_isa Scamv_models Scamv_smt Scamv_symbolic Scamv_util

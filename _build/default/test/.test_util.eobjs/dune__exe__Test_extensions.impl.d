@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Fun Int64 List Scamv Scamv_bir Scamv_gen Scamv_isa Scamv_microarch Scamv_models Scamv_smt Scamv_symbolic String

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Int64 List Option QCheck QCheck_alcotest Scamv_gen Scamv_isa

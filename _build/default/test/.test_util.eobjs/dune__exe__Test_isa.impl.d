@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Bool Int64 List QCheck QCheck_alcotest Scamv_isa String

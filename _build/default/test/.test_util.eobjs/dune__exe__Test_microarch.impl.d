@@ -1,0 +1,1 @@
+test/test_microarch.ml: Alcotest Int64 List QCheck QCheck_alcotest Scamv_gen Scamv_isa Scamv_microarch Scamv_util

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Bool Int64 List Printf QCheck QCheck_alcotest Scamv_bir Scamv_isa Scamv_models Scamv_smt Scamv_symbolic

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Format Hashtbl List Scamv Scamv_gen Scamv_isa Scamv_microarch Scamv_models

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Bool Int64 List Option Scamv_bir Scamv_isa Scamv_models Scamv_relation Scamv_smt Scamv_symbolic String

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Array Int64 QCheck QCheck_alcotest Scamv Scamv_isa Scamv_microarch Scamv_models Scamv_riscv Scamv_util

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Bool Format Hashtbl Int64 List QCheck QCheck_alcotest Scamv_smt Scamv_util

@@ -1,0 +1,352 @@
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Machine = Scamv_isa.Machine
+module Semantics = Scamv_isa.Semantics
+module Program = Scamv_bir.Program
+module Lifter = Scamv_bir.Lifter
+module Obs = Scamv_bir.Obs
+module Vars = Scamv_bir.Vars
+module Exec = Scamv_symbolic.Exec
+module Term = Scamv_smt.Term
+module Model = Scamv_smt.Model
+module Eval = Scamv_smt.Eval
+module Catalog = Scamv_models.Catalog
+module Templates = Scamv_gen.Templates
+module Gen = Scamv_gen.Gen
+
+let x = Reg.x
+let imm v = Ast.Imm v
+let reg r = Ast.Reg r
+let addr ?(scale = 0) base offset = { Ast.base; offset; scale }
+
+(* ---- Vars ---- *)
+
+let test_vars_naming () =
+  Alcotest.(check string) "reg var" "x5" (Vars.reg (x 5));
+  Alcotest.(check string) "shadow" "x5_sh" (Vars.shadow "x5");
+  Alcotest.(check string) "shadow idempotent" "x5_sh" (Vars.shadow (Vars.shadow "x5"));
+  Alcotest.(check bool) "is_shadow" true (Vars.is_shadow "mem_sh");
+  Alcotest.(check Alcotest.int) "program vars" 36 (List.length Vars.all_program_vars)
+
+(* ---- Program structure ---- *)
+
+let test_program_validation () =
+  let b id term = { Program.id; stmts = []; term } in
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Program.make: duplicate block id 0") (fun () ->
+      ignore (Program.make ~entry:0 [ b 0 Program.Halt; b 0 Program.Halt ]));
+  Alcotest.check_raises "missing entry" (Invalid_argument "Program.make: entry block missing")
+    (fun () -> ignore (Program.make ~entry:5 [ b 0 Program.Halt ]));
+  Alcotest.check_raises "dangling jump"
+    (Invalid_argument "Program.make: block 0 jumps to unknown block 9") (fun () ->
+      ignore (Program.make ~entry:0 [ b 0 (Program.Jmp 9) ]))
+
+let test_fresh_id () =
+  let b id term = { Program.id; stmts = []; term } in
+  let p = Program.make ~entry:0 [ b 0 (Program.Jmp 7); b 7 Program.Halt ] in
+  Alcotest.(check Alcotest.int) "fresh above max" 8 (Program.fresh_id p)
+
+(* ---- Lifting ---- *)
+
+let test_lift_block_per_instruction () =
+  let p = [| Ast.Mov (x 0, imm 1L); Ast.Nop |] in
+  let bir = Lifter.lift p in
+  Alcotest.(check Alcotest.int) "blocks = instrs + halt" 3 (List.length (Program.blocks bir));
+  match (Program.block bir 2).Program.term with
+  | Program.Halt -> ()
+  | _ -> Alcotest.fail "last block must halt"
+
+let test_lift_rejects_invalid () =
+  Alcotest.(check bool) "invalid program rejected" true
+    (try
+       ignore (Lifter.lift [| Ast.B 9 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_cond_term_roundtrip () =
+  (* cond_term must agree with Semantics.eval_cond on all flag values. *)
+  let all_conds =
+    [ Ast.Eq; Ast.Ne; Ast.Hs; Ast.Lo; Ast.Hi; Ast.Ls; Ast.Ge; Ast.Lt; Ast.Gt; Ast.Le ]
+  in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (n, z, cf, v) ->
+          let flags = { Machine.n; z; c = cf; v } in
+          let model =
+            List.fold_left2
+              (fun m name b -> Model.add_var m name (Model.Bool b))
+              Model.empty
+              [ Vars.flag_n; Vars.flag_z; Vars.flag_c; Vars.flag_v ]
+              [ n; z; cf; v ]
+          in
+          Alcotest.(check bool)
+            (Format.asprintf "cond %a" Ast.pp_cond c)
+            (Semantics.eval_cond flags c)
+            (Eval.eval_bool model (Lifter.cond_term c)))
+        (List.concat_map
+           (fun n ->
+             List.concat_map
+               (fun z ->
+                 List.concat_map
+                   (fun c -> List.map (fun v -> (n, z, c, v)) [ true; false ])
+                   [ true; false ])
+               [ true; false ])
+           [ true; false ]))
+    all_conds
+
+(* ---- Symbolic execution ---- *)
+
+let test_symbolic_straightline () =
+  let p = [| Ast.Mov (x 0, imm 3L); Ast.Add (x 0, x 0, imm 4L) |] in
+  let leaves = Exec.execute (Lifter.lift p) in
+  Alcotest.(check Alcotest.int) "one path" 1 (List.length leaves)
+
+let test_symbolic_two_paths () =
+  let p =
+    [| Ast.Cmp (x 0, imm 5L); Ast.B_cond (Ast.Eq, 3); Ast.Mov (x 1, imm 1L) |]
+  in
+  let leaves = Exec.execute (Lifter.lift p) in
+  Alcotest.(check Alcotest.int) "two paths" 2 (List.length leaves)
+
+let test_symbolic_cycle_detected () =
+  let p = [| Ast.B 0 |] in
+  Alcotest.check_raises "cycle" Exec.Step_limit_exceeded (fun () ->
+      ignore (Exec.execute ~max_steps:64 (Lifter.lift p)))
+
+let test_symbolic_observation_substitution () =
+  (* The observed load address must be expressed over *initial* variables:
+     x1 is overwritten before the load, so the observation must refer to
+     the constant, not to x1. *)
+  let p = [| Ast.Mov (x 1, imm 0x40L); Ast.Ldr (x 2, addr (x 1) (imm 0L)) |] in
+  let bir = Scamv_models.Model.annotate Catalog.mct p in
+  let leaves = Exec.execute bir in
+  let leaf = List.hd leaves in
+  let load_obs =
+    List.find (fun (o : Obs.t) -> o.Obs.kind = "load_addr") leaf.Exec.obs
+  in
+  match load_obs.Obs.values with
+  | [ Term.Bv_const (0x40L, 64) ] -> ()
+  | [ t ] -> Alcotest.failf "expected folded constant, got %s" (Term.to_string t)
+  | _ -> Alcotest.fail "expected one value"
+
+(* Convert a machine state to a model over canonical variables. *)
+let model_of_machine m =
+  let model =
+    List.fold_left
+      (fun acc r -> Model.add_var acc (Vars.reg r) (Model.Bv (Machine.get_reg m r, 64)))
+      Model.empty Reg.all
+  in
+  let f = Machine.get_flags m in
+  let model =
+    List.fold_left2
+      (fun acc name b -> Model.add_var acc name (Model.Bool b))
+      model
+      [ Vars.flag_n; Vars.flag_z; Vars.flag_c; Vars.flag_v ]
+      [ f.Machine.n; f.Machine.z; f.Machine.c; f.Machine.v ]
+  in
+  List.fold_left
+    (fun acc (a, v) -> Model.add_mem_cell acc Vars.mem_name ~addr:a ~value:v)
+    model (Machine.mem_bindings m)
+
+let random_machine rng =
+  let module Sm = Scamv_util.Splitmix in
+  let m = Machine.create () in
+  let rng = ref rng in
+  List.iter
+    (fun r ->
+      let v, rng' = Sm.next !rng in
+      rng := rng';
+      (* Small addresses so loads sometimes alias the stored cells. *)
+      Machine.set_reg m r (Int64.logand v 0xFFL))
+    Reg.all;
+  for _ = 1 to 8 do
+    let a, rng' = Sm.next !rng in
+    rng := rng';
+    let v, rng'' = Sm.next !rng in
+    rng := rng'';
+    Machine.store m (Int64.logand a 0xFFL) (Int64.logand v 0xFFL)
+  done;
+  (m, !rng)
+
+(* Differential test: for a random template program and a random initial
+   state, the Mct observation trace predicted by symbolic execution must
+   equal the addresses/pcs of the concrete architectural run. *)
+let prop_symbolic_matches_concrete =
+  QCheck.Test.make ~name:"symbolic Mct trace = concrete trace on templates" ~count:150
+    QCheck.(pair int64 (int_bound 4))
+    (fun (seed, template_idx) ->
+      let module Sm = Scamv_util.Splitmix in
+      let template =
+        List.nth
+          [
+            Templates.stride;
+            Templates.template_a;
+            Templates.template_b;
+            Templates.template_c;
+            Templates.template_d;
+          ]
+          template_idx
+      in
+      let { Templates.program; _ } = Gen.generate ~seed template in
+      let machine, rng = random_machine (Sm.of_seed (Int64.add seed 77L)) in
+      ignore rng;
+      let model = model_of_machine machine in
+      let bir = Scamv_models.Model.annotate Catalog.mct program in
+      let leaves = Exec.execute bir in
+      (* Exactly one path condition must hold for the concrete state. *)
+      let holds =
+        List.filter (fun (l : Exec.leaf) -> Eval.eval_bool model l.Exec.path_cond) leaves
+      in
+      match holds with
+      | [ leaf ] ->
+        let predicted =
+          Exec.concrete_obs model leaf
+          |> List.filter_map (fun (tag, kind, values) ->
+                 match (tag, kind, values) with
+                 | Obs.Base, "load_addr", [ a ] -> Some a
+                 | _ -> None)
+        in
+        let concrete_machine = Machine.copy machine in
+        let trace = Semantics.run program concrete_machine in
+        let actual =
+          List.filter_map
+            (function
+              | Semantics.Load a -> Some a
+              | Semantics.Store a -> Some a
+              | Semantics.Fetch _ | Semantics.Branch _ -> None)
+            trace
+        in
+        predicted = actual
+      | _ -> false)
+
+(* The leaf count of an Mspec-instrumented program must not change the
+   architectural paths: shadow blocks are pass-through. *)
+let prop_spec_instrumentation_transparent =
+  QCheck.Test.make ~name:"speculation stubs preserve path conditions" ~count:100
+    QCheck.int64 (fun seed ->
+      let { Templates.program; _ } = Gen.generate ~seed Templates.template_b in
+      let plain = Exec.execute (Scamv_models.Model.annotate Catalog.mct program) in
+      let instrumented =
+        Exec.execute
+          (Scamv_models.Refinement.annotate (Scamv_models.Refinement.mct_vs_mspec ()) program)
+      in
+      List.length plain = List.length instrumented
+      && List.for_all2
+           (fun (a : Exec.leaf) (b : Exec.leaf) ->
+             Term.equal a.Exec.path_cond b.Exec.path_cond)
+           plain instrumented)
+
+let test_spec_shadow_load_observed () =
+  (* Template-A-shaped program: the wrong-path load must appear as a
+     Refined observation on the branch-taken path. *)
+  let p =
+    [|
+      Ast.Ldr (x 2, addr (x 0) (reg (x 1)));
+      Ast.Cmp (x 1, reg (x 4));
+      Ast.B_cond (Ast.Hs, 4);
+      Ast.Ldr (x 5, addr (x 6) (reg (x 2)));
+    |]
+  in
+  let bir = Scamv_models.Refinement.annotate (Scamv_models.Refinement.mct_vs_mspec ()) p in
+  let leaves = Exec.execute bir in
+  let taken =
+    List.find
+      (fun (l : Exec.leaf) ->
+        not (List.exists (fun b -> b = 3) l.Exec.trace) (* skips the body *))
+      leaves
+  in
+  let refined = List.filter Obs.is_refined taken.Exec.obs in
+  Alcotest.(check Alcotest.int) "one transient load observed" 1 (List.length refined);
+  let o = List.hd refined in
+  Alcotest.(check string) "kind" "spec_load" o.Obs.kind;
+  (* The address must mention the memory (through the committed x2 load). *)
+  let mentions_mem =
+    List.exists
+      (fun v -> List.exists (fun (n, _) -> n = Vars.mem_name) (Term.free_vars v))
+      o.Obs.values
+  in
+  Alcotest.(check bool) "address depends on loaded value" true mentions_mem
+
+let test_spec1_tags_first_load_base () =
+  (* Template-C-shaped body: under Mspec1-vs-Mspec the first transient
+     load is Base, the dependent one Refined. *)
+  let p =
+    [|
+      Ast.Cmp (x 1, reg (x 2));
+      Ast.B_cond (Ast.Hs, 4);
+      Ast.Ldr (x 6, addr (x 5) (reg (x 3)));
+      Ast.Ldr (x 8, addr (x 7) (reg (x 6)));
+    |]
+  in
+  let bir =
+    Scamv_models.Refinement.annotate (Scamv_models.Refinement.mspec1_vs_mspec ()) p
+  in
+  let leaves = Exec.execute bir in
+  let taken =
+    List.find
+      (fun (l : Exec.leaf) -> not (List.exists (fun b -> b = 2) l.Exec.trace))
+      leaves
+  in
+  let spec_obs =
+    List.filter (fun (o : Obs.t) -> o.Obs.kind = "spec_load") taken.Exec.obs
+  in
+  Alcotest.(check Alcotest.int) "two transient loads" 2 (List.length spec_obs);
+  (match spec_obs with
+  | [ first; second ] ->
+    Alcotest.(check bool) "first is base" true (Obs.is_base first);
+    Alcotest.(check bool) "second is refined" true (Obs.is_refined second)
+  | _ -> Alcotest.fail "expected two observations")
+
+let test_straight_line_instrumentation () =
+  let p = [| Ast.B 2; Ast.Ldr (x 1, addr (x 0) (imm 0L)) |] in
+  let with_sl =
+    Scamv_models.Refinement.annotate
+      (Scamv_models.Refinement.mct_vs_mspec_straight_line ())
+      p
+  in
+  let leaves = Exec.execute with_sl in
+  let refined = List.concat_map (fun (l : Exec.leaf) -> List.filter Obs.is_refined l.Exec.obs) leaves in
+  Alcotest.(check Alcotest.int) "dead load observed transiently" 1 (List.length refined);
+  (* Without the straight-line variant there is no refined observation. *)
+  let without =
+    Scamv_models.Refinement.annotate (Scamv_models.Refinement.mct_vs_mspec ()) p
+  in
+  let leaves' = Exec.execute without in
+  let refined' =
+    List.concat_map (fun (l : Exec.leaf) -> List.filter Obs.is_refined l.Exec.obs) leaves'
+  in
+  Alcotest.(check Alcotest.int) "no observation without Mspec'" 0 (List.length refined')
+
+let () =
+  Alcotest.run "scamv_bir"
+    [
+      ("vars", [ Alcotest.test_case "naming" `Quick test_vars_naming ]);
+      ( "program",
+        [
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "fresh id" `Quick test_fresh_id;
+        ] );
+      ( "lifter",
+        [
+          Alcotest.test_case "block per instruction" `Quick test_lift_block_per_instruction;
+          Alcotest.test_case "rejects invalid" `Quick test_lift_rejects_invalid;
+          Alcotest.test_case "cond_term semantics" `Quick test_cond_term_roundtrip;
+        ] );
+      ( "symbolic",
+        [
+          Alcotest.test_case "straight line" `Quick test_symbolic_straightline;
+          Alcotest.test_case "two paths" `Quick test_symbolic_two_paths;
+          Alcotest.test_case "cycle detected" `Quick test_symbolic_cycle_detected;
+          Alcotest.test_case "observation substitution" `Quick
+            test_symbolic_observation_substitution;
+          QCheck_alcotest.to_alcotest prop_symbolic_matches_concrete;
+        ] );
+      ( "speculation",
+        [
+          QCheck_alcotest.to_alcotest prop_spec_instrumentation_transparent;
+          Alcotest.test_case "shadow load observed" `Quick test_spec_shadow_load_observed;
+          Alcotest.test_case "mspec1 tags" `Quick test_spec1_tags_first_load_base;
+          Alcotest.test_case "straight line" `Quick test_straight_line_instrumentation;
+        ] );
+    ]

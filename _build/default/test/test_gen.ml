@@ -1,0 +1,250 @@
+module Gen = Scamv_gen.Gen
+module Templates = Scamv_gen.Templates
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+
+(* ---- combinators ---- *)
+
+let test_gen_deterministic () =
+  let g = Gen.int_in 0 1000 in
+  Alcotest.(check Alcotest.int) "same seed same value"
+    (Gen.generate ~seed:5L g) (Gen.generate ~seed:5L g)
+
+let test_gen_int_in_bounds () =
+  for seed = 1 to 200 do
+    let v = Gen.generate ~seed:(Int64.of_int seed) (Gen.int_in (-3) 7) in
+    Alcotest.(check bool) "in range" true (v >= -3 && v <= 7)
+  done
+
+let test_gen_list_length () =
+  let l = Gen.generate ~seed:1L (Gen.list 5 Gen.bool) in
+  Alcotest.(check Alcotest.int) "length" 5 (List.length l)
+
+let test_gen_choose_member () =
+  for seed = 1 to 50 do
+    let v = Gen.generate ~seed:(Int64.of_int seed) (Gen.choose [ 1; 2; 3 ]) in
+    Alcotest.(check bool) "member" true (List.mem v [ 1; 2; 3 ])
+  done
+
+let test_gen_opt_probabilities () =
+  let count p =
+    let hits = ref 0 in
+    for seed = 1 to 500 do
+      match Gen.generate ~seed:(Int64.of_int seed) (Gen.opt p (Gen.return ())) with
+      | Some () -> incr hits
+      | None -> ()
+    done;
+    !hits
+  in
+  Alcotest.(check Alcotest.int) "p=0 never" 0 (count 0.0);
+  Alcotest.(check Alcotest.int) "p=1 always" 500 (count 1.0);
+  let half = count 0.5 in
+  Alcotest.(check bool) "p=0.5 plausible" true (half > 150 && half < 350)
+
+let test_gen_frequency () =
+  (* Weight 0 side never picked when the other weight dominates fully. *)
+  for seed = 1 to 100 do
+    let v =
+      Gen.generate ~seed:(Int64.of_int seed)
+        (Gen.frequency [ (1, Gen.return "a"); (99, Gen.return "b") ])
+    in
+    Alcotest.(check bool) "valid choice" true (v = "a" || v = "b")
+  done;
+  Alcotest.check_raises "empty frequency"
+    (Invalid_argument "Gen.frequency: weights must be positive") (fun () ->
+      ignore (Gen.generate ~seed:1L (Gen.frequency [])))
+
+let test_distinct_regs () =
+  for seed = 1 to 100 do
+    let regs = Gen.generate ~seed:(Int64.of_int seed) (Gen.distinct_regs 8) in
+    let uniq = List.sort_uniq Reg.compare regs in
+    Alcotest.(check Alcotest.int) "distinct" 8 (List.length uniq)
+  done
+
+let test_reg_avoiding () =
+  let avoid = List.filteri (fun i _ -> i < 30) Reg.all in
+  let r = Gen.generate ~seed:3L (Gen.reg_avoiding avoid) in
+  Alcotest.(check Alcotest.int) "only candidate" 30 (Reg.index r);
+  Alcotest.check_raises "all excluded"
+    (Invalid_argument "Gen.reg_avoiding: all registers excluded") (fun () ->
+      ignore (Gen.generate ~seed:3L (Gen.reg_avoiding Reg.all)))
+
+(* ---- templates ---- *)
+
+let generate_many template n =
+  List.init n (fun i -> Gen.generate ~seed:(Int64.of_int (i + 1)) template)
+
+let prop_templates_valid =
+  QCheck.Test.make ~name:"all templates produce valid programs" ~count:300
+    QCheck.(pair int64 (int_bound 4))
+    (fun (seed, idx) ->
+      let template =
+        List.nth
+          [
+            Templates.stride;
+            Templates.template_a;
+            Templates.template_b;
+            Templates.template_c;
+            Templates.template_d;
+          ]
+          idx
+      in
+      let { Templates.program; _ } = Gen.generate ~seed template in
+      Ast.validate program = Ok ())
+
+let test_stride_shape () =
+  List.iter
+    (fun { Templates.program; template_name } ->
+      Alcotest.(check string) "name" "stride" template_name;
+      let n = Array.length program in
+      Alcotest.(check bool) "3..5 loads" true (n >= 3 && n <= 5);
+      Array.iter
+        (fun i -> Alcotest.(check bool) "all loads" true (Ast.is_load i))
+        program;
+      (* All loads share one base register and use line-multiple offsets. *)
+      let bases =
+        Array.to_list program
+        |> List.filter_map (function
+             | Ast.Ldr (_, { Ast.base; _ }) -> Some base
+             | _ -> None)
+        |> List.sort_uniq Reg.compare
+      in
+      Alcotest.(check Alcotest.int) "single base" 1 (List.length bases);
+      Array.iteri
+        (fun i instr ->
+          match instr with
+          | Ast.Ldr (_, { Ast.offset = Ast.Imm v; _ }) ->
+            Alcotest.(check bool) "equidistant line multiples" true
+              (Int64.rem v 64L = 0L && Int64.to_int v / 64 mod (i + 1) >= 0)
+          | _ -> Alcotest.fail "expected immediate offset")
+        program)
+    (generate_many Templates.stride 50)
+
+let test_template_a_constraints () =
+  List.iter
+    (fun { Templates.program; _ } ->
+      match program with
+      | [|
+       Ast.Ldr (r2, { Ast.base = _; offset = Ast.Reg r1; _ });
+       Ast.Cmp (r1', Ast.Reg r4);
+       Ast.B_cond (_, 4);
+       Ast.Ldr (_, { Ast.base = _; offset = Ast.Reg r2'; _ });
+      |] ->
+        Alcotest.(check bool) "cmp uses the offset register" true (Reg.equal r1 r1');
+        Alcotest.(check bool) "body uses the loaded register" true (Reg.equal r2 r2');
+        Alcotest.(check bool) "r2 <> r1" false (Reg.equal r2 r1);
+        Alcotest.(check bool) "r4 not in {r1, r2}" false
+          (Reg.equal r4 r1 || Reg.equal r4 r2)
+      | _ -> Alcotest.fail "unexpected template A shape")
+    (generate_many Templates.template_a 100)
+
+let test_template_b_shape () =
+  List.iter
+    (fun { Templates.program; _ } ->
+      let loads = Array.to_list program |> List.filter Ast.is_load |> List.length in
+      Alcotest.(check bool) "1..4 loads" true (loads >= 1 && loads <= 4);
+      let branch_idx =
+        Array.to_list program
+        |> List.mapi (fun i x -> (i, x))
+        |> List.find_map (fun (i, x) ->
+               match x with Ast.B_cond (_, t) -> Some (i, t) | _ -> None)
+      in
+      match branch_idx with
+      | Some (i, target) ->
+        Alcotest.(check bool) "branch skips the body" true
+          (target = Array.length program && target > i + 1)
+      | None -> Alcotest.fail "no conditional branch")
+    (generate_many Templates.template_b 100)
+
+let test_template_c_dependency () =
+  List.iter
+    (fun { Templates.program; _ } ->
+      (* The last load's offset register must be data-dependent on the
+         first load's destination. *)
+      let instrs = Array.to_list program in
+      let first_load_dest =
+        List.find_map
+          (function Ast.Ldr (d, _) -> Some d | _ -> None)
+          instrs
+        |> Option.get
+      in
+      let last_load_offset =
+        List.rev instrs
+        |> List.find_map (function
+             | Ast.Ldr (_, { Ast.offset = Ast.Reg r; _ }) -> Some r
+             | _ -> None)
+        |> Option.get
+      in
+      let depends =
+        Reg.equal last_load_offset first_load_dest
+        || List.exists
+             (function
+               | Ast.Add (d, a, _) | Ast.Eor (d, a, _) ->
+                 Reg.equal d last_load_offset && Reg.equal a first_load_dest
+               | _ -> false)
+             instrs
+      in
+      Alcotest.(check bool) "causal dependency" true depends)
+    (generate_many Templates.template_c 100)
+
+let test_template_d_shape () =
+  List.iter
+    (fun { Templates.program; _ } ->
+      let jump =
+        Array.to_list program
+        |> List.mapi (fun i x -> (i, x))
+        |> List.find_map (fun (i, x) -> match x with Ast.B t -> Some (i, t) | _ -> None)
+      in
+      match jump with
+      | Some (i, target) ->
+        Alcotest.(check bool) "dead code exists" true (target > i + 1);
+        for k = i + 1 to target - 1 do
+          Alcotest.(check bool) "dead instructions are loads" true
+            (Ast.is_load program.(k))
+        done
+      | None -> Alcotest.fail "no unconditional branch")
+    (generate_many Templates.template_d 100)
+
+let test_by_name () =
+  List.iter
+    (fun name -> ignore (Gen.generate ~seed:1L (Templates.by_name name)))
+    [ "stride"; "A"; "B"; "C"; "D" ];
+  Alcotest.check_raises "unknown"
+    (Invalid_argument "Templates.by_name: unknown template X") (fun () ->
+      ignore (Templates.by_name "X"))
+
+let test_seed_diversity () =
+  (* Different seeds should not all produce the same program. *)
+  let programs =
+    generate_many Templates.template_b 20
+    |> List.map (fun t -> Ast.to_string t.Templates.program)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "diverse" true (List.length programs > 5)
+
+let () =
+  Alcotest.run "scamv_gen"
+    [
+      ( "combinators",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "int_in bounds" `Quick test_gen_int_in_bounds;
+          Alcotest.test_case "list length" `Quick test_gen_list_length;
+          Alcotest.test_case "choose member" `Quick test_gen_choose_member;
+          Alcotest.test_case "opt probabilities" `Quick test_gen_opt_probabilities;
+          Alcotest.test_case "frequency" `Quick test_gen_frequency;
+          Alcotest.test_case "distinct regs" `Quick test_distinct_regs;
+          Alcotest.test_case "reg avoiding" `Quick test_reg_avoiding;
+        ] );
+      ( "templates",
+        [
+          QCheck_alcotest.to_alcotest prop_templates_valid;
+          Alcotest.test_case "stride shape" `Quick test_stride_shape;
+          Alcotest.test_case "template A constraints" `Quick test_template_a_constraints;
+          Alcotest.test_case "template B shape" `Quick test_template_b_shape;
+          Alcotest.test_case "template C dependency" `Quick test_template_c_dependency;
+          Alcotest.test_case "template D shape" `Quick test_template_d_shape;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+          Alcotest.test_case "seed diversity" `Quick test_seed_diversity;
+        ] );
+    ]

@@ -1,0 +1,332 @@
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Machine = Scamv_isa.Machine
+module Semantics = Scamv_isa.Semantics
+module Platform = Scamv_isa.Platform
+
+let x = Reg.x
+let imm v = Ast.Imm v
+let reg r = Ast.Reg r
+let addr ?(scale = 0) base offset = { Ast.base; offset; scale }
+
+let run_program ?machine program =
+  let m = match machine with Some m -> m | None -> Machine.create () in
+  let trace = Semantics.run (Array.of_list program) m in
+  (m, trace)
+
+(* ---- Reg ---- *)
+
+let test_reg_bounds () =
+  Alcotest.(check string) "name" "x7" (Reg.name (x 7));
+  Alcotest.(check Alcotest.int) "count" 31 Reg.count;
+  Alcotest.check_raises "x31 rejected"
+    (Invalid_argument "Reg.x: register index out of range") (fun () -> ignore (x 31))
+
+(* ---- ALU semantics ---- *)
+
+let test_mov_add_sub () =
+  let m, _ =
+    run_program
+      [
+        Ast.Mov (x 0, imm 10L);
+        Ast.Add (x 1, x 0, imm 5L);
+        Ast.Sub (x 2, x 1, reg (x 0));
+      ]
+  in
+  Alcotest.(check int64) "x1" 15L (Machine.get_reg m (x 1));
+  Alcotest.(check int64) "x2" 5L (Machine.get_reg m (x 2))
+
+let test_logic_ops () =
+  let m, _ =
+    run_program
+      [
+        Ast.Mov (x 0, imm 0xF0L);
+        Ast.Mov (x 1, imm 0xFFL);
+        Ast.And_ (x 2, x 0, reg (x 1));
+        Ast.Orr (x 3, x 0, imm 0x0FL);
+        Ast.Eor (x 4, x 0, reg (x 1));
+      ]
+  in
+  Alcotest.(check int64) "and" 0xF0L (Machine.get_reg m (x 2));
+  Alcotest.(check int64) "orr" 0xFFL (Machine.get_reg m (x 3));
+  Alcotest.(check int64) "eor" 0x0FL (Machine.get_reg m (x 4))
+
+let test_shifts () =
+  let m, _ =
+    run_program
+      [
+        Ast.Mov (x 0, imm 0x80L);
+        Ast.Lsl (x 1, x 0, imm 4L);
+        Ast.Lsr (x 2, x 0, imm 3L);
+        Ast.Mov (x 3, imm (-8L));
+        Ast.Asr (x 4, x 3, imm 1L);
+        Ast.Lsl (x 5, x 0, imm 100L);
+      ]
+  in
+  Alcotest.(check int64) "lsl" 0x800L (Machine.get_reg m (x 1));
+  Alcotest.(check int64) "lsr" 0x10L (Machine.get_reg m (x 2));
+  Alcotest.(check int64) "asr negative" (-4L) (Machine.get_reg m (x 4));
+  Alcotest.(check int64) "oversized shift" 0L (Machine.get_reg m (x 5))
+
+(* ---- memory ---- *)
+
+let test_load_store () =
+  let m, trace =
+    run_program
+      [
+        Ast.Mov (x 0, imm 0x1000L);
+        Ast.Mov (x 1, imm 42L);
+        Ast.Str (x 1, addr (x 0) (imm 8L));
+        Ast.Ldr (x 2, addr (x 0) (imm 8L));
+      ]
+  in
+  Alcotest.(check int64) "loaded" 42L (Machine.get_reg m (x 2));
+  let loads = List.filter (function Semantics.Load _ -> true | _ -> false) trace in
+  let stores = List.filter (function Semantics.Store _ -> true | _ -> false) trace in
+  Alcotest.(check Alcotest.int) "one load" 1 (List.length loads);
+  Alcotest.(check Alcotest.int) "one store" 1 (List.length stores)
+
+let test_scaled_addressing () =
+  let m = Machine.create () in
+  Machine.set_reg m (x 0) 0x1000L;
+  Machine.set_reg m (x 1) 4L;
+  Machine.store m 0x1020L 7L;
+  let _, _ = run_program ~machine:m [ Ast.Ldr (x 2, addr ~scale:3 (x 0) (reg (x 1))) ] in
+  Alcotest.(check int64) "x2 = mem[x0 + (x1 << 3)]" 7L (Machine.get_reg m (x 2))
+
+let test_uninitialized_memory_zero () =
+  let m, _ = run_program [ Ast.Mov (x 0, imm 0x5000L); Ast.Ldr (x 1, addr (x 0) (imm 0L)) ] in
+  Alcotest.(check int64) "unwritten reads zero" 0L (Machine.get_reg m (x 1))
+
+(* ---- flags and branches ---- *)
+
+let test_cmp_flags_equal () =
+  let m, _ = run_program [ Ast.Mov (x 0, imm 5L); Ast.Cmp (x 0, imm 5L) ] in
+  let f = Machine.get_flags m in
+  Alcotest.(check bool) "z" true f.Machine.z;
+  Alcotest.(check bool) "c (no borrow)" true f.Machine.c;
+  Alcotest.(check bool) "n" false f.Machine.n
+
+let test_cmp_flags_unsigned_borrow () =
+  let m, _ = run_program [ Ast.Mov (x 0, imm 3L); Ast.Cmp (x 0, imm 5L) ] in
+  let f = Machine.get_flags m in
+  Alcotest.(check bool) "c clear on borrow" false f.Machine.c;
+  Alcotest.(check bool) "n set" true f.Machine.n
+
+let test_cmp_signed_overflow () =
+  (* min_int - 1 overflows: N and V differ semantics *)
+  let m = Machine.create () in
+  Machine.set_reg m (x 0) Int64.min_int;
+  let _, _ = run_program ~machine:m [ Ast.Cmp (x 0, imm 1L) ] in
+  let f = Machine.get_flags m in
+  Alcotest.(check bool) "v set" true f.Machine.v;
+  (* lt means N <> V; min_int < 1 signed *)
+  Alcotest.(check bool) "lt holds" true (Semantics.eval_cond f Ast.Lt)
+
+let all_conds = [ Ast.Eq; Ast.Ne; Ast.Hs; Ast.Lo; Ast.Hi; Ast.Ls; Ast.Ge; Ast.Lt; Ast.Gt; Ast.Le ]
+
+let prop_cond_semantics =
+  QCheck.Test.make ~name:"condition codes match integer comparisons" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let f = Semantics.flags_of_cmp a b in
+      List.for_all
+        (fun c ->
+          let expected =
+            match c with
+            | Ast.Eq -> Int64.equal a b
+            | Ast.Ne -> not (Int64.equal a b)
+            | Ast.Hs -> Int64.unsigned_compare a b >= 0
+            | Ast.Lo -> Int64.unsigned_compare a b < 0
+            | Ast.Hi -> Int64.unsigned_compare a b > 0
+            | Ast.Ls -> Int64.unsigned_compare a b <= 0
+            | Ast.Ge -> Int64.compare a b >= 0
+            | Ast.Lt -> Int64.compare a b < 0
+            | Ast.Gt -> Int64.compare a b > 0
+            | Ast.Le -> Int64.compare a b <= 0
+          in
+          Bool.equal (Semantics.eval_cond f c) expected)
+        all_conds)
+
+let test_branch_taken () =
+  let m, trace =
+    run_program
+      [
+        Ast.Mov (x 0, imm 1L);
+        Ast.Cmp (x 0, imm 1L);
+        Ast.B_cond (Ast.Eq, 4);
+        Ast.Mov (x 1, imm 99L) (* skipped *);
+        Ast.Mov (x 2, imm 7L);
+      ]
+  in
+  Alcotest.(check int64) "skipped" 0L (Machine.get_reg m (x 1));
+  Alcotest.(check int64) "executed" 7L (Machine.get_reg m (x 2));
+  let taken =
+    List.exists
+      (function Semantics.Branch { taken = true; _ } -> true | _ -> false)
+      trace
+  in
+  Alcotest.(check bool) "branch taken event" true taken
+
+let test_branch_not_taken () =
+  let m, _ =
+    run_program
+      [
+        Ast.Mov (x 0, imm 1L);
+        Ast.Cmp (x 0, imm 2L);
+        Ast.B_cond (Ast.Eq, 4);
+        Ast.Mov (x 1, imm 99L);
+      ]
+  in
+  Alcotest.(check int64) "fallthrough executed" 99L (Machine.get_reg m (x 1))
+
+let test_unconditional_branch () =
+  let m, _ =
+    run_program [ Ast.B 2; Ast.Mov (x 0, imm 1L) (* dead *); Ast.Mov (x 1, imm 2L) ]
+  in
+  Alcotest.(check int64) "dead code skipped" 0L (Machine.get_reg m (x 0));
+  Alcotest.(check int64) "target executed" 2L (Machine.get_reg m (x 1))
+
+let test_fuel_exhaustion () =
+  Alcotest.check_raises "infinite loop detected"
+    (Failure "Semantics.run: fuel exhausted (cyclic program?)") (fun () ->
+      ignore (Semantics.run ~fuel:100 [| Ast.B 0 |] (Machine.create ())))
+
+let test_negate_cond_involutive () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "double negation" true
+        (Ast.negate_cond (Ast.negate_cond c) = c))
+    all_conds
+
+let prop_negate_cond_complements =
+  QCheck.Test.make ~name:"negated condition is the complement" ~count:200
+    QCheck.(pair int64 int64)
+    (fun (a, b) ->
+      let f = Semantics.flags_of_cmp a b in
+      List.for_all
+        (fun c ->
+          Semantics.eval_cond f c <> Semantics.eval_cond f (Ast.negate_cond c))
+        all_conds)
+
+(* ---- validate / successors / pp ---- *)
+
+let test_validate () =
+  Alcotest.(check bool) "valid" true
+    (Ast.validate [| Ast.B 1; Ast.Nop |] = Ok ());
+  Alcotest.(check bool) "target = len ok" true (Ast.validate [| Ast.B 1 |] = Ok ());
+  Alcotest.(check bool) "out of range" true
+    (match Ast.validate [| Ast.B 5 |] with Error _ -> true | Ok () -> false);
+  Alcotest.(check bool) "bad scale" true
+    (match Ast.validate [| Ast.Ldr (x 0, addr ~scale:7 (x 1) (imm 0L)) |] with
+    | Error _ -> true
+    | Ok () -> false)
+
+let test_successors () =
+  let p = [| Ast.Cmp (x 0, imm 0L); Ast.B_cond (Ast.Eq, 3); Ast.Nop; Ast.B 0 |] in
+  Alcotest.(check (list Alcotest.int)) "linear" [ 1 ] (Ast.successors p 0);
+  Alcotest.(check (list Alcotest.int)) "cond" [ 2; 3 ] (Ast.successors p 1);
+  Alcotest.(check (list Alcotest.int)) "uncond" [ 0 ] (Ast.successors p 3)
+
+let test_pretty_print () =
+  let p = [| Ast.Ldr (x 2, addr (x 0) (reg (x 1))); Ast.B_cond (Ast.Lo, 2) |] in
+  let s = Ast.to_string p in
+  Alcotest.(check bool) "mentions ldr" true (String.length s > 0);
+  Alcotest.(check bool) "mentions label" true
+    (let rec has i =
+       i + 2 <= String.length s && (String.sub s i 2 = "L2" || has (i + 1))
+     in
+     has 0)
+
+(* ---- machine ---- *)
+
+let test_machine_copy_isolated () =
+  let m = Machine.create () in
+  Machine.set_reg m (x 0) 5L;
+  Machine.store m 0x10L 1L;
+  let m' = Machine.copy m in
+  Machine.set_reg m' (x 0) 6L;
+  Machine.store m' 0x10L 2L;
+  Alcotest.(check int64) "original reg" 5L (Machine.get_reg m (x 0));
+  Alcotest.(check int64) "original mem" 1L (Machine.load m 0x10L)
+
+let test_machine_equal_arch () =
+  let a = Machine.create () and b = Machine.create () in
+  Alcotest.(check bool) "fresh equal" true (Machine.equal_arch a b);
+  Machine.set_reg a (x 3) 1L;
+  Alcotest.(check bool) "reg diff" false (Machine.equal_arch a b);
+  Machine.set_reg b (x 3) 1L;
+  Machine.store a 0x20L 0L;
+  (* storing the default value is architecturally invisible *)
+  Alcotest.(check bool) "zero store invisible" true (Machine.equal_arch a b)
+
+(* ---- platform ---- *)
+
+let test_platform_set_index () =
+  let p = Platform.cortex_a53 in
+  Alcotest.(check Alcotest.int) "addr 0" 0 (Platform.set_index p 0L);
+  Alcotest.(check Alcotest.int) "one line up" 1 (Platform.set_index p 64L);
+  Alcotest.(check Alcotest.int) "wraps at 128 sets" 0 (Platform.set_index p 8192L);
+  Alcotest.(check Alcotest.int) "set bits" 7 (Platform.set_index_bits p)
+
+let test_platform_pages () =
+  let p = Platform.cortex_a53 in
+  Alcotest.(check int64) "page 0" 0L (Platform.page_index p 100L);
+  Alcotest.(check int64) "page 1" 1L (Platform.page_index p 4096L);
+  Alcotest.(check int64) "line base" 0x1000L (Platform.line_base p 0x103FL)
+
+let test_platform_range () =
+  let p = Platform.cortex_a53 in
+  Alcotest.(check bool) "base in range" true (Platform.in_memory_range p p.Platform.mem_base);
+  Alcotest.(check bool) "below" false
+    (Platform.in_memory_range p (Int64.sub p.Platform.mem_base 1L));
+  Alcotest.(check bool) "end excluded" false
+    (Platform.in_memory_range p (Int64.add p.Platform.mem_base p.Platform.mem_size))
+
+let () =
+  Alcotest.run "scamv_isa"
+    [
+      ("reg", [ Alcotest.test_case "bounds" `Quick test_reg_bounds ]);
+      ( "alu",
+        [
+          Alcotest.test_case "mov/add/sub" `Quick test_mov_add_sub;
+          Alcotest.test_case "logic" `Quick test_logic_ops;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "load/store" `Quick test_load_store;
+          Alcotest.test_case "scaled addressing" `Quick test_scaled_addressing;
+          Alcotest.test_case "uninitialized zero" `Quick test_uninitialized_memory_zero;
+        ] );
+      ( "flags+branches",
+        [
+          Alcotest.test_case "cmp equal" `Quick test_cmp_flags_equal;
+          Alcotest.test_case "cmp borrow" `Quick test_cmp_flags_unsigned_borrow;
+          Alcotest.test_case "cmp signed overflow" `Quick test_cmp_signed_overflow;
+          QCheck_alcotest.to_alcotest prop_cond_semantics;
+          Alcotest.test_case "branch taken" `Quick test_branch_taken;
+          Alcotest.test_case "branch not taken" `Quick test_branch_not_taken;
+          Alcotest.test_case "unconditional" `Quick test_unconditional_branch;
+          Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
+          Alcotest.test_case "negate_cond involutive" `Quick test_negate_cond_involutive;
+          QCheck_alcotest.to_alcotest prop_negate_cond_complements;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "successors" `Quick test_successors;
+          Alcotest.test_case "pretty print" `Quick test_pretty_print;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "copy isolation" `Quick test_machine_copy_isolated;
+          Alcotest.test_case "equal_arch" `Quick test_machine_equal_arch;
+        ] );
+      ( "platform",
+        [
+          Alcotest.test_case "set index" `Quick test_platform_set_index;
+          Alcotest.test_case "pages" `Quick test_platform_pages;
+          Alcotest.test_case "memory range" `Quick test_platform_range;
+        ] );
+    ]

@@ -1,0 +1,647 @@
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Machine = Scamv_isa.Machine
+module Platform = Scamv_isa.Platform
+module Cache = Scamv_microarch.Cache
+module Prefetcher = Scamv_microarch.Prefetcher
+module Predictor = Scamv_microarch.Predictor
+module Core = Scamv_microarch.Core
+module Executor = Scamv_microarch.Executor
+module Flush_reload = Scamv_microarch.Flush_reload
+module Splitmix = Scamv_util.Splitmix
+
+let x = Reg.x
+let imm v = Ast.Imm v
+let reg r = Ast.Reg r
+let addr ?(scale = 0) base offset = { Ast.base; offset; scale }
+let platform = Platform.cortex_a53
+
+(* Deterministic core config: prefetcher always fires, no noise. *)
+let quiet_config =
+  {
+    Core.cortex_a53 with
+    Core.prefetch_fire_prob = 1.0;
+    mispredict_noise = 0.0;
+  }
+
+(* ---- Cache ---- *)
+
+let test_cache_miss_then_hit () =
+  let c = Cache.create platform in
+  Alcotest.(check bool) "first access misses" true (Cache.access c 0x1000L = `Miss);
+  Alcotest.(check bool) "second access hits" true (Cache.access c 0x1000L = `Hit);
+  Alcotest.(check bool) "same line hits" true (Cache.access c 0x103FL = `Hit);
+  Alcotest.(check bool) "next line misses" true (Cache.access c 0x1040L = `Miss)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create platform in
+  (* Five addresses mapping to set 0 (stride = sets * line = 8192). *)
+  let a i = Int64.of_int (i * 8192) in
+  for i = 0 to 4 do
+    ignore (Cache.access c (a i))
+  done;
+  Alcotest.(check bool) "oldest evicted" false (Cache.contains c (a 0));
+  Alcotest.(check bool) "newest present" true (Cache.contains c (a 4));
+  Alcotest.(check bool) "second present" true (Cache.contains c (a 1))
+
+let test_cache_lru_touch_refreshes () =
+  let c = Cache.create platform in
+  let a i = Int64.of_int (i * 8192) in
+  for i = 0 to 3 do
+    ignore (Cache.access c (a i))
+  done;
+  ignore (Cache.access c (a 0)) (* refresh LRU position *);
+  ignore (Cache.access c (a 4)) (* evicts a1, not a0 *);
+  Alcotest.(check bool) "refreshed survives" true (Cache.contains c (a 0));
+  Alcotest.(check bool) "stale evicted" false (Cache.contains c (a 1))
+
+let test_cache_flush () =
+  let c = Cache.create platform in
+  ignore (Cache.access c 0x2000L);
+  Cache.flush_line c 0x2010L;
+  Alcotest.(check bool) "flushed" false (Cache.contains c 0x2000L)
+
+let test_cache_snapshot () =
+  let c = Cache.create platform in
+  ignore (Cache.access c 0x0L);
+  ignore (Cache.access c 0x40L);
+  let snap = Cache.snapshot c in
+  Alcotest.(check Alcotest.int) "two sets" 2 (List.length snap);
+  Alcotest.(check bool) "region filter" true
+    (Cache.snapshot_region c ~first_set:1 ~last_set:1 = [ (1, [ 0x40L ]) ]);
+  Alcotest.(check bool) "equal to itself" true (Cache.equal_snapshot snap snap);
+  Cache.reset c;
+  Alcotest.(check bool) "reset clears" true (Cache.snapshot c = [])
+
+let test_cache_snapshot_ignores_lru_order () =
+  let c1 = Cache.create platform and c2 = Cache.create platform in
+  ignore (Cache.access c1 0x0L);
+  ignore (Cache.access c1 8192L);
+  ignore (Cache.access c2 8192L);
+  ignore (Cache.access c2 0x0L);
+  Alcotest.(check bool) "order-insensitive" true
+    (Cache.equal_snapshot (Cache.snapshot c1) (Cache.snapshot c2))
+
+(* ---- Prefetcher ---- *)
+
+let observe_seq p addrs =
+  let rng = ref (Splitmix.of_seed 1L) in
+  List.filter_map (fun a -> Prefetcher.observe p ~rng a) addrs
+
+let test_prefetcher_fires_after_threshold () =
+  let p = Prefetcher.create ~fire_prob:1.0 platform in
+  let fires = observe_seq p [ 0L; 64L; 128L ] in
+  Alcotest.(check (list Alcotest.int64)) "fires at third access" [ 192L ] fires
+
+let test_prefetcher_needs_constant_stride () =
+  let p = Prefetcher.create ~fire_prob:1.0 platform in
+  let fires = observe_seq p [ 0L; 64L; 256L ] in
+  Alcotest.(check (list Alcotest.int64)) "irregular stride silent" [] fires
+
+let test_prefetcher_stops_at_page_boundary () =
+  let p = Prefetcher.create ~fire_prob:1.0 platform in
+  (* Stride 64 approaching the 4 KiB boundary: last access 0xFC0,
+     candidate 0x1000 is on the next page. *)
+  let fires = observe_seq p [ 0xE80L; 0xEC0L; 0xF00L; 0xF40L; 0xF80L; 0xFC0L ] in
+  Alcotest.(check bool) "never crosses page" true
+    (List.for_all (fun a -> Int64.unsigned_compare a 0x1000L < 0) fires);
+  Alcotest.(check bool) "did fire within page" true (fires <> [])
+
+let test_prefetcher_large_stride () =
+  let p = Prefetcher.create ~fire_prob:1.0 platform in
+  let fires = observe_seq p [ 0L; 128L; 256L ] in
+  Alcotest.(check (list Alcotest.int64)) "stride 128" [ 384L ] fires
+
+let test_prefetcher_probabilistic () =
+  let p = Prefetcher.create ~fire_prob:0.0 platform in
+  let fires = observe_seq p [ 0L; 64L; 128L; 192L ] in
+  Alcotest.(check (list Alcotest.int64)) "never fires at prob 0" [] fires
+
+let test_prefetcher_reset () =
+  let p = Prefetcher.create ~fire_prob:1.0 platform in
+  ignore (observe_seq p [ 0L; 64L ]);
+  Prefetcher.reset p;
+  let fires = observe_seq p [ 128L ] in
+  Alcotest.(check (list Alcotest.int64)) "no stale stream" [] fires
+
+(* ---- Predictor ---- *)
+
+let test_predictor_default_not_taken () =
+  let p = Predictor.create () in
+  Alcotest.(check bool) "untrained predicts not taken" false (Predictor.predict p 3)
+
+let test_predictor_training () =
+  let p = Predictor.create () in
+  Predictor.update p 3 ~taken:true;
+  Alcotest.(check bool) "weakly taken" true (Predictor.predict p 3);
+  Predictor.update p 3 ~taken:false;
+  Predictor.update p 3 ~taken:false;
+  Alcotest.(check bool) "retrained not taken" false (Predictor.predict p 3)
+
+let test_predictor_saturation () =
+  let p = Predictor.create () in
+  for _ = 1 to 10 do
+    Predictor.update p 3 ~taken:true
+  done;
+  Alcotest.(check Alcotest.int) "saturates at 3" 3 (Predictor.counter p 3);
+  Predictor.update p 3 ~taken:false;
+  Alcotest.(check bool) "one miss keeps prediction" true (Predictor.predict p 3)
+
+let test_predictor_indexed_by_pc () =
+  let p = Predictor.create () in
+  Predictor.update p 1 ~taken:true;
+  Predictor.update p 1 ~taken:true;
+  Alcotest.(check bool) "other pc unaffected" false (Predictor.predict p 2)
+
+(* ---- Core: committed execution ---- *)
+
+let test_core_commit_loads_fill_cache () =
+  let core = Core.create quiet_config in
+  let m = Machine.create () in
+  Machine.set_reg m (x 0) 0x8000_0000L;
+  let events = Core.run core [| Ast.Ldr (x 1, addr (x 0) (imm 0L)) |] m in
+  Alcotest.(check bool) "line cached" true (Cache.contains (Core.cache core) 0x8000_0000L);
+  Alcotest.(check bool) "load event" true
+    (List.exists (function Core.Commit_load 0x8000_0000L -> true | _ -> false) events)
+
+let test_core_stride_triggers_prefetch () =
+  let core = Core.create quiet_config in
+  let m = Machine.create () in
+  Machine.set_reg m (x 0) 0x8000_0000L;
+  let program =
+    [|
+      Ast.Ldr (x 1, addr (x 0) (imm 0L));
+      Ast.Ldr (x 2, addr (x 0) (imm 64L));
+      Ast.Ldr (x 3, addr (x 0) (imm 128L));
+    |]
+  in
+  let events = Core.run core program m in
+  Alcotest.(check bool) "prefetch event" true
+    (List.exists (function Core.Prefetch 0x8000_00C0L -> true | _ -> false) events);
+  Alcotest.(check bool) "prefetched line cached" true
+    (Cache.contains (Core.cache core) 0x8000_00C0L)
+
+let test_core_architectural_equivalence () =
+  (* The core must compute the same architectural result as the reference
+     semantics, speculation and caches notwithstanding. *)
+  let program =
+    [|
+      Ast.Mov (x 0, imm 0x8000_0100L);
+      Ast.Str (x 0, addr (x 0) (imm 0L));
+      Ast.Ldr (x 1, addr (x 0) (imm 0L));
+      Ast.Cmp (x 1, reg (x 0));
+      Ast.B_cond (Ast.Eq, 6);
+      Ast.Mov (x 2, imm 1L);
+      Ast.Add (x 3, x 1, imm 2L);
+    |]
+  in
+  let m1 = Machine.create () and m2 = Machine.create () in
+  ignore (Core.run (Core.create quiet_config) program m1);
+  ignore (Scamv_isa.Semantics.run program m2);
+  Alcotest.(check bool) "architecturally equal" true (Machine.equal_arch m1 m2)
+
+(* ---- Core: speculation ---- *)
+
+(* Template-A shape: committed load, compare on registers, guarded load.
+   Returns (events, core) after a run with the predictor trained to take
+   the wrong direction. *)
+let spectre_program =
+  [|
+    Ast.Ldr (x 2, addr (x 0) (reg (x 1)));
+    Ast.Cmp (x 1, reg (x 4));
+    Ast.B_cond (Ast.Hs, 4);
+    Ast.Ldr (x 5, addr (x 6) (reg (x 2)));
+  |]
+
+let train_and_run ?(config = quiet_config) program ~train_state ~state =
+  let core = Core.create config in
+  for _ = 1 to 5 do
+    Core.reset_cache core;
+    ignore (Core.run core program (Machine.copy train_state))
+  done;
+  Core.reset_cache core;
+  let events = Core.run core program (Machine.copy state) in
+  (events, core)
+
+let spectre_states () =
+  (* state: x1 >= x4 -> branch taken (skip body); training state takes
+     the body. *)
+  let s = Machine.create () in
+  Machine.set_reg s (x 0) 0x8000_0000L;
+  Machine.set_reg s (x 1) 8L;
+  Machine.set_reg s (x 4) 4L;
+  Machine.set_reg s (x 6) 0x8010_0000L;
+  Machine.store s 0x8000_0008L 0x4000L (* the secret *);
+  let t = Machine.copy s in
+  Machine.set_reg t (x 1) 2L (* x1 < x4: executes the body *);
+  (s, t)
+
+let test_core_transient_load_issues () =
+  let s, t = spectre_states () in
+  let events, core = train_and_run spectre_program ~train_state:t ~state:s in
+  let mispredicted =
+    List.exists
+      (function
+        | Core.Commit_branch { taken = true; predicted = false; _ } -> true
+        | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "branch mispredicted after training" true mispredicted;
+  (* The transient load address is x6 + mem[x0+x1] = 0x80100000 + 0x4000. *)
+  Alcotest.(check bool) "transient load issued" true
+    (List.exists (function Core.Transient_load 0x8010_4000L -> true | _ -> false) events);
+  Alcotest.(check bool) "secret-dependent line cached" true
+    (Cache.contains (Core.cache core) 0x8010_4000L)
+
+let test_core_no_speculation_without_training () =
+  let s, _ = spectre_states () in
+  let core = Core.create quiet_config in
+  let events = Core.run core spectre_program (Machine.copy s) in
+  (* Untrained predictor predicts not-taken; actual outcome is taken, so
+     there IS a misprediction; but with an untrained predictor both
+     predictions are possible — here counters start at weakly-not-taken,
+     actual is taken -> mispredict -> transient path is the *body*. *)
+  Alcotest.(check bool) "transient load from cold predictor" true
+    (List.exists (function Core.Transient_load _ -> true | _ -> false) events)
+
+let test_core_correct_prediction_no_transient () =
+  let s, _ = spectre_states () in
+  (* Train with the same state so the predictor agrees with the outcome. *)
+  let events, _ = train_and_run spectre_program ~train_state:s ~state:s in
+  Alcotest.(check bool) "no transient events" true
+    (not (List.exists (function Core.Transient_load _ -> true | _ -> false) events))
+
+let test_core_dependent_transient_load_suppressed () =
+  (* Template-C shape: both loads inside the branch body; the second
+     depends on the first's result and must not issue. *)
+  let program =
+    [|
+      Ast.Cmp (x 1, reg (x 2));
+      Ast.B_cond (Ast.Hs, 4);
+      Ast.Ldr (x 6, addr (x 5) (reg (x 3)));
+      Ast.Ldr (x 8, addr (x 7) (reg (x 6)));
+    |]
+  in
+  let s = Machine.create () in
+  Machine.set_reg s (x 1) 8L;
+  Machine.set_reg s (x 2) 4L (* taken: skip body *);
+  Machine.set_reg s (x 5) 0x8000_0000L;
+  Machine.set_reg s (x 7) 0x8010_0000L;
+  let t = Machine.copy s in
+  Machine.set_reg t (x 1) 1L (* body path, for training *);
+  let events, _ = train_and_run program ~train_state:t ~state:s in
+  let transient_loads =
+    List.filter (function Core.Transient_load _ -> true | _ -> false) events
+  in
+  let suppressed =
+    List.filter (function Core.Transient_suppressed _ -> true | _ -> false) events
+  in
+  Alcotest.(check Alcotest.int) "only the first load issues" 1
+    (List.length transient_loads);
+  Alcotest.(check Alcotest.int) "dependent load suppressed" 1 (List.length suppressed)
+
+let test_core_taint_through_alu () =
+  (* The dependency is laundered through an ADD: still suppressed. *)
+  let program =
+    [|
+      Ast.Cmp (x 1, reg (x 2));
+      Ast.B_cond (Ast.Hs, 5);
+      Ast.Ldr (x 6, addr (x 5) (reg (x 3)));
+      Ast.Add (x 9, x 6, imm 8L);
+      Ast.Ldr (x 8, addr (x 7) (reg (x 9)));
+    |]
+  in
+  let s = Machine.create () in
+  Machine.set_reg s (x 1) 8L;
+  Machine.set_reg s (x 2) 4L;
+  Machine.set_reg s (x 5) 0x8000_0000L;
+  let t = Machine.copy s in
+  Machine.set_reg t (x 1) 1L;
+  let events, _ = train_and_run program ~train_state:t ~state:s in
+  Alcotest.(check Alcotest.int) "one issue, one suppression" 1
+    (List.length (List.filter (function Core.Transient_load _ -> true | _ -> false) events))
+
+let test_core_independent_loads_need_slow_branch () =
+  (* Two independent loads in the body: with a register-only compare the
+     branch resolves fast and only one issues; if the compare waits on a
+     load, the window extends and both issue. *)
+  let body =
+    [|
+      Ast.Cmp (x 1, reg (x 2));
+      Ast.B_cond (Ast.Hs, 4);
+      Ast.Ldr (x 6, addr (x 5) (reg (x 3)));
+      Ast.Ldr (x 8, addr (x 7) (reg (x 9)));
+    |]
+  in
+  let s = Machine.create () in
+  Machine.set_reg s (x 1) 8L;
+  Machine.set_reg s (x 2) 4L;
+  Machine.set_reg s (x 5) 0x8000_0000L;
+  Machine.set_reg s (x 7) 0x8010_0000L;
+  let t = Machine.copy s in
+  Machine.set_reg t (x 1) 1L;
+  let events, _ = train_and_run body ~train_state:t ~state:s in
+  Alcotest.(check Alcotest.int) "fast branch: one transient load" 1
+    (List.length (List.filter (function Core.Transient_load _ -> true | _ -> false) events));
+  (* Same body, but the compare operand is loaded right before. *)
+  let slow =
+    [|
+      Ast.Ldr (x 1, addr (x 10) (imm 0L));
+      Ast.Cmp (x 1, reg (x 2));
+      Ast.B_cond (Ast.Hs, 5);
+      Ast.Ldr (x 6, addr (x 5) (reg (x 3)));
+      Ast.Ldr (x 8, addr (x 7) (reg (x 9)));
+    |]
+  in
+  let s2 = Machine.copy s in
+  Machine.set_reg s2 (x 10) 0x8000_0100L;
+  Machine.store s2 0x8000_0100L 8L (* x1 := 8, same branch direction *);
+  let t2 = Machine.copy s2 in
+  Machine.store t2 0x8000_0100L 1L;
+  ignore t2;
+  let t2' = Machine.copy s2 in
+  Machine.set_reg t2' (x 2) 100L (* branch the other way for training *);
+  let events2, _ = train_and_run slow ~train_state:t2' ~state:s2 in
+  Alcotest.(check Alcotest.int) "slow branch: both transient loads" 2
+    (List.length
+       (List.filter (function Core.Transient_load _ -> true | _ -> false) events2))
+
+let test_core_no_straight_line_speculation () =
+  let program = [| Ast.B 2; Ast.Ldr (x 1, addr (x 0) (imm 0L)) |] in
+  let m = Machine.create () in
+  Machine.set_reg m (x 0) 0x8000_0000L;
+  let core = Core.create quiet_config in
+  let events = Core.run core program m in
+  Alcotest.(check bool) "no transient load after direct branch" true
+    (not (List.exists (function Core.Transient_load _ -> true | _ -> false) events));
+  Alcotest.(check bool) "dead line not cached" false
+    (Cache.contains (Core.cache core) 0x8000_0000L)
+
+let test_core_transient_stores_have_no_effect () =
+  let program =
+    [|
+      Ast.Cmp (x 1, reg (x 2));
+      Ast.B_cond (Ast.Hs, 3);
+      Ast.Str (x 5, addr (x 6) (imm 0L));
+    |]
+  in
+  let s = Machine.create () in
+  Machine.set_reg s (x 1) 8L;
+  Machine.set_reg s (x 2) 4L;
+  Machine.set_reg s (x 6) 0x8000_0000L;
+  let t = Machine.copy s in
+  Machine.set_reg t (x 1) 1L;
+  let _, core = train_and_run program ~train_state:t ~state:s in
+  Alcotest.(check bool) "transient store does not allocate" false
+    (Cache.contains (Core.cache core) 0x8000_0000L)
+
+(* Property: whatever the speculation, prefetching and noise settings,
+   the core must compute exactly the architectural result of the
+   reference semantics on random template programs and random states. *)
+let random_state rng =
+  let m = Machine.create () in
+  let rng = ref rng in
+  List.iter
+    (fun r ->
+      let v, rng' = Splitmix.next !rng in
+      rng := rng';
+      Machine.set_reg m r (Int64.logand v 0x3FFL))
+    Reg.all;
+  for _ = 1 to 6 do
+    let a, rng' = Splitmix.next !rng in
+    rng := rng';
+    let v, rng'' = Splitmix.next !rng in
+    rng := rng'';
+    Machine.store m (Int64.logand a 0x3FFL) (Int64.logand v 0x3FFL)
+  done;
+  m
+
+let prop_speculation_is_architecturally_transparent =
+  QCheck.Test.make ~name:"core = reference semantics architecturally" ~count:200
+    QCheck.(pair int64 (int_bound 4))
+    (fun (seed, template_idx) ->
+      let template =
+        List.nth
+          [
+            Scamv_gen.Templates.stride;
+            Scamv_gen.Templates.template_a;
+            Scamv_gen.Templates.template_b;
+            Scamv_gen.Templates.template_c;
+            Scamv_gen.Templates.template_d;
+          ]
+          template_idx
+      in
+      let { Scamv_gen.Templates.program; _ } = Scamv_gen.Gen.generate ~seed template in
+      let m1 = random_state (Splitmix.of_seed seed) in
+      let m2 = Machine.copy m1 in
+      let core = Core.create ~seed { Core.cortex_a53 with Core.mispredict_noise = 0.5 } in
+      ignore (Core.run core program m1);
+      ignore (Scamv_isa.Semantics.run program m2);
+      Machine.equal_arch m1 m2)
+
+let prop_cache_respects_associativity =
+  QCheck.Test.make ~name:"cache sets never exceed the way count" ~count:200
+    QCheck.int64 (fun seed ->
+      let c = Cache.create platform in
+      let rng = ref (Splitmix.of_seed seed) in
+      for _ = 1 to 200 do
+        let a, rng' = Splitmix.next !rng in
+        rng := rng';
+        ignore (Cache.access c (Int64.logand a 0xFFFFFL))
+      done;
+      List.for_all
+        (fun (_, lines) -> List.length lines <= platform.Platform.way_count)
+        (Cache.snapshot c))
+
+let prop_cache_most_recent_present =
+  QCheck.Test.make ~name:"most recent access always cached" ~count:200 QCheck.int64
+    (fun seed ->
+      let c = Cache.create platform in
+      let rng = ref (Splitmix.of_seed seed) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let a, rng' = Splitmix.next !rng in
+        rng := rng';
+        let addr = Int64.logand a 0xFFFFFL in
+        ignore (Cache.access c addr);
+        if not (Cache.contains c addr) then ok := false
+      done;
+      !ok)
+
+let prop_run_deterministic_given_seed =
+  QCheck.Test.make ~name:"core runs are deterministic per seed" ~count:100
+    QCheck.int64 (fun seed ->
+      let { Scamv_gen.Templates.program; _ } =
+        Scamv_gen.Gen.generate ~seed Scamv_gen.Templates.template_b
+      in
+      let run () =
+        let core = Core.create ~seed Core.cortex_a53 in
+        let m = random_state (Splitmix.of_seed seed) in
+        let events = Core.run core program m in
+        (events, Cache.snapshot (Core.cache core))
+      in
+      run () = run ())
+
+(* ---- Executor ---- *)
+
+let spectre_pair () =
+  let s1, train = spectre_states () in
+  let s2 = Machine.copy s1 in
+  (* Same architecture-visible behaviour (same committed addresses), but
+     a different secret: the transient access differs. *)
+  Machine.store s2 0x8000_0008L 0x8000L;
+  (s1, s2, train)
+
+let exec_config = { (Executor.default_config ()) with Executor.core = quiet_config }
+
+let test_executor_distinguishes_secret () =
+  let s1, s2, train = spectre_pair () in
+  let verdict =
+    Executor.run exec_config
+      { Executor.program = spectre_program; state1 = s1; state2 = s2; train = [ train ] }
+  in
+  Alcotest.(check bool) "distinguishable" true (verdict = Executor.Distinguishable)
+
+let test_executor_identical_states_indistinguishable () =
+  let s1, _, train = spectre_pair () in
+  let verdict =
+    Executor.run exec_config
+      {
+        Executor.program = spectre_program;
+        state1 = s1;
+        state2 = Machine.copy s1;
+        train = [ train ];
+      }
+  in
+  Alcotest.(check bool) "indistinguishable" true (verdict = Executor.Indistinguishable)
+
+let test_executor_region_view_masks_leak () =
+  let s1, s2, train = spectre_pair () in
+  (* The transient lines land in low sets; an attacker confined to the
+     top sets sees nothing. *)
+  let cfg =
+    { exec_config with Executor.view = Executor.Region { first_set = 120; last_set = 127 } }
+  in
+  let verdict =
+    Executor.run cfg
+      { Executor.program = spectre_program; state1 = s1; state2 = s2; train = [ train ] }
+  in
+  Alcotest.(check bool) "masked" true (verdict = Executor.Indistinguishable)
+
+let test_executor_inconclusive_on_flaky_prefetch () =
+  (* A stride whose prefetch fires with probability 1/2 yields different
+     dumps across the 10 repetitions. *)
+  let program =
+    [|
+      Ast.Ldr (x 1, addr (x 0) (imm 0L));
+      Ast.Ldr (x 2, addr (x 0) (imm 64L));
+      Ast.Ldr (x 3, addr (x 0) (imm 128L));
+    |]
+  in
+  let s = Machine.create () in
+  Machine.set_reg s (x 0) 0x8000_0000L;
+  let cfg =
+    { exec_config with Executor.core = { quiet_config with Core.prefetch_fire_prob = 0.5 } }
+  in
+  let verdict =
+    Executor.run ~seed:7L cfg
+      { Executor.program; state1 = s; state2 = Machine.copy s; train = [] }
+  in
+  Alcotest.(check bool) "inconclusive" true (verdict = Executor.Inconclusive)
+
+let test_executor_deterministic_given_seed () =
+  let s1, s2, train = spectre_pair () in
+  let experiment =
+    { Executor.program = spectre_program; state1 = s1; state2 = s2; train = [ train ] }
+  in
+  let v1 = Executor.run ~seed:42L exec_config experiment in
+  let v2 = Executor.run ~seed:42L exec_config experiment in
+  Alcotest.(check bool) "same verdict same seed" true (v1 = v2)
+
+(* ---- Flush+Reload ---- *)
+
+let test_flush_reload_timing () =
+  let fr = Flush_reload.create quiet_config in
+  ignore (Cache.access (Core.cache (Flush_reload.core fr)) 0x8000_0000L);
+  Alcotest.(check bool) "hit is fast" true
+    (Flush_reload.reload_time fr 0x8000_0000L = Flush_reload.hit_cycles);
+  Flush_reload.flush fr 0x8000_0000L;
+  Alcotest.(check bool) "miss after flush" true
+    (Flush_reload.reload_time fr 0x8000_0000L = Flush_reload.miss_cycles)
+
+let test_flush_reload_detects_victim_access () =
+  let fr = Flush_reload.create quiet_config in
+  let m = Machine.create () in
+  Machine.set_reg m (x 0) 0x8000_0000L;
+  Flush_reload.flush fr 0x8000_0000L;
+  ignore (Core.run (Flush_reload.core fr) [| Ast.Ldr (x 1, addr (x 0) (imm 0L)) |] m);
+  Alcotest.(check bool) "victim access detected" true
+    (Flush_reload.was_cached fr 0x8000_0000L)
+
+let () =
+  Alcotest.run "scamv_microarch"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "lru refresh" `Quick test_cache_lru_touch_refreshes;
+          Alcotest.test_case "flush" `Quick test_cache_flush;
+          Alcotest.test_case "snapshot" `Quick test_cache_snapshot;
+          Alcotest.test_case "snapshot order-insensitive" `Quick
+            test_cache_snapshot_ignores_lru_order;
+          QCheck_alcotest.to_alcotest prop_cache_respects_associativity;
+          QCheck_alcotest.to_alcotest prop_cache_most_recent_present;
+        ] );
+      ( "prefetcher",
+        [
+          Alcotest.test_case "fires after threshold" `Quick test_prefetcher_fires_after_threshold;
+          Alcotest.test_case "constant stride required" `Quick test_prefetcher_needs_constant_stride;
+          Alcotest.test_case "page boundary" `Quick test_prefetcher_stops_at_page_boundary;
+          Alcotest.test_case "large stride" `Quick test_prefetcher_large_stride;
+          Alcotest.test_case "probabilistic" `Quick test_prefetcher_probabilistic;
+          Alcotest.test_case "reset" `Quick test_prefetcher_reset;
+        ] );
+      ( "predictor",
+        [
+          Alcotest.test_case "default not taken" `Quick test_predictor_default_not_taken;
+          Alcotest.test_case "training" `Quick test_predictor_training;
+          Alcotest.test_case "saturation" `Quick test_predictor_saturation;
+          Alcotest.test_case "indexed by pc" `Quick test_predictor_indexed_by_pc;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "loads fill cache" `Quick test_core_commit_loads_fill_cache;
+          Alcotest.test_case "stride prefetch" `Quick test_core_stride_triggers_prefetch;
+          Alcotest.test_case "architectural equivalence" `Quick test_core_architectural_equivalence;
+          Alcotest.test_case "transient load issues" `Quick test_core_transient_load_issues;
+          Alcotest.test_case "cold predictor" `Quick test_core_no_speculation_without_training;
+          Alcotest.test_case "correct prediction" `Quick test_core_correct_prediction_no_transient;
+          Alcotest.test_case "dependent load suppressed" `Quick
+            test_core_dependent_transient_load_suppressed;
+          Alcotest.test_case "taint through alu" `Quick test_core_taint_through_alu;
+          Alcotest.test_case "slow branch widens window" `Quick
+            test_core_independent_loads_need_slow_branch;
+          Alcotest.test_case "no straight-line speculation" `Quick
+            test_core_no_straight_line_speculation;
+          Alcotest.test_case "transient stores inert" `Quick
+            test_core_transient_stores_have_no_effect;
+          QCheck_alcotest.to_alcotest prop_speculation_is_architecturally_transparent;
+          QCheck_alcotest.to_alcotest prop_run_deterministic_given_seed;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "distinguishes secret" `Quick test_executor_distinguishes_secret;
+          Alcotest.test_case "identical indistinguishable" `Quick
+            test_executor_identical_states_indistinguishable;
+          Alcotest.test_case "region view masks" `Quick test_executor_region_view_masks_leak;
+          Alcotest.test_case "flaky prefetch inconclusive" `Quick
+            test_executor_inconclusive_on_flaky_prefetch;
+          Alcotest.test_case "deterministic" `Quick test_executor_deterministic_given_seed;
+        ] );
+      ( "flush+reload",
+        [
+          Alcotest.test_case "timing" `Quick test_flush_reload_timing;
+          Alcotest.test_case "detects victim access" `Quick test_flush_reload_detects_victim_access;
+        ] );
+    ]

@@ -1,0 +1,268 @@
+module T = Scamv_smt.Term
+module Model = Scamv_smt.Model
+module Eval = Scamv_smt.Eval
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Platform = Scamv_isa.Platform
+module Obs = Scamv_bir.Obs
+module Lifter = Scamv_bir.Lifter
+module Exec = Scamv_symbolic.Exec
+module Mdl = Scamv_models.Model
+module Catalog = Scamv_models.Catalog
+module Region = Scamv_models.Region
+module Refinement = Scamv_models.Refinement
+module Speculation = Scamv_models.Speculation
+
+let x = Reg.x
+let platform = Platform.cortex_a53
+let reg r = Ast.Reg r
+let addr base offset = { Ast.base; offset; scale = 0 }
+
+let obs_of_kind kind bir =
+  Exec.execute bir
+  |> List.concat_map (fun (l : Exec.leaf) -> l.Exec.obs)
+  |> List.filter (fun (o : Obs.t) -> o.Obs.kind = kind)
+
+(* ---- Region ---- *)
+
+let test_region_bounds () =
+  let r = Region.paper_unaligned platform in
+  Alcotest.(check Alcotest.int) "first" 61 r.Region.first_set;
+  Alcotest.(check Alcotest.int) "last" 127 r.Region.last_set;
+  let pa = Region.paper_page_aligned platform in
+  Alcotest.(check Alcotest.int) "page-aligned first" 64 pa.Region.first_set;
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Region.make: empty or negative range") (fun () ->
+      ignore (Region.make ~first_set:5 ~last_set:4))
+
+let test_region_concrete_membership () =
+  let r = Region.make ~first_set:64 ~last_set:127 in
+  Alcotest.(check bool) "set 0 outside" false (Region.contains platform r 0L);
+  (* Set 64 begins at byte 64*64 = 4096 within an 8 KiB stripe. *)
+  Alcotest.(check bool) "set 64 inside" true (Region.contains platform r 4096L);
+  Alcotest.(check bool) "set 127 inside" true (Region.contains platform r 8128L);
+  Alcotest.(check bool) "wraps to set 0" false (Region.contains platform r 8192L)
+
+let prop_region_term_matches_concrete =
+  QCheck.Test.make ~name:"symbolic AR(addr) agrees with concrete membership" ~count:500
+    QCheck.int64 (fun a ->
+      let r = Region.paper_unaligned platform in
+      let model = Model.add_var Model.empty "a" (Model.Bv (a, 64)) in
+      let sym = Eval.eval_bool model (Region.contains_term platform r (T.bv_var "a" 64)) in
+      Bool.equal sym (Region.contains platform r a))
+
+let prop_set_index_term_matches_concrete =
+  QCheck.Test.make ~name:"symbolic set index agrees with Platform.set_index" ~count:500
+    QCheck.int64 (fun a ->
+      let model = Model.add_var Model.empty "a" (Model.Bv (a, 64)) in
+      let sym = Eval.eval_bv model (Region.set_index_term platform (T.bv_var "a" 64)) in
+      Int64.to_int sym = Platform.set_index platform a)
+
+(* ---- Catalog models produce the right observations ---- *)
+
+let straightline_load = [| Ast.Ldr (x 1, addr (x 0) (reg (x 2))) |]
+
+let test_mpc_observes_pc_only () =
+  let bir = Mdl.annotate Catalog.mpc straightline_load in
+  Alcotest.(check Alcotest.int) "one pc obs" 1 (List.length (obs_of_kind "pc" bir));
+  Alcotest.(check Alcotest.int) "no addr obs" 0 (List.length (obs_of_kind "load_addr" bir))
+
+let test_mct_observes_pc_and_addr () =
+  let bir = Mdl.annotate Catalog.mct straightline_load in
+  Alcotest.(check Alcotest.int) "pc obs" 1 (List.length (obs_of_kind "pc" bir));
+  Alcotest.(check Alcotest.int) "addr obs" 1 (List.length (obs_of_kind "load_addr" bir))
+
+let test_mline_observes_set_index () =
+  let bir = Mdl.annotate (Catalog.mline platform) straightline_load in
+  match obs_of_kind "cache_line" bir with
+  | [ o ] -> (
+    match List.map T.sort_of o.Obs.values with
+    | [ Scamv_smt.Sort.Bv 7 ] -> ()
+    | _ -> Alcotest.fail "expected a 7-bit set index")
+  | _ -> Alcotest.fail "expected one cache_line observation"
+
+let test_mpart_conditional_observation () =
+  let r = Region.paper_unaligned platform in
+  let bir = Mdl.annotate (Catalog.mpart platform r) straightline_load in
+  match obs_of_kind "ar_addr" bir with
+  | [ o ] ->
+    (* Inside the region the observation fires, outside it does not. *)
+    let inside = Int64.add platform.Platform.mem_base (Int64.of_int (61 * 64)) in
+    let outside = platform.Platform.mem_base in
+    let check_at a expected =
+      let model =
+        Model.empty
+        |> fun m ->
+        Model.add_var m "x0" (Model.Bv (a, 64))
+        |> fun m -> Model.add_var m "x2" (Model.Bv (0L, 64))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "cond at 0x%Lx" a)
+        expected
+        (Eval.eval_bool model o.Obs.cond)
+    in
+    check_at inside true;
+    check_at outside false
+  | _ -> Alcotest.fail "expected one conditional observation"
+
+let test_mpart_refined_complement () =
+  let r = Region.paper_unaligned platform in
+  let bir = Mdl.annotate (Catalog.mpart_refined platform r) straightline_load in
+  match obs_of_kind "non_ar_line" bir with
+  | [ o ] ->
+    let model =
+      Model.empty
+      |> fun m ->
+      Model.add_var m "x0" (Model.Bv (platform.Platform.mem_base, 64))
+      |> fun m -> Model.add_var m "x2" (Model.Bv (0L, 64))
+    in
+    Alcotest.(check bool) "fires outside AR" true (Eval.eval_bool model o.Obs.cond)
+  | _ -> Alcotest.fail "expected one observation"
+
+let test_mfull_observes_registers () =
+  let bir = Mdl.annotate Catalog.mfull straightline_load in
+  match obs_of_kind "regfile" bir with
+  | [ o ] -> Alcotest.(check Alcotest.int) "31 registers" 31 (List.length o.Obs.values)
+  | _ -> Alcotest.fail "expected one regfile observation"
+
+let test_mempty_observes_nothing () =
+  let bir = Mdl.annotate Catalog.mempty straightline_load in
+  let all = Exec.execute bir |> List.concat_map (fun (l : Exec.leaf) -> l.Exec.obs) in
+  let non_platform = List.filter (fun (o : Obs.t) -> o.Obs.tag <> Obs.Platform) all in
+  Alcotest.(check Alcotest.int) "nothing observed" 0 (List.length non_platform)
+
+let test_merge_hooks_concatenates () =
+  let h1 = Catalog.mpc.Mdl.hooks ~tag:Obs.Base in
+  let h2 = Catalog.mct.Mdl.hooks ~tag:Obs.Base in
+  let merged = Mdl.merge_hooks [ h1; h2 ] in
+  let obs = merged.Lifter.on_fetch ~pc:3 in
+  Alcotest.(check Alcotest.int) "both models' fetch observations" 2 (List.length obs)
+
+(* ---- Speculation configs ---- *)
+
+let test_speculation_configs () =
+  let mspec = Speculation.mspec () in
+  Alcotest.(check bool) "mspec observes all" true
+    (mspec.Speculation.load_tag 0 = Some Obs.Refined
+    && mspec.Speculation.load_tag 5 = Some Obs.Refined);
+  let mspec1 = Speculation.mspec1 () in
+  Alcotest.(check bool) "mspec1 first is base" true
+    (mspec1.Speculation.load_tag 0 = Some Obs.Base
+    && mspec1.Speculation.load_tag 1 = Some Obs.Refined);
+  Alcotest.(check bool) "straight-line instruments uncond" true
+    (Speculation.mspec_straight_line ()).Speculation.instrument_uncond;
+  Alcotest.(check bool) "mspec leaves uncond alone" false mspec.Speculation.instrument_uncond
+
+let test_speculation_window_bounds_inlining () =
+  (* With a window of 1, only the first wrong-path instruction is
+     shadowed, so the second load yields no observation. *)
+  let program =
+    [|
+      Ast.Cmp (x 1, reg (x 2));
+      Ast.B_cond (Ast.Hs, 4);
+      Ast.Ldr (x 6, addr (x 5) (reg (x 3)));
+      Ast.Ldr (x 8, addr (x 7) (reg (x 9)));
+    |]
+  in
+  let count window =
+    let cfg =
+      { (Speculation.mspec ()) with Speculation.max_instrs = window }
+    in
+    let bir = Speculation.instrument cfg program (Lifter.lift program) in
+    List.length (obs_of_kind Speculation.spec_load_kind bir)
+  in
+  Alcotest.(check Alcotest.int) "window 1: one load" 1 (count 1);
+  Alcotest.(check Alcotest.int) "window 8: both loads" 2 (count 8);
+  Alcotest.(check Alcotest.int) "window 0: nothing" 0 (count 0)
+
+let test_speculation_shadow_names () =
+  (* Shadow statements must only assign shadow variables. *)
+  let program =
+    [|
+      Ast.Cmp (x 1, reg (x 2));
+      Ast.B_cond (Ast.Hs, 4);
+      Ast.Ldr (x 6, addr (x 5) (reg (x 3)));
+      Ast.Add (x 7, x 6, Ast.Imm 1L);
+    |]
+  in
+  let bir = Speculation.instrument (Speculation.mspec ()) program (Lifter.lift program) in
+  let stub_blocks =
+    Scamv_bir.Program.blocks bir
+    |> List.filter (fun (b : Scamv_bir.Program.block) -> b.Scamv_bir.Program.id > 4)
+  in
+  Alcotest.(check bool) "stub blocks exist" true (stub_blocks <> []);
+  List.iter
+    (fun (b : Scamv_bir.Program.block) ->
+      List.iter
+        (function
+          | Scamv_bir.Program.Assign (v, _) ->
+            Alcotest.(check bool) ("shadow assign " ^ v) true (Scamv_bir.Vars.is_shadow v)
+          | Scamv_bir.Program.Observe _ -> ())
+        b.Scamv_bir.Program.stmts)
+    stub_blocks
+
+(* ---- Refinement setups ---- *)
+
+let test_refinement_names () =
+  Alcotest.(check bool) "unguided has no refinement" false
+    (Refinement.has_refinement Refinement.mct_unguided);
+  Alcotest.(check bool) "mct-vs-mspec refined" true
+    (Refinement.has_refinement (Refinement.mct_vs_mspec ()));
+  let r = Region.paper_unaligned platform in
+  let setup = Refinement.mpart_vs_mpart' platform r in
+  Alcotest.(check string) "base name" "Mpart" setup.Refinement.base_name;
+  Alcotest.(check (list string)) "line coverage on by default" [ "Mline" ]
+    setup.Refinement.coverage_names
+
+let test_refine_with_model_rejects_speculative () =
+  Alcotest.(check bool) "speculative refined model rejected" true
+    (try
+       ignore
+         (Refinement.refine_with_model ~base:Catalog.mct ~refined:(Catalog.mspec ()) ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_platform_constraints_always_present () =
+  (* Every setup automatically observes accessed addresses for the
+     platform range constraints. *)
+  let bir = Refinement.annotate Refinement.mct_unguided straightline_load in
+  Alcotest.(check Alcotest.int) "platform obs" 1
+    (List.length (obs_of_kind "platform_addr" bir))
+
+let () =
+  Alcotest.run "scamv_models"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "bounds" `Quick test_region_bounds;
+          Alcotest.test_case "concrete membership" `Quick test_region_concrete_membership;
+          QCheck_alcotest.to_alcotest prop_region_term_matches_concrete;
+          QCheck_alcotest.to_alcotest prop_set_index_term_matches_concrete;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "mpc" `Quick test_mpc_observes_pc_only;
+          Alcotest.test_case "mct" `Quick test_mct_observes_pc_and_addr;
+          Alcotest.test_case "mline" `Quick test_mline_observes_set_index;
+          Alcotest.test_case "mpart conditional" `Quick test_mpart_conditional_observation;
+          Alcotest.test_case "mpart' complement" `Quick test_mpart_refined_complement;
+          Alcotest.test_case "mfull" `Quick test_mfull_observes_registers;
+          Alcotest.test_case "mempty" `Quick test_mempty_observes_nothing;
+          Alcotest.test_case "merge_hooks" `Quick test_merge_hooks_concatenates;
+        ] );
+      ( "speculation",
+        [
+          Alcotest.test_case "configs" `Quick test_speculation_configs;
+          Alcotest.test_case "window bounds inlining" `Quick
+            test_speculation_window_bounds_inlining;
+          Alcotest.test_case "shadow names" `Quick test_speculation_shadow_names;
+        ] );
+      ( "refinement",
+        [
+          Alcotest.test_case "names" `Quick test_refinement_names;
+          Alcotest.test_case "rejects speculative model" `Quick
+            test_refine_with_model_rejects_speculative;
+          Alcotest.test_case "platform constraints" `Quick
+            test_platform_constraints_always_present;
+        ] );
+    ]

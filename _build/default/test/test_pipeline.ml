@@ -1,0 +1,183 @@
+(* End-to-end integration tests: the full Scam-V pipeline on the paper's
+   templates, checking the qualitative results of Table 1 / Fig. 7 at
+   miniature scale.  These are the repository's ground-truth regression
+   tests for the reproduction. *)
+
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Machine = Scamv_isa.Machine
+module Platform = Scamv_isa.Platform
+module Executor = Scamv_microarch.Executor
+module Refinement = Scamv_models.Refinement
+module Region = Scamv_models.Region
+module Templates = Scamv_gen.Templates
+module Pipeline = Scamv.Pipeline
+module Campaign = Scamv.Campaign
+module Stats = Scamv.Stats
+
+let platform = Platform.cortex_a53
+
+let mini ?(programs = 6) ?(tests = 10) ?(seed = 99L) ~name ~template ~setup ~view () =
+  let cfg = Campaign.make ~name ~template ~setup ~view ~programs ~tests_per_program:tests ~seed () in
+  (Campaign.run cfg).Campaign.stats
+
+let region = Region.paper_unaligned platform
+
+let region_view =
+  Executor.Region
+    { first_set = region.Region.first_set; last_set = region.Region.last_set }
+
+let pa_region = Region.paper_page_aligned platform
+
+let pa_view =
+  Executor.Region
+    { first_set = pa_region.Region.first_set; last_set = pa_region.Region.last_set }
+
+(* ---- pipeline unit behaviour ---- *)
+
+let test_pipeline_produces_test_cases () =
+  let tmpl = Scamv_gen.Gen.generate ~seed:7L Templates.template_a in
+  let cfg = Pipeline.default_config (Refinement.mct_vs_mspec ()) in
+  let session = Pipeline.prepare cfg tmpl.Templates.program in
+  Alcotest.(check bool) "has refinable pair" true (Pipeline.pair_count session > 0);
+  match Pipeline.next_test_case session with
+  | None -> Alcotest.fail "expected a test case"
+  | Some tc ->
+    Alcotest.(check bool) "training states present" true (tc.Pipeline.train <> []);
+    Alcotest.(check bool) "states differ" false
+      (Machine.equal_arch tc.Pipeline.state1 tc.Pipeline.state2)
+
+let test_pipeline_test_cases_distinct () =
+  let tmpl = Scamv_gen.Gen.generate ~seed:7L Templates.template_a in
+  let cfg = Pipeline.default_config (Refinement.mct_vs_mspec ()) in
+  let session = Pipeline.prepare cfg tmpl.Templates.program in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 10 do
+    match Pipeline.next_test_case session with
+    | None -> Alcotest.fail "exhausted too early"
+    | Some tc ->
+      let key =
+        Format.asprintf "%a|%a" Machine.pp tc.Pipeline.state1 Machine.pp
+          tc.Pipeline.state2
+      in
+      Alcotest.(check bool) "fresh test case" false (Hashtbl.mem seen key);
+      Hashtbl.add seen key ()
+  done
+
+let test_pipeline_deterministic () =
+  let tmpl = Scamv_gen.Gen.generate ~seed:7L Templates.template_c in
+  let run () =
+    let cfg = Pipeline.default_config (Refinement.mct_vs_mspec ()) in
+    let session = Pipeline.prepare ~seed:5L cfg tmpl.Templates.program in
+    List.init 5 (fun _ ->
+        match Pipeline.next_test_case session with
+        | None -> "-"
+        | Some tc -> Format.asprintf "%a" Machine.pp tc.Pipeline.state1)
+  in
+  Alcotest.(check (list string)) "same seed, same test cases" (run ()) (run ())
+
+let test_pipeline_unguided_straightline_program () =
+  (* A branch-free program still generates (unguided) test cases. *)
+  let tmpl = Scamv_gen.Gen.generate ~seed:3L Templates.stride in
+  let cfg = Pipeline.default_config (Refinement.mpart_unguided platform region) in
+  let session = Pipeline.prepare cfg tmpl.Templates.program in
+  match Pipeline.next_test_case session with
+  | None -> Alcotest.fail "expected a test case"
+  | Some tc -> Alcotest.(check (list Alcotest.int)) "no training" [] (List.map (fun _ -> 0) tc.Pipeline.train)
+
+(* ---- miniature campaigns: the paper's qualitative results ---- *)
+
+let test_refinement_finds_siscloak_on_template_a () =
+  let s =
+    mini ~name:"A refined" ~template:Templates.template_a
+      ~setup:(Refinement.mct_vs_mspec ()) ~view:Executor.Full_cache ()
+  in
+  Alcotest.(check bool) "counterexamples found" true (s.Stats.counterexamples > 0);
+  Alcotest.(check bool) "most programs leak" true
+    (s.Stats.programs_with_counterexample >= s.Stats.programs / 2)
+
+let test_refinement_finds_siscloak_on_template_c () =
+  let s =
+    mini ~name:"C refined" ~template:Templates.template_c
+      ~setup:(Refinement.mct_vs_mspec ()) ~view:Executor.Full_cache ()
+  in
+  Alcotest.(check bool) "counterexamples found" true (s.Stats.counterexamples > 0)
+
+let test_unguided_finds_nothing_on_template_c () =
+  let s =
+    mini ~name:"C unguided" ~template:Templates.template_c ~setup:Refinement.mct_unguided
+      ~view:Executor.Full_cache ()
+  in
+  Alcotest.(check Alcotest.int) "no counterexamples without refinement" 0
+    s.Stats.counterexamples
+
+let test_mspec1_sound_for_dependent_loads () =
+  let s =
+    mini ~name:"C mspec1" ~template:Templates.template_c
+      ~setup:(Refinement.mspec1_vs_mspec ()) ~view:Executor.Full_cache ()
+  in
+  Alcotest.(check Alcotest.int) "Mspec1 validated on template C" 0
+    s.Stats.counterexamples
+
+let test_no_straight_line_speculation_leak () =
+  let s =
+    mini ~name:"D mspec'" ~template:Templates.template_d
+      ~setup:(Refinement.mct_vs_mspec_straight_line ()) ~view:Executor.Full_cache ()
+  in
+  Alcotest.(check Alcotest.int) "direct branches do not leak" 0 s.Stats.counterexamples
+
+let test_prefetch_invalidates_mpart () =
+  let s =
+    mini ~programs:12 ~tests:20 ~name:"mpart refined" ~template:Templates.stride
+      ~setup:(Refinement.mpart_vs_mpart' platform region) ~view:region_view ()
+  in
+  Alcotest.(check bool) "prefetching violates cache coloring" true
+    (s.Stats.counterexamples > 0)
+
+let test_page_aligned_mpart_sound () =
+  let s =
+    mini ~programs:12 ~tests:20 ~name:"mpart pa refined" ~template:Templates.stride
+      ~setup:(Refinement.mpart_vs_mpart' platform pa_region) ~view:pa_view ()
+  in
+  Alcotest.(check Alcotest.int) "page-aligned coloring holds" 0 s.Stats.counterexamples
+
+let test_refinement_beats_unguided_on_mpart () =
+  let refined =
+    mini ~programs:12 ~tests:20 ~name:"mpart r" ~template:Templates.stride
+      ~setup:(Refinement.mpart_vs_mpart' platform region) ~view:region_view ()
+  in
+  let unguided =
+    mini ~programs:12 ~tests:20 ~name:"mpart u" ~template:Templates.stride
+      ~setup:(Refinement.mpart_unguided platform region) ~view:region_view ()
+  in
+  Alcotest.(check bool) "refinement finds more counterexamples" true
+    (refined.Stats.counterexamples > unguided.Stats.counterexamples)
+
+let () =
+  Alcotest.run "scamv_pipeline"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "produces test cases" `Quick test_pipeline_produces_test_cases;
+          Alcotest.test_case "test cases distinct" `Quick test_pipeline_test_cases_distinct;
+          Alcotest.test_case "deterministic" `Quick test_pipeline_deterministic;
+          Alcotest.test_case "straight-line unguided" `Quick
+            test_pipeline_unguided_straightline_program;
+        ] );
+      ( "paper results (miniature)",
+        [
+          Alcotest.test_case "SiSCloak on template A" `Slow
+            test_refinement_finds_siscloak_on_template_a;
+          Alcotest.test_case "SiSCloak on template C" `Slow
+            test_refinement_finds_siscloak_on_template_c;
+          Alcotest.test_case "unguided blind on C" `Slow
+            test_unguided_finds_nothing_on_template_c;
+          Alcotest.test_case "Mspec1 sound on C" `Slow test_mspec1_sound_for_dependent_loads;
+          Alcotest.test_case "no straight-line leak" `Slow
+            test_no_straight_line_speculation_leak;
+          Alcotest.test_case "prefetch invalidates Mpart" `Slow test_prefetch_invalidates_mpart;
+          Alcotest.test_case "page-aligned Mpart sound" `Slow test_page_aligned_mpart_sound;
+          Alcotest.test_case "refinement beats unguided" `Slow
+            test_refinement_beats_unguided_on_mpart;
+        ] );
+    ]

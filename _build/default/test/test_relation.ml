@@ -1,0 +1,295 @@
+module T = Scamv_smt.Term
+module Sort = Scamv_smt.Sort
+module Solver = Scamv_smt.Solver
+module Model = Scamv_smt.Model
+module Eval = Scamv_smt.Eval
+module Ast = Scamv_isa.Ast
+module Reg = Scamv_isa.Reg
+module Machine = Scamv_isa.Machine
+module Platform = Scamv_isa.Platform
+module Obs = Scamv_bir.Obs
+module Exec = Scamv_symbolic.Exec
+module Refinement = Scamv_models.Refinement
+module Catalog = Scamv_models.Catalog
+module Region = Scamv_models.Region
+module Synth = Scamv_relation.Synth
+module Training = Scamv_relation.Training
+module Concretize = Scamv_relation.Concretize
+
+let x = Reg.x
+let reg r = Ast.Reg r
+let addr base offset = { Ast.base; offset; scale = 0 }
+let platform = Platform.cortex_a53
+
+let synth_cfg ~refined = { Synth.platform; require_refined_difference = refined }
+
+let template_a_program =
+  [|
+    Ast.Ldr (x 2, addr (x 0) (reg (x 1)));
+    Ast.Cmp (x 1, reg (x 4));
+    Ast.B_cond (Ast.Hs, 4);
+    Ast.Ldr (x 5, addr (x 6) (reg (x 2)));
+  |]
+
+let leaves_of setup program = Exec.execute (Refinement.annotate setup program)
+
+(* Restrict a model to one state's canonical variables, for evaluating
+   leaf formulas (which range over unsuffixed variables). *)
+let project_state model suffix =
+  let strip name =
+    let n = String.length name and k = String.length suffix in
+    if n >= k && String.sub name (n - k) k = suffix then Some (String.sub name 0 (n - k))
+    else None
+  in
+  let m =
+    List.fold_left
+      (fun acc (name, v) ->
+        match strip name with Some base -> Model.add_var acc base v | None -> acc)
+      Model.empty (Model.vars model)
+  in
+  List.fold_left
+    (fun acc mem ->
+      match strip mem with
+      | Some base ->
+        List.fold_left
+          (fun acc (a, v) -> Model.add_mem_cell acc base ~addr:a ~value:v)
+          acc (Model.mem_cells model mem)
+      | None -> acc)
+    m (Model.mems model)
+
+let test_compatible_pairs_diagonal_first () =
+  let leaves = leaves_of Refinement.mct_unguided template_a_program in
+  let pairs = Synth.compatible_pairs leaves in
+  Alcotest.(check bool) "diagonal pairs present" true
+    (List.mem (0, 0) pairs && List.mem (1, 1) pairs);
+  (* The two paths of template A have different observation counts. *)
+  Alcotest.(check bool) "cross pairs incompatible" true
+    (not (List.mem (0, 1) pairs))
+
+let test_unguided_pair_solvable_and_equivalent () =
+  let leaves = leaves_of Refinement.mct_unguided template_a_program in
+  List.iter
+    (fun pair ->
+      match Synth.pair_relation (synth_cfg ~refined:false) leaves pair with
+      | None -> Alcotest.fail "unguided pair must be solvable"
+      | Some r -> (
+        match Solver.solve r.Synth.assertions with
+        | Solver.Unsat -> Alcotest.fail "relation should be satisfiable"
+        | Solver.Sat model ->
+          (* The model must predict identical Base observation traces. *)
+          let leaf1 = List.nth leaves r.Synth.leaf1
+          and leaf2 = List.nth leaves r.Synth.leaf2 in
+          let m1 = project_state model Synth.suffix1
+          and m2 = project_state model Synth.suffix2 in
+          let base m leaf =
+            Exec.concrete_obs m leaf
+            |> List.filter (fun (tag, _, _) -> tag = Obs.Base)
+          in
+          Alcotest.(check bool) "equal base traces" true
+            (base m1 leaf1 = base m2 leaf2)))
+    (Synth.compatible_pairs leaves)
+
+let test_refined_pair_forces_difference () =
+  let setup = Refinement.mct_vs_mspec () in
+  let leaves = leaves_of setup template_a_program in
+  let pairs = Synth.compatible_pairs leaves in
+  let solvable =
+    List.filter_map (fun p -> Synth.pair_relation (synth_cfg ~refined:true) leaves p) pairs
+  in
+  (* Only the branch-taken path pair has refined (transient) observations. *)
+  Alcotest.(check Alcotest.int) "one refinable pair" 1 (List.length solvable);
+  let r = List.hd solvable in
+  match Solver.solve r.Synth.assertions with
+  | Solver.Unsat -> Alcotest.fail "refined relation should be satisfiable"
+  | Solver.Sat model ->
+    let leaf1 = List.nth leaves r.Synth.leaf1 and leaf2 = List.nth leaves r.Synth.leaf2 in
+    let m1 = project_state model Synth.suffix1 and m2 = project_state model Synth.suffix2 in
+    let pick tag m leaf =
+      Exec.concrete_obs m leaf |> List.filter (fun (t, _, _) -> t = tag)
+    in
+    Alcotest.(check bool) "base equal" true
+      (pick Obs.Base m1 leaf1 = pick Obs.Base m2 leaf2);
+    Alcotest.(check bool) "refined differ" false
+      (pick Obs.Refined m1 leaf1 = pick Obs.Refined m2 leaf2)
+
+let test_refined_requires_refined_obs () =
+  (* A program without branches has no transient observations: refinement
+     produces no solvable pair. *)
+  let program = [| Ast.Ldr (x 1, addr (x 0) (reg (x 2))) |] in
+  let setup = Refinement.mct_vs_mspec () in
+  let leaves = leaves_of setup program in
+  let pairs = Synth.compatible_pairs leaves in
+  let solvable =
+    List.filter_map (fun p -> Synth.pair_relation (synth_cfg ~refined:true) leaves p) pairs
+  in
+  Alcotest.(check Alcotest.int) "nothing to refine" 0 (List.length solvable)
+
+let test_range_constraints_enforced () =
+  let setup = Refinement.mct_unguided in
+  let leaves = leaves_of setup template_a_program in
+  let r =
+    Option.get (Synth.pair_relation (synth_cfg ~refined:false) leaves (0, 0))
+  in
+  match Solver.solve r.Synth.assertions with
+  | Solver.Unsat -> Alcotest.fail "satisfiable expected"
+  | Solver.Sat model ->
+    let s1, s2 = Concretize.test_states model in
+    List.iter
+      (fun m ->
+        let a = Int64.add (Machine.get_reg m (x 0)) (Machine.get_reg m (x 1)) in
+        Alcotest.(check bool) "committed address in range" true
+          (Platform.in_memory_range platform a))
+      [ s1; s2 ]
+
+let test_mpart_relation_matches_paper_shape () =
+  (* For Mpart, observationally equivalent states agree on whether each
+     access is attacker-visible and, if so, on the address (Sec. 4.2.1). *)
+  let region = Region.paper_unaligned platform in
+  let program = [| Ast.Ldr (x 1, addr (x 0) (Ast.Imm 0L)) |] in
+  let setup = Refinement.mpart_unguided platform region in
+  let leaves = leaves_of setup program in
+  let r = Option.get (Synth.pair_relation (synth_cfg ~refined:false) leaves (0, 0)) in
+  let session = Solver.make_session r.Synth.assertions in
+  let distinct_ar = ref 0 in
+  for _ = 1 to 20 do
+    match Solver.next_model session with
+    | None -> ()
+    | Some model ->
+      let s1, s2 = Concretize.test_states model in
+      let a1 = Machine.get_reg s1 (x 0) and a2 = Machine.get_reg s2 (x 0) in
+      let in1 = Region.contains platform region a1
+      and in2 = Region.contains platform region a2 in
+      Alcotest.(check bool) "AR membership agrees" true (Bool.equal in1 in2);
+      if in1 then
+        if not (Int64.equal a1 a2) then incr distinct_ar
+  done;
+  Alcotest.(check Alcotest.int) "AR accesses always equal" 0 !distinct_ar
+
+let test_mpart_refined_forces_set_difference () =
+  let region = Region.paper_unaligned platform in
+  let program = [| Ast.Ldr (x 1, addr (x 0) (Ast.Imm 0L)) |] in
+  let setup = Refinement.mpart_vs_mpart' ~line_coverage:false platform region in
+  let leaves = leaves_of setup program in
+  let r = Option.get (Synth.pair_relation (synth_cfg ~refined:true) leaves (0, 0)) in
+  match Solver.solve r.Synth.assertions with
+  | Solver.Unsat -> Alcotest.fail "satisfiable expected"
+  | Solver.Sat model ->
+    let s1, s2 = Concretize.test_states model in
+    let a1 = Machine.get_reg s1 (x 0) and a2 = Machine.get_reg s2 (x 0) in
+    Alcotest.(check bool) "both outside AR" true
+      ((not (Region.contains platform region a1))
+      && not (Region.contains platform region a2));
+    Alcotest.(check bool) "different sets" false
+      (Platform.set_index platform a1 = Platform.set_index platform a2)
+
+let test_full_equivalence_agrees_with_pairs () =
+  (* Eq. 1 over all pairs must accept any model of a per-pair relation. *)
+  let leaves = leaves_of Refinement.mct_unguided template_a_program in
+  let full = Synth.full_equivalence (synth_cfg ~refined:false) leaves in
+  let r = Option.get (Synth.pair_relation (synth_cfg ~refined:false) leaves (0, 0)) in
+  match Solver.solve r.Synth.assertions with
+  | Solver.Unsat -> Alcotest.fail "satisfiable expected"
+  | Solver.Sat model ->
+    Alcotest.(check bool) "full relation accepts the pair model" true
+      (Eval.eval_bool model full)
+
+let test_coverage_track_names () =
+  let region = Region.paper_unaligned platform in
+  let setup = Refinement.mpart_vs_mpart' ~line_coverage:true platform region in
+  let program = [| Ast.Ldr (x 1, addr (x 0) (Ast.Imm 0L)) |] in
+  let leaves = leaves_of setup program in
+  let r = Option.get (Synth.pair_relation (synth_cfg ~refined:true) leaves (0, 0)) in
+  Alcotest.(check bool) "coverage variables exist" true
+    (List.length r.Synth.coverage_track > 0);
+  List.iter
+    (fun (name, sort) ->
+      Alcotest.(check bool) "internal name" true (String.contains name '!');
+      match sort with
+      | Sort.Bv w -> Alcotest.(check Alcotest.int) "set-index width" 7 w
+      | _ -> Alcotest.fail "coverage vars are bitvectors")
+    r.Synth.coverage_track
+
+let test_training_states_take_other_path () =
+  let setup = Refinement.mct_vs_mspec () in
+  let bir = Refinement.annotate setup template_a_program in
+  let leaves = Exec.execute bir in
+  (* Pair (0,0): find training states; they must drive the program down a
+     different block trace than leaf 0. *)
+  let train = Training.training_states ~platform ~leaves ~pair:(0, 0) in
+  Alcotest.(check bool) "at least one training state" true (train <> []);
+  let target_trace = (List.nth leaves 0).Exec.trace in
+  List.iter
+    (fun st ->
+      (* Execute concretely and compare the branch outcome. *)
+      let m = Machine.copy st in
+      let trace = Scamv_isa.Semantics.run template_a_program m in
+      let taken =
+        List.find_map
+          (function
+            | Scamv_isa.Semantics.Branch { taken; _ } -> Some taken
+            | _ -> None)
+          trace
+        |> Option.get
+      in
+      (* Leaf 0 corresponds to one branch direction; the training state
+         must take the other.  Derive leaf 0's direction from its trace. *)
+      let leaf0_takes_body = List.mem 3 target_trace in
+      Alcotest.(check bool) "opposite direction" true (taken = leaf0_takes_body))
+    train
+
+let test_training_states_empty_for_straightline () =
+  let program = [| Ast.Ldr (x 1, addr (x 0) (Ast.Imm 0L)) |] in
+  let setup = Refinement.mct_unguided in
+  let leaves = leaves_of setup program in
+  let train = Training.training_states ~platform ~leaves ~pair:(0, 0) in
+  Alcotest.(check Alcotest.int) "no branch, no training" 0 (List.length train)
+
+let test_concretize_reads_registers_flags_memory () =
+  let model =
+    Model.empty
+    |> fun m ->
+    Model.add_var m "x3_1" (Model.Bv (0xABCL, 64))
+    |> fun m ->
+    Model.add_var m "zf_1" (Model.Bool true)
+    |> fun m -> Model.add_mem_cell m "mem_1" ~addr:0x100L ~value:42L
+  in
+  let machine = Concretize.machine_of_model ~suffix:"_1" model in
+  Alcotest.(check int64) "register" 0xABCL (Machine.get_reg machine (x 3));
+  Alcotest.(check bool) "flag" true (Machine.get_flags machine).Machine.z;
+  Alcotest.(check int64) "memory" 42L (Machine.load machine 0x100L);
+  Alcotest.(check int64) "default zero" 0L (Machine.get_reg machine (x 9))
+
+let () =
+  Alcotest.run "scamv_relation"
+    [
+      ( "pairs",
+        [
+          Alcotest.test_case "diagonal first" `Quick test_compatible_pairs_diagonal_first;
+          Alcotest.test_case "unguided solvable + equivalent" `Quick
+            test_unguided_pair_solvable_and_equivalent;
+          Alcotest.test_case "refined forces difference" `Quick
+            test_refined_pair_forces_difference;
+          Alcotest.test_case "refined needs refined obs" `Quick
+            test_refined_requires_refined_obs;
+          Alcotest.test_case "range constraints" `Quick test_range_constraints_enforced;
+          Alcotest.test_case "full equivalence" `Quick test_full_equivalence_agrees_with_pairs;
+        ] );
+      ( "mpart",
+        [
+          Alcotest.test_case "paper relation shape" `Quick
+            test_mpart_relation_matches_paper_shape;
+          Alcotest.test_case "refined set difference" `Quick
+            test_mpart_refined_forces_set_difference;
+          Alcotest.test_case "coverage track" `Quick test_coverage_track_names;
+        ] );
+      ( "training",
+        [
+          Alcotest.test_case "other path" `Quick test_training_states_take_other_path;
+          Alcotest.test_case "straight line" `Quick test_training_states_empty_for_straightline;
+        ] );
+      ( "concretize",
+        [
+          Alcotest.test_case "registers/flags/memory" `Quick
+            test_concretize_reads_registers_flags_memory;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+module Rv = Scamv_riscv.Ast
+module Rv_sem = Scamv_riscv.Semantics
+module Translate = Scamv_riscv.Translate
+module Arm = Scamv_isa.Ast
+module Arm_sem = Scamv_isa.Semantics
+module Machine = Scamv_isa.Machine
+module Reg = Scamv_isa.Reg
+module Sm = Scamv_util.Splitmix
+
+let translate_exn p =
+  match Translate.translate p with
+  | Ok arm -> arm
+  | Error msg -> Alcotest.failf "translation failed: %s" msg
+
+(* ---- direct translations ---- *)
+
+let test_reg_mapping () =
+  Alcotest.(check Alcotest.int) "x1 -> x0" 0 (Reg.index (Translate.map_reg (Rv.x 1)));
+  Alcotest.(check Alcotest.int) "x31 -> x30" 30 (Reg.index (Translate.map_reg (Rv.x 31)));
+  Alcotest.check_raises "x0 unmapped"
+    (Invalid_argument "Riscv.Translate.map_reg: x0 has no target register") (fun () ->
+      ignore (Translate.map_reg (Rv.x 0)))
+
+let test_li_idiom () =
+  (* addi rd, x0, imm is the li pseudo-instruction. *)
+  match translate_exn [| Rv.Addi (Rv.x 5, Rv.x 0, 42L) |] with
+  | [| Arm.Mov (d, Arm.Imm 42L) |] ->
+    Alcotest.(check Alcotest.int) "x5 -> x4" 4 (Reg.index d)
+  | p -> Alcotest.failf "unexpected translation: %s" (Arm.to_string p)
+
+let test_writes_to_x0_are_nops () =
+  match translate_exn [| Rv.Add (Rv.x 0, Rv.x 1, Rv.x 2) |] with
+  | [| Arm.Nop |] -> ()
+  | p -> Alcotest.failf "unexpected translation: %s" (Arm.to_string p)
+
+let test_branch_becomes_cmp_pair () =
+  let rv = [| Rv.Beq (Rv.x 1, Rv.x 2, 2); Rv.Nop |] in
+  match translate_exn rv with
+  | [| Arm.Cmp (_, Arm.Reg _); Arm.B_cond (Arm.Eq, 3); Arm.Nop |] -> ()
+  | p -> Alcotest.failf "unexpected translation: %s" (Arm.to_string p)
+
+let test_branch_target_remapping () =
+  (* The branch skips one RV instruction that expands to two target
+     instructions; the target index must account for the expansion. *)
+  let rv =
+    [|
+      Rv.Beq (Rv.x 1, Rv.x 2, 2) (* -> 2 instrs, targets rv index 2 *);
+      Rv.Sub (Rv.x 3, Rv.x 0, Rv.x 4) (* -> 2 instrs (mov + sub) *);
+      Rv.Nop;
+    |]
+  in
+  match translate_exn rv with
+  | [| Arm.Cmp _; Arm.B_cond (Arm.Eq, 4); Arm.Mov _; Arm.Sub _; Arm.Nop |] -> ()
+  | p -> Alcotest.failf "unexpected translation: %s" (Arm.to_string p)
+
+let test_zero_comparison_mirrored () =
+  (* blt x0, x5, t  means  x5 > 0 (signed). *)
+  let rv = [| Rv.Blt (Rv.x 0, Rv.x 5, 1) |] in
+  match translate_exn rv with
+  | [| Arm.Cmp (_, Arm.Imm 0L); Arm.B_cond (Arm.Gt, _) |] -> ()
+  | p -> Alcotest.failf "unexpected translation: %s" (Arm.to_string p)
+
+let test_unsupported_rejected () =
+  let rejected p =
+    match Translate.translate p with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "load to x0" true (rejected [| Rv.Ld (Rv.x 0, 0L, Rv.x 1) |]);
+  Alcotest.(check bool) "store of x0" true (rejected [| Rv.Sd (Rv.x 0, 0L, Rv.x 1) |]);
+  Alcotest.(check bool) "x0 addressing" true (rejected [| Rv.Ld (Rv.x 1, 0L, Rv.x 0) |]);
+  Alcotest.(check bool) "linking jal" true (rejected [| Rv.Jal (Rv.x 1, 1) |]);
+  Alcotest.(check bool) "in-place negation" true
+    (rejected [| Rv.Sub (Rv.x 3, Rv.x 0, Rv.x 3) |]);
+  Alcotest.(check bool) "invalid target" true (rejected [| Rv.Jal (Rv.x 0, 9) |])
+
+let test_constant_branches () =
+  (match translate_exn [| Rv.Beq (Rv.x 0, Rv.x 0, 2); Rv.Nop |] with
+  | [| Arm.B 2; Arm.Nop |] -> ()
+  | p -> Alcotest.failf "beq x0,x0: %s" (Arm.to_string p));
+  match translate_exn [| Rv.Bne (Rv.x 0, Rv.x 0, 2); Rv.Nop |] with
+  | [| Arm.Nop; Arm.Nop |] -> ()
+  | p -> Alcotest.failf "bne x0,x0: %s" (Arm.to_string p)
+
+(* ---- native semantics ---- *)
+
+let test_rv_x0_hardwired () =
+  let s = Rv_sem.create () in
+  Rv_sem.set_reg s (Rv.x 0) 99L;
+  Alcotest.(check Alcotest.int64) "x0 stays zero" 0L (Rv_sem.get_reg s (Rv.x 0))
+
+let test_rv_branches () =
+  let s = Rv_sem.create () in
+  Rv_sem.set_reg s (Rv.x 1) (-1L);
+  (* blt x1, x0: -1 < 0 signed -> taken; bltu: 0xFF..F < 0 unsigned -> not. *)
+  Rv_sem.run [| Rv.Blt (Rv.x 1, Rv.x 0, 2); Rv.Addi (Rv.x 2, Rv.x 0, 1L) |] s;
+  Alcotest.(check Alcotest.int64) "signed branch taken" 0L (Rv_sem.get_reg s (Rv.x 2));
+  let s = Rv_sem.create () in
+  Rv_sem.set_reg s (Rv.x 1) (-1L);
+  Rv_sem.run [| Rv.Bltu (Rv.x 1, Rv.x 0, 2); Rv.Addi (Rv.x 2, Rv.x 0, 1L) |] s;
+  Alcotest.(check Alcotest.int64) "unsigned branch not taken" 1L (Rv_sem.get_reg s (Rv.x 2))
+
+(* ---- differential translation testing ---- *)
+
+(* Random supported RV64 programs: ALU soup + guarded loads/stores +
+   forward branches.  Memory addresses are confined to a small pool so
+   loads hit stored cells. *)
+let random_program rng =
+  let rng = ref rng in
+  let draw n =
+    let v, r = Sm.int !rng n in
+    rng := r;
+    v
+  in
+  let draw64 () =
+    let v, r = Sm.next !rng in
+    rng := r;
+    v
+  in
+  let any_reg () = Rv.x (draw 32) in
+  let nonzero_reg () = Rv.x (1 + draw 31) in
+  let small_imm () = Int64.of_int (draw 256) in
+  let n = 4 + draw 8 in
+  let instr i =
+    match draw 14 with
+    | 0 -> Rv.Addi (any_reg (), any_reg (), small_imm ())
+    | 1 -> Rv.Add (any_reg (), any_reg (), any_reg ())
+    | 2 ->
+      (* Avoid the unsupported in-place negation alias. *)
+      let d = any_reg () in
+      let a = any_reg () in
+      let b = if a = 0 && d <> 0 then Rv.x (if d = 31 then 30 else d + 1) else any_reg () in
+      if a = 0 && d = b then Rv.Nop else Rv.Sub (d, a, b)
+    | 3 -> Rv.And_ (any_reg (), any_reg (), any_reg ())
+    | 4 -> Rv.Or_ (any_reg (), any_reg (), any_reg ())
+    | 5 -> Rv.Xor (any_reg (), any_reg (), any_reg ())
+    | 6 -> Rv.Andi (any_reg (), any_reg (), small_imm ())
+    | 7 -> Rv.Ori (any_reg (), any_reg (), small_imm ())
+    | 8 -> Rv.Slli (any_reg (), any_reg (), draw 64)
+    | 9 -> Rv.Srli (any_reg (), any_reg (), draw 64)
+    | 10 -> Rv.Srai (any_reg (), any_reg (), draw 64)
+    | 11 -> Rv.Ld (nonzero_reg (), Int64.of_int (8 * draw 4), nonzero_reg ())
+    | 12 -> Rv.Sd (nonzero_reg (), Int64.of_int (8 * draw 4), nonzero_reg ())
+    | _ ->
+      let target = i + 1 + draw (n - i) in
+      (match draw 6 with
+      | 0 -> Rv.Beq (any_reg (), any_reg (), target)
+      | 1 -> Rv.Bne (any_reg (), any_reg (), target)
+      | 2 -> Rv.Blt (any_reg (), any_reg (), target)
+      | 3 -> Rv.Bge (any_reg (), any_reg (), target)
+      | 4 -> Rv.Bltu (any_reg (), any_reg (), target)
+      | _ -> Rv.Bgeu (any_reg (), any_reg (), target))
+  in
+  let program = Array.init n instr in
+  (* Random initial state over a small value domain. *)
+  let state = Rv_sem.create () in
+  for r = 1 to 31 do
+    Rv_sem.set_reg state (Rv.x r) (Int64.logand (draw64 ()) 0xFFL)
+  done;
+  for _ = 1 to 6 do
+    Rv_sem.store state (Int64.logand (draw64 ()) 0xFFL) (Int64.logand (draw64 ()) 0xFFL)
+  done;
+  (program, state)
+
+let prop_translation_preserves_semantics =
+  QCheck.Test.make ~name:"RV64 native run = translated AArch64 run" ~count:500
+    QCheck.int64 (fun seed ->
+      let program, state = random_program (Sm.of_seed seed) in
+      match Translate.translate program with
+      | Error _ -> QCheck.assume_fail () (* rare rejected alias patterns *)
+      | Ok arm ->
+        let machine = Translate.machine_of_state state in
+        Rv_sem.run program state;
+        ignore (Arm_sem.run arm machine);
+        Translate.states_agree state machine)
+
+(* The translated program also runs unchanged through the full pipeline:
+   a Spectre gadget written in RV64 yields counterexamples. *)
+let test_translated_gadget_through_pipeline () =
+  (* ld x3, 0(x1); bge x3, x2, end; ld x5, 0(x3)  -- SiSCloak shape *)
+  let rv =
+    [|
+      Rv.Ld (Rv.x 3, 0L, Rv.x 1);
+      Rv.Bge (Rv.x 3, Rv.x 2, 3);
+      Rv.Ld (Rv.x 5, 0L, Rv.x 3);
+    |]
+  in
+  let arm = translate_exn rv in
+  let setup = Scamv_models.Refinement.mct_vs_mspec () in
+  let cfg = Scamv.Pipeline.default_config setup in
+  let session = Scamv.Pipeline.prepare ~seed:3L cfg arm in
+  match Scamv.Pipeline.next_test_case session with
+  | None -> Alcotest.fail "expected a test case from the translated gadget"
+  | Some tc ->
+    let verdict =
+      Scamv_microarch.Executor.run
+        (Scamv_microarch.Executor.default_config ())
+        {
+          Scamv_microarch.Executor.program = arm;
+          state1 = tc.Scamv.Pipeline.state1;
+          state2 = tc.Scamv.Pipeline.state2;
+          train = tc.Scamv.Pipeline.train;
+        }
+    in
+    Alcotest.(check bool) "speculative leak found" true
+      (verdict = Scamv_microarch.Executor.Distinguishable)
+
+let () =
+  Alcotest.run "scamv_riscv"
+    [
+      ( "translate",
+        [
+          Alcotest.test_case "register mapping" `Quick test_reg_mapping;
+          Alcotest.test_case "li idiom" `Quick test_li_idiom;
+          Alcotest.test_case "x0 writes are nops" `Quick test_writes_to_x0_are_nops;
+          Alcotest.test_case "branch becomes cmp pair" `Quick test_branch_becomes_cmp_pair;
+          Alcotest.test_case "target remapping" `Quick test_branch_target_remapping;
+          Alcotest.test_case "zero comparison mirrored" `Quick test_zero_comparison_mirrored;
+          Alcotest.test_case "unsupported rejected" `Quick test_unsupported_rejected;
+          Alcotest.test_case "constant branches" `Quick test_constant_branches;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "x0 hardwired" `Quick test_rv_x0_hardwired;
+          Alcotest.test_case "signed/unsigned branches" `Quick test_rv_branches;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_translation_preserves_semantics;
+          Alcotest.test_case "gadget through pipeline" `Quick
+            test_translated_gadget_through_pipeline;
+        ] );
+    ]

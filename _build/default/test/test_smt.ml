@@ -1,0 +1,580 @@
+module T = Scamv_smt.Term
+module Sort = Scamv_smt.Sort
+module Sat = Scamv_smt.Sat
+module Solver = Scamv_smt.Solver
+module Model = Scamv_smt.Model
+module Eval = Scamv_smt.Eval
+
+(* ------------------------------------------------------------------ *)
+(* Term construction and folding                                       *)
+(* ------------------------------------------------------------------ *)
+
+let term = Alcotest.testable (fun ppf t -> T.pp ppf t) T.equal
+
+let test_const_folding_arith () =
+  Alcotest.check term "add" (T.bv_const 5L 8) (T.add (T.bv_const 2L 8) (T.bv_const 3L 8));
+  Alcotest.check term "overflow wraps" (T.bv_const 0L 8)
+    (T.add (T.bv_const 255L 8) (T.bv_const 1L 8));
+  Alcotest.check term "sub" (T.bv_const 255L 8) (T.sub (T.bv_const 1L 8) (T.bv_const 2L 8));
+  Alcotest.check term "mul" (T.bv_const 6L 8) (T.mul (T.bv_const 2L 8) (T.bv_const 3L 8))
+
+let test_const_folding_compare () =
+  Alcotest.check term "ult true" T.tt (T.ult (T.bv_const 1L 8) (T.bv_const 2L 8));
+  Alcotest.check term "ult false" T.ff (T.ult (T.bv_const 2L 8) (T.bv_const 1L 8));
+  Alcotest.check term "slt wraps" T.tt (T.slt (T.bv_const 0x80L 8) (T.bv_const 0L 8));
+  Alcotest.check term "eq refl on vars" T.tt (T.eq (T.bv_var "x" 8) (T.bv_var "x" 8));
+  Alcotest.check term "ule refl on vars" T.tt (T.ule (T.bv_var "x" 8) (T.bv_var "x" 8));
+  Alcotest.check term "ult irrefl on vars" T.ff (T.ult (T.bv_var "x" 8) (T.bv_var "x" 8))
+
+let test_bool_simplifications () =
+  let x = T.bool_var "p" in
+  Alcotest.check term "and true" x (T.and_ T.tt x);
+  Alcotest.check term "and false" T.ff (T.and_ x T.ff);
+  Alcotest.check term "or true" T.tt (T.or_ x T.tt);
+  Alcotest.check term "not not" x (T.not_ (T.not_ x));
+  Alcotest.check term "implies false" T.tt (T.implies T.ff x);
+  Alcotest.check term "implies to self" T.tt (T.implies x x)
+
+let test_unit_laws () =
+  let x = T.bv_var "x" 16 in
+  Alcotest.check term "x + 0" x (T.add x (T.bv_zero 16));
+  Alcotest.check term "0 + x" x (T.add (T.bv_zero 16) x);
+  Alcotest.check term "x - 0" x (T.sub x (T.bv_zero 16));
+  Alcotest.check term "x * 1" x (T.mul x (T.bv_one 16));
+  Alcotest.check term "x * 0" (T.bv_zero 16) (T.mul x (T.bv_zero 16));
+  Alcotest.check term "x & 0" (T.bv_zero 16) (T.logand x (T.bv_zero 16));
+  Alcotest.check term "x & ones" x (T.logand x (T.bv_const (-1L) 16))
+
+let test_extract_concat () =
+  Alcotest.check term "extract of const" (T.bv_const 0x3L 4)
+    (T.extract ~hi:7 ~lo:4 (T.bv_const 0x34L 8));
+  Alcotest.check term "full extract is id" (T.bv_var "x" 8)
+    (T.extract ~hi:7 ~lo:0 (T.bv_var "x" 8));
+  Alcotest.check term "concat consts" (T.bv_const 0xABCDL 16)
+    (T.concat (T.bv_const 0xABL 8) (T.bv_const 0xCDL 8));
+  (match T.extract ~hi:3 ~lo:2 (T.extract ~hi:7 ~lo:4 (T.bv_var "x" 16)) with
+  | T.Extract (7, 6, T.Var ("x", _)) -> ()
+  | t -> Alcotest.failf "nested extract not fused: %s" (T.to_string t))
+
+let test_sort_errors () =
+  let raises f = try ignore (f ()); false with T.Sort_error _ -> true in
+  Alcotest.(check bool) "width mismatch add" true
+    (raises (fun () -> T.add (T.bv_var "x" 8) (T.bv_var "y" 16)));
+  Alcotest.(check bool) "bool in arith" true
+    (raises (fun () -> T.add (T.bool_var "p") (T.bool_var "q")));
+  Alcotest.(check bool) "mem equality rejected" true
+    (raises (fun () -> T.eq (T.mem_var "m") (T.mem_var "m")));
+  Alcotest.(check bool) "bad extract" true
+    (raises (fun () -> T.extract ~hi:8 ~lo:0 (T.bv_var "x" 8)));
+  Alcotest.(check bool) "bad width" true (raises (fun () -> T.bv_var "x" 65))
+
+let test_select_over_store () =
+  let m = T.mem_var "m" in
+  let a = T.bv_var "a" 64 and v = T.bv_var "v" 64 in
+  Alcotest.check term "read own write" v (T.select (T.store m a v) a);
+  let b = T.bv_var "b" 64 in
+  (match T.select (T.store m a v) b with
+  | T.Ite (_, _, _) -> ()
+  | t -> Alcotest.failf "expected ite, got %s" (T.to_string t));
+  Alcotest.check term "read around distinct const write"
+    (T.select m (T.bv_const 8L 64))
+    (T.select (T.store m (T.bv_const 0L 64) v) (T.bv_const 8L 64))
+
+let test_rename_and_free_vars () =
+  let t = T.and_ (T.eq (T.bv_var "x" 8) (T.bv_var "y" 8)) (T.bool_var "p") in
+  let t' = T.rename (fun s -> s ^ "_1") t in
+  let names = List.map fst (T.free_vars t') in
+  Alcotest.(check (list string)) "renamed vars" [ "p_1"; "x_1"; "y_1" ]
+    (List.sort compare names)
+
+let test_ite_folding () =
+  let a = T.bv_var "a" 8 and b = T.bv_var "b" 8 in
+  Alcotest.check term "ite true" a (T.ite T.tt a b);
+  Alcotest.check term "ite false" b (T.ite T.ff a b);
+  Alcotest.check term "ite same" a (T.ite (T.bool_var "c") a a)
+
+(* ------------------------------------------------------------------ *)
+(* SAT solver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_sat_trivial () =
+  let s = Sat.create () in
+  let v = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos v ];
+  Alcotest.(check bool) "sat" true (Sat.solve s);
+  Alcotest.(check bool) "v true" true (Sat.value s v)
+
+let test_sat_unsat_unit_conflict () =
+  let s = Sat.create () in
+  let v = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos v ];
+  Sat.add_clause s [ Sat.neg_of_var v ];
+  Alcotest.(check bool) "unsat" false (Sat.solve s)
+
+let test_sat_empty_clause () =
+  let s = Sat.create () in
+  ignore (Sat.new_var s);
+  Sat.add_clause s [];
+  Alcotest.(check bool) "unsat" false (Sat.solve s)
+
+let test_sat_implication_chain () =
+  let s = Sat.create () in
+  let vars = Array.init 50 (fun _ -> Sat.new_var s) in
+  for i = 0 to 48 do
+    Sat.add_clause s [ Sat.neg_of_var vars.(i); Sat.pos vars.(i + 1) ]
+  done;
+  Sat.add_clause s [ Sat.pos vars.(0) ];
+  Alcotest.(check bool) "sat" true (Sat.solve s);
+  Alcotest.(check bool) "last implied" true (Sat.value s vars.(49))
+
+let test_sat_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: unsat. p_{i,h} = pigeon i in hole h. *)
+  let s = Sat.create () in
+  let p = Array.init 3 (fun _ -> Array.init 2 (fun _ -> Sat.new_var s)) in
+  for i = 0 to 2 do
+    Sat.add_clause s [ Sat.pos p.(i).(0); Sat.pos p.(i).(1) ]
+  done;
+  for h = 0 to 1 do
+    for i = 0 to 2 do
+      for j = i + 1 to 2 do
+        Sat.add_clause s [ Sat.neg_of_var p.(i).(h); Sat.neg_of_var p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" false (Sat.solve s)
+
+let test_sat_pigeonhole_4_3 () =
+  let s = Sat.create () in
+  let n = 4 and holes = 3 in
+  let p = Array.init n (fun _ -> Array.init holes (fun _ -> Sat.new_var s)) in
+  for i = 0 to n - 1 do
+    Sat.add_clause s (Array.to_list (Array.map Sat.pos p.(i)))
+  done;
+  for h = 0 to holes - 1 do
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Sat.add_clause s [ Sat.neg_of_var p.(i).(h); Sat.neg_of_var p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat" false (Sat.solve s)
+
+let test_sat_incremental_blocking () =
+  (* 2 free variables: exactly 4 assignments; block each in turn. *)
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos a; Sat.neg_of_var a ] (* tautology keeps vars alive *);
+  let count = ref 0 in
+  let rec loop () =
+    if Sat.solve s then begin
+      incr count;
+      let lit v = if Sat.value s v then Sat.neg_of_var v else Sat.pos v in
+      Sat.add_clause s [ lit a; lit b ];
+      if !count < 10 then loop ()
+    end
+  in
+  loop ();
+  Alcotest.(check Alcotest.int) "four models" 4 !count
+
+(* Random 3-CNF cross-checked against brute force. *)
+let brute_force_sat nvars clauses =
+  let rec go assignment v =
+    if v > nvars then
+      List.for_all
+        (List.exists (fun l ->
+             let value = assignment.(Sat.var_of l) in
+             if Sat.is_pos l then value else not value))
+        clauses
+    else begin
+      assignment.(v) <- false;
+      go assignment (v + 1)
+      ||
+      (assignment.(v) <- true;
+       go assignment (v + 1))
+    end
+  in
+  go (Array.make (nvars + 1) false) 1
+
+let prop_sat_matches_brute_force =
+  QCheck.Test.make ~name:"CDCL agrees with brute force on random 3-CNF" ~count:300
+    QCheck.(pair (int_bound 1000000) (int_range 8 30))
+    (fun (seed, nclauses) ->
+      let module Sm = Scamv_util.Splitmix in
+      let rng = ref (Sm.of_seed (Int64.of_int seed)) in
+      let nvars = 8 in
+      let s = Sat.create () in
+      let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+      let clauses = ref [] in
+      for _ = 1 to nclauses do
+        let clause =
+          List.init 3 (fun _ ->
+              let v, r = Sm.int !rng nvars in
+              rng := r;
+              let negated, r = Sm.bool !rng in
+              rng := r;
+              if negated then Sat.neg_of_var vars.(v) else Sat.pos vars.(v))
+        in
+        clauses := clause :: !clauses
+      done;
+      List.iter (Sat.add_clause s) !clauses;
+      let expected = brute_force_sat nvars !clauses in
+      let got = Sat.solve s in
+      (* If SAT, the reported assignment must satisfy all clauses. *)
+      let model_ok =
+        (not got)
+        || List.for_all
+             (List.exists (fun l ->
+                  let value = Sat.value s (Sat.var_of l) in
+                  if Sat.is_pos l then value else not value))
+             !clauses
+      in
+      Bool.equal expected got && model_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Solver end-to-end on terms                                          *)
+(* ------------------------------------------------------------------ *)
+
+let solve_sat fs =
+  match Solver.solve fs with
+  | Solver.Sat m -> m
+  | Solver.Unsat -> Alcotest.fail "expected sat"
+
+let solve_unsat fs =
+  match Solver.solve fs with
+  | Solver.Sat m -> Alcotest.failf "expected unsat, got model:@ %s" (Format.asprintf "%a" Model.pp m)
+  | Solver.Unsat -> ()
+
+let test_solver_eq_const () =
+  let x = T.bv_var "x" 64 in
+  let m = solve_sat [ T.eq x (T.bv_const 0xDEADL 64) ] in
+  Alcotest.check Alcotest.int64 "x" 0xDEADL (Model.bv_exn m "x")
+
+let test_solver_add_relation () =
+  let x = T.bv_var "x" 16 and y = T.bv_var "y" 16 in
+  let m = solve_sat [ T.eq (T.add x y) (T.bv_const 100L 16); T.eq x (T.bv_const 30L 16) ] in
+  Alcotest.check Alcotest.int64 "y" 70L (Model.bv_exn m "y")
+
+let test_solver_unsat_arith () =
+  let x = T.bv_var "x" 8 in
+  solve_unsat [ T.ult x (T.bv_const 4L 8); T.ugt x (T.bv_const 10L 8) ]
+
+let test_solver_signed_vs_unsigned () =
+  (* x > 0x7F unsigned but x < 0 signed at width 8: satisfiable. *)
+  let x = T.bv_var "x" 8 in
+  let m = solve_sat [ T.ugt x (T.bv_const 0x7FL 8); T.slt x (T.bv_zero 8) ] in
+  let v = Model.bv_exn m "x" in
+  Alcotest.(check bool) "msb set" true (Scamv_util.Bits.bit v 7)
+
+let test_solver_shift () =
+  let x = T.bv_var "x" 64 in
+  let m = solve_sat [ T.eq (T.shl x (T.bv_const 6L 64)) (T.bv_const 0x1000L 64);
+                      T.ult x (T.bv_const 0x100L 64) ] in
+  Alcotest.check Alcotest.int64 "x = 0x40" 0x40L (Model.bv_exn m "x")
+
+let test_solver_mul () =
+  let x = T.bv_var "x" 16 in
+  let m = solve_sat [ T.eq (T.mul x (T.bv_const 3L 16)) (T.bv_const 21L 16);
+                      T.ult x (T.bv_const 10L 16) ] in
+  Alcotest.check Alcotest.int64 "x = 7" 7L (Model.bv_exn m "x")
+
+let test_solver_memory_basic () =
+  let mem = T.mem_var "mem" in
+  let a = T.bv_var "a" 64 in
+  let m =
+    solve_sat
+      [ T.eq (T.select mem a) (T.bv_const 55L 64); T.eq a (T.bv_const 0x100L 64) ]
+  in
+  Alcotest.check Alcotest.int64 "mem[0x100]" 55L (Model.mem_lookup m "mem" 0x100L)
+
+let test_solver_memory_consistency () =
+  (* Same address must read the same value: a = b and mem[a] <> mem[b] is unsat. *)
+  let mem = T.mem_var "mem" in
+  let a = T.bv_var "a" 64 and b = T.bv_var "b" 64 in
+  solve_unsat [ T.eq a b; T.neq (T.select mem a) (T.select mem b) ]
+
+let test_solver_memory_distinct_addresses () =
+  let mem = T.mem_var "mem" in
+  let a = T.bv_var "a" 64 and b = T.bv_var "b" 64 in
+  let m =
+    solve_sat
+      [
+        T.neq (T.select mem a) (T.select mem b);
+        T.eq a (T.bv_const 0L 64);
+        T.eq b (T.bv_const 8L 64);
+      ]
+  in
+  Alcotest.(check bool) "cells differ" true
+    (not (Int64.equal (Model.mem_lookup m "mem" 0L) (Model.mem_lookup m "mem" 8L)))
+
+let test_solver_nested_select () =
+  (* mem[mem[0]] = 7 with mem[0] = 0x40 pins mem[0x40]. *)
+  let mem = T.mem_var "mem" in
+  let inner = T.select mem (T.bv_zero 64) in
+  let m =
+    solve_sat
+      [ T.eq inner (T.bv_const 0x40L 64); T.eq (T.select mem inner) (T.bv_const 7L 64) ]
+  in
+  Alcotest.check Alcotest.int64 "mem[0]" 0x40L (Model.mem_lookup m "mem" 0L);
+  Alcotest.check Alcotest.int64 "mem[0x40]" 7L (Model.mem_lookup m "mem" 0x40L)
+
+let test_solver_store () =
+  let mem = T.mem_var "mem" in
+  let stored = T.store mem (T.bv_const 0x10L 64) (T.bv_const 99L 64) in
+  let a = T.bv_var "a" 64 in
+  let m =
+    solve_sat
+      [ T.eq (T.select stored a) (T.bv_const 99L 64); T.neq a (T.bv_const 0x10L 64) ]
+  in
+  (* The model must make mem[a] = 99 on its own since a <> 0x10. *)
+  let av = Model.bv_exn m "a" in
+  Alcotest.check Alcotest.int64 "mem[a]" 99L (Model.mem_lookup m "mem" av)
+
+let test_solver_model_satisfies () =
+  (* Any model returned must satisfy the formula per the evaluator. *)
+  let x = T.bv_var "x" 64 and y = T.bv_var "y" 64 in
+  let mem = T.mem_var "mem" in
+  let f =
+    T.and_l
+      [
+        T.ult x y;
+        T.eq (T.select mem x) y;
+        T.neq (T.select mem y) (T.bv_zero 64);
+        T.eq (T.logand x (T.bv_const 0x3FL 64)) (T.bv_zero 64);
+      ]
+  in
+  let m = solve_sat [ f ] in
+  Alcotest.(check bool) "model satisfies" true (Eval.eval_bool m f)
+
+let test_enumeration_count () =
+  (* x : bv2 unconstrained -> exactly 4 models. *)
+  let x = T.bv_var "x" 2 in
+  let s = Solver.make_session [ T.eq x x ] ~track:[ ("x", Sort.Bv 2) ] in
+  let rec drain acc =
+    match Solver.next_model s with
+    | None -> acc
+    | Some m -> drain (Model.bv_exn m "x" :: acc)
+  in
+  let models = drain [] in
+  Alcotest.(check (list Alcotest.int64)) "all four values" [ 0L; 1L; 2L; 3L ]
+    (List.sort compare models)
+
+let test_enumeration_distinct () =
+  let x = T.bv_var "x" 8 in
+  let s = Solver.make_session [ T.ult x (T.bv_const 100L 8) ] in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 20 do
+    match Solver.next_model s with
+    | None -> Alcotest.fail "exhausted too early"
+    | Some m ->
+      let v = Model.bv_exn m "x" in
+      Alcotest.(check bool) "fresh model" false (Hashtbl.mem seen v);
+      Hashtbl.add seen v ()
+  done
+
+let test_enumeration_diversify_valid () =
+  let x = T.bv_var "x" 16 and y = T.bv_var "y" 16 in
+  let f = T.eq (T.add x y) (T.bv_const 500L 16) in
+  let s = Solver.make_session ~seed:77L [ f ] in
+  for _ = 1 to 10 do
+    match Solver.next_model ~diversify:true s with
+    | None -> Alcotest.fail "exhausted too early"
+    | Some m -> Alcotest.(check bool) "satisfies" true (Eval.eval_bool m f)
+  done
+
+let test_default_phase_gives_zeros () =
+  (* With the default phase, an unconstrained variable should come out 0,
+     mimicking Z3-style minimal models (important for the unguided-search
+     behaviour of the reproduction). *)
+  let x = T.bv_var "x" 64 and y = T.bv_var "y" 64 in
+  let m = solve_sat [ T.eq x x; T.eq y y ] in
+  Alcotest.check Alcotest.int64 "x defaults to 0" 0L (Model.bv_exn m "x")
+
+(* Random-term differential test: blaster vs evaluator. *)
+let gen_term_and_model seed =
+  let module Sm = Scamv_util.Splitmix in
+  let rng = ref (Sm.of_seed seed) in
+  let next_int n =
+    let v, r = Sm.int !rng n in
+    rng := r;
+    v
+  in
+  let next64 () =
+    let v, r = Sm.next !rng in
+    rng := r;
+    v
+  in
+  let w = 1 + next_int 16 in
+  let vars = [| ("a", next64 ()); ("b", next64 ()); ("c", next64 ()) |] in
+  let rec gen_bv depth : T.t =
+    if depth = 0 then
+      match next_int 2 with
+      | 0 ->
+        let name, _ = vars.(next_int 3) in
+        T.bv_var name w
+      | _ -> T.bv_const (next64 ()) w
+    else
+      let a = gen_bv (depth - 1) and b = gen_bv (depth - 1) in
+      match next_int 11 with
+      | 0 -> T.add a b
+      | 1 -> T.sub a b
+      | 2 -> T.logand a b
+      | 3 -> T.logor a b
+      | 4 -> T.logxor a b
+      | 5 -> T.neg a
+      | 6 -> T.lognot a
+      | 7 -> T.shl a (T.bv_const (Int64.of_int (next_int (w + 2))) w)
+      | 8 -> T.lshr a (T.bv_const (Int64.of_int (next_int (w + 2))) w)
+      | 9 -> T.ashr a (T.bv_const (Int64.of_int (next_int (w + 2))) w)
+      | _ -> T.ite (gen_bool 0) a b
+  and gen_bool depth : T.t =
+    let a = gen_bv depth and b = gen_bv depth in
+    match next_int 5 with
+    | 0 -> T.eq a b
+    | 1 -> T.ult a b
+    | 2 -> T.ule a b
+    | 3 -> T.slt a b
+    | _ -> T.sle a b
+  in
+  let t = gen_bool 2 in
+  let model =
+    Array.fold_left
+      (fun m (name, v) -> Model.add_var m name (Model.Bv (Scamv_util.Bits.truncate w v, w)))
+      Model.empty vars
+  in
+  (t, model, w, vars)
+
+let prop_blaster_agrees_with_eval =
+  QCheck.Test.make ~name:"solver agrees with evaluator on random pinned terms"
+    ~count:250 QCheck.int64 (fun seed ->
+      let t, model, w, vars = gen_term_and_model seed in
+      (* Pin the variables to the model's values and ask the solver whether
+         the term can take the evaluator's value. *)
+      let expected = Eval.eval_bool model t in
+      let pins =
+        Array.to_list vars
+        |> List.map (fun (name, v) ->
+               T.eq (T.bv_var name w) (T.bv_const v w))
+      in
+      let goal = if expected then t else T.not_ t in
+      match Solver.solve (goal :: pins) with
+      | Solver.Sat _ -> true
+      | Solver.Unsat -> false)
+
+let prop_solver_models_satisfy =
+  QCheck.Test.make ~name:"returned models satisfy random formulas" ~count:150
+    QCheck.int64 (fun seed ->
+      let t, _, _, _ = gen_term_and_model seed in
+      match Solver.solve [ t ] with
+      | Solver.Sat m -> Eval.eval_bool m t
+      | Solver.Unsat -> (
+        (* Cross-check with the negation: both unsat would be a bug
+           (the term is a pure predicate over free vars). *)
+        match Solver.solve [ T.not_ t ] with Solver.Sat _ -> true | Solver.Unsat -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Algebraic identities proved by UNSAT                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The solver decides validity of an identity by refuting its negation:
+   a disequality that comes back Unsat is a proof over all 2^128
+   assignments — a strong end-to-end check of blaster + CDCL. *)
+let prove_identity name lhs rhs =
+  Alcotest.test_case name `Quick (fun () ->
+      match Solver.solve [ T.neq lhs rhs ] with
+      | Solver.Unsat -> ()
+      | Solver.Sat m ->
+        Alcotest.failf "identity refuted by:@ %s" (Format.asprintf "%a" Model.pp m))
+
+let identity_cases =
+  let w = 16 in
+  let a = T.bv_var "a" w and b = T.bv_var "b" w in
+  [
+    prove_identity "(a + b) - b = a" (T.sub (T.add a b) b) a;
+    prove_identity "a ^ a = 0" (T.logxor a a) (T.bv_zero w);
+    prove_identity "a + a = a << 1" (T.add a a) (T.shl a (T.bv_one w));
+    prove_identity "de morgan" (T.lognot (T.logand a b)) (T.logor (T.lognot a) (T.lognot b));
+    prove_identity "neg a = ~a + 1" (T.neg a) (T.add (T.lognot a) (T.bv_one w));
+    prove_identity "a * 3 = a + a + a"
+      (T.mul a (T.bv_const 3L w))
+      (T.add (T.add a a) a);
+    prove_identity "(a & b) | (a & ~b) = a"
+      (T.logor (T.logand a b) (T.logand a (T.lognot b)))
+      a;
+    prove_identity "lsr then shl masks low bits"
+      (T.shl (T.lshr a (T.bv_const 4L w)) (T.bv_const 4L w))
+      (T.logand a (T.bv_const 0xFFF0L w));
+  ]
+
+let bool_identity_cases =
+  let a = T.bv_var "a" 16 and b = T.bv_var "b" 16 in
+  let prove name prop =
+    Alcotest.test_case name `Quick (fun () ->
+        match Solver.solve [ T.not_ prop ] with
+        | Solver.Unsat -> ()
+        | Solver.Sat _ -> Alcotest.fail "proposition refuted")
+  in
+  [
+    prove "ult trichotomy" (T.or_l [ T.ult a b; T.ult b a; T.eq a b ]);
+    prove "ule antisymmetry" (T.implies (T.and_ (T.ule a b) (T.ule b a)) (T.eq a b));
+    prove "slt vs sle" (T.iff (T.slt a b) (T.and_ (T.sle a b) (T.neq a b)));
+    prove "unsigned overflow wraps"
+      (T.implies
+         (T.eq a (T.bv_const 0xFFFFL 16))
+         (T.eq (T.add a (T.bv_one 16)) (T.bv_zero 16)));
+  ]
+
+let () =
+  Alcotest.run "scamv_smt"
+    [
+      ( "term",
+        [
+          Alcotest.test_case "const folding arith" `Quick test_const_folding_arith;
+          Alcotest.test_case "const folding compare" `Quick test_const_folding_compare;
+          Alcotest.test_case "bool simplification" `Quick test_bool_simplifications;
+          Alcotest.test_case "unit laws" `Quick test_unit_laws;
+          Alcotest.test_case "extract/concat" `Quick test_extract_concat;
+          Alcotest.test_case "sort errors" `Quick test_sort_errors;
+          Alcotest.test_case "select over store" `Quick test_select_over_store;
+          Alcotest.test_case "rename / free vars" `Quick test_rename_and_free_vars;
+          Alcotest.test_case "ite folding" `Quick test_ite_folding;
+        ] );
+      ( "sat",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_sat_trivial;
+          Alcotest.test_case "unit conflict" `Quick test_sat_unsat_unit_conflict;
+          Alcotest.test_case "empty clause" `Quick test_sat_empty_clause;
+          Alcotest.test_case "implication chain" `Quick test_sat_implication_chain;
+          Alcotest.test_case "pigeonhole 3/2" `Quick test_sat_pigeonhole_3_2;
+          Alcotest.test_case "pigeonhole 4/3" `Quick test_sat_pigeonhole_4_3;
+          Alcotest.test_case "incremental blocking" `Quick test_sat_incremental_blocking;
+          QCheck_alcotest.to_alcotest prop_sat_matches_brute_force;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "eq const" `Quick test_solver_eq_const;
+          Alcotest.test_case "add relation" `Quick test_solver_add_relation;
+          Alcotest.test_case "unsat arith" `Quick test_solver_unsat_arith;
+          Alcotest.test_case "signed vs unsigned" `Quick test_solver_signed_vs_unsigned;
+          Alcotest.test_case "shift" `Quick test_solver_shift;
+          Alcotest.test_case "mul" `Quick test_solver_mul;
+          Alcotest.test_case "memory basic" `Quick test_solver_memory_basic;
+          Alcotest.test_case "memory consistency" `Quick test_solver_memory_consistency;
+          Alcotest.test_case "memory distinct" `Quick test_solver_memory_distinct_addresses;
+          Alcotest.test_case "nested select" `Quick test_solver_nested_select;
+          Alcotest.test_case "store" `Quick test_solver_store;
+          Alcotest.test_case "model satisfies" `Quick test_solver_model_satisfies;
+          Alcotest.test_case "default phase zeros" `Quick test_default_phase_gives_zeros;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "count bv2" `Quick test_enumeration_count;
+          Alcotest.test_case "distinct" `Quick test_enumeration_distinct;
+          Alcotest.test_case "diversify valid" `Quick test_enumeration_diversify_valid;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_blaster_agrees_with_eval;
+          QCheck_alcotest.to_alcotest prop_solver_models_satisfy;
+        ] );
+      ("identities", identity_cases @ bool_identity_cases);
+    ]

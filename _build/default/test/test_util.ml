@@ -1,0 +1,169 @@
+module Bits = Scamv_util.Bits
+module Splitmix = Scamv_util.Splitmix
+module Summary = Scamv_util.Summary
+module Text_table = Scamv_util.Text_table
+
+let check = Alcotest.check
+let int64 = Alcotest.int64
+
+(* ---- Bits ---- *)
+
+let test_mask () =
+  check int64 "mask 0" 0L (Bits.mask 0);
+  check int64 "mask 1" 1L (Bits.mask 1);
+  check int64 "mask 8" 0xFFL (Bits.mask 8);
+  check int64 "mask 63" Int64.max_int (Bits.mask 63);
+  check int64 "mask 64" (-1L) (Bits.mask 64)
+
+let test_truncate () =
+  check int64 "truncate 8" 0x34L (Bits.truncate 8 0x1234L);
+  check int64 "truncate 64 id" (-1L) (Bits.truncate 64 (-1L));
+  check int64 "truncate 1" 1L (Bits.truncate 1 0xFFL)
+
+let test_bit_ops () =
+  Alcotest.(check bool) "bit 0 of 1" true (Bits.bit 1L 0);
+  Alcotest.(check bool) "bit 1 of 1" false (Bits.bit 1L 1);
+  Alcotest.(check bool) "bit 63 of -1" true (Bits.bit (-1L) 63);
+  check int64 "set bit" 5L (Bits.set_bit 1L 2 true);
+  check int64 "clear bit" 1L (Bits.set_bit 5L 2 false)
+
+let test_sign_extend () =
+  check int64 "sext 8 of 0x80" (-128L) (Bits.sign_extend 8 0x80L);
+  check int64 "sext 8 of 0x7F" 0x7FL (Bits.sign_extend 8 0x7FL);
+  check int64 "sext 64 id" (-1L) (Bits.sign_extend 64 (-1L));
+  check int64 "sext 1 of 1" (-1L) (Bits.sign_extend 1 1L)
+
+let test_extract () =
+  check int64 "extract nibble" 0x3L (Bits.extract ~hi:7 ~lo:4 0x34L);
+  check int64 "extract lsb" 0x34L (Bits.extract ~hi:7 ~lo:0 0x1234L);
+  check int64 "extract msb" 1L (Bits.extract ~hi:63 ~lo:63 (-1L))
+
+let test_unsigned_compare () =
+  Alcotest.(check bool) "ult simple" true (Bits.ult 1L 2L);
+  Alcotest.(check bool) "ult wraparound" true (Bits.ult 1L (-1L));
+  Alcotest.(check bool) "ult not refl" false (Bits.ult 5L 5L);
+  Alcotest.(check bool) "ule refl" true (Bits.ule 5L 5L);
+  Alcotest.(check bool) "slt negative" true (Bits.slt ~width:64 (-1L) 0L);
+  Alcotest.(check bool) "slt width 8" true (Bits.slt ~width:8 0x80L 0x7FL)
+
+let test_popcount () =
+  Alcotest.(check Alcotest.int) "popcount 0" 0 (Bits.popcount 0L);
+  Alcotest.(check Alcotest.int) "popcount -1" 64 (Bits.popcount (-1L));
+  Alcotest.(check Alcotest.int) "popcount 0b1011" 3 (Bits.popcount 0b1011L)
+
+(* ---- Splitmix ---- *)
+
+let test_rng_deterministic () =
+  let g1 = Splitmix.of_seed 42L and g2 = Splitmix.of_seed 42L in
+  let v1, _ = Splitmix.next g1 and v2, _ = Splitmix.next g2 in
+  check int64 "same seed, same value" v1 v2
+
+let test_rng_seed_sensitivity () =
+  let v1, _ = Splitmix.next (Splitmix.of_seed 1L) in
+  let v2, _ = Splitmix.next (Splitmix.of_seed 2L) in
+  Alcotest.(check bool) "different seeds differ" true (not (Int64.equal v1 v2))
+
+let test_rng_int_bounds () =
+  let g = ref (Splitmix.of_seed 7L) in
+  for _ = 1 to 1000 do
+    let v, g' = Splitmix.int !g 17 in
+    g := g';
+    Alcotest.(check bool) "in bounds" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in_bounds () =
+  let g = ref (Splitmix.of_seed 7L) in
+  for _ = 1 to 1000 do
+    let v, g' = Splitmix.int_in !g (-5) 5 in
+    g := g';
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_split_independence () =
+  let a, b = Splitmix.split (Splitmix.of_seed 9L) in
+  let va, _ = Splitmix.next a and vb, _ = Splitmix.next b in
+  Alcotest.(check bool) "split streams differ" true (not (Int64.equal va vb))
+
+let test_rng_choose () =
+  let v, _ = Splitmix.choose (Splitmix.of_seed 3L) [ "only" ] in
+  Alcotest.(check string) "singleton choose" "only" v;
+  Alcotest.check_raises "empty choose" (Invalid_argument "Splitmix.choose: empty list")
+    (fun () -> ignore (Splitmix.choose (Splitmix.of_seed 3L) []))
+
+let test_rng_shuffle_permutation () =
+  let xs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let ys, _ = Splitmix.shuffle (Splitmix.of_seed 11L) xs in
+  Alcotest.(check (list Alcotest.int)) "same multiset" xs (List.sort compare ys)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"float stays in [0,1)" ~count:500 QCheck.int64 (fun seed ->
+      let v, _ = Splitmix.float (Splitmix.of_seed seed) in
+      v >= 0.0 && v < 1.0)
+
+(* ---- Summary ---- *)
+
+let test_summary_empty () =
+  Alcotest.(check Alcotest.int) "count" 0 (Summary.count Summary.empty);
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Summary.mean Summary.empty)
+
+let test_summary_accumulate () =
+  let s = List.fold_left Summary.add Summary.empty [ 1.0; 2.0; 3.0 ] in
+  Alcotest.(check Alcotest.int) "count" 3 (Summary.count s);
+  Alcotest.(check (float 1e-9)) "total" 6.0 (Summary.total s);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Summary.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Summary.max_value s)
+
+(* ---- Text_table ---- *)
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_renders () =
+  let s =
+    Text_table.render ~header:[ "a"; "bb" ] ~rows:[ [ "xxx"; "y" ]; [ "1"; "2" ] ]
+  in
+  Alcotest.(check bool) "contains header" true (contains_substring s "bb");
+  Alcotest.(check bool) "contains cell" true (contains_substring s "xxx")
+
+let test_table_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Text_table.render: ragged row")
+    (fun () -> ignore (Text_table.render ~header:[ "a"; "b" ] ~rows:[ [ "1" ] ]))
+
+let () =
+  Alcotest.run "scamv_util"
+    [
+      ( "bits",
+        [
+          Alcotest.test_case "mask" `Quick test_mask;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+          Alcotest.test_case "bit get/set" `Quick test_bit_ops;
+          Alcotest.test_case "sign_extend" `Quick test_sign_extend;
+          Alcotest.test_case "extract" `Quick test_extract;
+          Alcotest.test_case "unsigned compare" `Quick test_unsigned_compare;
+          Alcotest.test_case "popcount" `Quick test_popcount;
+        ] );
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "choose" `Quick test_rng_choose;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prop_rng_float_range;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "accumulate" `Quick test_summary_accumulate;
+        ] );
+      ( "text_table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "ragged rejected" `Quick test_table_ragged_rejected;
+        ] );
+    ]
