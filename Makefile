@@ -1,0 +1,27 @@
+DUNE ?= dune
+
+# Seeded smoke campaign: fault injection + retry + a tight SAT budget, so
+# the quarantine/retry/fault counters are exercised on every check.
+SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
+	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100
+
+.PHONY: all build test smoke check bench clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test:
+	$(DUNE) runtest
+
+smoke: build
+	$(DUNE) exec bin/scamv_cli.exe -- $(SMOKE)
+
+check: build test smoke
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

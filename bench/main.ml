@@ -649,7 +649,12 @@ let micro () =
     let setup = Refinement.mct_vs_mspec () in
     let cfg = Pipeline.default_config setup in
     let session = Pipeline.prepare cfg program_a in
-    let tc = Option.get (Pipeline.next_test_case session) in
+    let tc =
+      match Pipeline.next_test_case session with
+      | Pipeline.Case tc -> tc
+      | Pipeline.Exhausted | Pipeline.Quarantined _ ->
+        failwith "bench: expected a test case"
+    in
     let experiment =
       {
         Executor.program = program_a;

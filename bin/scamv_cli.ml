@@ -90,20 +90,118 @@ let campaign_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "csv" ] ~docv:"FILE" ~doc:"Export the experiment journal as CSV.")
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Persist the experiment journal to $(docv) incrementally (one \
+             flushed CSV row per event); the file doubles as a checkpoint for \
+             $(b,--resume).")
   in
-  let run template_name setup_name programs tests seed verbose csv =
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a killed campaign from the journal CSV it left behind; \
+             completed programs are replayed, the rest are re-run.  Typically \
+             $(docv) is the same file as $(b,--csv).")
+  in
+  let max_conflicts_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-conflicts" ] ~docv:"N"
+          ~doc:"SAT budget: conflicts allowed per solver call (0 = unlimited).")
+  in
+  let max_decisions_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-decisions" ] ~docv:"N"
+          ~doc:"SAT budget: decisions allowed per solver call (0 = unlimited).")
+  in
+  let max_propagations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-propagations" ] ~docv:"N"
+          ~doc:"SAT budget: propagations allowed per solver call (0 = unlimited).")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:
+            "Executor attempts per experiment; inconclusive (noisy) runs are \
+             retried up to this many times with majority voting.")
+  in
+  let confirm_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "confirm" ] ~docv:"K"
+          ~doc:"Votes a conclusive verdict needs before retrying stops.")
+  in
+  let fault_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ] ~docv:"R"
+          ~doc:
+            "Board-noise fault injection: probability in [0,1] that a \
+             measurement is perturbed, dropped, or polluted.")
+  in
+  let fault_seed_arg =
+    Arg.(
+      value & opt int64 0xFA17L
+      & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the injected fault stream.")
+  in
+  let run template_name setup_name programs tests seed verbose csv resume
+      max_conflicts max_decisions max_propagations max_attempts confirm
+      fault_rate fault_seed =
     let ( let* ) = Result.bind in
     let* template = lookup_template template_name in
     let* setup = lookup_setup setup_name in
+    let* () =
+      if fault_rate < 0.0 || fault_rate > 1.0 then
+        Error (`Msg "--fault-rate must be within [0, 1]")
+      else Ok ()
+    in
+    let* () =
+      if max_attempts < 1 || confirm < 1 then
+        Error (`Msg "--max-attempts and --confirm must be at least 1")
+      else Ok ()
+    in
+    let* () =
+      match resume with
+      | None -> Ok ()
+      | Some path -> (
+        try
+          if Sys.file_exists path then ignore (Scamv.Journal.read_csv ~path);
+          Ok ()
+        with
+        | Scamv.Journal.Parse_error msg ->
+          Error (`Msg (Printf.sprintf "--resume %s: %s" path msg))
+        | Sys_error msg -> Error (`Msg msg))
+    in
     let name = Printf.sprintf "%s on template %s" setup_name template_name in
+    let cap n = if n > 0 then Some n else None in
+    let sat_budget =
+      match (cap max_conflicts, cap max_decisions, cap max_propagations) with
+      | None, None, None -> None
+      | conflicts, decisions, propagations ->
+        Some
+          (Scamv_smt.Sat.budget ?conflicts ?decisions ?propagations ())
+    in
+    let retry = Scamv.Retry.make ~max_attempts ~confirm () in
+    let faults =
+      if fault_rate > 0.0 then
+        Some (Scamv_microarch.Faults.config ~rate:fault_rate ~seed:fault_seed ())
+      else None
+    in
     let cfg =
       Campaign.make ~name ~template ~setup ~view:(default_view setup_name) ~programs
-        ~tests_per_program:tests ~seed ()
+        ~tests_per_program:tests ~seed ?sat_budget ~retry ?faults ()
     in
     let on_event = if verbose then print_endline else fun _ -> () in
-    let journal = Scamv.Journal.create () in
-    let outcome = Campaign.run ~on_event ~journal cfg in
+    let journal = Scamv.Journal.create ?path:csv () in
+    let outcome = Campaign.run ~on_event ~journal ?resume cfg in
+    Scamv.Journal.close journal;
     print_string
       (Scamv_util.Text_table.render ~header:Stats.header
          ~rows:[ Stats.row ~name outcome.Campaign.stats ]);
@@ -111,7 +209,6 @@ let campaign_cmd =
     (match csv with
     | None -> ()
     | Some path ->
-      Scamv.Journal.write_csv journal ~path;
       Printf.printf "journal: %d experiments written to %s\n"
         (Scamv.Journal.length journal) path);
     Ok ()
@@ -119,7 +216,9 @@ let campaign_cmd =
   let term =
     Term.(
       const run $ template_arg $ setup_arg $ programs_arg $ tests_arg $ seed_arg
-      $ verbose_arg $ csv_arg)
+      $ verbose_arg $ csv_arg $ resume_arg $ max_conflicts_arg $ max_decisions_arg
+      $ max_propagations_arg $ max_attempts_arg $ confirm_arg $ fault_rate_arg
+      $ fault_seed_arg)
   in
   let info =
     Cmd.info "campaign" ~doc:"Run a validation campaign and print Table-1-style statistics."
@@ -146,8 +245,10 @@ let show_cmd =
     let cfg = Pipeline.default_config setup in
     let session = Pipeline.prepare ~seed cfg program in
     (match Pipeline.next_test_case session with
-    | None -> Format.printf "=== no test case (relation unsatisfiable) ===@."
-    | Some tc ->
+    | Pipeline.Exhausted -> Format.printf "=== no test case (relation unsatisfiable) ===@."
+    | Pipeline.Quarantined { pair = p1, p2; reason } ->
+      Format.printf "=== path pair (%d,%d) quarantined: %s ===@." p1 p2 reason
+    | Pipeline.Case tc ->
       Format.printf "=== first test case ===@.state 1:@.%a@.state 2:@.%a@."
         Scamv_isa.Machine.pp tc.Pipeline.state1 Scamv_isa.Machine.pp tc.Pipeline.state2);
     Ok ()

@@ -53,8 +53,9 @@ let () =
   let cfg = Pipeline.default_config setup in
   let session = Pipeline.prepare ~seed:42L cfg running_example in
   (match Pipeline.next_test_case session with
-  | None -> Format.printf "no test case (did the relation become unsat?)@."
-  | Some tc ->
+  | Pipeline.Exhausted | Pipeline.Quarantined _ ->
+    Format.printf "no test case (did the relation become unsat?)@."
+  | Pipeline.Case tc ->
     Format.printf "state 1:@.%a@." Machine.pp tc.Pipeline.state1;
     Format.printf "state 2:@.%a@." Machine.pp tc.Pipeline.state2;
     Format.printf "training states: %d@." (List.length tc.Pipeline.train);
@@ -85,8 +86,8 @@ let () =
   let continue_loop = ref true in
   while !continue_loop && !tested < 20 do
     match Pipeline.next_test_case session with
-    | None -> continue_loop := false
-    | Some tc ->
+    | Pipeline.Exhausted | Pipeline.Quarantined _ -> continue_loop := false
+    | Pipeline.Case tc ->
       incr tested;
       let verdict =
         Executor.run

@@ -2,6 +2,8 @@ module Gen = Scamv_gen.Gen
 module Templates = Scamv_gen.Templates
 module Refinement = Scamv_models.Refinement
 module Executor = Scamv_microarch.Executor
+module Faults = Scamv_microarch.Faults
+module Sat = Scamv_smt.Sat
 module Splitmix = Scamv_util.Splitmix
 module Stopwatch = Scamv_util.Stopwatch
 
@@ -15,10 +17,14 @@ type config = {
   seed : int64;
   executor : Executor.config;
   pipeline : Refinement.t -> Pipeline.config;
+  sat_budget : Sat.budget option;
+  retry : Retry.policy;
+  faults : Faults.config option;
 }
 
 let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
-    ?(tests_per_program = 30) ?(seed = 2021L) () =
+    ?(tests_per_program = 30) ?(seed = 2021L) ?sat_budget
+    ?(retry = Retry.default) ?faults () =
   {
     name;
     template;
@@ -29,6 +35,9 @@ let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
     seed;
     executor = Executor.default_config ~view ();
     pipeline = Pipeline.default_config;
+    sat_budget;
+    retry;
+    faults;
   }
 
 type outcome = {
@@ -37,82 +46,197 @@ type outcome = {
   wall_seconds : float;
 }
 
-let run ?(on_event = fun _ -> ()) ?journal cfg =
+(* ---- checkpoint/resume ----
+
+   A journal written with incremental persistence doubles as a checkpoint:
+   every event of every program is on disk the moment it happens.  On
+   resume we treat a program as completed iff a *later* program has
+   started (its events appear in the journal) — the last program seen may
+   have been interrupted mid-flight, so it is re-run from scratch.  All
+   per-program randomness is split off the campaign stream before the
+   program runs, so re-running it reproduces exactly the events the
+   interrupted run would have produced, and the final statistics match an
+   uninterrupted campaign. *)
+
+let load_checkpoint path =
+  if not (Sys.file_exists path) then (0, [])
+  else begin
+    let j = Journal.read_csv ~path in
+    let events = Journal.events j in
+    let restart =
+      List.fold_left (fun m ev -> max m (Journal.event_program_index ev)) (-1) events
+    in
+    if restart < 0 then (0, [])
+    else (restart, List.filter (fun ev -> Journal.event_program_index ev < restart) events)
+  end
+
+let replay stats journal watch events =
+  List.iter
+    (fun ev ->
+      Option.iter (fun j -> Journal.record_event j ev) journal;
+      match ev with
+      | Journal.Experiment e ->
+        stats :=
+          Stats.record_experiment !stats ~verdict:e.Journal.verdict
+            ~retries:e.Journal.retries ~faults:e.Journal.faults
+            ~gen_seconds:e.Journal.generation_seconds
+            ~exe_seconds:e.Journal.execution_seconds
+            ~elapsed:(Stopwatch.elapsed_s watch) ()
+      | Journal.Quarantined _ -> stats := Stats.record_quarantine !stats
+      | Journal.Program_failed _ -> stats := Stats.record_skipped_program !stats)
+    events
+
+let run ?(on_event = fun _ -> ()) ?journal ?resume cfg =
   let watch = Stopwatch.start () in
   let stats = ref Stats.empty in
   let rng = ref (Splitmix.of_seed cfg.seed) in
-  let pipeline_cfg = cfg.pipeline cfg.setup in
+  let pipeline_cfg =
+    let pc = cfg.pipeline cfg.setup in
+    match cfg.sat_budget with
+    | None -> pc
+    | Some b -> { pc with Pipeline.budget = Some b }
+  in
+  let start_index, replayed =
+    match resume with None -> (0, []) | Some path -> load_checkpoint path
+  in
+  if start_index > 0 then begin
+    replay stats journal watch replayed;
+    for i = 0 to start_index - 1 do
+      let found =
+        List.exists
+          (function
+            | Journal.Experiment e ->
+              e.Journal.program_index = i && e.Journal.verdict = Executor.Distinguishable
+            | _ -> false)
+          replayed
+      in
+      stats := Stats.record_program !stats ~found_counterexample:found
+    done;
+    on_event
+      (Printf.sprintf "[%s] resumed at program %d (%d events replayed)" cfg.name
+         start_index (List.length replayed))
+  end;
   for program_index = 0 to cfg.programs - 1 do
     let program_rng, rng' = Splitmix.split !rng in
     rng := rng';
-    let { Templates.program; template_name }, program_rng =
-      Gen.run cfg.template program_rng
-    in
-    let pipeline_seed, program_rng = Splitmix.next program_rng in
-    let program_rng = ref program_rng in
-    let session, prepare_seconds =
-      Stopwatch.time (fun () -> Pipeline.prepare ~seed:pipeline_seed pipeline_cfg program)
-    in
-    let found = ref false in
-    let continue_tests = ref true in
-    let test_index = ref 0 in
-    (* The per-program preparation cost (symbolic execution + relation
-       synthesis) is charged to the first test case, matching how the
-       paper reports average generation time per experiment. *)
-    let carry_gen_cost = ref prepare_seconds in
-    while !continue_tests && !test_index < cfg.tests_per_program do
-      let tc_opt, gen_seconds = Stopwatch.time (fun () -> Pipeline.next_test_case session) in
-      (match tc_opt with
-      | None -> continue_tests := false
-      | Some tc ->
-        let experiment =
-          {
-            Executor.program;
-            state1 = tc.Pipeline.state1;
-            state2 = tc.Pipeline.state2;
-            train = tc.Pipeline.train;
-          }
-        in
-        let exp_seed, program_rng' = Splitmix.next !program_rng in
-        program_rng := program_rng';
-        let verdict, exe_seconds =
-          Stopwatch.time (fun () -> Executor.run ~seed:exp_seed cfg.executor experiment)
-        in
-        let elapsed = Stopwatch.elapsed_s watch in
-        let was_first =
-          verdict = Executor.Distinguishable && (!stats).Stats.counterexamples = 0
-        in
-        let total_gen_seconds = gen_seconds +. !carry_gen_cost in
-        stats :=
-          Stats.record_experiment !stats ~verdict ~gen_seconds:total_gen_seconds
-            ~exe_seconds ~elapsed;
-        carry_gen_cost := 0.0;
+    if program_index >= start_index then begin
+      let found = ref false in
+      (* Any exception in any stage — generation, symbolic execution,
+         relation synthesis, SMT enumeration, execution — abandons this
+         program with a recorded failure instead of killing the campaign:
+         one pathological program must not cost hours of results. *)
+      (try
+         let { Templates.program; template_name }, program_rng =
+           Gen.run cfg.template program_rng
+         in
+         let pipeline_seed, program_rng = Splitmix.next program_rng in
+         let program_rng = ref program_rng in
+         let session, prepare_seconds =
+           Stopwatch.time (fun () ->
+               Pipeline.prepare ~seed:pipeline_seed pipeline_cfg program)
+         in
+         let continue_tests = ref true in
+         let test_index = ref 0 in
+         (* The per-program preparation cost (symbolic execution + relation
+            synthesis) is charged to the first test case, matching how the
+            paper reports average generation time per experiment. *)
+         let carry_gen_cost = ref prepare_seconds in
+         while !continue_tests && !test_index < cfg.tests_per_program do
+           let step, gen_seconds =
+             Stopwatch.time (fun () -> Pipeline.next_test_case session)
+           in
+           match step with
+           | Pipeline.Exhausted -> continue_tests := false
+           | Pipeline.Quarantined { pair; reason } ->
+             (* The pair is out of the queue; its generation time is
+                carried into the next successful test case.  No test slot
+                is consumed. *)
+             carry_gen_cost := !carry_gen_cost +. gen_seconds;
+             stats := Stats.record_quarantine !stats;
+             Option.iter
+               (fun j ->
+                 Journal.record_event j
+                   (Journal.Quarantined
+                      { campaign = cfg.name; program_index; pair; reason }))
+               journal;
+             on_event
+               (Printf.sprintf "[%s] program %d: quarantined path pair (%d,%d): %s"
+                  cfg.name program_index (fst pair) (snd pair) reason)
+           | Pipeline.Case tc ->
+             let experiment =
+               {
+                 Executor.program;
+                 state1 = tc.Pipeline.state1;
+                 state2 = tc.Pipeline.state2;
+                 train = tc.Pipeline.train;
+               }
+             in
+             let retry_outcome, exe_seconds =
+               Stopwatch.time (fun () ->
+                   Retry.execute cfg.retry (fun ~attempt:_ ->
+                       let exp_seed, program_rng' = Splitmix.next !program_rng in
+                       program_rng := program_rng';
+                       Executor.run_observed ~seed:exp_seed ?faults:cfg.faults
+                         cfg.executor experiment))
+             in
+             let verdict = retry_outcome.Retry.verdict in
+             let elapsed = Stopwatch.elapsed_s watch in
+             let was_first =
+               verdict = Executor.Distinguishable
+               && (!stats).Stats.counterexamples = 0
+             in
+             let total_gen_seconds = gen_seconds +. !carry_gen_cost in
+             stats :=
+               Stats.record_experiment !stats ~verdict
+                 ~retries:retry_outcome.Retry.retries
+                 ~faults:retry_outcome.Retry.faults ~gen_seconds:total_gen_seconds
+                 ~exe_seconds ~elapsed ();
+             carry_gen_cost := 0.0;
+             Option.iter
+               (fun j ->
+                 Journal.record j
+                   {
+                     Journal.campaign = cfg.name;
+                     program_index;
+                     test_index = !test_index;
+                     template = template_name;
+                     path_pair = tc.Pipeline.pair;
+                     verdict;
+                     generation_seconds = total_gen_seconds;
+                     execution_seconds = exe_seconds;
+                     retries = retry_outcome.Retry.retries;
+                     faults = retry_outcome.Retry.faults;
+                   })
+               journal;
+             if verdict = Executor.Distinguishable then found := true;
+             if was_first then
+               on_event
+                 (Printf.sprintf
+                    "[%s] first counterexample after %.2fs (program %d, test %d)"
+                    cfg.name elapsed program_index !test_index);
+             incr test_index
+         done
+       with
+      | (Stack_overflow | Out_of_memory | Sys.Break) as fatal ->
+        (* Resource exhaustion of the whole process and user interrupts
+           must not be swallowed as per-program noise. *)
+        raise fatal
+      | exn ->
+        let reason = Printexc.to_string exn in
+        stats := Stats.record_skipped_program !stats;
         Option.iter
           (fun j ->
-            Journal.record j
-              {
-                Journal.campaign = cfg.name;
-                program_index;
-                test_index = !test_index;
-                template = template_name;
-                path_pair = tc.Pipeline.pair;
-                verdict;
-                generation_seconds = total_gen_seconds;
-                execution_seconds = exe_seconds;
-              })
+            Journal.record_event j
+              (Journal.Program_failed { campaign = cfg.name; program_index; reason }))
           journal;
-        if verdict = Executor.Distinguishable then found := true;
-        if was_first then
-          on_event
-            (Printf.sprintf "[%s] first counterexample after %.2fs (program %d, test %d)"
-               cfg.name elapsed program_index !test_index));
-      incr test_index
-    done;
-    stats := Stats.record_program !stats ~found_counterexample:!found;
-    if (program_index + 1) mod 25 = 0 then
-      on_event
-        (Printf.sprintf "[%s] %d/%d programs, %d experiments, %d counterexamples"
-           cfg.name (program_index + 1) cfg.programs (!stats).Stats.experiments
-           (!stats).Stats.counterexamples)
+        on_event
+          (Printf.sprintf "[%s] program %d failed: %s" cfg.name program_index reason));
+      stats := Stats.record_program !stats ~found_counterexample:!found;
+      if (program_index + 1) mod 25 = 0 then
+        on_event
+          (Printf.sprintf "[%s] %d/%d programs, %d experiments, %d counterexamples"
+             cfg.name (program_index + 1) cfg.programs (!stats).Stats.experiments
+             (!stats).Stats.counterexamples)
+    end
   done;
   { config_name = cfg.name; stats = !stats; wall_seconds = Stopwatch.elapsed_s watch }

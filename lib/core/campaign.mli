@@ -1,6 +1,13 @@
-(** Campaign driver: generate programs from a template, generate test
-    cases per program through the pipeline, execute every test case on the
-    simulated platform, and accumulate Table-1-style statistics. *)
+(** Fault-tolerant campaign driver: generate programs from a template,
+    generate test cases per program through the pipeline, execute every
+    test case on the simulated platform, and accumulate Table-1-style
+    statistics.
+
+    The driver is built for long, noisy runs: any exception in a
+    per-program stage is captured as a recorded failure rather than a
+    crash, hard path pairs are quarantined when their SAT budget runs out,
+    flaky experiments are retried under a majority-vote policy, and a
+    persistently journaled campaign can be resumed after being killed. *)
 
 type config = {
   name : string;
@@ -12,6 +19,12 @@ type config = {
   seed : int64;
   executor : Scamv_microarch.Executor.config;
   pipeline : Scamv_models.Refinement.t -> Pipeline.config;
+  sat_budget : Scamv_smt.Sat.budget option;
+      (** per-SAT-call caps for every enumeration session; overrides the
+          pipeline config's budget when set *)
+  retry : Retry.policy;  (** executor retry/majority-vote policy *)
+  faults : Scamv_microarch.Faults.config option;
+      (** board-noise fault injection, applied to every executor run *)
 }
 
 val make :
@@ -22,6 +35,9 @@ val make :
   ?programs:int ->
   ?tests_per_program:int ->
   ?seed:int64 ->
+  ?sat_budget:Scamv_smt.Sat.budget ->
+  ?retry:Retry.policy ->
+  ?faults:Scamv_microarch.Faults.config ->
   unit ->
   config
 
@@ -31,7 +47,21 @@ type outcome = {
   wall_seconds : float;
 }
 
-val run : ?on_event:(string -> unit) -> ?journal:Journal.t -> config -> outcome
+val run :
+  ?on_event:(string -> unit) ->
+  ?journal:Journal.t ->
+  ?resume:string ->
+  config ->
+  outcome
 (** Runs the whole campaign.  [on_event] receives one-line progress
-    messages (program counts, first counterexample, ...); every executed
-    experiment is appended to [journal] when one is supplied. *)
+    messages (program counts, first counterexample, quarantines,
+    failures, ...); every event is appended to [journal] when one is
+    supplied.
+
+    [resume] names a journal CSV written by an earlier (killed) run of the
+    same configuration: programs that completed there are replayed into
+    the statistics (and re-recorded into [journal]) instead of re-executed,
+    and the campaign continues from the first program not known to have
+    finished.  Because all per-program randomness is split off the
+    campaign seed up front, a resumed run produces final statistics
+    identical to an uninterrupted one. *)

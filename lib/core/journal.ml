@@ -9,17 +9,102 @@ type entry = {
   verdict : Executor.verdict;
   generation_seconds : float;
   execution_seconds : float;
+  retries : int;
+  faults : int;
 }
 
-type t = { mutable entries_rev : entry list; mutable count : int }
+type event =
+  | Experiment of entry
+  | Quarantined of {
+      campaign : string;
+      program_index : int;
+      pair : int * int;
+      reason : string;
+    }
+  | Program_failed of { campaign : string; program_index : int; reason : string }
 
-let create () = { entries_rev = []; count = 0 }
+let event_program_index = function
+  | Experiment e -> e.program_index
+  | Quarantined q -> q.program_index
+  | Program_failed f -> f.program_index
 
-let record t e =
-  t.entries_rev <- e :: t.entries_rev;
-  t.count <- t.count + 1
+type t = {
+  mutable events_rev : event list;
+  mutable count : int;  (* experiments only *)
+  path : string option;
+  mutable oc : out_channel option;  (* opened lazily on first record *)
+}
 
-let entries t = List.rev t.entries_rev
+let create ?path () = { events_rev = []; count = 0; path; oc = None }
+
+(* ---- CSV writing ---- *)
+
+let verdict_string = function
+  | Executor.Distinguishable -> "distinguishable"
+  | Executor.Indistinguishable -> "indistinguishable"
+  | Executor.Inconclusive -> "inconclusive"
+
+let pp_verdict ppf v = Format.pp_print_string ppf (verdict_string v)
+
+let quote s = "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let csv_header =
+  "campaign,kind,program,test,template,path1,path2,verdict,gen_seconds,exe_seconds,retries,faults,reason\n"
+
+let event_row ev =
+  match ev with
+  | Experiment e ->
+    Printf.sprintf "%s,experiment,%d,%d,%s,%d,%d,%s,%.6f,%.6f,%d,%d,\n"
+      (quote e.campaign) e.program_index e.test_index (quote e.template)
+      (fst e.path_pair) (snd e.path_pair) (verdict_string e.verdict)
+      e.generation_seconds e.execution_seconds e.retries e.faults
+  | Quarantined q ->
+    Printf.sprintf "%s,quarantined,%d,,,%d,%d,,,,,,%s\n" (quote q.campaign)
+      q.program_index (fst q.pair) (snd q.pair) (quote q.reason)
+  | Program_failed f ->
+    Printf.sprintf "%s,program-failed,%d,,,,,,,,,,%s\n" (quote f.campaign)
+      f.program_index (quote f.reason)
+
+(* ---- recording (with optional append-to-disk persistence) ---- *)
+
+let persist t ev =
+  match t.path with
+  | None -> ()
+  | Some path ->
+    let oc =
+      match t.oc with
+      | Some oc -> oc
+      | None ->
+        (* Lazy open: the file is only (re)created once something is
+           actually recorded, so a resume source named as the output path
+           is read in full before being truncated. *)
+        let oc = open_out path in
+        output_string oc csv_header;
+        t.oc <- Some oc;
+        oc
+    in
+    output_string oc (event_row ev);
+    flush oc
+
+let record_event t ev =
+  t.events_rev <- ev :: t.events_rev;
+  (match ev with Experiment _ -> t.count <- t.count + 1 | _ -> ());
+  persist t ev
+
+let record t e = record_event t (Experiment e)
+
+let close t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    close_out oc;
+    t.oc <- None
+
+let events t = List.rev t.events_rev
+
+let entries t =
+  List.filter_map (function Experiment e -> Some e | _ -> None) (events t)
+
 let length t = t.count
 
 let counterexamples t =
@@ -34,27 +119,10 @@ let verdict_counts t =
       | Executor.Inconclusive -> (d, i, u + 1))
     (0, 0, 0) (entries t)
 
-let verdict_string = function
-  | Executor.Distinguishable -> "distinguishable"
-  | Executor.Indistinguishable -> "indistinguishable"
-  | Executor.Inconclusive -> "inconclusive"
-
-let pp_verdict ppf v = Format.pp_print_string ppf (verdict_string v)
-
-let quote s = "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
-
 let to_csv t =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf
-    "campaign,program,test,template,path1,path2,verdict,gen_seconds,exe_seconds\n";
-  List.iter
-    (fun e ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%s,%d,%d,%s,%.6f,%.6f\n" (quote e.campaign)
-           e.program_index e.test_index (quote e.template) (fst e.path_pair)
-           (snd e.path_pair) (verdict_string e.verdict) e.generation_seconds
-           e.execution_seconds))
-    (entries t);
+  Buffer.add_string buf csv_header;
+  List.iter (fun ev -> Buffer.add_string buf (event_row ev)) (events t);
   Buffer.contents buf
 
 let write_csv t ~path =
@@ -62,3 +130,120 @@ let write_csv t ~path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_csv t))
+
+(* ---- CSV parsing ---- *)
+
+exception Parse_error of string
+
+(* Quote-aware record splitter: fields may be double-quoted, with [""] as
+   the escaped quote; quoted fields may contain commas and newlines. *)
+let parse_records content =
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 64 in
+  let n = String.length content in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = content.[!i] in
+    (if !in_quotes then
+       match c with
+       | '"' ->
+         if !i + 1 < n && content.[!i + 1] = '"' then begin
+           Buffer.add_char buf '"';
+           incr i
+         end
+         else in_quotes := false
+       | c -> Buffer.add_char buf c
+     else
+       match c with
+       | '"' -> in_quotes := true
+       | ',' -> flush_field ()
+       | '\n' -> flush_record ()
+       | '\r' -> ()
+       | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  if !in_quotes then raise (Parse_error "unterminated quoted field");
+  if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+  List.rev !records
+
+let verdict_of_string = function
+  | "distinguishable" -> Executor.Distinguishable
+  | "indistinguishable" -> Executor.Indistinguishable
+  | "inconclusive" -> Executor.Inconclusive
+  | s -> raise (Parse_error ("unknown verdict: " ^ s))
+
+let int_field name s =
+  try int_of_string s
+  with _ -> raise (Parse_error (Printf.sprintf "field %s: bad integer %S" name s))
+
+let float_field name s =
+  try float_of_string s
+  with _ -> raise (Parse_error (Printf.sprintf "field %s: bad float %S" name s))
+
+let event_of_fields = function
+  | [
+      campaign; kind; program; test; template; path1; path2; verdict; gen; exe;
+      retries; faults; reason;
+    ] -> (
+    let program_index = int_field "program" program in
+    match kind with
+    | "experiment" ->
+      Experiment
+        {
+          campaign;
+          program_index;
+          test_index = int_field "test" test;
+          template;
+          path_pair = (int_field "path1" path1, int_field "path2" path2);
+          verdict = verdict_of_string verdict;
+          generation_seconds = float_field "gen_seconds" gen;
+          execution_seconds = float_field "exe_seconds" exe;
+          retries = (if retries = "" then 0 else int_field "retries" retries);
+          faults = (if faults = "" then 0 else int_field "faults" faults);
+        }
+    | "quarantined" ->
+      Quarantined
+        {
+          campaign;
+          program_index;
+          pair = (int_field "path1" path1, int_field "path2" path2);
+          reason;
+        }
+    | "program-failed" -> Program_failed { campaign; program_index; reason }
+    | k -> raise (Parse_error ("unknown event kind: " ^ k)))
+  | fields ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected 13 fields, got %d" (List.length fields)))
+
+let of_csv content =
+  let t = create () in
+  (match parse_records content with
+  | [] -> ()
+  | header :: rows ->
+    (match header with
+    | "campaign" :: "kind" :: _ -> ()
+    | _ -> raise (Parse_error "missing journal CSV header"));
+    List.iter
+      (fun fields ->
+        (* Tolerate a trailing blank record from a final newline. *)
+        match fields with [ "" ] | [] -> () | _ -> record_event t (event_of_fields fields))
+      rows);
+  t
+
+let read_csv ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_csv (really_input_string ic (in_channel_length ic)))

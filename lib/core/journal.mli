@@ -1,7 +1,9 @@
 (** Experiment journal, the analogue of the artifact's EmbExp-Logs
     database (Sec. A.3): every executed experiment is recorded with its
-    provenance and verdict, and campaigns can be exported for offline
-    analysis. *)
+    provenance and verdict, along with the campaign's fault events
+    (quarantined path pairs, failed programs).  A journal can persist
+    itself incrementally to disk as a CSV and be loaded back, which is the
+    basis of campaign checkpoint/resume. *)
 
 type entry = {
   campaign : string;
@@ -12,16 +14,47 @@ type entry = {
   verdict : Scamv_microarch.Executor.verdict;
   generation_seconds : float;
   execution_seconds : float;
+  retries : int;  (** executor attempts beyond the first (see {!Retry}) *)
+  faults : int;  (** injected faults observed across all attempts *)
 }
+
+type event =
+  | Experiment of entry
+  | Quarantined of {
+      campaign : string;
+      program_index : int;
+      pair : int * int;
+      reason : string;
+    }  (** a path pair dropped because its SAT budget ran out *)
+  | Program_failed of { campaign : string; program_index : int; reason : string }
+      (** a program abandoned after an exception in any pipeline stage *)
+
+val event_program_index : event -> int
 
 type t
 
-val create : unit -> t
+val create : ?path:string -> unit -> t
+(** [create ~path ()] persists every recorded event to [path] as it
+    happens (CSV, one flushed line per event), so a killed campaign leaves
+    a loadable checkpoint behind.  The file is only created/truncated when
+    the first event is recorded — loading a resume checkpoint from the
+    same path before recording is safe. *)
+
 val record : t -> entry -> unit
+val record_event : t -> event -> unit
+
+val close : t -> unit
+(** Close the persistence channel, if any (records are flushed eagerly, so
+    this is only needed to release the descriptor). *)
+
+val events : t -> event list
+(** All events, in recording order. *)
+
 val entries : t -> entry list
-(** In recording order. *)
+(** Experiment entries only, in recording order. *)
 
 val length : t -> int
+(** Number of experiment entries. *)
 
 val counterexamples : t -> entry list
 
@@ -29,9 +62,19 @@ val verdict_counts : t -> int * int * int
 (** (distinguishable, indistinguishable, inconclusive). *)
 
 val to_csv : t -> string
-(** Header plus one row per entry; fields are comma-separated, names
-    quoted. *)
+(** Header plus one row per event; fields are comma-separated, free-form
+    strings (campaign, template, reason) quoted. *)
 
 val write_csv : t -> path:string -> unit
+
+exception Parse_error of string
+
+val of_csv : string -> t
+(** Parse a journal back from {!to_csv} output.  Quoting of embedded
+    commas, double quotes and newlines round-trips.
+    @raise Parse_error on malformed input. *)
+
+val read_csv : path:string -> t
+(** Load a journal CSV from disk. *)
 
 val pp_verdict : Format.formatter -> Scamv_microarch.Executor.verdict -> unit

@@ -12,6 +12,7 @@ type config = {
   platform : Scamv_isa.Platform.t;
   diversify : bool;
   max_steps : int;
+  budget : Scamv_smt.Sat.budget option;
 }
 
 let default_config setup =
@@ -20,6 +21,7 @@ let default_config setup =
     platform = Scamv_isa.Platform.cortex_a53;
     diversify = Refinement.has_refinement setup;
     max_steps = 4096;
+    budget = None;
   }
 
 type test_case = {
@@ -42,6 +44,7 @@ type t = {
   bir_program : Scamv_bir.Program.t;
   leaf_list : Exec.leaf list;
   mutable queue : pair_session list;  (* round-robin of live sessions *)
+  mutable quarantined_rev : ((int * int) * string) list;
 }
 
 let prepare ?(seed = 0L) cfg isa_program =
@@ -77,7 +80,8 @@ let prepare ?(seed = 0L) cfg isa_program =
               else Some relation.Synth.register_track
           in
           let session =
-            Solver.make_session ?track ~seed:pair_seed relation.Synth.assertions
+            Solver.make_session ?track ?budget:cfg.budget ~seed:pair_seed
+              relation.Synth.assertions
           in
           let training =
             lazy
@@ -86,22 +90,41 @@ let prepare ?(seed = 0L) cfg isa_program =
           Some { pair; session; training })
       pairs
   in
-  { cfg; isa_program; bir_program; leaf_list; queue = sessions }
+  { cfg; isa_program; bir_program; leaf_list; queue = sessions; quarantined_rev = [] }
 
 let program t = t.isa_program
 let bir t = t.bir_program
 let leaves t = t.leaf_list
 let pair_count t = List.length t.queue
+let quarantined t = List.rev t.quarantined_rev
+
+type progress =
+  | Case of test_case
+  | Quarantined of { pair : int * int; reason : string }
+  | Exhausted
 
 let rec next_test_case t =
   match t.queue with
-  | [] -> None
+  | [] -> Exhausted
   | ps :: rest -> (
     match Solver.next_model ~diversify:t.cfg.diversify ps.session with
-    | None ->
+    | Solver.Exhausted ->
       t.queue <- rest;
       next_test_case t
-    | Some model ->
+    | Solver.Budget_exceeded ->
+      (* A hard path pair: drop it from the round-robin queue so it cannot
+         stall the rest of the program's enumeration, and remember why. *)
+      let reason =
+        Printf.sprintf "SAT budget exceeded after %d model(s) (%s)"
+          (Solver.models_found ps.session)
+          (match t.cfg.budget with
+          | None -> "unlimited"
+          | Some b -> Format.asprintf "%a" Scamv_smt.Sat.pp_budget b)
+      in
+      t.queue <- rest;
+      t.quarantined_rev <- (ps.pair, reason) :: t.quarantined_rev;
+      Quarantined { pair = ps.pair; reason }
+    | Solver.Model model ->
       t.queue <- rest @ [ ps ];
       let state1, state2 = Concretize.test_states model in
-      Some { pair = ps.pair; state1; state2; train = Lazy.force ps.training; model })
+      Case { pair = ps.pair; state1; state2; train = Lazy.force ps.training; model })

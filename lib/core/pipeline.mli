@@ -15,6 +15,9 @@ type config = {
       (** randomize solver phases between enumerated models, spreading
           test cases across the state space *)
   max_steps : int;  (** symbolic execution step bound *)
+  budget : Scamv_smt.Sat.budget option;
+      (** per-SAT-call resource caps for every path pair's enumeration
+          session; a pair that exceeds them is quarantined *)
 }
 
 val default_config : Scamv_models.Refinement.t -> config
@@ -40,6 +43,17 @@ val leaves : t -> Scamv_symbolic.Exec.leaf list
 val pair_count : t -> int
 (** Number of path pairs that can produce test cases. *)
 
-val next_test_case : t -> test_case option
+val quarantined : t -> ((int * int) * string) list
+(** Path pairs dropped from the round-robin queue because their SMT
+    session blew its budget, with the recorded reason, oldest first. *)
+
+type progress =
+  | Case of test_case
+  | Quarantined of { pair : int * int; reason : string }
+      (** this path pair just blew its SAT budget and was removed from the
+          queue; further calls continue with the remaining pairs *)
+  | Exhausted  (** every session is exhausted (or quarantined) *)
+
+val next_test_case : t -> progress
 (** The next test case, drawn from the path-pair sessions in round-robin
-    order; [None] once every session is exhausted. *)
+    order. *)

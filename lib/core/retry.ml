@@ -1,0 +1,60 @@
+module Executor = Scamv_microarch.Executor
+
+(* Retry with majority voting, the software analogue of the paper's
+   practice of re-running flaky experiments on the boards.  Attempt costs
+   grow exponentially (attempt i costs 2^i units) so a persistently noisy
+   experiment cannot eat a campaign's time the way an honest retry loop
+   would: the budget admits ~log2(budget) attempts, not budget attempts. *)
+
+type policy = {
+  max_attempts : int;
+  confirm : int;
+  attempt_budget : int;
+}
+
+let default = { max_attempts = 1; confirm = 1; attempt_budget = max_int }
+
+let make ?(max_attempts = 1) ?(confirm = 1) ?(attempt_budget = max_int) () =
+  if max_attempts < 1 then invalid_arg "Retry.make: max_attempts must be >= 1";
+  if confirm < 1 then invalid_arg "Retry.make: confirm must be >= 1";
+  if attempt_budget < 1 then invalid_arg "Retry.make: attempt_budget must be >= 1";
+  { max_attempts; confirm; attempt_budget }
+
+type outcome = {
+  verdict : Executor.verdict;
+  attempts : int;
+  retries : int;
+  faults : int;
+}
+
+let execute policy run =
+  let dist = ref 0 and indist = ref 0 and inconclusive = ref 0 in
+  let attempts = ref 0 in
+  let faults = ref 0 in
+  let cost = ref 0 in
+  let confirmed () = !dist >= policy.confirm || !indist >= policy.confirm in
+  let affordable () =
+    (* The first attempt is always allowed; attempt i costs 2^i units. *)
+    !attempts = 0
+    ||
+    let next_cost = 1 lsl min !attempts 62 in
+    !cost + next_cost <= policy.attempt_budget
+  in
+  while (not (confirmed ())) && !attempts < policy.max_attempts && affordable () do
+    cost := !cost + (1 lsl min !attempts 62);
+    let verdict, fault_count = run ~attempt:!attempts in
+    incr attempts;
+    faults := !faults + fault_count;
+    match verdict with
+    | Executor.Distinguishable -> incr dist
+    | Executor.Indistinguishable -> incr indist
+    | Executor.Inconclusive -> incr inconclusive
+  done;
+  (* Majority vote over the conclusive attempts; persistent disagreement
+     (or nothing conclusive at all) downgrades to Inconclusive. *)
+  let verdict =
+    if !dist > !indist then Executor.Distinguishable
+    else if !indist > !dist then Executor.Indistinguishable
+    else Executor.Inconclusive
+  in
+  { verdict; attempts = !attempts; retries = max 0 (!attempts - 1); faults = !faults }

@@ -7,6 +7,10 @@ type t = {
   experiments : int;
   counterexamples : int;
   inconclusive : int;
+  skipped_programs : int;
+  budget_exceeded : int;
+  retries : int;
+  faults_observed : int;
   generation_time : Summary.t;
   execution_time : Summary.t;
   time_to_first_counterexample : float option;
@@ -19,6 +23,10 @@ let empty =
     experiments = 0;
     counterexamples = 0;
     inconclusive = 0;
+    skipped_programs = 0;
+    budget_exceeded = 0;
+    retries = 0;
+    faults_observed = 0;
     generation_time = Summary.empty;
     execution_time = Summary.empty;
     time_to_first_counterexample = None;
@@ -32,7 +40,11 @@ let record_program t ~found_counterexample =
       (t.programs_with_counterexample + if found_counterexample then 1 else 0);
   }
 
-let record_experiment t ~verdict ~gen_seconds ~exe_seconds ~elapsed =
+let record_skipped_program t = { t with skipped_programs = t.skipped_programs + 1 }
+let record_quarantine t = { t with budget_exceeded = t.budget_exceeded + 1 }
+
+let record_experiment t ~verdict ?(retries = 0) ?(faults = 0) ~gen_seconds
+    ~exe_seconds ~elapsed () =
   let counterexample = verdict = Executor.Distinguishable in
   {
     t with
@@ -40,6 +52,8 @@ let record_experiment t ~verdict ~gen_seconds ~exe_seconds ~elapsed =
     counterexamples = (t.counterexamples + if counterexample then 1 else 0);
     inconclusive =
       (t.inconclusive + if verdict = Executor.Inconclusive then 1 else 0);
+    retries = t.retries + retries;
+    faults_observed = t.faults_observed + faults;
     generation_time = Summary.add t.generation_time gen_seconds;
     execution_time = Summary.add t.execution_time exe_seconds;
     time_to_first_counterexample =
@@ -60,6 +74,10 @@ let header =
     "experiments";
     "counterex.";
     "inconcl.";
+    "skipped";
+    "budget";
+    "retries";
+    "faults";
     "avg gen (s)";
     "avg exe (s)";
     "T.T.C. (s)";
@@ -73,6 +91,10 @@ let row ~name t =
     string_of_int t.experiments;
     string_of_int t.counterexamples;
     string_of_int t.inconclusive;
+    string_of_int t.skipped_programs;
+    string_of_int t.budget_exceeded;
+    string_of_int t.retries;
+    string_of_int t.faults_observed;
     Printf.sprintf "%.4f" (Summary.mean t.generation_time);
     Printf.sprintf "%.4f" (Summary.mean t.execution_time);
     (match t.time_to_first_counterexample with
@@ -82,12 +104,14 @@ let row ~name t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>programs: %d (with counterexample: %d)@,\
+    "@[<v>programs: %d (with counterexample: %d, skipped: %d)@,\
      experiments: %d, counterexamples: %d, inconclusive: %d@,\
+     quarantined path pairs: %d, retries: %d, faults observed: %d@,\
      avg generation: %.4fs, avg execution: %.4fs@,\
      time to first counterexample: %s@]"
-    t.programs t.programs_with_counterexample t.experiments t.counterexamples
-    t.inconclusive
+    t.programs t.programs_with_counterexample t.skipped_programs t.experiments
+    t.counterexamples t.inconclusive t.budget_exceeded t.retries
+    t.faults_observed
     (Summary.mean t.generation_time)
     (Summary.mean t.execution_time)
     (match t.time_to_first_counterexample with

@@ -6,6 +6,11 @@ type t = {
   experiments : int;
   counterexamples : int;
   inconclusive : int;
+  skipped_programs : int;
+      (** programs abandoned after an exception in prepare/generate/execute *)
+  budget_exceeded : int;  (** path pairs quarantined by the SAT budget *)
+  retries : int;  (** extra executor attempts beyond the first *)
+  faults_observed : int;  (** injected faults seen across all experiments *)
   generation_time : Scamv_util.Summary.t;  (** per-test-case synthesis time *)
   execution_time : Scamv_util.Summary.t;  (** per-experiment run time *)
   time_to_first_counterexample : float option;  (** wall seconds, None = never *)
@@ -14,12 +19,23 @@ type t = {
 val empty : t
 
 val record_program : t -> found_counterexample:bool -> t
+
+val record_skipped_program : t -> t
+(** A program whose generation or execution failed and was abandoned
+    (pair this with {!record_program} so [programs] still counts it). *)
+
+val record_quarantine : t -> t
+(** A path pair dropped because its SAT budget ran out. *)
+
 val record_experiment :
   t ->
   verdict:Scamv_microarch.Executor.verdict ->
+  ?retries:int ->
+  ?faults:int ->
   gen_seconds:float ->
   exe_seconds:float ->
   elapsed:float ->
+  unit ->
   t
 
 val counterexample_rate : t -> float

@@ -35,8 +35,9 @@ let take_view cfg core =
 
 (* One measured run: fresh predictor, training executions (cache cleared
    before each, predictor persists), then the measured execution from a
-   cold cache. *)
-let measured_run cfg core program ~train state =
+   cold cache.  With fault injection active the observation may come back
+   perturbed or not at all ([None]). *)
+let measured_run ?faults cfg core program ~train state =
   Core.reset_predictor core;
   List.iter
     (fun st ->
@@ -45,36 +46,50 @@ let measured_run cfg core program ~train state =
     (List.concat_map (fun st -> List.init cfg.train_runs (fun _ -> st)) train);
   Core.reset_cache core;
   ignore (Core.run core program (Machine.copy state));
-  take_view cfg core
+  let view = take_view cfg core in
+  match faults with None -> Some view | Some f -> Faults.apply f view
 
-(* Repeat a measured run and demand identical cache dumps. *)
-let stable_view cfg core rng program ~train state =
-  let rec go i prev =
-    if i >= cfg.repetitions then Some prev
-    else begin
-      let seed, rng' = Splitmix.next !rng in
-      rng := rng';
-      Core.reseed core seed;
-      let v = measured_run cfg core program ~train state in
-      if Cache.equal_snapshot v prev then go (i + 1) prev else None
-    end
+(* Repeat a measured run and demand identical cache dumps.  A dropped or
+   perturbed measurement breaks the consistency check exactly like board
+   noise does in the paper's setup, so the experiment degrades to
+   [Inconclusive] instead of silently using a corrupt observation. *)
+let stable_view ?faults cfg core rng program ~train state =
+  let measure () =
+    let seed, rng' = Splitmix.next !rng in
+    rng := rng';
+    Core.reseed core seed;
+    measured_run ?faults cfg core program ~train state
   in
-  let seed, rng' = Splitmix.next !rng in
-  rng := rng';
-  Core.reseed core seed;
-  let first = measured_run cfg core program ~train state in
-  go 1 first
+  match measure () with
+  | None -> None
+  | Some first ->
+    let rec go i =
+      if i >= cfg.repetitions then Some first
+      else
+        match measure () with
+        | Some v when Cache.equal_snapshot v first -> go (i + 1)
+        | _ -> None
+    in
+    go 1
 
-let run ?(seed = 0L) cfg { program; state1; state2; train } =
+let run_observed ?(seed = 0L) ?faults cfg { program; state1; state2; train } =
   let core = Core.create cfg.core in
   let rng = ref (Splitmix.of_seed seed) in
-  match stable_view cfg core rng program ~train state1 with
-  | None -> Inconclusive
-  | Some v1 -> (
-    match stable_view cfg core rng program ~train state2 with
+  let faults = Option.map (fun f -> Faults.start f ~run_seed:seed) faults in
+  let verdict =
+    match stable_view ?faults cfg core rng program ~train state1 with
     | None -> Inconclusive
-    | Some v2 -> if Cache.equal_snapshot v1 v2 then Indistinguishable else Distinguishable)
+    | Some v1 -> (
+      match stable_view ?faults cfg core rng program ~train state2 with
+      | None -> Inconclusive
+      | Some v2 ->
+        if Cache.equal_snapshot v1 v2 then Indistinguishable else Distinguishable)
+  in
+  (verdict, match faults with None -> 0 | Some f -> Faults.injected f)
+
+let run ?seed ?faults cfg experiment = fst (run_observed ?seed ?faults cfg experiment)
 
 let observe_once ?(seed = 0L) cfg program ~train state =
   let core = Core.create ~seed cfg.core in
-  measured_run cfg core program ~train state
+  (* No fault injection: the measurement is always present. *)
+  Option.get (measured_run cfg core program ~train state)

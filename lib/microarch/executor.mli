@@ -37,7 +37,17 @@ type experiment = {
           non-speculative experiments *)
 }
 
-val run : ?seed:int64 -> config -> experiment -> verdict
+val run : ?seed:int64 -> ?faults:Faults.config -> config -> experiment -> verdict
+(** Run the experiment.  [faults], when given, injects deterministic board
+    noise (see {!Faults}) into every attacker observation; noisy or dropped
+    observations fail the repetition-consistency check and degrade the
+    verdict to [Inconclusive], exactly like a flaky physical board. *)
+
+val run_observed :
+  ?seed:int64 -> ?faults:Faults.config -> config -> experiment -> verdict * int
+(** Like {!run}, also reporting how many faults were injected during this
+    run (always [0] without [faults]); the campaign layer aggregates the
+    count into its statistics. *)
 
 val observe_once :
   ?seed:int64 ->

@@ -391,9 +391,48 @@ let push_level t =
   t.trail_lim.(t.trail_lim_size) <- t.trail_size;
   t.trail_lim_size <- t.trail_lim_size + 1
 
-let solve ?(assumptions = [||]) t =
-  if t.unsat then false
+type outcome = Sat | Unsat | Unknown
+
+type budget = {
+  max_conflicts : int option;
+  max_decisions : int option;
+  max_propagations : int option;
+}
+
+let unlimited =
+  { max_conflicts = None; max_decisions = None; max_propagations = None }
+
+let budget ?conflicts ?decisions ?propagations () =
+  {
+    max_conflicts = conflicts;
+    max_decisions = decisions;
+    max_propagations = propagations;
+  }
+
+let pp_budget ppf b =
+  let field name = function None -> [] | Some n -> [ Printf.sprintf "%s<=%d" name n ] in
+  let parts =
+    field "conflicts" b.max_conflicts
+    @ field "decisions" b.max_decisions
+    @ field "propagations" b.max_propagations
+  in
+  Format.pp_print_string ppf
+    (match parts with [] -> "unlimited" | _ -> String.concat "," parts)
+
+let solve ?(assumptions = [||]) ?(budget = unlimited) t =
+  if t.unsat then Unsat
   else begin
+    (* Budgets are per-call: the caps apply to the work done by this
+       [solve], not to the cumulative counters of the solver's life. *)
+    let limit base = function None -> max_int | Some n -> base + n in
+    let conflict_limit = limit t.conflicts budget.max_conflicts in
+    let decision_limit = limit t.decisions budget.max_decisions in
+    let propagation_limit = limit t.propagations budget.max_propagations in
+    let over_budget () =
+      t.conflicts > conflict_limit
+      || t.decisions > decision_limit
+      || t.propagations > propagation_limit
+    in
     cancel_until t 0;
     (* Refill the heap with all unassigned vars (fresh solve). *)
     for v = 1 to t.nvars do
@@ -401,66 +440,71 @@ let solve ?(assumptions = [||]) t =
     done;
     if propagate t <> None then begin
       t.unsat <- true;
-      false
+      Unsat
     end
     else begin
       let restart_num = ref 0 in
       let result = ref None in
       while !result = None do
         incr restart_num;
-        let budget = 100 * luby !restart_num in
+        let restart_budget = 100 * luby !restart_num in
         let local_conflicts = ref 0 in
         let restart = ref false in
         while !result = None && not !restart do
-          match propagate t with
-          | Some confl ->
-            t.conflicts <- t.conflicts + 1;
-            incr local_conflicts;
-            if decision_level t = 0 then begin
-              t.unsat <- true;
-              result := Some false
-            end
-            else begin
-              let learnt, btlevel = analyze t confl in
-              cancel_until t btlevel;
-              (match learnt with
-              | [] -> t.unsat <- true
-              | [ l ] ->
-                enqueue t l None
-              | l :: _ ->
-                let c = Array.of_list learnt in
-                attach_clause t c;
-                t.clauses <- c :: t.clauses;
-                enqueue t l (Some c));
-              var_decay t;
-              if !local_conflicts >= budget then restart := true
-            end
-          | None ->
-            if decision_level t < Array.length assumptions then begin
-              (* Assert the next assumption as a decision.  A falsified
-                 assumption means unsatisfiable *under these assumptions*
-                 only; the clause set itself stays usable. *)
-              let a = assumptions.(decision_level t) in
-              match lit_value t a with
-              | -1 -> result := Some false
-              | 1 -> push_level t (* already implied: empty level *)
-              | _ ->
-                push_level t;
-                enqueue t a None
-            end
-            else begin
-              let v = pick_branch_var t in
-              if v < 0 then result := Some true
-              else begin
-                t.decisions <- t.decisions + 1;
-                push_level t;
-                let l = if t.phase.(v) then pos v else neg_of_var v in
-                enqueue t l None
+          if over_budget () then result := Some Unknown
+          else
+            match propagate t with
+            | Some confl ->
+              t.conflicts <- t.conflicts + 1;
+              incr local_conflicts;
+              if decision_level t = 0 then begin
+                t.unsat <- true;
+                result := Some Unsat
               end
-            end
+              else begin
+                let learnt, btlevel = analyze t confl in
+                cancel_until t btlevel;
+                (match learnt with
+                | [] -> t.unsat <- true
+                | [ l ] ->
+                  enqueue t l None
+                | l :: _ ->
+                  let c = Array.of_list learnt in
+                  attach_clause t c;
+                  t.clauses <- c :: t.clauses;
+                  enqueue t l (Some c));
+                var_decay t;
+                if !local_conflicts >= restart_budget then restart := true
+              end
+            | None ->
+              if decision_level t < Array.length assumptions then begin
+                (* Assert the next assumption as a decision.  A falsified
+                   assumption means unsatisfiable *under these assumptions*
+                   only; the clause set itself stays usable. *)
+                let a = assumptions.(decision_level t) in
+                match lit_value t a with
+                | -1 -> result := Some Unsat
+                | 1 -> push_level t (* already implied: empty level *)
+                | _ ->
+                  push_level t;
+                  enqueue t a None
+              end
+              else begin
+                let v = pick_branch_var t in
+                if v < 0 then result := Some Sat
+                else begin
+                  t.decisions <- t.decisions + 1;
+                  push_level t;
+                  let l = if t.phase.(v) then pos v else neg_of_var v in
+                  enqueue t l None
+                end
+              end
         done;
         if !restart then cancel_until t 0
       done;
+      (* An out-of-budget stop leaves a partial trail; rewind it so the
+         solver is immediately reusable (e.g. with a larger budget). *)
+      if !result = Some Unknown then cancel_until t 0;
       Option.get !result
     end
   end

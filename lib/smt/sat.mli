@@ -37,15 +37,43 @@ val add_clause : t -> lit list -> unit
 (** Add a clause over existing variables.  Adding the empty clause (or a
     clause falsified at level 0) makes the instance permanently UNSAT. *)
 
-val solve : ?assumptions:lit array -> t -> bool
-(** [solve t] returns [true] iff the clause set is satisfiable; when
-    [true], {!value} reads the satisfying assignment.
+type outcome = Sat | Unsat | Unknown
+(** Three-valued solve result.  [Unknown] means a resource budget was
+    exhausted before the search finished: the instance is neither proved
+    satisfiable nor unsatisfiable, and the solver remains usable. *)
 
-    [assumptions] are literals asserted as the first decisions: a [false]
+type budget = {
+  max_conflicts : int option;
+  max_decisions : int option;
+  max_propagations : int option;
+}
+(** Per-call resource caps.  Each cap bounds the work done by one [solve]
+    call (deltas over the solver's cumulative counters), so a long-lived
+    enumeration session gets a fresh allowance on every call. *)
+
+val unlimited : budget
+
+val budget :
+  ?conflicts:int -> ?decisions:int -> ?propagations:int -> unit -> budget
+(** Budget smart constructor; omitted dimensions are uncapped. *)
+
+val pp_budget : Format.formatter -> budget -> unit
+
+val solve : ?assumptions:lit array -> ?budget:budget -> t -> outcome
+(** [solve t] returns [Sat] iff the clause set is satisfiable; when
+    [Sat], {!value} reads the satisfying assignment.
+
+    [assumptions] are literals asserted as the first decisions: an [Unsat]
     result under assumptions means "unsatisfiable together with the
     assumptions" and leaves the solver usable (only a conflict at decision
     level zero marks the instance permanently UNSAT).  Used by the
-    lexicographic model minimizer. *)
+    lexicographic model minimizer.
+
+    [budget] caps the conflicts/decisions/propagations this call may
+    spend; when a cap is hit the call stops with [Unknown], the trail is
+    rewound, and the solver (including all learnt clauses) stays usable —
+    a later call with a larger budget resumes from the accumulated
+    knowledge. *)
 
 val value : t -> int -> bool
 (** Value of a variable in the last satisfying assignment.

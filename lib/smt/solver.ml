@@ -2,10 +2,15 @@ module Splitmix = Scamv_util.Splitmix
 
 type result = Sat of Model.t | Unsat
 
+exception Solver_invariant of string
+
+type model_result = Model of Model.t | Exhausted | Budget_exceeded
+
 type session = {
   blaster : Blaster.t;
   reads : Arrays.read list;
   track : (string * Sort.t) list;  (* boolean/bitvector inputs to block on *)
+  budget : Sat.budget option;
   mutable count : int;
   mutable exhausted : bool;
   mutable rng : Splitmix.t;
@@ -49,7 +54,7 @@ let expand_track reads track =
       | _ -> [ (x, s) ])
     track
 
-let make_session ?seed ?default_phase ?track formulas =
+let make_session ?seed ?default_phase ?track ?budget formulas =
   let { Arrays.formulas = fs; side_conditions; reads } = Arrays.eliminate formulas in
   let blaster = Blaster.create ?seed ?default_phase () in
   List.iter (Blaster.assert_term blaster) fs;
@@ -66,6 +71,7 @@ let make_session ?seed ?default_phase ?track formulas =
     blaster;
     reads;
     track;
+    budget;
     count = 0;
     exhausted = false;
     rng = Splitmix.of_seed (Option.value seed ~default:1L);
@@ -77,8 +83,13 @@ let make_session ?seed ?default_phase ?track formulas =
    by the clauses (including the accumulated blocking clauses) — the
    behaviour of Z3-style default models, on which the unguided-search
    characteristics of the paper depend. *)
+exception Out_of_budget
+(* Internal early exit from the minimization loop; surfaced to callers as
+   [Budget_exceeded]. *)
+
 let minimize_model s =
   let sat = Blaster.solver s.blaster in
+  let budget = Option.value s.budget ~default:Sat.unlimited in
   let lit_true l =
     if Sat.is_pos l then Sat.value sat (Sat.var_of l)
     else not (Sat.value sat (Sat.var_of l))
@@ -89,20 +100,31 @@ let minimize_model s =
       for i = Array.length lits - 1 downto 0 do
         let l = lits.(i) in
         if not (lit_true l) then pins := Sat.negate l :: !pins
-        else if Sat.solve ~assumptions:(Array.of_list (Sat.negate l :: !pins)) sat
-        then pins := Sat.negate l :: !pins
-        else begin
-          pins := l :: !pins;
-          (* Restore a model satisfying the pins so the next bit reads a
-             valid current value. *)
-          let restored = Sat.solve ~assumptions:(Array.of_list !pins) sat in
-          assert restored
-        end
+        else
+          match
+            Sat.solve ~assumptions:(Array.of_list (Sat.negate l :: !pins)) ~budget sat
+          with
+          | Sat.Unknown -> raise Out_of_budget
+          | Sat.Sat -> pins := Sat.negate l :: !pins
+          | Sat.Unsat -> (
+            pins := l :: !pins;
+            (* Restore a model satisfying the pins so the next bit reads a
+               valid current value.  The pins only constrain bits of the
+               model just found, so this must be satisfiable; if it is
+               not, enumeration state is corrupt and the campaign layer
+               should quarantine this session rather than crash. *)
+            match Sat.solve ~assumptions:(Array.of_list !pins) ~budget sat with
+            | Sat.Sat -> ()
+            | Sat.Unknown -> raise Out_of_budget
+            | Sat.Unsat ->
+              raise
+                (Solver_invariant
+                   "minimize_model: pinned bits of a known model became unsatisfiable"))
       done)
     (Blaster.inputs s.blaster)
 
 let next_model ?(diversify = false) s =
-  if s.exhausted then None
+  if s.exhausted then Exhausted
   else begin
     if diversify then begin
       let seed, rng = Splitmix.next s.rng in
@@ -110,18 +132,21 @@ let next_model ?(diversify = false) s =
       Sat.randomize_phases (Blaster.solver s.blaster) seed
     end
     else Sat.reset_phases (Blaster.solver s.blaster);
-    if Sat.solve (Blaster.solver s.blaster) then begin
-      if not diversify then minimize_model s;
-      let model = Blaster.read_model s.blaster in
-      let model = Arrays.recover_memories model s.reads in
-      Blaster.block_assignment s.blaster s.track;
-      s.count <- s.count + 1;
-      Some model
-    end
-    else begin
+    let budget = Option.value s.budget ~default:Sat.unlimited in
+    match Sat.solve ~budget (Blaster.solver s.blaster) with
+    | Sat.Unknown -> Budget_exceeded
+    | Sat.Unsat ->
       s.exhausted <- true;
-      None
-    end
+      Exhausted
+    | Sat.Sat -> (
+      match if diversify then Ok () else (try Ok (minimize_model s) with Out_of_budget -> Error ()) with
+      | Error () -> Budget_exceeded
+      | Ok () ->
+        let model = Blaster.read_model s.blaster in
+        let model = Arrays.recover_memories model s.reads in
+        Blaster.block_assignment s.blaster s.track;
+        s.count <- s.count + 1;
+        Model model)
   end
 
 let models_found s = s.count
@@ -134,4 +159,5 @@ let var_count s = Sat.num_vars (Blaster.solver s.blaster)
 
 let solve ?seed ?default_phase formulas =
   let s = make_session ?seed ?default_phase formulas in
-  match next_model s with Some m -> Sat m | None -> Unsat
+  (* No budget is installed, so [Budget_exceeded] cannot occur here. *)
+  match next_model s with Model m -> Sat m | Exhausted | Budget_exceeded -> Unsat

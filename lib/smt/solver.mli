@@ -6,6 +6,20 @@
 
 type result = Sat of Model.t | Unsat
 
+exception Solver_invariant of string
+(** An internal enumeration invariant was violated (e.g. the lexicographic
+    minimizer could not restore a model it had just pinned).  Unlike a bare
+    [assert] this survives [-noassert] builds and carries a description, so
+    the campaign fault-capture layer can record it as a per-program failure
+    instead of the process dying. *)
+
+type model_result =
+  | Model of Model.t
+  | Exhausted  (** no further distinct model exists *)
+  | Budget_exceeded
+      (** the session's SAT budget ran out before this call could decide;
+          the session stays usable but the caller should quarantine it *)
+
 val solve : ?seed:int64 -> ?default_phase:bool -> Term.t list -> result
 (** One-shot satisfiability of the conjunction of the given formulas.
     The returned model assigns every variable occurring in the formulas,
@@ -19,6 +33,7 @@ val make_session :
   ?seed:int64 ->
   ?default_phase:bool ->
   ?track:(string * Sort.t) list ->
+  ?budget:Sat.budget ->
   Term.t list ->
   session
 (** [make_session fs] prepares enumeration of models of [/\ fs].
@@ -26,13 +41,18 @@ val make_session :
     [track] lists the variables over which models must differ (default:
     every free variable of [fs], with memories tracked through the cells
     they read).  Tracking matters: the paper enumerates *distinct test
-    cases*, i.e. assignments that differ on program-visible state. *)
+    cases*, i.e. assignments that differ on program-visible state.
 
-val next_model : ?diversify:bool -> session -> Model.t option
-(** Next model, or [None] when the space is exhausted.  With [diversify]
-    the solver randomizes decision phases first, spreading consecutive
-    models across the state space instead of walking it in lexicographic
-    order (used by the refinement-guided campaigns). *)
+    [budget] bounds every underlying SAT call of this session (including
+    the per-bit calls of the model minimizer); when it is exceeded,
+    {!next_model} reports [Budget_exceeded]. *)
+
+val next_model : ?diversify:bool -> session -> model_result
+(** Next model, [Exhausted] when the space is empty, or [Budget_exceeded]
+    when the session budget ran out mid-search.  With [diversify] the
+    solver randomizes decision phases first, spreading consecutive models
+    across the state space instead of walking it in lexicographic order
+    (used by the refinement-guided campaigns). *)
 
 val models_found : session -> int
 

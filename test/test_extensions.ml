@@ -242,6 +242,8 @@ let sample_entry i verdict =
     verdict;
     generation_seconds = 0.25;
     execution_seconds = 0.5;
+    retries = 0;
+    faults = 0;
   }
 
 let test_journal_accumulates () =

@@ -1,0 +1,333 @@
+(* Journal round-trip, incremental persistence, retry policy and fault
+   injection: the robustness layer's unit tests. *)
+
+module Executor = Scamv_microarch.Executor
+module Faults = Scamv_microarch.Faults
+module Campaign = Scamv.Campaign
+module Journal = Scamv.Journal
+module Retry = Scamv.Retry
+module Stats = Scamv.Stats
+module Sat = Scamv_smt.Sat
+module Templates = Scamv_gen.Templates
+module Refinement = Scamv_models.Refinement
+
+let entry ?(campaign = "c") ?(template = "A") ?(retries = 0) ?(faults = 0) i verdict =
+  {
+    Journal.campaign;
+    program_index = i;
+    test_index = i * 2;
+    template;
+    path_pair = (i, i + 1);
+    verdict;
+    generation_seconds = 0.125 +. float_of_int i;
+    execution_seconds = 0.5;
+    retries;
+    faults;
+  }
+
+let events_equal j1 j2 =
+  Alcotest.(check Alcotest.int)
+    "event count" (List.length (Journal.events j1))
+    (List.length (Journal.events j2));
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "event round-trips" true (a = b))
+    (Journal.events j1) (Journal.events j2)
+
+(* ---- CSV round-trip ---- *)
+
+let test_roundtrip_plain () =
+  let j = Journal.create () in
+  Journal.record j (entry 0 Executor.Distinguishable);
+  Journal.record j (entry ~retries:2 ~faults:3 1 Executor.Indistinguishable);
+  Journal.record j (entry 2 Executor.Inconclusive);
+  events_equal j (Journal.of_csv (Journal.to_csv j))
+
+let test_roundtrip_quoting () =
+  (* Campaign/template names with commas, quotes and even newlines must
+     survive the CSV round trip unchanged. *)
+  let j = Journal.create () in
+  Journal.record j
+    (entry ~campaign:"mct, refined \"v2\"" ~template:"A,B\"C\"" 0
+       Executor.Distinguishable);
+  Journal.record j (entry ~campaign:"multi\nline" 1 Executor.Inconclusive);
+  let j' = Journal.of_csv (Journal.to_csv j) in
+  events_equal j j';
+  match Journal.entries j' with
+  | [ e0; e1 ] ->
+    Alcotest.(check string) "commas+quotes" "mct, refined \"v2\"" e0.Journal.campaign;
+    Alcotest.(check string) "template quoting" "A,B\"C\"" e0.Journal.template;
+    Alcotest.(check string) "newline" "multi\nline" e1.Journal.campaign
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_roundtrip_fault_events () =
+  let j = Journal.create () in
+  Journal.record j (entry 0 Executor.Distinguishable);
+  Journal.record_event j
+    (Journal.Quarantined
+       {
+         campaign = "c";
+         program_index = 0;
+         pair = (3, 7);
+         reason = "SAT budget exceeded, \"hard\" pair";
+       });
+  Journal.record_event j
+    (Journal.Program_failed
+       { campaign = "c"; program_index = 1; reason = "Failure(\"synth, diverged\")" });
+  let j' = Journal.of_csv (Journal.to_csv j) in
+  events_equal j j';
+  Alcotest.(check Alcotest.int) "experiments only" 1 (Journal.length j')
+
+let test_of_csv_rejects_garbage () =
+  Alcotest.check_raises "missing header" (Journal.Parse_error "missing journal CSV header")
+    (fun () -> ignore (Journal.of_csv "not,a,journal\n1,2,3\n"))
+
+(* ---- incremental persistence ---- *)
+
+let temp_path name =
+  let path = Filename.temp_file "scamv_journal" name in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+let test_incremental_persistence () =
+  let path = temp_path ".csv" in
+  let j = Journal.create ~path () in
+  Journal.record j (entry 0 Executor.Distinguishable);
+  Journal.record j (entry 1 Executor.Inconclusive);
+  (* Rows are flushed as they are recorded: the on-disk checkpoint must be
+     loadable *before* the journal is closed, as after a kill. *)
+  let loaded = Journal.read_csv ~path in
+  events_equal j loaded;
+  Journal.record_event j
+    (Journal.Quarantined
+       { campaign = "c"; program_index = 2; pair = (0, 1); reason = "budget" });
+  Journal.close j;
+  events_equal j (Journal.read_csv ~path)
+
+(* ---- retry policy ---- *)
+
+let scripted verdicts =
+  let calls = ref 0 in
+  let run ~attempt =
+    incr calls;
+    (List.nth verdicts (min attempt (List.length verdicts - 1)), 0)
+  in
+  (run, calls)
+
+let test_retry_first_conclusive_wins () =
+  let run, calls = scripted [ Executor.Indistinguishable ] in
+  let o = Retry.execute (Retry.make ~max_attempts:5 ()) run in
+  Alcotest.(check bool) "verdict" true (o.Retry.verdict = Executor.Indistinguishable);
+  Alcotest.(check Alcotest.int) "one attempt" 1 !calls;
+  Alcotest.(check Alcotest.int) "no retries" 0 o.Retry.retries
+
+let test_retry_on_inconclusive () =
+  let run, calls =
+    scripted [ Executor.Inconclusive; Executor.Inconclusive; Executor.Distinguishable ]
+  in
+  let o = Retry.execute (Retry.make ~max_attempts:5 ()) run in
+  Alcotest.(check bool) "recovered" true (o.Retry.verdict = Executor.Distinguishable);
+  Alcotest.(check Alcotest.int) "three attempts" 3 !calls;
+  Alcotest.(check Alcotest.int) "two retries" 2 o.Retry.retries
+
+let test_retry_persistent_noise_downgrades () =
+  let run, calls = scripted [ Executor.Inconclusive ] in
+  let o = Retry.execute (Retry.make ~max_attempts:4 ()) run in
+  Alcotest.(check bool) "inconclusive" true (o.Retry.verdict = Executor.Inconclusive);
+  Alcotest.(check Alcotest.int) "all attempts used" 4 !calls
+
+let test_retry_majority_vote_disagreement () =
+  (* D, I, I with confirm=2: indistinguishable wins the vote. *)
+  let run, _ =
+    scripted [ Executor.Distinguishable; Executor.Indistinguishable; Executor.Indistinguishable ]
+  in
+  let o = Retry.execute (Retry.make ~max_attempts:3 ~confirm:2 ()) run in
+  Alcotest.(check bool) "majority" true (o.Retry.verdict = Executor.Indistinguishable);
+  (* D, I with confirm=2 and only two attempts: a tie stays Inconclusive. *)
+  let run, _ = scripted [ Executor.Distinguishable; Executor.Indistinguishable ] in
+  let o = Retry.execute (Retry.make ~max_attempts:2 ~confirm:2 ()) run in
+  Alcotest.(check bool) "tie downgrades" true (o.Retry.verdict = Executor.Inconclusive)
+
+let test_retry_exponential_budget () =
+  (* Attempts cost 1, 2, 4, ...: a budget of 3 admits exactly 2 attempts
+     however large max_attempts is. *)
+  let run, calls = scripted [ Executor.Inconclusive ] in
+  let o = Retry.execute (Retry.make ~max_attempts:100 ~attempt_budget:3 ()) run in
+  Alcotest.(check Alcotest.int) "budget admits two attempts" 2 !calls;
+  Alcotest.(check bool) "still inconclusive" true (o.Retry.verdict = Executor.Inconclusive)
+
+let test_retry_rejects_bad_policy () =
+  Alcotest.(check bool) "max_attempts >= 1" true
+    (try
+       ignore (Retry.make ~max_attempts:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- fault injection ---- *)
+
+let sample_view = [ (0, [ 1L; 2L ]); (1, [ 3L ]); (2, []) ]
+
+let test_faults_rate_zero_is_identity () =
+  let f = Faults.start (Faults.config ~rate:0.0 ()) ~run_seed:42L in
+  for _ = 1 to 100 do
+    match Faults.apply f sample_view with
+    | Some v when v = sample_view -> ()
+    | _ -> Alcotest.fail "rate 0.0 must never inject"
+  done;
+  Alcotest.(check Alcotest.int) "no faults" 0 (Faults.injected f)
+
+let test_faults_rate_one_always_injects () =
+  let f = Faults.start (Faults.config ~rate:1.0 ~seed:9L ()) ~run_seed:1L in
+  for _ = 1 to 50 do
+    match Faults.apply f sample_view with
+    | None -> () (* dropped *)
+    | Some v ->
+      Alcotest.(check bool) "perturbed or polluted" false (v = sample_view)
+  done;
+  Alcotest.(check Alcotest.int) "every measurement faulted" 50 (Faults.injected f)
+
+let test_faults_deterministic () =
+  let stream seed =
+    let f = Faults.start (Faults.config ~rate:0.5 ~seed:11L ()) ~run_seed:seed in
+    List.init 64 (fun _ -> Faults.apply f sample_view)
+  in
+  Alcotest.(check bool) "same seed, same faults" true (stream 5L = stream 5L);
+  Alcotest.(check bool) "different seed, different faults" false (stream 5L = stream 6L)
+
+let test_faults_config_validation () =
+  Alcotest.(check bool) "rate out of range rejected" true
+    (try
+       ignore (Faults.config ~rate:1.5 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- campaign robustness (the PR's acceptance criteria) ---- *)
+
+let noisy_cfg ?sat_budget ~programs ~tests () =
+  Campaign.make ~name:"noisy"
+    ~template:(Templates.by_name "A")
+    ~setup:(Refinement.mct_vs_mspec ())
+    ~programs ~tests_per_program:tests ~seed:2021L ?sat_budget
+    ~retry:(Retry.make ~max_attempts:3 ())
+    ~faults:(Faults.config ~rate:0.1 ~seed:7L ())
+    ()
+
+let counts (s : Stats.t) =
+  ( s.Stats.programs,
+    s.Stats.programs_with_counterexample,
+    s.Stats.experiments,
+    s.Stats.counterexamples,
+    s.Stats.inconclusive,
+    s.Stats.skipped_programs,
+    s.Stats.budget_exceeded,
+    s.Stats.retries,
+    s.Stats.faults_observed )
+
+(* Events minus their timing fields, which legitimately differ between an
+   original and a resumed run. *)
+let event_key = function
+  | Journal.Experiment e ->
+    `Experiment
+      ( e.Journal.program_index,
+        e.Journal.test_index,
+        e.Journal.path_pair,
+        e.Journal.verdict,
+        e.Journal.retries,
+        e.Journal.faults )
+  | Journal.Quarantined { program_index; pair; _ } -> `Quarantined (program_index, pair)
+  | Journal.Program_failed { program_index; reason; _ } -> `Failed (program_index, reason)
+
+let test_campaign_noisy_budgeted_completes () =
+  (* A seeded campaign with 10% fault injection and a tight SAT budget must
+     complete without raising, retry noisy experiments, and quarantine
+     budget-blown path pairs. *)
+  let cfg =
+    noisy_cfg ~sat_budget:(Sat.budget ~conflicts:100 ()) ~programs:6 ~tests:4 ()
+  in
+  let outcome = Campaign.run cfg in
+  let s = outcome.Campaign.stats in
+  Alcotest.(check Alcotest.int) "all programs accounted for" 6 s.Stats.programs;
+  Alcotest.(check bool) "experiments ran" true (s.Stats.experiments > 0);
+  Alcotest.(check bool) "nonzero retries" true (s.Stats.retries > 0);
+  Alcotest.(check bool) "nonzero budget_exceeded" true (s.Stats.budget_exceeded > 0);
+  Alcotest.(check bool) "faults observed" true (s.Stats.faults_observed > 0)
+
+let test_campaign_resume_matches_uninterrupted () =
+  let cfg =
+    noisy_cfg ~sat_budget:(Sat.budget ~conflicts:100 ()) ~programs:5 ~tests:3 ()
+  in
+  let full_journal = Journal.create () in
+  let full = Campaign.run ~journal:full_journal cfg in
+  let events = Journal.events full_journal in
+  (* Simulate a kill partway through program 2: the checkpoint holds all
+     events of programs 0-1 plus the first event of program 2. *)
+  let seen_two = ref false in
+  let partial =
+    List.filter
+      (fun ev ->
+        let i = Journal.event_program_index ev in
+        if i < 2 then true
+        else if i = 2 && not !seen_two then begin
+          seen_two := true;
+          true
+        end
+        else false)
+      events
+  in
+  Alcotest.(check bool) "kill point is mid-campaign" true !seen_two;
+  let ckpt = Journal.create () in
+  List.iter (Journal.record_event ckpt) partial;
+  let path = temp_path ".ckpt.csv" in
+  Journal.write_csv ckpt ~path;
+  let resumed_journal = Journal.create () in
+  let resumed = Campaign.run ~journal:resumed_journal ~resume:path cfg in
+  Alcotest.(check bool) "final stats identical" true
+    (counts full.Campaign.stats = counts resumed.Campaign.stats);
+  Alcotest.(check bool) "event sequence identical" true
+    (List.map event_key (Journal.events full_journal)
+    = List.map event_key (Journal.events resumed_journal))
+
+let test_campaign_resume_from_missing_file_is_fresh_run () =
+  let cfg = noisy_cfg ~programs:2 ~tests:2 () in
+  let fresh = Campaign.run cfg in
+  let resumed = Campaign.run ~resume:"/nonexistent/journal.csv" cfg in
+  Alcotest.(check bool) "identical stats" true
+    (counts fresh.Campaign.stats = counts resumed.Campaign.stats)
+
+let () =
+  Alcotest.run "scamv_journal"
+    [
+      ( "csv",
+        [
+          Alcotest.test_case "round-trip plain" `Quick test_roundtrip_plain;
+          Alcotest.test_case "round-trip quoting" `Quick test_roundtrip_quoting;
+          Alcotest.test_case "round-trip fault events" `Quick test_roundtrip_fault_events;
+          Alcotest.test_case "rejects garbage" `Quick test_of_csv_rejects_garbage;
+          Alcotest.test_case "incremental persistence" `Quick test_incremental_persistence;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "first conclusive wins" `Quick test_retry_first_conclusive_wins;
+          Alcotest.test_case "retries on inconclusive" `Quick test_retry_on_inconclusive;
+          Alcotest.test_case "persistent noise downgrades" `Quick
+            test_retry_persistent_noise_downgrades;
+          Alcotest.test_case "majority vote" `Quick test_retry_majority_vote_disagreement;
+          Alcotest.test_case "exponential budget" `Quick test_retry_exponential_budget;
+          Alcotest.test_case "rejects bad policy" `Quick test_retry_rejects_bad_policy;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "rate 0 identity" `Quick test_faults_rate_zero_is_identity;
+          Alcotest.test_case "rate 1 injects" `Quick test_faults_rate_one_always_injects;
+          Alcotest.test_case "deterministic" `Quick test_faults_deterministic;
+          Alcotest.test_case "config validation" `Quick test_faults_config_validation;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "noisy+budgeted completes" `Quick
+            test_campaign_noisy_budgeted_completes;
+          Alcotest.test_case "resume matches uninterrupted" `Quick
+            test_campaign_resume_matches_uninterrupted;
+          Alcotest.test_case "resume from missing file" `Quick
+            test_campaign_resume_from_missing_file_is_fresh_run;
+        ] );
+    ]

@@ -153,8 +153,8 @@ let test_mpart_relation_matches_paper_shape () =
   let distinct_ar = ref 0 in
   for _ = 1 to 20 do
     match Solver.next_model session with
-    | None -> ()
-    | Some model ->
+    | Solver.Exhausted | Solver.Budget_exceeded -> ()
+    | Solver.Model model ->
       let s1, s2 = Concretize.test_states model in
       let a1 = Machine.get_reg s1 (x 0) and a2 = Machine.get_reg s2 (x 0) in
       let in1 = Region.contains platform region a1

@@ -188,8 +188,9 @@ let test_translated_gadget_through_pipeline () =
   let cfg = Scamv.Pipeline.default_config setup in
   let session = Scamv.Pipeline.prepare ~seed:3L cfg arm in
   match Scamv.Pipeline.next_test_case session with
-  | None -> Alcotest.fail "expected a test case from the translated gadget"
-  | Some tc ->
+  | Scamv.Pipeline.Exhausted | Scamv.Pipeline.Quarantined _ ->
+    Alcotest.fail "expected a test case from the translated gadget"
+  | Scamv.Pipeline.Case tc ->
     let verdict =
       Scamv_microarch.Executor.run
         (Scamv_microarch.Executor.default_config ())

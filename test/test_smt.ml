@@ -101,7 +101,7 @@ let test_sat_trivial () =
   let s = Sat.create () in
   let v = Sat.new_var s in
   Sat.add_clause s [ Sat.pos v ];
-  Alcotest.(check bool) "sat" true (Sat.solve s);
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
   Alcotest.(check bool) "v true" true (Sat.value s v)
 
 let test_sat_unsat_unit_conflict () =
@@ -109,13 +109,13 @@ let test_sat_unsat_unit_conflict () =
   let v = Sat.new_var s in
   Sat.add_clause s [ Sat.pos v ];
   Sat.add_clause s [ Sat.neg_of_var v ];
-  Alcotest.(check bool) "unsat" false (Sat.solve s)
+  Alcotest.(check bool) "unsat" true (Sat.solve s = Sat.Unsat)
 
 let test_sat_empty_clause () =
   let s = Sat.create () in
   ignore (Sat.new_var s);
   Sat.add_clause s [];
-  Alcotest.(check bool) "unsat" false (Sat.solve s)
+  Alcotest.(check bool) "unsat" true (Sat.solve s = Sat.Unsat)
 
 let test_sat_implication_chain () =
   let s = Sat.create () in
@@ -124,7 +124,7 @@ let test_sat_implication_chain () =
     Sat.add_clause s [ Sat.neg_of_var vars.(i); Sat.pos vars.(i + 1) ]
   done;
   Sat.add_clause s [ Sat.pos vars.(0) ];
-  Alcotest.(check bool) "sat" true (Sat.solve s);
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
   Alcotest.(check bool) "last implied" true (Sat.value s vars.(49))
 
 let test_sat_pigeonhole_3_2 () =
@@ -141,7 +141,7 @@ let test_sat_pigeonhole_3_2 () =
       done
     done
   done;
-  Alcotest.(check bool) "unsat" false (Sat.solve s)
+  Alcotest.(check bool) "unsat" true (Sat.solve s = Sat.Unsat)
 
 let test_sat_pigeonhole_4_3 () =
   let s = Sat.create () in
@@ -157,7 +157,7 @@ let test_sat_pigeonhole_4_3 () =
       done
     done
   done;
-  Alcotest.(check bool) "unsat" false (Sat.solve s)
+  Alcotest.(check bool) "unsat" true (Sat.solve s = Sat.Unsat)
 
 let test_sat_incremental_blocking () =
   (* 2 free variables: exactly 4 assignments; block each in turn. *)
@@ -166,7 +166,7 @@ let test_sat_incremental_blocking () =
   Sat.add_clause s [ Sat.pos a; Sat.neg_of_var a ] (* tautology keeps vars alive *);
   let count = ref 0 in
   let rec loop () =
-    if Sat.solve s then begin
+    if Sat.solve s = Sat.Sat then begin
       incr count;
       let lit v = if Sat.value s v then Sat.neg_of_var v else Sat.pos v in
       Sat.add_clause s [ lit a; lit b ];
@@ -175,6 +175,48 @@ let test_sat_incremental_blocking () =
   in
   loop ();
   Alcotest.(check Alcotest.int) "four models" 4 !count
+
+let test_sat_budget_unknown () =
+  (* Pigeonhole 6/5 takes well over one conflict; a one-conflict budget
+     must come back Unknown, and an unbounded re-solve of the same solver
+     must still decide Unsat (the learnt clauses survive the cutoff). *)
+  let s = Sat.create () in
+  let n = 6 and holes = 5 in
+  let p = Array.init n (fun _ -> Array.init holes (fun _ -> Sat.new_var s)) in
+  for i = 0 to n - 1 do
+    Sat.add_clause s (Array.to_list (Array.map Sat.pos p.(i)))
+  done;
+  for h = 0 to holes - 1 do
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Sat.add_clause s [ Sat.neg_of_var p.(i).(h); Sat.neg_of_var p.(j).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unknown under tight budget" true
+    (Sat.solve ~budget:(Sat.budget ~conflicts:1 ()) s = Sat.Unknown);
+  Alcotest.(check bool) "still decidable afterwards" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_budget_generous_is_exact () =
+  let s = Sat.create () in
+  let v = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos v ];
+  Alcotest.(check bool) "sat within budget" true
+    (Sat.solve ~budget:(Sat.budget ~conflicts:1000 ~decisions:1000 ()) s = Sat.Sat)
+
+let test_solver_budget_exceeded_surfaces () =
+  (* A multiplication relation is hard for the bit-blasted CDCL core; a
+     one-conflict session budget must surface Budget_exceeded rather than
+     hang or crash. *)
+  let x = T.bv_var "x" 32 and y = T.bv_var "y" 32 in
+  let f = T.eq (T.mul x y) (T.bv_const 0x12345677L 32) in
+  let s =
+    Solver.make_session ~budget:(Sat.budget ~conflicts:1 ()) [ f; T.ugt x (T.bv_one 32) ]
+  in
+  match Solver.next_model s with
+  | Solver.Budget_exceeded -> ()
+  | Solver.Model _ -> Alcotest.fail "expected the budget to bite"
+  | Solver.Exhausted -> Alcotest.fail "expected Budget_exceeded, got Exhausted"
 
 (* Random 3-CNF cross-checked against brute force. *)
 let brute_force_sat nvars clauses =
@@ -218,7 +260,7 @@ let prop_sat_matches_brute_force =
       done;
       List.iter (Sat.add_clause s) !clauses;
       let expected = brute_force_sat nvars !clauses in
-      let got = Sat.solve s in
+      let got = Sat.solve s = Sat.Sat in
       (* If SAT, the reported assignment must satisfy all clauses. *)
       let model_ok =
         (not got)
@@ -351,8 +393,8 @@ let test_enumeration_count () =
   let s = Solver.make_session [ T.eq x x ] ~track:[ ("x", Sort.Bv 2) ] in
   let rec drain acc =
     match Solver.next_model s with
-    | None -> acc
-    | Some m -> drain (Model.bv_exn m "x" :: acc)
+    | Solver.Exhausted | Solver.Budget_exceeded -> acc
+    | Solver.Model m -> drain (Model.bv_exn m "x" :: acc)
   in
   let models = drain [] in
   Alcotest.(check (list Alcotest.int64)) "all four values" [ 0L; 1L; 2L; 3L ]
@@ -364,8 +406,8 @@ let test_enumeration_distinct () =
   let seen = Hashtbl.create 16 in
   for _ = 1 to 20 do
     match Solver.next_model s with
-    | None -> Alcotest.fail "exhausted too early"
-    | Some m ->
+    | Solver.Exhausted | Solver.Budget_exceeded -> Alcotest.fail "exhausted too early"
+    | Solver.Model m ->
       let v = Model.bv_exn m "x" in
       Alcotest.(check bool) "fresh model" false (Hashtbl.mem seen v);
       Hashtbl.add seen v ()
@@ -377,8 +419,8 @@ let test_enumeration_diversify_valid () =
   let s = Solver.make_session ~seed:77L [ f ] in
   for _ = 1 to 10 do
     match Solver.next_model ~diversify:true s with
-    | None -> Alcotest.fail "exhausted too early"
-    | Some m -> Alcotest.(check bool) "satisfies" true (Eval.eval_bool m f)
+    | Solver.Exhausted | Solver.Budget_exceeded -> Alcotest.fail "exhausted too early"
+    | Solver.Model m -> Alcotest.(check bool) "satisfies" true (Eval.eval_bool m f)
   done
 
 let test_default_phase_gives_zeros () =
@@ -547,6 +589,8 @@ let () =
           Alcotest.test_case "pigeonhole 3/2" `Quick test_sat_pigeonhole_3_2;
           Alcotest.test_case "pigeonhole 4/3" `Quick test_sat_pigeonhole_4_3;
           Alcotest.test_case "incremental blocking" `Quick test_sat_incremental_blocking;
+          Alcotest.test_case "budget unknown" `Quick test_sat_budget_unknown;
+          Alcotest.test_case "budget generous" `Quick test_sat_budget_generous_is_exact;
           QCheck_alcotest.to_alcotest prop_sat_matches_brute_force;
         ] );
       ( "solver",
@@ -570,6 +614,8 @@ let () =
           Alcotest.test_case "count bv2" `Quick test_enumeration_count;
           Alcotest.test_case "distinct" `Quick test_enumeration_distinct;
           Alcotest.test_case "diversify valid" `Quick test_enumeration_diversify_valid;
+          Alcotest.test_case "budget exceeded surfaces" `Quick
+            test_solver_budget_exceeded_surfaces;
         ] );
       ( "differential",
         [
