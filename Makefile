@@ -5,7 +5,7 @@ DUNE ?= dune
 SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
 	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100
 
-.PHONY: all build test smoke check bench clean
+.PHONY: all build test smoke check bench bench-smoke clean
 
 all: build
 
@@ -17,11 +17,19 @@ test:
 
 smoke: build
 	$(DUNE) exec bin/scamv_cli.exe -- $(SMOKE)
+	$(DUNE) exec bin/scamv_cli.exe -- $(SMOKE) --jobs 4
 
 check: build test smoke
 
 bench:
 	$(DUNE) exec bench/main.exe
+
+# Small multicore campaign benchmark: times the same seeded campaign at
+# --jobs 1/2/4, writes BENCH_campaign.json, and validates the emitted
+# schema (cross-checking that statistics are identical across job counts).
+bench-smoke: build
+	$(DUNE) exec bench/main.exe -- campaign --smoke --out BENCH_campaign.smoke.json
+	$(DUNE) exec bench/main.exe -- validate-bench BENCH_campaign.smoke.json
 
 clean:
 	$(DUNE) clean

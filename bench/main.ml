@@ -703,14 +703,203 @@ let micro () =
     (Text_table.render ~header:[ "benchmark"; "time per run" ] ~rows:(List.sort compare !rows))
 
 (* ------------------------------------------------------------------ *)
+(* Multicore campaign benchmark (BENCH_campaign.json)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Scamv_util.Json
+module Summary = Scamv_util.Summary
+module Sat = Scamv_smt.Sat
+
+(* One fixed, seeded campaign timed at jobs in {1, 2, 4}.  The workload is
+   identical across job counts (same seed, same per-program RNG streams),
+   so wall-clock ratios are honest speedups and every count must agree —
+   the harness cross-checks that and records the verdict in the JSON. *)
+let bench_campaign ~smoke ~out () =
+  let programs = if smoke then 4 else 24 in
+  let tests = if smoke then 3 else 12 in
+  let seed = 2021L in
+  let name = "bench mct-vs-mspec template A" in
+  let make_cfg () =
+    Campaign.make ~name ~template:Templates.template_a
+      ~setup:(Refinement.mct_vs_mspec ()) ~view:Executor.Full_cache ~programs
+      ~tests_per_program:tests ~seed ()
+  in
+  let job_counts = [ 1; 2; 4 ] in
+  Format.printf "@.## Multicore campaign benchmark (%s: %d programs x %d tests)@.@.%!"
+    (if smoke then "smoke" else "full")
+    programs tests;
+  let runs =
+    List.map
+      (fun jobs ->
+        let cfg = make_cfg () in
+        let conflicts0 = Sat.global_conflict_count () in
+        let t0 = Unix.gettimeofday () in
+        let outcome = Campaign.run ~jobs cfg in
+        let wall = Unix.gettimeofday () -. t0 in
+        let conflicts = Sat.global_conflict_count () - conflicts0 in
+        Format.printf "jobs %d: %.2fs wall, %d experiments, %d conflicts@.%!" jobs
+          wall outcome.Campaign.stats.Stats.experiments conflicts;
+        (jobs, wall, conflicts, outcome.Campaign.stats))
+      job_counts
+  in
+  let wall_of j =
+    List.find_map (fun (jobs, w, _, _) -> if jobs = j then Some w else None) runs
+    |> Option.get
+  in
+  let baseline = wall_of 1 in
+  let counts (s : Stats.t) =
+    ( s.Stats.programs,
+      s.Stats.experiments,
+      s.Stats.counterexamples,
+      s.Stats.inconclusive,
+      s.Stats.programs_with_counterexample )
+  in
+  let _, _, _, stats1 = List.hd runs in
+  let deterministic =
+    List.for_all (fun (_, _, _, s) -> counts s = counts stats1) runs
+  in
+  if not deterministic then
+    Format.printf "WARNING: statistics differ across job counts!@.";
+  let run_json (jobs, wall, conflicts, (s : Stats.t)) =
+    Json.Obj
+      [
+        ("jobs", Json.Num (float_of_int jobs));
+        ("wall_seconds", Json.Num wall);
+        ("speedup_vs_jobs1", Json.Num (if wall > 0. then baseline /. wall else 0.));
+        ( "programs_per_second",
+          Json.Num (if wall > 0. then float_of_int programs /. wall else 0.) );
+        ("sat_conflicts", Json.Num (float_of_int conflicts));
+        ( "phases",
+          Json.Obj
+            [
+              ( "generation_seconds",
+                Json.Num (Summary.total s.Stats.generation_time) );
+              ( "execution_seconds",
+                Json.Num (Summary.total s.Stats.execution_time) );
+            ] );
+        ("experiments", Json.Num (float_of_int s.Stats.experiments));
+        ("counterexamples", Json.Num (float_of_int s.Stats.counterexamples));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema_version", Json.Num 1.);
+        ("benchmark", Json.Str "campaign-multicore");
+        ( "campaign",
+          Json.Obj
+            [
+              ("name", Json.Str name);
+              ("template", Json.Str "A");
+              ("setup", Json.Str "mct-vs-mspec");
+              ("programs", Json.Num (float_of_int programs));
+              ("tests_per_program", Json.Num (float_of_int tests));
+              ("seed", Json.Num (Int64.to_float seed));
+              ("smoke", Json.Bool smoke);
+            ] );
+        ( "available_cores",
+          Json.Num (float_of_int (Domain.recommended_domain_count ())) );
+        ("deterministic_across_jobs", Json.Bool deterministic);
+        ("runs", Json.Arr (List.map run_json runs));
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %s@." out;
+  if not deterministic then exit 1
+
+(* Validates that a BENCH_campaign.json emitted above is well-formed:
+   parses, carries the required keys, and covers jobs {1, 2, 4}.  Used by
+   `make bench-smoke` / CI so a schema regression fails the build. *)
+let validate_bench file =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  let text =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error m -> fail "%s" m
+  in
+  let doc = try Json.of_string text with Json.Parse_error m -> fail "%s: %s" file m in
+  let member k j =
+    match Json.member k j with Some v -> v | None -> fail "missing key %S" k
+  in
+  let num k j =
+    match member k j with Json.Num n -> n | _ -> fail "key %S is not a number" k
+  in
+  ignore (num "schema_version" doc);
+  let campaign = member "campaign" doc in
+  List.iter
+    (fun k -> ignore (member k campaign))
+    [ "name"; "programs"; "tests_per_program"; "seed" ];
+  ignore (num "available_cores" doc);
+  (match member "deterministic_across_jobs" doc with
+  | Json.Bool true -> ()
+  | Json.Bool false -> fail "runs were not deterministic across job counts"
+  | _ -> fail "deterministic_across_jobs is not a bool");
+  let runs =
+    match member "runs" doc with
+    | Json.Arr l -> l
+    | _ -> fail "key \"runs\" is not an array"
+  in
+  let seen =
+    List.map
+      (fun r ->
+        List.iter
+          (fun k -> ignore (num k r))
+          [ "wall_seconds"; "speedup_vs_jobs1"; "programs_per_second"; "sat_conflicts" ];
+        let phases = member "phases" r in
+        ignore (num "generation_seconds" phases);
+        ignore (num "execution_seconds" phases);
+        int_of_float (num "jobs" r))
+      runs
+  in
+  List.iter
+    (fun j -> if not (List.mem j seen) then fail "no run with jobs = %d" j)
+    [ 1; 2; 4 ];
+  Printf.printf "OK: %s is a valid campaign benchmark (%d runs)\n" file
+    (List.length runs)
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  (match args with
+  | "validate-bench" :: file :: _ ->
+    validate_bench file;
+    exit 0
+  | _ -> ());
   let full = List.mem "--full" args in
-  let args = List.filter (fun a -> a <> "--full") args in
+  let smoke = List.mem "--smoke" args in
+  let out =
+    let rec find = function
+      | "--out" :: f :: _ -> f
+      | _ :: rest -> find rest
+      | [] -> "BENCH_campaign.json"
+    in
+    find args
+  in
+  let args =
+    let rec strip = function
+      | "--out" :: _ :: rest -> strip rest
+      | a :: rest when a = "--full" || a = "--smoke" -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    strip args
+  in
   let what = match args with [] -> [ "all" ] | _ -> args in
+  (* `campaign` is deliberately not part of "all": it re-runs the same
+     campaign three times and is meant for the bench-smoke target / perf
+     trajectory, not the paper-reproduction sweep. *)
+  if List.mem "campaign" what then begin
+    bench_campaign ~smoke ~out ();
+    if what = [ "campaign" ] then begin
+      Format.printf "@.done.@.";
+      exit 0
+    end
+  end;
   let wants k = List.mem k what || List.mem "all" what in
   let table1 =
     if wants "table1" then Some (run_rows ~full ~title:"Table 1" table1_rows) else None

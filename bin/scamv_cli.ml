@@ -151,9 +151,19 @@ let campaign_cmd =
       value & opt int64 0xFA17L
       & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the injected fault stream.")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains running program pipelines in parallel (0 = all \
+             cores).  Results are merged in program order, so journal, \
+             statistics and progress output are identical to $(b,--jobs 1) \
+             for the same seed; only timings differ.")
+  in
   let run template_name setup_name programs tests seed verbose csv resume
       max_conflicts max_decisions max_propagations max_attempts confirm
-      fault_rate fault_seed =
+      fault_rate fault_seed jobs =
     let ( let* ) = Result.bind in
     let* template = lookup_template template_name in
     let* setup = lookup_setup setup_name in
@@ -166,6 +176,9 @@ let campaign_cmd =
       if max_attempts < 1 || confirm < 1 then
         Error (`Msg "--max-attempts and --confirm must be at least 1")
       else Ok ()
+    in
+    let* () =
+      if jobs < 0 then Error (`Msg "--jobs must be at least 0") else Ok ()
     in
     let* () =
       match resume with
@@ -200,7 +213,7 @@ let campaign_cmd =
     in
     let on_event = if verbose then print_endline else fun _ -> () in
     let journal = Scamv.Journal.create ?path:csv () in
-    let outcome = Campaign.run ~on_event ~journal ?resume cfg in
+    let outcome = Campaign.run ~on_event ~journal ?resume ~jobs cfg in
     Scamv.Journal.close journal;
     print_string
       (Scamv_util.Text_table.render ~header:Stats.header
@@ -218,7 +231,7 @@ let campaign_cmd =
       const run $ template_arg $ setup_arg $ programs_arg $ tests_arg $ seed_arg
       $ verbose_arg $ csv_arg $ resume_arg $ max_conflicts_arg $ max_decisions_arg
       $ max_propagations_arg $ max_attempts_arg $ confirm_arg $ fault_rate_arg
-      $ fault_seed_arg)
+      $ fault_seed_arg $ jobs_arg)
   in
   let info =
     Cmd.info "campaign" ~doc:"Run a validation campaign and print Table-1-style statistics."

@@ -6,6 +6,7 @@ module Faults = Scamv_microarch.Faults
 module Sat = Scamv_smt.Sat
 module Splitmix = Scamv_util.Splitmix
 module Stopwatch = Scamv_util.Stopwatch
+module Pool = Scamv_util.Pool
 
 type config = {
   name : string;
@@ -20,11 +21,12 @@ type config = {
   sat_budget : Sat.budget option;
   retry : Retry.policy;
   faults : Faults.config option;
+  clock : Stopwatch.clock;
 }
 
 let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
     ?(tests_per_program = 30) ?(seed = 2021L) ?sat_budget
-    ?(retry = Retry.default) ?faults () =
+    ?(retry = Retry.default) ?faults ?(clock = Stopwatch.wall) () =
   {
     name;
     template;
@@ -38,6 +40,7 @@ let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
     sat_budget;
     retry;
     faults;
+    clock;
   }
 
 type outcome = {
@@ -86,19 +89,170 @@ let replay stats journal watch events =
       | Journal.Program_failed _ -> stats := Stats.record_skipped_program !stats)
     events
 
-let run ?(on_event = fun _ -> ()) ?journal ?resume cfg =
-  let watch = Stopwatch.start () in
+(* ---- per-program pipeline (worker side) ----
+
+   One program's whole synthesize→solve→run→compare unit, exactly as the
+   sequential engine ran it, except that journal/stats/progress effects are
+   buffered as an ordered event list instead of applied directly: workers
+   run on pool domains and must not touch shared state (see Pool).  Every
+   source of randomness is drawn from [program_rng], a stream split off the
+   campaign seed in program order before any program runs, so the returned
+   events depend only on (config, campaign seed, program index) — never on
+   scheduling. *)
+
+let run_program cfg pipeline_cfg ~program_index program_rng : Journal.event list =
+  let events_rev = ref [] in
+  let emit ev = events_rev := ev :: !events_rev in
+  (* Any exception in any stage — generation, symbolic execution, relation
+     synthesis, SMT enumeration, execution — abandons this program with a
+     recorded failure instead of killing the campaign: one pathological
+     program must not cost hours of results. *)
+  (try
+     let { Templates.program; template_name }, program_rng =
+       Gen.run cfg.template program_rng
+     in
+     let pipeline_seed, program_rng = Splitmix.next program_rng in
+     let program_rng = ref program_rng in
+     let session, prepare_seconds =
+       Stopwatch.time ~clock:cfg.clock (fun () ->
+           Pipeline.prepare ~seed:pipeline_seed pipeline_cfg program)
+     in
+     let continue_tests = ref true in
+     let test_index = ref 0 in
+     (* The per-program preparation cost (symbolic execution + relation
+        synthesis) is charged to the first test case, matching how the
+        paper reports average generation time per experiment. *)
+     let carry_gen_cost = ref prepare_seconds in
+     while !continue_tests && !test_index < cfg.tests_per_program do
+       let step, gen_seconds =
+         Stopwatch.time ~clock:cfg.clock (fun () -> Pipeline.next_test_case session)
+       in
+       match step with
+       | Pipeline.Exhausted -> continue_tests := false
+       | Pipeline.Quarantined { pair; reason } ->
+         (* The pair is out of the queue; its generation time is carried
+            into the next successful test case.  No test slot is
+            consumed. *)
+         carry_gen_cost := !carry_gen_cost +. gen_seconds;
+         emit
+           (Journal.Quarantined
+              { campaign = cfg.name; program_index; pair; reason })
+       | Pipeline.Case tc ->
+         let experiment =
+           {
+             Executor.program;
+             state1 = tc.Pipeline.state1;
+             state2 = tc.Pipeline.state2;
+             train = tc.Pipeline.train;
+           }
+         in
+         let retry_outcome, exe_seconds =
+           Stopwatch.time ~clock:cfg.clock (fun () ->
+               Retry.execute cfg.retry (fun ~attempt:_ ->
+                   let exp_seed, program_rng' = Splitmix.next !program_rng in
+                   program_rng := program_rng';
+                   Executor.run_observed ~seed:exp_seed ?faults:cfg.faults
+                     cfg.executor experiment))
+         in
+         let total_gen_seconds = gen_seconds +. !carry_gen_cost in
+         carry_gen_cost := 0.0;
+         emit
+           (Journal.Experiment
+              {
+                Journal.campaign = cfg.name;
+                program_index;
+                test_index = !test_index;
+                template = template_name;
+                path_pair = tc.Pipeline.pair;
+                verdict = retry_outcome.Retry.verdict;
+                generation_seconds = total_gen_seconds;
+                execution_seconds = exe_seconds;
+                retries = retry_outcome.Retry.retries;
+                faults = retry_outcome.Retry.faults;
+              });
+         incr test_index
+     done
+   with
+  | (Stack_overflow | Out_of_memory | Sys.Break) as fatal ->
+    (* Resource exhaustion of the whole process and user interrupts must
+       not be swallowed as per-program noise. *)
+    raise fatal
+  | exn ->
+    emit
+      (Journal.Program_failed
+         { campaign = cfg.name; program_index; reason = Printexc.to_string exn }));
+  List.rev !events_rev
+
+(* ---- merge (consumer side) ----
+
+   Fold one completed program's event buffer into the journal, statistics
+   and progress stream.  The pool delivers buffers in program order, so
+   everything observable — journal CSV bytes, checkpoint prefixes, final
+   statistics, progress lines — is identical whatever [jobs] was. *)
+
+let merge_program cfg ~on_event ~journal ~watch ~stats ~program_index events =
+  let found = ref false in
+  List.iter
+    (fun ev ->
+      Option.iter (fun j -> Journal.record_event j ev) journal;
+      match ev with
+      | Journal.Experiment e ->
+        let verdict = e.Journal.verdict in
+        let was_first =
+          verdict = Executor.Distinguishable && (!stats).Stats.counterexamples = 0
+        in
+        let elapsed = Stopwatch.elapsed_s watch in
+        stats :=
+          Stats.record_experiment !stats ~verdict ~retries:e.Journal.retries
+            ~faults:e.Journal.faults ~gen_seconds:e.Journal.generation_seconds
+            ~exe_seconds:e.Journal.execution_seconds ~elapsed ();
+        if verdict = Executor.Distinguishable then found := true;
+        if was_first then
+          on_event
+            (Printf.sprintf
+               "[%s] first counterexample after %.2fs (program %d, test %d)"
+               cfg.name elapsed program_index e.Journal.test_index)
+      | Journal.Quarantined { pair; reason; _ } ->
+        stats := Stats.record_quarantine !stats;
+        on_event
+          (Printf.sprintf "[%s] program %d: quarantined path pair (%d,%d): %s"
+             cfg.name program_index (fst pair) (snd pair) reason)
+      | Journal.Program_failed { reason; _ } ->
+        stats := Stats.record_skipped_program !stats;
+        on_event
+          (Printf.sprintf "[%s] program %d failed: %s" cfg.name program_index reason))
+    events;
+  stats := Stats.record_program !stats ~found_counterexample:!found;
+  if (program_index + 1) mod 25 = 0 then
+    on_event
+      (Printf.sprintf "[%s] %d/%d programs, %d experiments, %d counterexamples"
+         cfg.name (program_index + 1) cfg.programs (!stats).Stats.experiments
+         (!stats).Stats.counterexamples)
+
+let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
+  let jobs = Pool.resolve_jobs jobs in
+  let watch = Stopwatch.start ~clock:cfg.clock () in
   let stats = ref Stats.empty in
-  let rng = ref (Splitmix.of_seed cfg.seed) in
   let pipeline_cfg =
     let pc = cfg.pipeline cfg.setup in
     match cfg.sat_budget with
     | None -> pc
     | Some b -> { pc with Pipeline.budget = Some b }
   in
+  (* Split one RNG stream per program off the campaign seed, in program
+     order, before anything runs: program i's randomness is a pure function
+     of (seed, i), independent of resume points and worker scheduling. *)
+  let streams =
+    let rng = ref (Splitmix.of_seed cfg.seed) in
+    Array.init cfg.programs (fun _ ->
+        let stream, rng' = Splitmix.split !rng in
+        rng := rng';
+        stream)
+  in
   let start_index, replayed =
     match resume with None -> (0, []) | Some path -> load_checkpoint path
   in
+  let start_index = min start_index cfg.programs in
   if start_index > 0 then begin
     replay stats journal watch replayed;
     for i = 0 to start_index - 1 do
@@ -116,127 +270,12 @@ let run ?(on_event = fun _ -> ()) ?journal ?resume cfg =
       (Printf.sprintf "[%s] resumed at program %d (%d events replayed)" cfg.name
          start_index (List.length replayed))
   end;
-  for program_index = 0 to cfg.programs - 1 do
-    let program_rng, rng' = Splitmix.split !rng in
-    rng := rng';
-    if program_index >= start_index then begin
-      let found = ref false in
-      (* Any exception in any stage — generation, symbolic execution,
-         relation synthesis, SMT enumeration, execution — abandons this
-         program with a recorded failure instead of killing the campaign:
-         one pathological program must not cost hours of results. *)
-      (try
-         let { Templates.program; template_name }, program_rng =
-           Gen.run cfg.template program_rng
-         in
-         let pipeline_seed, program_rng = Splitmix.next program_rng in
-         let program_rng = ref program_rng in
-         let session, prepare_seconds =
-           Stopwatch.time (fun () ->
-               Pipeline.prepare ~seed:pipeline_seed pipeline_cfg program)
-         in
-         let continue_tests = ref true in
-         let test_index = ref 0 in
-         (* The per-program preparation cost (symbolic execution + relation
-            synthesis) is charged to the first test case, matching how the
-            paper reports average generation time per experiment. *)
-         let carry_gen_cost = ref prepare_seconds in
-         while !continue_tests && !test_index < cfg.tests_per_program do
-           let step, gen_seconds =
-             Stopwatch.time (fun () -> Pipeline.next_test_case session)
-           in
-           match step with
-           | Pipeline.Exhausted -> continue_tests := false
-           | Pipeline.Quarantined { pair; reason } ->
-             (* The pair is out of the queue; its generation time is
-                carried into the next successful test case.  No test slot
-                is consumed. *)
-             carry_gen_cost := !carry_gen_cost +. gen_seconds;
-             stats := Stats.record_quarantine !stats;
-             Option.iter
-               (fun j ->
-                 Journal.record_event j
-                   (Journal.Quarantined
-                      { campaign = cfg.name; program_index; pair; reason }))
-               journal;
-             on_event
-               (Printf.sprintf "[%s] program %d: quarantined path pair (%d,%d): %s"
-                  cfg.name program_index (fst pair) (snd pair) reason)
-           | Pipeline.Case tc ->
-             let experiment =
-               {
-                 Executor.program;
-                 state1 = tc.Pipeline.state1;
-                 state2 = tc.Pipeline.state2;
-                 train = tc.Pipeline.train;
-               }
-             in
-             let retry_outcome, exe_seconds =
-               Stopwatch.time (fun () ->
-                   Retry.execute cfg.retry (fun ~attempt:_ ->
-                       let exp_seed, program_rng' = Splitmix.next !program_rng in
-                       program_rng := program_rng';
-                       Executor.run_observed ~seed:exp_seed ?faults:cfg.faults
-                         cfg.executor experiment))
-             in
-             let verdict = retry_outcome.Retry.verdict in
-             let elapsed = Stopwatch.elapsed_s watch in
-             let was_first =
-               verdict = Executor.Distinguishable
-               && (!stats).Stats.counterexamples = 0
-             in
-             let total_gen_seconds = gen_seconds +. !carry_gen_cost in
-             stats :=
-               Stats.record_experiment !stats ~verdict
-                 ~retries:retry_outcome.Retry.retries
-                 ~faults:retry_outcome.Retry.faults ~gen_seconds:total_gen_seconds
-                 ~exe_seconds ~elapsed ();
-             carry_gen_cost := 0.0;
-             Option.iter
-               (fun j ->
-                 Journal.record j
-                   {
-                     Journal.campaign = cfg.name;
-                     program_index;
-                     test_index = !test_index;
-                     template = template_name;
-                     path_pair = tc.Pipeline.pair;
-                     verdict;
-                     generation_seconds = total_gen_seconds;
-                     execution_seconds = exe_seconds;
-                     retries = retry_outcome.Retry.retries;
-                     faults = retry_outcome.Retry.faults;
-                   })
-               journal;
-             if verdict = Executor.Distinguishable then found := true;
-             if was_first then
-               on_event
-                 (Printf.sprintf
-                    "[%s] first counterexample after %.2fs (program %d, test %d)"
-                    cfg.name elapsed program_index !test_index);
-             incr test_index
-         done
-       with
-      | (Stack_overflow | Out_of_memory | Sys.Break) as fatal ->
-        (* Resource exhaustion of the whole process and user interrupts
-           must not be swallowed as per-program noise. *)
-        raise fatal
-      | exn ->
-        let reason = Printexc.to_string exn in
-        stats := Stats.record_skipped_program !stats;
-        Option.iter
-          (fun j ->
-            Journal.record_event j
-              (Journal.Program_failed { campaign = cfg.name; program_index; reason }))
-          journal;
-        on_event
-          (Printf.sprintf "[%s] program %d failed: %s" cfg.name program_index reason));
-      stats := Stats.record_program !stats ~found_counterexample:!found;
-      if (program_index + 1) mod 25 = 0 then
-        on_event
-          (Printf.sprintf "[%s] %d/%d programs, %d experiments, %d counterexamples"
-             cfg.name (program_index + 1) cfg.programs (!stats).Stats.experiments
-             (!stats).Stats.counterexamples)
-    end
-  done;
+  Pool.run_ordered ~jobs
+    ~tasks:(cfg.programs - start_index)
+    ~worker:(fun k ->
+      let program_index = start_index + k in
+      run_program cfg pipeline_cfg ~program_index streams.(program_index))
+    ~consume:(fun k events ->
+      merge_program cfg ~on_event ~journal ~watch ~stats
+        ~program_index:(start_index + k) events);
   { config_name = cfg.name; stats = !stats; wall_seconds = Stopwatch.elapsed_s watch }

@@ -7,7 +7,15 @@
     per-program stage is captured as a recorded failure rather than a
     crash, hard path pairs are quarantined when their SAT budget runs out,
     flaky experiments are retried under a majority-vote policy, and a
-    persistently journaled campaign can be resumed after being killed. *)
+    persistently journaled campaign can be resumed after being killed.
+
+    Campaigns are embarrassingly parallel — each generated program is an
+    independent synthesize→solve→run→compare unit — and {!run} exploits
+    that through a deterministic Domain pool ({!Scamv_util.Pool}): with
+    [~jobs:n] the per-program pipelines run on [n] domains while journal
+    rows, statistics and progress events are merged strictly in program
+    order, so every observable output is identical to a [~jobs:1] run
+    under the same seed (see DESIGN.md Sec. 5). *)
 
 type config = {
   name : string;
@@ -25,6 +33,11 @@ type config = {
   retry : Retry.policy;  (** executor retry/majority-vote policy *)
   faults : Scamv_microarch.Faults.config option;
       (** board-noise fault injection, applied to every executor run *)
+  clock : Scamv_util.Stopwatch.clock;
+      (** time source for all measured durations;
+          {!Scamv_util.Stopwatch.frozen} makes every timing field 0 and
+          campaign output fully deterministic (used by the
+          reproducibility tests) *)
 }
 
 val make :
@@ -38,6 +51,7 @@ val make :
   ?sat_budget:Scamv_smt.Sat.budget ->
   ?retry:Retry.policy ->
   ?faults:Scamv_microarch.Faults.config ->
+  ?clock:Scamv_util.Stopwatch.clock ->
   unit ->
   config
 
@@ -51,12 +65,24 @@ val run :
   ?on_event:(string -> unit) ->
   ?journal:Journal.t ->
   ?resume:string ->
+  ?jobs:int ->
   config ->
   outcome
 (** Runs the whole campaign.  [on_event] receives one-line progress
     messages (program counts, first counterexample, quarantines,
     failures, ...); every event is appended to [journal] when one is
     supplied.
+
+    [jobs] (default [1]) is the number of worker domains running program
+    pipelines concurrently; [0] means all cores
+    ({!Scamv_util.Pool.default_jobs}).  Each program consumes a dedicated
+    RNG stream split off the campaign seed in program order, and completed
+    programs are merged in program order on the calling domain, so journal
+    contents, checkpoint prefixes, final statistics and the sequence of
+    [on_event] lines do not depend on [jobs]; only the timing *values*
+    (seconds columns, time to first counterexample) reflect the actual
+    schedule.  [on_event] and [journal] are only ever touched from the
+    calling domain.
 
     [resume] names a journal CSV written by an earlier (killed) run of the
     same configuration: programs that completed there are replayed into

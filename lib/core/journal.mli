@@ -3,7 +3,14 @@
     provenance and verdict, along with the campaign's fault events
     (quarantined path pairs, failed programs).  A journal can persist
     itself incrementally to disk as a CSV and be loaded back, which is the
-    basis of campaign checkpoint/resume. *)
+    basis of campaign checkpoint/resume.
+
+    Thread-safety: a journal buffers records and owns an output channel
+    with no internal locking.  In a parallel campaign it is only ever
+    touched from the {e consuming} (calling) domain — worker domains
+    return event lists that {!Campaign.run} merges in program order — so
+    no synchronization is needed and the CSV byte stream is identical to a
+    single-domain run. *)
 
 type entry = {
   campaign : string;

@@ -62,6 +62,27 @@ let record_experiment t ~verdict ?(retries = 0) ?(faults = 0) ~gen_seconds
       | None -> if counterexample then Some elapsed else None);
   }
 
+let merge a b =
+  {
+    programs = a.programs + b.programs;
+    programs_with_counterexample =
+      a.programs_with_counterexample + b.programs_with_counterexample;
+    experiments = a.experiments + b.experiments;
+    counterexamples = a.counterexamples + b.counterexamples;
+    inconclusive = a.inconclusive + b.inconclusive;
+    skipped_programs = a.skipped_programs + b.skipped_programs;
+    budget_exceeded = a.budget_exceeded + b.budget_exceeded;
+    retries = a.retries + b.retries;
+    faults_observed = a.faults_observed + b.faults_observed;
+    generation_time = Summary.merge a.generation_time b.generation_time;
+    execution_time = Summary.merge a.execution_time b.execution_time;
+    time_to_first_counterexample =
+      (match (a.time_to_first_counterexample, b.time_to_first_counterexample) with
+      | Some x, Some y -> Some (min x y)
+      | (Some _ as t), None | None, (Some _ as t) -> t
+      | None, None -> None);
+  }
+
 let counterexample_rate t =
   if t.experiments = 0 then 0.0
   else float_of_int t.counterexamples /. float_of_int t.experiments

@@ -38,6 +38,14 @@ val record_experiment :
   unit ->
   t
 
+val merge : t -> t -> t
+(** Pure merge of two disjoint sub-campaigns' statistics: counts add,
+    timing summaries merge, and the earlier time-to-first-counterexample
+    wins (both operands are assumed to measure elapsed time against the
+    same campaign clock).  [empty] is the identity; merge is associative
+    and commutative, so per-worker statistics buffers can be combined in
+    any grouping. *)
+
 val counterexample_rate : t -> float
 val pp : Format.formatter -> t -> unit
 

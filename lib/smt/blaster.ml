@@ -1,5 +1,14 @@
 module Bits = Scamv_util.Bits
 
+(* Term-keyed caches use Term's monomorphic equal/hash instead of the
+   polymorphic defaults; lookups here are the hottest path of blasting. *)
+module Term_tbl = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
 type gate_key =
   | K_and of Sat.lit * Sat.lit
   | K_xor of Sat.lit * Sat.lit
@@ -9,8 +18,8 @@ type t = {
   sat : Sat.t;
   true_lit : Sat.lit;
   gates : (gate_key, Sat.lit) Hashtbl.t;
-  bool_cache : (Term.t, Sat.lit) Hashtbl.t;
-  bv_cache : (Term.t, Sat.lit array) Hashtbl.t;
+  bool_cache : Sat.lit Term_tbl.t;
+  bv_cache : Sat.lit array Term_tbl.t;
   inputs : (string, Sort.t * Sat.lit array) Hashtbl.t;
 }
 
@@ -22,8 +31,8 @@ let create ?seed ?default_phase () =
     sat;
     true_lit = Sat.pos v;
     gates = Hashtbl.create 1024;
-    bool_cache = Hashtbl.create 256;
-    bv_cache = Hashtbl.create 256;
+    bool_cache = Term_tbl.create 256;
+    bv_cache = Term_tbl.create 256;
     inputs = Hashtbl.create 64;
   }
 
@@ -231,7 +240,7 @@ let input_literals t (name, sort) =
 (* ---- term translation ---- *)
 
 let rec blast_bool t (term : Term.t) : Sat.lit =
-  match Hashtbl.find_opt t.bool_cache term with
+  match Term_tbl.find_opt t.bool_cache term with
   | Some l -> l
   | None ->
     let l =
@@ -264,11 +273,11 @@ let rec blast_bool t (term : Term.t) : Sat.lit =
       | Term.Select _ | Term.Store _ ->
         invalid_arg "Blaster: memory operation reached the blaster"
     in
-    Hashtbl.add t.bool_cache term l;
+    Term_tbl.add t.bool_cache term l;
     l
 
 and blast_bv t (term : Term.t) : Sat.lit array =
-  match Hashtbl.find_opt t.bv_cache term with
+  match Term_tbl.find_opt t.bv_cache term with
   | Some v -> v
   | None ->
     let v =
@@ -298,7 +307,7 @@ and blast_bv t (term : Term.t) : Sat.lit array =
       | Term.Slt _ | Term.Sle _ | Term.Var _ ->
         raise (Term.Sort_error "boolean term in bitvector context")
     in
-    Hashtbl.add t.bv_cache term v;
+    Term_tbl.add t.bv_cache term v;
     v
 
 and blast_binop t op a b =

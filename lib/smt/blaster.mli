@@ -1,6 +1,11 @@
 (** Tseitin bit-blaster: turns array-free terms into CNF over a {!Sat}
     solver, maintaining a map from input variables to their literals so
-    models can be read back and blocking clauses formulated. *)
+    models can be read back and blocking clauses formulated.
+
+    Thread-safety: a blasting context owns mutable hash tables (gate and
+    term caches) and a {!Sat} instance, none of it synchronized — a
+    context is {e domain-confined} to the domain that created it, matching
+    the campaign design where each worker domain builds its own contexts. *)
 
 type t
 

@@ -79,6 +79,13 @@ let stats_conflicts t = t.conflicts
 let stats_decisions t = t.decisions
 let stats_propagations t = t.propagations
 
+(* Process-global conflict counter, summed across every solver instance on
+   every domain.  The benchmark harness reads it before/after a campaign to
+   report how much solver work a run did, independently of how sessions are
+   created and discarded inside the pipeline. *)
+let global_conflicts = Atomic.make 0
+let global_conflict_count () = Atomic.get global_conflicts
+
 (* ---- dynamic growth ---- *)
 
 let grow_arr a n fill =
@@ -229,37 +236,44 @@ let propagate t : clause option =
     let l = t.trail.(t.qhead) in
     t.qhead <- t.qhead + 1;
     (* l became true; visit clauses watching ~l via index l. *)
+    let false_lit = negate l in
     let ws = t.watches.(l) in
     t.watches.(l) <- [];
     let rec go = function
       | [] -> ()
-      | c :: rest -> (
-        (* Ensure the false literal is at position 1. *)
-        let false_lit = negate l in
-        if c.(0) = false_lit then begin
-          c.(0) <- c.(1);
-          c.(1) <- false_lit
-        end;
-        if lit_value t c.(0) = 1 then begin
-          (* Clause already satisfied; keep watching. *)
+      | c :: rest ->
+        (* Blocker-style satisfaction check: if the *other* watched
+           literal is already true the clause needs no work at all — keep
+           watching without touching the clause array.  This is the
+           common case on the hot path, so it pays to do it before the
+           position-1 normalization swap. *)
+        let other = if c.(0) = false_lit then c.(1) else c.(0) in
+        if lit_value t other = 1 then begin
           t.watches.(l) <- c :: t.watches.(l);
           go rest
         end
         else begin
+          (* Ensure the false literal is at position 1. *)
+          if c.(0) = false_lit then begin
+            c.(0) <- c.(1);
+            c.(1) <- false_lit
+          end;
           (* Look for a new literal to watch. *)
           let n = Array.length c in
-          let rec find i = if i >= n then -1 else if lit_value t c.(i) <> -1 then i else find (i + 1) in
-          let k = find 2 in
-          if k >= 0 then begin
-            c.(1) <- c.(k);
-            c.(k) <- false_lit;
+          let k = ref 2 in
+          while !k < n && lit_value t c.(!k) = -1 do
+            incr k
+          done;
+          if !k < n then begin
+            c.(1) <- c.(!k);
+            c.(!k) <- false_lit;
             watch t (negate c.(1)) c;
             go rest
           end
           else if lit_value t c.(0) = -1 then begin
-            (* Conflict: restore remaining watches and stop. *)
-            t.watches.(l) <- c :: t.watches.(l);
-            List.iter (fun c' -> t.watches.(l) <- c' :: t.watches.(l)) rest;
+            (* Conflict: splice the unvisited suffix back into the watch
+               list in one pass and stop. *)
+            t.watches.(l) <- List.rev_append rest (c :: t.watches.(l));
             conflict := Some c
           end
           else begin
@@ -268,7 +282,7 @@ let propagate t : clause option =
             enqueue t c.(0) (Some c);
             go rest
           end
-        end)
+        end
     in
     go ws
   done;
@@ -456,6 +470,7 @@ let solve ?(assumptions = [||]) ?(budget = unlimited) t =
             match propagate t with
             | Some confl ->
               t.conflicts <- t.conflicts + 1;
+              Atomic.incr global_conflicts;
               incr local_conflicts;
               if decision_level t = 0 then begin
                 t.unsat <- true;

@@ -4,7 +4,13 @@
     This is the decision core under the bit-blaster; it replaces the Z3
     backend of the original Scam-V pipeline.  The solver is incremental in
     the sense needed for model enumeration: clauses (e.g. blocking
-    clauses) can be added between [solve] calls. *)
+    clauses) can be added between [solve] calls.
+
+    Thread-safety: a solver instance is mutable and {e domain-confined} —
+    it must only ever be used from the domain that created it.  Parallel
+    campaigns create one solver per enumeration session inside each
+    worker.  The only cross-domain state in this module is the global
+    conflict counter behind {!global_conflict_count}, which is atomic. *)
 
 type t
 
@@ -100,3 +106,9 @@ val stats_conflicts : t -> int
 
 val stats_decisions : t -> int
 val stats_propagations : t -> int
+
+val global_conflict_count : unit -> int
+(** Process-wide conflict total, summed over every solver instance on
+    every domain (atomically maintained).  The benchmark harness reads it
+    before/after a campaign to report solver work per run; deltas are
+    deterministic for a seeded campaign. *)

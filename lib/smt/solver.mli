@@ -2,7 +2,13 @@
 
     This module plays the role Z3 plays in the original Scam-V pipeline
     (Sec. 5.2): relation formulas come in, concrete register/memory
-    valuations (test cases) come out. *)
+    valuations (test cases) come out.
+
+    Thread-safety: enumeration sessions wrap a mutable {!Blaster} context
+    and are {e domain-confined} — create, use and discard a session within
+    a single domain.  Parallel campaigns get their parallelism by running
+    whole per-program pipelines (each with its own session) on separate
+    domains; nothing in this module is shared between them. *)
 
 type result = Sat of Model.t | Unsat
 

@@ -63,9 +63,132 @@ let rec sort_of = function
   | Select (_, _) -> Sort.Bv 64
   | Store (_, _, _) -> Sort.Mem
 
-let equal a b = Stdlib.compare a b = 0
+(* Monomorphic structural equality with a physical-equality fast path.
+   Cache lookups in the bit-blaster compare a term against previously
+   blasted terms whose subtrees are usually physically shared (smart
+   constructors reuse argument terms), so [==] cuts most deep comparisons
+   short; the polymorphic [Stdlib.compare] this replaces always walked
+   both trees and paid the generic-comparison dispatch per node. *)
+let rec equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | True, True | False, False -> true
+  | Var (x, s), Var (y, s') -> String.equal x y && Sort.equal s s'
+  | Bv_const (v, w), Bv_const (v', w') -> Int64.equal v v' && w = w'
+  | Not a, Not b -> equal a b
+  | And (a1, a2), And (b1, b2)
+  | Or (a1, a2), Or (b1, b2)
+  | Implies (a1, a2), Implies (b1, b2)
+  | Iff (a1, a2), Iff (b1, b2)
+  | Eq (a1, a2), Eq (b1, b2)
+  | Ult (a1, a2), Ult (b1, b2)
+  | Ule (a1, a2), Ule (b1, b2)
+  | Slt (a1, a2), Slt (b1, b2)
+  | Sle (a1, a2), Sle (b1, b2)
+  | Concat (a1, a2), Concat (b1, b2)
+  | Select (a1, a2), Select (b1, b2) ->
+    equal a1 b1 && equal a2 b2
+  | Bv_unop (o, a), Bv_unop (o', b) -> o = o' && equal a b
+  | Bv_binop (o, a1, a2), Bv_binop (o', b1, b2) ->
+    o = o' && equal a1 b1 && equal a2 b2
+  | Extract (hi, lo, a), Extract (hi', lo', b) ->
+    hi = hi' && lo = lo' && equal a b
+  | Zero_extend (k, a), Zero_extend (k', b) | Sign_extend (k, a), Sign_extend (k', b)
+    ->
+    k = k' && equal a b
+  | Ite (a1, a2, a3), Ite (b1, b2, b3) | Store (a1, a2, a3), Store (b1, b2, b3) ->
+    equal a1 b1 && equal a2 b2 && equal a3 b3
+  | _ -> false
+
 let compare = Stdlib.compare
-let hash = Hashtbl.hash
+
+(* Specialized hash: a bounded preorder walk mixing constructor tags and
+   leaf payloads.  Like [Hashtbl.hash] it touches O(1) nodes on deep ASTs,
+   but without the polymorphic traversal machinery; the node budget keeps
+   hashing cheap while the preorder prefix is discriminating enough for
+   the blaster caches.  Equal terms walk the same prefix, so the hash is
+   compatible with [equal]. *)
+let hash t =
+  let fuel = ref 48 in
+  let h = ref 0 in
+  let mix k = h := (!h * 0x01000193) lxor (k land 0x3FFFFFFF) in
+  let rec go t =
+    if !fuel > 0 then begin
+      decr fuel;
+      match t with
+      | True -> mix 1
+      | False -> mix 2
+      | Var (x, s) ->
+        mix 3;
+        mix (Hashtbl.hash x);
+        mix (match s with Sort.Bool -> 0 | Sort.Bv w -> w + 1 | Sort.Mem -> 65)
+      | Bv_const (v, w) ->
+        mix 4;
+        mix (Int64.to_int v);
+        mix (Int64.to_int (Int64.shift_right_logical v 32));
+        mix w
+      | Not a ->
+        mix 5;
+        go a
+      | And (a, b) -> mix2 6 a b
+      | Or (a, b) -> mix2 7 a b
+      | Implies (a, b) -> mix2 8 a b
+      | Iff (a, b) -> mix2 9 a b
+      | Eq (a, b) -> mix2 10 a b
+      | Ult (a, b) -> mix2 11 a b
+      | Ule (a, b) -> mix2 12 a b
+      | Slt (a, b) -> mix2 13 a b
+      | Sle (a, b) -> mix2 14 a b
+      | Bv_unop (o, a) ->
+        mix (match o with Neg -> 15 | Lognot -> 16);
+        go a
+      | Bv_binop (o, a, b) ->
+        mix2
+          (match o with
+          | Add -> 17
+          | Sub -> 18
+          | Mul -> 19
+          | Logand -> 20
+          | Logor -> 21
+          | Logxor -> 22
+          | Shl -> 23
+          | Lshr -> 24
+          | Ashr -> 25)
+          a b
+      | Extract (hi, lo, a) ->
+        mix 26;
+        mix hi;
+        mix lo;
+        go a
+      | Concat (a, b) -> mix2 27 a b
+      | Zero_extend (k, a) ->
+        mix 28;
+        mix k;
+        go a
+      | Sign_extend (k, a) ->
+        mix 29;
+        mix k;
+        go a
+      | Ite (c, a, b) ->
+        mix 30;
+        go c;
+        go a;
+        go b
+      | Select (m, a) -> mix2 31 m a
+      | Store (m, a, v) ->
+        mix 32;
+        go m;
+        go a;
+        go v
+    end
+  and mix2 tag a b =
+    mix tag;
+    go a;
+    go b
+  in
+  go t;
+  !h land max_int
 
 let width_of t =
   match sort_of t with

@@ -51,8 +51,15 @@ val sort_of : t -> Sort.t
 (** Sort of a term (terms built through this interface are well-sorted). *)
 
 val equal : t -> t -> bool
+(** Monomorphic structural equality with a physical-equality fast path;
+    much cheaper than polymorphic comparison on the deep, heavily shared
+    ASTs the bit-blaster caches (see {!Scamv_smt.Blaster}). *)
+
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Specialized structural hash (bounded preorder walk), compatible with
+    [equal]: equal terms hash equal. *)
 
 (** {1 Smart constructors} *)
 

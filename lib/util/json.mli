@@ -1,0 +1,30 @@
+(** Minimal JSON values: emission, parsing and a few accessors, enough for
+    the benchmark trajectory files ([BENCH_*.json]) without an external
+    dependency.  Not a general-purpose JSON library: surrogate pairs are
+    not combined and numbers are all floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] adds 2-space indentation and a trailing newline.
+    Integral numbers below 1e15 print without a decimal point; NaN and
+    infinities (which JSON cannot spell) print as [null]. *)
+
+val of_string : string -> t
+(** Parse a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on missing field or non-object). *)
+
+val to_float : t -> float option
+val to_list : t -> t list option
+val to_str : t -> string option

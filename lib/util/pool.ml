@@ -1,0 +1,115 @@
+(* Deterministic Domain-based worker pool.
+
+   Work items are identified by their index 0..tasks-1.  A fixed number of
+   worker domains pull indices from a shared counter guarded by a mutex;
+   each result is written into its slot of a result array and the consumer
+   (the calling domain) is woken through a condition variable.  The
+   consumer hands results to [consume] strictly in index order, whatever
+   order the workers complete in, so any state folded over the results
+   (journals, statistics, output files) is identical to a sequential run.
+
+   With [jobs = 1] no domain is spawned at all: the calling domain runs
+   worker and consumer interleaved (compute item i, consume item i), which
+   is byte-for-byte the behaviour of the pre-pool sequential engines and
+   keeps single-job runs free of any threading overhead. *)
+
+type 'a cell =
+  | Empty
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs jobs =
+  if jobs < 0 then invalid_arg "Pool: jobs must be >= 0"
+  else if jobs = 0 then default_jobs ()
+  else jobs
+
+let run_ordered ~jobs ~tasks ~worker ~consume =
+  if tasks < 0 then invalid_arg "Pool.run_ordered: tasks must be >= 0";
+  let jobs = resolve_jobs jobs in
+  if tasks = 0 then ()
+  else if jobs = 1 then
+    for i = 0 to tasks - 1 do
+      consume i (worker i)
+    done
+  else begin
+    let slots = Array.make tasks Empty in
+    let lock = Mutex.create () in
+    let filled = Condition.create () in
+    let next = ref 0 in
+    (* Set when the consumer aborts: workers finish their in-flight item
+       and stop taking new ones, so a failure never wedges the pool. *)
+    let cancelled = ref false in
+    let take () =
+      Mutex.lock lock;
+      let i = if !cancelled then tasks else !next in
+      if i < tasks then next := i + 1;
+      Mutex.unlock lock;
+      if i < tasks then Some i else None
+    in
+    let put i cell =
+      Mutex.lock lock;
+      slots.(i) <- cell;
+      Condition.broadcast filled;
+      Mutex.unlock lock
+    in
+    let rec worker_loop () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        let cell =
+          match worker i with
+          | v -> Done v
+          | exception exn -> Failed (exn, Printexc.get_raw_backtrace ())
+        in
+        put i cell;
+        worker_loop ()
+    in
+    let domains =
+      Array.init (min jobs tasks) (fun _ -> Domain.spawn worker_loop)
+    in
+    let cancel_and_join () =
+      Mutex.lock lock;
+      cancelled := true;
+      Mutex.unlock lock;
+      Array.iter Domain.join domains
+    in
+    match
+      for i = 0 to tasks - 1 do
+        Mutex.lock lock;
+        while (match slots.(i) with Empty -> true | _ -> false) do
+          Condition.wait filled lock
+        done;
+        let cell = slots.(i) in
+        slots.(i) <- Empty;
+        (* release the result for collection *)
+        Mutex.unlock lock;
+        match cell with
+        | Done v -> consume i v
+        | Failed (exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | Empty -> assert false
+      done
+    with
+    | () -> Array.iter Domain.join domains
+    | exception exn ->
+      cancel_and_join ();
+      raise exn
+  end
+
+let map ~jobs f n =
+  if n < 0 then invalid_arg "Pool.map: n must be >= 0";
+  if n = 0 then [||]
+  else begin
+    let results = ref [] in
+    run_ordered ~jobs ~tasks:n ~worker:f ~consume:(fun _ v ->
+        results := v :: !results);
+    (* consume runs in index order, so the reversed accumulator is 0..n-1 *)
+    let arr = Array.make n (List.hd !results) in
+    List.iteri (fun k v -> arr.(n - 1 - k) <- v) !results;
+    arr
+  end
+
+let map_list ~jobs f xs =
+  let arr = Array.of_list xs in
+  Array.to_list (map ~jobs (fun i -> f arr.(i)) (Array.length arr))

@@ -1,0 +1,47 @@
+(** Deterministic Domain-based worker pool.
+
+    The pool runs indexed work items on a fixed number of OCaml 5 domains
+    and delivers the results to a single consumer {e strictly in index
+    order}, regardless of the order in which workers finish.  Any state
+    folded over the results — journal files, statistics, progress output —
+    therefore ends up identical to a sequential run, which is what makes
+    [--jobs N] campaigns bit-reproducible (see DESIGN.md Sec. 5).
+
+    Thread-safety contract: [worker] runs on pool domains, possibly many at
+    a time, and must only touch state confined to one work item; [consume]
+    always runs on the calling domain, one call at a time, in index order,
+    and is the only place that may touch shared state. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val resolve_jobs : int -> int
+(** Normalizes a [--jobs] style argument: [0] means {!default_jobs},
+    positive values pass through.
+    @raise Invalid_argument on negative values. *)
+
+val run_ordered :
+  jobs:int ->
+  tasks:int ->
+  worker:(int -> 'a) ->
+  consume:(int -> 'a -> unit) ->
+  unit
+(** [run_ordered ~jobs ~tasks ~worker ~consume] computes [worker i] for
+    every [i] in [0..tasks-1] on [jobs] domains ([0] = all cores) and calls
+    [consume i result] on the calling domain in increasing [i].
+
+    With [jobs = 1] everything runs sequentially on the calling domain
+    with no domain spawned ([worker 0], [consume 0], [worker 1], ...).
+
+    An exception raised by [worker i] is re-raised (with its original
+    backtrace) from the consumer at position [i]; an exception from either
+    side cancels the remaining items — workers finish their in-flight item
+    and exit, all domains are joined — before the exception propagates, so
+    a failing item never wedges the pool. *)
+
+val map : jobs:int -> (int -> 'a) -> int -> 'a array
+(** [map ~jobs f n] is [[| f 0; ...; f (n-1) |]] computed on [jobs]
+    domains. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_list ~jobs f xs] is [List.map f xs] computed on [jobs] domains. *)

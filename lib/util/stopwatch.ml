@@ -1,9 +1,14 @@
-type t = float
+type clock = unit -> float
 
-let start () = Unix.gettimeofday ()
-let elapsed_s t = Unix.gettimeofday () -. t
+let wall = Unix.gettimeofday
+let frozen () = 0.0
 
-let time f =
-  let t = start () in
+type t = { clock : clock; t0 : float }
+
+let start ?(clock = wall) () = { clock; t0 = clock () }
+let elapsed_s t = t.clock () -. t.t0
+
+let time ?(clock = wall) f =
+  let t0 = clock () in
   let v = f () in
-  (v, elapsed_s t)
+  (v, clock () -. t0)

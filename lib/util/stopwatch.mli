@@ -1,14 +1,29 @@
 (** Wall-clock timing for campaign statistics (generation time, execution
-    time, time to first counterexample). *)
+    time, time to first counterexample), behind a swappable clock.
+
+    The clock indirection exists for reproducibility: a campaign run under
+    {!frozen} measures every duration as exactly [0.], which makes journal
+    CSVs and final statistics byte-identical across runs and across
+    [--jobs] levels — the property the parallel-campaign acceptance test
+    checks. *)
+
+type clock = unit -> float
+(** Monotone-enough time source in seconds. *)
+
+val wall : clock
+(** [Unix.gettimeofday]. *)
+
+val frozen : clock
+(** Always [0.]: every duration and elapsed time measures as zero. *)
 
 type t
 (** A running stopwatch. *)
 
-val start : unit -> t
-(** Start measuring now. *)
+val start : ?clock:clock -> unit -> t
+(** Start measuring now ([clock] defaults to {!wall}). *)
 
 val elapsed_s : t -> float
-(** Seconds elapsed since [start]. *)
+(** Seconds elapsed since [start], per the stopwatch's clock. *)
 
-val time : (unit -> 'a) -> 'a * float
+val time : ?clock:clock -> (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and also returns its duration in seconds. *)

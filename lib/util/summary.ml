@@ -6,6 +6,12 @@ let add t x =
   if t.n = 0 then { n = 1; sum = x; mn = x; mx = x }
   else { n = t.n + 1; sum = t.sum +. x; mn = min t.mn x; mx = max t.mx x }
 
+let merge a b =
+  if a.n = 0 then b
+  else if b.n = 0 then a
+  else
+    { n = a.n + b.n; sum = a.sum +. b.sum; mn = min a.mn b.mn; mx = max a.mx b.mx }
+
 let count t = t.n
 let total t = t.sum
 let mean t = if t.n = 0 then 0. else t.sum /. float_of_int t.n

@@ -5,6 +5,12 @@ type t
 
 val empty : t
 val add : t -> float -> t
+
+val merge : t -> t -> t
+(** Summary of the union of both sample sets; [empty] is its identity.
+    Associative and commutative, which is what lets per-worker summaries
+    be combined in any grouping. *)
+
 val count : t -> int
 val total : t -> float
 val mean : t -> float

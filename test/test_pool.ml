@@ -1,0 +1,225 @@
+(* Deterministic worker pool, pure stats/summary merges, the JSON
+   emitter, and the multicore campaign acceptance test: a seeded
+   fault-injected campaign run at --jobs 4 must produce byte-identical
+   journal output and identical statistics to --jobs 1. *)
+
+module Pool = Scamv_util.Pool
+module Json = Scamv_util.Json
+module Summary = Scamv_util.Summary
+module Stopwatch = Scamv_util.Stopwatch
+module Campaign = Scamv.Campaign
+module Journal = Scamv.Journal
+module Retry = Scamv.Retry
+module Stats = Scamv.Stats
+module Sat = Scamv_smt.Sat
+module Faults = Scamv_microarch.Faults
+module Executor = Scamv_microarch.Executor
+module Templates = Scamv_gen.Templates
+module Refinement = Scamv_models.Refinement
+
+let temp_path name =
+  let path = Filename.temp_file "scamv_pool" name in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+(* ---- pool ---- *)
+
+let test_pool_ordering_adversarial () =
+  (* Workers finish in roughly reverse index order (later items are much
+     faster), yet the consumer must still see results in index order. *)
+  let tasks = 12 in
+  let order = ref [] in
+  Pool.run_ordered ~jobs:4 ~tasks
+    ~worker:(fun i ->
+      Unix.sleepf (0.002 *. float_of_int (tasks - i));
+      i * i)
+    ~consume:(fun i v -> order := (i, v) :: !order);
+  let expected = List.init tasks (fun i -> (i, i * i)) in
+  Alcotest.(check bool) "consumed in index order" true (List.rev !order = expected)
+
+let test_pool_sequential_matches_parallel () =
+  let f i = (i * 37) lxor (i lsl 3) in
+  Alcotest.(check bool)
+    "map jobs=1 = jobs=4" true
+    (Pool.map ~jobs:1 f 50 = Pool.map ~jobs:4 f 50);
+  Alcotest.(check bool)
+    "map_list" true
+    (Pool.map_list ~jobs:3 String.uppercase_ascii [ "a"; "b"; "c" ]
+    = [ "A"; "B"; "C" ])
+
+exception Boom of int
+
+let test_pool_worker_exception () =
+  (* An exception in one worker is re-raised at its index position after
+     all earlier items were consumed, and the pool shuts down cleanly
+     instead of wedging (this test completing at all checks the latter). *)
+  let consumed = ref [] in
+  let raised =
+    try
+      Pool.run_ordered ~jobs:4 ~tasks:10
+        ~worker:(fun i ->
+          if i = 5 then raise (Boom i);
+          i)
+        ~consume:(fun i _ -> consumed := i :: !consumed);
+      None
+    with Boom i -> Some i
+  in
+  Alcotest.(check (Alcotest.option Alcotest.int)) "raised at index 5" (Some 5) raised;
+  Alcotest.(check (Alcotest.list Alcotest.int))
+    "items before the failure were consumed in order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !consumed)
+
+let test_pool_zero_tasks_and_resolve () =
+  Pool.run_ordered ~jobs:4 ~tasks:0
+    ~worker:(fun _ -> Alcotest.fail "no worker should run")
+    ~consume:(fun _ _ -> Alcotest.fail "nothing to consume");
+  Alcotest.(check bool) "0 resolves to all cores" true (Pool.resolve_jobs 0 >= 1);
+  Alcotest.(check Alcotest.int) "positive passes through" 3 (Pool.resolve_jobs 3);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Pool: jobs must be >= 0") (fun () ->
+      ignore (Pool.resolve_jobs (-1)))
+
+(* ---- Summary.merge / Stats.merge ---- *)
+
+let summary_of = List.fold_left Summary.add Summary.empty
+
+let test_summary_merge () =
+  let a = summary_of [ 1.0; 5.0 ] and b = summary_of [ 0.5; 2.0; 3.0 ] in
+  let m = Summary.merge a b in
+  Alcotest.(check Alcotest.int) "count" 5 (Summary.count m);
+  Alcotest.(check (Alcotest.float 1e-9)) "total" 11.5 (Summary.total m);
+  Alcotest.(check (Alcotest.float 1e-9)) "min" 0.5 (Summary.min_value m);
+  Alcotest.(check (Alcotest.float 1e-9)) "max" 5.0 (Summary.max_value m);
+  Alcotest.(check bool) "empty is left identity" true (Summary.merge Summary.empty a = a);
+  Alcotest.(check bool) "empty is right identity" true (Summary.merge a Summary.empty = a)
+
+let test_stats_merge () =
+  let s1 =
+    Stats.record_experiment Stats.empty ~verdict:Executor.Distinguishable ~retries:1
+      ~faults:2 ~gen_seconds:0.5 ~exe_seconds:0.25 ~elapsed:10.0 ()
+  in
+  let s1 = Stats.record_program s1 ~found_counterexample:true in
+  let s2 =
+    Stats.record_experiment Stats.empty ~verdict:Executor.Inconclusive ~gen_seconds:1.5
+      ~exe_seconds:0.75 ~elapsed:4.0 ()
+  in
+  let s2 = Stats.record_quarantine (Stats.record_program s2 ~found_counterexample:false) in
+  let m = Stats.merge s1 s2 in
+  Alcotest.(check Alcotest.int) "programs" 2 m.Stats.programs;
+  Alcotest.(check Alcotest.int) "experiments" 2 m.Stats.experiments;
+  Alcotest.(check Alcotest.int) "counterexamples" 1 m.Stats.counterexamples;
+  Alcotest.(check Alcotest.int) "inconclusive" 1 m.Stats.inconclusive;
+  Alcotest.(check Alcotest.int) "quarantines" 1 m.Stats.budget_exceeded;
+  Alcotest.(check Alcotest.int) "retries" 1 m.Stats.retries;
+  Alcotest.(check Alcotest.int) "faults" 2 m.Stats.faults_observed;
+  Alcotest.(check Alcotest.int) "gen samples" 2 (Summary.count m.Stats.generation_time);
+  Alcotest.(check (Alcotest.float 1e-9))
+    "gen total" 2.0
+    (Summary.total m.Stats.generation_time);
+  (* ttc: earliest counterexample wins, and only s1 has one. *)
+  Alcotest.(check (Alcotest.option (Alcotest.float 1e-9)))
+    "ttc from the counterexample side" (Some 10.0)
+    m.Stats.time_to_first_counterexample;
+  Alcotest.(check bool) "merge commutes" true (Stats.merge s2 s1 = m);
+  Alcotest.(check bool) "empty is identity" true (Stats.merge Stats.empty s1 = s1)
+
+(* ---- JSON ---- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "a \"quoted\"\nline");
+        ("n", Json.Num 2.5);
+        ("i", Json.Num 42.);
+        ("b", Json.Bool true);
+        ("z", Json.Null);
+        ("l", Json.Arr [ Json.Num 1.; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  Alcotest.(check bool)
+    "compact round-trips" true
+    (Json.of_string (Json.to_string doc) = doc);
+  Alcotest.(check bool)
+    "pretty round-trips" true
+    (Json.of_string (Json.to_string ~pretty:true doc) = doc);
+  Alcotest.(check bool)
+    "integral numbers print without decimals" true
+    (Json.to_string (Json.Num 42.) = "42")
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "accepted garbage %S" s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2" ]
+
+(* ---- multicore campaign determinism (the PR's acceptance criterion) ---- *)
+
+let noisy_cfg ~clock () =
+  Campaign.make ~name:"parallel determinism"
+    ~template:(Templates.by_name "A")
+    ~setup:(Refinement.mct_vs_mspec ())
+    ~programs:6 ~tests_per_program:3 ~seed:2021L
+    ~sat_budget:(Sat.budget ~conflicts:100 ())
+    ~retry:(Retry.make ~max_attempts:3 ())
+    ~faults:(Faults.config ~rate:0.1 ~seed:7L ())
+    ~clock ()
+
+let run_with_jobs jobs =
+  (* The frozen clock zeroes every measured duration, making the run's
+     observable output (journal CSV, stats, progress lines) a pure
+     function of the campaign seed — so "identical" below means
+     byte-identical, not merely equal modulo timings. *)
+  let cfg = noisy_cfg ~clock:Stopwatch.frozen () in
+  let path = temp_path (Printf.sprintf ".jobs%d.csv" jobs) in
+  let journal = Journal.create ~path () in
+  let events = ref [] in
+  let outcome =
+    Campaign.run ~on_event:(fun m -> events := m :: !events) ~journal ~jobs cfg
+  in
+  Journal.close journal;
+  let csv = In_channel.with_open_bin path In_channel.input_all in
+  (csv, outcome.Campaign.stats, List.rev !events)
+
+let test_campaign_jobs4_identical_to_jobs1 () =
+  let csv1, stats1, events1 = run_with_jobs 1 in
+  let csv4, stats4, events4 = run_with_jobs 4 in
+  Alcotest.(check bool) "campaign produced experiments" true (stats1.Stats.experiments > 0);
+  Alcotest.(check bool) "journal is non-trivial" true (String.length csv1 > 100);
+  Alcotest.(check string) "journal CSV byte-identical" csv1 csv4;
+  Alcotest.(check bool) "final stats identical" true (stats1 = stats4);
+  Alcotest.(check (Alcotest.list Alcotest.string)) "progress events identical" events1
+    events4
+
+let () =
+  Alcotest.run "scamv_pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "ordering under adversarial delays" `Quick
+            test_pool_ordering_adversarial;
+          Alcotest.test_case "parallel matches sequential" `Quick
+            test_pool_sequential_matches_parallel;
+          Alcotest.test_case "worker exception doesn't wedge" `Quick
+            test_pool_worker_exception;
+          Alcotest.test_case "zero tasks and resolve_jobs" `Quick
+            test_pool_zero_tasks_and_resolve;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "Summary.merge" `Quick test_summary_merge;
+          Alcotest.test_case "Stats.merge" `Quick test_stats_merge;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "jobs=4 identical to jobs=1" `Quick
+            test_campaign_jobs4_identical_to_jobs1;
+        ] );
+    ]
