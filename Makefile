@@ -5,7 +5,7 @@ DUNE ?= dune
 SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
 	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100
 
-.PHONY: all build test smoke check bench bench-smoke clean
+.PHONY: all build test smoke check bench bench-smoke metrics-smoke clean
 
 all: build
 
@@ -30,6 +30,14 @@ bench:
 bench-smoke: build
 	$(DUNE) exec bench/main.exe -- campaign --smoke --out BENCH_campaign.smoke.json
 	$(DUNE) exec bench/main.exe -- validate-bench BENCH_campaign.smoke.json
+
+# Telemetry round trip: run a small parallel campaign with --trace and
+# --metrics, then check both files parse and carry the expected spans and
+# metric families.
+metrics-smoke: build
+	$(DUNE) exec bin/scamv_cli.exe -- $(SMOKE) --jobs 2 \
+		--trace trace.smoke.json --metrics metrics.smoke.txt
+	$(DUNE) exec bench/main.exe -- validate-telemetry trace.smoke.json metrics.smoke.txt
 
 clean:
 	$(DUNE) clean

@@ -707,8 +707,8 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 module Json = Scamv_util.Json
-module Summary = Scamv_util.Summary
-module Sat = Scamv_smt.Sat
+module Metrics = Scamv_telemetry.Metrics
+module Collector = Scamv_telemetry.Collector
 
 (* One fixed, seeded campaign timed at jobs in {1, 2, 4}.  The workload is
    identical across job counts (same seed, same per-program RNG streams),
@@ -732,35 +732,43 @@ let bench_campaign ~smoke ~out () =
     List.map
       (fun jobs ->
         let cfg = make_cfg () in
-        let conflicts0 = Sat.global_conflict_count () in
         let t0 = Unix.gettimeofday () in
         let outcome = Campaign.run ~jobs cfg in
         let wall = Unix.gettimeofday () -. t0 in
-        let conflicts = Sat.global_conflict_count () - conflicts0 in
+        (* Solver work and phase totals come from the campaign's merged
+           telemetry registry (the SAT solver flushes per-query deltas into
+           it), not from any process-global counter, so each run's numbers
+           are exactly its own even though the runs share the process. *)
+        let m = outcome.Campaign.telemetry.Collector.metrics in
+        let conflicts = Metrics.counter m "sat.conflicts" in
         Format.printf "jobs %d: %.2fs wall, %d experiments, %d conflicts@.%!" jobs
           wall outcome.Campaign.stats.Stats.experiments conflicts;
-        (jobs, wall, conflicts, outcome.Campaign.stats))
+        (jobs, wall, outcome))
       job_counts
   in
   let wall_of j =
-    List.find_map (fun (jobs, w, _, _) -> if jobs = j then Some w else None) runs
+    List.find_map (fun (jobs, w, _) -> if jobs = j then Some w else None) runs
     |> Option.get
   in
   let baseline = wall_of 1 in
-  let counts (s : Stats.t) =
+  let counts (o : Campaign.outcome) =
+    let s = o.Campaign.stats in
     ( s.Stats.programs,
       s.Stats.experiments,
       s.Stats.counterexamples,
       s.Stats.inconclusive,
-      s.Stats.programs_with_counterexample )
+      s.Stats.programs_with_counterexample,
+      Metrics.counter o.Campaign.telemetry.Collector.metrics "sat.conflicts" )
   in
-  let _, _, _, stats1 = List.hd runs in
+  let _, _, outcome1 = List.hd runs in
   let deterministic =
-    List.for_all (fun (_, _, _, s) -> counts s = counts stats1) runs
+    List.for_all (fun (_, _, o) -> counts o = counts outcome1) runs
   in
   if not deterministic then
     Format.printf "WARNING: statistics differ across job counts!@.";
-  let run_json (jobs, wall, conflicts, (s : Stats.t)) =
+  let run_json (jobs, wall, (o : Campaign.outcome)) =
+    let s = o.Campaign.stats in
+    let m = o.Campaign.telemetry.Collector.metrics in
     Json.Obj
       [
         ("jobs", Json.Num (float_of_int jobs));
@@ -768,14 +776,15 @@ let bench_campaign ~smoke ~out () =
         ("speedup_vs_jobs1", Json.Num (if wall > 0. then baseline /. wall else 0.));
         ( "programs_per_second",
           Json.Num (if wall > 0. then float_of_int programs /. wall else 0.) );
-        ("sat_conflicts", Json.Num (float_of_int conflicts));
+        ("sat_conflicts", Json.Num (float_of_int (Metrics.counter m "sat.conflicts")));
+        ("sat_queries", Json.Num (float_of_int (Metrics.counter m "sat.queries")));
         ( "phases",
           Json.Obj
             [
               ( "generation_seconds",
-                Json.Num (Summary.total s.Stats.generation_time) );
+                Json.Num (Metrics.histogram_sum m "phase.generation.seconds") );
               ( "execution_seconds",
-                Json.Num (Summary.total s.Stats.execution_time) );
+                Json.Num (Metrics.histogram_sum m "phase.execution.seconds") );
             ] );
         ("experiments", Json.Num (float_of_int s.Stats.experiments));
         ("counterexamples", Json.Num (float_of_int s.Stats.counterexamples));
@@ -859,6 +868,63 @@ let validate_bench file =
   Printf.printf "OK: %s is a valid campaign benchmark (%d runs)\n" file
     (List.length runs)
 
+(* Validates the --trace / --metrics output of a campaign run: the trace
+   must re-parse with Scamv_util.Json and contain every pipeline span the
+   instrumentation promises, and the metrics dump must expose the
+   registry's core counter families.  Used by `make metrics-smoke` / CI so
+   a telemetry regression fails the build. *)
+let validate_telemetry trace_file metrics_file =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  let read f =
+    try In_channel.with_open_text f In_channel.input_all
+    with Sys_error m -> fail "%s" m
+  in
+  let doc =
+    try Json.of_string (read trace_file)
+    with Json.Parse_error m -> fail "%s: %s" trace_file m
+  in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr l) -> l
+    | _ -> fail "%s: missing traceEvents array" trace_file
+  in
+  let span_names =
+    List.filter_map
+      (fun e ->
+        match Json.member "name" e with Some (Json.Str s) -> Some s | _ -> None)
+      events
+  in
+  List.iter
+    (fun required ->
+      if not (List.mem required span_names) then
+        fail "%s: no %S span recorded" trace_file required)
+    [
+      "campaign"; "program"; "generate"; "prepare"; "annotate"; "lift";
+      "symexec"; "synth"; "enumerate"; "execute"; "run"; "compare";
+    ];
+  let metrics_text = read metrics_file in
+  let has_metric name =
+    (* A metric is present iff some line starts with its mangled name
+       (plain sample, _bucket{le=...}, _sum or _count line). *)
+    String.split_on_char '\n' metrics_text
+    |> List.exists (fun line ->
+           String.length line >= String.length name
+           && String.sub line 0 (String.length name) = name)
+  in
+  List.iter
+    (fun required ->
+      if not (has_metric required) then
+        fail "%s: no %s metric" metrics_file required)
+    [
+      "scamv_sat_conflicts"; "scamv_sat_queries"; "scamv_smt_blast_cache_hits";
+      "scamv_uarch_cache_hits"; "scamv_uarch_tlb_hits";
+      "scamv_uarch_predictor_hits"; "scamv_campaign_experiments";
+      "scamv_phase_generation_seconds"; "scamv_phase_execution_seconds";
+      "scamv_span_enumerate_seconds";
+    ];
+  Printf.printf "OK: %s (%d spans) and %s validate\n" trace_file
+    (List.length events) metrics_file
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -868,6 +934,9 @@ let () =
   (match args with
   | "validate-bench" :: file :: _ ->
     validate_bench file;
+    exit 0
+  | "validate-telemetry" :: trace :: metrics :: _ ->
+    validate_telemetry trace metrics;
     exit 0
   | _ -> ());
   let full = List.mem "--full" args in

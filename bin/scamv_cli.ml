@@ -161,9 +161,32 @@ let campaign_cmd =
              statistics and progress output are identical to $(b,--jobs 1) \
              for the same seed; only timings differ.")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON file of the campaign's phase \
+             spans (lift, annotate, symexec, synth, enumerate, run, \
+             compare, ...) to $(docv); open it in chrome://tracing or \
+             Perfetto.  Spans are merged in program order, so the file is \
+             independent of $(b,--jobs).")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write a Prometheus-style text dump of the telemetry registry \
+             (SAT/SMT work, microarchitectural hit/miss counters, campaign \
+             phase histograms) to $(docv) and print a summary table at the \
+             end of the run.")
+  in
   let run template_name setup_name programs tests seed verbose csv resume
       max_conflicts max_decisions max_propagations max_attempts confirm
-      fault_rate fault_seed jobs =
+      fault_rate fault_seed jobs trace metrics =
     let ( let* ) = Result.bind in
     let* template = lookup_template template_name in
     let* setup = lookup_setup setup_name in
@@ -218,12 +241,37 @@ let campaign_cmd =
     print_string
       (Scamv_util.Text_table.render ~header:Stats.header
          ~rows:[ Stats.row ~name outcome.Campaign.stats ]);
+    let m = outcome.Campaign.telemetry.Scamv_telemetry.Collector.metrics in
+    let c k = Scamv_telemetry.Metrics.counter m k in
+    Printf.printf
+      "uarch: cache %d/%d hit/miss, tlb %d/%d, predictor %d/%d, %d \
+       transient loads, %d faults injected\n"
+      (c "uarch.cache.hits") (c "uarch.cache.misses") (c "uarch.tlb.hits")
+      (c "uarch.tlb.misses")
+      (c "uarch.predictor.hits")
+      (c "uarch.predictor.misses")
+      (c "uarch.transient_loads")
+      (c "uarch.faults.injected");
     Printf.printf "wall time: %.1fs\n" outcome.Campaign.wall_seconds;
     (match csv with
     | None -> ()
     | Some path ->
       Printf.printf "journal: %d experiments written to %s\n"
         (Scamv.Journal.length journal) path);
+    (match trace with
+    | None -> ()
+    | Some path ->
+      Scamv_telemetry.Export.to_file path
+        (Scamv_telemetry.Export.trace_string outcome.Campaign.telemetry);
+      Printf.printf "trace: %d spans written to %s\n"
+        (List.length outcome.Campaign.telemetry.Scamv_telemetry.Collector.spans)
+        path);
+    (match metrics with
+    | None -> ()
+    | Some path ->
+      Scamv_telemetry.Export.to_file path (Scamv_telemetry.Export.prometheus m);
+      print_string (Scamv_telemetry.Export.summary_table m);
+      Printf.printf "metrics: written to %s\n" path);
     Ok ()
   in
   let term =
@@ -231,7 +279,7 @@ let campaign_cmd =
       const run $ template_arg $ setup_arg $ programs_arg $ tests_arg $ seed_arg
       $ verbose_arg $ csv_arg $ resume_arg $ max_conflicts_arg $ max_decisions_arg
       $ max_propagations_arg $ max_attempts_arg $ confirm_arg $ fault_rate_arg
-      $ fault_seed_arg $ jobs_arg)
+      $ fault_seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
   in
   let info =
     Cmd.info "campaign" ~doc:"Run a validation campaign and print Table-1-style statistics."

@@ -79,7 +79,7 @@ let instr_assigns = function
     [ (Vars.mem_name, Term.store Vars.mem_term (address_term addr) (Vars.reg_term s)) ]
   | Ast.Cmp (a, op) -> cmp_assigns (Vars.reg_term a) (operand_term op)
 
-let lift ?(hooks = no_hooks) program =
+let lift_validated ~hooks program =
   (match Ast.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Lifter.lift: " ^ msg));
@@ -109,3 +109,6 @@ let lift ?(hooks = no_hooks) program =
   let body = Array.to_list (Array.mapi lift_instr program) in
   let halt_block = { Program.id = len; stmts = []; term = Program.Halt } in
   Program.make ~entry:0 (body @ [ halt_block ])
+
+let lift ?(hooks = no_hooks) program =
+  Scamv_telemetry.Collector.span "lift" (fun () -> lift_validated ~hooks program)

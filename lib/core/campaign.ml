@@ -7,6 +7,7 @@ module Sat = Scamv_smt.Sat
 module Splitmix = Scamv_util.Splitmix
 module Stopwatch = Scamv_util.Stopwatch
 module Pool = Scamv_util.Pool
+module Collector = Scamv_telemetry.Collector
 
 type config = {
   name : string;
@@ -47,6 +48,7 @@ type outcome = {
   config_name : string;
   stats : Stats.t;
   wall_seconds : float;
+  telemetry : Collector.report;
 }
 
 (* ---- checkpoint/resume ----
@@ -100,16 +102,27 @@ let replay stats journal watch events =
    events depend only on (config, campaign seed, program index) — never on
    scheduling. *)
 
-let run_program cfg pipeline_cfg ~program_index program_rng : Journal.event list =
+let run_program cfg pipeline_cfg ~program_index program_rng :
+    Journal.event list * Collector.report =
   let events_rev = ref [] in
   let emit ev = events_rev := ev :: !events_rev in
+  (* Each program gets its own collector (workers must not share mutable
+     state across domains; see Pool): instrumented code anywhere below —
+     solver, lifter, executor — records into it via the ambient API, and
+     the frozen report is merged consumer-side in program order. *)
+  let collector =
+    Collector.create ~clock:cfg.clock ~track:(program_index + 1) ()
+  in
   (* Any exception in any stage — generation, symbolic execution, relation
      synthesis, SMT enumeration, execution — abandons this program with a
      recorded failure instead of killing the campaign: one pathological
      program must not cost hours of results. *)
+  Collector.with_current collector (fun () ->
+  Collector.span "program" ~args:[ ("index", string_of_int program_index) ]
+  @@ fun () ->
   (try
      let { Templates.program; template_name }, program_rng =
-       Gen.run cfg.template program_rng
+       Collector.span "generate" (fun () -> Gen.run cfg.template program_rng)
      in
      let pipeline_seed, program_rng = Splitmix.next program_rng in
      let program_rng = ref program_rng in
@@ -134,6 +147,7 @@ let run_program cfg pipeline_cfg ~program_index program_rng : Journal.event list
             into the next successful test case.  No test slot is
             consumed. *)
          carry_gen_cost := !carry_gen_cost +. gen_seconds;
+         Collector.incr "campaign.quarantined";
          emit
            (Journal.Quarantined
               { campaign = cfg.name; program_index; pair; reason })
@@ -148,14 +162,26 @@ let run_program cfg pipeline_cfg ~program_index program_rng : Journal.event list
          in
          let retry_outcome, exe_seconds =
            Stopwatch.time ~clock:cfg.clock (fun () ->
-               Retry.execute cfg.retry (fun ~attempt:_ ->
-                   let exp_seed, program_rng' = Splitmix.next !program_rng in
-                   program_rng := program_rng';
-                   Executor.run_observed ~seed:exp_seed ?faults:cfg.faults
-                     cfg.executor experiment))
+               Collector.span "execute"
+                 ~args:[ ("test", string_of_int !test_index) ]
+                 (fun () ->
+                   Retry.execute cfg.retry (fun ~attempt:_ ->
+                       let exp_seed, program_rng' = Splitmix.next !program_rng in
+                       program_rng := program_rng';
+                       Executor.run_observed ~seed:exp_seed ?faults:cfg.faults
+                         cfg.executor experiment)))
          in
          let total_gen_seconds = gen_seconds +. !carry_gen_cost in
          carry_gen_cost := 0.0;
+         (* Phase histograms mirror the generation/execution columns of the
+            statistics exactly (same per-experiment values), so the bench
+            harness can read phase totals from the registry. *)
+         Collector.observe "phase.generation.seconds" total_gen_seconds;
+         Collector.observe "phase.execution.seconds" exe_seconds;
+         Collector.incr "campaign.experiments";
+         Collector.add "campaign.retries" retry_outcome.Retry.retries;
+         if retry_outcome.Retry.verdict = Executor.Distinguishable then
+           Collector.incr "campaign.counterexamples";
          emit
            (Journal.Experiment
               {
@@ -178,10 +204,11 @@ let run_program cfg pipeline_cfg ~program_index program_rng : Journal.event list
        not be swallowed as per-program noise. *)
     raise fatal
   | exn ->
+    Collector.incr "campaign.program_failures";
     emit
       (Journal.Program_failed
-         { campaign = cfg.name; program_index; reason = Printexc.to_string exn }));
-  List.rev !events_rev
+         { campaign = cfg.name; program_index; reason = Printexc.to_string exn })));
+  (List.rev !events_rev, Collector.report collector)
 
 (* ---- merge (consumer side) ----
 
@@ -270,12 +297,31 @@ let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
       (Printf.sprintf "[%s] resumed at program %d (%d events replayed)" cfg.name
          start_index (List.length replayed))
   end;
-  Pool.run_ordered ~jobs
-    ~tasks:(cfg.programs - start_index)
-    ~worker:(fun k ->
-      let program_index = start_index + k in
-      run_program cfg pipeline_cfg ~program_index streams.(program_index))
-    ~consume:(fun k events ->
-      merge_program cfg ~on_event ~journal ~watch ~stats
-        ~program_index:(start_index + k) events);
-  { config_name = cfg.name; stats = !stats; wall_seconds = Stopwatch.elapsed_s watch }
+  (* Campaign-level spans (track 0) live in their own collector on the
+     calling domain; per-program reports arrive with the event buffers and
+     are accumulated here in program order.  Replayed (resumed) programs
+     were not re-executed, so they contribute no telemetry. *)
+  let campaign_collector = Collector.create ~clock:cfg.clock ~track:0 () in
+  let reports_rev = ref [] in
+  Collector.with_current campaign_collector (fun () ->
+      Collector.span "campaign" ~args:[ ("name", cfg.name) ] (fun () ->
+          Pool.run_ordered ~jobs
+            ~tasks:(cfg.programs - start_index)
+            ~worker:(fun k ->
+              let program_index = start_index + k in
+              run_program cfg pipeline_cfg ~program_index streams.(program_index))
+            ~consume:(fun k (events, report) ->
+              reports_rev := report :: !reports_rev;
+              merge_program cfg ~on_event ~journal ~watch ~stats
+                ~program_index:(start_index + k) events)));
+  let telemetry =
+    List.fold_left Collector.merge_reports
+      (Collector.report campaign_collector)
+      (List.rev !reports_rev)
+  in
+  {
+    config_name = cfg.name;
+    stats = !stats;
+    wall_seconds = Stopwatch.elapsed_s watch;
+    telemetry;
+  }

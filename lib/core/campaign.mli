@@ -59,6 +59,15 @@ type outcome = {
   config_name : string;
   stats : Stats.t;
   wall_seconds : float;
+  telemetry : Scamv_telemetry.Collector.report;
+      (** merged metrics and spans from every executed program (in program
+          order) plus the campaign-level spans.  Per-program collectors are
+          installed inside the workers, so SAT/SMT, lifter, executor and
+          pipeline instrumentation all land here; under
+          {!Scamv_util.Stopwatch.frozen} the report (and everything
+          {!Scamv_telemetry.Export} derives from it) is byte-identical
+          across [jobs] levels.  Programs replayed from a resume journal
+          were not re-executed and contribute no telemetry. *)
 }
 
 val run :

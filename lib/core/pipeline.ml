@@ -6,6 +6,7 @@ module Training = Scamv_relation.Training
 module Concretize = Scamv_relation.Concretize
 module Refinement = Scamv_models.Refinement
 module Splitmix = Scamv_util.Splitmix
+module Tm = Scamv_telemetry.Collector
 
 type config = {
   setup : Refinement.t;
@@ -48,8 +49,14 @@ type t = {
 }
 
 let prepare ?(seed = 0L) cfg isa_program =
-  let bir_program = Refinement.annotate cfg.setup isa_program in
-  let leaf_list = Exec.execute ~max_steps:cfg.max_steps bir_program in
+  Tm.span "prepare" (fun () ->
+  let bir_program =
+    (* The lifter records its own nested "lift" span. *)
+    Tm.span "annotate" (fun () -> Refinement.annotate cfg.setup isa_program)
+  in
+  let leaf_list =
+    Tm.span "symexec" (fun () -> Exec.execute ~max_steps:cfg.max_steps bir_program)
+  in
   let synth_cfg =
     {
       Synth.platform = cfg.platform;
@@ -59,6 +66,7 @@ let prepare ?(seed = 0L) cfg isa_program =
   let pairs = Synth.compatible_pairs leaf_list in
   let rng = ref (Splitmix.of_seed seed) in
   let sessions =
+    Tm.span "synth" (fun () ->
     List.filter_map
       (fun pair ->
         match Synth.pair_relation synth_cfg leaf_list pair with
@@ -88,9 +96,10 @@ let prepare ?(seed = 0L) cfg isa_program =
               (Training.training_states ~platform:cfg.platform ~leaves:leaf_list ~pair)
           in
           Some { pair; session; training })
-      pairs
+      pairs)
   in
-  { cfg; isa_program; bir_program; leaf_list; queue = sessions; quarantined_rev = [] }
+  Tm.add "campaign.path_pairs" (List.length sessions);
+  { cfg; isa_program; bir_program; leaf_list; queue = sessions; quarantined_rev = [] })
 
 let program t = t.isa_program
 let bir t = t.bir_program
@@ -107,7 +116,12 @@ let rec next_test_case t =
   match t.queue with
   | [] -> Exhausted
   | ps :: rest -> (
-    match Solver.next_model ~diversify:t.cfg.diversify ps.session with
+    match
+      Tm.span "enumerate"
+        ~args:
+          [ ("pair", Printf.sprintf "%d,%d" (fst ps.pair) (snd ps.pair)) ]
+        (fun () -> Solver.next_model ~diversify:t.cfg.diversify ps.session)
+    with
     | Solver.Exhausted ->
       t.queue <- rest;
       next_test_case t

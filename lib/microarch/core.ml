@@ -46,6 +46,22 @@ type event =
   | Transient_suppressed of int
   | Prefetch of int64
 
+(* Hit/miss statistics accumulated over the core's lifetime.  The cache
+   and TLB modules report each access outcome to their caller already;
+   these counters aggregate those outcomes so the campaign can surface
+   them (previously they were computed and dropped). *)
+type counters = {
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable predictor_hits : int;
+  mutable predictor_misses : int;
+  mutable prefetches : int;
+  mutable transient_loads : int;
+  mutable transient_suppressed : int;
+}
+
 type t = {
   cfg : config;
   cache : Cache.t;
@@ -54,6 +70,7 @@ type t = {
   predictor : Predictor.t;
   mutable rng : Splitmix.t;
   mutable cycles : int;
+  ctr : counters;
 }
 
 let create ?(seed = 0L) cfg =
@@ -67,6 +84,18 @@ let create ?(seed = 0L) cfg =
     predictor = Predictor.create ();
     rng = Splitmix.of_seed seed;
     cycles = 0;
+    ctr =
+      {
+        cache_hits = 0;
+        cache_misses = 0;
+        tlb_hits = 0;
+        tlb_misses = 0;
+        predictor_hits = 0;
+        predictor_misses = 0;
+        prefetches = 0;
+        transient_loads = 0;
+        transient_suppressed = 0;
+      };
   }
 
 let config t = t.cfg
@@ -81,6 +110,30 @@ let reset_cache t =
 
 let reset_predictor t = Predictor.reset t.predictor
 let last_run_cycles t = t.cycles
+
+(* Flat view of the counters, keyed for the telemetry registry (the
+   executor prefixes each key with "uarch."). *)
+let counters t =
+  let c = t.ctr in
+  [
+    ("cache.hits", c.cache_hits);
+    ("cache.misses", c.cache_misses);
+    ("tlb.hits", c.tlb_hits);
+    ("tlb.misses", c.tlb_misses);
+    ("predictor.hits", c.predictor_hits);
+    ("predictor.misses", c.predictor_misses);
+    ("prefetches", c.prefetches);
+    ("transient_loads", c.transient_loads);
+    ("transient_suppressed", c.transient_suppressed);
+  ]
+
+let count_tlb t = function
+  | `Hit -> t.ctr.tlb_hits <- t.ctr.tlb_hits + 1
+  | `Miss -> t.ctr.tlb_misses <- t.ctr.tlb_misses + 1
+
+let count_cache t = function
+  | `Hit -> t.ctr.cache_hits <- t.ctr.cache_hits + 1
+  | `Miss -> t.ctr.cache_misses <- t.ctr.cache_misses + 1
 
 (* Simple A53-flavoured timing model. *)
 let issue_cycles = 1
@@ -97,12 +150,14 @@ let draw_float t =
 (* A demand access (committed or transient load) goes through the cache
    and feeds the prefetcher, which may trigger an additional fill. *)
 let demand_access t events addr =
-  ignore (Tlb.access t.tlb addr);
+  count_tlb t (Tlb.access t.tlb addr);
   let outcome = Cache.access t.cache addr in
+  count_cache t outcome;
   let rng = ref t.rng in
   (match Prefetcher.observe t.prefetcher ~rng addr with
   | Some target ->
     Cache.fill t.cache target;
+    t.ctr.prefetches <- t.ctr.prefetches + 1;
     events := Prefetch target :: !events
   | None -> ());
   t.rng <- !rng;
@@ -199,6 +254,7 @@ let transient_execute t events program machine ~start_pc ~max_loads =
         then begin
           (* The address depends on a previous transient load result: the
              A53 cannot forward it, so no memory request is issued. *)
+          t.ctr.transient_suppressed <- t.ctr.transient_suppressed + 1;
           events := Transient_suppressed pc :: !events;
           shadow_set sh d 0L ~taint:true;
           continue_at (pc + 1)
@@ -206,6 +262,7 @@ let transient_execute t events program machine ~start_pc ~max_loads =
         else begin
           let a = address_value sh addr in
           incr loads;
+          t.ctr.transient_loads <- t.ctr.transient_loads + 1;
           events := Transient_load a :: !events;
           ignore (demand_access t events a);
           (* On the A53 the loaded value arrives but is unusable
@@ -254,6 +311,8 @@ let run t program machine =
             else p
           in
           Predictor.update t.predictor pc ~taken;
+          if predicted = taken then t.ctr.predictor_hits <- t.ctr.predictor_hits + 1
+          else t.ctr.predictor_misses <- t.ctr.predictor_misses + 1;
           events := Commit_branch { pc; taken; predicted } :: !events;
           charge issue_cycles;
           if predicted <> taken then charge mispredict_penalty;
@@ -297,8 +356,8 @@ let run t program machine =
               | Semantics.Store a ->
                 events := Commit_store a :: !events;
                 (* Stores allocate on commit (write-allocate L1). *)
-                ignore (Tlb.access t.tlb a);
-                ignore (Cache.access t.cache a)
+                count_tlb t (Tlb.access t.tlb a);
+                count_cache t (Cache.access t.cache a)
               | Semantics.Fetch _ | Semantics.Branch _ -> ())
             arch_events;
           next_pc

@@ -82,3 +82,11 @@ val last_run_cycles : t -> int
     (issue cost + L1 miss penalty + misprediction penalty): the PMC
     cycle-counter reading an attacker uses for timing measurements
     (Sec. 6.1). *)
+
+val counters : t -> (string * int) list
+(** Hit/miss statistics accumulated over the core's lifetime (not reset
+    by {!reset_cache}/{!reset_predictor}): [cache.hits], [cache.misses],
+    [tlb.hits], [tlb.misses], [predictor.hits], [predictor.misses],
+    [prefetches], [transient_loads], [transient_suppressed].  The
+    executor flushes these into the telemetry registry (prefixed
+    [uarch.]) once per experiment. *)

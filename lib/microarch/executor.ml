@@ -73,19 +73,34 @@ let stable_view ?faults cfg core rng program ~train state =
     go 1
 
 let run_observed ?(seed = 0L) ?faults cfg { program; state1; state2; train } =
+  let module Tm = Scamv_telemetry.Collector in
   let core = Core.create cfg.core in
   let rng = ref (Splitmix.of_seed seed) in
   let faults = Option.map (fun f -> Faults.start f ~run_seed:seed) faults in
   let verdict =
-    match stable_view ?faults cfg core rng program ~train state1 with
+    match
+      Tm.span "run" ~args:[ ("state", "1") ] (fun () ->
+          stable_view ?faults cfg core rng program ~train state1)
+    with
     | None -> Inconclusive
     | Some v1 -> (
-      match stable_view ?faults cfg core rng program ~train state2 with
+      match
+        Tm.span "run" ~args:[ ("state", "2") ] (fun () ->
+            stable_view ?faults cfg core rng program ~train state2)
+      with
       | None -> Inconclusive
       | Some v2 ->
-        if Cache.equal_snapshot v1 v2 then Indistinguishable else Distinguishable)
+        Tm.span "compare" (fun () ->
+            if Cache.equal_snapshot v1 v2 then Indistinguishable
+            else Distinguishable))
   in
-  (verdict, match faults with None -> 0 | Some f -> Faults.injected f)
+  let injected = match faults with None -> 0 | Some f -> Faults.injected f in
+  (* The core is private to this experiment, so its lifetime counters are
+     exactly this experiment's work: flush them in one pass. *)
+  List.iter (fun (k, n) -> Tm.add ("uarch." ^ k) n) (Core.counters core);
+  Tm.add "uarch.faults.injected" injected;
+  Tm.incr "uarch.experiments";
+  (verdict, injected)
 
 let run ?seed ?faults cfg experiment = fst (run_observed ?seed ?faults cfg experiment)
 

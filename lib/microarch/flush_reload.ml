@@ -5,11 +5,17 @@ let miss_cycles = 220
 
 let create ?seed cfg = { core = Core.create ?seed cfg }
 let core t = t.core
-let flush t addr = Cache.flush_line (Core.cache t.core) addr
+
+let flush t addr =
+  Scamv_telemetry.Collector.incr "uarch.flush_reload.flushes";
+  Cache.flush_line (Core.cache t.core) addr
 
 let reload_time t addr =
   let hit = Cache.contains (Core.cache t.core) addr in
   ignore (Cache.access (Core.cache t.core) addr);
+  Scamv_telemetry.Collector.incr
+    (if hit then "uarch.flush_reload.reload_hits"
+     else "uarch.flush_reload.reload_misses");
   if hit then hit_cycles else miss_cycles
 
 let was_cached t addr = reload_time t addr < (hit_cycles + miss_cycles) / 2

@@ -21,6 +21,10 @@ type t = {
   bool_cache : Sat.lit Term_tbl.t;
   bv_cache : Sat.lit array Term_tbl.t;
   inputs : (string, Sort.t * Sat.lit array) Hashtbl.t;
+  (* Structural-hashing effectiveness counters (gate + term caches),
+     read by the solver session and flushed to telemetry. *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
 }
 
 let create ?seed ?default_phase () =
@@ -34,9 +38,14 @@ let create ?seed ?default_phase () =
     bool_cache = Term_tbl.create 256;
     bv_cache = Term_tbl.create 256;
     inputs = Hashtbl.create 64;
+    cache_hits = 0;
+    cache_misses = 0;
   }
 
 let solver t = t.sat
+let cache_stats t = (t.cache_hits, t.cache_misses)
+let hit t = t.cache_hits <- t.cache_hits + 1
+let miss t = t.cache_misses <- t.cache_misses + 1
 let lit_true t = t.true_lit
 let lit_false t = Sat.negate t.true_lit
 let is_true t l = l = t.true_lit
@@ -55,8 +64,11 @@ let g_and t a b =
     let a, b = if a < b then (a, b) else (b, a) in
     let key = K_and (a, b) in
     match Hashtbl.find_opt t.gates key with
-    | Some o -> o
+    | Some o ->
+      hit t;
+      o
     | None ->
+      miss t;
       let o = fresh t in
       Sat.add_clause t.sat [ Sat.negate o; a ];
       Sat.add_clause t.sat [ Sat.negate o; b ];
@@ -89,8 +101,11 @@ let g_xor t a b =
     let key = K_xor (a, b) in
     let o =
       match Hashtbl.find_opt t.gates key with
-      | Some o -> o
+      | Some o ->
+        hit t;
+        o
       | None ->
+        miss t;
         let o = fresh t in
         Sat.add_clause t.sat [ Sat.negate o; a; b ];
         Sat.add_clause t.sat [ Sat.negate o; Sat.negate a; Sat.negate b ];
@@ -113,8 +128,11 @@ let g_ite t c a b =
   else begin
     let key = K_ite (c, a, b) in
     match Hashtbl.find_opt t.gates key with
-    | Some o -> o
+    | Some o ->
+      hit t;
+      o
     | None ->
+      miss t;
       let o = fresh t in
       Sat.add_clause t.sat [ Sat.negate c; Sat.negate a; o ];
       Sat.add_clause t.sat [ Sat.negate c; a; Sat.negate o ];
@@ -241,8 +259,11 @@ let input_literals t (name, sort) =
 
 let rec blast_bool t (term : Term.t) : Sat.lit =
   match Term_tbl.find_opt t.bool_cache term with
-  | Some l -> l
+  | Some l ->
+    hit t;
+    l
   | None ->
+    miss t;
     let l =
       match term with
       | Term.True -> lit_true t
@@ -278,8 +299,11 @@ let rec blast_bool t (term : Term.t) : Sat.lit =
 
 and blast_bv t (term : Term.t) : Sat.lit array =
   match Term_tbl.find_opt t.bv_cache term with
-  | Some v -> v
+  | Some v ->
+    hit t;
+    v
   | None ->
+    miss t;
     let v =
       match term with
       | Term.Var (x, (Sort.Bv _ as s)) -> input_literals t (x, s)

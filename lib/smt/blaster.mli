@@ -20,6 +20,11 @@ val assert_term : t -> Term.t -> unit
 val solver : t -> Sat.t
 (** The underlying SAT solver (for [solve] and phase control). *)
 
+val cache_stats : t -> int * int
+(** [(hits, misses)] over the structural-hashing caches (gate cache plus
+    bool/bitvector term caches).  The solver session flushes these to the
+    telemetry registry as [smt.blast_cache_hits] / [smt.blast_cache_misses]. *)
+
 val input_literals : t -> (string * Sort.t) -> Sat.lit array
 (** Literals allocated for an input variable (length 1 for Bool).
     Allocates them on first use so callers can track variables that do not

@@ -34,6 +34,7 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
   mutable rng : Scamv_util.Splitmix.t;
   mutable random_branch_freq : float;
   default_phase : bool;
@@ -65,6 +66,7 @@ let create ?seed ?(default_phase = false) () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
     rng = Scamv_util.Splitmix.of_seed (Option.value seed ~default:0L);
     random_branch_freq = (match seed with None -> 0.0 | Some _ -> 0.02);
     default_phase;
@@ -78,13 +80,7 @@ let num_vars t = t.nvars
 let stats_conflicts t = t.conflicts
 let stats_decisions t = t.decisions
 let stats_propagations t = t.propagations
-
-(* Process-global conflict counter, summed across every solver instance on
-   every domain.  The benchmark harness reads it before/after a campaign to
-   report how much solver work a run did, independently of how sessions are
-   created and discarded inside the pipeline. *)
-let global_conflicts = Atomic.make 0
-let global_conflict_count () = Atomic.get global_conflicts
+let stats_restarts t = t.restarts
 
 (* ---- dynamic growth ---- *)
 
@@ -436,6 +432,26 @@ let pp_budget ppf b =
 let solve ?(assumptions = [||]) ?(budget = unlimited) t =
   if t.unsat then Unsat
   else begin
+    (* Telemetry is flushed once per query as counter deltas — never from
+       the inner search loop — so instrumentation stays off the hot path
+       and is a no-op when no collector is installed. *)
+    let c0 = t.conflicts
+    and d0 = t.decisions
+    and p0 = t.propagations
+    and r0 = t.restarts in
+    let finish outcome =
+      let dc = t.conflicts - c0 in
+      Scamv_telemetry.Collector.add "sat.conflicts" dc;
+      Scamv_telemetry.Collector.add "sat.decisions" (t.decisions - d0);
+      Scamv_telemetry.Collector.add "sat.propagations" (t.propagations - p0);
+      Scamv_telemetry.Collector.add "sat.restarts" (t.restarts - r0);
+      Scamv_telemetry.Collector.incr "sat.queries";
+      (if outcome = Unknown then
+         Scamv_telemetry.Collector.incr "sat.budget_exhausted");
+      Scamv_telemetry.Collector.observe "sat.conflicts_per_query"
+        (float_of_int dc);
+      outcome
+    in
     (* Budgets are per-call: the caps apply to the work done by this
        [solve], not to the cumulative counters of the solver's life. *)
     let limit base = function None -> max_int | Some n -> base + n in
@@ -454,7 +470,7 @@ let solve ?(assumptions = [||]) ?(budget = unlimited) t =
     done;
     if propagate t <> None then begin
       t.unsat <- true;
-      Unsat
+      finish Unsat
     end
     else begin
       let restart_num = ref 0 in
@@ -470,7 +486,6 @@ let solve ?(assumptions = [||]) ?(budget = unlimited) t =
             match propagate t with
             | Some confl ->
               t.conflicts <- t.conflicts + 1;
-              Atomic.incr global_conflicts;
               incr local_conflicts;
               if decision_level t = 0 then begin
                 t.unsat <- true;
@@ -515,12 +530,15 @@ let solve ?(assumptions = [||]) ?(budget = unlimited) t =
                 end
               end
         done;
-        if !restart then cancel_until t 0
+        if !restart then begin
+          t.restarts <- t.restarts + 1;
+          cancel_until t 0
+        end
       done;
       (* An out-of-budget stop leaves a partial trail; rewind it so the
          solver is immediately reusable (e.g. with a larger budget). *)
       if !result = Some Unknown then cancel_until t 0;
-      Option.get !result
+      finish (Option.get !result)
     end
   end
 

@@ -9,8 +9,13 @@
     Thread-safety: a solver instance is mutable and {e domain-confined} —
     it must only ever be used from the domain that created it.  Parallel
     campaigns create one solver per enumeration session inside each
-    worker.  The only cross-domain state in this module is the global
-    conflict counter behind {!global_conflict_count}, which is atomic. *)
+    worker.  This module holds {e no} cross-domain state: work counters
+    live per instance, and every [solve] call additionally flushes its
+    deltas ([sat.conflicts], [sat.decisions], [sat.propagations],
+    [sat.restarts], [sat.queries], [sat.budget_exhausted], and the
+    [sat.conflicts_per_query] histogram) to the domain's current
+    {!Scamv_telemetry.Collector}, where the campaign merges them in
+    program order. *)
 
 type t
 
@@ -107,8 +112,7 @@ val stats_conflicts : t -> int
 val stats_decisions : t -> int
 val stats_propagations : t -> int
 
-val global_conflict_count : unit -> int
-(** Process-wide conflict total, summed over every solver instance on
-    every domain (atomically maintained).  The benchmark harness reads it
-    before/after a campaign to report solver work per run; deltas are
-    deterministic for a seeded campaign. *)
+val stats_restarts : t -> int
+(** Luby restarts performed so far.  Campaign-wide solver work totals are
+    no longer read from a process global: the benchmark harness sums the
+    per-query deltas that [solve] flushes into the telemetry registry. *)

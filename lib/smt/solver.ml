@@ -67,6 +67,13 @@ let make_session ?seed ?default_phase ?track ?budget formulas =
   (* Allocate literals for tracked variables even if simplification erased
      them from the assertions, so they are reported in models. *)
   List.iter (fun key -> ignore (Blaster.input_literals blaster key)) track;
+  (* All blasting for this session happens above (enumeration only adds
+     blocking clauses over already-allocated literals), so the cache
+     totals are final here: flush them once per session. *)
+  let hits, misses = Blaster.cache_stats blaster in
+  Scamv_telemetry.Collector.incr "smt.sessions";
+  Scamv_telemetry.Collector.add "smt.blast_cache_hits" hits;
+  Scamv_telemetry.Collector.add "smt.blast_cache_misses" misses;
   {
     blaster;
     reads;
@@ -134,18 +141,23 @@ let next_model ?(diversify = false) s =
     else Sat.reset_phases (Blaster.solver s.blaster);
     let budget = Option.value s.budget ~default:Sat.unlimited in
     match Sat.solve ~budget (Blaster.solver s.blaster) with
-    | Sat.Unknown -> Budget_exceeded
+    | Sat.Unknown ->
+      Scamv_telemetry.Collector.incr "smt.budget_exceeded";
+      Budget_exceeded
     | Sat.Unsat ->
       s.exhausted <- true;
       Exhausted
     | Sat.Sat -> (
       match if diversify then Ok () else (try Ok (minimize_model s) with Out_of_budget -> Error ()) with
-      | Error () -> Budget_exceeded
+      | Error () ->
+        Scamv_telemetry.Collector.incr "smt.budget_exceeded";
+        Budget_exceeded
       | Ok () ->
         let model = Blaster.read_model s.blaster in
         let model = Arrays.recover_memories model s.reads in
         Blaster.block_assignment s.blaster s.track;
         s.count <- s.count + 1;
+        Scamv_telemetry.Collector.incr "smt.models";
         Model model)
   end
 

@@ -1,0 +1,116 @@
+(* Exporters for telemetry reports.
+
+   Both exporters are deterministic functions of the report: metrics are
+   emitted in name order and spans in their (program-ordered) completion
+   order, with no wall-clock or environment inputs.  Under the frozen
+   clock the same campaign therefore produces byte-identical trace and
+   metrics files at every [--jobs] level — the property the acceptance
+   test locks in. *)
+
+module Json = Scamv_util.Json
+module Text_table = Scamv_util.Text_table
+
+(* Deterministic float rendering shared by both exporters: integers print
+   without a fractional part, everything else round-trips via %.17g. *)
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+(* ---- Chrome trace-event JSON ---- *)
+
+let span_event (s : Collector.span) =
+  let args =
+    ("depth", Json.Str (string_of_int s.depth))
+    :: List.map (fun (k, v) -> (k, Json.Str v)) s.args
+  in
+  Json.Obj
+    [
+      ("name", Json.Str s.name);
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (s.start_s *. 1e6));
+      ("dur", Json.Num (s.duration_s *. 1e6));
+      ("pid", Json.Num 1.0);
+      ("tid", Json.Num (float_of_int s.track));
+      ("args", Json.Obj args);
+    ]
+
+let trace_json (r : Collector.report) =
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.Arr (List.map span_event r.spans));
+    ]
+
+let trace_string r = Json.to_string ~pretty:true (trace_json r)
+
+(* ---- Prometheus text exposition ---- *)
+
+let mangle name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  "scamv_" ^ Bytes.to_string b
+
+let prometheus (m : Metrics.t) =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun (name, value) ->
+      let p = mangle name in
+      match value with
+      | Metrics.Counter c ->
+        line "# TYPE %s counter" p;
+        line "%s %d" p c
+      | Metrics.Gauge g ->
+        line "# TYPE %s gauge" p;
+        line "%s %s" p (float_str g)
+      | Metrics.Histogram h ->
+        line "# TYPE %s histogram" p;
+        (* Cumulative buckets; only boundaries that hold observations are
+           emitted (plus the mandatory +Inf), which keeps the dump compact
+           while remaining a pure function of the data. *)
+        let cum = ref 0 in
+        Array.iteri
+          (fun b n ->
+            cum := !cum + n;
+            if n > 0 && b < Metrics.bucket_count - 1 then
+              line "%s_bucket{le=\"%s\"} %d" p
+                (float_str (Metrics.bucket_upper_bound b))
+                !cum)
+          h.Metrics.counts;
+        line "%s_bucket{le=\"+Inf\"} %d" p h.Metrics.count;
+        line "%s_sum %s" p (float_str h.Metrics.sum);
+        line "%s_count %d" p h.Metrics.count)
+    (Metrics.to_list m);
+  Buffer.contents buf
+
+(* ---- end-of-run text summary ---- *)
+
+let summary_rows (m : Metrics.t) =
+  List.map
+    (fun (name, value) ->
+      match value with
+      | Metrics.Counter c -> [ name; "counter"; string_of_int c ]
+      | Metrics.Gauge g -> [ name; "gauge"; float_str g ]
+      | Metrics.Histogram h ->
+        [
+          name;
+          "histogram";
+          Printf.sprintf "n=%d sum=%s" h.Metrics.count (float_str h.Metrics.sum);
+        ])
+    (Metrics.to_list m)
+
+let summary_table m =
+  Text_table.render ~header:[ "metric"; "kind"; "value" ] ~rows:(summary_rows m)
+
+let to_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -138,7 +138,21 @@ let of_string s =
         | Some 'u' ->
           advance ();
           if !pos + 4 > n then parse_error "truncated \\u escape";
-          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          (* Validate the four hex digits by hand: [int_of_string "0x.."]
+             would raise Failure (not Parse_error) on junk and accepts
+             OCaml-isms like underscores that are not legal JSON. *)
+          let hex_digit c =
+            match c with
+            | '0' .. '9' -> Char.code c - Char.code '0'
+            | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+            | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+            | _ -> parse_error "bad \\u escape at offset %d" !pos
+          in
+          let code = ref 0 in
+          for i = 0 to 3 do
+            code := (!code * 16) + hex_digit s.[!pos + i]
+          done;
+          let code = !code in
           pos := !pos + 4;
           (* Encode the BMP code point as UTF-8 (surrogates untreated:
              benchmark files never contain them). *)

@@ -2,6 +2,7 @@ module Bits = Scamv_util.Bits
 module Splitmix = Scamv_util.Splitmix
 module Summary = Scamv_util.Summary
 module Text_table = Scamv_util.Text_table
+module Json = Scamv_util.Json
 
 let check = Alcotest.check
 let int64 = Alcotest.int64
@@ -114,6 +115,80 @@ let test_summary_accumulate () =
   Alcotest.(check (float 1e-9)) "min" 1.0 (Summary.min_value s);
   Alcotest.(check (float 1e-9)) "max" 3.0 (Summary.max_value s)
 
+(* ---- Json edge cases ---- *)
+
+let test_json_unicode_escapes () =
+  (* \u escapes decode to UTF-8 bytes across the 1-, 2- and 3-byte
+     encoding ranges (surrogate pairs are out of scope for the
+     benchmark files this parser serves). *)
+  let decodes input expected =
+    match Json.of_string input with
+    | Json.Str s -> Alcotest.(check string) input expected s
+    | _ -> Alcotest.fail (Printf.sprintf "%s did not parse to a string" input)
+  in
+  decodes "\"\\u0041\"" "A";
+  decodes "\"\\u00e9\"" "\xc3\xa9";
+  decodes "\"\\u20AC\"" "\xe2\x82\xac";
+  decodes "\"\\u0000\"" "\x00";
+  decodes "\"a\\u0009b\"" "a\tb"
+
+let test_json_control_char_roundtrip () =
+  (* The emitter escapes every control character (< 0x20), so strings
+     containing them survive an emit/parse round-trip. *)
+  let all_controls = String.init 0x20 Char.chr in
+  let doc = Json.Obj [ ("ctl", Json.Str all_controls); ("mix", Json.Str "a\x01\x1fz") ] in
+  Alcotest.(check bool)
+    "control chars round-trip" true
+    (Json.of_string (Json.to_string doc) = doc);
+  let emitted = Json.to_string (Json.Str "\x01") in
+  Alcotest.(check string) "C0 controls use \\u form" "\"\\u0001\"" emitted
+
+let test_json_deep_nesting () =
+  let depth = 1000 in
+  let deep_arr =
+    String.make depth '[' ^ "0" ^ String.make depth ']'
+  in
+  (match Json.of_string deep_arr with
+  | Json.Arr _ as v ->
+    Alcotest.(check bool)
+      "deep array round-trips" true
+      (Json.of_string (Json.to_string v) = v)
+  | _ -> Alcotest.fail "deep array did not parse to an array");
+  let b = Buffer.create (depth * 8) in
+  for _ = 1 to depth do
+    Buffer.add_string b {|{"k":|}
+  done;
+  Buffer.add_string b "null";
+  for _ = 1 to depth do
+    Buffer.add_char b '}'
+  done;
+  match Json.of_string (Buffer.contents b) with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "deep object did not parse to an object"
+
+let test_json_bad_unicode_escapes_rejected () =
+  (* Malformed \u escapes must raise Parse_error — not Failure, and not
+     silently accept OCaml-isms like underscore separators. *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "%S raised %s instead of Parse_error" s
+             (Printexc.to_string e))
+      | _ -> Alcotest.fail (Printf.sprintf "accepted bad escape %S" s))
+    [
+      {|"\u"|};
+      {|"\u12"|};
+      {|"\u12|};
+      {|"\uzzzz"|};
+      {|"\u1_23"|};
+      {|"\u 123"|};
+      {|"\u123g"|};
+      {|"\x41"|};
+    ]
+
 (* ---- Text_table ---- *)
 
 let contains_substring hay needle =
@@ -160,6 +235,15 @@ let () =
         [
           Alcotest.test_case "empty" `Quick test_summary_empty;
           Alcotest.test_case "accumulate" `Quick test_summary_accumulate;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "unicode escapes decode" `Quick test_json_unicode_escapes;
+          Alcotest.test_case "control chars round-trip" `Quick
+            test_json_control_char_roundtrip;
+          Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+          Alcotest.test_case "bad \\u escapes rejected" `Quick
+            test_json_bad_unicode_escapes_rejected;
         ] );
       ( "text_table",
         [
