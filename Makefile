@@ -5,7 +5,7 @@ DUNE ?= dune
 SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
 	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100
 
-.PHONY: all build test smoke check bench bench-smoke metrics-smoke clean
+.PHONY: all build test smoke check bench bench-smoke metrics-smoke perf-check clean
 
 all: build
 
@@ -25,11 +25,21 @@ bench:
 	$(DUNE) exec bench/main.exe
 
 # Small multicore campaign benchmark: times the same seeded campaign at
-# --jobs 1/2/4, writes BENCH_campaign.json, and validates the emitted
-# schema (cross-checking that statistics are identical across job counts).
+# --jobs 1/2/4 plus the solver microbenchmark (blast/solve/enumerate in
+# isolation), writes BENCH_campaign.json, and validates the emitted schema
+# (cross-checking that statistics are identical across job counts).
 bench-smoke: build
+	$(DUNE) exec bench/main.exe -- solver
 	$(DUNE) exec bench/main.exe -- campaign --smoke --out BENCH_campaign.smoke.json
 	$(DUNE) exec bench/main.exe -- validate-bench BENCH_campaign.smoke.json
+
+# Perf regression gate: re-run the committed campaign benchmark (same
+# deterministic seed and size — the "full" config is itself smoke-scale,
+# a few seconds end to end) and fail if the fresh jobs=1 generation-phase
+# time is more than 25% above the committed BENCH_campaign.json.
+perf-check: build
+	$(DUNE) exec bench/main.exe -- campaign --out BENCH_campaign.perfcheck.json
+	$(DUNE) exec bench/main.exe -- compare-bench BENCH_campaign.json BENCH_campaign.perfcheck.json
 
 # Telemetry round trip: run a small parallel campaign with --trace and
 # --metrics, then check both files parse and carry the expected spans and

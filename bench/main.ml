@@ -710,6 +710,108 @@ module Json = Scamv_util.Json
 module Metrics = Scamv_telemetry.Metrics
 module Collector = Scamv_telemetry.Collector
 
+(* ------------------------------------------------------------------ *)
+(* Solver microbenchmark (blast / solve / enumerate in isolation)      *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the three phases of the generation hot path separately on a
+   fixed seeded workload (every relation of one template-A program under
+   Mct-vs-Mspec):
+
+   - blast: session construction only — array elimination, Tseitin
+     blasting, tracked-input allocation — once with a private blast graph
+     per session (the pre-shared-cache behaviour) and once with one graph
+     shared across all sessions (what the pipeline does per program);
+   - first_model: the initial SAT solve + lexicographic minimization of
+     each session;
+   - enumerate: draws under accumulated blocking clauses.
+
+   The workload is deterministic (fixed generator and session seeds); the
+   times land in BENCH_campaign.json next to the campaign numbers so the
+   perf trajectory of the solver itself is tracked, not just end-to-end
+   campaign wall time. *)
+let solver_microbench () =
+  let reps = 3 in
+  let draws = 4 in
+  let setup = Refinement.mct_vs_mspec () in
+  let scfg = { Synth.platform; require_refined_difference = true } in
+  (* One relation group per seeded program; the shared-graph variant shares
+     a blast graph *within* each group, exactly as the pipeline does. *)
+  let groups =
+    List.map
+      (fun seed ->
+        let program = (Gen.generate ~seed Templates.template_a).Templates.program in
+        let leaves = Exec.execute (Refinement.annotate setup program) in
+        let prepared = Synth.prepare scfg leaves in
+        List.filter_map
+          (Synth.pair_relation_prepared prepared)
+          (Synth.compatible_pairs leaves))
+      [ 11L; 12L; 13L; 14L; 15L; 16L ]
+  in
+  let n_relations = List.length (List.concat groups) in
+  let make ?graph (r : Synth.pair_relation) =
+    Solver.make_session ~seed:1L ?graph r.Synth.assertions
+  in
+  let (), blast_private =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          List.iter (List.iter (fun r -> ignore (make r))) groups
+        done)
+  in
+  let (), blast_shared =
+    time_it (fun () ->
+        for _ = 1 to reps do
+          List.iter
+            (fun group ->
+              let graph = Scamv_smt.Blaster.new_graph () in
+              List.iter (fun r -> ignore (make ~graph r)) group)
+            groups
+        done)
+  in
+  let sessions () =
+    List.concat_map
+      (fun group ->
+        let graph = Scamv_smt.Blaster.new_graph () in
+        List.map (make ~graph) group)
+      groups
+  in
+  let batches = List.init reps (fun _ -> sessions ()) in
+  let (), first_model =
+    time_it (fun () ->
+        List.iter (List.iter (fun s -> ignore (Solver.next_model s))) batches)
+  in
+  let models = ref 0 in
+  let (), enumerate =
+    time_it (fun () ->
+        List.iter
+          (List.iter (fun s ->
+               for _ = 1 to draws do
+                 match Solver.next_model s with
+                 | Solver.Model _ -> incr models
+                 | Solver.Exhausted | Solver.Budget_exceeded -> ()
+               done))
+          batches)
+  in
+  Format.printf
+    "@.## Solver microbenchmark (%d relations x %d reps)@.@.\
+     blast (private graph per session): %.4fs@.\
+     blast (shared graph per program):  %.4fs@.\
+     first model + minimize:            %.4fs@.\
+     enumerate (%d draws/session):       %.4fs (%d models)@.%!"
+    n_relations reps blast_private blast_shared first_model draws
+    enumerate !models;
+  Json.Obj
+    [
+      ("relations", Json.Num (float_of_int n_relations));
+      ("reps", Json.Num (float_of_int reps));
+      ("draws_per_session", Json.Num (float_of_int draws));
+      ("blast_private_graph_seconds", Json.Num blast_private);
+      ("blast_shared_graph_seconds", Json.Num blast_shared);
+      ("first_model_seconds", Json.Num first_model);
+      ("enumerate_seconds", Json.Num enumerate);
+      ("models_enumerated", Json.Num (float_of_int !models));
+    ]
+
 (* One fixed, seeded campaign timed at jobs in {1, 2, 4}.  The workload is
    identical across job counts (same seed, same per-program RNG streams),
    so wall-clock ratios are honest speedups and every count must agree —
@@ -769,11 +871,19 @@ let bench_campaign ~smoke ~out () =
   let run_json (jobs, wall, (o : Campaign.outcome)) =
     let s = o.Campaign.stats in
     let m = o.Campaign.telemetry.Collector.metrics in
+    let speedup = if wall > 0. then baseline /. wall else 0. in
+    (* A parallel run slower than jobs=1 means the machine did not actually
+       have spare cores for the extra domains (CI containers routinely
+       advertise more cores than they schedule); flag it so a reader does
+       not mistake the slowdown for a scaling bug. *)
+    let cores_limited =
+      if jobs > 1 then [ ("cores_limited", Json.Bool (speedup < 1.)) ] else []
+    in
     Json.Obj
-      [
+      ([
         ("jobs", Json.Num (float_of_int jobs));
         ("wall_seconds", Json.Num wall);
-        ("speedup_vs_jobs1", Json.Num (if wall > 0. then baseline /. wall else 0.));
+        ("speedup_vs_jobs1", Json.Num speedup);
         ( "programs_per_second",
           Json.Num (if wall > 0. then float_of_int programs /. wall else 0.) );
         ("sat_conflicts", Json.Num (float_of_int (Metrics.counter m "sat.conflicts")));
@@ -789,7 +899,9 @@ let bench_campaign ~smoke ~out () =
         ("experiments", Json.Num (float_of_int s.Stats.experiments));
         ("counterexamples", Json.Num (float_of_int s.Stats.counterexamples));
       ]
+      @ cores_limited)
   in
+  let solver_section = solver_microbench () in
   let doc =
     Json.Obj
       [
@@ -810,6 +922,7 @@ let bench_campaign ~smoke ~out () =
           Json.Num (float_of_int (Domain.recommended_domain_count ())) );
         ("deterministic_across_jobs", Json.Bool deterministic);
         ("runs", Json.Arr (List.map run_json runs));
+        ("solver_microbench", solver_section);
       ]
   in
   let oc = open_out out in
@@ -859,14 +972,78 @@ let validate_bench file =
         let phases = member "phases" r in
         ignore (num "generation_seconds" phases);
         ignore (num "execution_seconds" phases);
-        int_of_float (num "jobs" r))
+        let jobs = int_of_float (num "jobs" r) in
+        (* Parallel runs must carry the honesty flag: slower-than-serial
+           results are only trustworthy if annotated. *)
+        if jobs > 1 then begin
+          match member "cores_limited" r with
+          | Json.Bool _ -> ()
+          | _ -> fail "run with jobs = %d has no boolean \"cores_limited\"" jobs
+        end;
+        jobs)
       runs
   in
   List.iter
     (fun j -> if not (List.mem j seen) then fail "no run with jobs = %d" j)
     [ 1; 2; 4 ];
+  let solver = member "solver_microbench" doc in
+  List.iter
+    (fun k -> ignore (num k solver))
+    [
+      "relations"; "reps"; "draws_per_session"; "blast_private_graph_seconds";
+      "blast_shared_graph_seconds"; "first_model_seconds"; "enumerate_seconds";
+      "models_enumerated";
+    ];
   Printf.printf "OK: %s is a valid campaign benchmark (%d runs)\n" file
     (List.length runs)
+
+(* Perf regression gate (`make perf-check`): re-runs the seeded campaign at
+   the same size as the committed reference and fails if the fresh jobs=1
+   generation-phase time regresses more than 25% against it.  Generation
+   time — SMT blasting, solving, model enumeration — is the phase this
+   repository optimizes; wall time also contains the simulator, and
+   parallel runs depend on the machine, so neither is gated. *)
+let compare_bench ref_file new_file =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  let load file =
+    let text =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error m -> fail "%s" m
+    in
+    try Json.of_string text with Json.Parse_error m -> fail "%s: %s" file m
+  in
+  let generation_jobs1 file doc =
+    let runs =
+      match Json.member "runs" doc with
+      | Some (Json.Arr l) -> l
+      | _ -> fail "%s: no runs array" file
+    in
+    let jobs1 =
+      List.find_opt
+        (fun r -> match Json.member "jobs" r with Some (Json.Num 1.) -> true | _ -> false)
+        runs
+    in
+    match jobs1 with
+    | None -> fail "%s: no jobs = 1 run" file
+    | Some r -> (
+      match Json.member "phases" r with
+      | Some p -> (
+        match Json.member "generation_seconds" p with
+        | Some (Json.Num n) -> n
+        | _ -> fail "%s: no generation_seconds" file)
+      | None -> fail "%s: no phases" file)
+  in
+  let reference = generation_jobs1 ref_file (load ref_file) in
+  let fresh = generation_jobs1 new_file (load new_file) in
+  let allowed = reference *. 1.25 in
+  Printf.printf
+    "generation_seconds (jobs=1): reference %.3fs, this run %.3fs (limit %.3fs)\n"
+    reference fresh allowed;
+  if fresh > allowed then
+    fail "generation phase regressed %.0f%% (> 25%% over %s)"
+      ((fresh /. reference -. 1.) *. 100.)
+      ref_file;
+  Printf.printf "OK: generation phase within 25%% of %s\n" ref_file
 
 (* Validates the --trace / --metrics output of a campaign run: the trace
    must re-parse with Scamv_util.Json and contain every pipeline span the
@@ -916,7 +1093,9 @@ let validate_telemetry trace_file metrics_file =
       if not (has_metric required) then
         fail "%s: no %s metric" metrics_file required)
     [
-      "scamv_sat_conflicts"; "scamv_sat_queries"; "scamv_smt_blast_cache_hits";
+      "scamv_sat_conflicts"; "scamv_sat_queries"; "scamv_sat_learned";
+      "scamv_sat_deleted"; "scamv_sat_restarts"; "scamv_sat_lbd";
+      "scamv_smt_blast_cache_hits"; "scamv_smt_blast_cache_cross_hits";
       "scamv_uarch_cache_hits"; "scamv_uarch_tlb_hits";
       "scamv_uarch_predictor_hits"; "scamv_campaign_experiments";
       "scamv_phase_generation_seconds"; "scamv_phase_execution_seconds";
@@ -937,6 +1116,12 @@ let () =
     exit 0
   | "validate-telemetry" :: trace :: metrics :: _ ->
     validate_telemetry trace metrics;
+    exit 0
+  | "compare-bench" :: ref_file :: new_file :: _ ->
+    compare_bench ref_file new_file;
+    exit 0
+  | "solver" :: _ ->
+    ignore (solver_microbench ());
     exit 0
   | _ -> ());
   let full = List.mem "--full" args in

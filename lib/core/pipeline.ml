@@ -65,11 +65,22 @@ let prepare ?(seed = 0L) cfg isa_program =
   in
   let pairs = Synth.compatible_pairs leaf_list in
   let rng = ref (Splitmix.of_seed seed) in
+  (* One blast graph per program: every enumeration session and training
+     solve below shares it, so structurally equal sub-terms (path
+     conditions, observation equalities) are folded into circuit nodes
+     once per program instead of once per pair.  The graph is mutable and
+     unsynchronized, which is safe here because a pipeline instance —
+     sessions, training cache and all — lives on a single domain. *)
+  let graph = Scamv_smt.Blaster.new_graph () in
+  let tcache =
+    Training.prepare ~graph ~platform:cfg.platform ~leaves:leaf_list ()
+  in
   let sessions =
     Tm.span "synth" (fun () ->
+    let prepared = Synth.prepare synth_cfg leaf_list in
     List.filter_map
       (fun pair ->
-        match Synth.pair_relation synth_cfg leaf_list pair with
+        match Synth.pair_relation_prepared prepared pair with
         | None -> None
         | Some relation ->
           let pair_seed, rng' = Splitmix.next !rng in
@@ -88,13 +99,10 @@ let prepare ?(seed = 0L) cfg isa_program =
               else Some relation.Synth.register_track
           in
           let session =
-            Solver.make_session ?track ?budget:cfg.budget ~seed:pair_seed
+            Solver.make_session ?track ?budget:cfg.budget ~seed:pair_seed ~graph
               relation.Synth.assertions
           in
-          let training =
-            lazy
-              (Training.training_states ~platform:cfg.platform ~leaves:leaf_list ~pair)
-          in
+          let training = lazy (Training.states tcache ~pair) in
           Some { pair; session; training })
       pairs)
   in

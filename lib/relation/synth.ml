@@ -102,7 +102,11 @@ let register_inputs assertions =
   let module S = Set.Make (struct
     type t = string * Sort.t
 
-    let compare = Stdlib.compare
+    (* Same order as [Stdlib.compare] on this pair type, but monomorphic:
+       name first, then sort. *)
+    let compare (x1, s1) (x2, s2) =
+      let c = String.compare x1 x2 in
+      if c <> 0 then c else Sort.compare s1 s2
   end) in
   List.fold_left
     (fun acc t ->
@@ -113,11 +117,41 @@ let register_inputs assertions =
     S.empty assertions
   |> S.elements
 
-let pair_relation config leaves (i, j) =
-  let leaves = Array.of_list leaves in
-  let leaf1 = leaves.(i) and leaf2 = leaves.(j) in
-  let obs1 = List.map (rename_obs suffix1) leaf1.Exec.obs in
-  let obs2 = List.map (rename_obs suffix2) leaf2.Exec.obs in
+(* Per-leaf data whose construction is pair-independent: renaming a leaf's
+   path condition, observations and range constraints with the two state
+   suffixes.  [prepare] hoists this out of the per-pair loop — a program
+   with [n] leaves yields up to [n*(n+1)/2] pairs, and re-renaming each
+   leaf per pair both burns time and hands the blaster freshly-allocated
+   (though structurally equal) terms for every pair. *)
+type prepared_leaf = {
+  obs1 : Obs.t list;  (* all observations, renamed with [suffix1] *)
+  obs2 : Obs.t list;
+  path1 : Term.t;
+  path2 : Term.t;
+  range1 : Term.t list;  (* range constraints, renamed with [suffix1] *)
+  range2 : Term.t list;
+}
+
+type prepared = { p_cfg : config; p_leaves : prepared_leaf array }
+
+let prepare config leaves =
+  let prep (leaf : Exec.leaf) =
+    let range = range_constraints config.platform leaf.Exec.obs in
+    {
+      obs1 = List.map (rename_obs suffix1) leaf.Exec.obs;
+      obs2 = List.map (rename_obs suffix2) leaf.Exec.obs;
+      path1 = rename_term suffix1 leaf.Exec.path_cond;
+      path2 = rename_term suffix2 leaf.Exec.path_cond;
+      range1 = List.map (rename_term suffix1) range;
+      range2 = List.map (rename_term suffix2) range;
+    }
+  in
+  { p_cfg = config; p_leaves = Array.of_list (List.map prep leaves) }
+
+let pair_relation_prepared { p_cfg = config; p_leaves } (i, j) =
+  let leaf1 = p_leaves.(i) and leaf2 = p_leaves.(j) in
+  let obs1 = leaf1.obs1 in
+  let obs2 = leaf2.obs2 in
   let base_eq = obs_list_equal (by_tag Obs.Base obs1) (by_tag Obs.Base obs2) in
   if Term.equal base_eq Term.ff then None
   else begin
@@ -163,15 +197,8 @@ let pair_relation config leaves (i, j) =
             coverage
         in
         let assertions =
-          [
-            rename_term suffix1 leaf1.Exec.path_cond;
-            rename_term suffix2 leaf2.Exec.path_cond;
-            base_eq;
-            refined_differ;
-          ]
-          @ List.map (rename_term suffix1) (range_constraints config.platform leaf1.Exec.obs)
-          @ List.map (rename_term suffix2) (range_constraints config.platform leaf2.Exec.obs)
-          @ coverage_defs
+          [ leaf1.path1; leaf2.path2; base_eq; refined_differ ]
+          @ leaf1.range1 @ leaf2.range2 @ coverage_defs
         in
         Some
           {
@@ -183,6 +210,8 @@ let pair_relation config leaves (i, j) =
           }
       end
   end
+
+let pair_relation config leaves pair = pair_relation_prepared (prepare config leaves) pair
 
 let full_equivalence config leaves =
   ignore config;

@@ -49,11 +49,25 @@ val compatible_pairs : Scamv_symbolic.Exec.leaf list -> (int * int) list
     Eq. 1 is not trivially false.  Ordered diagonal-first ((0,0), (1,1),
     ..., then mixed pairs). *)
 
-val pair_relation :
-  config -> Scamv_symbolic.Exec.leaf list -> int * int -> pair_relation option
+type prepared
+(** Pair-independent per-leaf data (path conditions, observations and
+    range constraints renamed with both state suffixes), hoisted out of
+    the per-pair loop: a program with [n] leaves yields O(n^2) pairs, so
+    renaming per pair would redo the same term construction quadratically
+    often — and would defeat the blaster's term-identity caches with
+    freshly allocated copies. *)
+
+val prepare : config -> Scamv_symbolic.Exec.leaf list -> prepared
+
+val pair_relation_prepared : prepared -> int * int -> pair_relation option
 (** [None] when the pair cannot yield test cases (structurally
     incompatible base observations, or refinement required but the pair
     has no refined observations). *)
+
+val pair_relation :
+  config -> Scamv_symbolic.Exec.leaf list -> int * int -> pair_relation option
+(** One-shot [pair_relation_prepared (prepare config leaves)].  Prefer the
+    prepared form when iterating over many pairs of the same program. *)
 
 val full_equivalence : config -> Scamv_symbolic.Exec.leaf list -> Scamv_smt.Term.t
 (** The monolithic Eq. 1 relation over all path pairs (without coverage or

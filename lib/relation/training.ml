@@ -2,26 +2,54 @@ module Term = Scamv_smt.Term
 module Solver = Scamv_smt.Solver
 module Exec = Scamv_symbolic.Exec
 
-let training_states ~platform ~leaves ~pair:(i, j) =
-  let arr = Array.of_list leaves in
-  let trace1 = arr.(i).Exec.trace and trace2 = arr.(j).Exec.trace in
-  let seen = Hashtbl.create 4 in
-  Hashtbl.add seen trace1 ();
-  if not (Hashtbl.mem seen trace2) then Hashtbl.add seen trace2 ();
+(* Training states are pair-independent: the state solved for a leaf
+   depends only on that leaf's (renamed) path condition and range
+   constraints.  What depends on the pair is merely *which* leaves
+   qualify — those whose trace differs from both of the pair's traces.
+   The cache therefore solves once per distinct trace (lazily, so a
+   program whose test cases all come from one pair never solves for
+   paths it does not train) and each pair filters the shared results. *)
+
+type cache = {
+  traces : int list array;  (* per leaf index *)
+  groups : (int list * Scamv_isa.Machine.t option Lazy.t) list;
+      (* one entry per distinct trace, in first-occurrence order *)
+}
+
+let prepare ?graph ~platform ~leaves () =
+  let traces = Array.of_list (List.map (fun (l : Exec.leaf) -> l.Exec.trace) leaves) in
+  let seen = Hashtbl.create 8 in
+  let groups =
+    List.filter_map
+      (fun (leaf : Exec.leaf) ->
+        if Hashtbl.mem seen leaf.Exec.trace then None
+        else begin
+          Hashtbl.add seen leaf.Exec.trace ();
+          let state =
+            lazy
+              (let rename = Term.rename (fun v -> v ^ Synth.suffix_train) in
+               let assertions =
+                 rename leaf.Exec.path_cond
+                 :: List.map rename (Synth.range_constraints_of_leaf platform leaf)
+               in
+               match Solver.solve ?graph assertions with
+               | Solver.Sat model ->
+                 Some (Concretize.machine_of_model ~suffix:Synth.suffix_train model)
+               | Solver.Unsat -> None)
+          in
+          Some (leaf.Exec.trace, state)
+        end)
+      leaves
+  in
+  { traces; groups }
+
+let trace_equal = List.equal Int.equal
+
+let states cache ~pair:(i, j) =
+  let t1 = cache.traces.(i) and t2 = cache.traces.(j) in
   List.filter_map
-    (fun (leaf : Exec.leaf) ->
-      if Hashtbl.mem seen leaf.Exec.trace then None
-      else begin
-        Hashtbl.add seen leaf.Exec.trace ();
-        let rename = Term.rename (fun v -> v ^ Synth.suffix_train) in
-        let assertions =
-          rename leaf.Exec.path_cond
-          :: List.map rename
-               (Synth.range_constraints_of_leaf platform leaf)
-        in
-        match Solver.solve assertions with
-        | Solver.Sat model ->
-          Some (Concretize.machine_of_model ~suffix:Synth.suffix_train model)
-        | Solver.Unsat -> None
-      end)
-    leaves
+    (fun (tr, state) ->
+      if trace_equal tr t1 || trace_equal tr t2 then None else Lazy.force state)
+    cache.groups
+
+let training_states ~platform ~leaves ~pair = states (prepare ~platform ~leaves ()) ~pair

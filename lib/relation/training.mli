@@ -3,7 +3,29 @@
     For a test-case pair taking path [p], the predictor must be trained to
     predict the *other* direction, so the measured runs misspeculate.  A
     training state is a satisfying assignment of a different path
-    condition [p' <> p], found with the SMT solver. *)
+    condition [p' <> p], found with the SMT solver.
+
+    A training state depends only on the leaf it is solved from, not on
+    the test-case pair — so the per-program {!cache} solves lazily once
+    per distinct trace and every pair filters the shared results, instead
+    of re-solving the same path conditions for each of the O(n^2) pairs. *)
+
+type cache
+(** Per-program memo of training states, one lazily-solved entry per
+    distinct trace.  Domain-confined, like the solver sessions it wraps. *)
+
+val prepare :
+  ?graph:Scamv_smt.Blaster.graph ->
+  platform:Scamv_isa.Platform.t ->
+  leaves:Scamv_symbolic.Exec.leaf list ->
+  unit ->
+  cache
+(** Build the (lazy) cache; no solving happens until {!states} demands an
+    entry.  [graph] is the program's shared blast graph, letting the
+    training solves reuse circuit nodes already built for the enumeration
+    sessions (path conditions share structure across suffixes). *)
+
+val states : cache -> pair:int * int -> Scamv_isa.Machine.t list
 
 val training_states :
   platform:Scamv_isa.Platform.t ->
@@ -13,4 +35,5 @@ val training_states :
 (** Training inputs for a test case whose states take the paths of the
     given leaf pair: one state per satisfiable path whose trace differs
     from both leaves' traces (deduplicated by trace).  Empty when the
-    program has a single path (no branch to train). *)
+    program has a single path (no branch to train).  One-shot form of
+    {!prepare}/{!states} for callers outside the pipeline. *)

@@ -9,156 +9,194 @@ module Term_tbl = Hashtbl.Make (struct
   let hash = Term.hash
 end)
 
-type gate_key =
-  | K_and of Sat.lit * Sat.lit
-  | K_xor of Sat.lit * Sat.lit
-  | K_ite of Sat.lit * Sat.lit * Sat.lit
+(* The blaster is split in two layers:
+
+   - a {e gate graph}: a hash-consed and-inverter-style circuit (AND, XOR,
+     ITE nodes plus input bits and the constant TRUE) built from terms.
+     The graph owns the structural-hashing caches — term-to-node and
+     gate-to-node — and is the unit of {e cross-session} reuse: every
+     enumeration session of the same program shares one graph, so a
+     sub-term already blasted for one candidate relation resolves to an
+     existing node instead of being re-folded.
+
+   - a {e session} ([t] below): a SAT instance plus a node-to-literal
+     emission map.  Tseitin clauses are emitted per session, on demand, by
+     a structural walk over the graph, so each session's CNF contains
+     exactly the cone of its own assertions and the clause/variable
+     numbering depends only on the order of its assertions — not on what
+     other sessions did to the shared graph.
+
+   Node references ("nrefs") are ints [2*id + sign]; node 0 is the
+   constant TRUE, so nref 0 is TRUE and nref 1 is FALSE. *)
+
+type node =
+  | N_true
+  | N_input of string * Sort.t * int  (* bit [i] of input [name] *)
+  | N_and of int * int
+  | N_xor of int * int  (* operands stored positive (sign-normalized) *)
+  | N_ite of int * int * int
+
+type gate_key = K_and of int * int | K_xor of int * int | K_ite of int * int * int
+
+type graph = {
+  mutable nodes : node array;
+  mutable n_nodes : int;
+  gates : (gate_key, int * int) Hashtbl.t;  (* key -> (output nref, session stamp) *)
+  bool_cache : (int * int) Term_tbl.t;  (* term -> (nref, session stamp) *)
+  bv_cache : (int array * int) Term_tbl.t;
+  g_inputs : (string, Sort.t * int array) Hashtbl.t;  (* name -> positive nrefs *)
+  mutable session_ctr : int;  (* stamp distinguishing same- vs cross-session hits *)
+}
+
+let new_graph () =
+  {
+    nodes = Array.make 1024 N_true;
+    n_nodes = 1;
+    gates = Hashtbl.create 1024;
+    bool_cache = Term_tbl.create 256;
+    bv_cache = Term_tbl.create 256;
+    g_inputs = Hashtbl.create 64;
+    session_ctr = 0;
+  }
+
+let add_node g node =
+  if g.n_nodes = Array.length g.nodes then begin
+    let grown = Array.make (2 * g.n_nodes) N_true in
+    Array.blit g.nodes 0 grown 0 g.n_nodes;
+    g.nodes <- grown
+  end;
+  let id = g.n_nodes in
+  g.nodes.(id) <- node;
+  g.n_nodes <- id + 1;
+  id
+
+let nref_true = 0
+let nref_false = 1
+let n_neg r = r lxor 1
+let n_is_pos r = r land 1 = 0
 
 type t = {
   sat : Sat.t;
   true_lit : Sat.lit;
-  gates : (gate_key, Sat.lit) Hashtbl.t;
-  bool_cache : Sat.lit Term_tbl.t;
-  bv_cache : Sat.lit array Term_tbl.t;
-  inputs : (string, Sort.t * Sat.lit array) Hashtbl.t;
+  g : graph;
+  sid : int;  (* this session's stamp in the shared graph *)
+  mutable lit_of : Sat.lit array;  (* node id -> emitted literal; 0 = not yet *)
+  inputs : (string, Sort.t * Sat.lit array) Hashtbl.t;  (* emitted this session *)
   (* Structural-hashing effectiveness counters (gate + term caches),
-     read by the solver session and flushed to telemetry. *)
+     read by the solver session and flushed to telemetry.  [cross_hits]
+     counts the subset of hits that resolved to a node created by an
+     earlier session on the same graph. *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable cross_hits : int;
 }
 
-let create ?seed ?default_phase () =
+let create ?seed ?default_phase ?graph () =
+  let g = match graph with Some g -> g | None -> new_graph () in
+  g.session_ctr <- g.session_ctr + 1;
   let sat = Sat.create ?seed ?default_phase () in
   let v = Sat.new_var sat in
   Sat.add_clause sat [ Sat.pos v ];
+  let lit_of = Array.make (max 16 g.n_nodes) 0 in
+  lit_of.(0) <- Sat.pos v;
   {
     sat;
     true_lit = Sat.pos v;
-    gates = Hashtbl.create 1024;
-    bool_cache = Term_tbl.create 256;
-    bv_cache = Term_tbl.create 256;
+    g;
+    sid = g.session_ctr;
+    lit_of;
     inputs = Hashtbl.create 64;
     cache_hits = 0;
     cache_misses = 0;
+    cross_hits = 0;
   }
 
 let solver t = t.sat
 let cache_stats t = (t.cache_hits, t.cache_misses)
-let hit t = t.cache_hits <- t.cache_hits + 1
+let cross_stats t = t.cross_hits
+
+let hit t sid0 =
+  t.cache_hits <- t.cache_hits + 1;
+  if sid0 <> t.sid then t.cross_hits <- t.cross_hits + 1
+
 let miss t = t.cache_misses <- t.cache_misses + 1
-let lit_true t = t.true_lit
-let lit_false t = Sat.negate t.true_lit
-let is_true t l = l = t.true_lit
-let is_false t l = l = Sat.negate t.true_lit
-let fresh t = Sat.pos (Sat.new_var t.sat)
 
 (* ---- gates with structural hashing and constant folding ---- *)
 
+let gate t key node =
+  match Hashtbl.find_opt t.g.gates key with
+  | Some (o, sid0) ->
+    hit t sid0;
+    o
+  | None ->
+    miss t;
+    let o = 2 * add_node t.g node in
+    Hashtbl.add t.g.gates key (o, t.sid);
+    o
+
 let g_and t a b =
-  if is_false t a || is_false t b then lit_false t
-  else if is_true t a then b
-  else if is_true t b then a
+  if a = nref_false || b = nref_false then nref_false
+  else if a = nref_true then b
+  else if b = nref_true then a
   else if a = b then a
-  else if a = Sat.negate b then lit_false t
+  else if a = n_neg b then nref_false
   else begin
     let a, b = if a < b then (a, b) else (b, a) in
-    let key = K_and (a, b) in
-    match Hashtbl.find_opt t.gates key with
-    | Some o ->
-      hit t;
-      o
-    | None ->
-      miss t;
-      let o = fresh t in
-      Sat.add_clause t.sat [ Sat.negate o; a ];
-      Sat.add_clause t.sat [ Sat.negate o; b ];
-      Sat.add_clause t.sat [ o; Sat.negate a; Sat.negate b ];
-      Hashtbl.add t.gates key o;
-      o
+    gate t (K_and (a, b)) (N_and (a, b))
   end
 
-let g_or t a b = Sat.negate (g_and t (Sat.negate a) (Sat.negate b))
+let g_or t a b = n_neg (g_and t (n_neg a) (n_neg b))
 
 let g_xor t a b =
-  if is_false t a then b
-  else if is_false t b then a
-  else if is_true t a then Sat.negate b
-  else if is_true t b then Sat.negate a
-  else if a = b then lit_false t
-  else if a = Sat.negate b then lit_true t
+  if a = nref_false then b
+  else if b = nref_false then a
+  else if a = nref_true then n_neg b
+  else if b = nref_true then n_neg a
+  else if a = b then nref_false
+  else if a = n_neg b then nref_true
   else begin
     (* Normalize: positive operands, ordered; track output polarity. *)
     let flip = ref false in
-    let norm l =
-      if Sat.is_pos l then l
+    let norm r =
+      if n_is_pos r then r
       else begin
         flip := not !flip;
-        Sat.negate l
+        n_neg r
       end
     in
     let a = norm a and b = norm b in
     let a, b = if a < b then (a, b) else (b, a) in
-    let key = K_xor (a, b) in
-    let o =
-      match Hashtbl.find_opt t.gates key with
-      | Some o ->
-        hit t;
-        o
-      | None ->
-        miss t;
-        let o = fresh t in
-        Sat.add_clause t.sat [ Sat.negate o; a; b ];
-        Sat.add_clause t.sat [ Sat.negate o; Sat.negate a; Sat.negate b ];
-        Sat.add_clause t.sat [ o; Sat.negate a; b ];
-        Sat.add_clause t.sat [ o; a; Sat.negate b ];
-        Hashtbl.add t.gates key o;
-        o
-    in
-    if !flip then Sat.negate o else o
+    let o = gate t (K_xor (a, b)) (N_xor (a, b)) in
+    if !flip then n_neg o else o
   end
 
-let g_iff t a b = Sat.negate (g_xor t a b)
+let g_iff t a b = n_neg (g_xor t a b)
 
 let g_ite t c a b =
-  if is_true t c then a
-  else if is_false t c then b
+  if c = nref_true then a
+  else if c = nref_false then b
   else if a = b then a
-  else if is_true t a && is_false t b then c
-  else if is_false t a && is_true t b then Sat.negate c
-  else begin
-    let key = K_ite (c, a, b) in
-    match Hashtbl.find_opt t.gates key with
-    | Some o ->
-      hit t;
-      o
-    | None ->
-      miss t;
-      let o = fresh t in
-      Sat.add_clause t.sat [ Sat.negate c; Sat.negate a; o ];
-      Sat.add_clause t.sat [ Sat.negate c; a; Sat.negate o ];
-      Sat.add_clause t.sat [ c; Sat.negate b; o ];
-      Sat.add_clause t.sat [ c; b; Sat.negate o ];
-      Hashtbl.add t.gates key o;
-      o
-  end
+  else if a = nref_true && b = nref_false then c
+  else if a = nref_false && b = nref_true then n_neg c
+  else gate t (K_ite (c, a, b)) (N_ite (c, a, b))
 
-let g_implies t a b = g_or t (Sat.negate a) b
+let g_implies t a b = g_or t (n_neg a) b
 
 (* ---- vectors (little-endian: index 0 = LSB) ---- *)
 
-let vec_const t v w =
-  Array.init w (fun i -> if Bits.bit v i then lit_true t else lit_false t)
+let vec_const (_ : t) v w =
+  Array.init w (fun i -> if Bits.bit v i then nref_true else nref_false)
 
 let vec_eq t a b =
-  let acc = ref (lit_true t) in
+  let acc = ref nref_true in
   Array.iteri (fun i ai -> acc := g_and t !acc (g_iff t ai b.(i))) a;
   !acc
 
 (* a + b + carry_in; returns sum vector (drops final carry). *)
 let vec_add ?(carry_in = `Zero) t a b =
   let w = Array.length a in
-  let sum = Array.make w (lit_false t) in
-  let carry = ref (match carry_in with `Zero -> lit_false t | `One -> lit_true t) in
+  let sum = Array.make w nref_false in
+  let carry = ref (match carry_in with `Zero -> nref_false | `One -> nref_true) in
   for i = 0 to w - 1 do
     let x = a.(i) and y = b.(i) and c = !carry in
     let xy = g_xor t x y in
@@ -167,17 +205,17 @@ let vec_add ?(carry_in = `Zero) t a b =
   done;
   sum
 
-let vec_not (_ : t) a = Array.map Sat.negate a
+let vec_not (_ : t) a = Array.map n_neg a
 let vec_neg t a = vec_add ~carry_in:`One t (vec_not t a) (vec_const t 0L (Array.length a))
 let vec_sub t a b = vec_add ~carry_in:`One t a (vec_not t b)
 
 (* Unsigned a < b via MSB-first comparison chain. *)
 let vec_ult t a b =
   let w = Array.length a in
-  let lt = ref (lit_false t) in
-  let eq_so_far = ref (lit_true t) in
+  let lt = ref nref_false in
+  let eq_so_far = ref nref_true in
   for i = w - 1 downto 0 do
-    let bit_lt = g_and t (Sat.negate a.(i)) b.(i) in
+    let bit_lt = g_and t (n_neg a.(i)) b.(i) in
     lt := g_or t !lt (g_and t !eq_so_far bit_lt);
     eq_so_far := g_and t !eq_so_far (g_iff t a.(i) b.(i))
   done;
@@ -188,8 +226,8 @@ let vec_ule t a b = g_or t (vec_ult t a b) (vec_eq t a b)
 let vec_slt t a b =
   let w = Array.length a in
   let a' = Array.copy a and b' = Array.copy b in
-  a'.(w - 1) <- Sat.negate a.(w - 1);
-  b'.(w - 1) <- Sat.negate b.(w - 1);
+  a'.(w - 1) <- n_neg a.(w - 1);
+  b'.(w - 1) <- n_neg b.(w - 1);
   vec_ult t a' b'
 
 let vec_sle t a b = g_or t (vec_slt t a b) (vec_eq t a b)
@@ -202,78 +240,72 @@ let vec_binary_pointwise t f a b = Array.init (Array.length a) (fun i -> f t a.(
    positions.  Amounts >= width produce all-[fill]. *)
 let vec_shift t ~dir ~fill a amount =
   let w = Array.length a in
-  let fill_lit = match fill with `Zero -> lit_false t | `Sign -> a.(w - 1) in
+  let fill_ref = match fill with `Zero -> nref_false | `Sign -> a.(w - 1) in
   let stages = 6 (* 2^6 = 64 >= any supported width *) in
   let shift_by_const v k =
     Array.init w (fun i ->
         match dir with
-        | `Left -> if i - k >= 0 then v.(i - k) else lit_false t
-        | `Right -> if i + k < w then v.(i + k) else fill_lit)
+        | `Left -> if i - k >= 0 then v.(i - k) else nref_false
+        | `Right -> if i + k < w then v.(i + k) else fill_ref)
   in
   let result = ref a in
   for s = 0 to stages - 1 do
     let k = 1 lsl s in
-    let sel = if s < Array.length amount then amount.(s) else lit_false t in
-    let shifted = if k >= w then Array.make w fill_lit else shift_by_const !result k in
+    let sel = if s < Array.length amount then amount.(s) else nref_false in
+    let shifted = if k >= w then Array.make w fill_ref else shift_by_const !result k in
     result := vec_ite t sel shifted !result
   done;
   (* Amount bits beyond 2^6 positions: any set high bit zeroes (or
      sign-fills) the result. *)
-  let high = ref (lit_false t) in
+  let high = ref nref_false in
   Array.iteri (fun i l -> if i >= stages then high := g_or t !high l) amount;
-  vec_ite t !high (Array.make w fill_lit) !result
+  vec_ite t !high (Array.make w fill_ref) !result
 
 let vec_mul t a b =
   let w = Array.length a in
   let acc = ref (vec_const t 0L w) in
   for i = 0 to w - 1 do
     let partial =
-      Array.init w (fun j -> if j < i then lit_false t else g_and t b.(i) a.(j - i))
+      Array.init w (fun j -> if j < i then nref_false else g_and t b.(i) a.(j - i))
     in
     acc := vec_add t !acc partial
   done;
   !acc
 
-(* ---- inputs ---- *)
+(* ---- inputs (graph nodes; literal allocation happens at emission) ---- *)
 
-let input_literals t (name, sort) =
-  match Hashtbl.find_opt t.inputs name with
-  | Some (s, lits) ->
+let graph_input t (name, sort) =
+  match Hashtbl.find_opt t.g.g_inputs name with
+  | Some (s, nrefs) ->
     if not (Sort.equal s sort) then
       raise (Term.Sort_error (Printf.sprintf "variable %s used at two sorts" name));
-    lits
+    nrefs
   | None ->
     let n = match sort with Sort.Bool -> 1 | Sort.Bv w -> w | Sort.Mem -> 0 in
     if n = 0 then invalid_arg "Blaster: memory variable reached the blaster";
-    let lits = Array.init n (fun _ -> fresh t) in
-    (* Bias branching towards deciding high bits first, so conflict-driven
-       flips during model enumeration land on low bits: enumerated models
-       then differ by small amounts, like Z3's default models. *)
-    Array.iteri
-      (fun i l -> Sat.nudge_activity t.sat (Sat.var_of l) (1e-3 *. float_of_int (i + 1)))
-      lits;
-    Hashtbl.add t.inputs name (sort, lits);
-    lits
+    let nrefs = Array.init n (fun i -> 2 * add_node t.g (N_input (name, sort, i))) in
+    Hashtbl.add t.g.g_inputs name (sort, nrefs);
+    nrefs
 
-(* ---- term translation ---- *)
+(* ---- term translation (graph construction) ---- *)
 
-let rec blast_bool t (term : Term.t) : Sat.lit =
-  match Term_tbl.find_opt t.bool_cache term with
-  | Some l ->
-    hit t;
-    l
+let rec blast_bool t (term : Term.t) : int =
+  match Term_tbl.find_opt t.g.bool_cache term with
+  | Some (r, sid0) ->
+    hit t sid0;
+    r
   | None ->
     miss t;
-    let l =
+    let r =
       match term with
-      | Term.True -> lit_true t
-      | Term.False -> lit_false t
-      | Term.Var (x, Sort.Bool) -> (input_literals t (x, Sort.Bool)).(0)
+      | Term.True -> nref_true
+      | Term.False -> nref_false
+      | Term.Var (x, Sort.Bool) -> (graph_input t (x, Sort.Bool)).(0)
       | Term.Var (x, s) ->
         raise
           (Term.Sort_error
              (Printf.sprintf "boolean context, variable %s : %s" x (Sort.to_string s)))
-      | Term.Not a -> Sat.negate (blast_bool t a)
+      | Term.Not a -> n_neg (blast_bool t a)
       | Term.And (a, b) -> g_and t (blast_bool t a) (blast_bool t b)
       | Term.Or (a, b) -> g_or t (blast_bool t a) (blast_bool t b)
       | Term.Implies (a, b) -> g_implies t (blast_bool t a) (blast_bool t b)
@@ -294,19 +326,19 @@ let rec blast_bool t (term : Term.t) : Sat.lit =
       | Term.Select _ | Term.Store _ ->
         invalid_arg "Blaster: memory operation reached the blaster"
     in
-    Term_tbl.add t.bool_cache term l;
-    l
+    Term_tbl.add t.g.bool_cache term (r, t.sid);
+    r
 
-and blast_bv t (term : Term.t) : Sat.lit array =
-  match Term_tbl.find_opt t.bv_cache term with
-  | Some v ->
-    hit t;
+and blast_bv t (term : Term.t) : int array =
+  match Term_tbl.find_opt t.g.bv_cache term with
+  | Some (v, sid0) ->
+    hit t sid0;
     v
   | None ->
     miss t;
     let v =
       match term with
-      | Term.Var (x, (Sort.Bv _ as s)) -> input_literals t (x, s)
+      | Term.Var (x, (Sort.Bv _ as s)) -> graph_input t (x, s)
       | Term.Bv_const (v, w) -> vec_const t v w
       | Term.Bv_unop (Term.Neg, a) -> vec_neg t (blast_bv t a)
       | Term.Bv_unop (Term.Lognot, a) -> vec_not t (blast_bv t a)
@@ -319,7 +351,7 @@ and blast_bv t (term : Term.t) : Sat.lit array =
         Array.append vb va
       | Term.Zero_extend (k, a) ->
         let va = blast_bv t a in
-        Array.append va (Array.make k (lit_false t))
+        Array.append va (Array.make k nref_false)
       | Term.Sign_extend (k, a) ->
         let va = blast_bv t a in
         Array.append va (Array.make k va.(Array.length va - 1))
@@ -331,7 +363,7 @@ and blast_bv t (term : Term.t) : Sat.lit array =
       | Term.Slt _ | Term.Sle _ | Term.Var _ ->
         raise (Term.Sort_error "boolean term in bitvector context")
     in
-    Term_tbl.add t.bv_cache term v;
+    Term_tbl.add t.g.bv_cache term (v, t.sid);
     v
 
 and blast_binop t op a b =
@@ -346,12 +378,96 @@ and blast_binop t op a b =
   | Term.Lshr -> vec_shift t ~dir:`Right ~fill:`Zero a b
   | Term.Ashr -> vec_shift t ~dir:`Right ~fill:`Sign a b
 
+(* ---- per-session clause emission ---- *)
+
+let ensure_emission_capacity t =
+  if Array.length t.lit_of < t.g.n_nodes then begin
+    let grown = Array.make (max (2 * Array.length t.lit_of) t.g.n_nodes) 0 in
+    Array.blit t.lit_of 0 grown 0 (Array.length t.lit_of);
+    t.lit_of <- grown
+  end
+
+let fresh t = Sat.pos (Sat.new_var t.sat)
+
+(* All bits of an input are emitted together, in bit order, so the SAT
+   variable layout of an input word does not depend on which bits the
+   assertions happen to mention first. *)
+let rec emit_input t name sort =
+  match Hashtbl.find_opt t.inputs name with
+  | Some (s, lits) ->
+    if not (Sort.equal s sort) then
+      raise (Term.Sort_error (Printf.sprintf "variable %s used at two sorts" name));
+    lits
+  | None ->
+    let nrefs = graph_input t (name, sort) in
+    let lits = Array.init (Array.length nrefs) (fun _ -> fresh t) in
+    (* Bias branching towards deciding high bits first, so conflict-driven
+       flips during model enumeration land on low bits: enumerated models
+       then differ by small amounts, like Z3's default models. *)
+    Array.iteri
+      (fun i l -> Sat.nudge_activity t.sat (Sat.var_of l) (1e-3 *. float_of_int (i + 1)))
+      lits;
+    Hashtbl.add t.inputs name (sort, lits);
+    ensure_emission_capacity t;
+    Array.iteri (fun i nr -> t.lit_of.(nr lsr 1) <- lits.(i)) nrefs;
+    lits
+
+and lit_of_node t id =
+  let cached = t.lit_of.(id) in
+  if cached <> 0 then cached
+  else begin
+    let l =
+      match t.g.nodes.(id) with
+      | N_true -> t.true_lit (* pre-set at creation; unreachable *)
+      | N_input (name, sort, bit) -> (emit_input t name sort).(bit)
+      | N_and (a, b) ->
+        let la = lit_of_ref t a in
+        let lb = lit_of_ref t b in
+        let o = fresh t in
+        Sat.add_clause t.sat [ Sat.negate o; la ];
+        Sat.add_clause t.sat [ Sat.negate o; lb ];
+        Sat.add_clause t.sat [ o; Sat.negate la; Sat.negate lb ];
+        o
+      | N_xor (a, b) ->
+        let la = lit_of_ref t a in
+        let lb = lit_of_ref t b in
+        let o = fresh t in
+        Sat.add_clause t.sat [ Sat.negate o; la; lb ];
+        Sat.add_clause t.sat [ Sat.negate o; Sat.negate la; Sat.negate lb ];
+        Sat.add_clause t.sat [ o; Sat.negate la; lb ];
+        Sat.add_clause t.sat [ o; la; Sat.negate lb ];
+        o
+      | N_ite (c, a, b) ->
+        let lc = lit_of_ref t c in
+        let la = lit_of_ref t a in
+        let lb = lit_of_ref t b in
+        let o = fresh t in
+        Sat.add_clause t.sat [ Sat.negate lc; Sat.negate la; o ];
+        Sat.add_clause t.sat [ Sat.negate lc; la; Sat.negate o ];
+        Sat.add_clause t.sat [ lc; Sat.negate lb; o ];
+        Sat.add_clause t.sat [ lc; lb; Sat.negate o ];
+        o
+    in
+    ensure_emission_capacity t;
+    t.lit_of.(id) <- l;
+    l
+  end
+
+and lit_of_ref t r =
+  let l = lit_of_node t (r lsr 1) in
+  if r land 1 = 1 then Sat.negate l else l
+
 let assert_term t term =
   (match Term.sort_of term with
   | Sort.Bool -> ()
   | s -> raise (Term.Sort_error ("assertion of sort " ^ Sort.to_string s)));
-  let l = blast_bool t term in
+  ensure_emission_capacity t;
+  let r = blast_bool t term in
+  ensure_emission_capacity t;
+  let l = lit_of_ref t r in
   Sat.add_clause t.sat [ l ]
+
+let input_literals t (name, sort) = emit_input t name sort
 
 let lit_model_value t l =
   let v = Sat.value t.sat (Sat.var_of l) in

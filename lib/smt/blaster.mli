@@ -2,15 +2,32 @@
     solver, maintaining a map from input variables to their literals so
     models can be read back and blocking clauses formulated.
 
-    Thread-safety: a blasting context owns mutable hash tables (gate and
-    term caches) and a {!Sat} instance, none of it synchronized — a
-    context is {e domain-confined} to the domain that created it, matching
-    the campaign design where each worker domain builds its own contexts. *)
+    Blasting is split across two layers.  A {!graph} is a hash-consed
+    gate circuit (AND/XOR/ITE nodes over input bits and the constant
+    TRUE) together with the term-to-node caches; it holds no SAT state.
+    A blasting context [t] owns a {!Sat} instance and emits Tseitin
+    clauses for graph nodes on demand, so several contexts can share one
+    graph: a sub-term blasted for one enumeration session resolves to an
+    existing gate node in every later session of the same program, and
+    only the (cheap) clause emission is repeated.  Cross-session cache
+    effectiveness is reported by {!cross_stats}.
+
+    Thread-safety: a graph and every context sharing it are mutable and
+    unsynchronized — the whole group is {e domain-confined} to the domain
+    that created it, matching the campaign design where each worker domain
+    builds one graph per program and all of that program's sessions on it. *)
 
 type t
 
-val create : ?seed:int64 -> ?default_phase:bool -> unit -> t
-(** Fresh blasting context with an empty solver. *)
+type graph
+(** Shared hash-consed gate graph (see above). *)
+
+val new_graph : unit -> graph
+(** Fresh empty graph (just the constant-TRUE node). *)
+
+val create : ?seed:int64 -> ?default_phase:bool -> ?graph:graph -> unit -> t
+(** Fresh blasting context with an empty solver.  [graph] is the gate
+    graph to build in and reuse from (default: a private fresh one). *)
 
 val assert_term : t -> Term.t -> unit
 (** Assert a Bool-sorted, array-free term.
@@ -22,16 +39,26 @@ val solver : t -> Sat.t
 
 val cache_stats : t -> int * int
 (** [(hits, misses)] over the structural-hashing caches (gate cache plus
-    bool/bitvector term caches).  The solver session flushes these to the
-    telemetry registry as [smt.blast_cache_hits] / [smt.blast_cache_misses]. *)
+    bool/bitvector term caches) attributed to this context.  The solver
+    session flushes these to the telemetry registry as
+    [smt.blast_cache_hits] / [smt.blast_cache_misses]. *)
+
+val cross_stats : t -> int
+(** Number of cache hits (a subset of [fst (cache_stats t)]) that resolved
+    to a node built by an {e earlier} context on the same shared graph —
+    the cross-session reuse the per-program graph exists for.  Flushed as
+    [smt.blast_cache_cross_hits]. *)
 
 val input_literals : t -> (string * Sort.t) -> Sat.lit array
 (** Literals allocated for an input variable (length 1 for Bool).
     Allocates them on first use so callers can track variables that do not
-    occur in any assertion. *)
+    occur in any assertion.  All bits of a word are allocated together in
+    bit order, so the variable layout is independent of which bits the
+    assertions mention first. *)
 
 val read_model : t -> Model.t
-(** Read values of every input variable after a successful solve. *)
+(** Read values of every input variable after a successful solve.  Only
+    inputs this context touched are reported, even on a shared graph. *)
 
 val inputs : t -> (string * Sort.t * Sat.lit array) list
 (** All allocated input variables with their literals, sorted by name

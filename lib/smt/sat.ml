@@ -1,8 +1,28 @@
 (* CDCL in the MiniSat tradition.  Data layout: variables are integers
    starting at 1; literal l of variable v is 2*v (positive) or 2*v+1
-   (negative).  Clauses are int arrays whose first two literals are
-   watched.  The trail records assignments in order; `reason` links each
-   implied variable to its asserting clause for conflict analysis. *)
+   (negative).
+
+   Clauses live in a single growable int arena (MiniSat's ClauseAllocator):
+   a clause reference [cref] is the offset of its header word.  Layout:
+
+     ca.(c)              header: size lsl 2 | learned lsl 1 | deleted
+     ca.(c+1)            LBD            (learned clauses only)
+     ca.(c+2)            activity       (learned clauses only)
+     ca.(c+k)...         literals       (k = 3 learned, 1 problem)
+
+   The first two literals of every clause are watched.  Watch lists are
+   flat int vectors of (cref, blocker) pairs: the blocker is the other
+   watched literal at attach time, so the satisfied-clause fast path
+   touches only the watch vector, never the clause (MiniSat's blocker
+   optimisation).  Propagation compacts the vector in place — no list
+   allocation on the hot path.
+
+   Deleted clauses are only marked (header bit 0); their watchers are
+   dropped lazily by propagation and their arena words leak until the
+   instance dies, which is bounded by the clause-DB reduction keeping the
+   learned set small.  The trail records assignments in order; [reason]
+   links each implied variable to its asserting cref for conflict
+   analysis. *)
 
 type lit = int
 
@@ -12,38 +32,74 @@ let negate l = l lxor 1
 let var_of l = l lsr 1
 let is_pos l = l land 1 = 0
 
-type clause = int array
+type cref = int
+
+let cr_null : cref = -1
 
 (* Assignment: 0 = unassigned, 1 = true, -1 = false (per variable). *)
 type t = {
   mutable nvars : int;
   mutable assign : int array;  (* var -> -1/0/1 *)
   mutable level : int array;  (* var -> decision level *)
-  mutable reason : clause option array;  (* var -> implying clause *)
+  mutable reason : int array;  (* var -> implying cref, or cr_null *)
   mutable phase : bool array;  (* var -> saved phase *)
   mutable activity : float array;  (* var -> VSIDS activity *)
-  mutable watches : clause list array;  (* lit -> watching clauses *)
+  (* Clause arena. *)
+  mutable ca : int array;
+  mutable ca_size : int;
+  (* Watch lists: per literal, interleaved (cref, blocker) pairs. *)
+  mutable w_data : int array array;
+  mutable w_size : int array;
   mutable trail : int array;  (* literal trail *)
   mutable trail_size : int;
   mutable trail_lim : int array;  (* trail sizes at decision points *)
   mutable trail_lim_size : int;
   mutable qhead : int;  (* propagation pointer *)
-  mutable clauses : clause list;  (* original + learned, for re-solving *)
+  (* Clause index vectors (crefs); deleted entries are swept lazily. *)
+  mutable clauses : int array;  (* problem clauses *)
+  mutable n_clauses : int;
+  mutable learnts : int array;  (* learned clauses *)
+  mutable n_learnts : int;
   mutable unsat : bool;  (* empty/contradictory clause seen *)
   mutable var_inc : float;
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
   mutable restarts : int;
+  mutable learned_total : int;  (* clauses learned over the instance's life *)
+  mutable deleted_total : int;  (* clauses deleted by reduce/simplify *)
+  mutable next_reduce : int;  (* conflict count triggering the next reduce *)
+  mutable reduce_count : int;
+  mutable simp_trail : int;  (* level-0 trail size at the last simplify *)
   mutable rng : Scamv_util.Splitmix.t;
   mutable random_branch_freq : float;
+  mutable rnd_countdown : int;
+      (* deterministic decisions left until the next random-branch trial:
+         sampled geometrically from [random_branch_freq], so the RNG is
+         touched once per ~1/freq decisions instead of on every decision *)
   default_phase : bool;
   (* Order heap: binary max-heap on activity. *)
   mutable heap : int array;
   mutable heap_size : int;
   mutable heap_pos : int array;  (* var -> index in heap, -1 if absent *)
+  mutable next_zero : int;
+      (* ascending-id decision cursor over zero-activity variables: every
+         unassigned zero-activity variable has id >= next_zero *)
   mutable seen : bool array;  (* scratch for conflict analysis *)
+  mutable level_stamp : int array;  (* scratch for LBD computation *)
+  mutable stamp : int;
+  (* LBD histogram (clamped at [lbd_buckets - 1]) with a flush watermark,
+     so [solve] can report per-query deltas to telemetry. *)
+  lbd_hist : int array;
+  lbd_flushed : int array;
 }
+
+let lbd_buckets = 33
+
+(* Root-level simplification is worth a full watch rebuild only once a
+   meaningful batch of new level-0 facts has accumulated; rebuilding on
+   every learnt unit costs more than the propagation it saves. *)
+let simplify_threshold = 32
 
 let create ?seed ?(default_phase = false) () =
   let cap = 16 in
@@ -51,29 +107,46 @@ let create ?seed ?(default_phase = false) () =
     nvars = 0;
     assign = Array.make cap 0;
     level = Array.make cap 0;
-    reason = Array.make cap None;
+    reason = Array.make cap cr_null;
     phase = Array.make cap default_phase;
     activity = Array.make cap 0.0;
-    watches = Array.make (2 * cap) [];
+    ca = Array.make 1024 0;
+    ca_size = 0;
+    w_data = Array.make (2 * cap) [||];
+    w_size = Array.make (2 * cap) 0;
     trail = Array.make cap 0;
     trail_size = 0;
     trail_lim = Array.make cap 0;
     trail_lim_size = 0;
     qhead = 0;
-    clauses = [];
+    clauses = Array.make 64 0;
+    n_clauses = 0;
+    learnts = Array.make 64 0;
+    n_learnts = 0;
     unsat = false;
     var_inc = 1.0;
     conflicts = 0;
     decisions = 0;
     propagations = 0;
     restarts = 0;
+    learned_total = 0;
+    deleted_total = 0;
+    next_reduce = 2000;
+    reduce_count = 0;
+    simp_trail = 0;
     rng = Scamv_util.Splitmix.of_seed (Option.value seed ~default:0L);
     random_branch_freq = (match seed with None -> 0.0 | Some _ -> 0.02);
+    rnd_countdown = 0;
     default_phase;
     heap = Array.make cap 0;
     heap_size = 0;
     heap_pos = Array.make cap (-1);
+    next_zero = 1;
     seen = Array.make cap false;
+    level_stamp = Array.make cap 0;
+    stamp = 0;
+    lbd_hist = Array.make lbd_buckets 0;
+    lbd_flushed = Array.make lbd_buckets 0;
   }
 
 let num_vars t = t.nvars
@@ -81,6 +154,21 @@ let stats_conflicts t = t.conflicts
 let stats_decisions t = t.decisions
 let stats_propagations t = t.propagations
 let stats_restarts t = t.restarts
+let stats_learned t = t.learned_total
+let stats_deleted t = t.deleted_total
+
+(* ---- clause arena accessors ---- *)
+
+let cl_size t c = t.ca.(c) lsr 2
+let cl_learned t c = t.ca.(c) land 2 <> 0
+let cl_deleted t c = t.ca.(c) land 1 <> 0
+let cl_delete t c = t.ca.(c) <- t.ca.(c) lor 1
+let cl_base t c = c + 1 + (t.ca.(c) land 2)  (* +2 extra header words iff learned *)
+let cl_lbd t c = t.ca.(c + 1)
+let cl_set_lbd t c lbd = t.ca.(c + 1) <- lbd
+let cl_act t c = t.ca.(c + 2)
+let cl_set_act t c a = t.ca.(c + 2) <- a
+let cl_set_size t c n = t.ca.(c) <- (n lsl 2) lor (t.ca.(c) land 3)
 
 (* ---- dynamic growth ---- *)
 
@@ -95,19 +183,27 @@ let grow_arr a n fill =
 let ensure_var_cap t n =
   t.assign <- grow_arr t.assign (n + 1) 0;
   t.level <- grow_arr t.level (n + 1) 0;
-  t.reason <- grow_arr t.reason (n + 1) None;
+  t.reason <- grow_arr t.reason (n + 1) cr_null;
   t.phase <- grow_arr t.phase (n + 1) t.default_phase;
   t.activity <- grow_arr t.activity (n + 1) 0.0;
-  t.watches <- grow_arr t.watches (2 * (n + 1)) [];
+  t.w_data <- grow_arr t.w_data (2 * (n + 1)) [||];
+  t.w_size <- grow_arr t.w_size (2 * (n + 1)) 0;
   t.trail <- grow_arr t.trail (n + 1) 0;
   t.trail_lim <- grow_arr t.trail_lim (n + 1) 0;
   t.heap <- grow_arr t.heap (n + 1) 0;
   t.heap_pos <- grow_arr t.heap_pos (n + 1) (-1);
-  t.seen <- grow_arr t.seen (n + 1) false
+  t.seen <- grow_arr t.seen (n + 1) false;
+  t.level_stamp <- grow_arr t.level_stamp (n + 2) 0
 
 (* ---- order heap ---- *)
 
-let heap_less t a b = t.activity.(a) > t.activity.(b)
+(* Equal activities tie-break on variable id: variables are created in
+   circuit topological order by the blaster, and branching low-id-first
+   on untouched variables approximates the old per-solve heap refill
+   (which re-inserted variables in creation order) without its O(nvars)
+   cost per query. *)
+let heap_less t a b =
+  t.activity.(a) > t.activity.(b) || (t.activity.(a) = t.activity.(b) && a < b)
 
 let rec heap_sift_up t i =
   if i > 0 then begin
@@ -165,15 +261,22 @@ let new_var t =
   ensure_var_cap t v;
   t.assign.(v) <- 0;
   t.activity.(v) <- 0.0;
+  (* Zero-activity variables are served by the decision cursor, not the
+     heap (see [pick_branch_var]); the heap only ever holds variables
+     whose activity has become positive. *)
   t.heap_pos.(v) <- -1;
-  heap_insert t v;
   v
 
 let lit_value t l =
-  let a = t.assign.(var_of l) in
-  if a = 0 then 0 else if is_pos l then a else -a
+  let a = t.assign.(l lsr 1) in
+  if a = 0 then 0 else if l land 1 = 0 then a else -a
 
 let decision_level t = t.trail_lim_size
+
+let value t v = t.assign.(v) = 1
+
+let root_value t v =
+  if t.assign.(v) <> 0 && t.level.(v) = 0 then t.assign.(v) else 0
 
 (* ---- activity ---- *)
 
@@ -185,6 +288,9 @@ let var_bump t v =
     done;
     t.var_inc <- t.var_inc *. 1e-100
   end;
+  (* Conflict analysis only bumps assigned variables, so a variable that
+     just became positive-activity need not enter the heap here: it is
+     inserted when [cancel_until] unassigns it. *)
   heap_update t v
 
 let var_decay t = t.var_inc <- t.var_inc /. 0.95
@@ -208,79 +314,157 @@ let cancel_until t lvl =
     for i = t.trail_size - 1 downto sz do
       let v = var_of t.trail.(i) in
       t.assign.(v) <- 0;
-      t.reason.(v) <- None;
-      heap_insert t v
+      t.reason.(v) <- cr_null;
+      (* Freed positive-activity variables go back on the heap; freed
+         zero-activity variables only need the decision cursor rewound so
+         it can see them again. *)
+      if t.activity.(v) > 0.0 then heap_insert t v
+      else if v < t.next_zero then t.next_zero <- v
     done;
     t.trail_size <- sz;
     t.qhead <- sz;
     t.trail_lim_size <- lvl
   end
 
-(* ---- clauses ---- *)
+(* ---- watches ---- *)
 
-let watch t l c = t.watches.(l) <- c :: t.watches.(l)
+let push_watch t l cref blocker =
+  let data = t.w_data.(l) in
+  let sz = t.w_size.(l) in
+  let data =
+    if sz + 2 > Array.length data then begin
+      let data' = Array.make (max 4 (2 * Array.length data)) 0 in
+      Array.blit data 0 data' 0 sz;
+      t.w_data.(l) <- data';
+      data'
+    end
+    else data
+  in
+  data.(sz) <- cref;
+  data.(sz + 1) <- blocker;
+  t.w_size.(l) <- sz + 2
 
 let attach_clause t c =
-  watch t (negate c.(0)) c;
-  watch t (negate c.(1)) c
+  let base = cl_base t c in
+  let l0 = t.ca.(base) and l1 = t.ca.(base + 1) in
+  push_watch t (negate l0) c l1;
+  push_watch t (negate l1) c l0
 
-(* Propagate all pending assignments; returns the conflicting clause if a
-   conflict is found. *)
-let propagate t : clause option =
-  let conflict = ref None in
-  while !conflict = None && t.qhead < t.trail_size do
+(* ---- clause allocation ---- *)
+
+let ca_alloc t words =
+  if t.ca_size + words > Array.length t.ca then begin
+    let cap = max (t.ca_size + words) (2 * Array.length t.ca) in
+    let ca' = Array.make cap 0 in
+    Array.blit t.ca 0 ca' 0 t.ca_size;
+    t.ca <- ca'
+  end;
+  let c = t.ca_size in
+  t.ca_size <- t.ca_size + words;
+  c
+
+let push_cref arr n c =
+  let arr = grow_arr arr (n + 1) 0 in
+  arr.(n) <- c;
+  arr
+
+(* Allocate a clause from an array of literals; attaches nothing. *)
+let alloc_clause t ~learned lits =
+  let n = Array.length lits in
+  let extra = if learned then 2 else 0 in
+  let c = ca_alloc t (1 + extra + n) in
+  t.ca.(c) <- (n lsl 2) lor (if learned then 2 else 0);
+  if learned then begin
+    t.ca.(c + 1) <- 0;
+    t.ca.(c + 2) <- 0
+  end;
+  let base = c + 1 + extra in
+  Array.blit lits 0 t.ca base n;
+  c
+
+(* ---- propagation ---- *)
+
+(* Propagate all pending assignments; returns the conflicting cref or
+   [cr_null].  The watch vector of the triggering literal is compacted in
+   place: no allocation per visited clause. *)
+let propagate t : cref =
+  let conflict = ref cr_null in
+  while !conflict = cr_null && t.qhead < t.trail_size do
     let l = t.trail.(t.qhead) in
     t.qhead <- t.qhead + 1;
-    (* l became true; visit clauses watching ~l via index l. *)
+    (* l became true; visit clauses watching ~l, stored under index l. *)
     let false_lit = negate l in
-    let ws = t.watches.(l) in
-    t.watches.(l) <- [];
-    let rec go = function
-      | [] -> ()
-      | c :: rest ->
-        (* Blocker-style satisfaction check: if the *other* watched
-           literal is already true the clause needs no work at all — keep
-           watching without touching the clause array.  This is the
-           common case on the hot path, so it pays to do it before the
-           position-1 normalization swap. *)
-        let other = if c.(0) = false_lit then c.(1) else c.(0) in
-        if lit_value t other = 1 then begin
-          t.watches.(l) <- c :: t.watches.(l);
-          go rest
+    let data = t.w_data.(l) in
+    let n = t.w_size.(l) in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let c = data.(!i) in
+      let blocker = data.(!i + 1) in
+      (* Blocker fast path: if the cached other literal is already true
+         the clause needs no work at all. *)
+      if lit_value t blocker = 1 then begin
+        data.(!j) <- c;
+        data.(!j + 1) <- blocker;
+        j := !j + 2;
+        i := !i + 2
+      end
+      else if cl_deleted t c then
+        (* Lazily drop watchers of deleted clauses. *)
+        i := !i + 2
+      else begin
+        let base = cl_base t c in
+        (* Ensure the false literal is at position 1. *)
+        if t.ca.(base) = false_lit then begin
+          t.ca.(base) <- t.ca.(base + 1);
+          t.ca.(base + 1) <- false_lit
+        end;
+        let first = t.ca.(base) in
+        if first <> blocker && lit_value t first = 1 then begin
+          (* Satisfied by the other watched literal: keep, refresh blocker. *)
+          data.(!j) <- c;
+          data.(!j + 1) <- first;
+          j := !j + 2;
+          i := !i + 2
         end
         else begin
-          (* Ensure the false literal is at position 1. *)
-          if c.(0) = false_lit then begin
-            c.(0) <- c.(1);
-            c.(1) <- false_lit
-          end;
           (* Look for a new literal to watch. *)
-          let n = Array.length c in
+          let size = cl_size t c in
           let k = ref 2 in
-          while !k < n && lit_value t c.(!k) = -1 do
+          while !k < size && lit_value t t.ca.(base + !k) = -1 do
             incr k
           done;
-          if !k < n then begin
-            c.(1) <- c.(!k);
-            c.(!k) <- false_lit;
-            watch t (negate c.(1)) c;
-            go rest
+          if !k < size then begin
+            (* Move the watch: this watcher leaves l's list. *)
+            t.ca.(base + 1) <- t.ca.(base + !k);
+            t.ca.(base + !k) <- false_lit;
+            push_watch t (negate t.ca.(base + 1)) c first;
+            i := !i + 2
           end
-          else if lit_value t c.(0) = -1 then begin
-            (* Conflict: splice the unvisited suffix back into the watch
-               list in one pass and stop. *)
-            t.watches.(l) <- List.rev_append rest (c :: t.watches.(l));
-            conflict := Some c
+          else if lit_value t first = -1 then begin
+            (* Conflict: keep this watcher and the unvisited suffix. *)
+            data.(!j) <- c;
+            data.(!j + 1) <- blocker;
+            j := !j + 2;
+            i := !i + 2;
+            while !i < n do
+              data.(!j) <- data.(!i);
+              j := !j + 1;
+              i := !i + 1
+            done;
+            conflict := c
           end
           else begin
-            (* Unit: propagate c.(0). *)
-            t.watches.(l) <- c :: t.watches.(l);
-            enqueue t c.(0) (Some c);
-            go rest
+            (* Unit: keep the watcher and propagate [first]. *)
+            data.(!j) <- c;
+            data.(!j + 1) <- first;
+            j := !j + 2;
+            i := !i + 2;
+            enqueue t first c
           end
         end
-    in
-    go ws
+      end
+    done;
+    t.w_size.(l) <- !j
   done;
   !conflict
 
@@ -304,12 +488,13 @@ let add_clause t lits =
       match lits with
       | [] -> t.unsat <- true
       | [ l ] ->
-        enqueue t l None;
-        if propagate t <> None then t.unsat <- true
+        enqueue t l cr_null;
+        if propagate t <> cr_null then t.unsat <- true
       | _ ->
-        let c = Array.of_list lits in
+        let c = alloc_clause t ~learned:false (Array.of_list lits) in
         attach_clause t c;
-        t.clauses <- c :: t.clauses
+        t.clauses <- push_cref t.clauses t.n_clauses c;
+        t.n_clauses <- t.n_clauses + 1
     end
   end
 
@@ -324,16 +509,20 @@ let analyze t confl =
   (* 0 encodes "undefined" before the first iteration *)
   let idx = ref (t.trail_size - 1) in
   let btlevel = ref 0 in
-  let confl = ref (Some confl) in
+  let confl = ref confl in
   let first = ref true in
   let continue_loop = ref true in
   while !continue_loop do
-    (match !confl with
-    | None -> ()
-    | Some c ->
+    if !confl <> cr_null then begin
+      let c = !confl in
+      (* Recency counts as clause activity: bump every learned clause that
+         participates in an analysis, so reduction keeps the useful ones. *)
+      if cl_learned t c then cl_set_act t c (cl_act t c + 1);
+      let base = cl_base t c in
+      let size = cl_size t c in
       let start = if !first then 0 else 1 in
-      for i = start to Array.length c - 1 do
-        let q = c.(i) in
+      for i = start to size - 1 do
+        let q = t.ca.(base + i) in
         let v = var_of q in
         if (not seen.(v)) && t.level.(v) > 0 then begin
           seen.(v) <- true;
@@ -345,7 +534,8 @@ let analyze t confl =
             if t.level.(v) > !btlevel then btlevel := t.level.(v)
           end
         end
-      done);
+      done
+    end;
     first := false;
     (* Select next literal to look at (walk trail backwards). *)
     let rec next_seen i = if seen.(var_of t.trail.(i)) then i else next_seen (i - 1) in
@@ -361,11 +551,171 @@ let analyze t confl =
   List.iter (fun v -> seen.(v) <- false) !touched;
   (negate !p :: !learnt, !btlevel)
 
+(* Literal-blocks-distance: number of distinct decision levels among the
+   literals of a learnt clause (Audemard & Simon).  Low-LBD ("glue")
+   clauses are the ones clause-DB reduction must keep. *)
+let compute_lbd t lits =
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let lbd = ref 0 in
+  Array.iter
+    (fun l ->
+      let lvl = t.level.(var_of l) in
+      if lvl > 0 && t.level_stamp.(lvl) <> stamp then begin
+        t.level_stamp.(lvl) <- stamp;
+        incr lbd
+      end)
+    lits;
+  !lbd
+
+(* ---- clause DB reduction ---- *)
+
+let locked t c =
+  let l0 = t.ca.(cl_base t c) in
+  lit_value t l0 = 1 && t.reason.(var_of l0) = c
+
+(* Keep glue clauses (LBD <= 2) and locked clauses; of the rest, delete
+   the worse half — higher LBD first, then lower activity, then older. *)
+let reduce_db t =
+  let cands = ref [] in
+  let kept = ref [] in
+  for i = t.n_learnts - 1 downto 0 do
+    let c = t.learnts.(i) in
+    if not (cl_deleted t c) then
+      if cl_lbd t c <= 2 || locked t c then kept := c :: !kept
+      else cands := c :: !cands
+  done;
+  let cands =
+    List.sort
+      (fun a b ->
+        let la = cl_lbd t a and lb = cl_lbd t b in
+        if la <> lb then compare la lb
+        else
+          let aa = cl_act t a and ab = cl_act t b in
+          if aa <> ab then compare ab aa else compare b a)
+      !cands
+  in
+  let n_keep = (List.length cands + 1) / 2 in
+  let survivors = ref (List.rev !kept) in
+  List.iteri
+    (fun i c ->
+      if i < n_keep then survivors := c :: !survivors
+      else begin
+        cl_delete t c;
+        t.deleted_total <- t.deleted_total + 1
+      end)
+    cands;
+  (* Rebuild the learnt vector (order is irrelevant for search; keep it
+     deterministic) and decay activities so recency keeps mattering. *)
+  t.n_learnts <- 0;
+  List.iter
+    (fun c ->
+      cl_set_act t c (cl_act t c / 2);
+      t.learnts <- push_cref t.learnts t.n_learnts c;
+      t.n_learnts <- t.n_learnts + 1)
+    (List.rev !survivors)
+
+(* ---- root-level simplification ---- *)
+
+(* At decision level 0, once the root trail has grown since the last call
+   (blocking clauses and learnt units accumulate between enumeration
+   solves): delete clauses satisfied at level 0, strip false literals from
+   the rest, and rebuild the watch lists.  Precondition: decision level 0
+   and propagation complete without conflict. *)
+let simplify t =
+  let new_units = ref [] in
+  (* Root assignments are permanent; their reasons are never dereferenced
+     (analysis stops at level 0), so drop the crefs before deleting the
+     clauses they might point at. *)
+  for i = 0 to t.trail_size - 1 do
+    t.reason.(var_of t.trail.(i)) <- cr_null
+  done;
+  let sweep_vec arr n =
+    for i = 0 to n - 1 do
+      let c = arr.(i) in
+      if not (cl_deleted t c) then begin
+        let base = cl_base t c in
+        let size = cl_size t c in
+        let satisfied = ref false in
+        let k = ref 0 in
+        while (not !satisfied) && !k < size do
+          if lit_value t t.ca.(base + !k) = 1 then satisfied := true;
+          incr k
+        done;
+        if !satisfied then begin
+          cl_delete t c;
+          t.deleted_total <- t.deleted_total + 1
+        end
+        else begin
+          (* Strip false literals in place. *)
+          let j = ref 0 in
+          for k = 0 to size - 1 do
+            let l = t.ca.(base + k) in
+            if lit_value t l = 0 then begin
+              t.ca.(base + !j) <- l;
+              incr j
+            end
+          done;
+          if !j < size then begin
+            cl_set_size t c !j;
+            if !j = 1 then begin
+              new_units := t.ca.(base) :: !new_units;
+              cl_delete t c;
+              t.deleted_total <- t.deleted_total + 1
+            end
+            else if !j = 0 then t.unsat <- true
+          end
+        end
+      end
+    done
+  in
+  sweep_vec t.clauses t.n_clauses;
+  sweep_vec t.learnts t.n_learnts;
+  (* Compact the clause vectors. *)
+  let compact arr n =
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if not (cl_deleted t arr.(i)) then begin
+        arr.(!j) <- arr.(i);
+        incr j
+      end
+    done;
+    !j
+  in
+  t.n_clauses <- compact t.clauses t.n_clauses;
+  t.n_learnts <- compact t.learnts t.n_learnts;
+  (* Rebuild every watch list from the surviving clauses. *)
+  Array.fill t.w_size 0 (Array.length t.w_size) 0;
+  for i = 0 to t.n_clauses - 1 do
+    attach_clause t t.clauses.(i)
+  done;
+  for i = 0 to t.n_learnts - 1 do
+    attach_clause t t.learnts.(i)
+  done;
+  (* Enqueue literals of clauses that shrank to units, then settle. *)
+  List.iter
+    (fun l ->
+      match lit_value t l with
+      | 0 -> enqueue t l cr_null
+      | -1 -> t.unsat <- true
+      | _ -> ())
+    !new_units;
+  if (not t.unsat) && propagate t <> cr_null then t.unsat <- true;
+  t.simp_trail <- t.trail_size
+
 (* ---- search ---- *)
 
+(* Branching rule: highest activity first, ties broken by lowest variable
+   id.  The heap holds exactly the positive-activity variables (a small
+   minority: nudged input bits plus conflict-bumped variables), so any
+   unassigned heap variable outranks every zero-activity one.  The
+   zero-activity majority — Tseitin internals, in circuit topological
+   order by construction — is served by [next_zero], an ascending-id
+   cursor that [solve] rewinds per query and [cancel_until] rewinds on
+   backtracking.  This keeps a decision O(1) amortised instead of heap
+   pops through thousands of propagation-assigned variables, which
+   dominated solve time in the enumeration workload. *)
 let pick_branch_var t =
-  let use_random, rng = Scamv_util.Splitmix.float t.rng in
-  t.rng <- rng;
   let random_pick () =
     if t.heap_size = 0 then -1
     else begin
@@ -376,7 +726,22 @@ let pick_branch_var t =
     end
   in
   let v =
-    if t.random_branch_freq > 0.0 && use_random < t.random_branch_freq then random_pick ()
+    if t.random_branch_freq > 0.0 then
+      if t.rnd_countdown > 0 then begin
+        t.rnd_countdown <- t.rnd_countdown - 1;
+        -1
+      end
+      else begin
+        (* Sample the gap to the next random branch geometrically: one
+           RNG draw covers ~1/freq deterministic decisions. *)
+        let u, rng = Scamv_util.Splitmix.float t.rng in
+        t.rng <- rng;
+        let gap =
+          int_of_float (log (max u 1e-12) /. log (1.0 -. t.random_branch_freq))
+        in
+        t.rnd_countdown <- gap;
+        random_pick ()
+      end
     else -1
   in
   if v > 0 then v
@@ -388,7 +753,21 @@ let pick_branch_var t =
         if t.assign.(v) = 0 then v else pop ()
       end
     in
-    pop ()
+    let v = pop () in
+    if v > 0 then v
+    else begin
+      let n = t.nvars in
+      let rec scan z =
+        if z > n then -1
+        else if t.assign.(z) = 0 && t.activity.(z) = 0.0 then begin
+          t.next_zero <- z + 1;
+          z
+        end
+        else scan (z + 1)
+      in
+      let z = scan t.next_zero in
+      if z > 0 then z else (t.next_zero <- n + 1; -1)
+    end
   end
 
 (* Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
@@ -429,7 +808,12 @@ let pp_budget ppf b =
   Format.pp_print_string ppf
     (match parts with [] -> "unlimited" | _ -> String.concat "," parts)
 
-let solve ?(assumptions = [||]) ?(budget = unlimited) t =
+let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
+  let n_assumptions =
+    match n_assumptions with
+    | None -> Array.length assumptions
+    | Some n -> min n (Array.length assumptions)
+  in
   if t.unsat then Unsat
   else begin
     (* Telemetry is flushed once per query as counter deltas — never from
@@ -438,18 +822,30 @@ let solve ?(assumptions = [||]) ?(budget = unlimited) t =
     let c0 = t.conflicts
     and d0 = t.decisions
     and p0 = t.propagations
-    and r0 = t.restarts in
+    and r0 = t.restarts
+    and learned0 = t.learned_total
+    and deleted0 = t.deleted_total in
     let finish outcome =
       let dc = t.conflicts - c0 in
       Scamv_telemetry.Collector.add "sat.conflicts" dc;
       Scamv_telemetry.Collector.add "sat.decisions" (t.decisions - d0);
       Scamv_telemetry.Collector.add "sat.propagations" (t.propagations - p0);
       Scamv_telemetry.Collector.add "sat.restarts" (t.restarts - r0);
+      Scamv_telemetry.Collector.add "sat.learned" (t.learned_total - learned0);
+      Scamv_telemetry.Collector.add "sat.deleted" (t.deleted_total - deleted0);
       Scamv_telemetry.Collector.incr "sat.queries";
       (if outcome = Unknown then
          Scamv_telemetry.Collector.incr "sat.budget_exhausted");
       Scamv_telemetry.Collector.observe "sat.conflicts_per_query"
         (float_of_int dc);
+      (* LBD histogram of the clauses learned by this query. *)
+      for b = 0 to lbd_buckets - 1 do
+        let d = t.lbd_hist.(b) - t.lbd_flushed.(b) in
+        if d > 0 then begin
+          Scamv_telemetry.Collector.observe_n "sat.lbd" (float_of_int b) d;
+          t.lbd_flushed.(b) <- t.lbd_hist.(b)
+        end
+      done;
       outcome
     in
     (* Budgets are per-call: the caps apply to the work done by this
@@ -464,50 +860,75 @@ let solve ?(assumptions = [||]) ?(budget = unlimited) t =
       || t.propagations > propagation_limit
     in
     cancel_until t 0;
-    (* Refill the heap with all unassigned vars (fresh solve). *)
-    for v = 1 to t.nvars do
-      if t.assign.(v) = 0 then heap_insert t v
-    done;
-    if propagate t <> None then begin
+    (* Decision order state is O(1) to rewind per query: positive-activity
+       variables stay on the heap across queries ([new_var] and
+       [cancel_until] maintain it), and the zero-activity cursor restarts
+       from the lowest id — so unlike the previous revision there is no
+       O(nvars) heap refill per query, which matters when enumeration
+       issues thousands of queries against the same instance. *)
+    t.next_zero <- 1;
+    if propagate t <> cr_null then begin
       t.unsat <- true;
       finish Unsat
     end
     else begin
-      let restart_num = ref 0 in
-      let result = ref None in
-      while !result = None do
-        incr restart_num;
-        let restart_budget = 100 * luby !restart_num in
-        let local_conflicts = ref 0 in
-        let restart = ref false in
-        while !result = None && not !restart do
-          if over_budget () then result := Some Unknown
-          else
-            match propagate t with
-            | Some confl ->
-              t.conflicts <- t.conflicts + 1;
-              incr local_conflicts;
-              if decision_level t = 0 then begin
-                t.unsat <- true;
-                result := Some Unsat
+      (* Between enumeration solves the root trail only grows (blocking
+         clauses, learnt units): strip the clause DB against it once. *)
+      if t.trail_size > t.simp_trail + simplify_threshold then simplify t;
+      if t.unsat then finish Unsat
+      else begin
+        let restart_num = ref 0 in
+        let result = ref None in
+        while !result = None do
+          incr restart_num;
+          let restart_budget = 100 * luby !restart_num in
+          let local_conflicts = ref 0 in
+          let restart = ref false in
+          while !result = None && not !restart do
+            if over_budget () then result := Some Unknown
+            else begin
+              let confl = propagate t in
+              if confl <> cr_null then begin
+                t.conflicts <- t.conflicts + 1;
+                incr local_conflicts;
+                if decision_level t = 0 then begin
+                  t.unsat <- true;
+                  result := Some Unsat
+                end
+                else begin
+                  let learnt, btlevel = analyze t confl in
+                  cancel_until t btlevel;
+                  (match learnt with
+                  | [] -> t.unsat <- true
+                  | [ l ] -> enqueue t l cr_null
+                  | l :: _ ->
+                    let lits = Array.of_list learnt in
+                    (* Watch the asserting literal and a literal from the
+                       backtrack level, so the watches are the last
+                       literals to be unassigned on further backtracks. *)
+                    let best = ref 1 in
+                    for k = 2 to Array.length lits - 1 do
+                      if t.level.(var_of lits.(k)) > t.level.(var_of lits.(!best))
+                      then best := k
+                    done;
+                    let tmp = lits.(1) in
+                    lits.(1) <- lits.(!best);
+                    lits.(!best) <- tmp;
+                    let lbd = compute_lbd t lits in
+                    let c = alloc_clause t ~learned:true lits in
+                    cl_set_lbd t c lbd;
+                    attach_clause t c;
+                    t.learnts <- push_cref t.learnts t.n_learnts c;
+                    t.n_learnts <- t.n_learnts + 1;
+                    t.learned_total <- t.learned_total + 1;
+                    t.lbd_hist.(min lbd (lbd_buckets - 1)) <-
+                      t.lbd_hist.(min lbd (lbd_buckets - 1)) + 1;
+                    enqueue t l c);
+                  var_decay t;
+                  if !local_conflicts >= restart_budget then restart := true
+                end
               end
-              else begin
-                let learnt, btlevel = analyze t confl in
-                cancel_until t btlevel;
-                (match learnt with
-                | [] -> t.unsat <- true
-                | [ l ] ->
-                  enqueue t l None
-                | l :: _ ->
-                  let c = Array.of_list learnt in
-                  attach_clause t c;
-                  t.clauses <- c :: t.clauses;
-                  enqueue t l (Some c));
-                var_decay t;
-                if !local_conflicts >= restart_budget then restart := true
-              end
-            | None ->
-              if decision_level t < Array.length assumptions then begin
+              else if decision_level t < n_assumptions then begin
                 (* Assert the next assumption as a decision.  A falsified
                    assumption means unsatisfiable *under these assumptions*
                    only; the clause set itself stays usable. *)
@@ -517,7 +938,7 @@ let solve ?(assumptions = [||]) ?(budget = unlimited) t =
                 | 1 -> push_level t (* already implied: empty level *)
                 | _ ->
                   push_level t;
-                  enqueue t a None
+                  enqueue t a cr_null
               end
               else begin
                 let v = pick_branch_var t in
@@ -526,27 +947,36 @@ let solve ?(assumptions = [||]) ?(budget = unlimited) t =
                   t.decisions <- t.decisions + 1;
                   push_level t;
                   let l = if t.phase.(v) then pos v else neg_of_var v in
-                  enqueue t l None
+                  enqueue t l cr_null
                 end
               end
+            end
+          done;
+          if !restart then begin
+            t.restarts <- t.restarts + 1;
+            cancel_until t 0;
+            (* Periodic clause-DB reduction, scheduled on conflicts and
+               applied at restart boundaries (trail is clean). *)
+            if t.conflicts >= t.next_reduce then begin
+              reduce_db t;
+              t.reduce_count <- t.reduce_count + 1;
+              t.next_reduce <- t.conflicts + 2000 + (300 * t.reduce_count)
+            end
+          end
         done;
-        if !restart then begin
-          t.restarts <- t.restarts + 1;
-          cancel_until t 0
-        end
-      done;
-      (* An out-of-budget stop leaves a partial trail; rewind it so the
-         solver is immediately reusable (e.g. with a larger budget). *)
-      if !result = Some Unknown then cancel_until t 0;
-      finish (Option.get !result)
+        (* An out-of-budget stop leaves a partial trail; rewind it so the
+           solver is immediately reusable (e.g. with a larger budget). *)
+        if !result = Some Unknown then cancel_until t 0;
+        finish (Option.get !result)
+      end
     end
   end
 
-let value t v = t.assign.(v) = 1
-
 let nudge_activity t v amount =
   t.activity.(v) <- t.activity.(v) +. amount;
-  heap_update t v
+  (* The variable just became positive-activity: it now belongs on the
+     heap (the zero-activity cursor will skip it from here on). *)
+  if t.assign.(v) = 0 then heap_insert t v else heap_update t v
 
 let reset_phases t = Array.fill t.phase 0 (Array.length t.phase) t.default_phase
 

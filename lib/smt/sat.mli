@@ -1,10 +1,23 @@
-(** CDCL SAT solver (two-watched literals, 1UIP clause learning, VSIDS
-    activities, Luby restarts, phase saving).
+(** CDCL SAT solver (two-watched literals with blocker literals, 1UIP
+    clause learning, VSIDS activities, Luby restarts, phase saving,
+    LBD-guided clause-database reduction, root-level simplification).
 
     This is the decision core under the bit-blaster; it replaces the Z3
     backend of the original Scam-V pipeline.  The solver is incremental in
     the sense needed for model enumeration: clauses (e.g. blocking
-    clauses) can be added between [solve] calls.
+    clauses) can be added between [solve] calls, and learnt knowledge
+    persists across calls.
+
+    Internals (see DESIGN.md "Solver internals and performance"): clauses
+    live in a single growable int arena and are referenced by offset;
+    watch lists are flat int vectors of (clause, blocker) pairs compacted
+    in place by propagation, so the hot path performs no list allocation.
+    Learnt clauses carry an LBD score (Audemard & Simon) and a recency
+    activity; every ~2000 conflicts the learnt database is reduced,
+    keeping glue clauses (LBD <= 2) and locked clauses and deleting the
+    worse half of the rest.  Between enumeration solves, once the level-0
+    trail has grown, the clause set is simplified against it (satisfied
+    clauses deleted, false literals stripped).
 
     Thread-safety: a solver instance is mutable and {e domain-confined} —
     it must only ever be used from the domain that created it.  Parallel
@@ -12,10 +25,11 @@
     worker.  This module holds {e no} cross-domain state: work counters
     live per instance, and every [solve] call additionally flushes its
     deltas ([sat.conflicts], [sat.decisions], [sat.propagations],
-    [sat.restarts], [sat.queries], [sat.budget_exhausted], and the
-    [sat.conflicts_per_query] histogram) to the domain's current
-    {!Scamv_telemetry.Collector}, where the campaign merges them in
-    program order. *)
+    [sat.restarts], [sat.learned], [sat.deleted], [sat.queries],
+    [sat.budget_exhausted], the [sat.conflicts_per_query] histogram and
+    the [sat.lbd] histogram of freshly learnt clauses) to the domain's
+    current {!Scamv_telemetry.Collector}, where the campaign merges them
+    in program order. *)
 
 type t
 
@@ -70,7 +84,8 @@ val budget :
 
 val pp_budget : Format.formatter -> budget -> unit
 
-val solve : ?assumptions:lit array -> ?budget:budget -> t -> outcome
+val solve :
+  ?assumptions:lit array -> ?n_assumptions:int -> ?budget:budget -> t -> outcome
 (** [solve t] returns [Sat] iff the clause set is satisfiable; when
     [Sat], {!value} reads the satisfying assignment.
 
@@ -78,7 +93,10 @@ val solve : ?assumptions:lit array -> ?budget:budget -> t -> outcome
     result under assumptions means "unsatisfiable together with the
     assumptions" and leaves the solver usable (only a conflict at decision
     level zero marks the instance permanently UNSAT).  Used by the
-    lexicographic model minimizer.
+    lexicographic model minimizer.  [n_assumptions] restricts the call to
+    the first [n] entries of [assumptions], so an incremental caller can
+    keep one growable prefix array and extend it in place between calls
+    instead of rebuilding an array per query.
 
     [budget] caps the conflicts/decisions/propagations this call may
     spend; when a cap is hit the call stops with [Unknown], the trail is
@@ -89,6 +107,11 @@ val solve : ?assumptions:lit array -> ?budget:budget -> t -> outcome
 val value : t -> int -> bool
 (** Value of a variable in the last satisfying assignment.
     Only meaningful after [solve] returned [true]. *)
+
+val root_value : t -> int -> int
+(** [root_value t v] is [1] ([-1]) if [v] is forced true (false) at
+    decision level 0 — i.e. in every model — and [0] otherwise.  Lets the
+    model minimizer skip bits whose value is no longer free. *)
 
 val randomize_phases : t -> int64 -> unit
 (** Re-seed saved phases randomly; used by diversified enumeration. *)
@@ -116,3 +139,10 @@ val stats_restarts : t -> int
 (** Luby restarts performed so far.  Campaign-wide solver work totals are
     no longer read from a process global: the benchmark harness sums the
     per-query deltas that [solve] flushes into the telemetry registry. *)
+
+val stats_learned : t -> int
+(** Clauses learnt over the instance's lifetime. *)
+
+val stats_deleted : t -> int
+(** Learnt/problem clauses deleted by clause-DB reduction and root-level
+    simplification over the instance's lifetime. *)

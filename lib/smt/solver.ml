@@ -16,6 +16,14 @@ type session = {
   mutable rng : Splitmix.t;
 }
 
+let compare_key (x1, s1) (x2, s2) =
+  (* Monomorphic comparator for tracked-variable sets: same order as the
+     polymorphic [Stdlib.compare] on [(string * Sort.t)] (name first, then
+     {!Sort.compare}), without the polymorphic-comparison overhead on this
+     session-setup path. *)
+  let c = String.compare x1 x2 in
+  if c <> 0 then c else Sort.compare s1 s2
+
 let default_track formulas (reads : Arrays.read list) =
   (* Track every non-memory free variable of the original formulas plus
      every memory read variable, so enumerated models differ on program-
@@ -23,7 +31,7 @@ let default_track formulas (reads : Arrays.read list) =
   let module S = Set.Make (struct
     type t = string * Sort.t
 
-    let compare = Stdlib.compare
+    let compare = compare_key
   end) in
   let base =
     List.fold_left
@@ -54,9 +62,9 @@ let expand_track reads track =
       | _ -> [ (x, s) ])
     track
 
-let make_session ?seed ?default_phase ?track ?budget formulas =
+let make_session ?seed ?default_phase ?track ?budget ?graph formulas =
   let { Arrays.formulas = fs; side_conditions; reads } = Arrays.eliminate formulas in
-  let blaster = Blaster.create ?seed ?default_phase () in
+  let blaster = Blaster.create ?seed ?default_phase ?graph () in
   List.iter (Blaster.assert_term blaster) fs;
   List.iter (Blaster.assert_term blaster) side_conditions;
   let track =
@@ -74,6 +82,7 @@ let make_session ?seed ?default_phase ?track ?budget formulas =
   Scamv_telemetry.Collector.incr "smt.sessions";
   Scamv_telemetry.Collector.add "smt.blast_cache_hits" hits;
   Scamv_telemetry.Collector.add "smt.blast_cache_misses" misses;
+  Scamv_telemetry.Collector.add "smt.blast_cache_cross_hits" (Blaster.cross_stats blaster);
   {
     blaster;
     reads;
@@ -101,32 +110,53 @@ let minimize_model s =
     if Sat.is_pos l then Sat.value sat (Sat.var_of l)
     else not (Sat.value sat (Sat.var_of l))
   in
-  let pins = ref [] in
+  (* One growable assumption prefix shared by every query of the loop:
+     each decided bit appends its pin in place and re-solves with
+     [~n_assumptions], instead of rebuilding an assumption array per bit.
+     The final model does not depend on assumption order — a bit ends up
+     0 exactly when the clauses plus the higher-significance pins admit
+     0 — so appending (rather than consing) changes no enumerated model. *)
+  let pins = ref (Array.make 64 0) in
+  let n_pins = ref 0 in
+  let push l =
+    if !n_pins = Array.length !pins then begin
+      let grown = Array.make (2 * !n_pins) 0 in
+      Array.blit !pins 0 grown 0 !n_pins;
+      pins := grown
+    end;
+    !pins.(!n_pins) <- l;
+    incr n_pins
+  in
   List.iter
     (fun (_, _, lits) ->
       for i = Array.length lits - 1 downto 0 do
         let l = lits.(i) in
-        if not (lit_true l) then pins := Sat.negate l :: !pins
-        else
-          match
-            Sat.solve ~assumptions:(Array.of_list (Sat.negate l :: !pins)) ~budget sat
-          with
+        if Sat.root_value sat (Sat.var_of l) <> 0 then
+          (* Forced at level 0 (by the clauses or accumulated blocking
+             clauses): the bit is not free, so it needs neither a query
+             nor a pin. *)
+          ()
+        else if not (lit_true l) then push (Sat.negate l)
+        else begin
+          push (Sat.negate l);
+          match Sat.solve ~assumptions:!pins ~n_assumptions:!n_pins ~budget sat with
           | Sat.Unknown -> raise Out_of_budget
-          | Sat.Sat -> pins := Sat.negate l :: !pins
+          | Sat.Sat -> () (* the cleared bit stays pinned *)
           | Sat.Unsat -> (
-            pins := l :: !pins;
+            !pins.(!n_pins - 1) <- l;
             (* Restore a model satisfying the pins so the next bit reads a
                valid current value.  The pins only constrain bits of the
                model just found, so this must be satisfiable; if it is
                not, enumeration state is corrupt and the campaign layer
                should quarantine this session rather than crash. *)
-            match Sat.solve ~assumptions:(Array.of_list !pins) ~budget sat with
+            match Sat.solve ~assumptions:!pins ~n_assumptions:!n_pins ~budget sat with
             | Sat.Sat -> ()
             | Sat.Unknown -> raise Out_of_budget
             | Sat.Unsat ->
               raise
                 (Solver_invariant
                    "minimize_model: pinned bits of a known model became unsatisfiable"))
+        end
       done)
     (Blaster.inputs s.blaster)
 
@@ -169,7 +199,7 @@ let stats s =
 
 let var_count s = Sat.num_vars (Blaster.solver s.blaster)
 
-let solve ?seed ?default_phase formulas =
-  let s = make_session ?seed ?default_phase formulas in
+let solve ?seed ?default_phase ?graph formulas =
+  let s = make_session ?seed ?default_phase ?graph formulas in
   (* No budget is installed, so [Budget_exceeded] cannot occur here. *)
   match next_model s with Model m -> Sat m | Exhausted | Budget_exceeded -> Unsat

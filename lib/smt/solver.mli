@@ -26,11 +26,12 @@ type model_result =
       (** the session's SAT budget ran out before this call could decide;
           the session stays usable but the caller should quarantine it *)
 
-val solve : ?seed:int64 -> ?default_phase:bool -> Term.t list -> result
+val solve :
+  ?seed:int64 -> ?default_phase:bool -> ?graph:Blaster.graph -> Term.t list -> result
 (** One-shot satisfiability of the conjunction of the given formulas.
     The returned model assigns every variable occurring in the formulas,
     including partial memory contents for every address the formulas
-    read. *)
+    read.  [graph] as in {!make_session}. *)
 
 type session
 (** An enumeration session over a fixed set of assertions. *)
@@ -40,6 +41,7 @@ val make_session :
   ?default_phase:bool ->
   ?track:(string * Sort.t) list ->
   ?budget:Sat.budget ->
+  ?graph:Blaster.graph ->
   Term.t list ->
   session
 (** [make_session fs] prepares enumeration of models of [/\ fs].
@@ -51,7 +53,13 @@ val make_session :
 
     [budget] bounds every underlying SAT call of this session (including
     the per-bit calls of the model minimizer); when it is exceeded,
-    {!next_model} reports [Budget_exceeded]. *)
+    {!next_model} reports [Budget_exceeded].
+
+    [graph] is a shared {!Blaster.graph}: sessions of the same program
+    pass one graph so the bit-blaster reuses hash-consed circuit nodes
+    (and hence the folding work) across candidate relations and
+    enumeration sessions, reported as [smt.blast_cache_cross_hits].  The
+    graph and all its sessions must stay on one domain. *)
 
 val next_model : ?diversify:bool -> session -> model_result
 (** Next model, [Exhausted] when the space is empty, or [Budget_exceeded]

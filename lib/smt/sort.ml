@@ -1,5 +1,12 @@
 type t = Bool | Bv of int | Mem
 
+let rank = function Bool -> 0 | Bv _ -> 1 | Mem -> 2
+
+let compare a b =
+  match (a, b) with
+  | Bv w1, Bv w2 -> Int.compare w1 w2
+  | _ -> Int.compare (rank a) (rank b)
+
 let equal a b =
   match (a, b) with
   | Bool, Bool | Mem, Mem -> true

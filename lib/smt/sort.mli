@@ -7,5 +7,14 @@ type t =
   | Mem  (** memories: arrays from 64-bit addresses to 64-bit words *)
 
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: [Bool < Bv _ < Mem], bit vectors by width.  Monomorphic —
+    the track-set comparators use it to avoid polymorphic comparison in
+    session setup.  Note this is the declaration order, not the order of
+    the polymorphic [Stdlib.compare], which sorts the constant
+    constructors ([Bool], [Mem]) before every [Bv _] block; the tracked
+    blocking order follows this comparator and is pinned by a test. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

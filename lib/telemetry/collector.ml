@@ -80,6 +80,11 @@ let observe name v =
   | None -> ()
   | Some c -> c.metrics <- Metrics.observe name v c.metrics
 
+let observe_n name v n =
+  match current () with
+  | None -> ()
+  | Some c -> c.metrics <- Metrics.observe_n name v n c.metrics
+
 (* A span is recorded when it closes (exceptions included, so a failing
    program still reports the phases it entered); every close also feeds
    the span's duration into the "span.<name>.seconds" histogram, giving

@@ -68,6 +68,10 @@ val set_gauge : string -> float -> unit
 val observe : string -> float -> unit
 (** Record a histogram observation. *)
 
+val observe_n : string -> float -> int -> unit
+(** Record [n] observations of the same value in one step
+    ({!Metrics.observe_n}); a no-op for [n <= 0] or with no collector. *)
+
 val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] inside a named span: timestamps from the
     collector's clock, nesting tracked, recorded when [f] returns or

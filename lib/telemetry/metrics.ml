@@ -30,11 +30,16 @@ type hist = { counts : int array; count : int; sum : float }
 
 let hist_empty = { counts = Array.make bucket_count 0; count = 0; sum = 0.0 }
 
-let hist_observe h v =
+(* Bulk observation: [n] identical values land in one bucket with one
+   array copy, so callers flushing a local histogram (e.g. the SAT
+   solver's per-query LBD counts) pay O(buckets) per flush instead of
+   O(buckets * observations). *)
+let hist_observe_n h v n =
   let counts = Array.copy h.counts in
   let b = bucket_of v in
-  counts.(b) <- counts.(b) + 1;
-  { counts; count = h.count + 1; sum = h.sum +. v }
+  counts.(b) <- counts.(b) + n;
+  { counts; count = h.count + n; sum = h.sum +. (v *. float_of_int n) }
+
 
 let hist_merge a b =
   {
@@ -76,13 +81,17 @@ let set_gauge name x t =
       | Some v -> kind_error name (Gauge x) v)
     t
 
-let observe name x t =
-  M.update name
-    (function
-      | None -> Some (Histogram (hist_observe hist_empty x))
-      | Some (Histogram h) -> Some (Histogram (hist_observe h x))
-      | Some v -> kind_error name (Histogram hist_empty) v)
-    t
+let observe_n name x n t =
+  if n <= 0 then t
+  else
+    M.update name
+      (function
+        | None -> Some (Histogram (hist_observe_n hist_empty x n))
+        | Some (Histogram h) -> Some (Histogram (hist_observe_n h x n))
+        | Some v -> kind_error name (Histogram hist_empty) v)
+      t
+
+let observe name x t = observe_n name x 1 t
 
 (* Gauges are merged right-biased ("later run wins"), which is associative
    and respects the identity law because an absent key never overrides. *)

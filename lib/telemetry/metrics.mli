@@ -48,6 +48,13 @@ val set_gauge : string -> float -> t -> t
 val observe : string -> float -> t -> t
 (** Record one observation into a histogram. *)
 
+val observe_n : string -> float -> int -> t -> t
+(** [observe_n name x n] records [n] observations of the same value [x]
+    in one step (one bucket increment, [sum += n*x]) — equivalent to [n]
+    calls to {!observe} but O(1) in [n].  [n <= 0] is a no-op.  Used to
+    flush locally-accumulated histograms such as the SAT solver's
+    per-query LBD counts. *)
+
 val merge : t -> t -> t
 (** Pointwise merge: counters add, histograms add bucket-wise, gauges take
     the right operand.  Associative, with {!empty} as two-sided identity.

@@ -4,6 +4,7 @@ module Sat = Scamv_smt.Sat
 module Solver = Scamv_smt.Solver
 module Model = Scamv_smt.Model
 module Eval = Scamv_smt.Eval
+module Blaster = Scamv_smt.Blaster
 
 (* ------------------------------------------------------------------ *)
 (* Term construction and folding                                       *)
@@ -272,6 +273,75 @@ let prop_sat_matches_brute_force =
       in
       Bool.equal expected got && model_ok)
 
+let prop_sat_matches_brute_force_wide =
+  (* Same cross-check with up to 12 variables and mixed clause widths
+     (1..4 literals): unit clauses exercise root-level simplification and
+     binary clauses the blocker fast path, which fixed-width 3-CNF never
+     hits at the root. *)
+  QCheck.Test.make ~name:"CDCL agrees with brute force on mixed-width CNF"
+    ~count:200
+    QCheck.(triple (int_bound 1000000) (int_range 2 12) (int_range 4 40))
+    (fun (seed, nvars, nclauses) ->
+      let module Sm = Scamv_util.Splitmix in
+      let rng = ref (Sm.of_seed (Int64.of_int seed)) in
+      let next n =
+        let v, r = Sm.int !rng n in
+        rng := r;
+        v
+      in
+      let s = Sat.create () in
+      let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+      let clauses = ref [] in
+      for _ = 1 to nclauses do
+        let width = 1 + next 4 in
+        let clause =
+          List.init width (fun _ ->
+              let v = next nvars in
+              if next 2 = 1 then Sat.neg_of_var vars.(v) else Sat.pos vars.(v))
+        in
+        clauses := clause :: !clauses
+      done;
+      List.iter (Sat.add_clause s) !clauses;
+      let expected = brute_force_sat nvars !clauses in
+      let got = Sat.solve s = Sat.Sat in
+      let model_ok =
+        (not got)
+        || List.for_all
+             (List.exists (fun l ->
+                  let value = Sat.value s (Sat.var_of l) in
+                  if Sat.is_pos l then value else not value))
+             !clauses
+      in
+      Bool.equal expected got && model_ok)
+
+let test_propagation_allocation () =
+  (* Regression microbench for the watch-splice fix: re-propagating a long
+     implication chain with warm watch vectors must update them in place —
+     no per-visited-clause allocation (the old list-based splice allocated
+     a cons per clause per visit, and re-splicing was quadratic). *)
+  let n = 50_000 in
+  let s = Sat.create () in
+  let vars = Array.init n (fun _ -> Sat.new_var s) in
+  for i = 0 to n - 2 do
+    Sat.add_clause s [ Sat.neg_of_var vars.(i); Sat.pos vars.(i + 1) ]
+  done;
+  let assumptions = [| Sat.pos vars.(0) |] in
+  let solve () =
+    match Sat.solve ~assumptions ~n_assumptions:1 s with
+    | Sat.Sat -> ()
+    | Sat.Unsat | Sat.Unknown -> Alcotest.fail "implication chain should be sat"
+  in
+  solve ();
+  (* Second solve re-propagates the whole chain with all arrays sized. *)
+  let w0 = Gc.minor_words () in
+  solve ();
+  let delta = Gc.minor_words () -. w0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f minor words to re-propagate %d clauses (limit %d)"
+       delta n n)
+    true
+    (delta < float_of_int n)
+
 (* ------------------------------------------------------------------ *)
 (* Solver end-to-end on terms                                          *)
 (* ------------------------------------------------------------------ *)
@@ -423,6 +493,69 @@ let test_enumeration_diversify_valid () =
     | Solver.Model m -> Alcotest.(check bool) "satisfies" true (Eval.eval_bool m f)
   done
 
+(* Determinism: enumeration is a pure function of (formulas, seed). *)
+let model_sequence ?graph ~seed ~diversify n assertions =
+  let s = Solver.make_session ~seed ?graph assertions in
+  List.init n (fun _ ->
+      match Solver.next_model ~diversify s with
+      | Solver.Model m -> Format.asprintf "%a" Model.pp m
+      | Solver.Exhausted -> "<exhausted>"
+      | Solver.Budget_exceeded -> "<budget>")
+
+let enumeration_test_formulas () =
+  let x = T.bv_var "x" 16 and y = T.bv_var "y" 16 in
+  let mem = T.mem_var "mem" in
+  [
+    T.eq (T.add x y) (T.bv_const 500L 16);
+    T.ult x (T.bv_const 400L 16);
+    T.neq (T.select mem (T.bv_zero 64)) (T.bv_zero 64);
+  ]
+
+let test_enumeration_deterministic () =
+  let fs = enumeration_test_formulas () in
+  let run () = model_sequence ~seed:42L ~diversify:true 12 fs in
+  Alcotest.(check (list string))
+    "two fresh sessions, same seed, same model sequence" (run ()) (run ())
+
+let test_enumeration_deterministic_shared_graph () =
+  (* Sessions drawing from a shared blast graph must enumerate exactly the
+     same models as each other: emission is per session, so the CNF a
+     session solves is a function of its own assertions alone, warm cache
+     or cold. *)
+  let fs = enumeration_test_formulas () in
+  let graph = Blaster.new_graph () in
+  let cold = model_sequence ~graph ~seed:42L ~diversify:true 12 fs in
+  let warm = model_sequence ~graph ~seed:42L ~diversify:true 12 fs in
+  Alcotest.(check (list string)) "cold and warm cache sessions agree" cold warm
+
+let test_blast_cache_cross_session_hits () =
+  (* The second session over the same graph rebuilds nothing: every term it
+     blasts is already a circuit node stamped by the first session, which
+     the cache reports as cross-session hits.  Memory-free formulas only:
+     array elimination happens above the blaster, in the solver. *)
+  let x = T.bv_var "x" 16 and y = T.bv_var "y" 16 in
+  let fs =
+    [
+      T.eq (T.add x y) (T.bv_const 500L 16);
+      T.ult (T.mul x (T.bv_const 3L 16)) (T.bv_const 400L 16);
+    ]
+  in
+  let graph = Blaster.new_graph () in
+  let blast_all () =
+    let b = Blaster.create ~graph () in
+    List.iter (Blaster.assert_term b) fs;
+    b
+  in
+  let b1 = blast_all () in
+  Alcotest.(check int) "first session has no cross-session hits" 0
+    (Blaster.cross_stats b1);
+  let b2 = blast_all () in
+  Alcotest.(check bool) "second session reuses the first's nodes" true
+    (Blaster.cross_stats b2 > 0);
+  let hits, _ = Blaster.cache_stats b2 in
+  Alcotest.(check bool) "cross-session hits are a subset of hits" true
+    (Blaster.cross_stats b2 <= hits)
+
 let test_default_phase_gives_zeros () =
   (* With the default phase, an unconstrained variable should come out 0,
      mimicking Z3-style minimal models (important for the unguided-search
@@ -565,6 +698,36 @@ let bool_identity_cases =
          (T.eq (T.add a (T.bv_one 16)) (T.bv_zero 16)));
   ]
 
+(* Sort ordering: the solver's default tracked-variable order sorts keys
+   with the monomorphic [Sort.compare]; its order — in particular where
+   [Sort.Mem] lands — is part of the enumeration-determinism contract
+   (blocking order, and with it the model sequence, depends on it), so
+   this pins the exact order down. *)
+let test_sort_compare_stable () =
+  let sorts =
+    [ Sort.Mem; Sort.Bv 64; Sort.Bool; Sort.Bv 1; Sort.Mem; Sort.Bv 8; Sort.Bool ]
+  in
+  let sort_testable = Alcotest.testable Sort.pp Sort.equal in
+  Alcotest.(check (list sort_testable))
+    "Bool < Bv (by width) < Mem"
+    [ Sort.Bool; Sort.Bool; Sort.Bv 1; Sort.Bv 8; Sort.Bv 64; Sort.Mem; Sort.Mem ]
+    (List.sort Sort.compare sorts);
+  (* A total order: antisymmetric, with equality exactly on equal sorts. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.(check int)
+            (Format.asprintf "compare %a %a antisymmetric" Sort.pp a Sort.pp b)
+            (Stdlib.compare (Sort.compare a b) 0)
+            (- Stdlib.compare (Sort.compare b a) 0);
+          Alcotest.(check bool)
+            (Format.asprintf "compare %a %a consistent with equal" Sort.pp a Sort.pp b)
+            (Sort.equal a b)
+            (Sort.compare a b = 0))
+        sorts)
+    sorts
+
 let () =
   Alcotest.run "scamv_smt"
     [
@@ -579,6 +742,7 @@ let () =
           Alcotest.test_case "select over store" `Quick test_select_over_store;
           Alcotest.test_case "rename / free vars" `Quick test_rename_and_free_vars;
           Alcotest.test_case "ite folding" `Quick test_ite_folding;
+          Alcotest.test_case "sort ordering stable" `Quick test_sort_compare_stable;
         ] );
       ( "sat",
         [
@@ -592,6 +756,9 @@ let () =
           Alcotest.test_case "budget unknown" `Quick test_sat_budget_unknown;
           Alcotest.test_case "budget generous" `Quick test_sat_budget_generous_is_exact;
           QCheck_alcotest.to_alcotest prop_sat_matches_brute_force;
+          QCheck_alcotest.to_alcotest prop_sat_matches_brute_force_wide;
+          Alcotest.test_case "propagation allocation bounded" `Quick
+            test_propagation_allocation;
         ] );
       ( "solver",
         [
@@ -616,6 +783,12 @@ let () =
           Alcotest.test_case "diversify valid" `Quick test_enumeration_diversify_valid;
           Alcotest.test_case "budget exceeded surfaces" `Quick
             test_solver_budget_exceeded_surfaces;
+          Alcotest.test_case "deterministic across sessions" `Quick
+            test_enumeration_deterministic;
+          Alcotest.test_case "deterministic with shared graph" `Quick
+            test_enumeration_deterministic_shared_graph;
+          Alcotest.test_case "blast cache cross-session hits" `Quick
+            test_blast_cache_cross_session_hits;
         ] );
       ( "differential",
         [
