@@ -5,7 +5,7 @@ DUNE ?= dune
 SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
 	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100
 
-.PHONY: all build test smoke check bench bench-smoke metrics-smoke perf-check clean
+.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke perf-check clean
 
 all: build
 
@@ -32,6 +32,13 @@ bench-smoke: build
 	$(DUNE) exec bench/main.exe -- solver
 	$(DUNE) exec bench/main.exe -- campaign --smoke --out BENCH_campaign.smoke.json
 	$(DUNE) exec bench/main.exe -- validate-bench BENCH_campaign.smoke.json
+
+# Supervision acceptance: SIGKILL a journaled campaign mid-flight, tear
+# the journal tail, and require the resumed run to match an uninterrupted
+# one byte for byte; then require chaos worker-kill and virtual-deadline
+# campaigns to stay byte-identical across --jobs levels.
+chaos-smoke: build
+	$(DUNE) exec bench/main.exe -- chaos --smoke
 
 # Perf regression gate: re-run the committed campaign benchmark (same
 # deterministic seed and size — the "full" config is itself smoke-scale,

@@ -652,7 +652,7 @@ let micro () =
     let tc =
       match Pipeline.next_test_case session with
       | Pipeline.Case tc -> tc
-      | Pipeline.Exhausted | Pipeline.Quarantined _ ->
+      | Pipeline.Exhausted | Pipeline.Quarantined _ | Pipeline.Crashed _ ->
         failwith "bench: expected a test case"
     in
     let experiment =
@@ -1105,6 +1105,183 @@ let validate_telemetry trace_file metrics_file =
     (List.length events) metrics_file
 
 (* ------------------------------------------------------------------ *)
+(* Chaos harness (`make chaos-smoke`)                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Journal = Scamv.Journal
+module Chaos = Scamv_util.Chaos
+module Deadline = Scamv_util.Deadline
+module Stopwatch = Scamv_util.Stopwatch
+
+(* Acceptance tests for the supervised execution layer (DESIGN.md
+   "Failure domains and supervision"):
+
+   - kill/resume: a child process runs a journaled campaign and is
+     SIGKILLed mid-flight; the surviving journal additionally has its
+     tail truncated mid-record.  The resumed campaign must recover the
+     clean prefix (reporting what it dropped) and finish with a journal,
+     progress log and statistics byte-identical to an uninterrupted run.
+   - worker crashes: with chaos worker kills armed, --jobs 1 and
+     --jobs 4 runs must stay byte-identical — crash decisions are pure
+     per-program functions of the chaos seed and domain restarts are
+     schedule-independent — while actually crashing some (not all)
+     programs.
+   - deadlines: with a virtual conflict deadline armed, --jobs 1 and
+     --jobs 2 runs must stay byte-identical and actually expire on some
+     (not all) programs. *)
+
+let chaos_fail fmt =
+  Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* One fixed seeded campaign under the frozen clock, so every observable
+   output (journal rows, stats, progress lines) is a pure function of the
+   seed and the injected chaos/deadline — byte-identical means identical. *)
+let chaos_cfg ?deadline ?chaos ~programs ~tests () =
+  Campaign.make ~name:"chaos"
+    ~template:Templates.template_a
+    ~setup:(Refinement.mct_vs_mspec ())
+    ~programs ~tests_per_program:tests ~seed:2021L
+    ~sat_budget:(Scamv_smt.Sat.budget ~conflicts:200 ())
+    ?deadline ?chaos ~clock:Stopwatch.frozen ()
+
+let run_campaign ?resume ~jobs cfg =
+  let journal = Journal.create () in
+  let events = ref [] in
+  let outcome =
+    Campaign.run ~on_event:(fun m -> events := m :: !events) ~journal ?resume ~jobs cfg
+  in
+  (Journal.to_csv journal, outcome, List.rev !events)
+
+(* The `chaos-child` subcommand: runs the journaled campaign this process
+   is about to SIGKILL.  Kept inside the bench executable so the harness
+   needs no extra binary. *)
+let chaos_child path programs tests =
+  let cfg = chaos_cfg ~programs ~tests () in
+  let journal = Journal.create ~path () in
+  let (_ : Campaign.outcome) = Campaign.run ~journal ~jobs:1 cfg in
+  Journal.close journal
+
+let chaos_kill_resume ~programs ~tests () =
+  let path = Filename.temp_file "scamv-chaos" ".journal" in
+  Sys.remove path;
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [|
+        Sys.executable_name; "chaos-child"; path; string_of_int programs;
+        string_of_int tests;
+      |]
+      Unix.stdin dev_null dev_null
+  in
+  Unix.close dev_null;
+  (* Journal records are flushed one by one; wait until a couple are on
+     disk, then SIGKILL the child mid-campaign.  If the machine is fast
+     enough that the child finishes first, the test still exercises
+     recovery: the tail is torn below either way. *)
+  let give_up = Unix.gettimeofday () +. 120.0 in
+  let size () = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+  let child_exited = ref false in
+  while (not !child_exited) && size () < 200 do
+    if Unix.gettimeofday () > give_up then
+      chaos_fail "chaos child wrote no journal records within 120s";
+    (match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ -> Unix.sleepf 0.02
+    | _ -> child_exited := true)
+  done;
+  if not !child_exited then begin
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid)
+  end;
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  if String.length contents < 40 then
+    chaos_fail "chaos child died before writing any journal record";
+  (* Tear the tail mid-record so resume must take the recovery path. *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc
+        (String.sub contents 0 (String.length contents - 7)));
+  let cfg () = chaos_cfg ~programs ~tests () in
+  let csv_resumed, resumed, events = run_campaign ~resume:path ~jobs:1 (cfg ()) in
+  let csv_ref, reference, _ = run_campaign ~jobs:1 (cfg ()) in
+  if not (List.exists (fun m -> contains_substring m "damaged tail") events) then
+    chaos_fail "resume after SIGKILL did not report tail recovery";
+  if csv_resumed <> csv_ref then
+    chaos_fail "resumed journal differs from uninterrupted run";
+  if Stdlib.compare resumed.Campaign.stats reference.Campaign.stats <> 0 then
+    chaos_fail "resumed statistics differ from uninterrupted run";
+  let m = resumed.Campaign.telemetry.Collector.metrics in
+  if Metrics.counter m "journal.recovered_records" <= 0 then
+    chaos_fail "resume recovered no journal records";
+  if Metrics.counter m "journal.recovered_tails" <> 1 then
+    chaos_fail "resume did not count the damaged tail";
+  Sys.remove path;
+  Printf.printf "OK: SIGKILL + torn tail resume matches uninterrupted run (%d records recovered)\n%!"
+    (Metrics.counter m "journal.recovered_records")
+
+let check_identical ~what (csv_a, (oa : Campaign.outcome), ev_a)
+    (csv_b, (ob : Campaign.outcome), ev_b) =
+  if csv_a <> csv_b then chaos_fail "%s: journals differ across --jobs" what;
+  if ev_a <> ev_b then chaos_fail "%s: progress logs differ across --jobs" what;
+  (* Stdlib.compare, not (=): an all-crashed run has zero experiments and
+     its Summary min/max fields are nan, which (=) never equates. *)
+  if Stdlib.compare oa.Campaign.stats ob.Campaign.stats <> 0 then begin
+    Format.eprintf "--jobs A stats:@.%a@.--jobs B stats:@.%a@." Stats.pp
+      oa.Campaign.stats Stats.pp ob.Campaign.stats;
+    chaos_fail "%s: statistics differ across --jobs" what
+  end
+
+let chaos_worker_crash_identity ~programs ~tests () =
+  let mk () =
+    chaos_cfg ~chaos:(Chaos.create ~rate:0.4 ~seed:0xC4A05L ()) ~programs ~tests ()
+  in
+  let r1 = run_campaign ~jobs:1 (mk ()) in
+  let r4 = run_campaign ~jobs:4 (mk ()) in
+  check_identical ~what:"worker crashes" r1 r4;
+  let _, (o : Campaign.outcome), _ = r1 in
+  let crashed = o.Campaign.stats.Stats.crashed_programs in
+  if crashed = 0 then
+    chaos_fail "chaos rate produced no worker crashes (tune rate/seed)";
+  if crashed >= programs then chaos_fail "chaos crashed every program";
+  let _, o4, _ = r4 in
+  let restarts j = Metrics.counter j.Campaign.telemetry.Collector.metrics "pool.restarts" in
+  if restarts o = 0 then chaos_fail "no pool restarts recorded";
+  if restarts o <> restarts o4 then
+    chaos_fail "pool.restarts differs across --jobs (%d vs %d)" (restarts o)
+      (restarts o4);
+  Printf.printf "OK: worker-crash campaign byte-identical at --jobs 1/4 (%d of %d programs crashed, %d restarts)\n%!"
+    crashed programs (restarts o)
+
+let chaos_deadline_identity ~programs ~tests () =
+  (* The limit scales with the per-program test count so that across the
+     smoke and full sizes some programs expire and some finish. *)
+  let mk () = chaos_cfg ~deadline:(Deadline.Conflicts (50 * tests)) ~programs ~tests () in
+  let r1 = run_campaign ~jobs:1 (mk ()) in
+  let r2 = run_campaign ~jobs:2 (mk ()) in
+  check_identical ~what:"deadlines" r1 r2;
+  let _, (o : Campaign.outcome), _ = r1 in
+  let hits = Metrics.counter o.Campaign.telemetry.Collector.metrics "deadline.hits" in
+  if hits = 0 then chaos_fail "no program hit the conflict deadline (tune limit)";
+  if o.Campaign.stats.Stats.crashed_programs >= programs then
+    chaos_fail "every program hit the deadline";
+  Printf.printf "OK: deadline campaign byte-identical at --jobs 1/2 (%d deadline hits)\n%!"
+    hits
+
+let chaos_suite ~smoke () =
+  let programs = if smoke then 6 else 12 in
+  let tests = if smoke then 3 else 6 in
+  Printf.printf "## Chaos harness (%s: %d programs x %d tests)\n%!"
+    (if smoke then "smoke" else "full")
+    programs tests;
+  chaos_kill_resume ~programs ~tests ();
+  chaos_worker_crash_identity ~programs ~tests ();
+  chaos_deadline_identity ~programs ~tests ();
+  Printf.printf "chaos: all acceptance checks passed\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1122,6 +1299,12 @@ let () =
     exit 0
   | "solver" :: _ ->
     ignore (solver_microbench ());
+    exit 0
+  | "chaos-child" :: path :: programs :: tests :: _ ->
+    chaos_child path (int_of_string programs) (int_of_string tests);
+    exit 0
+  | "chaos" :: rest ->
+    chaos_suite ~smoke:(List.mem "--smoke" rest) ();
     exit 0
   | _ -> ());
   let full = List.mem "--full" args in

@@ -151,6 +151,43 @@ let campaign_cmd =
       value & opt int64 0xFA17L
       & info [ "fault-seed" ] ~docv:"SEED" ~doc:"Seed of the injected fault stream.")
   in
+  let deadline_conflicts_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-conflicts" ] ~docv:"N"
+          ~doc:
+            "Per-program virtual deadline: abandon a program (recording it \
+             as crashed) once its SAT searches have spent $(docv) conflicts. \
+             Purely work-based, so output stays byte-identical across \
+             $(b,--jobs) levels.  0 = no deadline.")
+  in
+  let deadline_seconds_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "deadline-seconds" ] ~docv:"S"
+          ~doc:
+            "Per-program wall-clock watchdog: abandon a program (recording \
+             it as crashed) after $(docv) seconds.  For service use; not \
+             deterministic.  0 = no deadline.  Mutually exclusive with \
+             $(b,--deadline-conflicts).")
+  in
+  let chaos_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-rate" ] ~docv:"R"
+          ~doc:
+            "Chaos harness: probability in [0,1] of injecting a fault at \
+             each chaos site (worker kills, journal write poison/delay, \
+             solver budget exhaustion).  Injection decisions are a pure \
+             function of ($(b,--chaos-seed), site, key), so chaos campaigns \
+             are reproducible and jobs-independent.  0 = chaos off.")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int64 0xC4A05L
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the chaos injection decisions.")
+  in
   let jobs_arg =
     Arg.(
       value & opt int 1
@@ -186,7 +223,8 @@ let campaign_cmd =
   in
   let run template_name setup_name programs tests seed verbose csv resume
       max_conflicts max_decisions max_propagations max_attempts confirm
-      fault_rate fault_seed jobs trace metrics =
+      fault_rate fault_seed deadline_conflicts deadline_seconds chaos_rate
+      chaos_seed jobs trace metrics =
     let ( let* ) = Result.bind in
     let* template = lookup_template template_name in
     let* setup = lookup_setup setup_name in
@@ -204,11 +242,31 @@ let campaign_cmd =
       if jobs < 0 then Error (`Msg "--jobs must be at least 0") else Ok ()
     in
     let* () =
+      if deadline_conflicts < 0 then
+        Error (`Msg "--deadline-conflicts must be at least 0")
+      else if deadline_seconds < 0.0 then
+        Error (`Msg "--deadline-seconds must be at least 0")
+      else if deadline_conflicts > 0 && deadline_seconds > 0.0 then
+        Error
+          (`Msg
+            "--deadline-conflicts and --deadline-seconds are mutually \
+             exclusive")
+      else Ok ()
+    in
+    let* () =
+      if chaos_rate < 0.0 || chaos_rate > 1.0 then
+        Error (`Msg "--chaos-rate must be within [0, 1]")
+      else Ok ()
+    in
+    let* () =
+      (* Tolerant pre-flight check: a torn tail is recovered (and reported
+         below by Campaign.run), so only unreadable files and malformed v1
+         CSVs are rejected here. *)
       match resume with
       | None -> Ok ()
       | Some path -> (
         try
-          if Sys.file_exists path then ignore (Scamv.Journal.read_csv ~path);
+          if Sys.file_exists path then ignore (Scamv.Journal.load ~path);
           Ok ()
         with
         | Scamv.Journal.Parse_error msg ->
@@ -230,12 +288,25 @@ let campaign_cmd =
         Some (Scamv_microarch.Faults.config ~rate:fault_rate ~seed:fault_seed ())
       else None
     in
+    let deadline =
+      if deadline_conflicts > 0 then
+        Some (Scamv_util.Deadline.Conflicts deadline_conflicts)
+      else if deadline_seconds > 0.0 then
+        Some (Scamv_util.Deadline.Wall_seconds deadline_seconds)
+      else None
+    in
+    let chaos =
+      if chaos_rate > 0.0 then
+        Some (Scamv_util.Chaos.create ~rate:chaos_rate ~seed:chaos_seed ())
+      else None
+    in
     let cfg =
       Campaign.make ~name ~template ~setup ~view:(default_view setup_name) ~programs
-        ~tests_per_program:tests ~seed ?sat_budget ~retry ?faults ()
+        ~tests_per_program:tests ~seed ?sat_budget ~retry ?faults ?deadline
+        ?chaos ()
     in
     let on_event = if verbose then print_endline else fun _ -> () in
-    let journal = Scamv.Journal.create ?path:csv () in
+    let journal = Scamv.Journal.create ?path:csv ?chaos () in
     let outcome = Campaign.run ~on_event ~journal ?resume ~jobs cfg in
     Scamv.Journal.close journal;
     print_string
@@ -279,7 +350,8 @@ let campaign_cmd =
       const run $ template_arg $ setup_arg $ programs_arg $ tests_arg $ seed_arg
       $ verbose_arg $ csv_arg $ resume_arg $ max_conflicts_arg $ max_decisions_arg
       $ max_propagations_arg $ max_attempts_arg $ confirm_arg $ fault_rate_arg
-      $ fault_seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ fault_seed_arg $ deadline_conflicts_arg $ deadline_seconds_arg
+      $ chaos_rate_arg $ chaos_seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
   in
   let info =
     Cmd.info "campaign" ~doc:"Run a validation campaign and print Table-1-style statistics."
@@ -309,6 +381,8 @@ let show_cmd =
     | Pipeline.Exhausted -> Format.printf "=== no test case (relation unsatisfiable) ===@."
     | Pipeline.Quarantined { pair = p1, p2; reason } ->
       Format.printf "=== path pair (%d,%d) quarantined: %s ===@." p1 p2 reason
+    | Pipeline.Crashed { reason } ->
+      Format.printf "=== generation crashed: %s ===@." reason
     | Pipeline.Case tc ->
       Format.printf "=== first test case ===@.state 1:@.%a@.state 2:@.%a@."
         Scamv_isa.Machine.pp tc.Pipeline.state1 Scamv_isa.Machine.pp tc.Pipeline.state2);

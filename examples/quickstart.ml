@@ -53,7 +53,7 @@ let () =
   let cfg = Pipeline.default_config setup in
   let session = Pipeline.prepare ~seed:42L cfg running_example in
   (match Pipeline.next_test_case session with
-  | Pipeline.Exhausted | Pipeline.Quarantined _ ->
+  | Pipeline.Exhausted | Pipeline.Quarantined _ | Pipeline.Crashed _ ->
     Format.printf "no test case (did the relation become unsat?)@."
   | Pipeline.Case tc ->
     Format.printf "state 1:@.%a@." Machine.pp tc.Pipeline.state1;
@@ -86,7 +86,8 @@ let () =
   let continue_loop = ref true in
   while !continue_loop && !tested < 20 do
     match Pipeline.next_test_case session with
-    | Pipeline.Exhausted | Pipeline.Quarantined _ -> continue_loop := false
+    | Pipeline.Exhausted | Pipeline.Quarantined _ | Pipeline.Crashed _ ->
+      continue_loop := false
     | Pipeline.Case tc ->
       incr tested;
       let verdict =

@@ -7,6 +7,8 @@ module Sat = Scamv_smt.Sat
 module Splitmix = Scamv_util.Splitmix
 module Stopwatch = Scamv_util.Stopwatch
 module Pool = Scamv_util.Pool
+module Deadline = Scamv_util.Deadline
+module Chaos = Scamv_util.Chaos
 module Collector = Scamv_telemetry.Collector
 
 type config = {
@@ -22,12 +24,15 @@ type config = {
   sat_budget : Sat.budget option;
   retry : Retry.policy;
   faults : Faults.config option;
+  deadline : Deadline.spec option;
+  chaos : Chaos.t option;
   clock : Stopwatch.clock;
 }
 
 let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
     ?(tests_per_program = 30) ?(seed = 2021L) ?sat_budget
-    ?(retry = Retry.default) ?faults ?(clock = Stopwatch.wall) () =
+    ?(retry = Retry.default) ?faults ?deadline ?chaos
+    ?(clock = Stopwatch.wall) () =
   {
     name;
     template;
@@ -41,6 +46,8 @@ let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
     sat_budget;
     retry;
     faults;
+    deadline;
+    chaos;
     clock;
   }
 
@@ -64,15 +71,22 @@ type outcome = {
    uninterrupted campaign. *)
 
 let load_checkpoint path =
-  if not (Sys.file_exists path) then (0, [])
+  if not (Sys.file_exists path) then (0, [], None)
   else begin
-    let j = Journal.read_csv ~path in
+    (* Tolerant load: a SIGKILLed campaign can leave a torn or
+       chaos-poisoned record at the tail.  The loader keeps the longest
+       clean prefix; whatever it dropped belonged to the last program
+       seen, which is re-run anyway. *)
+    let j, recovery = Journal.load ~path in
     let events = Journal.events j in
     let restart =
       List.fold_left (fun m ev -> max m (Journal.event_program_index ev)) (-1) events
     in
-    if restart < 0 then (0, [])
-    else (restart, List.filter (fun ev -> Journal.event_program_index ev < restart) events)
+    if restart < 0 then (0, [], Some recovery)
+    else
+      ( restart,
+        List.filter (fun ev -> Journal.event_program_index ev < restart) events,
+        Some recovery )
   end
 
 let replay stats journal watch events =
@@ -88,7 +102,8 @@ let replay stats journal watch events =
             ~exe_seconds:e.Journal.execution_seconds
             ~elapsed:(Stopwatch.elapsed_s watch) ()
       | Journal.Quarantined _ -> stats := Stats.record_quarantine !stats
-      | Journal.Program_failed _ -> stats := Stats.record_skipped_program !stats)
+      | Journal.Program_failed _ -> stats := Stats.record_skipped_program !stats
+      | Journal.Crashed _ -> stats := Stats.record_crashed_program !stats)
     events
 
 (* ---- per-program pipeline (worker side) ----
@@ -113,6 +128,17 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
   let collector =
     Collector.create ~clock:cfg.clock ~track:(program_index + 1) ()
   in
+  (* One deadline token per program: a virtual (conflict-count) deadline
+     gives every program the same work allowance regardless of scheduling,
+     and a wall-clock one bounds each program's real time.  The token is
+     ambient for the whole program body, so the SAT search, the blaster
+     and the pipeline all poll it. *)
+  let deadline =
+    Option.map (fun spec -> Deadline.create ~clock:cfg.clock spec) cfg.deadline
+  in
+  let with_deadline f =
+    match deadline with None -> f () | Some d -> Deadline.with_current d f
+  in
   (* Any exception in any stage — generation, symbolic execution, relation
      synthesis, SMT enumeration, execution — abandons this program with a
      recorded failure instead of killing the campaign: one pathological
@@ -120,6 +146,7 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
   Collector.with_current collector (fun () ->
   Collector.span "program" ~args:[ ("index", string_of_int program_index) ]
   @@ fun () ->
+  with_deadline @@ fun () ->
   (try
      let { Templates.program; template_name }, program_rng =
        Collector.span "generate" (fun () -> Gen.run cfg.template program_rng)
@@ -142,6 +169,13 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
        in
        match step with
        | Pipeline.Exhausted -> continue_tests := false
+       | Pipeline.Crashed { reason } ->
+         (* The program's deadline expired mid-enumeration: record what
+            was lost and stop drawing test cases — everything produced so
+            far stays in the event buffer. *)
+         Collector.incr "deadline.hits";
+         continue_tests := false;
+         emit (Journal.Crashed { campaign = cfg.name; program_index; reason })
        | Pipeline.Quarantined { pair; reason } ->
          (* The pair is out of the queue; its generation time is carried
             into the next successful test case.  No test slot is
@@ -201,8 +235,15 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
    with
   | (Stack_overflow | Out_of_memory | Sys.Break) as fatal ->
     (* Resource exhaustion of the whole process and user interrupts must
-       not be swallowed as per-program noise. *)
+       not be swallowed as per-program noise.  (Stack_overflow is then
+       classified as a worker crash by the supervised pool: the program is
+       recorded as crashed and the campaign continues.) *)
     raise fatal
+  | Deadline.Expired reason ->
+    (* Expiry surfacing outside the pipeline's own handler — during
+       prepare, blasting, or a phase boundary poll. *)
+    Collector.incr "deadline.hits";
+    emit (Journal.Crashed { campaign = cfg.name; program_index; reason })
   | exn ->
     Collector.incr "campaign.program_failures";
     emit
@@ -247,7 +288,12 @@ let merge_program cfg ~on_event ~journal ~watch ~stats ~program_index events =
       | Journal.Program_failed { reason; _ } ->
         stats := Stats.record_skipped_program !stats;
         on_event
-          (Printf.sprintf "[%s] program %d failed: %s" cfg.name program_index reason))
+          (Printf.sprintf "[%s] program %d failed: %s" cfg.name program_index reason)
+      | Journal.Crashed { reason; _ } ->
+        stats := Stats.record_crashed_program !stats;
+        on_event
+          (Printf.sprintf "[%s] program %d crashed: %s" cfg.name program_index
+             reason))
     events;
   stats := Stats.record_program !stats ~found_counterexample:!found;
   if (program_index + 1) mod 25 = 0 then
@@ -262,9 +308,12 @@ let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
   let stats = ref Stats.empty in
   let pipeline_cfg =
     let pc = cfg.pipeline cfg.setup in
-    match cfg.sat_budget with
-    | None -> pc
-    | Some b -> { pc with Pipeline.budget = Some b }
+    let pc =
+      match cfg.sat_budget with
+      | None -> pc
+      | Some b -> { pc with Pipeline.budget = Some b }
+    in
+    { pc with Pipeline.chaos = cfg.chaos }
   in
   (* Split one RNG stream per program off the campaign seed, in program
      order, before anything runs: program i's randomness is a pure function
@@ -276,9 +325,18 @@ let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
         rng := rng';
         stream)
   in
-  let start_index, replayed =
-    match resume with None -> (0, []) | Some path -> load_checkpoint path
+  let start_index, replayed, recovery =
+    match resume with
+    | None -> (0, [], None)
+    | Some path -> load_checkpoint path
   in
+  (match recovery with
+  | Some { Journal.records; dropped_bytes } when dropped_bytes > 0 ->
+    on_event
+      (Printf.sprintf
+         "[%s] resume journal had a damaged tail: kept %d clean record(s), dropped %d byte(s)"
+         cfg.name records dropped_bytes)
+  | _ -> ());
   let start_index = min start_index cfg.programs in
   if start_index > 0 then begin
     replay stats journal watch replayed;
@@ -303,17 +361,63 @@ let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
      were not re-executed, so they contribute no telemetry. *)
   let campaign_collector = Collector.create ~clock:cfg.clock ~track:0 () in
   let reports_rev = ref [] in
+  (* Supervision policy: an exception that escapes run_program's own
+     net — an injected chaos kill, a stack overflow — is a worker-domain
+     crash.  The pool respawns the domain; here the lost program becomes a
+     Crashed journal event feeding the normal quarantine/stats path, and
+     the campaign carries on.  Whole-process conditions stay fatal. *)
+  let worker_fatal = function
+    | Chaos.Killed _ | Stack_overflow -> true
+    | _ -> false
+  in
   Collector.with_current campaign_collector (fun () ->
       Collector.span "campaign" ~args:[ ("name", cfg.name) ] (fun () ->
-          Pool.run_ordered ~jobs
+          (match recovery with
+          | Some { Journal.records; dropped_bytes } ->
+            Collector.add "journal.recovered_records" records;
+            if dropped_bytes > 0 then Collector.incr "journal.recovered_tails"
+          | None -> ());
+          Pool.run_supervised ~jobs
             ~tasks:(cfg.programs - start_index)
+            ~fatal:worker_fatal
+            ~on_restart:(fun _ -> Collector.incr "pool.restarts")
             ~worker:(fun k ->
               let program_index = start_index + k in
+              (* Chaos site "pool.worker": simulate a worker-domain crash
+                 before this program runs.  Keyed by program index, so the
+                 set of killed programs is independent of jobs level and
+                 resume point. *)
+              (match cfg.chaos with
+              | Some c ->
+                Chaos.kill c ~site:"pool.worker" ~key:(Int64.of_int program_index)
+              | None -> ());
               run_program cfg pipeline_cfg ~program_index streams.(program_index))
-            ~consume:(fun k (events, report) ->
-              reports_rev := report :: !reports_rev;
-              merge_program cfg ~on_event ~journal ~watch ~stats
-                ~program_index:(start_index + k) events)));
+            ~consume:(fun k result ->
+              let program_index = start_index + k in
+              match result with
+              | Ok (events, report) ->
+                reports_rev := report :: !reports_rev;
+                merge_program cfg ~on_event ~journal ~watch ~stats
+                  ~program_index events
+              | Error { Pool.exn = (Out_of_memory | Sys.Break) as fatal; backtrace }
+                ->
+                (* Whole-process conditions abort the campaign (the
+                   journal holds a resumable checkpoint). *)
+                Printexc.raise_with_backtrace fatal backtrace
+              | Error { Pool.exn; _ } ->
+                (match exn with
+                | Chaos.Killed _ -> Collector.incr "chaos.injections"
+                | _ -> ());
+                let reason =
+                  match exn with
+                  | Chaos.Killed site ->
+                    Printf.sprintf "worker killed by chaos injection (%s)" site
+                  | exn -> "worker crashed: " ^ Printexc.to_string exn
+                in
+                merge_program cfg ~on_event ~journal ~watch ~stats
+                  ~program_index
+                  [ Journal.Crashed { campaign = cfg.name; program_index; reason } ])
+            ()));
   let telemetry =
     List.fold_left Collector.merge_reports
       (Collector.report campaign_collector)

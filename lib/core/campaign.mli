@@ -15,7 +15,7 @@
     [~jobs:n] the per-program pipelines run on [n] domains while journal
     rows, statistics and progress events are merged strictly in program
     order, so every observable output is identical to a [~jobs:1] run
-    under the same seed (see DESIGN.md Sec. 5). *)
+    under the same seed (see DESIGN.md Sec. 6). *)
 
 type config = {
   name : string;
@@ -33,6 +33,15 @@ type config = {
   retry : Retry.policy;  (** executor retry/majority-vote policy *)
   faults : Scamv_microarch.Faults.config option;
       (** board-noise fault injection, applied to every executor run *)
+  deadline : Scamv_util.Deadline.spec option;
+      (** per-program deadline: [Conflicts n] is the deterministic virtual
+          deadline (byte-identical output across [jobs] levels),
+          [Wall_seconds s] the wall-clock watchdog for service use; expiry
+          records the program as crashed and the campaign continues *)
+  chaos : Scamv_util.Chaos.t option;
+      (** deterministic fault injector arming the worker-kill,
+          journal-write and solver-budget chaos sites (share the same
+          value with {!Journal.create} so journal sites fire too) *)
   clock : Scamv_util.Stopwatch.clock;
       (** time source for all measured durations;
           {!Scamv_util.Stopwatch.frozen} makes every timing field 0 and
@@ -51,6 +60,8 @@ val make :
   ?sat_budget:Scamv_smt.Sat.budget ->
   ?retry:Retry.policy ->
   ?faults:Scamv_microarch.Faults.config ->
+  ?deadline:Scamv_util.Deadline.spec ->
+  ?chaos:Scamv_util.Chaos.t ->
   ?clock:Scamv_util.Stopwatch.clock ->
   unit ->
   config
@@ -93,10 +104,22 @@ val run :
     schedule.  [on_event] and [journal] are only ever touched from the
     calling domain.
 
-    [resume] names a journal CSV written by an earlier (killed) run of the
+    [resume] names a journal written by an earlier (killed) run of the
     same configuration: programs that completed there are replayed into
     the statistics (and re-recorded into [journal]) instead of re-executed,
     and the campaign continues from the first program not known to have
-    finished.  Because all per-program randomness is split off the
+    finished.  The journal is loaded {e tolerantly} ({!Journal.load}): a
+    torn or corrupted tail — a SIGKILL mid-write, a chaos-poisoned
+    record — is dropped, reported through [on_event] and counted in the
+    [journal.recovered_records] telemetry, and the affected program is
+    simply re-run.  Because all per-program randomness is split off the
     campaign seed up front, a resumed run produces final statistics
-    identical to an uninterrupted one. *)
+    identical to an uninterrupted one.
+
+    Supervision: a worker-domain crash (chaos kill, stack overflow) is
+    captured by {!Scamv_util.Pool.run_supervised} — the domain is
+    respawned ([pool.restarts] telemetry), the lost program is recorded as
+    a {!Journal.Crashed} event and counted in
+    {!Stats.t.crashed_programs}, and the campaign continues.  Deadline
+    expiry ([deadline.hits] telemetry) ends only the affected program.
+    [Out_of_memory] and [Sys.Break] still abort the whole campaign. *)

@@ -1,4 +1,6 @@
 module Executor = Scamv_microarch.Executor
+module Crc32 = Scamv_util.Crc32
+module Chaos = Scamv_util.Chaos
 
 type entry = {
   campaign : string;
@@ -22,22 +24,36 @@ type event =
       reason : string;
     }
   | Program_failed of { campaign : string; program_index : int; reason : string }
+  | Crashed of { campaign : string; program_index : int; reason : string }
 
 let event_program_index = function
   | Experiment e -> e.program_index
   | Quarantined q -> q.program_index
   | Program_failed f -> f.program_index
+  | Crashed c -> c.program_index
 
 type t = {
   mutable events_rev : event list;
   mutable count : int;  (* experiments only *)
   path : string option;
+  chaos : Chaos.t option;
+  mutable persisted : int;  (* records framed so far (chaos keying) *)
+  pending : Buffer.t;  (* frames withheld by an injected write delay *)
   mutable oc : out_channel option;  (* opened lazily on first record *)
 }
 
-let create ?path () = { events_rev = []; count = 0; path; oc = None }
+let create ?path ?chaos () =
+  {
+    events_rev = [];
+    count = 0;
+    path;
+    chaos;
+    persisted = 0;
+    pending = Buffer.create 256;
+    oc = None;
+  }
 
-(* ---- CSV writing ---- *)
+(* ---- CSV row rendering ---- *)
 
 let verdict_string = function
   | Executor.Distinguishable -> "distinguishable"
@@ -64,6 +80,34 @@ let event_row ev =
   | Program_failed f ->
     Printf.sprintf "%s,program-failed,%d,,,,,,,,,,%s\n" (quote f.campaign)
       f.program_index (quote f.reason)
+  | Crashed c ->
+    Printf.sprintf "%s,crashed,%d,,,,,,,,,,%s\n" (quote c.campaign)
+      c.program_index (quote c.reason)
+
+(* ---- v2 on-disk framing ----
+
+   The incremental on-disk format frames each CSV row (sans trailing
+   newline) as
+
+     R <payload-length> <crc32-hex>\n<payload>\n
+
+   after a magic first line.  Length prefix and checksum make a torn or
+   corrupted tail detectable: the loader keeps the longest clean prefix of
+   records and reports what it dropped, instead of failing to parse — the
+   property [--resume] relies on after a mid-write kill. *)
+
+let magic = "scamv-journal v2"
+
+let frame ?(corrupt_crc = false) payload =
+  let crc = Crc32.string payload in
+  let crc = if corrupt_crc then crc lxor 0xFF else crc in
+  Printf.sprintf "R %d %s\n%s\n" (String.length payload) (Crc32.to_hex crc)
+    payload
+
+let event_payload ev =
+  let row = event_row ev in
+  (* rows always end in '\n'; the frame supplies its own terminator *)
+  String.sub row 0 (String.length row - 1)
 
 (* ---- recording (with optional append-to-disk persistence) ---- *)
 
@@ -78,13 +122,34 @@ let persist t ev =
         (* Lazy open: the file is only (re)created once something is
            actually recorded, so a resume source named as the output path
            is read in full before being truncated. *)
-        let oc = open_out path in
-        output_string oc csv_header;
+        let oc = open_out_bin path in
+        output_string oc (magic ^ "\n");
         t.oc <- Some oc;
         oc
     in
-    output_string oc (event_row ev);
-    flush oc
+    let index = Int64.of_int t.persisted in
+    t.persisted <- t.persisted + 1;
+    let injected site =
+      match t.chaos with
+      | None -> false
+      | Some c ->
+        let hit = Chaos.roll c ~site ~key:index in
+        if hit then Scamv_telemetry.Collector.incr "chaos.injections";
+        hit
+    in
+    (* Chaos: poison corrupts this record's checksum in place (recovery
+       must drop it and everything after it); delay withholds the frame
+       from the channel until the next undelayed record, widening the
+       torn-tail window a crash can hit.  Neither changes the bytes a
+       surviving run eventually writes, so chaos journals stay
+       byte-identical across jobs levels. *)
+    let corrupt_crc = injected "journal.poison" in
+    Buffer.add_string t.pending (frame ~corrupt_crc (event_payload ev));
+    if not (injected "journal.delay") then begin
+      Buffer.output_buffer oc t.pending;
+      Buffer.clear t.pending;
+      flush oc
+    end
 
 let record_event t ev =
   t.events_rev <- ev :: t.events_rev;
@@ -97,6 +162,10 @@ let close t =
   match t.oc with
   | None -> ()
   | Some oc ->
+    if Buffer.length t.pending > 0 then begin
+      Buffer.output_buffer oc t.pending;
+      Buffer.clear t.pending
+    end;
     close_out oc;
     t.oc <- None
 
@@ -125,13 +194,32 @@ let to_csv t =
   List.iter (fun ev -> Buffer.add_string buf (event_row ev)) (events t);
   Buffer.contents buf
 
-let write_csv t ~path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_csv t))
+let to_journal_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (magic ^ "\n");
+  List.iter (fun ev -> Buffer.add_string buf (frame (event_payload ev))) (events t);
+  Buffer.contents buf
 
-(* ---- CSV parsing ---- *)
+(* Checkpoints are written atomically: the content lands in a temp file in
+   the destination directory and is renamed over the target, so a crash
+   mid-checkpoint leaves either the old complete file or the new one,
+   never a torn hybrid. *)
+let write_atomic ~path content =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".scamv-journal" ".tmp" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc content);
+      Sys.rename tmp path)
+
+let write_csv t ~path = write_atomic ~path (to_csv t)
+let write_journal t ~path = write_atomic ~path (to_journal_string t)
+
+(* ---- parsing ---- *)
 
 exception Parse_error of string
 
@@ -221,6 +309,7 @@ let event_of_fields = function
           reason;
         }
     | "program-failed" -> Program_failed { campaign; program_index; reason }
+    | "crashed" -> Crashed { campaign; program_index; reason }
     | k -> raise (Parse_error ("unknown event kind: " ^ k)))
   | fields ->
     raise
@@ -242,8 +331,86 @@ let of_csv content =
       rows);
   t
 
-let read_csv ~path =
+(* ---- v2 parsing with tail recovery ---- *)
+
+type recovery = { records : int; dropped_bytes : int }
+
+let is_v2 content =
+  let m = magic ^ "\n" in
+  String.length content >= String.length m
+  && String.sub content 0 (String.length m) = m
+
+(* Parse the longest clean prefix of framed records.  Any structural or
+   checksum failure stops the scan — deliberately without skipping forward:
+   once one record is suspect, nothing after it can be trusted to align,
+   and resume semantics only need a clean prefix (the campaign re-runs
+   everything from the first damaged program). *)
+let parse_v2 content =
+  let t = create () in
+  let n = String.length content in
+  let pos = ref (String.length magic + 1) in
+  let records = ref 0 in
+  let stopped = ref false in
+  while (not !stopped) && !pos < n do
+    let record_ok =
+      match String.index_from_opt content !pos '\n' with
+      | None -> None
+      | Some nl -> (
+        let header = String.sub content !pos (nl - !pos) in
+        match Scanf.sscanf_opt header "R %d %x%!" (fun len crc -> (len, crc)) with
+        | None -> None
+        | Some (len, crc) ->
+          let start = nl + 1 in
+          if len < 0 || start + len >= n || content.[start + len] <> '\n' then
+            None
+          else
+            let payload = String.sub content start len in
+            if Crc32.string payload <> crc then None
+            else begin
+              match parse_records (payload ^ "\n") with
+              | exception Parse_error _ -> None
+              | [ fields ] -> (
+                match event_of_fields fields with
+                | ev -> Some (ev, start + len + 1)
+                | exception Parse_error _ -> None)
+              | _ -> None
+            end)
+    in
+    match record_ok with
+    | Some (ev, next_pos) ->
+      record_event t ev;
+      incr records;
+      pos := next_pos
+    | None -> stopped := true
+  done;
+  (t, { records = !records; dropped_bytes = n - !pos })
+
+let of_string content =
+  if is_v2 content then begin
+    let t, recovery = parse_v2 content in
+    if recovery.dropped_bytes > 0 then
+      raise
+        (Parse_error
+           (Printf.sprintf "corrupt journal tail: %d trailing byte(s) after %d clean record(s)"
+              recovery.dropped_bytes recovery.records));
+    t
+  end
+  else of_csv content
+
+let of_string_tolerant content =
+  if is_v2 content then parse_v2 content
+  else
+    (* v1 CSV checkpoints are only ever written atomically and completely
+       (write_csv), so there is no torn tail to recover from: parse
+       strictly and report a clean recovery. *)
+    let t = of_csv content in
+    (t, { records = List.length (events t); dropped_bytes = 0 })
+
+let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
-    (fun () -> of_csv (really_input_string ic (in_channel_length ic)))
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_csv ~path = of_string (read_file path)
+let load ~path = of_string_tolerant (read_file path)

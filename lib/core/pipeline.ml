@@ -6,6 +6,8 @@ module Training = Scamv_relation.Training
 module Concretize = Scamv_relation.Concretize
 module Refinement = Scamv_models.Refinement
 module Splitmix = Scamv_util.Splitmix
+module Deadline = Scamv_util.Deadline
+module Chaos = Scamv_util.Chaos
 module Tm = Scamv_telemetry.Collector
 
 type config = {
@@ -14,6 +16,7 @@ type config = {
   diversify : bool;
   max_steps : int;
   budget : Scamv_smt.Sat.budget option;
+  chaos : Chaos.t option;
 }
 
 let default_config setup =
@@ -23,6 +26,7 @@ let default_config setup =
     diversify = Refinement.has_refinement setup;
     max_steps = 4096;
     budget = None;
+    chaos = None;
   }
 
 type test_case = {
@@ -41,6 +45,7 @@ type pair_session = {
 
 type t = {
   cfg : config;
+  seed : int64;  (* prepare seed: keys the chaos site below *)
   isa_program : Scamv_isa.Ast.program;
   bir_program : Scamv_bir.Program.t;
   leaf_list : Exec.leaf list;
@@ -50,13 +55,20 @@ type t = {
 
 let prepare ?(seed = 0L) cfg isa_program =
   Tm.span "prepare" (fun () ->
+  (* Deadline polls at the phase boundaries: each phase below can run for
+     seconds on a pathological program, and an ambient token expired by
+     the previous phase (or program) must stop the next one from
+     starting. *)
+  Deadline.poll ();
   let bir_program =
     (* The lifter records its own nested "lift" span. *)
     Tm.span "annotate" (fun () -> Refinement.annotate cfg.setup isa_program)
   in
+  Deadline.poll ();
   let leaf_list =
     Tm.span "symexec" (fun () -> Exec.execute ~max_steps:cfg.max_steps bir_program)
   in
+  Deadline.poll ();
   let synth_cfg =
     {
       Synth.platform = cfg.platform;
@@ -107,7 +119,8 @@ let prepare ?(seed = 0L) cfg isa_program =
       pairs)
   in
   Tm.add "campaign.path_pairs" (List.length sessions);
-  { cfg; isa_program; bir_program; leaf_list; queue = sessions; quarantined_rev = [] })
+  { cfg; seed; isa_program; bir_program; leaf_list; queue = sessions;
+    quarantined_rev = [] })
 
 let program t = t.isa_program
 let bir t = t.bir_program
@@ -118,11 +131,32 @@ let quarantined t = List.rev t.quarantined_rev
 type progress =
   | Case of test_case
   | Quarantined of { pair : int * int; reason : string }
+  | Crashed of { reason : string }
   | Exhausted
 
-let rec next_test_case t =
+(* Chaos site "solver.budget": pretend this pair's enumeration session
+   just blew its SAT budget.  Keyed on (prepare seed, pair), so the
+   decision is per-pair, schedule-independent, and identical across jobs
+   levels and resume boundaries. *)
+let chaos_budget_exhausted t ps =
+  match t.cfg.chaos with
+  | None -> false
+  | Some c ->
+    let p1, p2 = ps.pair in
+    let key = Int64.logxor t.seed (Int64.of_int ((p1 * 8191) + p2)) in
+    let hit = Chaos.roll c ~site:"solver.budget" ~key in
+    if hit then Tm.incr "chaos.injections";
+    hit
+
+let rec advance t =
+  Deadline.poll ();
   match t.queue with
   | [] -> Exhausted
+  | ps :: rest when chaos_budget_exhausted t ps ->
+    let reason = "chaos: injected SAT budget exhaustion" in
+    t.queue <- rest;
+    t.quarantined_rev <- (ps.pair, reason) :: t.quarantined_rev;
+    Quarantined { pair = ps.pair; reason }
   | ps :: rest -> (
     match
       Tm.span "enumerate"
@@ -132,7 +166,7 @@ let rec next_test_case t =
     with
     | Solver.Exhausted ->
       t.queue <- rest;
-      next_test_case t
+      advance t
     | Solver.Budget_exceeded ->
       (* A hard path pair: drop it from the round-robin queue so it cannot
          stall the rest of the program's enumeration, and remember why. *)
@@ -150,3 +184,11 @@ let rec next_test_case t =
       t.queue <- rest @ [ ps ];
       let state1, state2 = Concretize.test_states model in
       Case { pair = ps.pair; state1; state2; train = Lazy.force ps.training; model })
+
+(* Deadline expiry anywhere under enumeration — the SAT search, blasting a
+   training query, forcing the training states — surfaces here as a
+   [Crashed] progress value rather than an exception: the caller treats it
+   like any other terminal outcome for the program (the solver rewound its
+   own trail before raising, so the sessions stay intact). *)
+let next_test_case t =
+  try advance t with Deadline.Expired reason -> Crashed { reason }

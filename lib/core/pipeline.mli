@@ -18,6 +18,9 @@ type config = {
   budget : Scamv_smt.Sat.budget option;
       (** per-SAT-call resource caps for every path pair's enumeration
           session; a pair that exceeds them is quarantined *)
+  chaos : Scamv_util.Chaos.t option;
+      (** fault injector arming the ["solver.budget"] site: a chaos-chosen
+          path pair reports budget exhaustion and is quarantined *)
 }
 
 val default_config : Scamv_models.Refinement.t -> config
@@ -52,8 +55,14 @@ type progress =
   | Quarantined of { pair : int * int; reason : string }
       (** this path pair just blew its SAT budget and was removed from the
           queue; further calls continue with the remaining pairs *)
+  | Crashed of { reason : string }
+      (** the ambient {!Scamv_util.Deadline} expired during enumeration;
+          the program should be abandoned (solver state was rewound, so
+          the sessions are intact if the caller insists on continuing) *)
   | Exhausted  (** every session is exhausted (or quarantined) *)
 
 val next_test_case : t -> progress
 (** The next test case, drawn from the path-pair sessions in round-robin
-    order. *)
+    order.  Polls the ambient {!Scamv_util.Deadline} token: expiry — at
+    the call boundary or anywhere inside the SAT search — is returned as
+    {!Crashed}, never raised. *)

@@ -8,6 +8,7 @@ type t = {
   counterexamples : int;
   inconclusive : int;
   skipped_programs : int;
+  crashed_programs : int;
   budget_exceeded : int;
   retries : int;
   faults_observed : int;
@@ -24,6 +25,7 @@ let empty =
     counterexamples = 0;
     inconclusive = 0;
     skipped_programs = 0;
+    crashed_programs = 0;
     budget_exceeded = 0;
     retries = 0;
     faults_observed = 0;
@@ -41,6 +43,7 @@ let record_program t ~found_counterexample =
   }
 
 let record_skipped_program t = { t with skipped_programs = t.skipped_programs + 1 }
+let record_crashed_program t = { t with crashed_programs = t.crashed_programs + 1 }
 let record_quarantine t = { t with budget_exceeded = t.budget_exceeded + 1 }
 
 let record_experiment t ~verdict ?(retries = 0) ?(faults = 0) ~gen_seconds
@@ -71,6 +74,7 @@ let merge a b =
     counterexamples = a.counterexamples + b.counterexamples;
     inconclusive = a.inconclusive + b.inconclusive;
     skipped_programs = a.skipped_programs + b.skipped_programs;
+    crashed_programs = a.crashed_programs + b.crashed_programs;
     budget_exceeded = a.budget_exceeded + b.budget_exceeded;
     retries = a.retries + b.retries;
     faults_observed = a.faults_observed + b.faults_observed;
@@ -96,6 +100,7 @@ let header =
     "counterex.";
     "inconcl.";
     "skipped";
+    "crashed";
     "budget";
     "retries";
     "faults";
@@ -113,6 +118,7 @@ let row ~name t =
     string_of_int t.counterexamples;
     string_of_int t.inconclusive;
     string_of_int t.skipped_programs;
+    string_of_int t.crashed_programs;
     string_of_int t.budget_exceeded;
     string_of_int t.retries;
     string_of_int t.faults_observed;
@@ -125,12 +131,13 @@ let row ~name t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>programs: %d (with counterexample: %d, skipped: %d)@,\
+    "@[<v>programs: %d (with counterexample: %d, skipped: %d, crashed: %d)@,\
      experiments: %d, counterexamples: %d, inconclusive: %d@,\
      quarantined path pairs: %d, retries: %d, faults observed: %d@,\
      avg generation: %.4fs, avg execution: %.4fs@,\
      time to first counterexample: %s@]"
-    t.programs t.programs_with_counterexample t.skipped_programs t.experiments
+    t.programs t.programs_with_counterexample t.skipped_programs
+    t.crashed_programs t.experiments
     t.counterexamples t.inconclusive t.budget_exceeded t.retries
     t.faults_observed
     (Summary.mean t.generation_time)

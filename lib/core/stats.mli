@@ -8,6 +8,9 @@ type t = {
   inconclusive : int;
   skipped_programs : int;
       (** programs abandoned after an exception in prepare/generate/execute *)
+  crashed_programs : int;
+      (** programs lost to a supervised failure: a worker-domain crash or
+          an expired deadline (see {!Scamv_util.Deadline}) *)
   budget_exceeded : int;  (** path pairs quarantined by the SAT budget *)
   retries : int;  (** extra executor attempts beyond the first *)
   faults_observed : int;  (** injected faults seen across all experiments *)
@@ -23,6 +26,10 @@ val record_program : t -> found_counterexample:bool -> t
 val record_skipped_program : t -> t
 (** A program whose generation or execution failed and was abandoned
     (pair this with {!record_program} so [programs] still counts it). *)
+
+val record_crashed_program : t -> t
+(** A program lost to a worker crash or deadline expiry (pair this with
+    {!record_program} so [programs] still counts it). *)
 
 val record_quarantine : t -> t
 (** A path pair dropped because its SAT budget ran out. *)

@@ -461,6 +461,10 @@ let assert_term t term =
   (match Term.sort_of term with
   | Sort.Bool -> ()
   | s -> raise (Term.Sort_error ("assertion of sort " ^ Sort.to_string s)));
+  (* Cooperative-cancellation poll: blasting a large assertion is the one
+     long-running phase between SAT queries, so an expired ambient
+     deadline stops here instead of after the whole graph is built. *)
+  Scamv_util.Deadline.poll ();
   ensure_emission_capacity t;
   let r = blast_bool t term in
   ensure_emission_capacity t;

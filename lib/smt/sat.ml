@@ -825,7 +825,7 @@ let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
     and r0 = t.restarts
     and learned0 = t.learned_total
     and deleted0 = t.deleted_total in
-    let finish outcome =
+    let finish ?(interrupted = false) outcome =
       let dc = t.conflicts - c0 in
       Scamv_telemetry.Collector.add "sat.conflicts" dc;
       Scamv_telemetry.Collector.add "sat.decisions" (t.decisions - d0);
@@ -834,7 +834,9 @@ let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
       Scamv_telemetry.Collector.add "sat.learned" (t.learned_total - learned0);
       Scamv_telemetry.Collector.add "sat.deleted" (t.deleted_total - deleted0);
       Scamv_telemetry.Collector.incr "sat.queries";
-      (if outcome = Unknown then
+      (if interrupted then
+         Scamv_telemetry.Collector.incr "sat.deadline_interrupts"
+       else if outcome = Unknown then
          Scamv_telemetry.Collector.incr "sat.budget_exhausted");
       Scamv_telemetry.Collector.observe "sat.conflicts_per_query"
         (float_of_int dc);
@@ -858,6 +860,18 @@ let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
       t.conflicts > conflict_limit
       || t.decisions > decision_limit
       || t.propagations > propagation_limit
+    in
+    (* Cooperative cancellation: capture the ambient deadline token once
+       per query, charge it one unit per conflict, and check it beside the
+       budget at the loop head.  Expiry exits the search like an
+       out-of-budget stop (trail rewound, telemetry flushed) and then
+       raises, so the solver object stays reusable. *)
+    let deadline = Scamv_util.Deadline.current () in
+    let deadline_hit = ref false in
+    let deadline_expired () =
+      match deadline with
+      | None -> false
+      | Some d -> Scamv_util.Deadline.expired d
     in
     cancel_until t 0;
     (* Decision order state is O(1) to rewind per query: positive-activity
@@ -886,10 +900,17 @@ let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
           let restart = ref false in
           while !result = None && not !restart do
             if over_budget () then result := Some Unknown
+            else if deadline_expired () then begin
+              deadline_hit := true;
+              result := Some Unknown
+            end
             else begin
               let confl = propagate t in
               if confl <> cr_null then begin
                 t.conflicts <- t.conflicts + 1;
+                (match deadline with
+                | Some d -> Scamv_util.Deadline.tick d 1
+                | None -> ());
                 incr local_conflicts;
                 if decision_level t = 0 then begin
                   t.unsat <- true;
@@ -967,7 +988,13 @@ let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
         (* An out-of-budget stop leaves a partial trail; rewind it so the
            solver is immediately reusable (e.g. with a larger budget). *)
         if !result = Some Unknown then cancel_until t 0;
-        finish (Option.get !result)
+        if !deadline_hit then begin
+          ignore (finish ~interrupted:true Unknown : outcome);
+          match deadline with
+          | Some d -> raise (Scamv_util.Deadline.Expired (Scamv_util.Deadline.describe d))
+          | None -> assert false
+        end
+        else finish (Option.get !result)
       end
     end
   end

@@ -102,7 +102,13 @@ val solve :
     spend; when a cap is hit the call stops with [Unknown], the trail is
     rewound, and the solver (including all learnt clauses) stays usable —
     a later call with a larger budget resumes from the accumulated
-    knowledge. *)
+    knowledge.
+
+    Cooperative cancellation: the search charges the ambient
+    {!Scamv_util.Deadline} token (when one is installed) one unit per
+    conflict and checks it at the loop head.  Expiry rewinds the trail and
+    flushes telemetry exactly like an out-of-budget stop, then raises
+    {!Scamv_util.Deadline.Expired} — the solver object stays reusable. *)
 
 val value : t -> int -> bool
 (** Value of a variable in the last satisfying assignment.

@@ -1,0 +1,25 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven, one byte per
+   step.  Used to checksum journal records; speed is irrelevant next to
+   the cost of producing a record, so the plain byte-at-a-time loop is
+   fine. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let crc = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch ->
+      crc := table.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let string s = update 0 s
+let to_hex crc = Printf.sprintf "%08x" (crc land 0xFFFFFFFF)

@@ -1,0 +1,13 @@
+(** CRC-32 checksums (IEEE 802.3 / zlib polynomial), used to frame journal
+    records so a torn or corrupted tail is detected on resume. *)
+
+val string : string -> int
+(** [string s] is the CRC-32 of [s] as a non-negative int in
+    [0, 0xFFFFFFFF].  [string "123456789" = 0xCBF43926]. *)
+
+val update : int -> string -> int
+(** [update crc s] extends a running checksum: [update (string a) b] is
+    [string (a ^ b)]. *)
+
+val to_hex : int -> string
+(** Lower-case, zero-padded 8-digit hex rendering. *)

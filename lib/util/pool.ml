@@ -1,22 +1,36 @@
-(* Deterministic Domain-based worker pool.
+(* Deterministic Domain-based worker pool with supervision.
 
-   Work items are identified by their index 0..tasks-1.  A fixed number of
-   worker domains pull indices from a shared counter guarded by a mutex;
-   each result is written into its slot of a result array and the consumer
-   (the calling domain) is woken through a condition variable.  The
-   consumer hands results to [consume] strictly in index order, whatever
-   order the workers complete in, so any state folded over the results
-   (journals, statistics, output files) is identical to a sequential run.
+   Work items are identified by their index 0..tasks-1.  Worker domains
+   pull indices from a shared counter guarded by a mutex; each result is
+   written into its slot of a result array and the consumer (the calling
+   domain) is woken through a condition variable.  The consumer hands
+   results to [consume] strictly in index order, whatever order the
+   workers complete in, so any state folded over the results (journals,
+   statistics, output files) is identical to a sequential run.
+
+   Supervision ([run_supervised]): a worker exception is captured as a
+   per-item [Error] and delivered to the consumer in the item's index
+   position — it is never re-raised inside the pool.  Exceptions the
+   caller declares [fatal] additionally kill the worker domain that hit
+   them (modelling a crashed worker, e.g. a stack overflow or an injected
+   chaos kill); when the consumer drains such a failure it runs
+   [on_restart] and spawns a replacement domain if untaken work remains,
+   so a campaign outlives any number of worker crashes.  Because every
+   taken index is always filled (the failure cell is written before the
+   domain exits), the drain order is total: the consumer never waits on a
+   slot no live or future domain will fill.
 
    With [jobs = 1] no domain is spawned at all: the calling domain runs
-   worker and consumer interleaved (compute item i, consume item i), which
-   is byte-for-byte the behaviour of the pre-pool sequential engines and
-   keeps single-job runs free of any threading overhead. *)
+   worker and consumer interleaved (compute item i, consume item i) —
+   including the [on_restart] bookkeeping for fatal failures, so
+   supervision counters are identical across jobs levels. *)
+
+type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
 
 type 'a cell =
   | Empty
   | Done of 'a
-  | Failed of exn * Printexc.raw_backtrace
+  | Failed of failure
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -25,13 +39,19 @@ let resolve_jobs jobs =
   else if jobs = 0 then default_jobs ()
   else jobs
 
-let run_ordered ~jobs ~tasks ~worker ~consume =
-  if tasks < 0 then invalid_arg "Pool.run_ordered: tasks must be >= 0";
+let run_supervised ~jobs ~tasks ?(fatal = fun _ -> false)
+    ?(on_restart = fun (_ : int) -> ()) ~worker ~consume () =
+  if tasks < 0 then invalid_arg "Pool.run_supervised: tasks must be >= 0";
   let jobs = resolve_jobs jobs in
   if tasks = 0 then ()
   else if jobs = 1 then
     for i = 0 to tasks - 1 do
-      consume i (worker i)
+      match worker i with
+      | v -> consume i (Ok v)
+      | exception exn ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        if fatal exn then on_restart i;
+        consume i (Error { exn; backtrace })
     done
   else begin
     let slots = Array.make tasks Empty in
@@ -57,23 +77,27 @@ let run_ordered ~jobs ~tasks ~worker ~consume =
     let rec worker_loop () =
       match take () with
       | None -> ()
-      | Some i ->
-        let cell =
-          match worker i with
-          | v -> Done v
-          | exception exn -> Failed (exn, Printexc.get_raw_backtrace ())
-        in
-        put i cell;
-        worker_loop ()
+      | Some i -> (
+        match worker i with
+        | v ->
+          put i (Done v);
+          worker_loop ()
+        | exception exn ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          put i (Failed { exn; backtrace });
+          (* A fatal exception kills this domain (after the failure cell is
+             in place, so the consumer cannot block on it); the consumer
+             respawns a replacement when it drains the failure. *)
+          if not (fatal exn) then worker_loop ())
     in
     let domains =
-      Array.init (min jobs tasks) (fun _ -> Domain.spawn worker_loop)
+      ref (List.init (min jobs tasks) (fun _ -> Domain.spawn worker_loop))
     in
     let cancel_and_join () =
       Mutex.lock lock;
       cancelled := true;
       Mutex.unlock lock;
-      Array.iter Domain.join domains
+      List.iter Domain.join !domains
     in
     match
       for i = 0 to tasks - 1 do
@@ -86,16 +110,32 @@ let run_ordered ~jobs ~tasks ~worker ~consume =
         (* release the result for collection *)
         Mutex.unlock lock;
         match cell with
-        | Done v -> consume i v
-        | Failed (exn, bt) -> Printexc.raise_with_backtrace exn bt
+        | Done v -> consume i (Ok v)
+        | Failed f ->
+          if fatal f.exn then begin
+            (* Restart unconditionally — even when no untaken work remains
+               a replacement is spawned (it exits immediately), so the
+               restart count is a pure function of which items crashed,
+               not of the schedule: identical at every jobs level. *)
+            on_restart i;
+            domains := Domain.spawn worker_loop :: !domains
+          end;
+          consume i (Error f)
         | Empty -> assert false
       done
     with
-    | () -> Array.iter Domain.join domains
+    | () -> List.iter Domain.join !domains
     | exception exn ->
       cancel_and_join ();
       raise exn
   end
+
+let run_ordered ~jobs ~tasks ~worker ~consume =
+  run_supervised ~jobs ~tasks ~worker
+    ~consume:(fun i -> function
+      | Ok v -> consume i v
+      | Error { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace)
+    ()
 
 let map ~jobs f n =
   if n < 0 then invalid_arg "Pool.map: n must be >= 0";

@@ -1,11 +1,11 @@
-(** Deterministic Domain-based worker pool.
+(** Deterministic Domain-based worker pool with supervision.
 
-    The pool runs indexed work items on a fixed number of OCaml 5 domains
-    and delivers the results to a single consumer {e strictly in index
-    order}, regardless of the order in which workers finish.  Any state
-    folded over the results — journal files, statistics, progress output —
-    therefore ends up identical to a sequential run, which is what makes
-    [--jobs N] campaigns bit-reproducible (see DESIGN.md Sec. 5).
+    The pool runs indexed work items on OCaml 5 domains and delivers the
+    results to a single consumer {e strictly in index order}, regardless
+    of the order in which workers finish.  Any state folded over the
+    results — journal files, statistics, progress output — therefore ends
+    up identical to a sequential run, which is what makes [--jobs N]
+    campaigns bit-reproducible (see DESIGN.md Sec. 6).
 
     Thread-safety contract: [worker] runs on pool domains, possibly many at
     a time, and must only touch state confined to one work item; [consume]
@@ -19,6 +19,46 @@ val resolve_jobs : int -> int
 (** Normalizes a [--jobs] style argument: [0] means {!default_jobs},
     positive values pass through.
     @raise Invalid_argument on negative values. *)
+
+type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
+(** A captured worker exception, delivered at the failed item's index. *)
+
+val run_supervised :
+  jobs:int ->
+  tasks:int ->
+  ?fatal:(exn -> bool) ->
+  ?on_restart:(int -> unit) ->
+  worker:(int -> 'a) ->
+  consume:(int -> ('a, failure) result -> unit) ->
+  unit ->
+  unit
+(** Supervised variant of {!run_ordered}: a worker exception is captured
+    as a per-item [Error] and handed to [consume] at the item's index —
+    the pool itself never re-raises it, so one crashing item cannot abort
+    the remaining work.
+
+    [fatal] (default [fun _ -> false]) classifies exceptions that should
+    be treated as a {e worker-domain crash}: the domain that hit one exits
+    (after depositing the failure cell), and when the consumer drains that
+    failure it first calls [on_restart index] and spawns a replacement
+    domain.  The restart happens for {e every} drained fatal failure —
+    even when no untaken work remains, in which case the replacement exits
+    immediately — so the number of restarts is a pure function of which
+    items crashed, identical at every [jobs] level (including [jobs = 1],
+    where no domain exists but [on_restart] still fires).  Non-fatal
+    exceptions leave the worker domain alive and pulling further items.
+
+    Drain order (also the contract of {!run_ordered}): [consume] observes
+    items [0, 1, 2, ...] with no gaps; every {e taken} index is always
+    filled (workers deposit their result or failure before exiting for any
+    reason), so the consumer never waits on a slot that no live or future
+    domain will fill.  If [consume] itself raises at index [i], items
+    [< i] have been fully consumed, no new item is started, in-flight
+    items run to completion, and every domain is joined before the
+    exception propagates — the pool is never left wedged.
+
+    With [jobs = 1] everything runs sequentially on the calling domain
+    with no domain spawned. *)
 
 val run_ordered :
   jobs:int ->
@@ -35,9 +75,10 @@ val run_ordered :
 
     An exception raised by [worker i] is re-raised (with its original
     backtrace) from the consumer at position [i]; an exception from either
-    side cancels the remaining items — workers finish their in-flight item
-    and exit, all domains are joined — before the exception propagates, so
-    a failing item never wedges the pool. *)
+    side cancels the remaining items under the drain-order contract of
+    {!run_supervised} — workers finish their in-flight item and exit, all
+    domains are joined — before the exception propagates, so a failing
+    item never wedges the pool. *)
 
 val map : jobs:int -> (int -> 'a) -> int -> 'a array
 (** [map ~jobs f n] is [[| f 0; ...; f (n-1) |]] computed on [jobs]

@@ -103,6 +103,72 @@ let test_incremental_persistence () =
   Journal.close j;
   events_equal j (Journal.read_csv ~path)
 
+(* ---- crash-safe journal format (v2) ---- *)
+
+let v2_fixture () =
+  (* A persisted v2 journal with four records, as a killed campaign would
+     leave behind (including a Crashed event). *)
+  let path = temp_path ".journal" in
+  let j = Journal.create ~path () in
+  Journal.record j (entry 0 Executor.Distinguishable);
+  Journal.record j (entry 1 Executor.Indistinguishable);
+  Journal.record_event j
+    (Journal.Crashed { campaign = "c"; program_index = 2; reason = "worker killed" });
+  Journal.record j (entry 3 Executor.Inconclusive);
+  Journal.close j;
+  path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let write_file path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let test_v2_roundtrip () =
+  let path = v2_fixture () in
+  let j, recovery = Journal.load ~path in
+  Alcotest.(check Alcotest.int) "all records recovered" 4 recovery.Journal.records;
+  Alcotest.(check Alcotest.int) "nothing dropped" 0 recovery.Journal.dropped_bytes;
+  Alcotest.(check Alcotest.int) "four events" 4 (List.length (Journal.events j));
+  (match Journal.events j with
+  | [ _; _; Journal.Crashed { program_index; reason; _ }; _ ] ->
+    Alcotest.(check Alcotest.int) "crashed index" 2 program_index;
+    Alcotest.(check string) "crashed reason" "worker killed" reason
+  | _ -> Alcotest.fail "crashed event lost");
+  (* read_csv (strict) also auto-detects the v2 format on a clean file. *)
+  events_equal j (Journal.read_csv ~path)
+
+let test_v2_truncated_final_record_recovers () =
+  let path = v2_fixture () in
+  let whole = read_file path in
+  write_file path (String.sub whole 0 (String.length whole - 5));
+  let j, recovery = Journal.load ~path in
+  Alcotest.(check Alcotest.int) "clean prefix kept" 3 recovery.Journal.records;
+  Alcotest.(check bool) "drop reported" true (recovery.Journal.dropped_bytes > 0);
+  Alcotest.(check Alcotest.int) "three events" 3 (List.length (Journal.events j));
+  (* The strict loader refuses the same file. *)
+  match Journal.read_csv ~path with
+  | exception Journal.Parse_error _ -> ()
+  | _ -> Alcotest.fail "strict read accepted a torn tail"
+
+let test_v2_flipped_checksum_byte_recovers () =
+  let path = v2_fixture () in
+  let whole = read_file path in
+  (* Flip one payload byte of the final record: its checksum no longer
+     matches, so recovery must drop it (and only it). *)
+  let b = Bytes.of_string whole in
+  let pos = Bytes.length b - 3 in
+  Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+  write_file path (Bytes.to_string b);
+  let j, recovery = Journal.load ~path in
+  Alcotest.(check Alcotest.int) "clean prefix kept" 3 recovery.Journal.records;
+  Alcotest.(check bool) "drop reported" true (recovery.Journal.dropped_bytes > 0);
+  Alcotest.(check Alcotest.int) "three events" 3 (List.length (Journal.events j))
+
+let test_v2_zero_length_file_recovers () =
+  let path = temp_path ".journal" in
+  write_file path "";
+  let j, recovery = Journal.load ~path in
+  Alcotest.(check Alcotest.int) "no records" 0 recovery.Journal.records;
+  Alcotest.(check Alcotest.int) "no events" 0 (List.length (Journal.events j))
+
 (* ---- retry policy ---- *)
 
 let scripted verdicts =
@@ -161,6 +227,79 @@ let test_retry_rejects_bad_policy () =
        ignore (Retry.make ~max_attempts:0 ());
        false
      with Invalid_argument _ -> true)
+
+(* ---- escalating backoff ---- *)
+
+let test_backoff_escalates_and_caps () =
+  (* Without jitter the schedule is exactly geometric up to the cap. *)
+  let b = Retry.backoff ~base_delay:0.1 ~multiplier:2.0 ~max_delay:0.5 ~jitter:0.0 () in
+  let sched = Retry.backoff_schedule b ~seed:1L ~attempts:5 in
+  List.iter2
+    (fun expected got -> Alcotest.(check (Alcotest.float 1e-9)) "delay" expected got)
+    [ 0.1; 0.2; 0.4; 0.5; 0.5 ] sched
+
+let test_backoff_execute_spaces_retries () =
+  (* execute sleeps exactly the scheduled delays before each retry, and
+     reports their sum. *)
+  let slept = ref [] in
+  let b = Retry.backoff ~base_delay:0.01 ~jitter:0.25 () in
+  let policy = Retry.make ~max_attempts:4 ~backoff:b () in
+  let run ~attempt:_ = (Executor.Inconclusive, 0) in
+  let o = Retry.execute ~seed:5L ~sleep:(fun d -> slept := d :: !slept) policy run in
+  Alcotest.(check Alcotest.int) "three retries slept" 3 (List.length !slept);
+  Alcotest.(check bool) "slept the scheduled delays" true
+    (List.rev !slept = Retry.backoff_schedule b ~seed:5L ~attempts:3);
+  Alcotest.(check (Alcotest.float 1e-9))
+    "sum reported" (List.fold_left ( +. ) 0.0 !slept)
+    o.Retry.backoff_seconds;
+  (* No backoff configured: never sleeps (the historical behaviour). *)
+  let slept = ref 0 in
+  let o =
+    Retry.execute ~sleep:(fun _ -> incr slept) (Retry.make ~max_attempts:4 ()) run
+  in
+  Alcotest.(check Alcotest.int) "no backoff, no sleep" 0 !slept;
+  Alcotest.(check (Alcotest.float 1e-9)) "zero seconds" 0.0 o.Retry.backoff_seconds
+
+let test_backoff_rejects_bad_fields () =
+  List.iter
+    (fun mk ->
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (mk ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> Retry.backoff ~base_delay:(-0.1) ());
+      (fun () -> Retry.backoff ~multiplier:0.5 ());
+      (fun () -> Retry.backoff ~jitter:1.5 ());
+      (fun () -> Retry.backoff ~max_delay:(-1.0) ());
+    ]
+
+let prop_backoff_reproducible =
+  (* The satellite's pinned property: the jittered schedule is a pure
+     function of (backoff, seed, attempt) — same seed, same schedule —
+     and every delay stays within (0, max_delay]. *)
+  QCheck.Test.make ~name:"backoff schedule reproducible and bounded" ~count:200
+    QCheck.(pair int64 (int_range 1 20))
+    (fun (seed, attempts) ->
+      let b = Retry.backoff ~base_delay:0.05 ~max_delay:2.0 ~jitter:0.25 () in
+      let s1 = Retry.backoff_schedule b ~seed ~attempts in
+      let s2 = Retry.backoff_schedule b ~seed ~attempts in
+      s1 = s2
+      && List.length s1 = attempts
+      && List.for_all (fun d -> d > 0.0 && d <= 2.0) s1)
+
+let prop_backoff_seed_sensitivity =
+  QCheck.Test.make ~name:"backoff jitter varies with seed" ~count:50
+    QCheck.(pair int64 int64)
+    (fun (s1, s2) ->
+      QCheck.assume (s1 <> s2);
+      let b = Retry.backoff ~jitter:0.25 () in
+      (* Some delay in a longish schedule differs (jitter draws are keyed
+         on the seed); identical schedules for different seeds would mean
+         the seed is ignored. *)
+      Retry.backoff_schedule b ~seed:s1 ~attempts:16
+      <> Retry.backoff_schedule b ~seed:s2 ~attempts:16)
 
 (* ---- fault injection ---- *)
 
@@ -235,6 +374,7 @@ let event_key = function
         e.Journal.faults )
   | Journal.Quarantined { program_index; pair; _ } -> `Quarantined (program_index, pair)
   | Journal.Program_failed { program_index; reason; _ } -> `Failed (program_index, reason)
+  | Journal.Crashed { program_index; reason; _ } -> `Crashed (program_index, reason)
 
 let test_campaign_noisy_budgeted_completes () =
   (* A seeded campaign with 10% fault injection and a tight SAT budget must
@@ -286,6 +426,40 @@ let test_campaign_resume_matches_uninterrupted () =
     (List.map event_key (Journal.events full_journal)
     = List.map event_key (Journal.events resumed_journal))
 
+let test_campaign_resume_recovers_damaged_tail () =
+  (* --resume pointed at a v2 journal damaged in each of the three ways —
+     truncated final record, flipped checksum byte, zero-length file —
+     must recover the clean prefix, re-run what was dropped, and land on
+     final statistics identical to an uninterrupted run. *)
+  let cfg =
+    noisy_cfg ~sat_budget:(Sat.budget ~conflicts:100 ()) ~programs:4 ~tests:3 ()
+  in
+  let full = Campaign.run cfg in
+  let persisted () =
+    let path = temp_path ".v2" in
+    let j = Journal.create ~path () in
+    let (_ : Campaign.outcome) = Campaign.run ~journal:j cfg in
+    Journal.close j;
+    path
+  in
+  let damage_and_resume ~what damage =
+    let path = persisted () in
+    damage path;
+    let resumed = Campaign.run ~resume:path cfg in
+    Alcotest.(check bool)
+      (what ^ ": stats match uninterrupted") true
+      (counts full.Campaign.stats = counts resumed.Campaign.stats)
+  in
+  damage_and_resume ~what:"truncated final record" (fun path ->
+      let whole = read_file path in
+      write_file path (String.sub whole 0 (String.length whole - 7)));
+  damage_and_resume ~what:"flipped checksum byte" (fun path ->
+      let b = Bytes.of_string (read_file path) in
+      let pos = Bytes.length b - 3 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x01));
+      write_file path (Bytes.to_string b));
+  damage_and_resume ~what:"zero-length file" (fun path -> write_file path "")
+
 let test_campaign_resume_from_missing_file_is_fresh_run () =
   let cfg = noisy_cfg ~programs:2 ~tests:2 () in
   let fresh = Campaign.run cfg in
@@ -304,6 +478,16 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_of_csv_rejects_garbage;
           Alcotest.test_case "incremental persistence" `Quick test_incremental_persistence;
         ] );
+      ( "journal-v2",
+        [
+          Alcotest.test_case "round-trip with Crashed event" `Quick test_v2_roundtrip;
+          Alcotest.test_case "truncated final record recovers" `Quick
+            test_v2_truncated_final_record_recovers;
+          Alcotest.test_case "flipped checksum byte recovers" `Quick
+            test_v2_flipped_checksum_byte_recovers;
+          Alcotest.test_case "zero-length file recovers" `Quick
+            test_v2_zero_length_file_recovers;
+        ] );
       ( "retry",
         [
           Alcotest.test_case "first conclusive wins" `Quick test_retry_first_conclusive_wins;
@@ -313,6 +497,15 @@ let () =
           Alcotest.test_case "majority vote" `Quick test_retry_majority_vote_disagreement;
           Alcotest.test_case "exponential budget" `Quick test_retry_exponential_budget;
           Alcotest.test_case "rejects bad policy" `Quick test_retry_rejects_bad_policy;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "escalates and caps" `Quick test_backoff_escalates_and_caps;
+          Alcotest.test_case "execute spaces retries" `Quick
+            test_backoff_execute_spaces_retries;
+          Alcotest.test_case "rejects bad fields" `Quick test_backoff_rejects_bad_fields;
+          QCheck_alcotest.to_alcotest prop_backoff_reproducible;
+          QCheck_alcotest.to_alcotest prop_backoff_seed_sensitivity;
         ] );
       ( "faults",
         [
@@ -327,6 +520,8 @@ let () =
             test_campaign_noisy_budgeted_completes;
           Alcotest.test_case "resume matches uninterrupted" `Quick
             test_campaign_resume_matches_uninterrupted;
+          Alcotest.test_case "resume recovers damaged tails" `Quick
+            test_campaign_resume_recovers_damaged_tail;
           Alcotest.test_case "resume from missing file" `Quick
             test_campaign_resume_from_missing_file_is_fresh_run;
         ] );

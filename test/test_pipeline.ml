@@ -41,7 +41,8 @@ let test_pipeline_produces_test_cases () =
   let session = Pipeline.prepare cfg tmpl.Templates.program in
   Alcotest.(check bool) "has refinable pair" true (Pipeline.pair_count session > 0);
   match Pipeline.next_test_case session with
-  | Pipeline.Exhausted | Pipeline.Quarantined _ -> Alcotest.fail "expected a test case"
+  | Pipeline.Exhausted | Pipeline.Quarantined _ | Pipeline.Crashed _ ->
+    Alcotest.fail "expected a test case"
   | Pipeline.Case tc ->
     Alcotest.(check bool) "training states present" true (tc.Pipeline.train <> []);
     Alcotest.(check bool) "states differ" false
@@ -54,7 +55,8 @@ let test_pipeline_test_cases_distinct () =
   let seen = Hashtbl.create 16 in
   for _ = 1 to 10 do
     match Pipeline.next_test_case session with
-    | Pipeline.Exhausted | Pipeline.Quarantined _ -> Alcotest.fail "exhausted too early"
+    | Pipeline.Exhausted | Pipeline.Quarantined _ | Pipeline.Crashed _ ->
+      Alcotest.fail "exhausted too early"
     | Pipeline.Case tc ->
       let key =
         Format.asprintf "%a|%a" Machine.pp tc.Pipeline.state1 Machine.pp
@@ -71,7 +73,7 @@ let test_pipeline_deterministic () =
     let session = Pipeline.prepare ~seed:5L cfg tmpl.Templates.program in
     List.init 5 (fun _ ->
         match Pipeline.next_test_case session with
-        | Pipeline.Exhausted | Pipeline.Quarantined _ -> "-"
+        | Pipeline.Exhausted | Pipeline.Quarantined _ | Pipeline.Crashed _ -> "-"
         | Pipeline.Case tc -> Format.asprintf "%a" Machine.pp tc.Pipeline.state1)
   in
   Alcotest.(check (list string)) "same seed, same test cases" (run ()) (run ())
@@ -82,7 +84,8 @@ let test_pipeline_unguided_straightline_program () =
   let cfg = Pipeline.default_config (Refinement.mpart_unguided platform region) in
   let session = Pipeline.prepare cfg tmpl.Templates.program in
   match Pipeline.next_test_case session with
-  | Pipeline.Exhausted | Pipeline.Quarantined _ -> Alcotest.fail "expected a test case"
+  | Pipeline.Exhausted | Pipeline.Quarantined _ | Pipeline.Crashed _ ->
+    Alcotest.fail "expected a test case"
   | Pipeline.Case tc -> Alcotest.(check (list Alcotest.int)) "no training" [] (List.map (fun _ -> 0) tc.Pipeline.train)
 
 (* ---- miniature campaigns: the paper's qualitative results ---- *)

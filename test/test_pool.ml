@@ -79,6 +79,111 @@ let test_pool_zero_tasks_and_resolve () =
     (Invalid_argument "Pool: jobs must be >= 0") (fun () ->
       ignore (Pool.resolve_jobs (-1)))
 
+(* ---- supervised pool ---- *)
+
+exception Crash of int
+
+let run_supervised_collect ~jobs ~tasks ~crashes =
+  (* Items in [crashes] raise Crash (classified fatal); the rest return
+     [i * 10].  Returns (consumed results in order, restart indices). *)
+  let consumed = ref [] in
+  let restarts = ref [] in
+  Pool.run_supervised ~jobs ~tasks
+    ~fatal:(function Crash _ -> true | _ -> false)
+    ~on_restart:(fun i -> restarts := i :: !restarts)
+    ~worker:(fun i ->
+      if List.mem i crashes then raise (Crash i);
+      i * 10)
+    ~consume:(fun i r ->
+      let tag =
+        match r with
+        | Ok v -> `Ok (i, v)
+        | Error { Pool.exn = Crash j; _ } -> `Crashed (i, j)
+        | Error _ -> `Other i
+      in
+      consumed := tag :: !consumed)
+    ();
+  (List.rev !consumed, List.rev !restarts)
+
+let test_supervised_crash_continues () =
+  (* A fatal worker crash is delivered as that item's Error and the pool
+     keeps going: every other item is still consumed, in order. *)
+  let consumed, restarts =
+    run_supervised_collect ~jobs:4 ~tasks:10 ~crashes:[ 3; 7 ]
+  in
+  let expected =
+    List.init 10 (fun i ->
+        if i = 3 || i = 7 then `Crashed (i, i) else `Ok (i, i * 10))
+  in
+  Alcotest.(check bool) "all items consumed in order" true (consumed = expected);
+  Alcotest.(check (Alcotest.list Alcotest.int))
+    "one restart per crashed item" [ 3; 7 ] restarts
+
+let test_supervised_restart_count_jobs_independent () =
+  (* The number (and indices) of restarts is a pure function of which
+     items crashed — identical across jobs levels, including jobs = 1 and
+     a crash on the very last item (no untaken work remains, the
+     replacement domain exits immediately, but the restart still fires). *)
+  let crashes = [ 0; 4; 9 ] in
+  let results =
+    List.map
+      (fun jobs -> run_supervised_collect ~jobs ~tasks:10 ~crashes)
+      [ 1; 2; 4; 8 ]
+  in
+  let first = List.hd results in
+  List.iter
+    (fun r -> Alcotest.(check bool) "identical across jobs" true (r = first))
+    (List.tl results);
+  Alcotest.(check (Alcotest.list Alcotest.int))
+    "restart indices = crash indices" crashes (snd first)
+
+let test_supervised_nonfatal_keeps_domain () =
+  (* Non-fatal exceptions are delivered as Errors but never restart. *)
+  let consumed = ref 0 and restarts = ref 0 in
+  Pool.run_supervised ~jobs:2 ~tasks:8
+    ~on_restart:(fun _ -> incr restarts)
+    ~worker:(fun i -> if i mod 2 = 0 then raise (Crash i) else i)
+    ~consume:(fun _ _ -> incr consumed)
+    ();
+  Alcotest.(check Alcotest.int) "all consumed" 8 !consumed;
+  Alcotest.(check Alcotest.int) "no restarts (default fatal)" 0 !restarts
+
+let test_supervised_backtrace_preserved () =
+  (* run_ordered re-raises worker failures with the original backtrace;
+     the Error cell carries it for callers that want to log it. *)
+  let saw_backtrace = ref false in
+  Pool.run_supervised ~jobs:1 ~tasks:1
+    ~worker:(fun _ -> raise (Crash 0))
+    ~consume:(fun _ r ->
+      match r with
+      | Error { Pool.backtrace; _ } ->
+        saw_backtrace := true;
+        ignore (Printexc.raw_backtrace_to_string backtrace : string)
+      | Ok _ -> Alcotest.fail "expected the failure")
+    ();
+  Alcotest.(check bool) "failure carries a backtrace" true !saw_backtrace
+
+let test_supervised_consume_raise_drains () =
+  (* The documented drain-order contract: a raising consumer still sees
+     every earlier item, no later consume happens, and the pool joins all
+     domains instead of wedging (this test terminating checks that). *)
+  let consumed = ref [] in
+  let raised =
+    try
+      Pool.run_supervised ~jobs:4 ~tasks:12
+        ~worker:(fun i -> i)
+        ~consume:(fun i _ ->
+          if i = 6 then raise (Boom i);
+          consumed := i :: !consumed)
+        ();
+      false
+    with Boom 6 -> true
+  in
+  Alcotest.(check bool) "consumer exception propagates" true raised;
+  Alcotest.(check (Alcotest.list Alcotest.int))
+    "items before the raise consumed in order" [ 0; 1; 2; 3; 4; 5 ]
+    (List.rev !consumed)
+
 (* ---- Summary.merge / Stats.merge ---- *)
 
 let summary_of = List.fold_left Summary.add Summary.empty
@@ -206,6 +311,19 @@ let () =
             test_pool_worker_exception;
           Alcotest.test_case "zero tasks and resolve_jobs" `Quick
             test_pool_zero_tasks_and_resolve;
+        ] );
+      ( "supervised",
+        [
+          Alcotest.test_case "crash becomes Error, pool continues" `Quick
+            test_supervised_crash_continues;
+          Alcotest.test_case "restart count jobs-independent" `Quick
+            test_supervised_restart_count_jobs_independent;
+          Alcotest.test_case "non-fatal keeps domain" `Quick
+            test_supervised_nonfatal_keeps_domain;
+          Alcotest.test_case "failure carries backtrace" `Quick
+            test_supervised_backtrace_preserved;
+          Alcotest.test_case "raising consumer drains cleanly" `Quick
+            test_supervised_consume_raise_drains;
         ] );
       ( "merge",
         [

@@ -188,7 +188,8 @@ let test_translated_gadget_through_pipeline () =
   let cfg = Scamv.Pipeline.default_config setup in
   let session = Scamv.Pipeline.prepare ~seed:3L cfg arm in
   match Scamv.Pipeline.next_test_case session with
-  | Scamv.Pipeline.Exhausted | Scamv.Pipeline.Quarantined _ ->
+  | Scamv.Pipeline.Exhausted | Scamv.Pipeline.Quarantined _
+  | Scamv.Pipeline.Crashed _ ->
     Alcotest.fail "expected a test case from the translated gadget"
   | Scamv.Pipeline.Case tc ->
     let verdict =

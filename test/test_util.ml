@@ -3,6 +3,10 @@ module Splitmix = Scamv_util.Splitmix
 module Summary = Scamv_util.Summary
 module Text_table = Scamv_util.Text_table
 module Json = Scamv_util.Json
+module Crc32 = Scamv_util.Crc32
+module Deadline = Scamv_util.Deadline
+module Chaos = Scamv_util.Chaos
+module Stopwatch = Scamv_util.Stopwatch
 
 let check = Alcotest.check
 let int64 = Alcotest.int64
@@ -189,6 +193,130 @@ let test_json_bad_unicode_escapes_rejected () =
       {|"\x41"|};
     ]
 
+(* ---- Crc32 ---- *)
+
+let test_crc32_vectors () =
+  (* The IEEE 802.3 check value, plus edge cases. *)
+  Alcotest.(check Alcotest.int) "check value" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check Alcotest.int) "empty" 0 (Crc32.string "");
+  Alcotest.(check Alcotest.int) "all bytes survive" (Crc32.string "\x00\xff\n")
+    (Crc32.string "\x00\xff\n");
+  Alcotest.(check bool) "corruption detected" true
+    (Crc32.string "journal record" <> Crc32.string "journal recorD")
+
+let test_crc32_update () =
+  let whole = Crc32.string "abcdef" in
+  Alcotest.(check Alcotest.int) "incremental = whole" whole
+    (Crc32.update (Crc32.string "abc") "def");
+  Alcotest.(check Alcotest.int) "update from empty" whole (Crc32.update (Crc32.string "") "abcdef")
+
+let test_crc32_hex () =
+  Alcotest.(check string) "zero pads" "00000000" (Crc32.to_hex 0);
+  Alcotest.(check string) "lower case" "cbf43926" (Crc32.to_hex 0xCBF43926)
+
+(* ---- Deadline ---- *)
+
+let test_deadline_conflicts () =
+  let d = Deadline.create (Deadline.Conflicts 3) in
+  Alcotest.(check bool) "fresh" false (Deadline.expired d);
+  Deadline.tick d 2;
+  Alcotest.(check bool) "under limit" false (Deadline.expired d);
+  Deadline.tick d 1;
+  Alcotest.(check bool) "at limit" true (Deadline.expired d);
+  Alcotest.(check Alcotest.int) "used" 3 (Deadline.used d);
+  (match Deadline.check d with
+  | exception Deadline.Expired _ -> ()
+  | () -> Alcotest.fail "check did not raise");
+  (* Sticky: once expired, stays expired. *)
+  Alcotest.(check bool) "sticky" true (Deadline.expired d)
+
+let test_deadline_wall_frozen () =
+  (* Under the frozen clock a wall deadline never advances, so frozen
+     (deterministic) campaigns are unaffected by watchdogs. *)
+  let d = Deadline.create ~clock:Stopwatch.frozen (Deadline.Wall_seconds 0.001) in
+  for _ = 1 to 10_000 do Deadline.tick d 1 done;
+  Alcotest.(check bool) "frozen clock never expires" false (Deadline.expired d);
+  Deadline.cancel d;
+  Alcotest.(check bool) "cancel forces expiry" true (Deadline.expired d)
+
+let test_deadline_invalid () =
+  Alcotest.(check bool) "zero conflicts rejected" true
+    (match Deadline.create (Deadline.Conflicts 0) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative seconds rejected" true
+    (match Deadline.create (Deadline.Wall_seconds (-1.0)) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_deadline_ambient () =
+  Alcotest.(check bool) "no ambient token" true (Deadline.current () = None);
+  (* poll/charge are no-ops without a token. *)
+  Deadline.poll ();
+  Deadline.charge 5;
+  let d = Deadline.create (Deadline.Conflicts 2) in
+  let observed =
+    Deadline.with_current d (fun () ->
+        Deadline.charge 2;
+        match Deadline.poll () with
+        | exception Deadline.Expired _ -> true
+        | () -> false)
+  in
+  Alcotest.(check bool) "ambient charge expires token" true observed;
+  Alcotest.(check bool) "token restored after scope" true (Deadline.current () = None)
+
+(* ---- Chaos ---- *)
+
+let test_chaos_pure_and_rate () =
+  let a = Chaos.create ~rate:0.5 ~seed:99L () in
+  let b = Chaos.create ~rate:0.5 ~seed:99L () in
+  for key = 0 to 499 do
+    let k = Int64.of_int key in
+    Alcotest.(check bool) "same (seed,site,key) same decision"
+      (Chaos.roll a ~site:"pool.worker" ~key:k)
+      (Chaos.roll b ~site:"pool.worker" ~key:k)
+  done;
+  (* Decisions are stateless: re-rolling a key gives the same answer. *)
+  Alcotest.(check bool) "re-roll is stable"
+    (Chaos.roll a ~site:"pool.worker" ~key:7L)
+    (Chaos.roll a ~site:"pool.worker" ~key:7L);
+  (* Empirical rate is in the right ballpark for rate 0.5. *)
+  let hits = ref 0 in
+  for key = 0 to 999 do
+    if Chaos.roll a ~site:"rate.check" ~key:(Int64.of_int key) then incr hits
+  done;
+  Alcotest.(check bool) "rate plausible" true (!hits > 350 && !hits < 650)
+
+let test_chaos_sites_independent () =
+  let c = Chaos.create ~rate:0.5 ~seed:3L () in
+  let differs = ref false in
+  for key = 0 to 63 do
+    let k = Int64.of_int key in
+    if Chaos.roll c ~site:"journal.poison" ~key:k
+       <> Chaos.roll c ~site:"journal.delay" ~key:k
+    then differs := true
+  done;
+  Alcotest.(check bool) "sites draw independently" true !differs
+
+let test_chaos_off_and_invalid () =
+  let off = Chaos.create () in
+  for key = 0 to 99 do
+    Alcotest.(check bool) "rate 0 never injects" false
+      (Chaos.roll off ~site:"pool.worker" ~key:(Int64.of_int key))
+  done;
+  Alcotest.(check Alcotest.int) "no injections counted" 0 (Chaos.injections off);
+  Alcotest.(check bool) "rate > 1 rejected" true
+    (match Chaos.create ~rate:1.5 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_chaos_kill_counts () =
+  let c = Chaos.create ~rate:1.0 ~seed:1L () in
+  (match Chaos.kill c ~site:"pool.worker" ~key:0L with
+  | exception Chaos.Killed site -> Alcotest.(check string) "site name" "pool.worker" site
+  | () -> Alcotest.fail "rate 1 did not kill");
+  Alcotest.(check Alcotest.int) "injection counted" 1 (Chaos.injections c)
+
 (* ---- Text_table ---- *)
 
 let contains_substring hay needle =
@@ -244,6 +372,27 @@ let () =
           Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
           Alcotest.test_case "bad \\u escapes rejected" `Quick
             test_json_bad_unicode_escapes_rejected;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "incremental update" `Quick test_crc32_update;
+          Alcotest.test_case "hex rendering" `Quick test_crc32_hex;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "virtual conflicts" `Quick test_deadline_conflicts;
+          Alcotest.test_case "wall under frozen clock" `Quick test_deadline_wall_frozen;
+          Alcotest.test_case "invalid specs rejected" `Quick test_deadline_invalid;
+          Alcotest.test_case "ambient token" `Quick test_deadline_ambient;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "pure decisions, plausible rate" `Quick
+            test_chaos_pure_and_rate;
+          Alcotest.test_case "sites independent" `Quick test_chaos_sites_independent;
+          Alcotest.test_case "off and invalid rates" `Quick test_chaos_off_and_invalid;
+          Alcotest.test_case "kill counts injections" `Quick test_chaos_kill_counts;
         ] );
       ( "text_table",
         [
