@@ -1,11 +1,13 @@
 DUNE ?= dune
 
-# Seeded smoke campaign: fault injection + retry + a tight SAT budget, so
-# the quarantine/retry/fault counters are exercised on every check.
+# Seeded smoke campaign: fault injection + retry + a tight SAT budget +
+# a 2-config solver portfolio, so the quarantine/retry/fault/portfolio
+# counters are exercised on every check.
 SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
-	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100
+	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100 \
+	--portfolio 2
 
-.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke perf-check clean
+.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke solver-smoke perf-check clean
 
 all: build
 
@@ -39,6 +41,14 @@ bench-smoke: build
 # campaigns to stay byte-identical across --jobs levels.
 chaos-smoke: build
 	$(DUNE) exec bench/main.exe -- chaos --smoke
+
+# Solver smoke: the phase-isolated solver microbenchmark plus the
+# deterministic portfolio race, then the incremental-vs-fresh identity
+# check (a staged make_session + extend session must enumerate byte-for-
+# byte the same models as a fresh session asserting everything at once).
+solver-smoke: build
+	$(DUNE) exec bench/main.exe -- solver
+	$(DUNE) exec bench/main.exe -- solver-identity
 
 # Perf regression gate: re-run the committed campaign benchmark (same
 # deterministic seed and size — the "full" config is itself smoke-scale,

@@ -729,7 +729,24 @@ module Collector = Scamv_telemetry.Collector
    The workload is deterministic (fixed generator and session seeds); the
    times land in BENCH_campaign.json next to the campaign numbers so the
    perf trajectory of the solver itself is tracked, not just end-to-end
-   campaign wall time. *)
+   campaign wall time.
+
+   Every phase is run [reps] times and each rep is timed on its own: the
+   JSON carries the per-rep minimum and median next to the legacy
+   all-reps sum (the [*_seconds] keys keep their historical scale so
+   committed baselines stay comparable).  The minimum is the
+   least-noise estimate of the work itself; the median guards against
+   reading too much into one quiet scheduler tick. *)
+let summarize_reps times =
+  let sorted = Array.copy times in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let median =
+    if n land 1 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+  in
+  (Array.fold_left ( +. ) 0. times, sorted.(0), median)
+
 let solver_microbench () =
   let reps = 3 in
   let draws = 4 in
@@ -752,21 +769,17 @@ let solver_microbench () =
   let make ?graph (r : Synth.pair_relation) =
     Solver.make_session ~seed:1L ?graph r.Synth.assertions
   in
-  let (), blast_private =
-    time_it (fun () ->
-        for _ = 1 to reps do
-          List.iter (List.iter (fun r -> ignore (make r))) groups
-        done)
+  let rep_times f = Array.init reps (fun rep -> snd (time_it (fun () -> f rep))) in
+  let blast_private =
+    rep_times (fun _ -> List.iter (List.iter (fun r -> ignore (make r))) groups)
   in
-  let (), blast_shared =
-    time_it (fun () ->
-        for _ = 1 to reps do
-          List.iter
-            (fun group ->
-              let graph = Scamv_smt.Blaster.new_graph () in
-              List.iter (fun r -> ignore (make ~graph r)) group)
-            groups
-        done)
+  let blast_shared =
+    rep_times (fun _ ->
+        List.iter
+          (fun group ->
+            let graph = Scamv_smt.Blaster.new_graph () in
+            List.iter (fun r -> ignore (make ~graph r)) group)
+          groups)
   in
   let sessions () =
     List.concat_map
@@ -775,42 +788,221 @@ let solver_microbench () =
         List.map (make ~graph) group)
       groups
   in
-  let batches = List.init reps (fun _ -> sessions ()) in
-  let (), first_model =
-    time_it (fun () ->
-        List.iter (List.iter (fun s -> ignore (Solver.next_model s))) batches)
+  let batches = Array.init reps (fun _ -> sessions ()) in
+  let first_model =
+    rep_times (fun rep ->
+        List.iter (fun s -> ignore (Solver.next_model s)) batches.(rep))
   in
   let models = ref 0 in
-  let (), enumerate =
-    time_it (fun () ->
+  let enumerate =
+    rep_times (fun rep ->
         List.iter
-          (List.iter (fun s ->
-               for _ = 1 to draws do
-                 match Solver.next_model s with
-                 | Solver.Model _ -> incr models
-                 | Solver.Exhausted | Solver.Budget_exceeded -> ()
-               done))
-          batches)
+          (fun s ->
+            for _ = 1 to draws do
+              match Solver.next_model s with
+              | Solver.Model _ -> incr models
+              | Solver.Exhausted | Solver.Budget_exceeded -> ()
+            done)
+          batches.(rep))
   in
+  Format.printf "@.## Solver microbenchmark (%d relations x %d reps)@.@."
+    n_relations reps;
+  let print_phase label times =
+    let sum, mn, md = summarize_reps times in
+    Format.printf "%s %.4fs total (min %.4f / median %.4f per rep)@." label sum
+      mn md
+  in
+  print_phase "blast (private graph per session):" blast_private;
+  print_phase "blast (shared graph per program): " blast_shared;
+  print_phase "first model + minimize:           " first_model;
+  print_phase
+    (Printf.sprintf "enumerate (%d draws/session):     " draws)
+    enumerate;
+  Format.printf "models enumerated: %d@.%!" !models;
+  let phase_fields name times =
+    let sum, mn, md = summarize_reps times in
+    [
+      (name ^ "_seconds", Json.Num sum);
+      (name ^ "_min_seconds", Json.Num mn);
+      (name ^ "_median_seconds", Json.Num md);
+    ]
+  in
+  Json.Obj
+    ([
+       ("relations", Json.Num (float_of_int n_relations));
+       ("reps", Json.Num (float_of_int reps));
+       ("draws_per_session", Json.Num (float_of_int draws));
+     ]
+    @ phase_fields "blast_private_graph" blast_private
+    @ phase_fields "blast_shared_graph" blast_shared
+    @ phase_fields "first_model" first_model
+    @ phase_fields "enumerate" enumerate
+    @ [ ("models_enumerated", Json.Num (float_of_int !models)) ])
+
+(* ------------------------------------------------------------------ *)
+(* Portfolio race microbenchmark                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Scamv_util.Pool
+
+(* Deterministic portfolio race: every relation of two seeded programs is
+   solved one-shot under the first K portfolio configurations with a
+   tight per-call conflict budget.  The winner of a race is the
+   lowest-ranked configuration that answers within the budget — rank
+   order, not wall-clock order — and a loser is bounded by the budget
+   rather than cancelled, so each verdict is a pure function of the
+   query and identical whether the K sessions run sequentially or spread
+   over a Domain pool.  The harness runs the race both ways, times each,
+   and fails loudly if any verdict differs. *)
+let portfolio_microbench () =
+  let configs = 4 in
+  let conflicts = 16 in
+  let budget = Scamv_smt.Sat.budget ~conflicts () in
+  let setup = Refinement.mct_vs_mspec () in
+  let scfg = { Synth.platform; require_refined_difference = true } in
+  let relations =
+    List.concat_map
+      (fun seed ->
+        let program =
+          (Gen.generate ~seed Templates.template_a).Templates.program
+        in
+        let leaves = Exec.execute (Refinement.annotate setup program) in
+        let prepared = Synth.prepare scfg leaves in
+        List.filter_map
+          (Synth.pair_relation_prepared prepared)
+          (Synth.compatible_pairs leaves))
+      [ 11L; 12L ]
+    |> Array.of_list
+  in
+  let n = Array.length relations in
+  (* 0 = budget exceeded, 1 = exhausted (unsat), 2 = model.  Each entrant
+     builds a private session (own blast graph) so pool domains share
+     nothing mutable; Synth relations are immutable inputs. *)
+  let entrant i =
+    let r = relations.(i / configs) in
+    let pc = Scamv_smt.Portfolio.config (i mod configs) in
+    let seed = Scamv_smt.Portfolio.seed_for pc 1L in
+    let s =
+      Solver.make_session
+        ~default_phase:pc.Scamv_smt.Portfolio.default_phase
+        ~restart_base:pc.Scamv_smt.Portfolio.restart_base ~budget ~seed
+        r.Synth.assertions
+    in
+    match Solver.next_model s with
+    | Solver.Model _ -> 2
+    | Solver.Exhausted -> 1
+    | Solver.Budget_exceeded -> 0
+  in
+  let race jobs =
+    let tags = Pool.map ~jobs entrant (n * configs) in
+    Array.init n (fun r ->
+        let rec first rank =
+          if rank >= configs then None
+          else if tags.((r * configs) + rank) > 0 then Some rank
+          else first (rank + 1)
+        in
+        first 0)
+  in
+  let sequential_winners, sequential_seconds = time_it (fun () -> race 1) in
+  let parallel_winners, parallel_seconds =
+    time_it (fun () -> race configs)
+  in
+  if sequential_winners <> parallel_winners then begin
+    prerr_endline
+      "FAIL: portfolio race winners differ between sequential and pooled runs";
+    exit 1
+  end;
+  let wins = Array.make configs 0 in
+  let unresolved = ref 0 in
+  Array.iter
+    (function Some rank -> wins.(rank) <- wins.(rank) + 1 | None -> incr unresolved)
+    sequential_winners;
   Format.printf
-    "@.## Solver microbenchmark (%d relations x %d reps)@.@.\
-     blast (private graph per session): %.4fs@.\
-     blast (shared graph per program):  %.4fs@.\
-     first model + minimize:            %.4fs@.\
-     enumerate (%d draws/session):       %.4fs (%d models)@.%!"
-    n_relations reps blast_private blast_shared first_model draws
-    enumerate !models;
+    "@.## Portfolio race (%d relations x %d configs, %d-conflict budget)@.@.\
+     sequential: %.4fs   pooled: %.4fs@.\
+     wins by rank: %s   unresolved: %d@.%!"
+    n configs conflicts sequential_seconds parallel_seconds
+    (String.concat " "
+       (Array.to_list (Array.mapi (fun i w -> Printf.sprintf "%d:%d" i w) wins)))
+    !unresolved;
   Json.Obj
     [
-      ("relations", Json.Num (float_of_int n_relations));
-      ("reps", Json.Num (float_of_int reps));
-      ("draws_per_session", Json.Num (float_of_int draws));
-      ("blast_private_graph_seconds", Json.Num blast_private);
-      ("blast_shared_graph_seconds", Json.Num blast_shared);
-      ("first_model_seconds", Json.Num first_model);
-      ("enumerate_seconds", Json.Num enumerate);
-      ("models_enumerated", Json.Num (float_of_int !models));
+      ("configs", Json.Num (float_of_int configs));
+      ("relations", Json.Num (float_of_int n));
+      ("budget_conflicts", Json.Num (float_of_int conflicts));
+      ("sequential_seconds", Json.Num sequential_seconds);
+      ("parallel_seconds", Json.Num parallel_seconds);
+      ( "wins",
+        Json.Obj
+          (Array.to_list
+             (Array.mapi
+                (fun i w -> (string_of_int i, Json.Num (float_of_int w)))
+                wins)
+          @ [ ("none", Json.Num (float_of_int !unresolved)) ]) );
+      ("deterministic_across_jobs", Json.Bool true);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Incremental-vs-fresh identity check (`make solver-smoke`)           *)
+(* ------------------------------------------------------------------ *)
+
+(* The pipeline asserts a refined relation in two increments — the
+   candidate part at session creation, the refinement part through
+   [Solver.extend] on the same live session.  Because non-diversified
+   enumeration is canonical (every draw is the lexicographically minimal
+   unblocked model, a property of the formula alone), the staged session
+   must produce byte-for-byte the same model sequence as a fresh session
+   asserting everything at once.  This check enumerates both ways over a
+   seeded workload and exits nonzero on the first divergence, so `make
+   solver-smoke` / CI catches an unsound reuse of solver state. *)
+let solver_identity () =
+  let draws = 5 in
+  let setup = Refinement.mct_vs_mspec () in
+  let scfg = { Synth.platform; require_refined_difference = true } in
+  let checked = ref 0 in
+  List.iter
+    (fun seed ->
+      let program =
+        (Gen.generate ~seed Templates.template_a).Templates.program
+      in
+      let leaves = Exec.execute (Refinement.annotate setup program) in
+      let prepared = Synth.prepare scfg leaves in
+      List.iter
+        (fun pair ->
+          match Synth.pair_relation_prepared prepared pair with
+          | None -> ()
+          | Some r ->
+            let fresh = Solver.make_session ~seed:1L r.Synth.assertions in
+            let staged =
+              let s =
+                Solver.make_session ~seed:1L r.Synth.candidate_assertions
+              in
+              Solver.extend s r.Synth.refinement_assertions
+            in
+            let show m = Format.asprintf "%a" Scamv_smt.Model.pp m in
+            let next s =
+              match Solver.next_model s with
+              | Solver.Model m -> Some (show m)
+              | Solver.Exhausted -> None
+              | Solver.Budget_exceeded -> assert false (* no budget set *)
+            in
+            for draw = 1 to draws do
+              let a = next fresh and b = next staged in
+              if a <> b then begin
+                Printf.eprintf
+                  "FAIL: seed %Ld pair (%d,%d) draw %d: staged session \
+                   diverges from fresh session\n"
+                  seed (fst pair) (snd pair) draw;
+                exit 1
+              end;
+              if a <> None then incr checked
+            done)
+        (Synth.compatible_pairs leaves))
+    [ 11L; 12L; 13L ];
+  Printf.printf
+    "OK: incremental (extend) sessions enumerate identically to fresh \
+     sessions (%d models compared)\n"
+    !checked
 
 (* One fixed, seeded campaign timed at jobs in {1, 2, 4}.  The workload is
    identical across job counts (same seed, same per-program RNG streams),
@@ -902,6 +1094,7 @@ let bench_campaign ~smoke ~out () =
       @ cores_limited)
   in
   let solver_section = solver_microbench () in
+  let portfolio_section = portfolio_microbench () in
   let doc =
     Json.Obj
       [
@@ -923,6 +1116,7 @@ let bench_campaign ~smoke ~out () =
         ("deterministic_across_jobs", Json.Bool deterministic);
         ("runs", Json.Arr (List.map run_json runs));
         ("solver_microbench", solver_section);
+        ("portfolio", portfolio_section);
       ]
   in
   let oc = open_out out in
@@ -988,12 +1182,28 @@ let validate_bench file =
     [ 1; 2; 4 ];
   let solver = member "solver_microbench" doc in
   List.iter
+    (fun k ->
+      ignore (num (k ^ "_seconds") solver);
+      ignore (num (k ^ "_min_seconds") solver);
+      ignore (num (k ^ "_median_seconds") solver))
+    [ "blast_private_graph"; "blast_shared_graph"; "first_model"; "enumerate" ];
+  List.iter
     (fun k -> ignore (num k solver))
+    [ "relations"; "reps"; "draws_per_session"; "models_enumerated" ];
+  let portfolio = member "portfolio" doc in
+  List.iter
+    (fun k -> ignore (num k portfolio))
     [
-      "relations"; "reps"; "draws_per_session"; "blast_private_graph_seconds";
-      "blast_shared_graph_seconds"; "first_model_seconds"; "enumerate_seconds";
-      "models_enumerated";
+      "configs"; "relations"; "budget_conflicts"; "sequential_seconds";
+      "parallel_seconds";
     ];
+  (match member "wins" portfolio with
+  | Json.Obj _ -> ()
+  | _ -> fail "portfolio key \"wins\" is not an object");
+  (match member "deterministic_across_jobs" portfolio with
+  | Json.Bool true -> ()
+  | Json.Bool false -> fail "portfolio race was not deterministic"
+  | _ -> fail "portfolio deterministic_across_jobs is not a bool");
   Printf.printf "OK: %s is a valid campaign benchmark (%d runs)\n" file
     (List.length runs)
 
@@ -1100,6 +1310,12 @@ let validate_telemetry trace_file metrics_file =
       "scamv_uarch_predictor_hits"; "scamv_campaign_experiments";
       "scamv_phase_generation_seconds"; "scamv_phase_execution_seconds";
       "scamv_span_enumerate_seconds";
+      (* Incremental-session and portfolio instrumentation (the smoke
+         campaign runs a refined setup with --portfolio 2, so the scope
+         and rescue counters must all be registered). *)
+      "scamv_sat_pushes"; "scamv_sat_pops"; "scamv_sat_assumption_solves";
+      "scamv_smt_incremental_reuse_hits"; "scamv_portfolio_races";
+      "scamv_portfolio_wins_0"; "scamv_portfolio_wins_1";
     ];
   Printf.printf "OK: %s (%d spans) and %s validate\n" trace_file
     (List.length events) metrics_file
@@ -1299,6 +1515,10 @@ let () =
     exit 0
   | "solver" :: _ ->
     ignore (solver_microbench ());
+    ignore (portfolio_microbench ());
+    exit 0
+  | "solver-identity" :: _ ->
+    solver_identity ();
     exit 0
   | "chaos-child" :: path :: programs :: tests :: _ ->
     chaos_child path (int_of_string programs) (int_of_string tests);

@@ -188,6 +188,20 @@ let campaign_cmd =
       & info [ "chaos-seed" ] ~docv:"SEED"
           ~doc:"Seed of the chaos injection decisions.")
   in
+  let portfolio_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "portfolio" ] ~docv:"K"
+          ~doc:
+            "Solver portfolio size: when a path pair's enumeration \
+             exhausts its SAT budget, try up to $(docv)-1 challenger \
+             solver configurations (varied restart series, decision \
+             polarity and seed) in rank order before quarantining the \
+             pair.  Configuration 0 is the stock solver, and the \
+             challenger table is fixed, so results are deterministic \
+             and — without a SAT budget — independent of $(docv).  \
+             Counted as $(b,portfolio.races) / $(b,portfolio.wins.<k>).")
+  in
   let jobs_arg =
     Arg.(
       value & opt int 1
@@ -224,7 +238,7 @@ let campaign_cmd =
   let run template_name setup_name programs tests seed verbose csv resume
       max_conflicts max_decisions max_propagations max_attempts confirm
       fault_rate fault_seed deadline_conflicts deadline_seconds chaos_rate
-      chaos_seed jobs trace metrics =
+      chaos_seed portfolio jobs trace metrics =
     let ( let* ) = Result.bind in
     let* template = lookup_template template_name in
     let* setup = lookup_setup setup_name in
@@ -300,10 +314,15 @@ let campaign_cmd =
         Some (Scamv_util.Chaos.create ~rate:chaos_rate ~seed:chaos_seed ())
       else None
     in
+    let* () =
+      if portfolio < 1 then
+        Error (`Msg "--portfolio must be at least 1")
+      else Ok ()
+    in
     let cfg =
       Campaign.make ~name ~template ~setup ~view:(default_view setup_name) ~programs
-        ~tests_per_program:tests ~seed ?sat_budget ~retry ?faults ?deadline
-        ?chaos ()
+        ~tests_per_program:tests ~seed ?sat_budget ~portfolio ~retry ?faults
+        ?deadline ?chaos ()
     in
     let on_event = if verbose then print_endline else fun _ -> () in
     let journal = Scamv.Journal.create ?path:csv ?chaos () in
@@ -351,7 +370,8 @@ let campaign_cmd =
       $ verbose_arg $ csv_arg $ resume_arg $ max_conflicts_arg $ max_decisions_arg
       $ max_propagations_arg $ max_attempts_arg $ confirm_arg $ fault_rate_arg
       $ fault_seed_arg $ deadline_conflicts_arg $ deadline_seconds_arg
-      $ chaos_rate_arg $ chaos_seed_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ chaos_rate_arg $ chaos_seed_arg $ portfolio_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
   in
   let info =
     Cmd.info "campaign" ~doc:"Run a validation campaign and print Table-1-style statistics."

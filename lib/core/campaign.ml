@@ -22,6 +22,7 @@ type config = {
   executor : Executor.config;
   pipeline : Refinement.t -> Pipeline.config;
   sat_budget : Sat.budget option;
+  portfolio : int;
   retry : Retry.policy;
   faults : Faults.config option;
   deadline : Deadline.spec option;
@@ -30,9 +31,10 @@ type config = {
 }
 
 let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
-    ?(tests_per_program = 30) ?(seed = 2021L) ?sat_budget
+    ?(tests_per_program = 30) ?(seed = 2021L) ?sat_budget ?(portfolio = 1)
     ?(retry = Retry.default) ?faults ?deadline ?chaos
     ?(clock = Stopwatch.wall) () =
+  if portfolio < 1 then invalid_arg "Campaign.make: portfolio must be >= 1";
   {
     name;
     template;
@@ -44,6 +46,7 @@ let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
     executor = Executor.default_config ~view ();
     pipeline = Pipeline.default_config;
     sat_budget;
+    portfolio;
     retry;
     faults;
     deadline;
@@ -313,7 +316,7 @@ let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
       | None -> pc
       | Some b -> { pc with Pipeline.budget = Some b }
     in
-    { pc with Pipeline.chaos = cfg.chaos }
+    { pc with Pipeline.chaos = cfg.chaos; Pipeline.portfolio = cfg.portfolio }
   in
   (* Split one RNG stream per program off the campaign seed, in program
      order, before anything runs: program i's randomness is a pure function

@@ -30,6 +30,10 @@ type config = {
   sat_budget : Scamv_smt.Sat.budget option;
       (** per-SAT-call caps for every enumeration session; overrides the
           pipeline config's budget when set *)
+  portfolio : int;
+      (** solver portfolio size (>= 1); see {!Pipeline.config.portfolio}.
+          With no [sat_budget] the baseline configuration never exhausts,
+          so campaign artifacts are identical for every size *)
   retry : Retry.policy;  (** executor retry/majority-vote policy *)
   faults : Scamv_microarch.Faults.config option;
       (** board-noise fault injection, applied to every executor run *)
@@ -58,6 +62,7 @@ val make :
   ?tests_per_program:int ->
   ?seed:int64 ->
   ?sat_budget:Scamv_smt.Sat.budget ->
+  ?portfolio:int ->
   ?retry:Retry.policy ->
   ?faults:Scamv_microarch.Faults.config ->
   ?deadline:Scamv_util.Deadline.spec ->

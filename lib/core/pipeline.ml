@@ -17,6 +17,9 @@ type config = {
   max_steps : int;
   budget : Scamv_smt.Sat.budget option;
   chaos : Chaos.t option;
+  portfolio : int;
+      (* number of solver configurations to try per pair (>= 1); only
+         consulted when a session exhausts its SAT budget *)
 }
 
 let default_config setup =
@@ -27,6 +30,7 @@ let default_config setup =
     max_steps = 4096;
     budget = None;
     chaos = None;
+    portfolio = 1;
   }
 
 type test_case = {
@@ -39,7 +43,12 @@ type test_case = {
 
 type pair_session = {
   pair : int * int;
-  session : Solver.session;
+  mutable session : Solver.session;
+  mutable config_index : int;  (* portfolio rank of [session] *)
+  rebuild : int -> Solver.session;
+      (* fresh session over the same assertions under the portfolio
+         configuration of the given rank (shares the program's blast
+         graph); used by the budget-exhaustion rescue *)
   training : Scamv_isa.Machine.t list Lazy.t;
 }
 
@@ -110,15 +119,43 @@ let prepare ?(seed = 0L) cfg isa_program =
               if Refinement.has_refinement cfg.setup then None
               else Some relation.Synth.register_track
           in
-          let session =
-            Solver.make_session ?track ?budget:cfg.budget ~seed:pair_seed ~graph
-              relation.Synth.assertions
+          let build rank =
+            let pc = Scamv_smt.Portfolio.config rank in
+            let seed = Scamv_smt.Portfolio.seed_for pc pair_seed in
+            let default_phase = pc.Scamv_smt.Portfolio.default_phase in
+            let restart_base = pc.Scamv_smt.Portfolio.restart_base in
+            if Refinement.has_refinement cfg.setup then begin
+              (* Refinement chain: assert the candidate relation
+                 (M1-equivalence) first, then extend the same live session
+                 with what refinement adds.  The extension reuses the
+                 candidate's blasted structure and solver state instead of
+                 re-blasting the whole relation — the reuse shows up as
+                 [smt.incremental_reuse_hits]. *)
+              let s =
+                Solver.make_session ~default_phase ~restart_base
+                  ?budget:cfg.budget ~seed ~graph
+                  relation.Synth.candidate_assertions
+              in
+              Solver.extend ?track s relation.Synth.refinement_assertions
+            end
+            else
+              Solver.make_session ~default_phase ~restart_base ?track
+                ?budget:cfg.budget ~seed ~graph relation.Synth.assertions
           in
+          let session = build 0 in
           let training = lazy (Training.states tcache ~pair) in
-          Some { pair; session; training })
+          Some { pair; session; config_index = 0; rebuild = build; training })
       pairs)
   in
   Tm.add "campaign.path_pairs" (List.length sessions);
+  if cfg.portfolio > 1 then begin
+    (* Register the portfolio counters up front so exports show them at
+       zero for campaigns where the baseline never exhausts its budget. *)
+    Tm.add "portfolio.races" 0;
+    for c = 0 to cfg.portfolio - 1 do
+      Tm.add (Printf.sprintf "portfolio.wins.%d" c) 0
+    done
+  end;
   { cfg; seed; isa_program; bir_program; leaf_list; queue = sessions;
     quarantined_rev = [] })
 
@@ -148,6 +185,45 @@ let chaos_budget_exhausted t ps =
     if hit then Tm.incr "chaos.injections";
     hit
 
+(* Portfolio rescue: the baseline configuration ran out of SAT budget on
+   this pair, so try the challenger configurations in rank order.  Each
+   challenger is a fresh session over the same assertions (sharing the
+   program's blast graph, so re-blasting is cheap) with the already-
+   enumerated models replayed as blocking clauses; the first one that
+   answers within the same per-call budget takes over the pair.  The
+   whole race is deterministic — budget exhaustion is a pure function of
+   the query, the challenger table is fixed, and ranks are tried in
+   order — so campaign artifacts stay byte-identical across jobs levels,
+   and across portfolio sizes wherever the baseline never loses. *)
+let rescue t ps =
+  if t.cfg.portfolio <= 1 then None
+  else begin
+    Tm.incr "portfolio.races";
+    let blocked = Solver.blocked_models ps.session in
+    let rec attempt rank =
+      if rank >= t.cfg.portfolio then None
+      else begin
+        let session =
+          Tm.span "portfolio"
+            ~args:[ ("config", string_of_int rank) ]
+            (fun () ->
+              let s = ps.rebuild rank in
+              List.iter (Solver.block_model s) blocked;
+              s)
+        in
+        match Solver.next_model ~diversify:t.cfg.diversify session with
+        | Solver.Budget_exceeded -> attempt (rank + 1)
+        | outcome ->
+          (* The challenger takes over the pair; its wins are counted per
+             model by [emit_case]. *)
+          ps.session <- session;
+          ps.config_index <- rank;
+          Some outcome
+      end
+    in
+    attempt 1
+  end
+
 let rec advance t =
   Deadline.poll ();
   match t.queue with
@@ -167,23 +243,39 @@ let rec advance t =
     | Solver.Exhausted ->
       t.queue <- rest;
       advance t
-    | Solver.Budget_exceeded ->
-      (* A hard path pair: drop it from the round-robin queue so it cannot
-         stall the rest of the program's enumeration, and remember why. *)
-      let reason =
-        Printf.sprintf "SAT budget exceeded after %d model(s) (%s)"
-          (Solver.models_found ps.session)
-          (match t.cfg.budget with
-          | None -> "unlimited"
-          | Some b -> Format.asprintf "%a" Scamv_smt.Sat.pp_budget b)
-      in
-      t.queue <- rest;
-      t.quarantined_rev <- (ps.pair, reason) :: t.quarantined_rev;
-      Quarantined { pair = ps.pair; reason }
-    | Solver.Model model ->
-      t.queue <- rest @ [ ps ];
-      let state1, state2 = Concretize.test_states model in
-      Case { pair = ps.pair; state1; state2; train = Lazy.force ps.training; model })
+    | Solver.Budget_exceeded -> (
+      match rescue t ps with
+      | Some (Solver.Model model) -> emit_case t ps rest model
+      | Some Solver.Exhausted ->
+        (* A challenger proved within budget that no further model
+           exists: a definitive answer, not a failure. *)
+        t.queue <- rest;
+        advance t
+      | Some Solver.Budget_exceeded | None ->
+        (* A hard path pair even for the whole portfolio: drop it from
+           the round-robin queue so it cannot stall the rest of the
+           program's enumeration, and remember why. *)
+        let reason =
+          Printf.sprintf "SAT budget exceeded after %d model(s) (%s%s)"
+            (Solver.models_found ps.session)
+            (match t.cfg.budget with
+            | None -> "unlimited"
+            | Some b -> Format.asprintf "%a" Scamv_smt.Sat.pp_budget b)
+            (if t.cfg.portfolio > 1 then
+               Printf.sprintf ", portfolio of %d" t.cfg.portfolio
+             else "")
+        in
+        t.queue <- rest;
+        t.quarantined_rev <- (ps.pair, reason) :: t.quarantined_rev;
+        Quarantined { pair = ps.pair; reason })
+    | Solver.Model model -> emit_case t ps rest model)
+
+and emit_case t ps rest model =
+  if t.cfg.portfolio > 1 then
+    Tm.incr (Printf.sprintf "portfolio.wins.%d" ps.config_index);
+  t.queue <- rest @ [ ps ];
+  let state1, state2 = Concretize.test_states model in
+  Case { pair = ps.pair; state1; state2; train = Lazy.force ps.training; model }
 
 (* Deadline expiry anywhere under enumeration — the SAT search, blasting a
    training query, forcing the training states — surfaces here as a

@@ -21,6 +21,14 @@ type config = {
   chaos : Scamv_util.Chaos.t option;
       (** fault injector arming the ["solver.budget"] site: a chaos-chosen
           path pair reports budget exhaustion and is quarantined *)
+  portfolio : int;
+      (** number of {!Scamv_smt.Portfolio} configurations to try per
+          path pair (>= 1; 1 = no portfolio).  Only consulted when the
+          baseline configuration exhausts its SAT budget: challengers are
+          tried in rank order over the same assertions (with already-
+          enumerated models re-blocked), and the first to answer takes
+          the pair over.  Counted as [portfolio.races] /
+          [portfolio.wins.<rank>]. *)
 }
 
 val default_config : Scamv_models.Refinement.t -> config

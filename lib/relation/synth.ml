@@ -17,6 +17,8 @@ type pair_relation = {
   leaf1 : int;
   leaf2 : int;
   assertions : Term.t list;
+  candidate_assertions : Term.t list;
+  refinement_assertions : Term.t list;
   coverage_track : (string * Sort.t) list;
   register_track : (string * Sort.t) list;
 }
@@ -196,15 +198,26 @@ let pair_relation_prepared { p_cfg = config; p_leaves } (i, j) =
               |> List.filter_map Fun.id)
             coverage
         in
-        let assertions =
-          [ leaf1.path1; leaf2.path2; base_eq; refined_differ ]
-          @ leaf1.range1 @ leaf2.range2 @ coverage_defs
+        (* The candidate/refinement split mirrors the refinement chain:
+           path conditions plus base-observation equality are the
+           candidate relation (M1-equivalence), everything the refinement
+           step adds — refined-observation distinctness, platform range
+           constraints, coverage definitions — extends it.  Concatenated
+           they must reproduce [assertions] exactly (same order), so a
+           session built by [make_session candidate] + [extend refinement]
+           asserts the same formulas as a one-shot session. *)
+        let candidate_assertions = [ leaf1.path1; leaf2.path2; base_eq ] in
+        let refinement_assertions =
+          (refined_differ :: leaf1.range1) @ leaf2.range2 @ coverage_defs
         in
+        let assertions = candidate_assertions @ refinement_assertions in
         Some
           {
             leaf1 = i;
             leaf2 = j;
             assertions;
+            candidate_assertions;
+            refinement_assertions;
             coverage_track;
             register_track = register_inputs assertions;
           }

@@ -33,6 +33,17 @@ type pair_relation = {
   leaf1 : int;  (** index into the leaf list *)
   leaf2 : int;
   assertions : Scamv_smt.Term.t list;
+  candidate_assertions : Scamv_smt.Term.t list;
+      (** the candidate relation: both path conditions plus base-
+          observation equality (M1-equivalence) — the prefix of
+          [assertions] shared by every refinement of this pair *)
+  refinement_assertions : Scamv_smt.Term.t list;
+      (** what refinement adds on top of the candidate: refined-
+          observation distinctness, range constraints and coverage
+          definitions.  [candidate_assertions @ refinement_assertions]
+          is exactly [assertions], so an incremental solver session can
+          assert the candidate once and {!Scamv_smt.Solver.extend} it
+          with this list instead of re-blasting the whole relation *)
   coverage_track : (string * Scamv_smt.Sort.t) list;
       (** fresh variables equated to the coverage observations; when
           non-empty the enumeration session should block on exactly

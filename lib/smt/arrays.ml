@@ -81,30 +81,42 @@ and rewrite_select st (m : Term.t) (addr : Term.t) : Term.t =
     Term.ite (rewrite st c) (rewrite_select st m1 addr) (rewrite_select st m2 addr)
   | _ -> invalid_arg "Arrays.eliminate: ill-formed memory term"
 
-let eliminate fs =
-  let st = { table = Term_map.empty; reads_rev = []; counter = 0 } in
+let new_state () = { table = Term_map.empty; reads_rev = []; counter = 0 }
+
+(* Rewrite a further batch of formulas against an existing elimination
+   state: read naming continues where the previous batch stopped, and the
+   returned side conditions are exactly the functional-consistency pairs
+   involving at least one {e new} read (pairs among the old reads were
+   already returned by the earlier batches).  [result.reads] lists all
+   reads so far, so an incremental session can replace its read list
+   wholesale. *)
+let eliminate_into st fs =
+  let old_count = List.length st.reads_rev in
   let formulas = List.map (rewrite st) fs in
-  let reads = List.rev st.reads_rev in
-  (* Functional consistency per memory variable. *)
+  let reads = Array.of_list (List.rev st.reads_rev) in
+  let n = Array.length reads in
+  (* Functional consistency per memory variable.  Traversal order (outer
+     index ascending, inner ascending, each condition prepended) matches
+     the non-incremental order on a fresh state, keeping assertion order —
+     and with it enumeration determinism — unchanged. *)
   let side_conditions = ref [] in
-  let rec pairs = function
-    | [] -> ()
-    | r :: rest ->
-      List.iter
-        (fun r' ->
-          if String.equal r.mem_name r'.mem_name then
-            let antecedent = Term.eq r.addr r'.addr in
-            let consequent =
-              Term.eq (Term.bv_var r.var_name 64) (Term.bv_var r'.var_name 64)
-            in
-            match Term.implies antecedent consequent with
-            | Term.True -> ()
-            | c -> side_conditions := c :: !side_conditions)
-        rest;
-      pairs rest
-  in
-  pairs reads;
-  { formulas; side_conditions = !side_conditions; reads }
+  for i = 0 to n - 1 do
+    for j = max (i + 1) old_count to n - 1 do
+      let r = reads.(i) and r' = reads.(j) in
+      if String.equal r.mem_name r'.mem_name then begin
+        let antecedent = Term.eq r.addr r'.addr in
+        let consequent =
+          Term.eq (Term.bv_var r.var_name 64) (Term.bv_var r'.var_name 64)
+        in
+        match Term.implies antecedent consequent with
+        | Term.True -> ()
+        | c -> side_conditions := c :: !side_conditions
+      end
+    done
+  done;
+  { formulas; side_conditions = !side_conditions; reads = Array.to_list reads }
+
+let eliminate fs = eliminate_into (new_state ()) fs
 
 let recover_memories model reads =
   let with_cells =

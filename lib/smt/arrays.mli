@@ -18,6 +18,22 @@ type result = {
   reads : read list;  (** read table for model reconstruction *)
 }
 
+type state
+(** Mutable elimination state: the read table and naming counter.  Holding
+    on to it lets an incremental solver session eliminate further formula
+    batches with consistent read naming and exactly the missing
+    cross-batch consistency conditions. *)
+
+val new_state : unit -> state
+
+val eliminate_into : state -> Term.t list -> result
+(** [eliminate_into st fs] rewrites one more batch of formulas against
+    [st].  Reads introduced by earlier batches are reused (same variable
+    names); [result.side_conditions] contains only the consistency pairs
+    involving at least one read that is new in this batch, and
+    [result.reads] lists {e all} reads accumulated so far.  On a fresh
+    state this is exactly {!eliminate}. *)
+
 val eliminate : Term.t list -> result
 (** [eliminate fs] removes all memory operations from [fs].
     @raise Term.Sort_error if a formula compares memories for equality. *)

@@ -38,14 +38,32 @@ type node =
 
 type gate_key = K_and of int * int | K_xor of int * int | K_ite of int * int * int
 
+(* Gate and boolean cache entries pack (nref, session stamp) into one
+   immediate int — [(stamp lsl packed_shift) lor nref] — so the hot-path
+   lookups return an unboxed value instead of allocating a tuple per
+   miss and chasing a pointer per hit.  40 bits of nref is ~5*10^11
+   graph nodes; 23 bits of stamp is ~8*10^6 sessions per graph — both
+   far beyond anything a campaign builds. *)
+let packed_shift = 40
+let packed_mask = (1 lsl packed_shift) - 1
+
 type graph = {
   mutable nodes : node array;
   mutable n_nodes : int;
-  gates : (gate_key, int * int) Hashtbl.t;  (* key -> (output nref, session stamp) *)
-  bool_cache : (int * int) Term_tbl.t;  (* term -> (nref, session stamp) *)
+  gates : (gate_key, int) Hashtbl.t;  (* key -> packed (output nref, stamp) *)
+  bool_cache : int Term_tbl.t;  (* term -> packed (nref, stamp) *)
   bv_cache : (int array * int) Term_tbl.t;
   g_inputs : (string, Sort.t * int array) Hashtbl.t;  (* name -> positive nrefs *)
   mutable session_ctr : int;  (* stamp distinguishing same- vs cross-session hits *)
+  (* Emission scratch, owned by the graph and shared by all its sessions:
+     a slot [id] holds the literal emitted for node [id] by the session
+     whose stamp is in [e_sid.(id)] — any other session sees the slot as
+     empty.  Compared to a per-session node-to-literal array this saves
+     an O(n_nodes) allocation per session, which on shared graphs of
+     hundreds of thousands of nodes used to cost more than the structural
+     reuse won back. *)
+  mutable e_lit : Sat.lit array;
+  mutable e_sid : int array;
 }
 
 let new_graph () =
@@ -57,7 +75,19 @@ let new_graph () =
     bv_cache = Term_tbl.create 256;
     g_inputs = Hashtbl.create 64;
     session_ctr = 0;
+    e_lit = Array.make 1024 0;
+    e_sid = Array.make 1024 0;
   }
+
+let ensure_scratch g =
+  if Array.length g.e_lit < g.n_nodes then begin
+    let n = max (2 * Array.length g.e_lit) g.n_nodes in
+    let el = Array.make n 0 and es = Array.make n 0 in
+    Array.blit g.e_lit 0 el 0 (Array.length g.e_lit);
+    Array.blit g.e_sid 0 es 0 (Array.length g.e_sid);
+    g.e_lit <- el;
+    g.e_sid <- es
+  end
 
 let add_node g node =
   if g.n_nodes = Array.length g.nodes then begin
@@ -80,7 +110,6 @@ type t = {
   true_lit : Sat.lit;
   g : graph;
   sid : int;  (* this session's stamp in the shared graph *)
-  mutable lit_of : Sat.lit array;  (* node id -> emitted literal; 0 = not yet *)
   inputs : (string, Sort.t * Sat.lit array) Hashtbl.t;  (* emitted this session *)
   (* Structural-hashing effectiveness counters (gate + term caches),
      read by the solver session and flushed to telemetry.  [cross_hits]
@@ -91,20 +120,21 @@ type t = {
   mutable cross_hits : int;
 }
 
-let create ?seed ?default_phase ?graph () =
+let create ?seed ?default_phase ?restart_base ?graph () =
   let g = match graph with Some g -> g | None -> new_graph () in
   g.session_ctr <- g.session_ctr + 1;
-  let sat = Sat.create ?seed ?default_phase () in
+  let sat = Sat.create ?seed ?default_phase ?restart_base () in
   let v = Sat.new_var sat in
   Sat.add_clause sat [ Sat.pos v ];
-  let lit_of = Array.make (max 16 g.n_nodes) 0 in
-  lit_of.(0) <- Sat.pos v;
+  ensure_scratch g;
+  let sid = g.session_ctr in
+  g.e_lit.(0) <- Sat.pos v;
+  g.e_sid.(0) <- sid;
   {
     sat;
     true_lit = Sat.pos v;
     g;
-    sid = g.session_ctr;
-    lit_of;
+    sid;
     inputs = Hashtbl.create 64;
     cache_hits = 0;
     cache_misses = 0;
@@ -125,13 +155,13 @@ let miss t = t.cache_misses <- t.cache_misses + 1
 
 let gate t key node =
   match Hashtbl.find_opt t.g.gates key with
-  | Some (o, sid0) ->
-    hit t sid0;
-    o
+  | Some packed ->
+    hit t (packed lsr packed_shift);
+    packed land packed_mask
   | None ->
     miss t;
     let o = 2 * add_node t.g node in
-    Hashtbl.add t.g.gates key (o, t.sid);
+    Hashtbl.add t.g.gates key ((t.sid lsl packed_shift) lor o);
     o
 
 let g_and t a b =
@@ -291,9 +321,9 @@ let graph_input t (name, sort) =
 
 let rec blast_bool t (term : Term.t) : int =
   match Term_tbl.find_opt t.g.bool_cache term with
-  | Some (r, sid0) ->
-    hit t sid0;
-    r
+  | Some packed ->
+    hit t (packed lsr packed_shift);
+    packed land packed_mask
   | None ->
     miss t;
     let r =
@@ -326,7 +356,7 @@ let rec blast_bool t (term : Term.t) : int =
       | Term.Select _ | Term.Store _ ->
         invalid_arg "Blaster: memory operation reached the blaster"
     in
-    Term_tbl.add t.g.bool_cache term (r, t.sid);
+    Term_tbl.add t.g.bool_cache term ((t.sid lsl packed_shift) lor r);
     r
 
 and blast_bv t (term : Term.t) : int array =
@@ -378,14 +408,17 @@ and blast_binop t op a b =
   | Term.Lshr -> vec_shift t ~dir:`Right ~fill:`Zero a b
   | Term.Ashr -> vec_shift t ~dir:`Right ~fill:`Sign a b
 
-(* ---- per-session clause emission ---- *)
+(* ---- per-session clause emission ----
 
-let ensure_emission_capacity t =
-  if Array.length t.lit_of < t.g.n_nodes then begin
-    let grown = Array.make (max (2 * Array.length t.lit_of) t.g.n_nodes) 0 in
-    Array.blit t.lit_of 0 grown 0 (Array.length t.lit_of);
-    t.lit_of <- grown
-  end
+   Emission reads and writes the graph's scratch ([e_lit]/[e_sid]): a
+   slot belongs to this session iff its stamp matches [t.sid].  When
+   sessions on one graph interleave their blasting, a node both of them
+   use may be re-emitted (a second, equivalent literal with its own
+   Tseitin clauses) after the other session steals the slot — sound, and
+   deterministic because the interleaving itself is (each program's
+   sessions run on one domain in a fixed order).  Inputs never
+   re-emit: their literals are also kept in the session's own [inputs]
+   table so the model-visible variables stay unique. *)
 
 let fresh t = Sat.pos (Sat.new_var t.sat)
 
@@ -408,17 +441,21 @@ let rec emit_input t name sort =
       (fun i l -> Sat.nudge_activity t.sat (Sat.var_of l) (1e-3 *. float_of_int (i + 1)))
       lits;
     Hashtbl.add t.inputs name (sort, lits);
-    ensure_emission_capacity t;
-    Array.iteri (fun i nr -> t.lit_of.(nr lsr 1) <- lits.(i)) nrefs;
+    ensure_scratch t.g;
+    Array.iteri
+      (fun i nr ->
+        t.g.e_lit.(nr lsr 1) <- lits.(i);
+        t.g.e_sid.(nr lsr 1) <- t.sid)
+      nrefs;
     lits
 
 and lit_of_node t id =
-  let cached = t.lit_of.(id) in
-  if cached <> 0 then cached
+  if t.g.e_sid.(id) = t.sid then t.g.e_lit.(id)
   else begin
     let l =
       match t.g.nodes.(id) with
-      | N_true -> t.true_lit (* pre-set at creation; unreachable *)
+      | N_true -> t.true_lit (* pre-set at creation; reached only if another
+                                session stole scratch slot 0 since *)
       | N_input (name, sort, bit) -> (emit_input t name sort).(bit)
       | N_and (a, b) ->
         let la = lit_of_ref t a in
@@ -448,8 +485,8 @@ and lit_of_node t id =
         Sat.add_clause t.sat [ lc; lb; Sat.negate o ];
         o
     in
-    ensure_emission_capacity t;
-    t.lit_of.(id) <- l;
+    t.g.e_lit.(id) <- l;
+    t.g.e_sid.(id) <- t.sid;
     l
   end
 
@@ -465,11 +502,19 @@ let assert_term t term =
      long-running phase between SAT queries, so an expired ambient
      deadline stops here instead of after the whole graph is built. *)
   Scamv_util.Deadline.poll ();
-  ensure_emission_capacity t;
   let r = blast_bool t term in
-  ensure_emission_capacity t;
+  ensure_scratch t.g;
   let l = lit_of_ref t r in
   Sat.add_clause t.sat [ l ]
+
+let bool_literal t term =
+  (match Term.sort_of term with
+  | Sort.Bool -> ()
+  | s -> raise (Term.Sort_error ("assumption of sort " ^ Sort.to_string s)));
+  Scamv_util.Deadline.poll ();
+  let r = blast_bool t term in
+  ensure_scratch t.g;
+  lit_of_ref t r
 
 let input_literals t (name, sort) = emit_input t name sort
 
@@ -502,6 +547,28 @@ let block_assignment t vars =
           (Array.map
              (fun l -> if lit_model_value t l then Sat.negate l else l)
              lits))
+      vars
+  in
+  Sat.add_clause t.sat clause
+
+let block_values t vars model =
+  (* Like {!block_assignment}, but against an explicit valuation instead
+     of the solver's current assignment — used to replay another
+     session's blocking clauses into this one (portfolio rescue).
+     Variables the model does not bind default to false/zero, matching
+     what [read_model] reports for never-decided inputs. *)
+  let clause =
+    List.concat_map
+      (fun ((name, sort) as key) ->
+        let lits = input_literals t key in
+        match sort with
+        | Sort.Bool ->
+          [ (if Model.bool_exn model name then Sat.negate lits.(0) else lits.(0)) ]
+        | Sort.Bv _ ->
+          let v = Model.bv_exn model name in
+          Array.to_list
+            (Array.mapi (fun i l -> if Bits.bit v i then Sat.negate l else l) lits)
+        | Sort.Mem -> [])
       vars
   in
   Sat.add_clause t.sat clause

@@ -25,9 +25,12 @@ type graph
 val new_graph : unit -> graph
 (** Fresh empty graph (just the constant-TRUE node). *)
 
-val create : ?seed:int64 -> ?default_phase:bool -> ?graph:graph -> unit -> t
-(** Fresh blasting context with an empty solver.  [graph] is the gate
-    graph to build in and reuse from (default: a private fresh one). *)
+val create :
+  ?seed:int64 -> ?default_phase:bool -> ?restart_base:int -> ?graph:graph -> unit -> t
+(** Fresh blasting context with an empty solver.  [seed],
+    [default_phase] and [restart_base] are forwarded to {!Sat.create}
+    (portfolio configurations vary them).  [graph] is the gate graph to
+    build in and reuse from (default: a private fresh one). *)
 
 val assert_term : t -> Term.t -> unit
 (** Assert a Bool-sorted, array-free term.
@@ -36,6 +39,13 @@ val assert_term : t -> Term.t -> unit
 
 val solver : t -> Sat.t
 (** The underlying SAT solver (for [solve] and phase control). *)
+
+val bool_literal : t -> Term.t -> Sat.lit
+(** Literal equisatisfiable with a Bool-sorted, array-free term: the
+    term is blasted (definitional clauses are added) but {e not}
+    asserted, so the literal can be passed to {!Sat.solve} as an
+    assumption and retracted for free on the next call.
+    @raise Term.Sort_error on non-boolean terms. *)
 
 val cache_stats : t -> int * int
 (** [(hits, misses)] over the structural-hashing caches (gate cache plus
@@ -67,3 +77,11 @@ val inputs : t -> (string * Sort.t * Sat.lit array) list
 val block_assignment : t -> (string * Sort.t) list -> unit
 (** Add a clause forbidding the current assignment of the given input
     variables (model enumeration step). *)
+
+val block_values : t -> (string * Sort.t) list -> Model.t -> unit
+(** Add a clause forbidding the valuation a model assigns to the given
+    input variables.  Same clause {!block_assignment} would add if the
+    solver currently held that model — used to replay one session's
+    enumeration blocks into a portfolio challenger session.  Memory-
+    sorted entries are ignored; unbound variables default to
+    false/zero. *)

@@ -1,0 +1,41 @@
+(* A portfolio configuration is a pure function of its index: no state,
+   no randomness source beyond the seed derivation below, so every
+   worker, jobs level and resume point sees the same configuration
+   table.  Config 0 is the exact baseline the solver runs without a
+   portfolio — its answers (and hence every campaign artifact produced
+   while config 0 keeps winning) are identical whether a portfolio is
+   enabled or not. *)
+
+type config = { index : int; default_phase : bool; restart_base : int }
+
+let baseline = { index = 0; default_phase = false; restart_base = 100 }
+
+(* Challenger table: vary the restart series and the default decision
+   polarity.  Short restarts attack queries where the baseline's luby
+   series commits too long to a bad prefix; [default_phase = true]
+   inverts the all-zeros bias, which helps exactly the instances whose
+   models are far from lexicographic-minimum.  The table repeats with a
+   different restart base after 6 entries, so any portfolio size is
+   well-defined. *)
+let challenger_bases = [| 40; 150; 70; 220; 25; 300 |]
+
+let config i =
+  if i < 0 then invalid_arg "Portfolio.config: negative index"
+  else if i = 0 then baseline
+  else
+    {
+      index = i;
+      default_phase = i land 1 = 1;
+      restart_base = challenger_bases.((i - 1) mod Array.length challenger_bases);
+    }
+
+(* Golden-ratio increment of splitmix64; one [next] step decorrelates the
+   challenger streams from the baseline stream and from each other. *)
+let seed_for cfg base_seed =
+  if cfg.index = 0 then base_seed
+  else
+    let mixed =
+      Int64.logxor base_seed
+        (Int64.mul (Int64.of_int cfg.index) 0x9E3779B97F4A7C15L)
+    in
+    fst (Scamv_util.Splitmix.next (Scamv_util.Splitmix.of_seed mixed))

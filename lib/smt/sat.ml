@@ -71,6 +71,19 @@ type t = {
   mutable next_reduce : int;  (* conflict count triggering the next reduce *)
   mutable reduce_count : int;
   mutable simp_trail : int;  (* level-0 trail size at the last simplify *)
+  (* Scope selectors: clauses added inside [push]/[pop] are guarded by the
+     innermost selector literal; [solve] assumes every open selector, and
+     [pop] retires one with a permanent unit. *)
+  mutable scope_lits : int array;
+  mutable n_scopes : int;
+  (* Effective-assumption scratch (selectors ++ caller assumptions) and a
+     copy of the previous query's sequence, enabling assumption-trail
+     reuse: the longest shared prefix of decision levels survives between
+     consecutive solves instead of being rebuilt. *)
+  mutable eff : int array;
+  mutable prev_assum : int array;
+  mutable n_prev : int;
+  restart_base : int;  (* conflicts per Luby restart unit *)
   mutable rng : Scamv_util.Splitmix.t;
   mutable random_branch_freq : float;
   mutable rnd_countdown : int;
@@ -101,7 +114,7 @@ let lbd_buckets = 33
    every learnt unit costs more than the propagation it saves. *)
 let simplify_threshold = 32
 
-let create ?seed ?(default_phase = false) () =
+let create ?seed ?(default_phase = false) ?(restart_base = 100) () =
   let cap = 16 in
   {
     nvars = 0;
@@ -134,6 +147,12 @@ let create ?seed ?(default_phase = false) () =
     next_reduce = 2000;
     reduce_count = 0;
     simp_trail = 0;
+    scope_lits = Array.make 4 0;
+    n_scopes = 0;
+    eff = Array.make 16 0;
+    prev_assum = Array.make 16 0;
+    n_prev = 0;
+    restart_base;
     rng = Scamv_util.Splitmix.of_seed (Option.value seed ~default:0L);
     random_branch_freq = (match seed with None -> 0.0 | Some _ -> 0.02);
     rnd_countdown = 0;
@@ -468,11 +487,12 @@ let propagate t : cref =
   done;
   !conflict
 
-let add_clause t lits =
-  (* Normalize: drop duplicate/false-at-level-0 literals, detect tautology
-     and already-true clauses.  Must be called at decision level 0. *)
-  cancel_until t 0;
-  ignore (propagate t);
+let add_clause_raw t lits =
+  (* Normalize against root (level-0) assignments only, so clauses can be
+     added at any decision level: a model-blocking clause asserted between
+     enumeration draws rewinds the trail just past its two deepest
+     falsified literals instead of to the root, and the next solve resumes
+     the search descent instead of rebuilding it. *)
   if not t.unsat then begin
     let lits = List.sort_uniq compare lits in
     (* After sorting, the two literals of one variable are adjacent. *)
@@ -480,23 +500,97 @@ let add_clause t lits =
       | a :: (b :: _ as rest) -> b = a + 1 && a land 1 = 0 || has_adjacent_negation rest
       | _ -> false
     in
+    let root_lit l =
+      let a = root_value t (l lsr 1) in
+      if a = 0 then 0 else if l land 1 = 0 then a else -a
+    in
     let tautology =
-      has_adjacent_negation lits || List.exists (fun l -> lit_value t l = 1) lits
+      has_adjacent_negation lits || List.exists (fun l -> root_lit l = 1) lits
     in
     if not tautology then begin
-      let lits = List.filter (fun l -> lit_value t l <> -1) lits in
+      let lits = List.filter (fun l -> root_lit l <> -1) lits in
       match lits with
       | [] -> t.unsat <- true
-      | [ l ] ->
-        enqueue t l cr_null;
-        if propagate t <> cr_null then t.unsat <- true
-      | _ ->
-        let c = alloc_clause t ~learned:false (Array.of_list lits) in
+      | [ l ] -> (
+        (* Units must enter the root trail: rewind and propagate. *)
+        cancel_until t 0;
+        ignore (propagate t);
+        match lit_value t l with
+        | 1 -> ()
+        | -1 -> t.unsat <- true
+        | _ ->
+          enqueue t l cr_null;
+          if propagate t <> cr_null then t.unsat <- true)
+      | _ :: _ :: _ ->
+        let arr = Array.of_list lits in
+        let n = Array.length arr in
+        (* The watch invariant needs two non-falsified literals: if the
+           current assignment leaves fewer, rewind past the deepest
+           falsifying levels (their literals survived the root filter, so
+           those levels are >= 1 and the target stays >= 0). *)
+        let non_false = ref 0 in
+        for i = 0 to n - 1 do
+          if lit_value t arr.(i) <> -1 then incr non_false
+        done;
+        if !non_false < 2 then begin
+          let l1 = ref 0 and l2 = ref 0 in
+          for i = 0 to n - 1 do
+            if lit_value t arr.(i) = -1 then begin
+              let lv = t.level.(arr.(i) lsr 1) in
+              if lv > !l1 then begin
+                l2 := !l1;
+                l1 := lv
+              end
+              else if lv > !l2 then l2 := lv
+            end
+          done;
+          cancel_until t ((if !non_false = 1 then !l1 else !l2) - 1)
+        end;
+        (* Watch two non-falsified literals. *)
+        let w = ref 0 in
+        let i = ref 0 in
+        while !w < 2 && !i < n do
+          if lit_value t arr.(!i) <> -1 then begin
+            let tmp = arr.(!w) in
+            arr.(!w) <- arr.(!i);
+            arr.(!i) <- tmp;
+            incr w
+          end;
+          incr i
+        done;
+        let c = alloc_clause t ~learned:false arr in
         attach_clause t c;
         t.clauses <- push_cref t.clauses t.n_clauses c;
         t.n_clauses <- t.n_clauses + 1
     end
   end
+
+(* Clauses added under an open scope carry the innermost selector's
+   negation as a guard: they only bite while [solve] assumes the selector,
+   and [pop]'s permanent unit satisfies them all at once. *)
+let add_clause t lits =
+  if t.n_scopes = 0 then add_clause_raw t lits
+  else add_clause_raw t (negate t.scope_lits.(t.n_scopes - 1) :: lits)
+
+let push t =
+  let s = pos (new_var t) in
+  t.scope_lits <- grow_arr t.scope_lits (t.n_scopes + 1) 0;
+  t.scope_lits.(t.n_scopes) <- s;
+  t.n_scopes <- t.n_scopes + 1;
+  Scamv_telemetry.Collector.incr "sat.pushes"
+
+let pop t =
+  if t.n_scopes = 0 then invalid_arg "Sat.pop: no open scope";
+  let s = t.scope_lits.(t.n_scopes - 1) in
+  t.n_scopes <- t.n_scopes - 1;
+  (* Retire the scope with a permanent (unguarded) unit: every clause
+     guarded by [s] is satisfied from here on and stripped by the next
+     root-level simplification; learnt clauses mentioning [negate s] stay
+     sound because the unit subsumes that literal. *)
+  add_clause_raw t [ negate s ];
+  Scamv_telemetry.Collector.incr "sat.pops"
+
+let num_scopes t = t.n_scopes
 
 (* ---- conflict analysis (first UIP) ---- *)
 
@@ -873,7 +967,40 @@ let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
       | None -> false
       | Some d -> Scamv_util.Deadline.expired d
     in
-    cancel_until t 0;
+    (* Effective assumption sequence: open scope selectors (push order)
+       then the caller's assumptions, materialized into solver-owned
+       scratch so repeated queries allocate nothing. *)
+    let total = t.n_scopes + n_assumptions in
+    t.eff <- grow_arr t.eff total 0;
+    Array.blit t.scope_lits 0 t.eff 0 t.n_scopes;
+    Array.blit assumptions 0 t.eff t.n_scopes n_assumptions;
+    if total > 0 then Scamv_telemetry.Collector.incr "sat.assumption_solves";
+    (* Assumption-trail reuse: the previous query left one decision level
+       per assumption (levels 0..n_prev-1, empty when already implied),
+       fully propagated.  Keep the longest prefix that this query assumes
+       again and rewind only past it — consecutive minimizer pin queries
+       differ in their last assumption only, so re-propagation becomes
+       O(1) instead of O(pins).  Any [add_clause] in between rewinds
+       itself just far enough for its watch invariant, which bounds
+       [keep] soundly via [decision_level].  When every assumption of
+       this query was already decided in the kept prefix, the deeper
+       levels — search decisions of the previous query, or stale
+       assumptions it no longer makes — are kept too: they act as plain
+       decisions that conflict analysis pops on demand, so enumeration
+       resumes next to the model it just blocked instead of re-descending
+       from the root. *)
+    let keep =
+      let lim = min (min (decision_level t) total) t.n_prev in
+      let k = ref 0 in
+      while !k < lim && t.prev_assum.(!k) = t.eff.(!k) do
+        incr k
+      done;
+      if !k = total then decision_level t else !k
+    in
+    cancel_until t keep;
+    t.prev_assum <- grow_arr t.prev_assum total 0;
+    Array.blit t.eff 0 t.prev_assum 0 total;
+    t.n_prev <- total;
     (* Decision order state is O(1) to rewind per query: positive-activity
        variables stay on the heap across queries ([new_var] and
        [cancel_until] maintain it), and the zero-activity cursor restarts
@@ -881,21 +1008,26 @@ let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
        O(nvars) heap refill per query, which matters when enumeration
        issues thousands of queries against the same instance. *)
     t.next_zero <- 1;
-    if propagate t <> cr_null then begin
+    (* Root propagation and simplification only apply from a clean trail;
+       with a kept assumption prefix the trail is already settled (nothing
+       was added since, or [keep] would be 0) and the search loop handles
+       any conflict at its own level. *)
+    if decision_level t = 0 && propagate t <> cr_null then begin
       t.unsat <- true;
       finish Unsat
     end
     else begin
       (* Between enumeration solves the root trail only grows (blocking
          clauses, learnt units): strip the clause DB against it once. *)
-      if t.trail_size > t.simp_trail + simplify_threshold then simplify t;
+      if decision_level t = 0 && t.trail_size > t.simp_trail + simplify_threshold
+      then simplify t;
       if t.unsat then finish Unsat
       else begin
         let restart_num = ref 0 in
         let result = ref None in
         while !result = None do
           incr restart_num;
-          let restart_budget = 100 * luby !restart_num in
+          let restart_budget = t.restart_base * luby !restart_num in
           let local_conflicts = ref 0 in
           let restart = ref false in
           while !result = None && not !restart do
@@ -949,11 +1081,11 @@ let solve ?(assumptions = [||]) ?n_assumptions ?(budget = unlimited) t =
                   if !local_conflicts >= restart_budget then restart := true
                 end
               end
-              else if decision_level t < n_assumptions then begin
+              else if decision_level t < total then begin
                 (* Assert the next assumption as a decision.  A falsified
                    assumption means unsatisfiable *under these assumptions*
                    only; the clause set itself stays usable. *)
-                let a = assumptions.(decision_level t) in
+                let a = t.eff.(decision_level t) in
                 match lit_value t a with
                 | -1 -> result := Some Unsat
                 | 1 -> push_level t (* already implied: empty level *)

@@ -26,10 +26,12 @@
     live per instance, and every [solve] call additionally flushes its
     deltas ([sat.conflicts], [sat.decisions], [sat.propagations],
     [sat.restarts], [sat.learned], [sat.deleted], [sat.queries],
-    [sat.budget_exhausted], the [sat.conflicts_per_query] histogram and
-    the [sat.lbd] histogram of freshly learnt clauses) to the domain's
-    current {!Scamv_telemetry.Collector}, where the campaign merges them
-    in program order. *)
+    [sat.assumption_solves], [sat.budget_exhausted], the
+    [sat.conflicts_per_query] histogram and the [sat.lbd] histogram of
+    freshly learnt clauses) to the domain's current
+    {!Scamv_telemetry.Collector}, where the campaign merges them in
+    program order.  {!push}/{!pop} additionally count [sat.pushes] and
+    [sat.pops]. *)
 
 type t
 
@@ -47,11 +49,15 @@ val negate : lit -> lit
 val var_of : lit -> int
 val is_pos : lit -> bool
 
-val create : ?seed:int64 -> ?default_phase:bool -> unit -> t
+val create : ?seed:int64 -> ?default_phase:bool -> ?restart_base:int -> unit -> t
 (** [create ()] makes an empty solver.  [default_phase] is the polarity
     tried first for unassigned variables (default [false], which yields
     zeros-first models similar to Z3 default models).  [seed] enables a
-    small random component in branching to diversify enumerated models. *)
+    small random component in branching to diversify enumerated models.
+    [restart_base] (default [100]) scales the Luby restart series —
+    conflicts allowed before the [n]th restart are
+    [restart_base * luby n]; portfolio configurations vary it to
+    diversify search trajectories. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable. *)
@@ -60,7 +66,26 @@ val num_vars : t -> int
 
 val add_clause : t -> lit list -> unit
 (** Add a clause over existing variables.  Adding the empty clause (or a
-    clause falsified at level 0) makes the instance permanently UNSAT. *)
+    clause falsified at level 0) makes the instance permanently UNSAT.
+    Inside an open {!push} scope the clause is guarded by the innermost
+    scope's selector literal, so {!pop} retracts it. *)
+
+val push : t -> unit
+(** Open a retractable scope: clauses added until the matching {!pop} are
+    guarded by a fresh selector variable that every subsequent [solve]
+    assumes.  Scopes nest.  Trail, activities, saved phases and learnt
+    clauses are shared with the enclosing state — nothing is copied. *)
+
+val pop : t -> unit
+(** Close the innermost scope: its clauses are permanently satisfied by a
+    selector unit (and physically removed by the next root-level
+    simplification).  Learnt clauses derived under the scope mention the
+    selector's negation, so they remain sound and are simplified away
+    rather than unlearned — knowledge from sibling scopes persists.
+    Raises [Invalid_argument] with no open scope. *)
+
+val num_scopes : t -> int
+(** Number of currently open {!push} scopes. *)
 
 type outcome = Sat | Unsat | Unknown
 (** Three-valued solve result.  [Unknown] means a resource budget was
@@ -96,7 +121,15 @@ val solve :
     lexicographic model minimizer.  [n_assumptions] restricts the call to
     the first [n] entries of [assumptions], so an incremental caller can
     keep one growable prefix array and extend it in place between calls
-    instead of rebuilding an array per query.
+    instead of rebuilding an array per query.  Open {!push} scopes
+    contribute their selector literals ahead of the caller's assumptions.
+
+    Assumption-trail reuse: consecutive calls keep the longest shared
+    prefix of assumption decision levels on the trail instead of
+    rewinding to level 0, so a caller that only extends (or replaces the
+    tail of) its assumption sequence pays for re-propagating the changed
+    suffix alone.  Adding a clause between calls invalidates the kept
+    prefix automatically.
 
     [budget] caps the conflicts/decisions/propagations this call may
     spend; when a cap is hit the call stops with [Unknown], the trail is

@@ -8,12 +8,16 @@ type model_result = Model of Model.t | Exhausted | Budget_exceeded
 
 type session = {
   blaster : Blaster.t;
-  reads : Arrays.read list;
-  track : (string * Sort.t) list;  (* boolean/bitvector inputs to block on *)
+  state : Arrays.state;  (* array-elimination state, for [extend] *)
+  mutable reads : Arrays.read list;
+  mutable track : (string * Sort.t) list;  (* inputs to block on *)
   budget : Sat.budget option;
   mutable count : int;
   mutable exhausted : bool;
   mutable rng : Splitmix.t;
+  mutable blocked_rev : Model.t list;
+      (* raw input valuations blocked so far (newest first), for replaying
+         this session's enumeration state into a portfolio challenger *)
 }
 
 let compare_key (x1, s1) (x2, s2) =
@@ -62,9 +66,12 @@ let expand_track reads track =
       | _ -> [ (x, s) ])
     track
 
-let make_session ?seed ?default_phase ?track ?budget ?graph formulas =
-  let { Arrays.formulas = fs; side_conditions; reads } = Arrays.eliminate formulas in
-  let blaster = Blaster.create ?seed ?default_phase ?graph () in
+let make_session ?seed ?default_phase ?restart_base ?track ?budget ?graph formulas =
+  let state = Arrays.new_state () in
+  let { Arrays.formulas = fs; side_conditions; reads } =
+    Arrays.eliminate_into state formulas
+  in
+  let blaster = Blaster.create ?seed ?default_phase ?restart_base ?graph () in
   List.iter (Blaster.assert_term blaster) fs;
   List.iter (Blaster.assert_term blaster) side_conditions;
   let track =
@@ -83,14 +90,20 @@ let make_session ?seed ?default_phase ?track ?budget ?graph formulas =
   Scamv_telemetry.Collector.add "smt.blast_cache_hits" hits;
   Scamv_telemetry.Collector.add "smt.blast_cache_misses" misses;
   Scamv_telemetry.Collector.add "smt.blast_cache_cross_hits" (Blaster.cross_stats blaster);
+  (* Open the enumeration scope: blocking clauses added by [next_model]
+     are guarded by its selector, so [extend] can retract them when the
+     refinement chain replaces the relation being enumerated. *)
+  Sat.push (Blaster.solver blaster);
   {
     blaster;
+    state;
     reads;
     track;
     budget;
     count = 0;
     exhausted = false;
     rng = Splitmix.of_seed (Option.value seed ~default:1L);
+    blocked_rev = [];
   }
 
 (* Lexicographic model minimization: greedily clear set bits of the input
@@ -145,10 +158,16 @@ let minimize_model s =
           | Sat.Unsat -> (
             !pins.(!n_pins - 1) <- l;
             (* Restore a model satisfying the pins so the next bit reads a
-               valid current value.  The pins only constrain bits of the
-               model just found, so this must be satisfiable; if it is
-               not, enumeration state is corrupt and the campaign layer
-               should quarantine this session rather than crash. *)
+               valid current value.  With the assumption-trail reuse in
+               {!Sat.solve} this restore shares all but the last pin's
+               decision level with the failed query, so it costs one
+               re-descent from there, not a search from scratch — and the
+               fresh witness usually has more low bits already clear than
+               a stale snapshot would, saving whole pin queries below.
+               The pins only constrain bits of the model just found, so
+               this must be satisfiable; if it is not, enumeration state
+               is corrupt and the campaign layer should quarantine this
+               session rather than crash. *)
             match Sat.solve ~assumptions:!pins ~n_assumptions:!n_pins ~budget sat with
             | Sat.Sat -> ()
             | Sat.Unknown -> raise Out_of_budget
@@ -183,13 +202,80 @@ let next_model ?(diversify = false) s =
         Scamv_telemetry.Collector.incr "smt.budget_exceeded";
         Budget_exceeded
       | Ok () ->
-        let model = Blaster.read_model s.blaster in
-        let model = Arrays.recover_memories model s.reads in
+        let raw = Blaster.read_model s.blaster in
+        let model = Arrays.recover_memories raw s.reads in
         Blaster.block_assignment s.blaster s.track;
+        s.blocked_rev <- raw :: s.blocked_rev;
         s.count <- s.count + 1;
         Scamv_telemetry.Collector.incr "smt.models";
         Model model)
   end
+
+let push s = Sat.push (Blaster.solver s.blaster)
+let pop s = Sat.pop (Blaster.solver s.blaster)
+
+let solve_assuming s assumptions =
+  let sat = Blaster.solver s.blaster in
+  (* Blasting the assumed terms may emit fresh Tseitin clauses, but the
+     terms themselves are only assumed for this one query — nothing is
+     asserted permanently. *)
+  let lits =
+    Array.of_list (List.map (Blaster.bool_literal s.blaster) assumptions)
+  in
+  let budget = Option.value s.budget ~default:Sat.unlimited in
+  match Sat.solve ~assumptions:lits ~budget sat with
+  | Sat.Unknown ->
+    Scamv_telemetry.Collector.incr "smt.budget_exceeded";
+    Budget_exceeded
+  | Sat.Unsat -> Exhausted
+  | Sat.Sat ->
+    let model = Blaster.read_model s.blaster in
+    Model (Arrays.recover_memories model s.reads)
+
+let extend ?track s formulas =
+  let sat = Blaster.solver s.blaster in
+  (* Retract the enumeration scope: blocking clauses accumulated while
+     enumerating the previous relation must not constrain the extended
+     one.  Everything else — CNF, learnt clauses, activities, phases, the
+     blast graph — carries over, which is the point of extending the
+     session instead of re-blasting and re-solving from scratch. *)
+  Sat.pop sat;
+  s.blocked_rev <- [];
+  let h0, m0 = Blaster.cache_stats s.blaster in
+  let x0 = Blaster.cross_stats s.blaster in
+  let { Arrays.formulas = fs; side_conditions; reads } =
+    Arrays.eliminate_into s.state formulas
+  in
+  List.iter (Blaster.assert_term s.blaster) fs;
+  List.iter (Blaster.assert_term s.blaster) side_conditions;
+  s.reads <- reads;
+  (match track with
+  | Some tr -> s.track <- expand_track reads tr
+  | None ->
+    (* Merge the new formulas' default track into the existing one. *)
+    let merged =
+      List.sort_uniq compare_key (s.track @ default_track formulas reads)
+    in
+    s.track <- merged);
+  List.iter (fun key -> ignore (Blaster.input_literals s.blaster key)) s.track;
+  let h1, m1 = Blaster.cache_stats s.blaster in
+  (* Cache hits while blasting the extension are precisely the structure
+     reused from the live session instead of being rebuilt. *)
+  Scamv_telemetry.Collector.add "smt.incremental_reuse_hits" (h1 - h0);
+  Scamv_telemetry.Collector.add "smt.blast_cache_hits" (h1 - h0);
+  Scamv_telemetry.Collector.add "smt.blast_cache_misses" (m1 - m0);
+  Scamv_telemetry.Collector.add "smt.blast_cache_cross_hits"
+    (Blaster.cross_stats s.blaster - x0);
+  Sat.push sat;
+  s.exhausted <- false;
+  s
+
+let blocked_models s = List.rev s.blocked_rev
+
+let block_model s raw =
+  Blaster.block_values s.blaster s.track raw;
+  s.blocked_rev <- raw :: s.blocked_rev;
+  s.count <- s.count + 1
 
 let models_found s = s.count
 

@@ -66,6 +66,80 @@ let test_pipeline_test_cases_distinct () =
       Hashtbl.add seen key ()
   done
 
+(* ---- solver portfolio ---- *)
+
+let test_portfolio_rescues_budget_exhausted_pair () =
+  (* On this seeded program the baseline solver configuration blows a
+     100-conflict budget before the first model, so alone it quarantines
+     the pair; with a 4-config portfolio a challenger answers within the
+     same budget and takes the pair over (counted in portfolio.races /
+     portfolio.wins.<rank>). *)
+  let tmpl = Scamv_gen.Gen.generate ~seed:7L Templates.template_a in
+  let run portfolio =
+    let c = Scamv_telemetry.Collector.create () in
+    Scamv_telemetry.Collector.with_current c (fun () ->
+        let cfg =
+          {
+            (Pipeline.default_config (Refinement.mct_vs_mspec ())) with
+            Pipeline.budget = Some (Scamv_smt.Sat.budget ~conflicts:100 ());
+            Pipeline.portfolio;
+          }
+        in
+        let p = Pipeline.prepare ~seed:5L cfg tmpl.Templates.program in
+        let cases = ref 0 and quarantined = ref 0 in
+        (try
+           for _ = 1 to 5 do
+             match Pipeline.next_test_case p with
+             | Pipeline.Case _ -> incr cases
+             | Pipeline.Quarantined _ -> incr quarantined
+             | Pipeline.Exhausted | Pipeline.Crashed _ -> raise Exit
+           done
+         with Exit -> ());
+        let m =
+          (Scamv_telemetry.Collector.report c).Scamv_telemetry.Collector.metrics
+        in
+        let counter = Scamv_telemetry.Metrics.counter m in
+        ( !cases,
+          !quarantined,
+          counter "portfolio.races",
+          List.init portfolio (fun r ->
+              counter (Printf.sprintf "portfolio.wins.%d" r)) ))
+  in
+  let cases1, quarantined1, _, _ = run 1 in
+  Alcotest.(check int) "baseline alone quarantines the pair" 1 quarantined1;
+  Alcotest.(check int) "baseline alone yields no cases" 0 cases1;
+  let cases4, quarantined4, races, wins = run 4 in
+  Alcotest.(check int) "no quarantine with the portfolio" 0 quarantined4;
+  Alcotest.(check bool) "portfolio produced cases" true (cases4 > 0);
+  Alcotest.(check int) "exactly one race" 1 races;
+  Alcotest.(check int) "baseline won no draw" 0 (List.hd wins);
+  Alcotest.(check bool) "a challenger won the pair's draws" true
+    (List.exists (fun w -> w > 0) (List.tl wins))
+
+let test_campaign_portfolio_identity () =
+  (* Without a SAT budget the baseline configuration never exhausts, so
+     rescue never fires: campaign artifacts must be byte-identical for
+     every portfolio size and every jobs level. *)
+  let run ~portfolio ~jobs =
+    let cfg =
+      Campaign.make ~name:"portfolio-identity" ~template:Templates.template_a
+        ~setup:(Refinement.mct_vs_mspec ()) ~programs:3 ~tests_per_program:3
+        ~seed:2021L ~portfolio ~clock:Scamv_util.Stopwatch.frozen ()
+    in
+    let journal = Scamv.Journal.create () in
+    let outcome = Campaign.run ~journal ~jobs cfg in
+    ( Scamv.Journal.to_csv journal,
+      Format.asprintf "%a" Stats.pp outcome.Campaign.stats )
+  in
+  let reference = run ~portfolio:1 ~jobs:1 in
+  List.iter
+    (fun (portfolio, jobs) ->
+      Alcotest.(check (pair string string))
+        (Printf.sprintf "portfolio %d, jobs %d" portfolio jobs)
+        reference
+        (run ~portfolio ~jobs))
+    [ (1, 2); (2, 1); (2, 2); (4, 1); (4, 2) ]
+
 let test_pipeline_deterministic () =
   let tmpl = Scamv_gen.Gen.generate ~seed:7L Templates.template_c in
   let run () =
@@ -166,6 +240,13 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_pipeline_deterministic;
           Alcotest.test_case "straight-line unguided" `Quick
             test_pipeline_unguided_straightline_program;
+        ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "rescues budget-exhausted pair" `Quick
+            test_portfolio_rescues_budget_exhausted_pair;
+          Alcotest.test_case "campaign identity across sizes and jobs" `Quick
+            test_campaign_portfolio_identity;
         ] );
       ( "paper results (miniature)",
         [

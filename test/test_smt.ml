@@ -314,6 +314,90 @@ let prop_sat_matches_brute_force_wide =
       in
       Bool.equal expected got && model_ok)
 
+(* Push/pop scopes: enumerating every model of a random CNF inside a
+   pushed scope — clauses and blocking clauses alike retracted by the
+   matching pop — must find exactly the brute-force model set, and a
+   second push/re-assert/enumerate round over the same solver (now
+   carrying learnt clauses, activities and saved phases from round one)
+   must find it again.  This is the soundness contract behind reusing one
+   live SAT state across an enumeration session's whole life. *)
+let prop_push_pop_matches_brute_force =
+  QCheck.Test.make
+    ~name:"push/pop enumeration matches brute force on mixed-width CNF"
+    ~count:60
+    QCheck.(triple (int_bound 1000000) (int_range 2 8) (int_range 4 30))
+    (fun (seed, nvars, nclauses) ->
+      let module Sm = Scamv_util.Splitmix in
+      let rng = ref (Sm.of_seed (Int64.of_int seed)) in
+      let next n =
+        let v, r = Sm.int !rng n in
+        rng := r;
+        v
+      in
+      let s = Sat.create () in
+      let vars = Array.init nvars (fun _ -> Sat.new_var s) in
+      let gen_clause () =
+        List.init
+          (1 + next 4)
+          (fun _ ->
+            let v = next nvars in
+            if next 2 = 1 then Sat.neg_of_var vars.(v) else Sat.pos vars.(v))
+      in
+      let base = List.init (nclauses / 2) (fun _ -> gen_clause ()) in
+      let scoped =
+        List.init (nclauses - (nclauses / 2)) (fun _ -> gen_clause ())
+      in
+      (* Brute-force reference: the satisfying assignments of the whole
+         CNF, as bit strings over the session variables. *)
+      let expected = ref [] in
+      for bits = 0 to (1 lsl nvars) - 1 do
+        let value v = bits land (1 lsl (v - 1)) <> 0 in
+        let sat_clause =
+          List.exists (fun l ->
+              if Sat.is_pos l then value (Sat.var_of l)
+              else not (value (Sat.var_of l)))
+        in
+        if List.for_all sat_clause (base @ scoped) then
+          expected :=
+            String.init nvars (fun i ->
+                if value vars.(i) then '1' else '0')
+            :: !expected
+      done;
+      let expected = List.sort compare !expected in
+      List.iter (Sat.add_clause s) base;
+      let enumerate_scoped () =
+        Sat.push s;
+        List.iter (Sat.add_clause s) scoped;
+        let found = ref [] in
+        let overrun = ref false in
+        let continue = ref true in
+        while !continue do
+          if List.length !found > 1 lsl nvars then begin
+            overrun := true;
+            continue := false
+          end
+          else
+            match Sat.solve s with
+            | Sat.Sat ->
+              found :=
+                String.init nvars (fun i ->
+                    if Sat.value s vars.(i) then '1' else '0')
+                :: !found;
+              Sat.add_clause s
+                (Array.to_list
+                   (Array.map
+                      (fun v ->
+                        if Sat.value s v then Sat.neg_of_var v else Sat.pos v)
+                      vars))
+            | Sat.Unsat -> continue := false
+            | Sat.Unknown -> continue := false
+        done;
+        Sat.pop s;
+        if !overrun then None else Some (List.sort compare !found)
+      in
+      enumerate_scoped () = Some expected
+      && enumerate_scoped () = Some expected)
+
 let test_propagation_allocation () =
   (* Regression microbench for the watch-splice fix: re-propagating a long
      implication chain with warm watch vectors must update them in place —
@@ -527,6 +611,89 @@ let test_enumeration_deterministic_shared_graph () =
   let cold = model_sequence ~graph ~seed:42L ~diversify:true 12 fs in
   let warm = model_sequence ~graph ~seed:42L ~diversify:true 12 fs in
   Alcotest.(check (list string)) "cold and warm cache sessions agree" cold warm
+
+(* ---- incremental sessions ---- *)
+
+let test_solver_extend_matches_oneshot () =
+  (* Staged assertion (candidate first, refinement via extend on the same
+     live session) must enumerate exactly the one-shot session's models:
+     non-diversified draws are canonical (each is the lexicographically
+     minimal unblocked model, a property of the formula alone). *)
+  let fs = enumeration_test_formulas () in
+  let staged_session =
+    Solver.extend (Solver.make_session ~seed:42L [ List.hd fs ]) (List.tl fs)
+  in
+  let staged =
+    List.init 8 (fun _ ->
+        match Solver.next_model staged_session with
+        | Solver.Model m -> Format.asprintf "%a" Model.pp m
+        | Solver.Exhausted -> "<exhausted>"
+        | Solver.Budget_exceeded -> "<budget>")
+  in
+  let fresh = model_sequence ~seed:42L ~diversify:false 8 fs in
+  Alcotest.(check (list string)) "staged session = one-shot session" fresh staged
+
+let test_solve_assuming () =
+  let x = T.bv_var "x" 8 in
+  let s = Solver.make_session ~seed:1L [ T.ult x (T.bv_const 10L 8) ] in
+  (match Solver.solve_assuming s [ T.eq x (T.bv_const 5L 8) ] with
+  | Solver.Model m -> Alcotest.(check int64) "x pinned" 5L (Model.bv_exn m "x")
+  | Solver.Exhausted | Solver.Budget_exceeded ->
+    Alcotest.fail "expected a model under a consistent assumption");
+  (match Solver.solve_assuming s [ T.eq x (T.bv_const 20L 8) ] with
+  | Solver.Exhausted -> ()
+  | Solver.Model _ | Solver.Budget_exceeded ->
+    Alcotest.fail "expected Exhausted under a contradictory assumption");
+  (* An Unsat assumption query must not mark the session exhausted. *)
+  match Solver.next_model s with
+  | Solver.Model _ -> ()
+  | Solver.Exhausted | Solver.Budget_exceeded ->
+    Alcotest.fail "session no longer enumerable after assumption Unsat"
+
+let test_session_push_pop_rewinds_blocking () =
+  (* Blocking clauses asserted inside a pushed scope are retracted by the
+     pop, so enumeration resumes from the first model blocked inside the
+     scope (canonical order makes the re-draw deterministic). *)
+  let fs = enumeration_test_formulas () in
+  let s = Solver.make_session ~seed:42L fs in
+  let take () =
+    match Solver.next_model s with
+    | Solver.Model m -> Format.asprintf "%a" Model.pp m
+    | Solver.Exhausted | Solver.Budget_exceeded ->
+      Alcotest.fail "expected a model"
+  in
+  let _m1 = take () in
+  Solver.push s;
+  let m2 = take () in
+  let _m3 = take () in
+  Solver.pop s;
+  Alcotest.(check string) "pop retracts the scope's blocking clauses" m2
+    (take ())
+
+let test_block_model_replay () =
+  (* blocked_models / block_model: replaying one session's frontier into a
+     fresh session over the same assertions continues the enumeration
+     exactly where the first session stood — the portfolio handoff. *)
+  let fs = enumeration_test_formulas () in
+  let take s =
+    match Solver.next_model s with
+    | Solver.Model m -> m
+    | Solver.Exhausted | Solver.Budget_exceeded ->
+      Alcotest.fail "expected a model"
+  in
+  let a = Solver.make_session ~seed:42L fs in
+  for _ = 1 to 3 do
+    ignore (take a)
+  done;
+  let frontier = Solver.blocked_models a in
+  Alcotest.(check int) "three models blocked" 3 (List.length frontier);
+  let b = Solver.make_session ~seed:42L fs in
+  List.iter (Solver.block_model b) frontier;
+  Alcotest.(check int) "handed-over models count as found" 3
+    (Solver.models_found b);
+  Alcotest.(check string) "challenger continues the sequence"
+    (Format.asprintf "%a" Model.pp (take a))
+    (Format.asprintf "%a" Model.pp (take b))
 
 let test_blast_cache_cross_session_hits () =
   (* The second session over the same graph rebuilds nothing: every term it
@@ -757,6 +924,7 @@ let () =
           Alcotest.test_case "budget generous" `Quick test_sat_budget_generous_is_exact;
           QCheck_alcotest.to_alcotest prop_sat_matches_brute_force;
           QCheck_alcotest.to_alcotest prop_sat_matches_brute_force_wide;
+          QCheck_alcotest.to_alcotest prop_push_pop_matches_brute_force;
           Alcotest.test_case "propagation allocation bounded" `Quick
             test_propagation_allocation;
         ] );
@@ -789,6 +957,15 @@ let () =
             test_enumeration_deterministic_shared_graph;
           Alcotest.test_case "blast cache cross-session hits" `Quick
             test_blast_cache_cross_session_hits;
+        ] );
+      ( "incremental sessions",
+        [
+          Alcotest.test_case "extend matches one-shot" `Quick
+            test_solver_extend_matches_oneshot;
+          Alcotest.test_case "solve_assuming" `Quick test_solve_assuming;
+          Alcotest.test_case "push/pop rewinds blocking" `Quick
+            test_session_push_pop_rewinds_blocking;
+          Alcotest.test_case "block_model replay" `Quick test_block_model_replay;
         ] );
       ( "differential",
         [
