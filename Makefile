@@ -7,7 +7,7 @@ SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
 	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100 \
 	--portfolio 2
 
-.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke solver-smoke perf-check clean
+.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke solver-smoke serve-smoke perf-check clean
 
 all: build
 
@@ -49,6 +49,17 @@ chaos-smoke: build
 solver-smoke: build
 	$(DUNE) exec bench/main.exe -- solver
 	$(DUNE) exec bench/main.exe -- solver-identity
+
+# Validation-service acceptance: boot an in-process HTTP server and check
+# the full surface — two tenants submitting and streaming concurrently
+# (both streams byte-identical to batch Campaign.run), byte-identity
+# across --jobs levels, quota 429 backpressure plus queued-campaign
+# cancellation over the wire, and SIGKILL of a serving process followed
+# by a --resume restart that completes the campaign byte-identically.
+# Then a small load run (two client mixes) writes the latency/throughput
+# report.
+serve-smoke: build
+	$(DUNE) exec bench/main.exe -- service --smoke --out BENCH_service.smoke.json
 
 # Perf regression gate: re-run the committed campaign benchmark (same
 # deterministic seed and size — the "full" config is itself smoke-scale,

@@ -1526,6 +1526,22 @@ let () =
   | "chaos" :: rest ->
     chaos_suite ~smoke:(List.mem "--smoke" rest) ();
     exit 0
+  | "service-child" :: dir :: _ ->
+    Service_bench.child dir;
+    exit 0
+  | "service" :: rest ->
+    let smoke = List.mem "--smoke" rest in
+    let out =
+      let rec find = function
+        | "--out" :: f :: _ -> f
+        | _ :: tail -> find tail
+        | [] -> "BENCH_service.json"
+      in
+      find rest
+    in
+    Service_bench.suite ();
+    Service_bench.load ~smoke ~out ();
+    exit 0
   | _ -> ());
   let full = List.mem "--full" args in
   let smoke = List.mem "--smoke" args in

@@ -1,0 +1,562 @@
+(* Validation-service harness (`make serve-smoke` and the
+   BENCH_service.json load generator).
+
+   Everything runs against a real Server over loopback TCP — the same
+   code path a remote client exercises — with a frozen campaign clock so
+   the acceptance checks can demand byte identity:
+
+   - two tenants submit and stream campaigns concurrently, and each
+     streamed record sequence (and the server's on-disk journal) must be
+     byte-identical to a batch Campaign.run of the same parameters;
+   - the same campaign served from a --jobs 1 and a --jobs 2 server must
+     stream identical bytes;
+   - a SIGKILLed server must, after restart from its state directory,
+     finish the interrupted campaign and leave journal + stream
+     indistinguishable from an uninterrupted run;
+   - quota rejections surface as HTTP 429, cancellation as a terminal
+     "cancelled" stream, and /metrics as a Prometheus dump.
+
+   The load generator measures submit->done latency per campaign across
+   client/campaign mixes and writes throughput + p50/p95/p99 to
+   BENCH_service.json. *)
+
+module Json = Scamv_util.Json
+module Stopwatch = Scamv_util.Stopwatch
+module Campaign = Scamv.Campaign
+module Journal = Scamv.Journal
+module Scheduler = Scamv_service.Scheduler
+module Server = Scamv_service.Server
+module Session = Scamv_service.Session
+module Tenant = Scamv_service.Tenant
+module Workload = Scamv_service.Workload
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("service: FAIL: " ^ m);
+      exit 1)
+    fmt
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* ------------------------------------------------------------------ *)
+(* Minimal HTTP/1.1 client                                             *)
+(* ------------------------------------------------------------------ *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;
+  body : string;
+}
+
+let read_line_crlf ic =
+  match In_channel.input_line ic with
+  | None -> fail "connection closed mid-response"
+  | Some line ->
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let read_chunked ic =
+  let b = Buffer.create 4096 in
+  let rec loop () =
+    let size_line = read_line_crlf ic in
+    let size = int_of_string ("0x" ^ size_line) in
+    if size > 0 then begin
+      Buffer.add_string b (really_input_string ic size);
+      let _crlf = read_line_crlf ic in
+      loop ()
+    end
+    else
+      let _trailer = read_line_crlf ic in
+      ()
+  in
+  loop ();
+  Buffer.contents b
+
+let request ~port ~meth ~path ?(body = "") () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd
+        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      Printf.fprintf oc
+        "%s %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+        meth path (String.length body) body;
+      flush oc;
+      let status_line = read_line_crlf ic in
+      let status =
+        match String.split_on_char ' ' status_line with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> fail "malformed status line %S" status_line
+      in
+      let rec headers acc =
+        match read_line_crlf ic with
+        | "" -> List.rev acc
+        | line -> (
+          match String.index_opt line ':' with
+          | None -> fail "malformed response header %S" line
+          | Some i ->
+            headers
+              (( String.lowercase_ascii (String.sub line 0 i),
+                 String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+              :: acc))
+      in
+      let headers = headers [] in
+      let body =
+        match List.assoc_opt "transfer-encoding" headers with
+        | Some "chunked" -> read_chunked ic
+        | _ -> (
+          match List.assoc_opt "content-length" headers with
+          | Some n -> really_input_string ic (int_of_string n)
+          | None -> In_channel.input_all ic)
+      in
+      { status; headers; body })
+
+let body_json r = Json.of_string r.body
+
+let body_member r name =
+  match Json.member name (body_json r) with
+  | Some v -> v
+  | None -> fail "response body missing field %s: %s" name r.body
+
+let ndjson_lines body =
+  String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+
+let record_lines lines =
+  List.filter (fun l -> String.length l >= 10 && String.sub l 0 10 = "{\"record\":") lines
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* ------------------------------------------------------------------ *)
+(* Submissions and batch references                                    *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  tenant : string;
+  template : string;
+  setup : string;
+  programs : int;
+  tests : int;
+  seed : int64 option;
+}
+
+let spec_body s =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("tenant", Json.Str s.tenant);
+          ("template", Json.Str s.template);
+          ("setup", Json.Str s.setup);
+          ("programs", Json.Num (float_of_int s.programs));
+          ("tests_per_program", Json.Num (float_of_int s.tests));
+        ]
+       @
+       match s.seed with
+       | None -> []
+       | Some v -> [ ("seed", Json.Str (Int64.to_string v)) ]))
+
+let submit ~port s =
+  let r = request ~port ~meth:"POST" ~path:"/campaigns" ~body:(spec_body s) () in
+  if r.status <> 201 then fail "submit: expected 201, got %d (%s)" r.status r.body;
+  match body_member r "id" with
+  | Json.Str id -> id
+  | _ -> fail "submit: non-string id in %s" r.body
+
+let stream ~port id =
+  let r = request ~port ~meth:"GET" ~path:(Printf.sprintf "/campaigns/%s/stream" id) () in
+  if r.status <> 200 then fail "stream %s: expected 200, got %d" id r.status;
+  if List.assoc_opt "transfer-encoding" r.headers <> Some "chunked" then
+    fail "stream %s: response is not chunked" id;
+  ndjson_lines r.body
+
+(* Run the same campaign the service would, directly through
+   Campaign.run, and return (journal file bytes, expected record lines). *)
+let batch_reference s ~seed =
+  let template =
+    match Workload.lookup_template s.template with
+    | Ok t -> t
+    | Error e -> fail "batch reference: %s" e
+  in
+  let setup =
+    match Workload.lookup_setup s.setup with
+    | Ok m -> m
+    | Error e -> fail "batch reference: %s" e
+  in
+  let cfg =
+    Campaign.make
+      ~name:(Workload.campaign_name ~setup:s.setup ~template:s.template)
+      ~template ~setup ~view:(Workload.view_for s.setup) ~programs:s.programs
+      ~tests_per_program:s.tests ~seed ~clock:Stopwatch.frozen ()
+  in
+  let path = Filename.temp_file "scamv-service-ref" ".journal" in
+  Sys.remove path;
+  let journal = Journal.create ~path () in
+  let (_ : Campaign.outcome) = Campaign.run ~journal cfg in
+  Journal.close journal;
+  let bytes = read_file path in
+  Sys.remove path;
+  (bytes, List.map Session.record_line (Journal.events journal))
+
+let check_stream_matches_batch ~what ~state_dir ~port id s ~seed =
+  let lines = stream ~port id in
+  let bytes, expected = batch_reference s ~seed in
+  if record_lines lines <> expected then
+    fail "%s: streamed records differ from batch run" what;
+  (match List.rev lines with
+  | last :: _ when has_prefix ~prefix:"{\"done\":\"completed\"" last -> ()
+  | last :: _ -> fail "%s: stream ended with %s" what last
+  | [] -> fail "%s: empty stream" what);
+  let server_journal = Filename.concat state_dir (id ^ ".journal") in
+  if read_file server_journal <> bytes then
+    fail "%s: server journal differs from batch journal" what;
+  Printf.printf "OK: %s byte-identical to batch (%d records)\n%!" what
+    (List.length expected)
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  d
+
+let scheduler_config ?state_dir ?(jobs = 1) ?(quota = Tenant.default_quota) () =
+  { Scheduler.jobs; state_dir; quota; clock = Stopwatch.frozen }
+
+let start_server scd =
+  let srv = Server.create ~port:0 scd in
+  Server.start srv;
+  srv
+
+(* ------------------------------------------------------------------ *)
+(* Functional smoke suite                                              *)
+(* ------------------------------------------------------------------ *)
+
+let spec_alice = {
+  tenant = "alice"; template = "A"; setup = "mct-vs-mspec";
+  programs = 3; tests = 3; seed = Some 2021L;
+}
+
+let spec_bob = {
+  tenant = "bob"; template = "C"; setup = "mspec1-vs-mspec";
+  programs = 2; tests = 2; seed = Some 7L;
+}
+
+let smoke_two_tenants () =
+  let dir = temp_dir "scamv-service" in
+  let scd = Scheduler.create ~config:(scheduler_config ~state_dir:dir ~jobs:2 ()) () in
+  let srv = start_server scd in
+  let port = Server.port srv in
+  let health = request ~port ~meth:"GET" ~path:"/healthz" () in
+  if health.status <> 200 then fail "healthz: %d" health.status;
+  (* Two tenants, submitted and streamed concurrently: the streams open
+     while the campaigns are still queued/running, so this exercises the
+     blocking wait path, not just replay of finished sessions. *)
+  let id_a = submit ~port spec_alice in
+  let id_b = submit ~port spec_bob in
+  let results = Array.make 2 [] in
+  let reader i id = Thread.create (fun () -> results.(i) <- stream ~port id) () in
+  let ta = reader 0 id_a and tb = reader 1 id_b in
+  Thread.join ta;
+  Thread.join tb;
+  check_stream_matches_batch ~what:"tenant alice campaign" ~state_dir:dir ~port
+    id_a spec_alice ~seed:2021L;
+  check_stream_matches_batch ~what:"tenant bob campaign" ~state_dir:dir ~port
+    id_b spec_bob ~seed:7L;
+  (* Status and listing. *)
+  let st = request ~port ~meth:"GET" ~path:("/campaigns/" ^ id_a) () in
+  if st.status <> 200 then fail "status: %d" st.status;
+  (match body_member st "state" with
+  | Json.Str "completed" -> ()
+  | j -> fail "status: unexpected state %s" (Json.to_string j));
+  let listing = request ~port ~meth:"GET" ~path:"/campaigns" () in
+  (match Json.member "campaigns" (body_json listing) with
+  | Some (Json.Arr l) when List.length l = 2 -> ()
+  | _ -> fail "listing: expected 2 campaigns: %s" listing.body);
+  (* Error surfaces. *)
+  let miss = request ~port ~meth:"GET" ~path:"/campaigns/nope-0" () in
+  if miss.status <> 404 then fail "missing campaign: expected 404, got %d" miss.status;
+  let put = request ~port ~meth:"PUT" ~path:"/campaigns" () in
+  if put.status <> 405 then fail "PUT /campaigns: expected 405, got %d" put.status;
+  let bad = request ~port ~meth:"POST" ~path:"/campaigns" ~body:"{nope" () in
+  if bad.status <> 400 then fail "bad JSON: expected 400, got %d" bad.status;
+  let bad_setup =
+    request ~port ~meth:"POST" ~path:"/campaigns"
+      ~body:{|{"setup":"not-a-setup"}|} ()
+  in
+  if bad_setup.status <> 400 then fail "bad setup: expected 400, got %d" bad_setup.status;
+  (* Prometheus export carries both campaign telemetry and service
+     counters. *)
+  let metrics = request ~port ~meth:"GET" ~path:"/metrics" () in
+  if metrics.status <> 200 then fail "metrics: %d" metrics.status;
+  List.iter
+    (fun needle ->
+      if not (contains_substring metrics.body needle) then
+        fail "metrics: missing %s" needle)
+    [
+      "service_campaigns_completed 2";
+      "service_campaigns_submitted 2";
+      "service_http_requests";
+      "service_sessions_total 2";
+      "sat_conflicts";
+    ];
+  Server.stop srv;
+  Scheduler.shutdown scd;
+  Printf.printf "OK: two-tenant smoke (status/listing/errors/metrics)\n%!";
+  dir
+
+(* The same campaign served by a --jobs 1 server must stream the same
+   bytes as the --jobs 2 server above. *)
+let smoke_jobs_identity dir_jobs2 =
+  let dir = temp_dir "scamv-service-j1" in
+  let scd = Scheduler.create ~config:(scheduler_config ~state_dir:dir ~jobs:1 ()) () in
+  let srv = start_server scd in
+  let port = Server.port srv in
+  let id = submit ~port spec_alice in
+  let lines = stream ~port id in
+  let bytes, expected = batch_reference spec_alice ~seed:2021L in
+  if record_lines lines <> expected then
+    fail "jobs identity: --jobs 1 stream differs from batch";
+  let j1 = read_file (Filename.concat dir (id ^ ".journal")) in
+  let j2 = read_file (Filename.concat dir_jobs2 (id ^ ".journal")) in
+  if j1 <> bytes || j1 <> j2 then
+    fail "jobs identity: journals differ across server --jobs levels";
+  Server.stop srv;
+  Scheduler.shutdown scd;
+  Printf.printf "OK: served campaign byte-identical across --jobs 1/2 servers\n%!"
+
+(* Quota backpressure and queued-cancel, over real HTTP against a
+   scheduler with no runner thread (so sessions stay queued
+   deterministically). *)
+let smoke_backpressure_and_cancel () =
+  let quota = { Tenant.max_backlog = 1; max_active = 1 } in
+  let scd = Scheduler.create ~config:(scheduler_config ~quota ()) ~start:false () in
+  let srv = start_server scd in
+  let port = Server.port srv in
+  let id = submit ~port { spec_alice with seed = None } in
+  let r = request ~port ~meth:"POST" ~path:"/campaigns" ~body:(spec_body spec_alice) () in
+  if r.status <> 429 then fail "backpressure: expected 429, got %d" r.status;
+  if List.assoc_opt "retry-after" r.headers <> Some "1" then
+    fail "backpressure: missing Retry-After";
+  let del = request ~port ~meth:"DELETE" ~path:("/campaigns/" ^ id) () in
+  if del.status <> 200 then fail "cancel: %d" del.status;
+  (match body_member del "cancelled" with
+  | Json.Bool true -> ()
+  | j -> fail "cancel: expected true, got %s" (Json.to_string j));
+  (* The freed backlog slot admits a new campaign. *)
+  let id2 = submit ~port spec_bob in
+  (* A cancelled queued campaign streams exactly one line: done. *)
+  (match stream ~port id with
+  | [ line ] when has_prefix ~prefix:"{\"done\":\"cancelled\"" line -> ()
+  | lines -> fail "cancel: unexpected stream %s" (String.concat " | " lines));
+  let del2 = request ~port ~meth:"DELETE" ~path:("/campaigns/" ^ id) () in
+  (match body_member del2 "cancelled" with
+  | Json.Bool false -> ()
+  | _ -> fail "cancel: second DELETE should be a no-op");
+  ignore id2;
+  Server.stop srv;
+  Scheduler.shutdown scd;
+  Printf.printf "OK: quota 429 backpressure and queued-campaign cancel\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Kill + resume                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let spec_carol = {
+  tenant = "carol"; template = "A"; setup = "mct-vs-mspec";
+  programs = 10; tests = 4; seed = None;  (* namespace seed *)
+}
+
+(* The `service-child` subcommand: a real server on an ephemeral port,
+   state in [dir], prints "PORT <n>" and serves until SIGKILLed. *)
+let child dir =
+  let scd = Scheduler.create ~config:(scheduler_config ~state_dir:dir ()) () in
+  let srv = start_server scd in
+  Printf.printf "PORT %d\n%!" (Server.port srv);
+  while true do
+    Unix.sleepf 3600.0
+  done
+
+let kill_resume () =
+  let dir = temp_dir "scamv-service-kr" in
+  let out_read, out_write = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process Sys.executable_name
+      [| Sys.executable_name; "service-child"; dir |]
+      Unix.stdin out_write Unix.stderr
+  in
+  Unix.close out_write;
+  let child_out = Unix.in_channel_of_descr out_read in
+  let port =
+    match In_channel.input_line child_out with
+    | Some line when has_prefix ~prefix:"PORT " line ->
+      int_of_string (String.sub line 5 (String.length line - 5))
+    | _ -> fail "service child did not report its port"
+  in
+  let id = submit ~port spec_carol in
+  (* Wait for journal records to reach the child's disk, then SIGKILL it
+     mid-campaign.  (On a very fast machine the campaign may already be
+     done — recovery of a completed session is exercised instead.) *)
+  let journal_path = Filename.concat dir (id ^ ".journal") in
+  let size () = try (Unix.stat journal_path).Unix.st_size with Unix.Unix_error _ -> 0 in
+  let give_up = Unix.gettimeofday () +. 120.0 in
+  while size () < 200 do
+    if Unix.gettimeofday () > give_up then
+      fail "service child wrote no journal records within 120s";
+    Unix.sleepf 0.02
+  done;
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  close_in child_out;
+  (* Restart "the server" from the same state directory: recovery must
+     re-enqueue the interrupted campaign and finish it. *)
+  let scd = Scheduler.create ~config:(scheduler_config ~state_dir:dir ()) () in
+  let srv = start_server scd in
+  let port = Server.port srv in
+  Scheduler.drain scd;
+  let seed = Tenant.derive_seed ~tenant:"carol" ~sequence:0 in
+  check_stream_matches_batch ~what:"kill+resume campaign" ~state_dir:dir ~port id
+    spec_carol ~seed;
+  Server.stop srv;
+  Scheduler.shutdown scd
+
+(* ------------------------------------------------------------------ *)
+(* Load generator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type mix = {
+  mix_name : string;
+  clients : int;  (** concurrent tenants, one submitting thread each *)
+  campaigns_per_client : int;
+  mix_template : string;
+  mix_setup : string;
+  mix_programs : int;
+  mix_tests : int;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let run_mix ~port mix =
+  let latencies = Array.make (mix.clients * mix.campaigns_per_client) 0.0 in
+  let t0 = Unix.gettimeofday () in
+  let client c =
+    Thread.create
+      (fun () ->
+        for j = 0 to mix.campaigns_per_client - 1 do
+          let s =
+            {
+              tenant = Printf.sprintf "%s-t%d" mix.mix_name c;
+              template = mix.mix_template;
+              setup = mix.mix_setup;
+              programs = mix.mix_programs;
+              tests = mix.mix_tests;
+              seed = None;
+            }
+          in
+          let start = Unix.gettimeofday () in
+          let id = submit ~port s in
+          let lines = stream ~port id in
+          (match List.rev lines with
+          | last :: _ when has_prefix ~prefix:"{\"done\":\"completed\"" last -> ()
+          | _ -> fail "load mix %s: campaign %s did not complete" mix.mix_name id);
+          latencies.((c * mix.campaigns_per_client) + j) <-
+            Unix.gettimeofday () -. start
+        done)
+      ()
+  in
+  let threads = List.init mix.clients client in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  let campaigns = Array.length latencies in
+  Printf.printf
+    "mix %-12s %d clients x %d campaigns: %.2fs wall, %.2f campaigns/s, p50 %.3fs p95 %.3fs p99 %.3fs\n%!"
+    mix.mix_name mix.clients mix.campaigns_per_client wall
+    (float_of_int campaigns /. wall)
+    (percentile latencies 0.50) (percentile latencies 0.95)
+    (percentile latencies 0.99);
+  Json.Obj
+    [
+      ("name", Json.Str mix.mix_name);
+      ("clients", Json.Num (float_of_int mix.clients));
+      ("campaigns", Json.Num (float_of_int campaigns));
+      ("programs_per_campaign", Json.Num (float_of_int mix.mix_programs));
+      ("tests_per_program", Json.Num (float_of_int mix.mix_tests));
+      ("template", Json.Str mix.mix_template);
+      ("setup", Json.Str mix.mix_setup);
+      ("wall_seconds", Json.Num wall);
+      ("throughput_campaigns_per_second", Json.Num (float_of_int campaigns /. wall));
+      ( "latency_seconds",
+        Json.Obj
+          [
+            ("p50", Json.Num (percentile latencies 0.50));
+            ("p95", Json.Num (percentile latencies 0.95));
+            ("p99", Json.Num (percentile latencies 0.99));
+            ("max", Json.Num latencies.(campaigns - 1));
+          ] );
+    ]
+
+let load ~smoke ~out () =
+  let jobs = 2 in
+  let scd = Scheduler.create ~config:(scheduler_config ~jobs ()) () in
+  let srv = start_server scd in
+  let port = Server.port srv in
+  let scale n = if smoke then max 1 (n / 4) else n in
+  let mixes =
+    [
+      {
+        mix_name = "interactive";
+        clients = 2;
+        campaigns_per_client = scale 8;
+        mix_template = "A";
+        mix_setup = "mct-vs-mspec";
+        mix_programs = 2;
+        mix_tests = 2;
+      };
+      {
+        mix_name = "throughput";
+        clients = 4;
+        campaigns_per_client = scale 4;
+        mix_template = "C";
+        mix_setup = "mct-unguided";
+        mix_programs = 4;
+        mix_tests = 3;
+      };
+    ]
+  in
+  Printf.printf "## Service load generator (%s)\n%!" (if smoke then "smoke" else "full");
+  let results = List.map (run_mix ~port) mixes in
+  Server.stop srv;
+  Scheduler.shutdown scd;
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "scamv-service-bench/v1");
+        ("mode", Json.Str (if smoke then "smoke" else "full"));
+        ("server_jobs", Json.Num (float_of_int jobs));
+        ("mixes", Json.Arr results);
+      ]
+  in
+  Out_channel.with_open_bin out (fun oc -> Json.write ~pretty:true oc doc);
+  Printf.printf "service bench written to %s\n%!" out
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let suite () =
+  Printf.printf "## Service smoke suite\n%!";
+  let dir_jobs2 = smoke_two_tenants () in
+  smoke_jobs_identity dir_jobs2;
+  smoke_backpressure_and_cancel ();
+  kill_resume ();
+  Printf.printf "service: all acceptance checks passed\n%!"

@@ -437,7 +437,151 @@ let models_cmd =
   let info = Cmd.info "models" ~doc:"List the available models and validation setups." in
   Cmd.v info Term.(term_result (const run $ const ()))
 
+(* ---- serve command ---- *)
+
+let serve_cmd =
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to listen on.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 8421
+      & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 = pick a free one).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains in the pool shared by all campaigns (0 = all \
+             cores).  Campaign artifacts are byte-identical across $(docv) \
+             levels.")
+  in
+  let state_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist each campaign's journal and metadata under $(docv); \
+             without it campaigns are lost on restart.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Adopt the campaigns already recorded in $(b,--state-dir): \
+             finished ones become streamable again, interrupted ones are \
+             re-enqueued and resumed from their journals.")
+  in
+  let max_backlog_arg =
+    Arg.(
+      value & opt int Scamv_service.Tenant.default_quota.Scamv_service.Tenant.max_backlog
+      & info [ "max-backlog" ] ~docv:"N"
+          ~doc:"Queued campaigns allowed per tenant before submissions get 429.")
+  in
+  let max_active_arg =
+    Arg.(
+      value & opt int Scamv_service.Tenant.default_quota.Scamv_service.Tenant.max_active
+      & info [ "max-active" ] ~docv:"N"
+          ~doc:"Unfinished campaigns allowed per tenant before submissions get 429.")
+  in
+  let frozen_clock_arg =
+    Arg.(
+      value & flag
+      & info [ "frozen-clock" ]
+          ~doc:
+            "Zero every measured duration so campaign artifacts are pure \
+             functions of their parameters (used by the byte-identity \
+             acceptance checks).")
+  in
+  let run host port jobs state_dir resume max_backlog max_active frozen =
+    let ( let* ) = Result.bind in
+    let* () =
+      if jobs < 0 then Error (`Msg "--jobs must be at least 0") else Ok ()
+    in
+    let* () =
+      if max_backlog < 1 || max_active < 1 then
+        Error (`Msg "--max-backlog and --max-active must be at least 1")
+      else Ok ()
+    in
+    let* () =
+      (* A state dir with history from a previous server life must be
+         adopted explicitly: silently ignoring it would reuse tenant
+         sequence numbers and clobber old journals. *)
+      match state_dir with
+      | Some dir when (not resume) && Sys.file_exists dir ->
+        let stale =
+          Sys.readdir dir |> Array.to_list
+          |> List.exists (fun f -> Filename.check_suffix f ".meta.json")
+        in
+        if stale then
+          Error
+            (`Msg
+              (Printf.sprintf
+                 "%s already holds campaigns from a previous run; pass \
+                  --resume to adopt them or choose a fresh directory"
+                 dir))
+        else Ok ()
+      | _ -> Ok ()
+    in
+    let config =
+      {
+        Scamv_service.Scheduler.jobs;
+        state_dir;
+        quota =
+          { Scamv_service.Tenant.max_backlog; max_active };
+        clock =
+          (if frozen then Scamv_util.Stopwatch.frozen else Scamv_util.Stopwatch.wall);
+      }
+    in
+    let scheduler = Scamv_service.Scheduler.create ~config () in
+    let server = Scamv_service.Server.create ~host ~port scheduler in
+    let* () =
+      try
+        Scamv_service.Server.start server;
+        Ok ()
+      with Unix.Unix_error (e, _, _) ->
+        Error (`Msg (Printf.sprintf "cannot listen on %s:%d: %s" host port
+                       (Unix.error_message e)))
+    in
+    Printf.printf "scamv service listening on http://%s:%d\n%!" host
+      (Scamv_service.Server.port server);
+    (* Block until SIGINT/SIGTERM, then drain cooperatively.  The main
+       thread must sleep in short slices: OCaml signal handlers only run
+       when some thread reaches a poll point, and with every other
+       thread parked in accept(2) or Condition.wait a main thread
+       blocked the same way would never wake to see the signal. *)
+    let quitting = ref false in
+    let request_quit _ = quitting := true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_quit);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_quit);
+    while not !quitting do
+      Thread.delay 0.2
+    done;
+    prerr_endline "shutting down...";
+    Scamv_service.Server.stop server;
+    Scamv_service.Scheduler.shutdown scheduler;
+    Ok ()
+  in
+  let term =
+    Term.(
+      const run $ host_arg $ port_arg $ jobs_arg $ state_dir_arg $ resume_arg
+      $ max_backlog_arg $ max_active_arg $ frozen_clock_arg)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the campaign-validation service: campaigns over HTTP with \
+         streamed NDJSON verdicts, multi-tenant quotas and restartable \
+         persistence."
+  in
+  Cmd.v info Term.(term_result term)
+
 let () =
   let doc = "Validation of side-channel models via observation refinement (MICRO'21)" in
   let info = Cmd.info "scamv" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ campaign_cmd; show_cmd; models_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ campaign_cmd; show_cmd; models_cmd; serve_cmd ]))

@@ -28,12 +28,13 @@ type config = {
   deadline : Deadline.spec option;
   chaos : Chaos.t option;
   clock : Stopwatch.clock;
+  cancel : Deadline.t option;
 }
 
 let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
     ?(tests_per_program = 30) ?(seed = 2021L) ?sat_budget ?(portfolio = 1)
     ?(retry = Retry.default) ?faults ?deadline ?chaos
-    ?(clock = Stopwatch.wall) () =
+    ?(clock = Stopwatch.wall) ?cancel () =
   if portfolio < 1 then invalid_arg "Campaign.make: portfolio must be >= 1";
   {
     name;
@@ -52,6 +53,7 @@ let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
     deadline;
     chaos;
     clock;
+    cancel;
   }
 
 type outcome = {
@@ -92,10 +94,11 @@ let load_checkpoint path =
         Some recovery )
   end
 
-let replay stats journal watch events =
+let replay stats journal watch ~on_record events =
   List.iter
     (fun ev ->
       Option.iter (fun j -> Journal.record_event j ev) journal;
+      on_record ev;
       match ev with
       | Journal.Experiment e ->
         stats :=
@@ -139,8 +142,19 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
   let deadline =
     Option.map (fun spec -> Deadline.create ~clock:cfg.clock spec) cfg.deadline
   in
+  (* Campaign-level cooperative cancel (the service's DELETE): when no
+     per-program deadline claims the ambient slot, the cancel token itself
+     goes ambient so the SAT search and blaster poll it and an in-flight
+     program stops mid-enumeration; either way the test-case loop below
+     checks it at every iteration. *)
   let with_deadline f =
-    match deadline with None -> f () | Some d -> Deadline.with_current d f
+    match (deadline, cfg.cancel) with
+    | Some d, _ -> Deadline.with_current d f
+    | None, Some c -> Deadline.with_current c f
+    | None, None -> f ()
+  in
+  let cancelled () =
+    match cfg.cancel with Some c -> Deadline.expired c | None -> false
   in
   (* Any exception in any stage — generation, symbolic execution, relation
      synthesis, SMT enumeration, execution — abandons this program with a
@@ -151,6 +165,7 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
   @@ fun () ->
   with_deadline @@ fun () ->
   (try
+     if cancelled () then raise (Deadline.Expired "campaign cancelled");
      let { Templates.program; template_name }, program_rng =
        Collector.span "generate" (fun () -> Gen.run cfg.template program_rng)
      in
@@ -167,6 +182,7 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
         paper reports average generation time per experiment. *)
      let carry_gen_cost = ref prepare_seconds in
      while !continue_tests && !test_index < cfg.tests_per_program do
+       if cancelled () then raise (Deadline.Expired "campaign cancelled");
        let step, gen_seconds =
          Stopwatch.time ~clock:cfg.clock (fun () -> Pipeline.next_test_case session)
        in
@@ -176,6 +192,7 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
          (* The program's deadline expired mid-enumeration: record what
             was lost and stop drawing test cases — everything produced so
             far stays in the event buffer. *)
+         let reason = if cancelled () then "campaign cancelled" else reason in
          Collector.incr "deadline.hits";
          continue_tests := false;
          emit (Journal.Crashed { campaign = cfg.name; program_index; reason })
@@ -244,7 +261,10 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
     raise fatal
   | Deadline.Expired reason ->
     (* Expiry surfacing outside the pipeline's own handler — during
-       prepare, blasting, or a phase boundary poll. *)
+       prepare, blasting, or a phase boundary poll.  A campaign-level
+       cancel travels the same path; its reason is normalized so the
+       journal reads the same wherever cancellation was observed. *)
+    let reason = if cancelled () then "campaign cancelled" else reason in
     Collector.incr "deadline.hits";
     emit (Journal.Crashed { campaign = cfg.name; program_index; reason })
   | exn ->
@@ -261,11 +281,13 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
    everything observable — journal CSV bytes, checkpoint prefixes, final
    statistics, progress lines — is identical whatever [jobs] was. *)
 
-let merge_program cfg ~on_event ~journal ~watch ~stats ~program_index events =
+let merge_program cfg ~on_event ~on_record ~journal ~watch ~stats ~program_index
+    events =
   let found = ref false in
   List.iter
     (fun ev ->
       Option.iter (fun j -> Journal.record_event j ev) journal;
+      on_record ev;
       match ev with
       | Journal.Experiment e ->
         let verdict = e.Journal.verdict in
@@ -305,8 +327,14 @@ let merge_program cfg ~on_event ~journal ~watch ~stats ~program_index events =
          cfg.name (program_index + 1) cfg.programs (!stats).Stats.experiments
          (!stats).Stats.counterexamples)
 
-let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
-  let jobs = Pool.resolve_jobs jobs in
+let run ?(on_event = fun _ -> ()) ?(on_record = fun (_ : Journal.event) -> ())
+    ?journal ?resume ?pool ?(jobs = 1) cfg =
+  (* When a persistent pool is supplied (the validation service runs every
+     campaign on one long-lived pool), its size plays the role of [jobs];
+     determinism is unaffected because the batch protocol is identical. *)
+  let jobs =
+    match pool with Some p -> Pool.size p | None -> Pool.resolve_jobs jobs
+  in
   let watch = Stopwatch.start ~clock:cfg.clock () in
   let stats = ref Stats.empty in
   let pipeline_cfg =
@@ -342,7 +370,7 @@ let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
   | _ -> ());
   let start_index = min start_index cfg.programs in
   if start_index > 0 then begin
-    replay stats journal watch replayed;
+    replay stats journal watch ~on_record replayed;
     for i = 0 to start_index - 1 do
       let found =
         List.exists
@@ -380,47 +408,52 @@ let run ?(on_event = fun _ -> ()) ?journal ?resume ?(jobs = 1) cfg =
             Collector.add "journal.recovered_records" records;
             if dropped_bytes > 0 then Collector.incr "journal.recovered_tails"
           | None -> ());
-          Pool.run_supervised ~jobs
-            ~tasks:(cfg.programs - start_index)
-            ~fatal:worker_fatal
-            ~on_restart:(fun _ -> Collector.incr "pool.restarts")
-            ~worker:(fun k ->
-              let program_index = start_index + k in
-              (* Chaos site "pool.worker": simulate a worker-domain crash
-                 before this program runs.  Keyed by program index, so the
-                 set of killed programs is independent of jobs level and
-                 resume point. *)
-              (match cfg.chaos with
-              | Some c ->
-                Chaos.kill c ~site:"pool.worker" ~key:(Int64.of_int program_index)
-              | None -> ());
-              run_program cfg pipeline_cfg ~program_index streams.(program_index))
-            ~consume:(fun k result ->
-              let program_index = start_index + k in
-              match result with
-              | Ok (events, report) ->
-                reports_rev := report :: !reports_rev;
-                merge_program cfg ~on_event ~journal ~watch ~stats
-                  ~program_index events
-              | Error { Pool.exn = (Out_of_memory | Sys.Break) as fatal; backtrace }
-                ->
-                (* Whole-process conditions abort the campaign (the
-                   journal holds a resumable checkpoint). *)
-                Printexc.raise_with_backtrace fatal backtrace
-              | Error { Pool.exn; _ } ->
-                (match exn with
-                | Chaos.Killed _ -> Collector.incr "chaos.injections"
-                | _ -> ());
-                let reason =
-                  match exn with
-                  | Chaos.Killed site ->
-                    Printf.sprintf "worker killed by chaos injection (%s)" site
-                  | exn -> "worker crashed: " ^ Printexc.to_string exn
-                in
-                merge_program cfg ~on_event ~journal ~watch ~stats
-                  ~program_index
-                  [ Journal.Crashed { campaign = cfg.name; program_index; reason } ])
-            ()));
+          let tasks = cfg.programs - start_index in
+          let on_restart _ = Collector.incr "pool.restarts" in
+          let worker k =
+            let program_index = start_index + k in
+            (* Chaos site "pool.worker": simulate a worker-domain crash
+               before this program runs.  Keyed by program index, so the
+               set of killed programs is independent of jobs level and
+               resume point. *)
+            (match cfg.chaos with
+            | Some c ->
+              Chaos.kill c ~site:"pool.worker" ~key:(Int64.of_int program_index)
+            | None -> ());
+            run_program cfg pipeline_cfg ~program_index streams.(program_index)
+          in
+          let consume k result =
+            let program_index = start_index + k in
+            match result with
+            | Ok (events, report) ->
+              reports_rev := report :: !reports_rev;
+              merge_program cfg ~on_event ~on_record ~journal ~watch ~stats
+                ~program_index events
+            | Error { Pool.exn = (Out_of_memory | Sys.Break) as fatal; backtrace }
+              ->
+              (* Whole-process conditions abort the campaign (the
+                 journal holds a resumable checkpoint). *)
+              Printexc.raise_with_backtrace fatal backtrace
+            | Error { Pool.exn; _ } ->
+              (match exn with
+              | Chaos.Killed _ -> Collector.incr "chaos.injections"
+              | _ -> ());
+              let reason =
+                match exn with
+                | Chaos.Killed site ->
+                  Printf.sprintf "worker killed by chaos injection (%s)" site
+                | exn -> "worker crashed: " ^ Printexc.to_string exn
+              in
+              merge_program cfg ~on_event ~on_record ~journal ~watch ~stats
+                ~program_index
+                [ Journal.Crashed { campaign = cfg.name; program_index; reason } ]
+          in
+          match pool with
+          | Some p ->
+            Pool.exec p ~tasks ~fatal:worker_fatal ~on_restart ~worker ~consume ()
+          | None ->
+            Pool.run_supervised ~jobs ~tasks ~fatal:worker_fatal ~on_restart
+              ~worker ~consume ()));
   let telemetry =
     List.fold_left Collector.merge_reports
       (Collector.report campaign_collector)

@@ -51,6 +51,16 @@ type config = {
           {!Scamv_util.Stopwatch.frozen} makes every timing field 0 and
           campaign output fully deterministic (used by the
           reproducibility tests) *)
+  cancel : Scamv_util.Deadline.t option;
+      (** campaign-level cooperative cancel token (the validation
+          service's [DELETE /campaigns/:id]): once another thread calls
+          {!Scamv_util.Deadline.cancel} on it, in-flight programs stop at
+          their next poll and every remaining program is recorded as
+          crashed with reason ["campaign cancelled"] — the campaign
+          drains quickly but still returns a complete, journaled
+          outcome.  When no per-program [deadline] is set the token goes
+          ambient inside workers, so even a long SAT enumeration is
+          interrupted at its next conflict. *)
 }
 
 val make :
@@ -68,6 +78,7 @@ val make :
   ?deadline:Scamv_util.Deadline.spec ->
   ?chaos:Scamv_util.Chaos.t ->
   ?clock:Scamv_util.Stopwatch.clock ->
+  ?cancel:Scamv_util.Deadline.t ->
   unit ->
   config
 
@@ -88,8 +99,10 @@ type outcome = {
 
 val run :
   ?on_event:(string -> unit) ->
+  ?on_record:(Journal.event -> unit) ->
   ?journal:Journal.t ->
   ?resume:string ->
+  ?pool:Scamv_util.Pool.t ->
   ?jobs:int ->
   config ->
   outcome
@@ -97,6 +110,19 @@ val run :
     messages (program counts, first counterexample, quarantines,
     failures, ...); every event is appended to [journal] when one is
     supplied.
+
+    [on_record] is the incremental record hook the validation service
+    streams from: it receives every {!Journal.event} — including events
+    replayed from a [resume] journal — on the calling domain, in program
+    order, at the moment the event is merged (i.e. as each program
+    completes, not at campaign end).  The sequence of events delivered to
+    [on_record] is exactly the sequence recorded into [journal].
+
+    [pool] runs the per-program pipelines on a persistent
+    {!Scamv_util.Pool} instead of spawning domains for this call; the
+    pool's size then plays the role of [jobs].  Campaign artifacts are
+    identical either way — the service uses this to share one warmed-up
+    pool across many campaigns.
 
     [jobs] (default [1]) is the number of worker domains running program
     pipelines concurrently; [0] means all cores

@@ -188,6 +188,60 @@ let verdict_counts t =
       | Executor.Inconclusive -> (d, i, u + 1))
     (0, 0, 0) (entries t)
 
+(* ---- JSON rendering (the service wire format) ----
+
+   One JSON object per event, field order fixed, every number integral or
+   printed via the Json emitter — so the rendered bytes are a pure
+   function of the event and the validation service can assert that a
+   streamed campaign is byte-identical to a batch run by comparing these
+   strings directly. *)
+
+let event_to_json ev =
+  let module J = Scamv_util.Json in
+  match ev with
+  | Experiment e ->
+    J.Obj
+      [
+        ("kind", J.Str "experiment");
+        ("campaign", J.Str e.campaign);
+        ("program", J.Num (float_of_int e.program_index));
+        ("test", J.Num (float_of_int e.test_index));
+        ("template", J.Str e.template);
+        ("path1", J.Num (float_of_int (fst e.path_pair)));
+        ("path2", J.Num (float_of_int (snd e.path_pair)));
+        ("verdict", J.Str (verdict_string e.verdict));
+        ("gen_seconds", J.Num e.generation_seconds);
+        ("exe_seconds", J.Num e.execution_seconds);
+        ("retries", J.Num (float_of_int e.retries));
+        ("faults", J.Num (float_of_int e.faults));
+      ]
+  | Quarantined q ->
+    J.Obj
+      [
+        ("kind", J.Str "quarantined");
+        ("campaign", J.Str q.campaign);
+        ("program", J.Num (float_of_int q.program_index));
+        ("path1", J.Num (float_of_int (fst q.pair)));
+        ("path2", J.Num (float_of_int (snd q.pair)));
+        ("reason", J.Str q.reason);
+      ]
+  | Program_failed f ->
+    J.Obj
+      [
+        ("kind", J.Str "program-failed");
+        ("campaign", J.Str f.campaign);
+        ("program", J.Num (float_of_int f.program_index));
+        ("reason", J.Str f.reason);
+      ]
+  | Crashed c ->
+    J.Obj
+      [
+        ("kind", J.Str "crashed");
+        ("campaign", J.Str c.campaign);
+        ("program", J.Num (float_of_int c.program_index));
+        ("reason", J.Str c.reason);
+      ]
+
 let to_csv t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf csv_header;

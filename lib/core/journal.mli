@@ -84,6 +84,12 @@ val counterexamples : t -> entry list
 val verdict_counts : t -> int * int * int
 (** (distinguishable, indistinguishable, inconclusive). *)
 
+val event_to_json : event -> Scamv_util.Json.t
+(** One JSON object per event (fixed field order), the validation
+    service's wire rendering: [Scamv_util.Json.to_string] of this value is
+    a pure function of the event, so a server-streamed campaign can be
+    checked byte-for-byte against a batch run's journal. *)
+
 val to_csv : t -> string
 (** v1 snapshot: header plus one CSV row per event; fields are
     comma-separated, free-form strings (campaign, template, reason)

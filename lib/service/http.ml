@@ -1,0 +1,204 @@
+(* Minimal HTTP/1.1 server-side protocol support, hand-rolled over
+   buffered channels so the service needs no dependencies beyond [Unix].
+   Only what the validation service uses is implemented: one request per
+   connection (the server always answers [Connection: close]),
+   [Content-Length] request bodies, fixed-length responses and chunked
+   transfer encoding for the NDJSON verdict streams. *)
+
+exception Bad_request of string
+
+type request = {
+  meth : string;  (** uppercase method, e.g. ["GET"] *)
+  target : string;  (** raw request target as received *)
+  path : string;  (** percent-decoded path, query stripped *)
+  query : (string * string) list;
+  headers : (string * string) list;  (** names lowercased *)
+  body : string;
+}
+
+let max_line_bytes = 8192
+let max_headers = 64
+let max_body_bytes = 4 * 1024 * 1024
+
+(* ---- parsing ---- *)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> raise (Bad_request "malformed percent-escape")
+
+let percent_decode ?(plus_as_space = false) s =
+  if not (String.contains s '%' || (plus_as_space && String.contains s '+'))
+  then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (match s.[!i] with
+      | '%' ->
+        if !i + 2 >= n then raise (Bad_request "truncated percent-escape");
+        Buffer.add_char b
+          (Char.chr ((hex_value s.[!i + 1] * 16) + hex_value s.[!i + 2]));
+        i := !i + 2
+      | '+' when plus_as_space -> Buffer.add_char b ' '
+      | c -> Buffer.add_char b c);
+      incr i
+    done;
+    Buffer.contents b
+  end
+
+let parse_query q =
+  if q = "" then []
+  else
+    String.split_on_char '&' q
+    |> List.filter_map (fun pair ->
+           if pair = "" then None
+           else
+             let key, value =
+               match String.index_opt pair '=' with
+               | None -> (pair, "")
+               | Some i ->
+                 ( String.sub pair 0 i,
+                   String.sub pair (i + 1) (String.length pair - i - 1) )
+             in
+             Some
+               ( percent_decode ~plus_as_space:true key,
+                 percent_decode ~plus_as_space:true value ))
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (percent_decode target, [])
+  | Some i ->
+    ( percent_decode (String.sub target 0 i),
+      parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+
+(* Read one CRLF- (or bare-LF-) terminated line, without the terminator.
+   Raises [Bad_request] past [max_line_bytes]; returns [None] on EOF
+   before any byte (a closed keep-alive connection). *)
+let read_line_opt ic =
+  let b = Buffer.create 128 in
+  let rec loop () =
+    match input_char ic with
+    | exception End_of_file -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | '\n' ->
+      let s = Buffer.contents b in
+      let len = String.length s in
+      Some (if len > 0 && s.[len - 1] = '\r' then String.sub s 0 (len - 1) else s)
+    | c ->
+      if Buffer.length b >= max_line_bytes then raise (Bad_request "header line too long");
+      Buffer.add_char b c;
+      loop ()
+  in
+  loop ()
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> raise (Bad_request "malformed header line")
+  | Some i ->
+    let name = String.lowercase_ascii (String.sub line 0 i) in
+    let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    if name = "" then raise (Bad_request "empty header name");
+    (name, value)
+
+let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let query req name = List.assoc_opt name req.query
+
+let read_request ic =
+  match read_line_opt ic with
+  | None -> None
+  | Some request_line ->
+    let meth, target, version =
+      match String.split_on_char ' ' request_line with
+      | [ m; t; v ] -> (m, t, v)
+      | _ -> raise (Bad_request "malformed request line")
+    in
+    if not (version = "HTTP/1.1" || version = "HTTP/1.0") then
+      raise (Bad_request ("unsupported protocol version " ^ version));
+    if meth = "" || target = "" then raise (Bad_request "malformed request line");
+    let rec read_headers acc n =
+      if n > max_headers then raise (Bad_request "too many headers");
+      match read_line_opt ic with
+      | None -> raise (Bad_request "connection closed mid-headers")
+      | Some "" -> List.rev acc
+      | Some line -> read_headers (parse_header line :: acc) (n + 1)
+    in
+    let headers = read_headers [] 0 in
+    let body =
+      match List.assoc_opt "content-length" headers with
+      | None -> ""
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | None -> raise (Bad_request "malformed Content-Length")
+        | Some n when n < 0 -> raise (Bad_request "malformed Content-Length")
+        | Some n when n > max_body_bytes -> raise (Bad_request "request body too large")
+        | Some n -> (
+          try really_input_string ic n
+          with End_of_file -> raise (Bad_request "connection closed mid-body")))
+    in
+    let path, query = split_target target in
+    Some { meth = String.uppercase_ascii meth; target; path; query; headers; body }
+
+(* ---- responses ---- *)
+
+let status_reason = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c -> if c < 400 then "OK" else "Error"
+
+let write_head oc ~status headers =
+  Printf.fprintf oc "HTTP/1.1 %d %s\r\n" status (status_reason status);
+  List.iter (fun (k, v) -> Printf.fprintf oc "%s: %s\r\n" k v) headers;
+  output_string oc "\r\n"
+
+let respond ?(headers = []) ?(content_type = "text/plain; charset=utf-8") oc
+    ~status body =
+  write_head oc ~status
+    (("Content-Type", content_type)
+    :: ("Content-Length", string_of_int (String.length body))
+    :: ("Connection", "close") :: headers);
+  output_string oc body;
+  flush oc
+
+let respond_json ?(status = 200) ?(headers = []) oc json =
+  respond ~headers ~content_type:"application/json" oc ~status
+    (Scamv_util.Json.to_string json ^ "\n")
+
+(* ---- chunked streaming ---- *)
+
+type stream = { oc : out_channel; mutable open_ : bool }
+
+let start_stream ?(headers = []) ?(content_type = "application/x-ndjson") oc
+    ~status =
+  write_head oc ~status
+    (("Content-Type", content_type)
+    :: ("Transfer-Encoding", "chunked")
+    :: ("Connection", "close") :: headers);
+  flush oc;
+  { oc; open_ = true }
+
+let stream_chunk st data =
+  if st.open_ && String.length data > 0 then begin
+    Printf.fprintf st.oc "%x\r\n" (String.length data);
+    output_string st.oc data;
+    output_string st.oc "\r\n";
+    flush st.oc
+  end
+
+let stream_close st =
+  if st.open_ then begin
+    st.open_ <- false;
+    output_string st.oc "0\r\n\r\n";
+    flush st.oc
+  end

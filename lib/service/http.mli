@@ -1,0 +1,73 @@
+(** Minimal server-side HTTP/1.1, hand-rolled over buffered channels —
+    the validation service's wire layer, with no dependencies beyond the
+    compiler-shipped [Unix] and [Threads] libraries.
+
+    Scope: one request per connection (every response carries
+    [Connection: close]), [Content-Length] request bodies (4 MiB cap),
+    fixed-length responses, and chunked transfer encoding for the NDJSON
+    verdict streams.  Request smuggling vectors (pipelining,
+    [Transfer-Encoding] request bodies) are simply rejected by omission. *)
+
+exception Bad_request of string
+(** Raised by {!read_request} on any protocol violation; the server turns
+    it into a 400 response. *)
+
+type request = {
+  meth : string;  (** uppercase method, e.g. ["GET"] *)
+  target : string;  (** raw request target as received *)
+  path : string;  (** percent-decoded path, query string stripped *)
+  query : (string * string) list;  (** decoded query parameters, in order *)
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+val read_request : in_channel -> request option
+(** Read one request (head and body).  [None] means the peer closed the
+    connection before sending anything.
+    @raise Bad_request on malformed or oversized input. *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query : request -> string -> string option
+(** First query parameter with the given (already-decoded) name. *)
+
+val percent_decode : ?plus_as_space:bool -> string -> string
+(** @raise Bad_request on a truncated or non-hex escape. *)
+
+val status_reason : int -> string
+
+val respond :
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  out_channel ->
+  status:int ->
+  string ->
+  unit
+(** Write a complete fixed-length response and flush. *)
+
+val respond_json :
+  ?status:int -> ?headers:(string * string) list -> out_channel -> Scamv_util.Json.t -> unit
+(** {!respond} with [application/json] and a trailing newline. *)
+
+(** {2 Chunked streaming} *)
+
+type stream
+
+val start_stream :
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  out_channel ->
+  status:int ->
+  stream
+(** Write the response head with [Transfer-Encoding: chunked] (default
+    content type [application/x-ndjson]) and return a handle for the
+    body. *)
+
+val stream_chunk : stream -> string -> unit
+(** Send one chunk (empty strings are skipped — an empty chunk would
+    terminate the encoding) and flush, so the client sees each NDJSON
+    line as soon as the verdict lands. *)
+
+val stream_close : stream -> unit
+(** Send the terminating zero-length chunk.  Idempotent. *)

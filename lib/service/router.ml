@@ -1,0 +1,52 @@
+(* Path routing: fixed segments and [:name] binders, method-aware so a
+   known path with the wrong method yields 405 rather than 404. *)
+
+type 'a route = {
+  meth : string;
+  pattern : string list;  (* segments; ":name" binds *)
+  handler : (string * string) list -> 'a;
+}
+
+type 'a t = 'a route list
+
+type 'a outcome =
+  | Matched of 'a
+  | Method_not_allowed of string list  (** allowed methods for the path *)
+  | Not_found
+
+let segments path = List.filter (fun s -> s <> "") (String.split_on_char '/' path)
+
+let route meth pattern handler =
+  { meth = String.uppercase_ascii meth; pattern = segments pattern; handler }
+
+let create routes = routes
+
+let rec match_segments pattern segs params =
+  match (pattern, segs) with
+  | [], [] -> Some (List.rev params)
+  | p :: pattern', s :: segs' ->
+    if String.length p > 0 && p.[0] = ':' then
+      let name = String.sub p 1 (String.length p - 1) in
+      match_segments pattern' segs' ((name, s) :: params)
+    else if p = s then match_segments pattern' segs' params
+    else None
+  | _ -> None
+
+let dispatch t ~meth ~path =
+  let meth = String.uppercase_ascii meth in
+  let segs = segments path in
+  let matches =
+    List.filter_map
+      (fun r ->
+        match match_segments r.pattern segs [] with
+        | Some params -> Some (r, params)
+        | None -> None)
+      t
+  in
+  match List.find_opt (fun (r, _) -> r.meth = meth) matches with
+  | Some (r, params) -> Matched (r.handler params)
+  | None -> (
+    match matches with
+    | [] -> Not_found
+    | _ :: _ ->
+      Method_not_allowed (List.sort_uniq compare (List.map (fun (r, _) -> r.meth) matches)))

@@ -1,0 +1,25 @@
+(** Tiny method-aware path router for the service's fixed route table.
+
+    Patterns are slash-separated segments; a segment starting with [':']
+    binds the corresponding request segment under that name, e.g.
+    ["/campaigns/:id/stream"].  Trailing slashes are insignificant
+    (segments are compared after dropping empties). *)
+
+type 'a route
+type 'a t
+
+type 'a outcome =
+  | Matched of 'a
+  | Method_not_allowed of string list
+      (** the path matched other routes; carries their methods, sorted,
+          for the [Allow] header of a 405 *)
+  | Not_found
+
+val route : string -> string -> ((string * string) list -> 'a) -> 'a route
+(** [route meth pattern handler]: [handler] receives the bound
+    [:name] parameters in pattern order. *)
+
+val create : 'a route list -> 'a t
+(** First matching route with the right method wins, in list order. *)
+
+val dispatch : 'a t -> meth:string -> path:string -> 'a outcome

@@ -1,0 +1,450 @@
+(* The service's brain: admission control, per-tenant FIFO queues served
+   round-robin by a single runner thread, one persistent worker pool
+   shared across campaigns, and journal-backed persistence so a restarted
+   server resumes in-flight campaigns.
+
+   Concurrency model: one mutex guards all scheduler state (tenant table,
+   session table, queues, counters).  The runner thread takes a session
+   out under the lock, runs the campaign with the lock released, and
+   re-acquires it only to publish the result.  Sessions have their own
+   locks (see Session), and the ordering discipline is strictly
+   scheduler lock -> session lock, never the reverse. *)
+
+module Json = Scamv_util.Json
+module Deadline = Scamv_util.Deadline
+module Stopwatch = Scamv_util.Stopwatch
+module Pool = Scamv_util.Pool
+module Metrics = Scamv_telemetry.Metrics
+module Campaign = Scamv.Campaign
+module Journal = Scamv.Journal
+
+type config = {
+  jobs : int;
+  state_dir : string option;
+  quota : Tenant.quota;
+  clock : Stopwatch.clock;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    state_dir = None;
+    quota = Tenant.default_quota;
+    clock = Stopwatch.wall;
+  }
+
+type submit_error = Invalid of string | Busy of Tenant.rejection | Stopped
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  work : Condition.t;  (** signalled on submit/stop; runner waits here *)
+  idle : Condition.t;  (** broadcast when the runner finishes a session *)
+  tenants : (string, Tenant.t) Hashtbl.t;
+  sessions : (string, Session.t) Hashtbl.t;
+  pool : Pool.t;
+  mutable rr : string list;  (** tenant round-robin order *)
+  mutable submitted : int;  (** global submission counter *)
+  mutable stopping : bool;
+  mutable current : Session.t option;
+  mutable runner : Thread.t option;
+  mutable server_metrics : Metrics.t;  (** request/session counters *)
+  mutable campaign_metrics : Metrics.t;  (** merged campaign telemetry *)
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let bump ?(n = 1) t name = locked t (fun () -> t.server_metrics <- Metrics.add name n t.server_metrics)
+
+(* ---- persistence ---- *)
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc content;
+  close_out oc;
+  Sys.rename tmp path
+
+let persist_meta s =
+  match s.Session.meta_path with
+  | None -> ()
+  | Some path ->
+    write_atomic path (Json.to_string ~pretty:true (Session.meta_json s))
+
+let session_paths cfg id =
+  match cfg.state_dir with
+  | None -> (None, None)
+  | Some dir ->
+    (Some (Filename.concat dir (id ^ ".journal")),
+     Some (Filename.concat dir (id ^ ".meta.json")))
+
+(* ---- tenant bookkeeping (all under the scheduler lock) ---- *)
+
+let tenant_of t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some ten -> ten
+  | None ->
+    let ten = Tenant.create ~name ~quota:t.cfg.quota in
+    Hashtbl.replace t.tenants name ten;
+    t.rr <- t.rr @ [ name ];
+    ten
+
+(* Round-robin pick: first tenant (in rr order) with pending work wins
+   and moves to the back; the others keep their relative order. *)
+let pick t =
+  let rec go seen = function
+    | [] -> None
+    | name :: rest -> (
+      let ten = Hashtbl.find t.tenants name in
+      match Queue.take_opt ten.Tenant.pending with
+      | None -> go (name :: seen) rest
+      | Some id ->
+        t.rr <- List.rev_append seen rest @ [ name ];
+        Some (Hashtbl.find t.sessions id))
+  in
+  go [] t.rr
+
+let queued_count t =
+  Hashtbl.fold (fun _ ten acc -> acc + Queue.length ten.Tenant.pending) t.tenants 0
+
+(* ---- campaign execution ---- *)
+
+let build_config t s =
+  let ( let* ) = Result.bind in
+  let p = s.Session.params in
+  let* template = Workload.lookup_template p.Session.template in
+  let* setup = Workload.lookup_setup p.Session.setup in
+  let sat_budget =
+    if p.Session.max_conflicts > 0 then
+      Some (Scamv_smt.Sat.budget ~conflicts:p.Session.max_conflicts ())
+    else None
+  in
+  let deadline =
+    if p.Session.deadline_conflicts > 0 then
+      Some (Deadline.Conflicts p.Session.deadline_conflicts)
+    else None
+  in
+  Ok
+    (Campaign.make ~name:s.Session.campaign_name ~template ~setup
+       ~view:(Workload.view_for p.Session.setup) ~programs:p.Session.programs
+       ~tests_per_program:p.Session.tests_per_program ~seed:s.Session.seed
+       ?sat_budget ~portfolio:p.Session.portfolio ?deadline ~clock:t.cfg.clock
+       ~cancel:s.Session.cancel ())
+
+let finish_counter = function
+  | Session.Completed -> "service.campaigns.completed"
+  | Session.Cancelled -> "service.campaigns.cancelled"
+  | _ -> "service.campaigns.failed"
+
+let run_session t s =
+  Session.set_state s Session.Running;
+  persist_meta s;
+  (match build_config t s with
+  | Error msg -> Session.conclude s (Session.Failed msg) ()
+  | Ok cfg -> (
+    let journal = Journal.create ?path:s.Session.journal_path () in
+    let resume =
+      match s.Session.resume_from with
+      | Some p when Sys.file_exists p -> Some p
+      | _ -> None
+    in
+    let result =
+      try
+        Ok
+          (Campaign.run
+             ~on_event:(fun m -> Session.push_line s (Session.progress_line m))
+             ~on_record:(fun ev -> Session.push_line s (Session.record_line ev))
+             ~journal ?resume ~pool:t.pool cfg)
+      with
+      | Pool.Shut_down -> Error "service shutting down"
+      | e -> Error (Printexc.to_string e)
+    in
+    Journal.close journal;
+    match result with
+    | Ok outcome ->
+      let final =
+        if Deadline.expired s.Session.cancel then Session.Cancelled
+        else Session.Completed
+      in
+      Session.conclude s final
+        ~stats:(Session.stats_json outcome.Campaign.stats)
+        ~wall_seconds:outcome.Campaign.wall_seconds ();
+      locked t (fun () ->
+          t.campaign_metrics <-
+            Metrics.merge t.campaign_metrics
+              outcome.Campaign.telemetry.Scamv_telemetry.Collector.metrics)
+    | Error reason -> Session.conclude s (Session.Failed reason) ()));
+  persist_meta s;
+  bump t (finish_counter (Session.state s))
+
+let rec runner_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if t.stopping then None
+    else
+      match pick t with
+      | Some s -> Some s
+      | None ->
+        Condition.wait t.work t.lock;
+        next ()
+  in
+  match next () with
+  | None -> Mutex.unlock t.lock
+  | Some s ->
+    t.current <- Some s;
+    Mutex.unlock t.lock;
+    run_session t s;
+    Mutex.lock t.lock;
+    t.current <- None;
+    Tenant.finish (Hashtbl.find t.tenants s.Session.tenant);
+    Condition.broadcast t.idle;
+    Mutex.unlock t.lock;
+    runner_loop t
+
+(* ---- restart recovery ---- *)
+
+(* Re-populate sessions from the state directory's <id>.meta.json files:
+   terminal sessions get their stream lines rebuilt from the journal so
+   late readers still see the full sequence; non-terminal ones are
+   re-enqueued (in original submission order) with the journal as a
+   resume checkpoint, so completed programs replay instead of re-running. *)
+let recover t dir =
+  let metas =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".meta.json")
+    |> List.filter_map (fun f ->
+           let path = Filename.concat dir f in
+           let read () =
+             let ic = open_in_bin path in
+             let n = in_channel_length ic in
+             let s = really_input_string ic n in
+             close_in ic;
+             s
+           in
+           match Session.meta_of_json (Json.of_string (read ())) with
+           | Ok m -> Some m
+           | Error _ | (exception Json.Parse_error _) | (exception Sys_error _) ->
+             None)
+    |> List.sort (fun a b ->
+           compare a.Session.meta_submitted b.Session.meta_submitted)
+  in
+  List.iter
+    (fun (m : Session.meta) ->
+      let id = m.Session.meta_id in
+      let tenant = m.Session.meta_tenant in
+      let seed = Option.get m.Session.meta_params.Session.seed in
+      let journal_path, meta_path = session_paths t.cfg id in
+      let s =
+        Session.create ~id ~tenant ~params:m.Session.meta_params ~seed
+          ~campaign_name:
+            (Workload.campaign_name
+               ~setup:m.Session.meta_params.Session.setup
+               ~template:m.Session.meta_params.Session.template)
+          ?journal_path ?meta_path ~submitted:m.Session.meta_submitted ()
+      in
+      let ten = tenant_of t tenant in
+      (* Restore the tenant's sequence high-water mark from the id's
+         numeric suffix so future namespace seeds never repeat. *)
+      (match String.rindex_opt id '-' with
+      | Some i -> (
+        match int_of_string_opt (String.sub id (i + 1) (String.length id - i - 1)) with
+        | Some seq when seq >= ten.Tenant.sequence -> ten.Tenant.sequence <- seq + 1
+        | _ -> ())
+      | None -> ());
+      Hashtbl.replace t.sessions id s;
+      t.submitted <- max t.submitted (m.Session.meta_submitted + 1);
+      let terminal =
+        match m.Session.meta_state with
+        | "completed" -> Some Session.Completed
+        | "cancelled" -> Some Session.Cancelled
+        | "failed" ->
+          Some (Session.Failed (Option.value ~default:"unknown" m.Session.meta_reason))
+        | _ -> None
+      in
+      match terminal with
+      | Some st ->
+        (match journal_path with
+        | Some p when Sys.file_exists p ->
+          let j, _recovery = Journal.load ~path:p in
+          List.iter
+            (fun ev -> Session.push_line s (Session.record_line ev))
+            (Journal.events j)
+        | _ -> ());
+        Session.conclude s st ?stats:m.Session.meta_stats
+          ~wall_seconds:m.Session.meta_wall_seconds ()
+      | None ->
+        ten.Tenant.active <- ten.Tenant.active + 1;
+        (match journal_path with
+        | Some p when Sys.file_exists p -> s.Session.resume_from <- Some p
+        | _ -> ());
+        Queue.push id ten.Tenant.pending)
+    metas
+
+(* ---- public interface ---- *)
+
+let create ?(config = default_config) ?(start = true) () =
+  let t =
+    {
+      cfg = config;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      tenants = Hashtbl.create 8;
+      sessions = Hashtbl.create 32;
+      pool = Pool.create ~size:(Pool.resolve_jobs config.jobs);
+      rr = [];
+      submitted = 0;
+      stopping = false;
+      current = None;
+      runner = None;
+      server_metrics = Metrics.empty;
+      campaign_metrics = Metrics.empty;
+    }
+  in
+  (match config.state_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    recover t dir);
+  if start then t.runner <- Some (Thread.create runner_loop t);
+  t
+
+let submit t ~tenant params =
+  let ( let* ) = Result.bind in
+  let validated =
+    let* tenant = Result.map_error (fun e -> Invalid e) (Tenant.validate_name tenant) in
+    let* _ =
+      Result.map_error (fun e -> Invalid e)
+        (Workload.lookup_template params.Session.template)
+    in
+    let* _ =
+      Result.map_error (fun e -> Invalid e)
+        (Workload.lookup_setup params.Session.setup)
+    in
+    Ok tenant
+  in
+  match validated with
+  | Error e -> Error e
+  | Ok tenant ->
+    locked t (fun () ->
+        if t.stopping then Error Stopped
+        else
+          let ten = tenant_of t tenant in
+          match Tenant.admit ten with
+          | Error r -> Error (Busy r)
+          | Ok seq ->
+            let seed =
+              match params.Session.seed with
+              | Some s -> s
+              | None -> Tenant.derive_seed ~tenant ~sequence:seq
+            in
+            let id = Printf.sprintf "%s-%d" tenant seq in
+            let submitted = t.submitted in
+            t.submitted <- submitted + 1;
+            let journal_path, meta_path = session_paths t.cfg id in
+            let s =
+              Session.create ~id ~tenant ~params ~seed
+                ~campaign_name:
+                  (Workload.campaign_name ~setup:params.Session.setup
+                     ~template:params.Session.template)
+                ?journal_path ?meta_path ~submitted ()
+            in
+            Hashtbl.replace t.sessions id s;
+            Queue.push id ten.Tenant.pending;
+            persist_meta s;
+            t.server_metrics <- Metrics.incr "service.campaigns.submitted" t.server_metrics;
+            Condition.broadcast t.work;
+            Ok s)
+
+let find t id = locked t (fun () -> Hashtbl.find_opt t.sessions id)
+
+let list t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+      |> List.sort (fun a b -> compare a.Session.submitted b.Session.submitted))
+
+(* Cancel a session (the DELETE handler).  Queued sessions cancel
+   immediately (dequeued, terminal, done-line pushed); a running session
+   gets its cancel token expired and drains cooperatively — the runner
+   publishes the Cancelled state when the campaign returns.  Returns
+   false when the session was already terminal. *)
+let cancel t s =
+  locked t (fun () ->
+      match Session.state s with
+      | st when Session.is_terminal st -> false
+      | Session.Running ->
+        Deadline.cancel s.Session.cancel;
+        true
+      | _ ->
+        let ten = Hashtbl.find t.tenants s.Session.tenant in
+        let keep = Queue.create () in
+        Queue.iter
+          (fun id -> if id <> s.Session.id then Queue.push id keep)
+          ten.Tenant.pending;
+        Queue.clear ten.Tenant.pending;
+        Queue.transfer keep ten.Tenant.pending;
+        Tenant.finish ten;
+        Session.conclude s Session.Cancelled ();
+        persist_meta s;
+        t.server_metrics <- Metrics.incr "service.campaigns.cancelled" t.server_metrics;
+        true)
+
+let drain t =
+  locked t (fun () ->
+      while t.current <> None || queued_count t > 0 do
+        Condition.wait t.idle t.lock
+      done)
+
+let stopped t = locked t (fun () -> t.stopping)
+
+let metrics_snapshot t =
+  locked t (fun () ->
+      let m = Metrics.merge t.campaign_metrics t.server_metrics in
+      let m =
+        Metrics.set_gauge "service.sessions.queued"
+          (float_of_int (queued_count t)) m
+      in
+      let m =
+        Metrics.set_gauge "service.sessions.running"
+          (match t.current with Some _ -> 1.0 | None -> 0.0)
+          m
+      in
+      let m =
+        Metrics.set_gauge "service.sessions.total"
+          (float_of_int (Hashtbl.length t.sessions))
+          m
+      in
+      Metrics.set_gauge "service.tenants" (float_of_int (Hashtbl.length t.tenants)) m)
+
+let shutdown t =
+  let proceed =
+    locked t (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          (* Queued sessions will never run: cancel them now. *)
+          Hashtbl.iter
+            (fun _ ten ->
+              Queue.iter
+                (fun id ->
+                  let s = Hashtbl.find t.sessions id in
+                  Session.conclude s Session.Cancelled ();
+                  persist_meta s;
+                  Tenant.finish ten)
+                ten.Tenant.pending;
+              Queue.clear ten.Tenant.pending)
+            t.tenants;
+          (* The running campaign drains at its next cancellation poll. *)
+          (match t.current with
+          | Some s -> Deadline.cancel s.Session.cancel
+          | None -> ());
+          Condition.broadcast t.work;
+          true
+        end)
+  in
+  if proceed then begin
+    (match t.runner with Some th -> Thread.join th | None -> ());
+    Pool.shutdown t.pool
+  end

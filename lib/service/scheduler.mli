@@ -1,0 +1,73 @@
+(** The service's brain: admission control with per-tenant quotas,
+    per-tenant FIFO queues served round-robin by a single runner thread,
+    one persistent {!Scamv_util.Pool} shared across campaigns, and
+    journal-backed persistence so a restarted server resumes in-flight
+    campaigns.
+
+    Determinism: campaigns execute one at a time (the runner thread), on
+    a shared pool, with per-campaign seeds resolved at admission — so a
+    served campaign's journal and record stream are byte-identical to a
+    batch CLI run of the same (template, setup, seed, programs, tests)
+    under the same clock, regardless of what other tenants are doing. *)
+
+type config = {
+  jobs : int;  (** worker-pool size shared by all campaigns; 0 = all cores *)
+  state_dir : string option;
+      (** where [<id>.journal] / [<id>.meta.json] live; [None] = no
+          persistence (campaigns are lost on restart) *)
+  quota : Tenant.quota;  (** applied to every tenant *)
+  clock : Scamv_util.Stopwatch.clock;
+      (** campaign time source; {!Scamv_util.Stopwatch.frozen} makes all
+          streamed artifacts fully deterministic *)
+}
+
+val default_config : config
+(** 1 job, no state dir, {!Tenant.default_quota}, wall clock. *)
+
+type submit_error =
+  | Invalid of string  (** bad tenant name, template or setup -> 400 *)
+  | Busy of Tenant.rejection  (** quota/backlog rejection -> 429 *)
+  | Stopped  (** server shutting down -> 503 *)
+
+type t
+
+val create : ?config:config -> ?start:bool -> unit -> t
+(** Build a scheduler; when [config.state_dir] is set, recover previously
+    persisted sessions first (terminal sessions get their stream lines
+    rebuilt from the journal; unfinished ones are re-enqueued in original
+    submission order with the journal as a resume checkpoint).
+    [start = false] skips the runner thread — admission-control unit
+    tests use this to exercise queues without running campaigns. *)
+
+val submit :
+  t -> tenant:string -> Session.params -> (Session.t, submit_error) result
+(** Validate, apply the tenant quota, resolve the seed (submitted seed or
+    the tenant namespace draw), persist the session meta and enqueue. *)
+
+val find : t -> string -> Session.t option
+val list : t -> Session.t list
+(** All known sessions in submission order. *)
+
+val cancel : t -> Session.t -> bool
+(** Queued sessions cancel immediately; a running one gets its cancel
+    token expired and drains cooperatively (every unfinished program is
+    journaled as crashed with reason ["campaign cancelled"]).  [false]
+    when already terminal. *)
+
+val drain : t -> unit
+(** Block until no session is queued or running.  Test/smoke helper;
+    requires the runner thread ([start = true]). *)
+
+val stopped : t -> bool
+
+val bump : ?n:int -> t -> string -> unit
+(** Add to a server-side counter (the HTTP layer's request counters). *)
+
+val metrics_snapshot : t -> Scamv_telemetry.Metrics.t
+(** Merged campaign telemetry + server counters + session/tenant gauges —
+    the [GET /metrics] source. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, cancel queued sessions, cooperatively cancel the
+    running campaign, join the runner thread and shut the pool down.
+    Idempotent. *)

@@ -1,0 +1,198 @@
+(* The HTTP front end: a listening socket, an accept loop on its own
+   thread, and a thread per connection (connections are short-lived —
+   one request each — except the NDJSON streams, which live as long as
+   their campaign).  All campaign logic lives behind Scheduler; this
+   module only translates HTTP to scheduler calls and wire renderings. *)
+
+module Json = Scamv_util.Json
+module Export = Scamv_telemetry.Export
+
+type t = {
+  scheduler : Scheduler.t;
+  host : string;
+  mutable port : int;  (** resolved after {!start} when created with port 0 *)
+  mutable fd : Unix.file_descr option;
+  mutable accept_thread : Thread.t option;
+  mutable stopping : bool;
+}
+
+let create ?(host = "127.0.0.1") ?(port = 8421) scheduler =
+  { scheduler; host; port; fd = None; accept_thread = None; stopping = false }
+
+let port t = t.port
+
+(* ---- handlers ---- *)
+
+let error_json msg = Json.Obj [ ("error", Json.Str msg) ]
+
+let respond_error oc ~status msg = Http.respond_json ~status oc (error_json msg)
+
+let h_submit t req oc =
+  match Json.of_string req.Http.body with
+  | exception Json.Parse_error msg -> respond_error oc ~status:400 ("bad JSON: " ^ msg)
+  | body -> (
+    let tenant =
+      match Json.member "tenant" body with
+      | Some (Json.Str s) -> Ok s
+      | None -> Ok "default"
+      | Some _ -> Error "field tenant must be a string"
+    in
+    match tenant with
+    | Error msg -> respond_error oc ~status:400 msg
+    | Ok tenant -> (
+      match Session.params_of_json body with
+      | Error msg -> respond_error oc ~status:400 msg
+      | Ok params -> (
+        match Scheduler.submit t.scheduler ~tenant params with
+        | Ok s -> Http.respond_json ~status:201 oc (Session.status_json s)
+        | Error (Scheduler.Invalid msg) -> respond_error oc ~status:400 msg
+        | Error (Scheduler.Busy r) ->
+          Scheduler.bump t.scheduler "service.http.rejected";
+          Http.respond_json ~status:429
+            ~headers:[ ("Retry-After", "1") ]
+            oc
+            (error_json (Tenant.rejection_reason r))
+        | Error Scheduler.Stopped ->
+          respond_error oc ~status:503 "service shutting down")))
+
+let h_list t _req oc =
+  let sessions = Scheduler.list t.scheduler in
+  Http.respond_json oc
+    (Json.Obj [ ("campaigns", Json.Arr (List.map Session.summary_json sessions)) ])
+
+let with_session t id oc f =
+  match Scheduler.find t.scheduler id with
+  | None -> respond_error oc ~status:404 (Printf.sprintf "no campaign %s" id)
+  | Some s -> f s
+
+let h_status t id _req oc =
+  with_session t id oc (fun s -> Http.respond_json oc (Session.status_json s))
+
+let h_cancel t id _req oc =
+  with_session t id oc (fun s ->
+      let cancelled = Scheduler.cancel t.scheduler s in
+      Http.respond_json oc
+        (Json.Obj
+           [
+             ("id", Json.Str id);
+             ("cancelled", Json.Bool cancelled);
+             ("state", Json.Str (Session.state_name (Session.state s)));
+           ]))
+
+let h_stream t id req oc =
+  with_session t id oc (fun s ->
+      let from =
+        match Http.query req "from" with
+        | None -> 0
+        | Some v -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 -> n
+          | _ -> raise (Http.Bad_request "query parameter from must be a non-negative integer"))
+      in
+      let st = Http.start_stream oc ~status:200 in
+      let rec loop from =
+        let lines, next, terminal = Session.wait_lines s ~from in
+        List.iter (fun line -> Http.stream_chunk st (line ^ "\n")) lines;
+        if not terminal then loop next
+      in
+      loop from;
+      Http.stream_close st)
+
+let h_metrics t _req oc =
+  Http.respond ~content_type:"text/plain; version=0.0.4" oc ~status:200
+    (Export.prometheus (Scheduler.metrics_snapshot t.scheduler))
+
+let h_health _t _req oc = Http.respond_json oc (Json.Obj [ ("ok", Json.Bool true) ])
+
+let routes t =
+  let param name params = List.assoc name params in
+  Router.create
+    [
+      Router.route "POST" "/campaigns" (fun _ -> h_submit t);
+      Router.route "GET" "/campaigns" (fun _ -> h_list t);
+      Router.route "GET" "/campaigns/:id" (fun p -> h_status t (param "id" p));
+      Router.route "GET" "/campaigns/:id/stream" (fun p -> h_stream t (param "id" p));
+      Router.route "DELETE" "/campaigns/:id" (fun p -> h_cancel t (param "id" p));
+      Router.route "GET" "/metrics" (fun _ -> h_metrics t);
+      Router.route "GET" "/healthz" (fun _ -> h_health t);
+    ]
+
+(* ---- connection plumbing ---- *)
+
+let handle_connection t routes fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let finally () =
+    (try flush oc with Sys_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      try
+        match Http.read_request ic with
+        | None -> ()
+        | Some req -> (
+          Scheduler.bump t.scheduler "service.http.requests";
+          match Router.dispatch routes ~meth:req.Http.meth ~path:req.Http.path with
+          | Router.Matched handler -> handler req oc
+          | Router.Method_not_allowed allowed ->
+            Http.respond
+              ~headers:[ ("Allow", String.concat ", " allowed) ]
+              oc ~status:405 "method not allowed\n"
+          | Router.Not_found -> respond_error oc ~status:404 "no such resource")
+      with
+      | Http.Bad_request msg -> ( try respond_error oc ~status:400 msg with Sys_error _ -> ())
+      | Sys_error _ -> ()  (* peer went away mid-response *)
+      | e -> (
+        Scheduler.bump t.scheduler "service.http.errors";
+        try respond_error oc ~status:500 (Printexc.to_string e) with Sys_error _ -> ()))
+
+let accept_loop t routes listener =
+  let rec loop () =
+    match Unix.accept ~cloexec:true listener with
+    | conn, _ ->
+      if t.stopping then (try Unix.close conn with Unix.Unix_error _ -> ())
+      else begin
+        ignore (Thread.create (fun () -> handle_connection t routes conn) ());
+        loop ()
+      end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error (_, _, _) -> ()  (* listener gone: stop *)
+  in
+  loop ()
+
+let start t =
+  if t.fd <> None then invalid_arg "Server.start: already started";
+  (* A peer that disconnects mid-stream must surface as EPIPE, not kill
+     the process. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  let listener = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener
+    (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port));
+  Unix.listen listener 64;
+  (match Unix.getsockname listener with
+  | Unix.ADDR_INET (_, p) -> t.port <- p
+  | _ -> ());
+  t.fd <- Some listener;
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t (routes t) listener) ())
+
+let stop t =
+  match t.fd with
+  | None -> ()
+  | Some listener ->
+    t.fd <- None;
+    t.stopping <- true;
+    (* Closing a listening socket does not wake a thread blocked in
+       accept(2); a throw-away connection does, portably. *)
+    (try
+       let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+       let addr =
+         if t.host = "0.0.0.0" then "127.0.0.1" else t.host
+       in
+       (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, t.port))
+        with Unix.Unix_error _ -> ());
+       Unix.close fd
+     with Unix.Unix_error _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    t.accept_thread <- None;
+    (try Unix.close listener with Unix.Unix_error _ -> ())

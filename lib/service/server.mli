@@ -1,0 +1,39 @@
+(** The campaign service's HTTP front end: a listener, an accept loop on
+    its own thread, and a thread per connection.  All campaign logic
+    lives behind {!Scheduler}; this module translates HTTP to scheduler
+    calls.
+
+    Routes:
+    - [POST /campaigns] — submit (JSON body: {!Session.params} fields
+      plus ["tenant"]); 201 with the campaign status, 400 on bad input,
+      429 with [Retry-After] on tenant quota/backlog rejection, 503 when
+      shutting down.
+    - [GET /campaigns] — all sessions, in submission order.
+    - [GET /campaigns/:id] — status and statistics.
+    - [GET /campaigns/:id/stream?from=N] — chunked NDJSON of the
+      session's record/progress lines from index [N] (default 0),
+      blocking as the campaign runs, terminated by a [{"done":...}]
+      line.
+    - [DELETE /campaigns/:id] — cooperative cancel.
+    - [GET /metrics] — Prometheus text exposition of
+      {!Scheduler.metrics_snapshot}.
+    - [GET /healthz] — liveness probe. *)
+
+type t
+
+val create : ?host:string -> ?port:int -> Scheduler.t -> t
+(** Defaults: host ["127.0.0.1"], port [8421].  Port [0] asks the kernel
+    for a free port (tests use this); read it back with {!port} after
+    {!start}. *)
+
+val start : t -> unit
+(** Bind, listen, ignore [SIGPIPE], spawn the accept thread.
+    @raise Unix.Unix_error when the address is unavailable.
+    @raise Invalid_argument when already started. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Close the listener and join the accept thread.  In-flight connection
+    threads are not joined — drain the scheduler first if their
+    campaigns must finish.  Idempotent. *)

@@ -1,0 +1,141 @@
+(** One submitted campaign: parameters, life-cycle state machine,
+    cooperative cancel token, and the growing NDJSON line buffer that
+    [GET /campaigns/:id/stream] serves.
+
+    The line buffer is the service's fan-out point: the scheduler's
+    runner thread appends lines as the campaign produces journal records,
+    and any number of streaming connections block in {!wait_lines} until
+    more lines (or a terminal state) arrive.  Every operation here locks
+    the session's own mutex — streamers never touch scheduler
+    internals. *)
+
+(** {2 Parameters} *)
+
+type params = {
+  template : string;
+  setup : string;
+  programs : int;
+  tests_per_program : int;
+  seed : int64 option;  (** [None]: draw from the tenant's seed namespace *)
+  max_conflicts : int;  (** SAT budget per solver call; 0 = unlimited *)
+  deadline_conflicts : int;  (** per-program virtual deadline; 0 = none *)
+  portfolio : int;  (** solver portfolio size *)
+}
+
+val default_params : params
+(** Template A, setup mct-vs-mspec, 10 programs x 10 tests, namespace
+    seed, no budget, no deadline, portfolio 1. *)
+
+val params_of_json : Scamv_util.Json.t -> (params, string) result
+(** Decode a [POST /campaigns] body.  Missing fields take defaults,
+    unknown fields are rejected (a misspelled knob should 400, not be
+    silently ignored).  Seeds are decimal int64 strings (JSON doubles
+    cannot carry 64 bits); small integers are also accepted. *)
+
+val params_to_json : params -> Scamv_util.Json.t
+
+val stats_json : Scamv.Stats.t -> Scamv_util.Json.t
+(** Table-1-style counters as a JSON object (counts only, no timing
+    summaries). *)
+
+(** {2 Life cycle} *)
+
+type state = Queued | Running | Completed | Cancelled | Failed of string
+
+val state_name : state -> string
+val is_terminal : state -> bool
+
+type t = {
+  id : string;
+  tenant : string;
+  params : params;
+  seed : int64;  (** resolved: the submitted seed or the namespace draw *)
+  campaign_name : string;
+  journal_path : string option;
+  meta_path : string option;
+  submitted : int;  (** global submission index; orders [GET /campaigns] *)
+  cancel : Scamv_util.Deadline.t;
+      (** expires only by explicit {!Scamv_util.Deadline.cancel} — the
+          [DELETE /campaigns/:id] path *)
+  lock : Mutex.t;
+  changed : Condition.t;
+  mutable state : state;
+  mutable resume_from : string option;
+  mutable lines : string array;
+  mutable nlines : int;
+  mutable stats : Scamv_util.Json.t option;
+  mutable wall_seconds : float;
+}
+
+val create :
+  id:string ->
+  tenant:string ->
+  params:params ->
+  seed:int64 ->
+  campaign_name:string ->
+  ?journal_path:string ->
+  ?meta_path:string ->
+  submitted:int ->
+  unit ->
+  t
+
+val push_line : t -> string -> unit
+(** Append one NDJSON line (without terminator) and wake all waiters. *)
+
+val set_state : t -> state -> unit
+
+val conclude :
+  t -> state -> ?stats:Scamv_util.Json.t -> ?wall_seconds:float -> unit -> unit
+(** Enter a terminal state, record final statistics and append the
+    [{"done":...}] line — in one critical section, so a streamer that
+    observes the terminal state always has the done line in hand and
+    every stream ends with it exactly once. *)
+
+val state : t -> state
+val finished : t -> bool
+
+val lines_from : t -> from:int -> string list * int * bool
+(** [(lines, next, terminal)]: the lines at indexes [[from, next)] and
+    whether the session is already terminal.  Non-blocking. *)
+
+val wait_lines : t -> from:int -> string list * int * bool
+(** Like {!lines_from} but blocks until there is at least one new line or
+    the session is terminal.  A streaming connection loops: write the
+    lines, and stop once [terminal] is true with no new lines pending. *)
+
+(** {2 Wire renderings} *)
+
+val status_json : t -> Scamv_util.Json.t
+(** The [GET /campaigns/:id] body. *)
+
+val summary_json : t -> Scamv_util.Json.t
+(** One element of the [GET /campaigns] listing. *)
+
+val record_line : Scamv.Journal.event -> string
+(** [{"record":<event>}] — a pure function of the journal event, so the
+    streamed sequence can be diffed byte-for-byte against a batch run's
+    journal. *)
+
+val progress_line : string -> string
+(** [{"progress":"..."}] — campaign progress events.  Auxiliary: resumed
+    campaigns emit an extra resume notice, so these lines are excluded
+    from byte-identity checks. *)
+
+(** {2 Meta persistence} *)
+
+val meta_json : t -> Scamv_util.Json.t
+(** The sidecar [<id>.meta.json] record the server's [--resume] scan
+    reads: identity, resolved params, current/terminal state, stats. *)
+
+type meta = {
+  meta_id : string;
+  meta_tenant : string;
+  meta_submitted : int;
+  meta_state : string;
+  meta_reason : string option;
+  meta_params : params;  (** seed always resolved ([Some _]) *)
+  meta_stats : Scamv_util.Json.t option;
+  meta_wall_seconds : float;
+}
+
+val meta_of_json : Scamv_util.Json.t -> (meta, string) result

@@ -14,23 +14,42 @@ exception Parse_error of string
 
 let parse_error fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
 
-(* ---- emission ---- *)
+(* ---- emission ----
 
-let escape_string b s =
-  Buffer.add_char b '"';
+   One emitter over an abstract byte sink serves both the in-memory
+   serializer (to_string) and the incremental channel writer (write):
+   journal records streamed over a socket never materialize the whole
+   document, and both paths produce the same bytes by construction. *)
+
+type sink = { put_char : char -> unit; put_string : string -> unit }
+
+let buffer_sink b =
+  { put_char = Buffer.add_char b; put_string = Buffer.add_string b }
+
+let channel_sink oc =
+  { put_char = output_char oc; put_string = output_string oc }
+
+(* JSON strings are byte strings here: printable ASCII passes through,
+   everything else — control characters and all bytes >= 0x7f — escapes as
+   [\u00XX].  The emitted document is therefore pure (7-bit) ASCII, safe
+   to embed in any wire encoding, and because the parser maps [\u00XX]
+   back to the single byte [XX] (ISO-8859-1 style, see below), arbitrary
+   byte strings round-trip exactly. *)
+let escape_string k s =
+  k.put_char '"';
   String.iter
     (fun c ->
       match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
+      | '"' -> k.put_string "\\\""
+      | '\\' -> k.put_string "\\\\"
+      | '\n' -> k.put_string "\\n"
+      | '\r' -> k.put_string "\\r"
+      | '\t' -> k.put_string "\\t"
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
+        k.put_string (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> k.put_char c)
     s;
-  Buffer.add_char b '"'
+  k.put_char '"'
 
 let number_string x =
   match Float.classify_float x with
@@ -41,23 +60,22 @@ let number_string x =
     if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
     else Printf.sprintf "%.9g" x
 
-let to_string ?(pretty = false) t =
-  let b = Buffer.create 256 in
-  let pad depth = if pretty then Buffer.add_string b (String.make (2 * depth) ' ') in
-  let newline () = if pretty then Buffer.add_char b '\n' in
+let emit ?(pretty = false) k t =
+  let pad depth = if pretty then k.put_string (String.make (2 * depth) ' ') in
+  let newline () = if pretty then k.put_char '\n' in
   let rec go depth = function
-    | Null -> Buffer.add_string b "null"
-    | Bool v -> Buffer.add_string b (if v then "true" else "false")
-    | Num x -> Buffer.add_string b (number_string x)
-    | Str s -> escape_string b s
-    | Arr [] -> Buffer.add_string b "[]"
+    | Null -> k.put_string "null"
+    | Bool v -> k.put_string (if v then "true" else "false")
+    | Num x -> k.put_string (number_string x)
+    | Str s -> escape_string k s
+    | Arr [] -> k.put_string "[]"
     | Arr items ->
-      Buffer.add_char b '[';
+      k.put_char '[';
       newline ();
       List.iteri
         (fun i item ->
           if i > 0 then begin
-            Buffer.add_char b ',';
+            k.put_char ',';
             newline ()
           end;
           pad (depth + 1);
@@ -65,29 +83,35 @@ let to_string ?(pretty = false) t =
         items;
       newline ();
       pad depth;
-      Buffer.add_char b ']'
-    | Obj [] -> Buffer.add_string b "{}"
+      k.put_char ']'
+    | Obj [] -> k.put_string "{}"
     | Obj fields ->
-      Buffer.add_char b '{';
+      k.put_char '{';
       newline ();
       List.iteri
-        (fun i (k, v) ->
+        (fun i (kf, v) ->
           if i > 0 then begin
-            Buffer.add_char b ',';
+            k.put_char ',';
             newline ()
           end;
           pad (depth + 1);
-          escape_string b k;
-          Buffer.add_string b (if pretty then ": " else ":");
+          escape_string k kf;
+          k.put_string (if pretty then ": " else ":");
           go (depth + 1) v)
         fields;
       newline ();
       pad depth;
-      Buffer.add_char b '}'
+      k.put_char '}'
   in
   go 0 t;
-  if pretty then Buffer.add_char b '\n';
+  if pretty then k.put_char '\n'
+
+let to_string ?pretty t =
+  let b = Buffer.create 256 in
+  emit ?pretty (buffer_sink b) t;
   Buffer.contents b
+
+let write ?pretty oc t = emit ?pretty (channel_sink oc) t
 
 (* ---- parsing (recursive descent) ---- *)
 
@@ -154,9 +178,12 @@ let of_string s =
           done;
           let code = !code in
           pos := !pos + 4;
-          (* Encode the BMP code point as UTF-8 (surrogates untreated:
-             benchmark files never contain them). *)
-          if code < 0x80 then Buffer.add_char b (Char.chr code)
+          (* Code points up to 0xff decode to the single byte they name
+             (ISO-8859-1 style): the emitter escapes every non-ASCII byte
+             as [\u00XX], so this is what makes arbitrary byte strings
+             round-trip exactly.  Higher BMP code points are encoded as
+             UTF-8 (surrogates untreated: our files never contain them). *)
+          if code < 0x100 then Buffer.add_char b (Char.chr code)
           else if code < 0x800 then begin
             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))

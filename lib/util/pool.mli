@@ -10,7 +10,14 @@
     Thread-safety contract: [worker] runs on pool domains, possibly many at
     a time, and must only touch state confined to one work item; [consume]
     always runs on the calling domain, one call at a time, in index order,
-    and is the only place that may touch shared state. *)
+    and is the only place that may touch shared state.
+
+    Two lifecycles expose the same batch engine: the one-shot calls
+    ({!run_supervised}, {!run_ordered}, {!map}) spawn domains for the call
+    and join them before returning, while a {e persistent} pool
+    ({!create} / {!exec} / {!shutdown}) keeps its domains parked between
+    batches so a long-running service can run many campaigns on one
+    warmed-up pool — see DESIGN.md Sec. 10. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
@@ -22,6 +29,56 @@ val resolve_jobs : int -> int
 
 type failure = { exn : exn; backtrace : Printexc.raw_backtrace }
 (** A captured worker exception, delivered at the failed item's index. *)
+
+(** {2 Persistent pools}
+
+    Idle-pool lifecycle: {!create} spawns the worker domains immediately
+    (none for [size = 1]); between {!exec} batches they sleep on a
+    condition variable — an idle pool burns no CPU and may be held open
+    indefinitely.  {!shutdown} drains: it waits for an in-progress batch
+    to finish, wakes every parked domain, joins them all, and any
+    subsequent {!exec} raises {!Shut_down}.  [shutdown] is idempotent and
+    safe to call on a pool that never ran a batch. *)
+
+type t
+(** A persistent pool of worker domains. *)
+
+exception Shut_down
+(** Raised by {!exec} once {!shutdown} has begun. *)
+
+val create : size:int -> t
+(** Spawn a pool of [size] worker domains ([size >= 1]; [1] spawns none
+    and makes every batch run inline on the calling domain, exactly like
+    [run_supervised ~jobs:1]).
+    @raise Invalid_argument when [size < 1]. *)
+
+val size : t -> int
+(** The worker count every {!exec} batch runs with. *)
+
+val exec :
+  t ->
+  tasks:int ->
+  ?fatal:(exn -> bool) ->
+  ?on_restart:(int -> unit) ->
+  worker:(int -> 'a) ->
+  consume:(int -> ('a, failure) result -> unit) ->
+  unit ->
+  unit
+(** Run one supervised batch on the pool's domains — the exact
+    {!run_supervised} protocol (index-ordered consumption, fatal-failure
+    capture, [on_restart] + replacement-domain respawn), but on
+    long-lived domains that return to the idle pool afterwards.  Batches
+    are serialized: a concurrent [exec] on the same pool blocks until the
+    current batch completes.  A consumer exception cancels the remaining
+    items, quiesces the in-flight ones, and leaves the pool reusable.
+    @raise Shut_down once {!shutdown} has begun. *)
+
+val shutdown : t -> unit
+(** Drain and stop: wait for any in-progress batch, reject further
+    {!exec} calls (they raise {!Shut_down}), and join every worker
+    domain.  Idempotent. *)
+
+(** {2 One-shot batches} *)
 
 val run_supervised :
   jobs:int ->

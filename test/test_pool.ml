@@ -184,6 +184,89 @@ let test_supervised_consume_raise_drains () =
     "items before the raise consumed in order" [ 0; 1; 2; 3; 4; 5 ]
     (List.rev !consumed)
 
+(* ---- persistent pool lifecycle ---- *)
+
+let test_persistent_pool_reuse () =
+  (* One pool, several batches: same index-ordered consumption per batch,
+     domains parked in between. *)
+  let pool = Pool.create ~size:3 in
+  Alcotest.(check Alcotest.int) "size" 3 (Pool.size pool);
+  for round = 1 to 3 do
+    let consumed = ref [] in
+    Pool.exec pool ~tasks:8
+      ~worker:(fun i -> (round * 100) + i)
+      ~consume:(fun i r ->
+        match r with
+        | Ok v -> consumed := (i, v) :: !consumed
+        | Error _ -> Alcotest.fail "unexpected failure")
+      ();
+    let expected = List.init 8 (fun i -> (i, (round * 100) + i)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d in order" round)
+      true
+      (List.rev !consumed = expected)
+  done;
+  Pool.shutdown pool
+
+let test_persistent_pool_shutdown_rejects () =
+  (* The documented idle-pool lifecycle: an idle pool shuts down cleanly
+     (nothing ever ran on it), shutdown is idempotent, and exec afterwards
+     raises Shut_down instead of wedging. *)
+  let pool = Pool.create ~size:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (match
+     Pool.exec pool ~tasks:1
+       ~worker:(fun i -> i)
+       ~consume:(fun _ _ -> Alcotest.fail "must not run")
+       ()
+   with
+  | () -> Alcotest.fail "exec after shutdown succeeded"
+  | exception Pool.Shut_down -> ());
+  (* size-1 pools have no domains but follow the same lifecycle *)
+  let seq = Pool.create ~size:1 in
+  let got = ref [] in
+  Pool.exec seq ~tasks:3 ~worker:(fun i -> i) ~consume:(fun i _ -> got := i :: !got) ();
+  Pool.shutdown seq;
+  Alcotest.(check (Alcotest.list Alcotest.int)) "inline batch ran" [ 0; 1; 2 ]
+    (List.rev !got);
+  match Pool.exec seq ~tasks:1 ~worker:(fun i -> i) ~consume:(fun _ _ -> ()) () with
+  | () -> Alcotest.fail "exec after shutdown succeeded (size 1)"
+  | exception Pool.Shut_down -> ()
+
+let test_persistent_pool_crash_respawn () =
+  (* Fatal failures on a persistent pool respawn domains that park in the
+     idle pool, and the next batch still works. *)
+  let pool = Pool.create ~size:2 in
+  let restarts = ref [] in
+  let ok = ref 0 in
+  Pool.exec pool ~tasks:6
+    ~fatal:(function Crash _ -> true | _ -> false)
+    ~on_restart:(fun i -> restarts := i :: !restarts)
+    ~worker:(fun i -> if i = 2 || i = 5 then raise (Crash i) else i)
+    ~consume:(fun _ r -> match r with Ok _ -> incr ok | Error _ -> ())
+    ();
+  Alcotest.(check (Alcotest.list Alcotest.int)) "restarts" [ 2; 5 ] (List.rev !restarts);
+  Alcotest.(check Alcotest.int) "survivors" 4 !ok;
+  let consumed = ref 0 in
+  Pool.exec pool ~tasks:5 ~worker:(fun i -> i) ~consume:(fun _ _ -> incr consumed) ();
+  Alcotest.(check Alcotest.int) "next batch runs" 5 !consumed;
+  Pool.shutdown pool
+
+let test_persistent_pool_consumer_abort_reusable () =
+  (* A raising consumer cancels the batch but leaves the pool usable. *)
+  let pool = Pool.create ~size:4 in
+  (try
+     Pool.exec pool ~tasks:10
+       ~worker:(fun i -> i)
+       ~consume:(fun i _ -> if i = 3 then raise (Boom i))
+       ()
+   with Boom 3 -> ());
+  let consumed = ref 0 in
+  Pool.exec pool ~tasks:7 ~worker:(fun i -> i) ~consume:(fun _ _ -> incr consumed) ();
+  Alcotest.(check Alcotest.int) "pool reusable after abort" 7 !consumed;
+  Pool.shutdown pool
+
 (* ---- Summary.merge / Stats.merge ---- *)
 
 let summary_of = List.fold_left Summary.add Summary.empty
@@ -324,6 +407,17 @@ let () =
             test_supervised_backtrace_preserved;
           Alcotest.test_case "raising consumer drains cleanly" `Quick
             test_supervised_consume_raise_drains;
+        ] );
+      ( "persistent",
+        [
+          Alcotest.test_case "batches reuse parked domains" `Quick
+            test_persistent_pool_reuse;
+          Alcotest.test_case "idle lifecycle / shutdown rejects exec" `Quick
+            test_persistent_pool_shutdown_rejects;
+          Alcotest.test_case "crash respawn, next batch runs" `Quick
+            test_persistent_pool_crash_respawn;
+          Alcotest.test_case "consumer abort leaves pool reusable" `Quick
+            test_persistent_pool_consumer_abort_reusable;
         ] );
       ( "merge",
         [

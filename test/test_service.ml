@@ -1,0 +1,360 @@
+(* Validation service: HTTP request parsing, routing, tenant quotas and
+   seed namespaces, session streaming semantics, scheduler admission
+   control / backpressure / cancellation, and the acceptance test that a
+   served campaign's streamed record sequence and journal are
+   byte-identical to a batch Campaign.run of the same parameters. *)
+
+module Json = Scamv_util.Json
+module Stopwatch = Scamv_util.Stopwatch
+module Campaign = Scamv.Campaign
+module Journal = Scamv.Journal
+module Http = Scamv_service.Http
+module Router = Scamv_service.Router
+module Tenant = Scamv_service.Tenant
+module Session = Scamv_service.Session
+module Scheduler = Scamv_service.Scheduler
+module Workload = Scamv_service.Workload
+
+let temp_path name =
+  let path = Filename.temp_file "scamv_service" name in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Parse raw request bytes through the real channel-based reader. *)
+let parse_request bytes =
+  let path = temp_path ".req" in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes);
+  In_channel.with_open_bin path Http.read_request
+
+(* ---- http ---- *)
+
+let test_http_parse_get () =
+  match parse_request "GET /campaigns/a%2Db/stream?from=3&x=a+b HTTP/1.1\r\nHost: h\r\nX-Thing:  v  \r\n\r\n" with
+  | None -> Alcotest.fail "no request parsed"
+  | Some req ->
+    Alcotest.(check string) "method" "GET" req.Http.meth;
+    Alcotest.(check string) "path" "/campaigns/a-b/stream" req.Http.path;
+    Alcotest.(check (option string)) "query from" (Some "3") (Http.query req "from");
+    Alcotest.(check (option string)) "query plus" (Some "a b") (Http.query req "x");
+    Alcotest.(check (option string)) "header trim" (Some "v") (Http.header req "x-thing");
+    Alcotest.(check (option string)) "header case" (Some "h") (Http.header req "HOST");
+    Alcotest.(check string) "no body" "" req.Http.body
+
+let test_http_parse_post_body () =
+  match parse_request "POST /campaigns HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world" with
+  | None -> Alcotest.fail "no request parsed"
+  | Some req ->
+    Alcotest.(check string) "body" "hello world" req.Http.body
+
+let test_http_rejects_malformed () =
+  let bad bytes =
+    match parse_request bytes with
+    | exception Http.Bad_request _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "accepted malformed request %S" bytes)
+  in
+  bad "GET /\r\n\r\n";  (* missing version *)
+  bad "GET / SMTP/1.0\r\n\r\n";  (* wrong protocol *)
+  bad "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n";
+  bad "POST / HTTP/1.1\r\nContent-Length: trouble\r\n\r\n";
+  bad "POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort";
+  Alcotest.(check bool) "EOF before any byte is a clean close" true
+    (parse_request "" = None)
+
+(* ---- router ---- *)
+
+let test_router_dispatch () =
+  let routes =
+    Router.create
+      [
+        Router.route "GET" "/campaigns" (fun _ -> "list");
+        Router.route "POST" "/campaigns" (fun _ -> "submit");
+        Router.route "GET" "/campaigns/:id/stream" (fun p -> "stream " ^ List.assoc "id" p);
+        Router.route "DELETE" "/campaigns/:id" (fun p -> "cancel " ^ List.assoc "id" p);
+      ]
+  in
+  let matched meth path =
+    match Router.dispatch routes ~meth ~path with
+    | Router.Matched v -> v
+    | _ -> Alcotest.fail (Printf.sprintf "no match for %s %s" meth path)
+  in
+  Alcotest.(check string) "fixed" "list" (matched "GET" "/campaigns");
+  Alcotest.(check string) "trailing slash" "list" (matched "get" "/campaigns/");
+  Alcotest.(check string) "binder" "stream abc-1" (matched "GET" "/campaigns/abc-1/stream");
+  Alcotest.(check string) "delete binder" "cancel x-2" (matched "DELETE" "/campaigns/x-2");
+  (match Router.dispatch routes ~meth:"PUT" ~path:"/campaigns" with
+  | Router.Method_not_allowed allowed ->
+    Alcotest.(check (list string)) "allow header" [ "GET"; "POST" ] allowed
+  | _ -> Alcotest.fail "expected 405");
+  (match Router.dispatch routes ~meth:"GET" ~path:"/nope" with
+  | Router.Not_found -> ()
+  | _ -> Alcotest.fail "expected 404")
+
+(* ---- tenant ---- *)
+
+let test_tenant_names_and_seeds () =
+  Alcotest.(check bool) "valid" true (Tenant.validate_name "alice.dev-1" = Ok "alice.dev-1");
+  Alcotest.(check bool) "empty" true (Result.is_error (Tenant.validate_name ""));
+  Alcotest.(check bool) "slash" true (Result.is_error (Tenant.validate_name "a/b"));
+  Alcotest.(check bool) "too long" true
+    (Result.is_error (Tenant.validate_name (String.make 65 'a')));
+  let s1 = Tenant.derive_seed ~tenant:"alice" ~sequence:0 in
+  Alcotest.(check bool) "stable" true (s1 = Tenant.derive_seed ~tenant:"alice" ~sequence:0);
+  Alcotest.(check bool) "per-sequence" true
+    (s1 <> Tenant.derive_seed ~tenant:"alice" ~sequence:1);
+  Alcotest.(check bool) "per-tenant" true
+    (s1 <> Tenant.derive_seed ~tenant:"bob" ~sequence:0)
+
+let test_tenant_quota () =
+  let ten = Tenant.create ~name:"t" ~quota:{ Tenant.max_backlog = 2; max_active = 3 } in
+  let admit () = Tenant.admit ten in
+  let ok = function Ok (_ : int) -> () | Error _ -> Alcotest.fail "unexpected rejection" in
+  ok (admit ());
+  Queue.push "t-0" ten.Tenant.pending;
+  ok (admit ());
+  Queue.push "t-1" ten.Tenant.pending;
+  (* backlog full (2 queued) even though active quota has room *)
+  Alcotest.(check bool) "backlog full" true (admit () = Error Tenant.Backlog_full);
+  (* runner takes one off the queue: backlog has room, but active hits 3 *)
+  ignore (Queue.pop ten.Tenant.pending);
+  ok (admit ());
+  Queue.push "t-2" ten.Tenant.pending;
+  ignore (Queue.pop ten.Tenant.pending);
+  Alcotest.(check bool) "active quota" true (admit () = Error Tenant.Quota_exceeded);
+  (* a finished session frees an active slot *)
+  Tenant.finish ten;
+  ok (admit ())
+
+(* ---- session ---- *)
+
+let test_session_params_json () =
+  let p =
+    match
+      Session.params_of_json
+        (Json.of_string
+           {|{"template":"C","programs":4,"seed":"-3","tenant":"ignored"}|})
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "template" "C" p.Session.template;
+  Alcotest.(check int) "programs" 4 p.Session.programs;
+  Alcotest.(check string) "defaulted setup" "mct-vs-mspec" p.Session.setup;
+  Alcotest.(check bool) "seed" true (p.Session.seed = Some (-3L));
+  Alcotest.(check bool) "unknown field rejected" true
+    (Result.is_error (Session.params_of_json (Json.of_string {|{"porgrams":4}|})));
+  Alcotest.(check bool) "non-object rejected" true
+    (Result.is_error (Session.params_of_json (Json.Arr [])));
+  (* round-trip through the meta rendering *)
+  match Session.params_of_json (Session.params_to_json p) with
+  | Ok p' -> Alcotest.(check bool) "params round-trip" true (p = p')
+  | Error e -> Alcotest.fail e
+
+let make_session ?(id = "t-0") () =
+  Session.create ~id ~tenant:"t" ~params:Session.default_params ~seed:1L
+    ~campaign_name:"c" ~submitted:0 ()
+
+let test_session_stream_semantics () =
+  let s = make_session () in
+  Session.push_line s "one";
+  Session.push_line s "two";
+  let lines, next, terminal = Session.lines_from s ~from:0 in
+  Alcotest.(check (list string)) "lines" [ "one"; "two" ] lines;
+  Alcotest.(check int) "next" 2 next;
+  Alcotest.(check bool) "not terminal" false terminal;
+  (* a waiter blocked past the end is released by conclude, and the done
+     line is already visible when it wakes *)
+  let woke = ref [] in
+  let waiter =
+    Thread.create (fun () -> woke := (fun (l, _, t) -> assert t; l) (Session.wait_lines s ~from:2)) ()
+  in
+  Thread.yield ();
+  Session.conclude s Session.Completed ();
+  Thread.join waiter;
+  (match !woke with
+  | [ done_line ] ->
+    Alcotest.(check bool) "done line terminal" true
+      (String.length done_line >= 8 && String.sub done_line 0 8 = "{\"done\":")
+  | other -> Alcotest.fail (Printf.sprintf "waiter saw %d lines" (List.length other)));
+  let all, _, terminal = Session.lines_from s ~from:0 in
+  Alcotest.(check int) "terminal stream length" 3 (List.length all);
+  Alcotest.(check bool) "terminal" true terminal
+
+(* ---- scheduler: admission control (no runner thread) ---- *)
+
+let sched_config ?state_dir ?(jobs = 1) ?(quota = Tenant.default_quota) () =
+  { Scheduler.jobs; state_dir; quota; clock = Stopwatch.frozen }
+
+let small_params = { Session.default_params with Session.programs = 2; tests_per_program = 2 }
+
+let test_scheduler_admission () =
+  let quota = { Tenant.max_backlog = 2; max_active = 8 } in
+  let t = Scheduler.create ~config:(sched_config ~quota ()) ~start:false () in
+  let ok tenant =
+    match Scheduler.submit t ~tenant small_params with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "unexpected rejection"
+  in
+  (* invalid input is rejected up front *)
+  (match Scheduler.submit t ~tenant:"bad/name" small_params with
+  | Error (Scheduler.Invalid _) -> ()
+  | _ -> Alcotest.fail "bad tenant accepted");
+  (match
+     Scheduler.submit t ~tenant:"a"
+       { small_params with Session.template = "Z9" }
+   with
+  | Error (Scheduler.Invalid _) -> ()
+  | _ -> Alcotest.fail "bad template accepted");
+  (match
+     Scheduler.submit t ~tenant:"a" { small_params with Session.setup = "nope" }
+   with
+  | Error (Scheduler.Invalid _) -> ()
+  | _ -> Alcotest.fail "bad setup accepted");
+  (* per-tenant backlog: two queued fill tenant a; b is unaffected *)
+  let a0 = ok "a" in
+  let _a1 = ok "a" in
+  (match Scheduler.submit t ~tenant:"a" small_params with
+  | Error (Scheduler.Busy Tenant.Backlog_full) -> ()
+  | _ -> Alcotest.fail "expected backlog rejection");
+  let _b0 = ok "b" in
+  (* ids are per-tenant sequences; seeds come from the tenant namespace *)
+  Alcotest.(check string) "id" "a-0" a0.Session.id;
+  Alcotest.(check bool) "namespace seed" true
+    (a0.Session.seed = Tenant.derive_seed ~tenant:"a" ~sequence:0);
+  (* cancelling a queued session frees its backlog slot immediately *)
+  Alcotest.(check bool) "cancel" true (Scheduler.cancel t a0);
+  Alcotest.(check bool) "cancel idempotent" false (Scheduler.cancel t a0);
+  Alcotest.(check bool) "terminal" true (Session.state a0 = Session.Cancelled);
+  (match Scheduler.submit t ~tenant:"a" small_params with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "slot not freed by cancel");
+  (* the cancelled session's stream is exactly one done line *)
+  (match Session.lines_from a0 ~from:0 with
+  | [ line ], _, true ->
+    Alcotest.(check bool) "cancelled done line" true
+      (String.length line >= 20 && String.sub line 0 20 = "{\"done\":\"cancelled\"}")
+  | lines, _, _ -> Alcotest.fail (Printf.sprintf "stream of %d lines" (List.length lines)));
+  Scheduler.shutdown t;
+  (* after shutdown: reject new work *)
+  match Scheduler.submit t ~tenant:"a" small_params with
+  | Error Scheduler.Stopped -> ()
+  | _ -> Alcotest.fail "submit after shutdown accepted"
+
+(* ---- scheduler: execution, cancellation, acceptance ---- *)
+
+let wait_terminal s =
+  let rec go from =
+    let _, next, terminal = Session.wait_lines s ~from in
+    if not terminal then go next
+  in
+  go 0
+
+let test_scheduler_cancel_running () =
+  let t = Scheduler.create ~config:(sched_config ()) () in
+  let s =
+    match
+      Scheduler.submit t ~tenant:"c"
+        { Session.default_params with Session.programs = 200; tests_per_program = 4 }
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  (* wait for the first record, then cancel mid-campaign *)
+  let (_ : string list * int * bool) = Session.wait_lines s ~from:0 in
+  Alcotest.(check bool) "cancel running" true (Scheduler.cancel t s);
+  wait_terminal s;
+  Alcotest.(check bool) "cancelled" true (Session.state s = Session.Cancelled);
+  (* the drained campaign journals every unfinished program as crashed
+     with the normalized cancel reason *)
+  let lines, _, _ = Session.lines_from s ~from:0 in
+  Alcotest.(check bool) "cancel reason recorded" true
+    (List.exists
+       (fun l ->
+         let n = String.length l and needle = "campaign cancelled" in
+         let nn = String.length needle in
+         let rec has i = i + nn <= n && (String.sub l i nn = needle || has (i + 1)) in
+         has 0)
+       lines);
+  Scheduler.shutdown t
+
+(* The acceptance check: a served campaign's record stream and journal
+   file are byte-identical to a batch Campaign.run of the same
+   (template, setup, seed, sizes) under the same frozen clock. *)
+let test_scheduler_stream_matches_batch () =
+  let dir = Filename.temp_file "scamv_service_state" "" in
+  Sys.remove dir;
+  let params =
+    { Session.default_params with Session.programs = 4; tests_per_program = 3;
+      seed = Some 2021L }
+  in
+  let t = Scheduler.create ~config:(sched_config ~state_dir:dir ~jobs:2 ()) () in
+  let s =
+    match Scheduler.submit t ~tenant:"acc" params with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  wait_terminal s;
+  Alcotest.(check bool) "completed" true (Session.state s = Session.Completed);
+  Scheduler.shutdown t;
+  (* batch reference, the CLI path: same workload resolution, own journal *)
+  let template = Result.get_ok (Workload.lookup_template "A") in
+  let setup = Result.get_ok (Workload.lookup_setup "mct-vs-mspec") in
+  let cfg =
+    Campaign.make
+      ~name:(Workload.campaign_name ~setup:"mct-vs-mspec" ~template:"A")
+      ~template ~setup ~view:(Workload.view_for "mct-vs-mspec") ~programs:4
+      ~tests_per_program:3 ~seed:2021L ~clock:Stopwatch.frozen ()
+  in
+  let ref_path = temp_path ".journal" in
+  Sys.remove ref_path;
+  let journal = Journal.create ~path:ref_path () in
+  let (_ : Campaign.outcome) = Campaign.run ~journal cfg in
+  Journal.close journal;
+  let expected = List.map Session.record_line (Journal.events journal) in
+  let lines, _, _ = Session.lines_from s ~from:0 in
+  let records =
+    List.filter
+      (fun l -> String.length l >= 10 && String.sub l 0 10 = "{\"record\":")
+      lines
+  in
+  Alcotest.(check bool) "some records" true (expected <> []);
+  Alcotest.(check (list string)) "stream matches batch" expected records;
+  let served_journal = Filename.concat dir (s.Session.id ^ ".journal") in
+  Alcotest.(check string) "journal bytes match batch" (read_file ref_path)
+    (read_file served_journal)
+
+let () =
+  Alcotest.run "scamv_service"
+    [
+      ( "http",
+        [
+          Alcotest.test_case "parses GET with query" `Quick test_http_parse_get;
+          Alcotest.test_case "parses POST body" `Quick test_http_parse_post_body;
+          Alcotest.test_case "rejects malformed requests" `Quick
+            test_http_rejects_malformed;
+        ] );
+      ( "router",
+        [ Alcotest.test_case "dispatch/405/404" `Quick test_router_dispatch ] );
+      ( "tenant",
+        [
+          Alcotest.test_case "names and seed namespace" `Quick
+            test_tenant_names_and_seeds;
+          Alcotest.test_case "quota admission" `Quick test_tenant_quota;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "params JSON" `Quick test_session_params_json;
+          Alcotest.test_case "stream wait/conclude" `Quick
+            test_session_stream_semantics;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "admission control and backpressure" `Quick
+            test_scheduler_admission;
+          Alcotest.test_case "cancel mid-campaign" `Quick
+            test_scheduler_cancel_running;
+          Alcotest.test_case "stream and journal match batch run" `Quick
+            test_scheduler_stream_matches_batch;
+        ] );
+    ]

@@ -122,16 +122,17 @@ let test_summary_accumulate () =
 (* ---- Json edge cases ---- *)
 
 let test_json_unicode_escapes () =
-  (* \u escapes decode to UTF-8 bytes across the 1-, 2- and 3-byte
-     encoding ranges (surrogate pairs are out of scope for the
-     benchmark files this parser serves). *)
+  (* \u escapes up to 0xff decode to the single byte they name (the
+     emitter's byte-transparent convention); higher BMP code points decode
+     to UTF-8 (surrogate pairs are out of scope for the files this parser
+     serves). *)
   let decodes input expected =
     match Json.of_string input with
     | Json.Str s -> Alcotest.(check string) input expected s
     | _ -> Alcotest.fail (Printf.sprintf "%s did not parse to a string" input)
   in
   decodes "\"\\u0041\"" "A";
-  decodes "\"\\u00e9\"" "\xc3\xa9";
+  decodes "\"\\u00e9\"" "\xe9";
   decodes "\"\\u20AC\"" "\xe2\x82\xac";
   decodes "\"\\u0000\"" "\x00";
   decodes "\"a\\u0009b\"" "a\tb"
@@ -146,6 +147,43 @@ let test_json_control_char_roundtrip () =
     (Json.of_string (Json.to_string doc) = doc);
   let emitted = Json.to_string (Json.Str "\x01") in
   Alcotest.(check string) "C0 controls use \\u form" "\"\\u0001\"" emitted
+
+let prop_json_bytes_roundtrip =
+  (* Arbitrary byte strings — control characters, raw high bytes, junk
+     that is not UTF-8 — survive emit/parse exactly, and the emitted
+     document is pure 7-bit ASCII (wire-safe for streamed journal
+     records). *)
+  QCheck.Test.make ~name:"arbitrary bytes round-trip through Str" ~count:500
+    QCheck.(string_gen (Gen.char_range '\x00' '\xff'))
+    (fun s ->
+      let doc = Json.Obj [ ("s", Json.Str s); ("l", Json.Arr [ Json.Str s ]) ] in
+      let emitted = Json.to_string doc in
+      String.for_all (fun c -> Char.code c < 0x80) emitted
+      && Json.of_string emitted = doc)
+
+let test_json_write_matches_to_string () =
+  (* The incremental channel serializer emits exactly the to_string
+     bytes, compact and pretty. *)
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "bytes \x00\x7f\xff and \"quotes\"");
+        ("n", Json.Num 1.5);
+        ("l", Json.Arr [ Json.Null; Json.Bool false; Json.Obj [ ("k", Json.Num 2.) ] ]);
+      ]
+  in
+  let via_channel ?pretty () =
+    let path = Filename.temp_file "scamv_json" ".json" in
+    Fun.protect
+      ~finally:(fun () -> Sys.remove path)
+      (fun () ->
+        Out_channel.with_open_bin path (fun oc -> Json.write ?pretty oc doc);
+        In_channel.with_open_bin path In_channel.input_all)
+  in
+  Alcotest.(check string) "compact" (Json.to_string doc) (via_channel ());
+  Alcotest.(check string) "pretty"
+    (Json.to_string ~pretty:true doc)
+    (via_channel ~pretty:true ())
 
 let test_json_deep_nesting () =
   let depth = 1000 in
@@ -372,6 +410,9 @@ let () =
           Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
           Alcotest.test_case "bad \\u escapes rejected" `Quick
             test_json_bad_unicode_escapes_rejected;
+          QCheck_alcotest.to_alcotest prop_json_bytes_roundtrip;
+          Alcotest.test_case "Json.write matches to_string" `Quick
+            test_json_write_matches_to_string;
         ] );
       ( "crc32",
         [
