@@ -7,7 +7,7 @@ SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
 	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100 \
 	--portfolio 2
 
-.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke solver-smoke serve-smoke perf-check clean
+.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke solver-smoke serve-smoke diff-smoke perf-check clean
 
 all: build
 
@@ -60,6 +60,23 @@ solver-smoke: build
 # report.
 serve-smoke: build
 	$(DUNE) exec bench/main.exe -- service --smoke --out BENCH_service.smoke.json
+
+# Cross-ISA acceptance: the same frozen-clock differential campaign at
+# --jobs 1 and --jobs 2 must print identical divergence reports and
+# write identical journals — diff output is a pure function of
+# (template, setup, seed), never of the schedule.
+DIFF_SMOKE = diff --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
+	--max-conflicts 200 --frozen-clock
+
+diff-smoke: build
+	$(DUNE) exec bin/scamv_cli.exe -- $(DIFF_SMOKE) --jobs 1 \
+		--csv diff.smoke.j1.csv > diff.smoke.j1.out
+	$(DUNE) exec bin/scamv_cli.exe -- $(DIFF_SMOKE) --jobs 2 \
+		--csv diff.smoke.j2.csv > diff.smoke.j2.out
+	cmp diff.smoke.j1.csv diff.smoke.j2.csv
+	sed 's/diff\.smoke\.j[12]\.csv/JOURNAL/' diff.smoke.j1.out > diff.smoke.j1.norm
+	sed 's/diff\.smoke\.j[12]\.csv/JOURNAL/' diff.smoke.j2.out > diff.smoke.j2.norm
+	cmp diff.smoke.j1.norm diff.smoke.j2.norm
 
 # Perf regression gate: re-run the committed campaign benchmark (same
 # deterministic seed and size — the "full" config is itself smoke-scale,

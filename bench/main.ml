@@ -39,6 +39,14 @@ let platform = Platform.cortex_a53
 let region = Region.paper_unaligned platform
 let region_pa = Region.paper_page_aligned platform
 
+(* Every benchmark here drives the AArch64 side; unwrap template draws
+   once instead of threading the guest-program sum through the tables. *)
+let arm_draw ~seed template =
+  match (Gen.generate ~seed template).Templates.program with
+  | Scamv_arch.Isa.Aarch64_program p -> p
+  | Scamv_arch.Isa.Riscv_program _ ->
+    invalid_arg "bench: AArch64 template expected"
+
 let view_of_region (r : Region.t) =
   Executor.Region { first_set = r.Region.first_set; last_set = r.Region.last_set }
 
@@ -305,7 +313,7 @@ let ablation_projection () =
   Format.printf "@.## Ablation: single-run projection vs naive two-run refinement@.@.";
   let programs =
     List.init 20 (fun i ->
-        (Gen.generate ~seed:(Int64.of_int (i + 1)) Templates.template_b).Templates.program)
+        arm_draw ~seed:(Int64.of_int (i + 1)) Templates.template_b)
   in
   let setup = Refinement.mct_vs_mspec () in
   let (), combined =
@@ -333,7 +341,7 @@ let ablation_projection () =
 let ablation_path_split () =
   (* Sec. 5.4: per-path-pair relations vs the monolithic Eq. 1 formula. *)
   Format.printf "@.## Ablation: per-path-pair relations vs monolithic Eq. 1@.@.";
-  let program = (Gen.generate ~seed:3L Templates.template_b).Templates.program in
+  let program = arm_draw ~seed:3L Templates.template_b in
   let setup = Refinement.mct_unguided in
   let bir = Refinement.annotate setup program in
   let leaves = Exec.execute bir in
@@ -580,10 +588,11 @@ let channels () =
       {
         Templates.template_name = "two reads";
         program =
-          [|
-            Ast.Ldr (x 1, { Ast.base = x 0; offset = Ast.Imm 0L; scale = 0 });
-            Ast.Ldr (x 2, { Ast.base = x 3; offset = Ast.Imm 0L; scale = 0 });
-          |];
+          Scamv_arch.Isa.Aarch64_program
+            [|
+              Ast.Ldr (x 1, { Ast.base = x 0; offset = Ast.Imm 0L; scale = 0 });
+              Ast.Ldr (x 2, { Ast.base = x 3; offset = Ast.Imm 0L; scale = 0 });
+            |];
       }
   in
   let rows =
@@ -675,12 +684,13 @@ let micro () =
   in
   let t_sim =
     let core = Core.create Core.cortex_a53 in
+    let stride_arm = arm_draw ~seed:7L Templates.stride in
     Test.make ~name:"primitive simulator run (stride)"
       (Staged.stage (fun () ->
            Core.reset_cache core;
            let m = Scamv_isa.Machine.create () in
            Scamv_isa.Machine.set_reg m (Reg.x 12) platform.Platform.mem_base;
-           ignore (Core.run core stride m)))
+           ignore (Core.run core stride_arm m)))
   in
   let tests =
     Test.make_grouped ~name:"scamv" ~fmt:"%s %s"
@@ -757,7 +767,7 @@ let solver_microbench () =
   let groups =
     List.map
       (fun seed ->
-        let program = (Gen.generate ~seed Templates.template_a).Templates.program in
+        let program = arm_draw ~seed Templates.template_a in
         let leaves = Exec.execute (Refinement.annotate setup program) in
         let prepared = Synth.prepare scfg leaves in
         List.filter_map
@@ -863,9 +873,7 @@ let portfolio_microbench () =
   let relations =
     List.concat_map
       (fun seed ->
-        let program =
-          (Gen.generate ~seed Templates.template_a).Templates.program
-        in
+        let program = arm_draw ~seed Templates.template_a in
         let leaves = Exec.execute (Refinement.annotate setup program) in
         let prepared = Synth.prepare scfg leaves in
         List.filter_map
@@ -962,9 +970,7 @@ let solver_identity () =
   let checked = ref 0 in
   List.iter
     (fun seed ->
-      let program =
-        (Gen.generate ~seed Templates.template_a).Templates.program
-      in
+      let program = arm_draw ~seed Templates.template_a in
       let leaves = Exec.execute (Refinement.annotate setup program) in
       let prepared = Synth.prepare scfg leaves in
       List.iter

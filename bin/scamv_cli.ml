@@ -6,6 +6,7 @@
 *)
 
 module Ast = Scamv_isa.Ast
+module Isa = Scamv_arch.Isa
 module Platform = Scamv_isa.Platform
 module Executor = Scamv_microarch.Executor
 module Refinement = Scamv_models.Refinement
@@ -64,13 +65,20 @@ let seed_arg =
   let doc = "Random seed; campaigns are fully reproducible from it." in
   Arg.(value & opt int64 2021L & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let isa_arg =
+  let doc = "Guest instruction set: aarch64 or riscv." in
+  Arg.(value & opt string "aarch64" & info [ "isa" ] ~docv:"ISA" ~doc)
+
 let lookup_setup name =
   match List.assoc_opt name setups with
   | Some s -> Ok (s ())
   | None -> Error (`Msg ("unknown setup " ^ name ^ "; see `scamv models`"))
 
-let lookup_template name =
-  match Templates.by_name name with
+let lookup_isa name =
+  match Isa.of_string name with Ok isa -> Ok isa | Error msg -> Error (`Msg msg)
+
+let lookup_template ?isa name =
+  match Templates.by_name ?isa name with
   | t -> Ok t
   | exception Invalid_argument msg -> Error (`Msg msg)
 
@@ -235,12 +243,13 @@ let campaign_cmd =
              phase histograms) to $(docv) and print a summary table at the \
              end of the run.")
   in
-  let run template_name setup_name programs tests seed verbose csv resume
-      max_conflicts max_decisions max_propagations max_attempts confirm
+  let run template_name setup_name isa_name programs tests seed verbose csv
+      resume max_conflicts max_decisions max_propagations max_attempts confirm
       fault_rate fault_seed deadline_conflicts deadline_seconds chaos_rate
       chaos_seed portfolio jobs trace metrics =
     let ( let* ) = Result.bind in
-    let* template = lookup_template template_name in
+    let* isa = lookup_isa isa_name in
+    let* template = lookup_template ~isa template_name in
     let* setup = lookup_setup setup_name in
     let* () =
       if fault_rate < 0.0 || fault_rate > 1.0 then
@@ -320,9 +329,9 @@ let campaign_cmd =
       else Ok ()
     in
     let cfg =
-      Campaign.make ~name ~template ~setup ~view:(default_view setup_name) ~programs
-        ~tests_per_program:tests ~seed ?sat_budget ~portfolio ~retry ?faults
-        ?deadline ?chaos ()
+      Campaign.make ~name ~isa ~template ~setup ~view:(default_view setup_name)
+        ~programs ~tests_per_program:tests ~seed ?sat_budget ~portfolio ~retry
+        ?faults ?deadline ?chaos ()
     in
     let on_event = if verbose then print_endline else fun _ -> () in
     let journal = Scamv.Journal.create ?path:csv ?chaos () in
@@ -366,8 +375,8 @@ let campaign_cmd =
   in
   let term =
     Term.(
-      const run $ template_arg $ setup_arg $ programs_arg $ tests_arg $ seed_arg
-      $ verbose_arg $ csv_arg $ resume_arg $ max_conflicts_arg $ max_decisions_arg
+      const run $ template_arg $ setup_arg $ isa_arg $ programs_arg $ tests_arg
+      $ seed_arg $ verbose_arg $ csv_arg $ resume_arg $ max_conflicts_arg $ max_decisions_arg
       $ max_propagations_arg $ max_attempts_arg $ confirm_arg $ fault_rate_arg
       $ fault_seed_arg $ deadline_conflicts_arg $ deadline_seconds_arg
       $ chaos_rate_arg $ chaos_seed_arg $ portfolio_arg $ jobs_arg $ trace_arg
@@ -381,21 +390,28 @@ let campaign_cmd =
 (* ---- show command ---- *)
 
 let show_cmd =
-  let run template_name setup_name seed =
+  let run template_name setup_name isa_name seed =
     let ( let* ) = Result.bind in
-    let* template = lookup_template template_name in
+    let* isa = lookup_isa isa_name in
+    let* template = lookup_template ~isa template_name in
     let* setup = lookup_setup setup_name in
     let { Templates.program; template_name = name } = Gen.generate ~seed template in
-    Format.printf "=== template %s instance ===@.%a@." name Ast.pp_program program;
+    let annotated =
+      match program with
+      | Isa.Aarch64_program p -> Refinement.annotate setup p
+      | Isa.Riscv_program p ->
+        Refinement.annotate_arch setup Scamv_riscv.Lift.arch p
+    in
+    Format.printf "=== template %s instance (%a) ===@.%a@." name Isa.pp isa
+      Isa.pp_program program;
     Format.printf "=== instrumented BIR (%s) ===@.%a@." setup.Refinement.name
-      Scamv_bir.Program.pp
-      (Refinement.annotate setup program);
-    let leaves = Scamv_symbolic.Exec.execute (Refinement.annotate setup program) in
+      Scamv_bir.Program.pp annotated;
+    let leaves = Scamv_symbolic.Exec.execute annotated in
     Format.printf "=== symbolic paths ===@.";
     List.iteri
       (fun i l -> Format.printf "--- path %d ---@.%a@." i Scamv_symbolic.Exec.pp_leaf l)
       leaves;
-    let cfg = Pipeline.default_config setup in
+    let cfg = Pipeline.default_config ~isa setup in
     let session = Pipeline.prepare ~seed cfg program in
     (match Pipeline.next_test_case session with
     | Pipeline.Exhausted -> Format.printf "=== no test case (relation unsatisfiable) ===@."
@@ -408,10 +424,135 @@ let show_cmd =
         Scamv_isa.Machine.pp tc.Pipeline.state1 Scamv_isa.Machine.pp tc.Pipeline.state2);
     Ok ()
   in
-  let term = Term.(const run $ template_arg $ setup_arg $ seed_arg) in
+  let term = Term.(const run $ template_arg $ setup_arg $ isa_arg $ seed_arg) in
   let info =
     Cmd.info "show"
       ~doc:"Generate one program and show its instrumentation, paths and a test case."
+  in
+  Cmd.v info Term.(term_result term)
+
+(* ---- diff command ---- *)
+
+let diff_cmd =
+  let programs_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "programs"; "p" ] ~docv:"N" ~doc:"Programs to generate per ISA.")
+  in
+  let tests_arg =
+    Arg.(value & opt int 10 & info [ "tests"; "k" ] ~docv:"K" ~doc:"Test cases per program.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print progress events.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Persist both sides' journal rows followed by the diverged \
+             records to $(docv).")
+  in
+  let max_conflicts_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-conflicts" ] ~docv:"N"
+          ~doc:"SAT budget: conflicts allowed per solver call (0 = unlimited).")
+  in
+  let portfolio_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "portfolio" ] ~docv:"K" ~doc:"Solver portfolio size.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains per side (0 = all cores).  Output is identical \
+             across $(docv) levels for the same seed.")
+  in
+  let frozen_clock_arg =
+    Arg.(
+      value & flag
+      & info [ "frozen-clock" ]
+          ~doc:
+            "Zero every measured duration so the journal is a pure function \
+             of the parameters (used by the diff-smoke acceptance check).")
+  in
+  let run template_name setup_name programs tests seed verbose csv max_conflicts
+      portfolio jobs frozen =
+    let ( let* ) = Result.bind in
+    (* Both ISAs must know the template; checking each side up front turns
+       a mid-run Invalid_argument into a proper usage error. *)
+    let* _ = lookup_template ~isa:Isa.Aarch64 template_name in
+    let* _ = lookup_template ~isa:Isa.Riscv template_name in
+    let* setup = lookup_setup setup_name in
+    let* () =
+      if jobs < 0 then Error (`Msg "--jobs must be at least 0") else Ok ()
+    in
+    let* () =
+      if portfolio < 1 then Error (`Msg "--portfolio must be at least 1")
+      else Ok ()
+    in
+    let name = Printf.sprintf "%s on template %s" setup_name template_name in
+    let sat_budget =
+      if max_conflicts > 0 then
+        Some (Scamv_smt.Sat.budget ~conflicts:max_conflicts ())
+      else None
+    in
+    let clock =
+      if frozen then Scamv_util.Stopwatch.frozen else Scamv_util.Stopwatch.wall
+    in
+    let on_event = if verbose then print_endline else fun _ -> () in
+    let journal = Scamv.Journal.create ?path:csv () in
+    let outcome =
+      Scamv.Diff.run ~on_event ~journal ~jobs ~name ~template:template_name
+        ~setup ~view:(default_view setup_name) ~programs
+        ~tests_per_program:tests ~seed ?sat_budget ~portfolio ~clock ()
+    in
+    Scamv.Journal.close journal;
+    print_string
+      (Scamv_util.Text_table.render ~header:Stats.header
+         ~rows:
+           [
+             Stats.row
+               ~name:(name ^ " [aarch64]")
+               outcome.Scamv.Diff.aarch64.Campaign.stats;
+             Stats.row ~name:(name ^ " [riscv]")
+               outcome.Scamv.Diff.riscv.Campaign.stats;
+           ]);
+    Printf.printf "cross-ISA: %d path pair(s) compared, %d unmatched, %d divergence(s)\n"
+      outcome.Scamv.Diff.compared_pairs outcome.Scamv.Diff.unmatched_pairs
+      (List.length outcome.Scamv.Diff.divergences);
+    List.iter
+      (function
+        | Scamv.Journal.Diverged { program_index; pair = p1, p2; aarch64; riscv; _ } ->
+          Printf.printf "  program %d pair (%d,%d): aarch64=%s riscv=%s\n"
+            program_index p1 p2
+            (Scamv.Journal.verdict_string aarch64)
+            (Scamv.Journal.verdict_string riscv)
+        | _ -> ())
+      outcome.Scamv.Diff.divergences;
+    (match csv with
+    | None -> ()
+    | Some path ->
+      Printf.printf "journal: %d records written to %s\n"
+        (Scamv.Journal.length journal) path);
+    Ok ()
+  in
+  let term =
+    Term.(
+      const run $ template_arg $ setup_arg $ programs_arg $ tests_arg $ seed_arg
+      $ verbose_arg $ csv_arg $ max_conflicts_arg $ portfolio_arg $ jobs_arg
+      $ frozen_clock_arg)
+  in
+  let info =
+    Cmd.info "diff"
+      ~doc:
+        "Run the same (template, setup, seed) campaign on both guest ISAs and \
+         report path pairs whose verdicts diverge."
   in
   Cmd.v info Term.(term_result term)
 
@@ -584,4 +725,4 @@ let serve_cmd =
 let () =
   let doc = "Validation of side-channel models via observation refinement (MICRO'21)" in
   let info = Cmd.info "scamv" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ campaign_cmd; show_cmd; models_cmd; serve_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ campaign_cmd; diff_cmd; show_cmd; models_cmd; serve_cmd ]))

@@ -37,13 +37,14 @@ let lookup_routine =
     {
       Scamv_gen.Templates.template_name = "t-table walk";
       program =
-        [|
-          Ast.Add (x 0, x 0, Ast.Reg (x 1)) (* key-dependent starting row *);
-          read 0 (x 4);
-          read 1 (x 5);
-          read 2 (x 6);
-          read 3 (x 7);
-        |];
+        Scamv_arch.Isa.Aarch64_program
+          [|
+            Ast.Add (x 0, x 0, Ast.Reg (x 1)) (* key-dependent starting row *);
+            read 0 (x 4);
+            read 1 (x 5);
+            read 2 (x 6);
+            read 3 (x 7);
+          |];
     }
 
 let audit ~name region =

@@ -51,7 +51,8 @@ let () =
 
   banner "Test-case generation (M1 = Mct equivalent, M2 = Mspec distinct)";
   let cfg = Pipeline.default_config setup in
-  let session = Pipeline.prepare ~seed:42L cfg running_example in
+  let guest = Scamv_arch.Isa.Aarch64_program running_example in
+  let session = Pipeline.prepare ~seed:42L cfg guest in
   (match Pipeline.next_test_case session with
   | Pipeline.Exhausted | Pipeline.Quarantined _ | Pipeline.Crashed _ ->
     Format.printf "no test case (did the relation become unsat?)@."
@@ -65,7 +66,7 @@ let () =
       Executor.run ~seed:1L
         (Executor.default_config ())
         {
-          Executor.program = running_example;
+          Executor.program = guest;
           state1 = tc.Pipeline.state1;
           state2 = tc.Pipeline.state2;
           train = tc.Pipeline.train;
@@ -80,7 +81,7 @@ let () =
 
   banner "Unguided search on the same program, for contrast";
   let unguided = Pipeline.default_config Refinement.mct_unguided in
-  let session = Pipeline.prepare ~seed:42L unguided running_example in
+  let session = Pipeline.prepare ~seed:42L unguided guest in
   let counter = ref 0 in
   let tested = ref 0 in
   let continue_loop = ref true in
@@ -95,7 +96,7 @@ let () =
           ~seed:(Int64.of_int !tested)
           (Executor.default_config ())
           {
-            Executor.program = running_example;
+            Executor.program = guest;
             state1 = tc.Pipeline.state1;
             state2 = tc.Pipeline.state2;
             train = tc.Pipeline.train;

@@ -40,7 +40,7 @@ let () =
       Format.printf "@.=== %s ===@.(%s)@." title usage;
       for seed = 1 to 3 do
         let { Templates.program; _ } = Gen.generate ~seed:(Int64.of_int seed) template in
-        Format.printf "--- instance %d ---@.%a@." seed Ast.pp_program program
+        Format.printf "--- instance %d ---@.%a@." seed Scamv_arch.Isa.pp_program program
       done)
     tour;
 
@@ -48,6 +48,11 @@ let () =
      setup of Sec. 6.5. *)
   Format.printf "@.=== Template C instrumented for Mspec1 vs Mspec ===@.";
   let { Templates.program; _ } = Gen.generate ~seed:1L Templates.template_c in
+  let program =
+    match program with
+    | Scamv_arch.Isa.Aarch64_program p -> p
+    | Scamv_arch.Isa.Riscv_program _ -> assert false
+  in
   let bir = Refinement.annotate (Refinement.mspec1_vs_mspec ()) program in
   Format.printf "%a@." Scamv_bir.Program.pp bir;
   ignore (Region.paper_unaligned platform)

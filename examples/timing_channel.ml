@@ -32,10 +32,11 @@ let two_pointer_reads =
     {
       Scamv_gen.Templates.template_name = "two-pointer reads";
       program =
-        [|
-          Ast.Ldr (x 1, { Ast.base = x 0; offset = Ast.Imm 0L; scale = 0 });
-          Ast.Ldr (x 2, { Ast.base = x 3; offset = Ast.Imm 0L; scale = 0 });
-        |];
+        Scamv_arch.Isa.Aarch64_program
+          [|
+            Ast.Ldr (x 1, { Ast.base = x 0; offset = Ast.Imm 0L; scale = 0 });
+            Ast.Ldr (x 2, { Ast.base = x 3; offset = Ast.Imm 0L; scale = 0 });
+          |];
     }
 
 let run name setup =

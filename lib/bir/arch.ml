@@ -1,0 +1,113 @@
+module Term = Scamv_smt.Term
+module Ast = Scamv_isa.Ast
+
+type access = No_access | Load of Term.t | Store of Term.t
+type control = Fallthrough | Jump of int | Cond_jump of Term.t * int
+
+type lifted = {
+  assigns : (string * Term.t) list;
+  access : access;
+  control : control;
+}
+
+type 'i t = {
+  name : string;
+  registers : string list;
+  has_flags : bool;
+  validate : 'i array -> (unit, string) result;
+  lift_instr : pc:int -> 'i -> lifted;
+  pp_instr : Format.formatter -> 'i -> unit;
+}
+
+let is_load l = match l.access with Load _ -> true | _ -> false
+let is_branch l = match l.control with Fallthrough -> false | _ -> true
+
+(* ---- AArch64: the flag-based discipline of [Scamv_isa.Ast] ---- *)
+
+let operand_term = function
+  | Ast.Reg r -> Vars.reg_term r
+  | Ast.Imm v -> Term.bv_const v 64
+
+let address_term { Ast.base; offset; scale } =
+  Term.add (Vars.reg_term base)
+    (Term.shl (operand_term offset) (Term.bv_const (Int64.of_int scale) 64))
+
+let cond_term c =
+  let nf = Vars.flag_term Vars.flag_n
+  and zf = Vars.flag_term Vars.flag_z
+  and cf = Vars.flag_term Vars.flag_c
+  and vf = Vars.flag_term Vars.flag_v in
+  match c with
+  | Ast.Eq -> zf
+  | Ast.Ne -> Term.not_ zf
+  | Ast.Hs -> cf
+  | Ast.Lo -> Term.not_ cf
+  | Ast.Hi -> Term.and_ cf (Term.not_ zf)
+  | Ast.Ls -> Term.or_ (Term.not_ cf) zf
+  | Ast.Ge -> Term.iff nf vf
+  | Ast.Lt -> Term.not_ (Term.iff nf vf)
+  | Ast.Gt -> Term.and_ (Term.not_ zf) (Term.iff nf vf)
+  | Ast.Le -> Term.or_ zf (Term.not_ (Term.iff nf vf))
+
+let alu_term op a b =
+  match op with
+  | `Add -> Term.add a b
+  | `Sub -> Term.sub a b
+  | `And -> Term.logand a b
+  | `Orr -> Term.logor a b
+  | `Eor -> Term.logxor a b
+  | `Lsl -> Term.shl a b
+  | `Lsr -> Term.lshr a b
+  | `Asr -> Term.ashr a b
+
+let msb e = Term.eq (Term.extract ~hi:63 ~lo:63 e) (Term.bv_one 1)
+
+let cmp_assigns a_term b_term =
+  let result = Term.sub a_term b_term in
+  [
+    (Vars.flag_n, msb result);
+    (Vars.flag_z, Term.eq result (Term.bv_zero 64));
+    (Vars.flag_c, Term.ule b_term a_term);
+    (Vars.flag_v, msb (Term.logand (Term.logxor a_term b_term) (Term.logxor a_term result)));
+  ]
+
+let instr_assigns = function
+  | Ast.Nop | Ast.B _ | Ast.B_cond _ -> []
+  | Ast.Mov (d, op) -> [ (Vars.reg d, operand_term op) ]
+  | Ast.Add (d, a, op) -> [ (Vars.reg d, alu_term `Add (Vars.reg_term a) (operand_term op)) ]
+  | Ast.Sub (d, a, op) -> [ (Vars.reg d, alu_term `Sub (Vars.reg_term a) (operand_term op)) ]
+  | Ast.And_ (d, a, op) -> [ (Vars.reg d, alu_term `And (Vars.reg_term a) (operand_term op)) ]
+  | Ast.Orr (d, a, op) -> [ (Vars.reg d, alu_term `Orr (Vars.reg_term a) (operand_term op)) ]
+  | Ast.Eor (d, a, op) -> [ (Vars.reg d, alu_term `Eor (Vars.reg_term a) (operand_term op)) ]
+  | Ast.Lsl (d, a, op) -> [ (Vars.reg d, alu_term `Lsl (Vars.reg_term a) (operand_term op)) ]
+  | Ast.Lsr (d, a, op) -> [ (Vars.reg d, alu_term `Lsr (Vars.reg_term a) (operand_term op)) ]
+  | Ast.Asr (d, a, op) -> [ (Vars.reg d, alu_term `Asr (Vars.reg_term a) (operand_term op)) ]
+  | Ast.Ldr (d, addr) -> [ (Vars.reg d, Term.select Vars.mem_term (address_term addr)) ]
+  | Ast.Str (s, addr) ->
+    [ (Vars.mem_name, Term.store Vars.mem_term (address_term addr) (Vars.reg_term s)) ]
+  | Ast.Cmp (a, op) -> cmp_assigns (Vars.reg_term a) (operand_term op)
+
+let aarch64_lift_instr ~pc:_ instr =
+  let access =
+    match instr with
+    | Ast.Ldr (_, addr) -> Load (address_term addr)
+    | Ast.Str (_, addr) -> Store (address_term addr)
+    | _ -> No_access
+  in
+  let control =
+    match instr with
+    | Ast.B target -> Jump target
+    | Ast.B_cond (c, target) -> Cond_jump (cond_term c, target)
+    | _ -> Fallthrough
+  in
+  { assigns = instr_assigns instr; access; control }
+
+let aarch64 =
+  {
+    name = "aarch64";
+    registers = List.map Vars.reg Scamv_isa.Reg.all;
+    has_flags = true;
+    validate = Ast.validate;
+    lift_instr = aarch64_lift_instr;
+    pp_instr = Ast.pp_instr;
+  }

@@ -1,5 +1,4 @@
 module Term = Scamv_smt.Term
-module Ast = Scamv_isa.Ast
 
 type hooks = {
   on_fetch : pc:int -> Obs.t list;
@@ -16,99 +15,52 @@ let no_hooks =
     on_branch = (fun ~pc:_ ~cond:_ -> []);
   }
 
-let operand_term = function
-  | Ast.Reg r -> Vars.reg_term r
-  | Ast.Imm v -> Term.bv_const v 64
+(* Re-exported lowerings: the AArch64 pieces moved into [Arch] with the
+   descriptor, but the speculation instrumentation and existing callers
+   still reach them through this module. *)
+let operand_term = Arch.operand_term
+let address_term = Arch.address_term
+let cond_term = Arch.cond_term
+let instr_assigns = Arch.instr_assigns
 
-let address_term { Ast.base; offset; scale } =
-  Term.add (Vars.reg_term base)
-    (Term.shl (operand_term offset) (Term.bv_const (Int64.of_int scale) 64))
-
-let cond_term c =
-  let nf = Vars.flag_term Vars.flag_n
-  and zf = Vars.flag_term Vars.flag_z
-  and cf = Vars.flag_term Vars.flag_c
-  and vf = Vars.flag_term Vars.flag_v in
-  match c with
-  | Ast.Eq -> zf
-  | Ast.Ne -> Term.not_ zf
-  | Ast.Hs -> cf
-  | Ast.Lo -> Term.not_ cf
-  | Ast.Hi -> Term.and_ cf (Term.not_ zf)
-  | Ast.Ls -> Term.or_ (Term.not_ cf) zf
-  | Ast.Ge -> Term.iff nf vf
-  | Ast.Lt -> Term.not_ (Term.iff nf vf)
-  | Ast.Gt -> Term.and_ (Term.not_ zf) (Term.iff nf vf)
-  | Ast.Le -> Term.or_ zf (Term.not_ (Term.iff nf vf))
-
-let alu_term op a b =
-  match op with
-  | `Add -> Term.add a b
-  | `Sub -> Term.sub a b
-  | `And -> Term.logand a b
-  | `Orr -> Term.logor a b
-  | `Eor -> Term.logxor a b
-  | `Lsl -> Term.shl a b
-  | `Lsr -> Term.lshr a b
-  | `Asr -> Term.ashr a b
-
-let msb e = Term.eq (Term.extract ~hi:63 ~lo:63 e) (Term.bv_one 1)
-
-let cmp_assigns a_term b_term =
-  let result = Term.sub a_term b_term in
-  [
-    (Vars.flag_n, msb result);
-    (Vars.flag_z, Term.eq result (Term.bv_zero 64));
-    (Vars.flag_c, Term.ule b_term a_term);
-    (Vars.flag_v, msb (Term.logand (Term.logxor a_term b_term) (Term.logxor a_term result)));
-  ]
-
-let instr_assigns = function
-  | Ast.Nop | Ast.B _ | Ast.B_cond _ -> []
-  | Ast.Mov (d, op) -> [ (Vars.reg d, operand_term op) ]
-  | Ast.Add (d, a, op) -> [ (Vars.reg d, alu_term `Add (Vars.reg_term a) (operand_term op)) ]
-  | Ast.Sub (d, a, op) -> [ (Vars.reg d, alu_term `Sub (Vars.reg_term a) (operand_term op)) ]
-  | Ast.And_ (d, a, op) -> [ (Vars.reg d, alu_term `And (Vars.reg_term a) (operand_term op)) ]
-  | Ast.Orr (d, a, op) -> [ (Vars.reg d, alu_term `Orr (Vars.reg_term a) (operand_term op)) ]
-  | Ast.Eor (d, a, op) -> [ (Vars.reg d, alu_term `Eor (Vars.reg_term a) (operand_term op)) ]
-  | Ast.Lsl (d, a, op) -> [ (Vars.reg d, alu_term `Lsl (Vars.reg_term a) (operand_term op)) ]
-  | Ast.Lsr (d, a, op) -> [ (Vars.reg d, alu_term `Lsr (Vars.reg_term a) (operand_term op)) ]
-  | Ast.Asr (d, a, op) -> [ (Vars.reg d, alu_term `Asr (Vars.reg_term a) (operand_term op)) ]
-  | Ast.Ldr (d, addr) -> [ (Vars.reg d, Term.select Vars.mem_term (address_term addr)) ]
-  | Ast.Str (s, addr) ->
-    [ (Vars.mem_name, Term.store Vars.mem_term (address_term addr) (Vars.reg_term s)) ]
-  | Ast.Cmp (a, op) -> cmp_assigns (Vars.reg_term a) (operand_term op)
-
-let lift_validated ~hooks program =
-  (match Ast.validate program with
+let lift_validated ~hooks arch program =
+  (match arch.Arch.validate program with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Lifter.lift: " ^ msg));
   let len = Array.length program in
   let lift_instr pc instr =
     let observes obs = List.map (fun o -> Program.Observe o) obs in
-    let assigns = List.map (fun (x, e) -> Program.Assign (x, e)) (instr_assigns instr) in
+    let { Arch.assigns; access; control } = arch.Arch.lift_instr ~pc instr in
+    let assigns = List.map (fun (x, e) -> Program.Assign (x, e)) assigns in
     let fetch_obs = observes (hooks.on_fetch ~pc) in
-    match instr with
-    | Ast.Ldr (_, addr) ->
-      let stmts = fetch_obs @ observes (hooks.on_load ~pc ~addr:(address_term addr)) @ assigns in
-      { Program.id = pc; stmts; term = Program.Jmp (pc + 1) }
-    | Ast.Str (_, addr) ->
-      let stmts = fetch_obs @ observes (hooks.on_store ~pc ~addr:(address_term addr)) @ assigns in
-      { Program.id = pc; stmts; term = Program.Jmp (pc + 1) }
-    | Ast.B target ->
-      let stmts = fetch_obs @ observes (hooks.on_branch ~pc ~cond:Term.tt) in
+    let access_obs =
+      match access with
+      | Arch.No_access -> []
+      | Arch.Load addr -> observes (hooks.on_load ~pc ~addr)
+      | Arch.Store addr -> observes (hooks.on_store ~pc ~addr)
+    in
+    match control with
+    | Arch.Fallthrough ->
+      {
+        Program.id = pc;
+        stmts = fetch_obs @ access_obs @ assigns;
+        term = Program.Jmp (pc + 1);
+      }
+    | Arch.Jump target ->
+      (* A link write (e.g. RV64 [jal]) still assigns on the taken edge. *)
+      let stmts =
+        fetch_obs @ access_obs @ observes (hooks.on_branch ~pc ~cond:Term.tt) @ assigns
+      in
       { Program.id = pc; stmts; term = Program.Jmp (min target len) }
-    | Ast.B_cond (c, target) ->
-      let cond = cond_term c in
-      let stmts = fetch_obs @ observes (hooks.on_branch ~pc ~cond) in
+    | Arch.Cond_jump (cond, target) ->
+      let stmts = fetch_obs @ access_obs @ observes (hooks.on_branch ~pc ~cond) @ assigns in
       { Program.id = pc; stmts; term = Program.Cjmp (cond, min target len, pc + 1) }
-    | Ast.Nop | Ast.Mov _ | Ast.Add _ | Ast.Sub _ | Ast.And_ _ | Ast.Orr _
-    | Ast.Eor _ | Ast.Lsl _ | Ast.Lsr _ | Ast.Asr _ | Ast.Cmp _ ->
-      { Program.id = pc; stmts = fetch_obs @ assigns; term = Program.Jmp (pc + 1) }
   in
   let body = Array.to_list (Array.mapi lift_instr program) in
   let halt_block = { Program.id = len; stmts = []; term = Program.Halt } in
   Program.make ~entry:0 (body @ [ halt_block ])
 
-let lift ?(hooks = no_hooks) program =
-  Scamv_telemetry.Collector.span "lift" (fun () -> lift_validated ~hooks program)
+let lift_arch ?(hooks = no_hooks) arch program =
+  Scamv_telemetry.Collector.span "lift" (fun () -> lift_validated ~hooks arch program)
+
+let lift ?hooks program = lift_arch ?hooks Arch.aarch64 program

@@ -10,9 +10,11 @@ module Pool = Scamv_util.Pool
 module Deadline = Scamv_util.Deadline
 module Chaos = Scamv_util.Chaos
 module Collector = Scamv_telemetry.Collector
+module Isa = Scamv_arch.Isa
 
 type config = {
   name : string;
+  isa : Isa.t;
   template : Templates.t Gen.t;
   setup : Refinement.t;
   view : Executor.view;
@@ -31,13 +33,15 @@ type config = {
   cancel : Deadline.t option;
 }
 
-let make ~name ~template ~setup ?(view = Executor.Full_cache) ?(programs = 50)
+let make ~name ?(isa = Isa.Aarch64) ~template ~setup
+    ?(view = Executor.Full_cache) ?(programs = 50)
     ?(tests_per_program = 30) ?(seed = 2021L) ?sat_budget ?(portfolio = 1)
     ?(retry = Retry.default) ?faults ?deadline ?chaos
     ?(clock = Stopwatch.wall) ?cancel () =
   if portfolio < 1 then invalid_arg "Campaign.make: portfolio must be >= 1";
   {
     name;
+    isa;
     template;
     setup;
     view;
@@ -109,7 +113,8 @@ let replay stats journal watch ~on_record events =
             ~elapsed:(Stopwatch.elapsed_s watch) ()
       | Journal.Quarantined _ -> stats := Stats.record_quarantine !stats
       | Journal.Program_failed _ -> stats := Stats.record_skipped_program !stats
-      | Journal.Crashed _ -> stats := Stats.record_crashed_program !stats)
+      | Journal.Crashed _ -> stats := Stats.record_crashed_program !stats
+      | Journal.Diverged _ -> stats := Stats.record_divergence !stats)
     events
 
 (* ---- per-program pipeline (worker side) ----
@@ -249,6 +254,7 @@ let run_program cfg pipeline_cfg ~program_index program_rng :
                 execution_seconds = exe_seconds;
                 retries = retry_outcome.Retry.retries;
                 faults = retry_outcome.Retry.faults;
+                isa = cfg.isa;
               });
          incr test_index
      done
@@ -318,7 +324,14 @@ let merge_program cfg ~on_event ~on_record ~journal ~watch ~stats ~program_index
         stats := Stats.record_crashed_program !stats;
         on_event
           (Printf.sprintf "[%s] program %d crashed: %s" cfg.name program_index
-             reason))
+             reason)
+      | Journal.Diverged { pair; aarch64; riscv; _ } ->
+        stats := Stats.record_divergence !stats;
+        on_event
+          (Printf.sprintf
+             "[%s] program %d: cross-ISA divergence on path pair (%d,%d): aarch64=%s riscv=%s"
+             cfg.name program_index (fst pair) (snd pair)
+             (Journal.verdict_string aarch64) (Journal.verdict_string riscv)))
     events;
   stats := Stats.record_program !stats ~found_counterexample:!found;
   if (program_index + 1) mod 25 = 0 then
@@ -338,7 +351,7 @@ let run ?(on_event = fun _ -> ()) ?(on_record = fun (_ : Journal.event) -> ())
   let watch = Stopwatch.start ~clock:cfg.clock () in
   let stats = ref Stats.empty in
   let pipeline_cfg =
-    let pc = cfg.pipeline cfg.setup in
+    let pc = { (cfg.pipeline cfg.setup) with Pipeline.isa = cfg.isa } in
     let pc =
       match cfg.sat_budget with
       | None -> pc

@@ -19,6 +19,10 @@
 
 type config = {
   name : string;
+  isa : Scamv_arch.Isa.t;
+      (** guest ISA: stamps every journal row and selects the pipeline's
+          lifting/concretization architecture.  Must match the programs
+          the template generates. *)
   template : Scamv_gen.Templates.t Scamv_gen.Gen.t;
   setup : Scamv_models.Refinement.t;
   view : Scamv_microarch.Executor.view;
@@ -65,6 +69,7 @@ type config = {
 
 val make :
   name:string ->
+  ?isa:Scamv_arch.Isa.t ->
   template:Scamv_gen.Templates.t Scamv_gen.Gen.t ->
   setup:Scamv_models.Refinement.t ->
   ?view:Scamv_microarch.Executor.view ->

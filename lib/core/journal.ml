@@ -1,4 +1,5 @@
 module Executor = Scamv_microarch.Executor
+module Isa = Scamv_arch.Isa
 module Crc32 = Scamv_util.Crc32
 module Chaos = Scamv_util.Chaos
 
@@ -13,6 +14,7 @@ type entry = {
   execution_seconds : float;
   retries : int;
   faults : int;
+  isa : Isa.t;
 }
 
 type event =
@@ -25,12 +27,20 @@ type event =
     }
   | Program_failed of { campaign : string; program_index : int; reason : string }
   | Crashed of { campaign : string; program_index : int; reason : string }
+  | Diverged of {
+      campaign : string;
+      program_index : int;
+      pair : int * int;
+      aarch64 : Executor.verdict;
+      riscv : Executor.verdict;
+    }
 
 let event_program_index = function
   | Experiment e -> e.program_index
   | Quarantined q -> q.program_index
   | Program_failed f -> f.program_index
   | Crashed c -> c.program_index
+  | Diverged d -> d.program_index
 
 type t = {
   mutable events_rev : event list;
@@ -70,10 +80,16 @@ let csv_header =
 let event_row ev =
   match ev with
   | Experiment e ->
-    Printf.sprintf "%s,experiment,%d,%d,%s,%d,%d,%s,%.6f,%.6f,%d,%d,\n"
+    (* The ISA rides in a 14th column appended only for non-AArch64 rows,
+       so every journal ever written before the column existed — and every
+       AArch64 row written after — keeps the exact same 13-field bytes. *)
+    let isa_suffix =
+      match e.isa with Isa.Aarch64 -> "" | isa -> "," ^ Isa.to_string isa
+    in
+    Printf.sprintf "%s,experiment,%d,%d,%s,%d,%d,%s,%.6f,%.6f,%d,%d,%s\n"
       (quote e.campaign) e.program_index e.test_index (quote e.template)
       (fst e.path_pair) (snd e.path_pair) (verdict_string e.verdict)
-      e.generation_seconds e.execution_seconds e.retries e.faults
+      e.generation_seconds e.execution_seconds e.retries e.faults isa_suffix
   | Quarantined q ->
     Printf.sprintf "%s,quarantined,%d,,,%d,%d,,,,,,%s\n" (quote q.campaign)
       q.program_index (fst q.pair) (snd q.pair) (quote q.reason)
@@ -83,6 +99,12 @@ let event_row ev =
   | Crashed c ->
     Printf.sprintf "%s,crashed,%d,,,,,,,,,,%s\n" (quote c.campaign)
       c.program_index (quote c.reason)
+  | Diverged d ->
+    (* The AArch64 verdict takes the verdict column; the RISC-V verdict
+       rides in the reason column (both render as verdict words). *)
+    Printf.sprintf "%s,diverged,%d,,,%d,%d,%s,,,,,%s\n" (quote d.campaign)
+      d.program_index (fst d.pair) (snd d.pair) (verdict_string d.aarch64)
+      (verdict_string d.riscv)
 
 (* ---- v2 on-disk framing ----
 
@@ -201,7 +223,7 @@ let event_to_json ev =
   match ev with
   | Experiment e ->
     J.Obj
-      [
+      ([
         ("kind", J.Str "experiment");
         ("campaign", J.Str e.campaign);
         ("program", J.Num (float_of_int e.program_index));
@@ -215,6 +237,10 @@ let event_to_json ev =
         ("retries", J.Num (float_of_int e.retries));
         ("faults", J.Num (float_of_int e.faults));
       ]
+      (* appended last so AArch64 streams keep their historical bytes *)
+      @ (match e.isa with
+        | Isa.Aarch64 -> []
+        | isa -> [ ("isa", J.Str (Isa.to_string isa)) ]))
   | Quarantined q ->
     J.Obj
       [
@@ -240,6 +266,17 @@ let event_to_json ev =
         ("campaign", J.Str c.campaign);
         ("program", J.Num (float_of_int c.program_index));
         ("reason", J.Str c.reason);
+      ]
+  | Diverged d ->
+    J.Obj
+      [
+        ("kind", J.Str "diverged");
+        ("campaign", J.Str d.campaign);
+        ("program", J.Num (float_of_int d.program_index));
+        ("path1", J.Num (float_of_int (fst d.pair)));
+        ("path2", J.Num (float_of_int (snd d.pair)));
+        ("aarch64", J.Str (verdict_string d.aarch64));
+        ("riscv", J.Str (verdict_string d.riscv));
       ]
 
 let to_csv t =
@@ -333,7 +370,19 @@ let float_field name s =
   try float_of_string s
   with _ -> raise (Parse_error (Printf.sprintf "field %s: bad float %S" name s))
 
-let event_of_fields = function
+let event_of_fields fields =
+  (* A 14th field, when present, names the guest ISA; 13-field rows are
+     the historical format and mean AArch64. *)
+  let fields, isa =
+    match fields with
+    | [ _; _; _; _; _; _; _; _; _; _; _; _; _; isa_s ] ->
+      (List.filteri (fun i _ -> i < 13) fields,
+       (match Isa.of_string isa_s with
+       | Ok isa -> isa
+       | Error msg -> raise (Parse_error msg)))
+    | _ -> (fields, Isa.Aarch64)
+  in
+  match fields with
   | [
       campaign; kind; program; test; template; path1; path2; verdict; gen; exe;
       retries; faults; reason;
@@ -353,6 +402,7 @@ let event_of_fields = function
           execution_seconds = float_field "exe_seconds" exe;
           retries = (if retries = "" then 0 else int_field "retries" retries);
           faults = (if faults = "" then 0 else int_field "faults" faults);
+          isa;
         }
     | "quarantined" ->
       Quarantined
@@ -361,6 +411,15 @@ let event_of_fields = function
           program_index;
           pair = (int_field "path1" path1, int_field "path2" path2);
           reason;
+        }
+    | "diverged" ->
+      Diverged
+        {
+          campaign;
+          program_index;
+          pair = (int_field "path1" path1, int_field "path2" path2);
+          aarch64 = verdict_of_string verdict;
+          riscv = verdict_of_string reason;
         }
     | "program-failed" -> Program_failed { campaign; program_index; reason }
     | "crashed" -> Crashed { campaign; program_index; reason }

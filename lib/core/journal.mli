@@ -31,6 +31,11 @@ type entry = {
   execution_seconds : float;
   retries : int;  (** executor attempts beyond the first (see {!Retry}) *)
   faults : int;  (** injected faults observed across all attempts *)
+  isa : Scamv_arch.Isa.t;
+      (** guest ISA the experiment ran on.  On disk the ISA is a 14th CSV
+          column appended only for non-AArch64 rows: AArch64 rows keep the
+          historical 13-field bytes, and 13-field rows load as
+          [Aarch64] — old journals remain readable and byte-stable. *)
 }
 
 type event =
@@ -46,6 +51,17 @@ type event =
   | Crashed of { campaign : string; program_index : int; reason : string }
       (** a program lost to a supervised failure: a worker-domain crash
           (respawned by the pool) or an expired deadline *)
+  | Diverged of {
+      campaign : string;
+      program_index : int;
+      pair : int * int;
+      aarch64 : Scamv_microarch.Executor.verdict;
+      riscv : Scamv_microarch.Executor.verdict;
+    }
+      (** a differential campaign found the two ISAs disagreeing on a path
+          pair's verdict (see {!Diff}).  In CSV the AArch64 verdict
+          occupies the verdict column and the RISC-V verdict the reason
+          column. *)
 
 val event_program_index : event -> int
 
@@ -140,3 +156,7 @@ val load : path:string -> t * recovery
 (** {!of_string_tolerant} on a file — the [--resume] entry point. *)
 
 val pp_verdict : Format.formatter -> Scamv_microarch.Executor.verdict -> unit
+
+val verdict_string : Scamv_microarch.Executor.verdict -> string
+(** The CSV/JSON verdict word: ["distinguishable"] /
+    ["indistinguishable"] / ["inconclusive"]. *)

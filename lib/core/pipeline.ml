@@ -5,6 +5,7 @@ module Synth = Scamv_relation.Synth
 module Training = Scamv_relation.Training
 module Concretize = Scamv_relation.Concretize
 module Refinement = Scamv_models.Refinement
+module Isa = Scamv_arch.Isa
 module Splitmix = Scamv_util.Splitmix
 module Deadline = Scamv_util.Deadline
 module Chaos = Scamv_util.Chaos
@@ -12,6 +13,7 @@ module Tm = Scamv_telemetry.Collector
 
 type config = {
   setup : Refinement.t;
+  isa : Isa.t;
   platform : Scamv_isa.Platform.t;
   diversify : bool;
   max_steps : int;
@@ -22,9 +24,10 @@ type config = {
          consulted when a session exhausts its SAT budget *)
 }
 
-let default_config setup =
+let default_config ?(isa = Isa.Aarch64) setup =
   {
     setup;
+    isa;
     platform = Scamv_isa.Platform.cortex_a53;
     diversify = Refinement.has_refinement setup;
     max_steps = 4096;
@@ -55,15 +58,38 @@ type pair_session = {
 type t = {
   cfg : config;
   seed : int64;  (* prepare seed: keys the chaos site below *)
-  isa_program : Scamv_isa.Ast.program;
+  isa_program : Isa.program;
   bir_program : Scamv_bir.Program.t;
   leaf_list : Exec.leaf list;
   mutable queue : pair_session list;  (* round-robin of live sessions *)
   mutable quarantined_rev : ((int * int) * string) list;
 }
 
+(* Per-ISA dispatch: the architecture descriptor is indexed by its
+   instruction type, so the existential is opened here, once per entry
+   point, and everything downstream is descriptor-generic. *)
+
+let annotate setup = function
+  | Isa.Aarch64_program p -> Refinement.annotate_arch setup Scamv_bir.Arch.aarch64 p
+  | Isa.Riscv_program p -> Refinement.annotate_arch setup Scamv_riscv.Lift.arch p
+
+let machine_of_model isa =
+  match isa with
+  | Isa.Aarch64 -> Concretize.machine_of_model_arch ~arch:Scamv_bir.Arch.aarch64
+  | Isa.Riscv -> Concretize.machine_of_model_arch ~arch:Scamv_riscv.Lift.arch
+
+let test_states isa model =
+  match isa with
+  | Isa.Aarch64 -> Concretize.test_states_arch ~arch:Scamv_bir.Arch.aarch64 model
+  | Isa.Riscv -> Concretize.test_states_arch ~arch:Scamv_riscv.Lift.arch model
+
 let prepare ?(seed = 0L) cfg isa_program =
   Tm.span "prepare" (fun () ->
+  if not (Isa.equal cfg.isa (Isa.of_program isa_program)) then
+    invalid_arg
+      (Printf.sprintf "Pipeline.prepare: config is for %s but the program is %s"
+         (Isa.to_string cfg.isa)
+         (Isa.to_string (Isa.of_program isa_program)));
   (* Deadline polls at the phase boundaries: each phase below can run for
      seconds on a pathological program, and an ambient token expired by
      the previous phase (or program) must stop the next one from
@@ -71,7 +97,7 @@ let prepare ?(seed = 0L) cfg isa_program =
   Deadline.poll ();
   let bir_program =
     (* The lifter records its own nested "lift" span. *)
-    Tm.span "annotate" (fun () -> Refinement.annotate cfg.setup isa_program)
+    Tm.span "annotate" (fun () -> annotate cfg.setup isa_program)
   in
   Deadline.poll ();
   let leaf_list =
@@ -94,7 +120,8 @@ let prepare ?(seed = 0L) cfg isa_program =
      sessions, training cache and all — lives on a single domain. *)
   let graph = Scamv_smt.Blaster.new_graph () in
   let tcache =
-    Training.prepare ~graph ~platform:cfg.platform ~leaves:leaf_list ()
+    Training.prepare ~graph ~machine_of_model:(machine_of_model cfg.isa)
+      ~platform:cfg.platform ~leaves:leaf_list ()
   in
   let sessions =
     Tm.span "synth" (fun () ->
@@ -274,7 +301,7 @@ and emit_case t ps rest model =
   if t.cfg.portfolio > 1 then
     Tm.incr (Printf.sprintf "portfolio.wins.%d" ps.config_index);
   t.queue <- rest @ [ ps ];
-  let state1, state2 = Concretize.test_states model in
+  let state1, state2 = test_states t.cfg.isa model in
   Case { pair = ps.pair; state1; state2; train = Lazy.force ps.training; model }
 
 (* Deadline expiry anywhere under enumeration — the SAT search, blasting a

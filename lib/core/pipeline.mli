@@ -10,6 +10,9 @@
 
 type config = {
   setup : Scamv_models.Refinement.t;
+  isa : Scamv_arch.Isa.t;
+      (** guest ISA this pipeline lifts and concretizes for; must match
+          the programs handed to {!prepare} *)
   platform : Scamv_isa.Platform.t;
   diversify : bool;
       (** randomize solver phases between enumerated models, spreading
@@ -31,7 +34,8 @@ type config = {
           [portfolio.wins.<rank>]. *)
 }
 
-val default_config : Scamv_models.Refinement.t -> config
+val default_config : ?isa:Scamv_arch.Isa.t -> Scamv_models.Refinement.t -> config
+(** [isa] defaults to [Aarch64]. *)
 
 type test_case = {
   pair : int * int;  (** leaf indexes of the two states' paths *)
@@ -44,11 +48,13 @@ type test_case = {
 type t
 (** Cached per-program generation state. *)
 
-val prepare : ?seed:int64 -> config -> Scamv_isa.Ast.program -> t
+val prepare : ?seed:int64 -> config -> Scamv_arch.Isa.program -> t
 (** Annotate, symbolically execute, synthesize the per-pair relations and
-    open the enumeration sessions. *)
+    open the enumeration sessions.
+    @raise Invalid_argument when the program's ISA differs from
+    [config.isa]. *)
 
-val program : t -> Scamv_isa.Ast.program
+val program : t -> Scamv_arch.Isa.program
 val bir : t -> Scamv_bir.Program.t
 val leaves : t -> Scamv_symbolic.Exec.leaf list
 val pair_count : t -> int

@@ -12,6 +12,7 @@ type t = {
   budget_exceeded : int;
   retries : int;
   faults_observed : int;
+  divergences : int;
   generation_time : Summary.t;
   execution_time : Summary.t;
   time_to_first_counterexample : float option;
@@ -29,6 +30,7 @@ let empty =
     budget_exceeded = 0;
     retries = 0;
     faults_observed = 0;
+    divergences = 0;
     generation_time = Summary.empty;
     execution_time = Summary.empty;
     time_to_first_counterexample = None;
@@ -45,6 +47,7 @@ let record_program t ~found_counterexample =
 let record_skipped_program t = { t with skipped_programs = t.skipped_programs + 1 }
 let record_crashed_program t = { t with crashed_programs = t.crashed_programs + 1 }
 let record_quarantine t = { t with budget_exceeded = t.budget_exceeded + 1 }
+let record_divergence t = { t with divergences = t.divergences + 1 }
 
 let record_experiment t ~verdict ?(retries = 0) ?(faults = 0) ~gen_seconds
     ~exe_seconds ~elapsed () =
@@ -78,6 +81,7 @@ let merge a b =
     budget_exceeded = a.budget_exceeded + b.budget_exceeded;
     retries = a.retries + b.retries;
     faults_observed = a.faults_observed + b.faults_observed;
+    divergences = a.divergences + b.divergences;
     generation_time = Summary.merge a.generation_time b.generation_time;
     execution_time = Summary.merge a.execution_time b.execution_time;
     time_to_first_counterexample =
@@ -135,7 +139,7 @@ let pp ppf t =
      experiments: %d, counterexamples: %d, inconclusive: %d@,\
      quarantined path pairs: %d, retries: %d, faults observed: %d@,\
      avg generation: %.4fs, avg execution: %.4fs@,\
-     time to first counterexample: %s@]"
+     time to first counterexample: %s%s@]"
     t.programs t.programs_with_counterexample t.skipped_programs
     t.crashed_programs t.experiments
     t.counterexamples t.inconclusive t.budget_exceeded t.retries
@@ -145,3 +149,6 @@ let pp ppf t =
     (match t.time_to_first_counterexample with
     | None -> "-"
     | Some s -> Printf.sprintf "%.2fs" s)
+    (if t.divergences > 0 then
+       Printf.sprintf "\ncross-ISA divergences: %d" t.divergences
+     else "")

@@ -14,6 +14,9 @@ type t = {
   budget_exceeded : int;  (** path pairs quarantined by the SAT budget *)
   retries : int;  (** extra executor attempts beyond the first *)
   faults_observed : int;  (** injected faults seen across all experiments *)
+  divergences : int;
+      (** path pairs where a differential campaign's two ISAs disagreed on
+          the verdict (see {!Diff}); always 0 for single-ISA campaigns *)
   generation_time : Scamv_util.Summary.t;  (** per-test-case synthesis time *)
   execution_time : Scamv_util.Summary.t;  (** per-experiment run time *)
   time_to_first_counterexample : float option;  (** wall seconds, None = never *)
@@ -33,6 +36,9 @@ val record_crashed_program : t -> t
 
 val record_quarantine : t -> t
 (** A path pair dropped because its SAT budget ran out. *)
+
+val record_divergence : t -> t
+(** A cross-ISA verdict divergence found by a differential campaign. *)
 
 val record_experiment :
   t ->

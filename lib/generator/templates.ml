@@ -1,8 +1,13 @@
 module Ast = Scamv_isa.Ast
 module Reg = Scamv_isa.Reg
+module Rv = Scamv_riscv.Ast
+module Isa = Scamv_arch.Isa
 open Gen.Syntax
 
-type t = { template_name : string; program : Ast.program }
+type t = { template_name : string; program : Isa.program }
+
+let arm name program = { template_name = name; program = Isa.Aarch64_program program }
+let rv name program = { template_name = name; program = Isa.Riscv_program program }
 
 let conds = [ Ast.Eq; Ast.Ne; Ast.Hs; Ast.Lo; Ast.Hi; Ast.Ls; Ast.Ge; Ast.Lt ]
 
@@ -24,7 +29,7 @@ let stride =
         (fun i dest -> Ast.Ldr (dest, imm_addr base (Int64.mul (Int64.of_int i) v)))
         dests
     in
-    Gen.return { template_name = "stride"; program = Array.of_list loads }
+    Gen.return (arm "stride" (Array.of_list loads))
   | [] -> assert false
 
 (* Template A (Fig. 5): anticipated load, comparison, guarded dependent
@@ -47,7 +52,7 @@ let template_a =
       Ast.Ldr (r5, reg_addr r6 r2);
     |]
   in
-  Gen.return { template_name = "A"; program }
+  Gen.return (arm "A" program)
 
 (* Template B (Fig. 5): 0..2 loads, comparison with a random predicate,
    1..2 loads in the body; no register-allocation constraints at all. *)
@@ -68,7 +73,7 @@ let template_b =
   let program =
     Array.of_list (prefix @ (Ast.B_cond (cond, skip_target) :: body))
   in
-  Gen.return { template_name = "B"; program }
+  Gen.return (arm "B" program)
 
 (* Template C (Fig. 7): two causally dependent loads in the branch body,
    optionally interleaved with an arithmetic operation on the loaded
@@ -99,7 +104,7 @@ let template_c =
     let program =
       Array.of_list (Ast.Cmp (r1, Ast.Reg r2) :: Ast.B_cond (cond, skip_target) :: body)
     in
-    Gen.return { template_name = "C"; program }
+    Gen.return (arm "C" program)
   | _ -> assert false
 
 (* Template D (Fig. 7): loads placed textually after an unconditional
@@ -117,12 +122,152 @@ let template_d =
   let jump_at = List.length before in
   let target = jump_at + 1 + List.length dead in
   let program = Array.of_list (before @ (Ast.B target :: dead)) in
-  Gen.return { template_name = "D"; program }
+  Gen.return (arm "D" program)
 
-let by_name = function
-  | "stride" -> stride
-  | "A" -> template_a
-  | "B" -> template_b
-  | "C" -> template_c
-  | "D" -> template_d
-  | name -> invalid_arg ("Templates.by_name: unknown template " ^ name)
+(* ---- RV64 instantiations ----
+
+   The same template shapes on the second guest ISA.  Two systematic
+   differences: RV64 has no flags, so the Cmp/B.cond pair becomes one
+   compare-and-branch drawn from the six RV64 predicates; and loads only
+   address as base+immediate, so the register-offset addressing of the
+   AArch64 shapes becomes an explicit address [Add] feeding the load.
+   Register draws range over x1..x31 (x0 is the hardwired zero). *)
+
+let rv_reg = Gen.map (fun i -> Rv.x i) (Gen.int_in 1 31)
+
+let rv_reg_avoiding avoid =
+  Gen.choose
+    (List.filter (fun r -> not (List.mem r avoid)) (List.init 31 (fun i -> i + 1)))
+
+let rv_distinct_regs n =
+  let rec go n picked =
+    if n = 0 then Gen.return (List.rev picked)
+    else Gen.bind (rv_reg_avoiding picked) (fun r -> go (n - 1) (r :: picked))
+  in
+  go n []
+
+type rv_cond = Rv_beq | Rv_bne | Rv_blt | Rv_bge | Rv_bltu | Rv_bgeu
+
+let rv_conds = [ Rv_beq; Rv_bne; Rv_blt; Rv_bge; Rv_bltu; Rv_bgeu ]
+
+let rv_branch cond a b target =
+  match cond with
+  | Rv_beq -> Rv.Beq (a, b, target)
+  | Rv_bne -> Rv.Bne (a, b, target)
+  | Rv_blt -> Rv.Blt (a, b, target)
+  | Rv_bge -> Rv.Bge (a, b, target)
+  | Rv_bltu -> Rv.Bltu (a, b, target)
+  | Rv_bgeu -> Rv.Bgeu (a, b, target)
+
+let rv_stride =
+  let* count = Gen.int_in 3 5 in
+  let* line_multiple = Gen.int_in 1 4 in
+  let v = Int64.of_int (64 * line_multiple) in
+  let* regs = rv_distinct_regs (count + 1) in
+  match regs with
+  | base :: dests ->
+    let loads =
+      List.mapi
+        (fun i dest -> Rv.Ld (dest, Int64.mul (Int64.of_int i) v, base))
+        dests
+    in
+    Gen.return (rv "stride" (Array.of_list loads))
+  | [] -> assert false
+
+(* A load whose address is base+offset-register: materialized as an
+   address Add into a scratch register followed by the load. *)
+let rv_indexed_load ~scratch ~dest ~base ~offset =
+  [ Rv.Add (scratch, base, offset); Rv.Ld (dest, 0L, scratch) ]
+
+let rv_template_a =
+  let* regs = rv_distinct_regs 8 in
+  match regs with
+  | [ r0; r1; r2; r4; r5; r6; t0; t1 ] ->
+    let* cond = Gen.choose rv_conds in
+    let body = rv_indexed_load ~scratch:t1 ~dest:r5 ~base:r6 ~offset:r2 in
+    let prefix =
+      rv_indexed_load ~scratch:t0 ~dest:r2 ~base:r0 ~offset:r1
+      @ [ rv_branch cond r1 r4 (3 + List.length body) ]
+    in
+    Gen.return (rv "A" (Array.of_list (prefix @ body)))
+  | _ -> assert false
+
+let rv_template_b =
+  let any_load =
+    let* d = rv_reg in
+    let* b = rv_reg in
+    let* o = rv_reg in
+    let* s = rv_reg in
+    Gen.return (rv_indexed_load ~scratch:s ~dest:d ~base:b ~offset:o)
+  in
+  let* before = Gen.bind (Gen.int_in 0 2) (fun n -> Gen.list n any_load) in
+  let* body = Gen.bind (Gen.int_in 1 2) (fun n -> Gen.list n any_load) in
+  let* ra = rv_reg in
+  let* rb = rv_reg in
+  let* cond = Gen.choose rv_conds in
+  let before = List.concat before and body = List.concat body in
+  let skip_target = List.length before + 1 + List.length body in
+  let program =
+    Array.of_list (before @ (rv_branch cond ra rb skip_target :: body))
+  in
+  Gen.return (rv "B" program)
+
+let rv_template_c =
+  let* regs = rv_distinct_regs 10 in
+  match regs with
+  | [ r1; r2; r3; r5; r6; r7; r8; r9; t0; t1 ] ->
+    let* cond = Gen.choose rv_conds in
+    let* middle_op =
+      Gen.opt 0.5
+        (let* imm = Gen.int_in 1 255 in
+         let* op = Gen.choose [ `Add; `Xor ] in
+         Gen.return (op, Int64.of_int imm))
+    in
+    let first = rv_indexed_load ~scratch:t0 ~dest:r6 ~base:r5 ~offset:r3 in
+    let body =
+      match middle_op with
+      | None -> first @ rv_indexed_load ~scratch:t1 ~dest:r8 ~base:r7 ~offset:r6
+      | Some (op, imm) ->
+        let arith =
+          match op with
+          | `Add -> Rv.Addi (r9, r6, imm)
+          | `Xor -> Rv.Xori (r9, r6, imm)
+        in
+        first @ (arith :: rv_indexed_load ~scratch:t1 ~dest:r8 ~base:r7 ~offset:r9)
+    in
+    let skip_target = 1 + List.length body in
+    let program = Array.of_list (rv_branch cond r1 r2 skip_target :: body) in
+    Gen.return (rv "C" program)
+  | _ -> assert false
+
+let rv_template_d =
+  let any_load =
+    let* d = rv_reg in
+    let* b = rv_reg in
+    let* o = rv_reg in
+    let* s = rv_reg in
+    Gen.return (rv_indexed_load ~scratch:s ~dest:d ~base:b ~offset:o)
+  in
+  let* before = Gen.bind (Gen.int_in 0 1) (fun n -> Gen.list n any_load) in
+  let* dead = Gen.bind (Gen.int_in 1 2) (fun n -> Gen.list n any_load) in
+  let before = List.concat before and dead = List.concat dead in
+  let jump_at = List.length before in
+  let target = jump_at + 1 + List.length dead in
+  let program = Array.of_list (before @ (Rv.Jal (Rv.x 0, target) :: dead)) in
+  Gen.return (rv "D" program)
+
+let names = [ "stride"; "A"; "B"; "C"; "D" ]
+
+let by_name ?(isa = Isa.Aarch64) name =
+  let pick a r = match isa with Isa.Aarch64 -> a | Isa.Riscv -> r in
+  match name with
+  | "stride" -> pick stride rv_stride
+  | "A" -> pick template_a rv_template_a
+  | "B" -> pick template_b rv_template_b
+  | "C" -> pick template_c rv_template_c
+  | "D" -> pick template_d rv_template_d
+  | name ->
+    invalid_arg
+      (Printf.sprintf
+         "Templates.by_name: unknown template %S (expected one of: %s)" name
+         (String.concat ", " names))

@@ -1,4 +1,5 @@
 module Ast = Scamv_isa.Ast
+module Rv = Scamv_riscv.Ast
 module Machine = Scamv_isa.Machine
 module Semantics = Scamv_isa.Semantics
 module Platform = Scamv_isa.Platform
@@ -277,6 +278,93 @@ let transient_execute t events program machine ~start_pc ~max_loads =
   in
   go start_pc 0
 
+(* ---- RV64 guest ----
+
+   The RISC-V register file shares the machine representation with the
+   AArch64 subset: x[k] (k >= 1) occupies register slot k-1 (the
+   [Scamv_riscv.Lift]/[Translate] convention) and x0 is hardwired to
+   zero.  The microarchitectural machinery — cache, TLB, prefetcher,
+   predictor, transient window, taint — is identical; only instruction
+   decode differs, which is the point of the experiment platform being
+   ISA-generic below the lifter. *)
+
+let rv_slot r = Reg.x (r - 1)
+let rv_get machine r = if r = 0 then 0L else Machine.get_reg machine (rv_slot r)
+let rv_set machine r v = if r <> 0 then Machine.set_reg machine (rv_slot r) v
+let rv_shadow_get sh r = if r = 0 then 0L else shadow_get sh (rv_slot r)
+let rv_shadow_set sh r v ~taint = if r <> 0 then shadow_set sh (rv_slot r) v ~taint
+let rv_shadow_tainted sh r = r <> 0 && shadow_tainted sh (rv_slot r)
+
+(* Register-amount shifts use the low 6 bits of rs2 (RV64I masking, not
+   the AArch64 subset's zero-for-large-amounts rule). *)
+let rv_shift_amount b = Int64.to_int (Int64.logand b 63L)
+
+(* Transient wrong-path execution of an RV64 slice: same window, taint
+   and suppression discipline as the AArch64 path. *)
+let rv_transient_execute t events program machine ~start_pc ~max_loads =
+  let len = Array.length program in
+  let sh = shadow_of machine in
+  let loads = ref 0 in
+  let rec go pc steps =
+    if steps >= t.cfg.spec_window || pc < 0 || pc >= len then ()
+    else
+      let continue_at next = go next (steps + 1) in
+      let alu2 d a b f =
+        let taint = rv_shadow_tainted sh a || rv_shadow_tainted sh b in
+        rv_shadow_set sh d (f (rv_shadow_get sh a) (rv_shadow_get sh b)) ~taint;
+        continue_at (pc + 1)
+      in
+      let alui d a f =
+        rv_shadow_set sh d (f (rv_shadow_get sh a)) ~taint:(rv_shadow_tainted sh a);
+        continue_at (pc + 1)
+      in
+      match program.(pc) with
+      | Rv.Beq _ | Rv.Bne _ | Rv.Blt _ | Rv.Bge _ | Rv.Bltu _ | Rv.Bgeu _ | Rv.Jal _ ->
+        (* Depth-one speculation: a further branch ends the window. *)
+        ()
+      | Rv.Nop -> continue_at (pc + 1)
+      | Rv.Addi (d, a, v) -> alui d a (fun x -> Int64.add x v)
+      | Rv.Add (d, a, b) -> alu2 d a b Int64.add
+      | Rv.Sub (d, a, b) -> alu2 d a b Int64.sub
+      | Rv.And_ (d, a, b) -> alu2 d a b Int64.logand
+      | Rv.Or_ (d, a, b) -> alu2 d a b Int64.logor
+      | Rv.Xor (d, a, b) -> alu2 d a b Int64.logxor
+      | Rv.Andi (d, a, v) -> alui d a (fun x -> Int64.logand x v)
+      | Rv.Ori (d, a, v) -> alui d a (fun x -> Int64.logor x v)
+      | Rv.Xori (d, a, v) -> alui d a (fun x -> Int64.logxor x v)
+      | Rv.Slli (d, a, k) -> alui d a (fun x -> Int64.shift_left x k)
+      | Rv.Srli (d, a, k) -> alui d a (fun x -> Int64.shift_right_logical x k)
+      | Rv.Srai (d, a, k) -> alui d a (fun x -> Int64.shift_right x k)
+      | Rv.Sll (d, a, b) -> alu2 d a b (fun x y -> Int64.shift_left x (rv_shift_amount y))
+      | Rv.Srl (d, a, b) ->
+        alu2 d a b (fun x y -> Int64.shift_right_logical x (rv_shift_amount y))
+      | Rv.Sra (d, a, b) -> alu2 d a b (fun x y -> Int64.shift_right x (rv_shift_amount y))
+      | Rv.Sd _ ->
+        (* No allocation before commit. *)
+        continue_at (pc + 1)
+      | Rv.Ld (d, imm, b) ->
+        if
+          ((not t.cfg.speculative_forwarding) && rv_shadow_tainted sh b)
+          || !loads >= max_loads
+        then begin
+          t.ctr.transient_suppressed <- t.ctr.transient_suppressed + 1;
+          events := Transient_suppressed pc :: !events;
+          rv_shadow_set sh d 0L ~taint:true;
+          continue_at (pc + 1)
+        end
+        else begin
+          let a = Int64.add (rv_shadow_get sh b) imm in
+          incr loads;
+          t.ctr.transient_loads <- t.ctr.transient_loads + 1;
+          events := Transient_load a :: !events;
+          ignore (demand_access t events a);
+          rv_shadow_set sh d (Machine.load machine a)
+            ~taint:(not t.cfg.speculative_forwarding);
+          continue_at (pc + 1)
+        end
+  in
+  go start_pc 0
+
 (* ---- committed execution ---- *)
 
 (* How many committed instructions back a register load still delays a
@@ -361,6 +449,123 @@ let run t program machine =
               | Semantics.Fetch _ | Semantics.Branch _ -> ())
             arch_events;
           next_pc
+      in
+      go next_pc (fuel - 1)
+    end
+  in
+  go 0 t.cfg.fuel;
+  List.rev !events
+
+(* Committed RV64 execution.  The structure mirrors [run]; the
+   branch-resolution-latency rule has no flags to watch, so a
+   compare-and-branch resolves slowly exactly when one of its *source
+   registers* was recently loaded (same load-to-use window). *)
+let run_rv64 t program machine =
+  t.cycles <- 0;
+  let charge c = t.cycles <- t.cycles + c in
+  let events = ref [] in
+  let len = Array.length program in
+  (* Committed-instruction index at which each RV64 register was last
+     loaded from memory (index 0 is never set: x0 is constant). *)
+  let loaded_at = Array.make 32 (-1) in
+  let instr_count = ref 0 in
+  let recently r = r <> 0 && loaded_at.(r) >= 0 && !instr_count - loaded_at.(r) <= load_use_window in
+  let branch pc a b target ~taken =
+    let predicted =
+      let p = Predictor.predict t.predictor pc in
+      if t.cfg.mispredict_noise > 0.0 && draw_float t < t.cfg.mispredict_noise then not p
+      else p
+    in
+    Predictor.update t.predictor pc ~taken;
+    if predicted = taken then t.ctr.predictor_hits <- t.ctr.predictor_hits + 1
+    else t.ctr.predictor_misses <- t.ctr.predictor_misses + 1;
+    events := Commit_branch { pc; taken; predicted } :: !events;
+    charge issue_cycles;
+    if predicted <> taken then charge mispredict_penalty;
+    if predicted <> taken && t.cfg.spec_window > 0 then begin
+      let wrong_start = if predicted then min target len else pc + 1 in
+      let max_loads =
+        if recently a || recently b || t.cfg.speculative_forwarding then
+          t.cfg.spec_max_loads
+        else 1
+      in
+      rv_transient_execute t events program machine ~start_pc:wrong_start ~max_loads
+    end;
+    if taken then target else pc + 1
+  in
+  let rec go pc fuel =
+    if pc < 0 || pc >= len then ()
+    else if fuel = 0 then failwith "Core.run_rv64: fuel exhausted"
+    else begin
+      incr instr_count;
+      let alu d v =
+        rv_set machine d v;
+        charge issue_cycles;
+        pc + 1
+      in
+      let next_pc =
+        match program.(pc) with
+        | Rv.Nop ->
+          charge issue_cycles;
+          pc + 1
+        | Rv.Addi (d, a, v) -> alu d (Int64.add (rv_get machine a) v)
+        | Rv.Add (d, a, b) -> alu d (Int64.add (rv_get machine a) (rv_get machine b))
+        | Rv.Sub (d, a, b) -> alu d (Int64.sub (rv_get machine a) (rv_get machine b))
+        | Rv.And_ (d, a, b) -> alu d (Int64.logand (rv_get machine a) (rv_get machine b))
+        | Rv.Or_ (d, a, b) -> alu d (Int64.logor (rv_get machine a) (rv_get machine b))
+        | Rv.Xor (d, a, b) -> alu d (Int64.logxor (rv_get machine a) (rv_get machine b))
+        | Rv.Andi (d, a, v) -> alu d (Int64.logand (rv_get machine a) v)
+        | Rv.Ori (d, a, v) -> alu d (Int64.logor (rv_get machine a) v)
+        | Rv.Xori (d, a, v) -> alu d (Int64.logxor (rv_get machine a) v)
+        | Rv.Slli (d, a, k) -> alu d (Int64.shift_left (rv_get machine a) k)
+        | Rv.Srli (d, a, k) -> alu d (Int64.shift_right_logical (rv_get machine a) k)
+        | Rv.Srai (d, a, k) -> alu d (Int64.shift_right (rv_get machine a) k)
+        | Rv.Sll (d, a, b) ->
+          alu d (Int64.shift_left (rv_get machine a) (rv_shift_amount (rv_get machine b)))
+        | Rv.Srl (d, a, b) ->
+          alu d
+            (Int64.shift_right_logical (rv_get machine a)
+               (rv_shift_amount (rv_get machine b)))
+        | Rv.Sra (d, a, b) ->
+          alu d (Int64.shift_right (rv_get machine a) (rv_shift_amount (rv_get machine b)))
+        | Rv.Ld (d, imm, b) ->
+          let a = Int64.add (rv_get machine b) imm in
+          rv_set machine d (Machine.load machine a);
+          if d <> 0 then loaded_at.(d) <- !instr_count;
+          charge issue_cycles;
+          events := Commit_load a :: !events;
+          let outcome = demand_access t events a in
+          charge (match outcome with `Hit -> l1_hit_cycles | `Miss -> l1_miss_cycles);
+          pc + 1
+        | Rv.Sd (src, imm, b) ->
+          let a = Int64.add (rv_get machine b) imm in
+          Machine.store machine a (rv_get machine src);
+          charge issue_cycles;
+          events := Commit_store a :: !events;
+          (* Stores allocate on commit (write-allocate L1). *)
+          count_tlb t (Tlb.access t.tlb a);
+          count_cache t (Cache.access t.cache a);
+          pc + 1
+        | Rv.Beq (a, b, t') ->
+          branch pc a b t' ~taken:(Int64.equal (rv_get machine a) (rv_get machine b))
+        | Rv.Bne (a, b, t') ->
+          branch pc a b t' ~taken:(not (Int64.equal (rv_get machine a) (rv_get machine b)))
+        | Rv.Blt (a, b, t') ->
+          branch pc a b t' ~taken:(Int64.compare (rv_get machine a) (rv_get machine b) < 0)
+        | Rv.Bge (a, b, t') ->
+          branch pc a b t' ~taken:(Int64.compare (rv_get machine a) (rv_get machine b) >= 0)
+        | Rv.Bltu (a, b, t') ->
+          branch pc a b t'
+            ~taken:(Int64.unsigned_compare (rv_get machine a) (rv_get machine b) < 0)
+        | Rv.Bgeu (a, b, t') ->
+          branch pc a b t'
+            ~taken:(Int64.unsigned_compare (rv_get machine a) (rv_get machine b) >= 0)
+        | Rv.Jal (d, target) ->
+          (* Direct unconditional jump: predicted perfectly, like [B];
+             the link value is an instruction index. *)
+          rv_set machine d (Int64.of_int (pc + 1));
+          charge issue_cycles;
+          target
       in
       go next_pc (fuel - 1)
     end

@@ -77,6 +77,16 @@ val run : t -> Scamv_isa.Ast.program -> Scamv_isa.Machine.t -> event list
     Returns the event trace in issue order.
     @raise Failure when fuel is exhausted. *)
 
+val run_rv64 : t -> Scamv_riscv.Ast.program -> Scamv_isa.Machine.t -> event list
+(** [run] for the RV64 guest: same cache/TLB/prefetcher/predictor
+    machinery and the same transient-execution discipline, with RISC-V
+    decode.  RV64 x[k] occupies machine register slot k-1 (the
+    {!Scamv_riscv.Lift} convention); compare-and-branch resolves slowly —
+    admitting the full transient-load window — when a source register of
+    the compare was recently loaded (the flag-latency rule without
+    flags).
+    @raise Failure when fuel is exhausted. *)
+
 val last_run_cycles : t -> int
 (** Cycle count of the most recent [run] under a simple timing model
     (issue cost + L1 miss penalty + misprediction penalty): the PMC

@@ -19,11 +19,16 @@ let default_config ?(view = Full_cache) () =
   { core = Core.cortex_a53; view; repetitions = 10; train_runs = 5 }
 
 type experiment = {
-  program : Scamv_isa.Ast.program;
+  program : Scamv_arch.Isa.program;
   state1 : Machine.t;
   state2 : Machine.t;
   train : Machine.t list;
 }
+
+let run_guest core program machine =
+  match program with
+  | Scamv_arch.Isa.Aarch64_program p -> Core.run core p machine
+  | Scamv_arch.Isa.Riscv_program p -> Core.run_rv64 core p machine
 
 let take_view cfg core =
   match cfg.view with
@@ -42,10 +47,10 @@ let measured_run ?faults cfg core program ~train state =
   List.iter
     (fun st ->
       Core.reset_cache core;
-      ignore (Core.run core program (Machine.copy st)))
+      ignore (run_guest core program (Machine.copy st)))
     (List.concat_map (fun st -> List.init cfg.train_runs (fun _ -> st)) train);
   Core.reset_cache core;
-  ignore (Core.run core program (Machine.copy state));
+  ignore (run_guest core program (Machine.copy state));
   let view = take_view cfg core in
   match faults with None -> Some view | Some f -> Faults.apply f view
 

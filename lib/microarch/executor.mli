@@ -28,7 +28,7 @@ type config = {
 val default_config : ?view:view -> unit -> config
 
 type experiment = {
-  program : Scamv_isa.Ast.program;
+  program : Scamv_arch.Isa.program;
   state1 : Scamv_isa.Machine.t;
   state2 : Scamv_isa.Machine.t;
   train : Scamv_isa.Machine.t list;
@@ -52,7 +52,7 @@ val run_observed :
 val observe_once :
   ?seed:int64 ->
   config ->
-  Scamv_isa.Ast.program ->
+  Scamv_arch.Isa.program ->
   train:Scamv_isa.Machine.t list ->
   Scamv_isa.Machine.t ->
   (int * int64 list) list

@@ -1,4 +1,5 @@
 module Obs = Scamv_bir.Obs
+module Arch = Scamv_bir.Arch
 module Lifter = Scamv_bir.Lifter
 module Program = Scamv_bir.Program
 
@@ -18,12 +19,14 @@ let platform_hooks =
   let obs ~pc:_ ~addr = [ Obs.make ~tag:Obs.Platform ~kind:"platform_addr" [ addr ] ] in
   { Lifter.no_hooks with Lifter.on_load = obs; on_store = obs }
 
-let annotate t program =
+let annotate_arch t arch program =
   let hooks = Model.merge_hooks [ t.hooks; platform_hooks ] in
-  let bir = Lifter.lift ~hooks program in
+  let bir = Lifter.lift_arch ~hooks arch program in
   match t.spec with
   | None -> bir
-  | Some spec -> Speculation.instrument spec program bir
+  | Some spec -> Speculation.instrument_arch spec arch program bir
+
+let annotate t program = annotate_arch t Arch.aarch64 program
 
 let has_refinement t = Option.is_some t.refined_name
 

@@ -18,7 +18,12 @@ type t = {
   spec : Speculation.config option;  (** combined speculative instrumentation *)
 }
 
+val annotate_arch : t -> 'i Scamv_bir.Arch.t -> 'i array -> Scamv_bir.Program.t
+(** Lift with the setup's (and the platform's) observation hooks and apply
+    the speculative instrumentation, for any described architecture. *)
+
 val annotate : t -> Scamv_isa.Ast.program -> Scamv_bir.Program.t
+(** [annotate_arch] at {!Scamv_bir.Arch.aarch64}. *)
 
 val has_refinement : t -> bool
 

@@ -1,9 +1,8 @@
 module Term = Scamv_smt.Term
 module Sort = Scamv_smt.Sort
-module Ast = Scamv_isa.Ast
+module Arch = Scamv_bir.Arch
 module Obs = Scamv_bir.Obs
 module Program = Scamv_bir.Program
-module Lifter = Scamv_bir.Lifter
 module Vars = Scamv_bir.Vars
 module String_map = Map.Make (String)
 
@@ -28,24 +27,24 @@ let mspec_straight_line ?(window = 8) () =
 
 let spec_load_kind = "spec_load"
 
-(* Straight-line wrong-path slice starting at [from_pc]: stop at program
-   end, at any branch, at the join point [stop_at], or at the window
-   bound. *)
-let collect_wrong_path program ~from_pc ~stop_at ~max_instrs =
+(* Straight-line wrong-path slice starting at [from_pc], as the arch
+   descriptor's per-instruction lowerings: stop at program end, at any
+   branch, at the join point [stop_at], or at the window bound. *)
+let collect_wrong_path arch program ~from_pc ~stop_at ~max_instrs =
   let len = Array.length program in
   let rec go pc n acc =
     if n >= max_instrs || pc >= len || pc = stop_at then List.rev acc
     else
-      let instr = program.(pc) in
-      if Ast.is_branch instr then List.rev acc else go (pc + 1) (n + 1) (instr :: acc)
+      let lifted = arch.Arch.lift_instr ~pc program.(pc) in
+      if Arch.is_branch lifted then List.rev acc else go (pc + 1) (n + 1) (lifted :: acc)
   in
   go from_pc 0 []
 
-(* Turn a wrong-path instruction slice into shadow statements.  The
-   renaming map sends canonical variable names to their current shadow
-   name once written; unwritten variables still read the architectural
-   state, which is exactly the transient-copy semantics of Fig. 4. *)
-let shadow_stmts config instrs =
+(* Turn a wrong-path slice into shadow statements.  The renaming map
+   sends canonical variable names to their current shadow name once
+   written; unwritten variables still read the architectural state, which
+   is exactly the transient-copy semantics of Fig. 4. *)
+let shadow_stmts config slice =
   let var_of_sort name = function
     | Sort.Bv w -> Term.bv_var name w
     | Sort.Bool -> Term.bool_var name
@@ -59,17 +58,16 @@ let shadow_stmts config instrs =
         | Some name' -> Some (var_of_sort name' sort))
       term
   in
-  let step (renaming, load_index, stmts_rev) instr =
-    let assigns = Lifter.instr_assigns instr in
+  let step (renaming, load_index, stmts_rev) (lifted : Arch.lifted) =
     let observation =
-      match instr with
-      | Ast.Ldr (_, addr) -> (
+      match lifted.Arch.access with
+      | Arch.Load addr -> (
         match config.load_tag load_index with
         | None -> []
         | Some tag ->
-          let addr_term = apply_renaming renaming (Lifter.address_term addr) in
+          let addr_term = apply_renaming renaming addr in
           [ Program.Observe (Obs.make ~tag ~kind:spec_load_kind [ addr_term ]) ])
-      | _ -> []
+      | Arch.Store _ | Arch.No_access -> []
     in
     let renaming, assign_stmts_rev =
       List.fold_left
@@ -77,15 +75,15 @@ let shadow_stmts config instrs =
           let e' = apply_renaming renaming e in
           let x' = Vars.shadow x in
           (String_map.add x x' renaming, Program.Assign (x', e') :: acc))
-        (renaming, []) assigns
+        (renaming, []) lifted.Arch.assigns
     in
-    let load_index = if Ast.is_load instr then load_index + 1 else load_index in
+    let load_index = if Arch.is_load lifted then load_index + 1 else load_index in
     (renaming, load_index, List.rev_append assign_stmts_rev (List.rev_append observation stmts_rev))
   in
-  let _, _, stmts_rev = List.fold_left step (String_map.empty, 0, []) instrs in
+  let _, _, stmts_rev = List.fold_left step (String_map.empty, 0, []) slice in
   List.rev stmts_rev
 
-let instrument config isa_program bir =
+let instrument_arch config arch isa_program bir =
   let len = Array.length isa_program in
   let next_id = ref (Program.fresh_id bir) in
   let fresh () =
@@ -98,7 +96,7 @@ let instrument config isa_program bir =
      successor or a new stub block carrying the shadow statements. *)
   let edge_with_shadow ~succ ~wrong_path_start ~stop_at =
     let slice =
-      collect_wrong_path isa_program ~from_pc:wrong_path_start ~stop_at
+      collect_wrong_path arch isa_program ~from_pc:wrong_path_start ~stop_at
         ~max_instrs:config.max_instrs
     in
     match shadow_stmts config slice with
@@ -111,8 +109,9 @@ let instrument config isa_program bir =
   let rewire (b : Program.block) =
     if b.id >= len then b
     else
-      match (isa_program.(b.id), b.term) with
-      | Ast.B_cond (_, target), Program.Cjmp (c, then_id, else_id) ->
+      let lifted = arch.Arch.lift_instr ~pc:b.id isa_program.(b.id) in
+      match (lifted.Arch.control, b.term) with
+      | Arch.Cond_jump (_, target), Program.Cjmp (c, then_id, else_id) ->
         (* On the taken edge the CPU mispredicted "not taken" and runs the
            fall-through arm transiently, and vice versa. *)
         let taken_edge =
@@ -124,10 +123,9 @@ let instrument config isa_program bir =
             ~stop_at:(b.id + 1)
         in
         { b with term = Program.Cjmp (c, taken_edge, fall_edge) }
-      | Ast.B target, Program.Jmp succ when config.instrument_uncond ->
+      | Arch.Jump _, Program.Jmp succ when config.instrument_uncond ->
         (* Straight-line speculation: the wrong path is the code textually
            after the unconditional branch. *)
-        ignore target;
         let edge =
           edge_with_shadow ~succ ~wrong_path_start:(b.id + 1) ~stop_at:(-1)
         in
@@ -136,3 +134,5 @@ let instrument config isa_program bir =
   in
   let rewired = Program.map_blocks rewire bir in
   Program.add_blocks !stubs rewired
+
+let instrument config isa_program bir = instrument_arch config Arch.aarch64 isa_program bir

@@ -39,8 +39,19 @@ val mspec_straight_line : ?window:int -> unit -> config
 val spec_load_kind : string
 (** The [Obs.kind] used for transient load observations. *)
 
+val instrument_arch :
+  config ->
+  'i Scamv_bir.Arch.t ->
+  'i array ->
+  Scamv_bir.Program.t ->
+  Scamv_bir.Program.t
+(** [instrument_arch cfg arch isa bir] adds shadow stub blocks to the
+    lifted [bir] of [isa].  Block ids of [bir] must equal instruction
+    indexes (as produced by {!Scamv_bir.Lifter.lift_arch}); the wrong-path
+    slices and their shadow assignments come from [arch]'s
+    per-instruction lowering, so any described architecture gets the
+    transient semantics for free. *)
+
 val instrument :
   config -> Scamv_isa.Ast.program -> Scamv_bir.Program.t -> Scamv_bir.Program.t
-(** [instrument cfg isa bir] adds shadow stub blocks to the lifted [bir]
-    of [isa].  Block ids of [bir] must equal instruction indexes (as
-    produced by {!Scamv_bir.Lifter.lift}). *)
+(** [instrument_arch] at {!Scamv_bir.Arch.aarch64}. *)

@@ -1,29 +1,40 @@
 module Model = Scamv_smt.Model
 module Machine = Scamv_isa.Machine
 module Reg = Scamv_isa.Reg
+module Arch = Scamv_bir.Arch
 module Vars = Scamv_bir.Vars
 
-let machine_of_model ~suffix model =
+(* The i-th canonical register variable of the descriptor fills machine
+   slot i; flag variables exist only for flag architectures (reading them
+   through [bool_exn] on a compare-and-branch ISA would raise). *)
+let machine_of_model_arch ~arch ~suffix model =
   let m = Machine.create () in
-  List.iter
-    (fun r ->
-      match Model.find_var model (Vars.reg r ^ suffix) with
-      | Some (Model.Bv (v, _)) -> Machine.set_reg m r v
+  List.iteri
+    (fun slot name ->
+      match Model.find_var model (name ^ suffix) with
+      | Some (Model.Bv (v, _)) -> Machine.set_reg m (Reg.x slot) v
       | Some (Model.Bool _) | None -> ())
-    Reg.all;
-  let flag name = Model.bool_exn model (name ^ suffix) in
-  Machine.set_flags m
-    {
-      Machine.n = flag Vars.flag_n;
-      z = flag Vars.flag_z;
-      c = flag Vars.flag_c;
-      v = flag Vars.flag_v;
-    };
+    arch.Arch.registers;
+  if arch.Arch.has_flags then begin
+    let flag name = Model.bool_exn model (name ^ suffix) in
+    Machine.set_flags m
+      {
+        Machine.n = flag Vars.flag_n;
+        z = flag Vars.flag_z;
+        c = flag Vars.flag_c;
+        v = flag Vars.flag_v;
+      }
+  end;
   List.iter
     (fun (addr, value) -> Machine.store m addr value)
     (Model.mem_cells model (Vars.mem_name ^ suffix));
   m
 
-let test_states model =
-  ( machine_of_model ~suffix:Synth.suffix1 model,
-    machine_of_model ~suffix:Synth.suffix2 model )
+let machine_of_model ~suffix model =
+  machine_of_model_arch ~arch:Arch.aarch64 ~suffix model
+
+let test_states_arch ~arch model =
+  ( machine_of_model_arch ~arch ~suffix:Synth.suffix1 model,
+    machine_of_model_arch ~arch ~suffix:Synth.suffix2 model )
+
+let test_states model = test_states_arch ~arch:Arch.aarch64 model

@@ -1,11 +1,24 @@
 (** Turning SMT models into concrete machine states (the "generate test
     case" step).  A model assigns the suffixed variables of one or both
     states; this module reads one suffix back into an architectural
-    {!Scamv_isa.Machine.t}: registers, flags, and the memory cells the
-    relation constrained (everything else is zero, matching the platform
-    module's memory initialization). *)
+    {!Scamv_isa.Machine.t}: registers, flags (for flag architectures),
+    and the memory cells the relation constrained (everything else is
+    zero, matching the platform module's memory initialization).
+
+    The architecture descriptor supplies the canonical register variable
+    names in machine-slot order, so the same machine representation backs
+    every guest ISA (RV64 x[k] occupies slot k-1). *)
+
+val machine_of_model_arch :
+  arch:'i Scamv_bir.Arch.t -> suffix:string -> Scamv_smt.Model.t -> Scamv_isa.Machine.t
 
 val machine_of_model : suffix:string -> Scamv_smt.Model.t -> Scamv_isa.Machine.t
+(** [machine_of_model_arch ~arch:Arch.aarch64]. *)
+
+val test_states_arch :
+  arch:'i Scamv_bir.Arch.t ->
+  Scamv_smt.Model.t ->
+  Scamv_isa.Machine.t * Scamv_isa.Machine.t
 
 val test_states :
   Scamv_smt.Model.t -> Scamv_isa.Machine.t * Scamv_isa.Machine.t

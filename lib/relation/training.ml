@@ -16,7 +16,8 @@ type cache = {
       (* one entry per distinct trace, in first-occurrence order *)
 }
 
-let prepare ?graph ~platform ~leaves () =
+let prepare ?graph ?(machine_of_model = Concretize.machine_of_model) ~platform
+    ~leaves () =
   let traces = Array.of_list (List.map (fun (l : Exec.leaf) -> l.Exec.trace) leaves) in
   let seen = Hashtbl.create 8 in
   let groups =
@@ -34,7 +35,7 @@ let prepare ?graph ~platform ~leaves () =
                in
                match Solver.solve ?graph assertions with
                | Solver.Sat model ->
-                 Some (Concretize.machine_of_model ~suffix:Synth.suffix_train model)
+                 Some (machine_of_model ~suffix:Synth.suffix_train model)
                | Solver.Unsat -> None)
           in
           Some (leaf.Exec.trace, state)

@@ -16,6 +16,8 @@ type cache
 
 val prepare :
   ?graph:Scamv_smt.Blaster.graph ->
+  ?machine_of_model:
+    (suffix:string -> Scamv_smt.Model.t -> Scamv_isa.Machine.t) ->
   platform:Scamv_isa.Platform.t ->
   leaves:Scamv_symbolic.Exec.leaf list ->
   unit ->
@@ -23,7 +25,10 @@ val prepare :
 (** Build the (lazy) cache; no solving happens until {!states} demands an
     entry.  [graph] is the program's shared blast graph, letting the
     training solves reuse circuit nodes already built for the enumeration
-    sessions (path conditions share structure across suffixes). *)
+    sessions (path conditions share structure across suffixes).
+    [machine_of_model] concretizes a solved training model (default
+    {!Concretize.machine_of_model}; pass the arch-specific one for
+    non-AArch64 guests). *)
 
 val states : cache -> pair:int * int -> Scamv_isa.Machine.t list
 

@@ -19,6 +19,9 @@ type instr =
   | Slli of reg * reg * int
   | Srli of reg * reg * int
   | Srai of reg * reg * int
+  | Sll of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
   | Ld of reg * int64 * reg
   | Sd of reg * int64 * reg
   | Beq of reg * reg * int
@@ -72,6 +75,9 @@ let pp_instr ppf instr =
   | Slli (d, a, k) -> Format.fprintf ppf "slli %s, %s, %d" (r d) (r a) k
   | Srli (d, a, k) -> Format.fprintf ppf "srli %s, %s, %d" (r d) (r a) k
   | Srai (d, a, k) -> Format.fprintf ppf "srai %s, %s, %d" (r d) (r a) k
+  | Sll (d, a, b) -> Format.fprintf ppf "sll %s, %s, %s" (r d) (r a) (r b)
+  | Srl (d, a, b) -> Format.fprintf ppf "srl %s, %s, %s" (r d) (r a) (r b)
+  | Sra (d, a, b) -> Format.fprintf ppf "sra %s, %s, %s" (r d) (r a) (r b)
   | Ld (d, imm, b) -> Format.fprintf ppf "ld %s, %Ld(%s)" (r d) imm (r b)
   | Sd (s, imm, b) -> Format.fprintf ppf "sd %s, %Ld(%s)" (r s) imm (r b)
   | Beq (a, b, t) -> Format.fprintf ppf "beq %s, %s, L%d" (r a) (r b) t

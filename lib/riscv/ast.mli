@@ -28,6 +28,12 @@ type instr =
   | Slli of reg * reg * int  (** shift amount 0..63 *)
   | Srli of reg * reg * int
   | Srai of reg * reg * int
+  | Sll of reg * reg * reg
+      (** register-amount shifts use the low 6 bits of rs2 — semantics the
+          AArch64 subset cannot express, so {!Translate} rejects them;
+          the native lifter {!Lift} accepts them *)
+  | Srl of reg * reg * reg
+  | Sra of reg * reg * reg
   | Ld of reg * int64 * reg  (** [Ld (rd, imm, rs1)] = rd := mem[rs1 + imm] *)
   | Sd of reg * int64 * reg  (** [Sd (rs2, imm, rs1)] = mem[rs1 + imm] := rs2 *)
   | Beq of reg * reg * int

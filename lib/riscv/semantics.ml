@@ -9,6 +9,9 @@ let load s a = match Int64_map.find_opt a s.mem with None -> 0L | Some v -> v
 let store s a v = s.mem <- Int64_map.add a v s.mem
 let mem_bindings s = Int64_map.bindings s.mem
 
+(* Register-amount shifts use only the low 6 bits of rs2 (RV64I). *)
+let shift_amount s b = Int64.to_int (Int64.logand (get_reg s b) 63L)
+
 let run ?(fuel = 10_000) program s =
   let len = Array.length program in
   let rec go pc fuel =
@@ -53,6 +56,15 @@ let run ?(fuel = 10_000) program s =
           pc + 1
         | Ast.Srai (d, a, k) ->
           set_reg s d (Int64.shift_right (get_reg s a) k);
+          pc + 1
+        | Ast.Sll (d, a, b) ->
+          set_reg s d (Int64.shift_left (get_reg s a) (shift_amount s b));
+          pc + 1
+        | Ast.Srl (d, a, b) ->
+          set_reg s d (Int64.shift_right_logical (get_reg s a) (shift_amount s b));
+          pc + 1
+        | Ast.Sra (d, a, b) ->
+          set_reg s d (Int64.shift_right (get_reg s a) (shift_amount s b));
           pc + 1
         | Ast.Ld (d, imm, b) ->
           set_reg s d (load s (Int64.add (get_reg s b) imm));

@@ -86,6 +86,11 @@ let rec translate_instr pc (instr : Ast.instr) : Arm.instr list =
     if d = 0 then [ Arm.Nop ]
     else if a = 0 then [ Arm.Mov (map_reg d, Arm.Imm 0L) ]
     else [ Arm.Asr (map_reg d, map_reg a, Arm.Imm (Int64.of_int k)) ]
+  | Ast.Sll (_, _, _) | Ast.Srl (_, _, _) | Ast.Sra (_, _, _) ->
+    (* The target subset's register-amount shifts yield 0 for amounts >=
+       64 where RV64 masks the amount to its low 6 bits — no faithful
+       image without scratch registers. *)
+    unsupported "instruction %d: register-amount shift (6-bit amount masking)" pc
   | Ast.Ld (d, imm, b) ->
     if d = 0 then unsupported "instruction %d: load to x0 needs a scratch register" pc
     else if b = 0 then unsupported "instruction %d: x0-based addressing" pc

@@ -17,6 +17,8 @@ module Pool = Scamv_util.Pool
 module Metrics = Scamv_telemetry.Metrics
 module Campaign = Scamv.Campaign
 module Journal = Scamv.Journal
+module Diff = Scamv.Diff
+module Isa = Scamv_arch.Isa
 
 type config = {
   jobs : int;
@@ -111,10 +113,21 @@ let queued_count t =
 
 (* ---- campaign execution ---- *)
 
-let build_config t s =
+(* The isa parameter selects the workload shape: a single-ISA campaign
+   (aarch64/riscv) or the differential mode, which runs both ISAs and
+   appends the cross-ISA comparison. *)
+let workload_of_params p =
+  match p.Session.isa with
+  | "aarch64" -> Ok (`Single Isa.Aarch64)
+  | "riscv" -> Ok (`Single Isa.Riscv)
+  | "diff" -> Ok `Diff
+  | other ->
+    Error (Printf.sprintf "unknown isa %s (expected one of: aarch64, riscv, diff)" other)
+
+let build_config t s isa =
   let ( let* ) = Result.bind in
   let p = s.Session.params in
-  let* template = Workload.lookup_template p.Session.template in
+  let* template = Workload.lookup_template ~isa p.Session.template in
   let* setup = Workload.lookup_setup p.Session.setup in
   let sat_budget =
     if p.Session.max_conflicts > 0 then
@@ -127,7 +140,7 @@ let build_config t s =
     else None
   in
   Ok
-    (Campaign.make ~name:s.Session.campaign_name ~template ~setup
+    (Campaign.make ~name:s.Session.campaign_name ~isa ~template ~setup
        ~view:(Workload.view_for p.Session.setup) ~programs:p.Session.programs
        ~tests_per_program:p.Session.tests_per_program ~seed:s.Session.seed
        ?sat_budget ~portfolio:p.Session.portfolio ?deadline ~clock:t.cfg.clock
@@ -141,41 +154,82 @@ let finish_counter = function
 let run_session t s =
   Session.set_state s Session.Running;
   persist_meta s;
-  (match build_config t s with
-  | Error msg -> Session.conclude s (Session.Failed msg) ()
-  | Ok cfg -> (
-    let journal = Journal.create ?path:s.Session.journal_path () in
-    let resume =
-      match s.Session.resume_from with
-      | Some p when Sys.file_exists p -> Some p
-      | _ -> None
-    in
-    let result =
-      try
-        Ok
-          (Campaign.run
-             ~on_event:(fun m -> Session.push_line s (Session.progress_line m))
-             ~on_record:(fun ev -> Session.push_line s (Session.record_line ev))
-             ~journal ?resume ~pool:t.pool cfg)
-      with
-      | Pool.Shut_down -> Error "service shutting down"
-      | e -> Error (Printexc.to_string e)
-    in
-    Journal.close journal;
-    match result with
-    | Ok outcome ->
-      let final =
-        if Deadline.expired s.Session.cancel then Session.Cancelled
-        else Session.Completed
-      in
-      Session.conclude s final
-        ~stats:(Session.stats_json outcome.Campaign.stats)
-        ~wall_seconds:outcome.Campaign.wall_seconds ();
-      locked t (fun () ->
-          t.campaign_metrics <-
-            Metrics.merge t.campaign_metrics
-              outcome.Campaign.telemetry.Scamv_telemetry.Collector.metrics)
-    | Error reason -> Session.conclude s (Session.Failed reason) ()));
+  (let on_event m = Session.push_line s (Session.progress_line m) in
+   let on_record ev = Session.push_line s (Session.record_line ev) in
+   let publish (stats, wall_seconds, telemetry) =
+     let final =
+       if Deadline.expired s.Session.cancel then Session.Cancelled
+       else Session.Completed
+     in
+     Session.conclude s final ~stats:(Session.stats_json stats) ~wall_seconds ();
+     locked t (fun () ->
+         t.campaign_metrics <-
+           Metrics.merge t.campaign_metrics
+             telemetry.Scamv_telemetry.Collector.metrics)
+   in
+   let with_journal run =
+     let journal = Journal.create ?path:s.Session.journal_path () in
+     let result =
+       try Ok (run journal) with
+       | Pool.Shut_down -> Error "service shutting down"
+       | e -> Error (Printexc.to_string e)
+     in
+     Journal.close journal;
+     match result with
+     | Ok outcome -> publish outcome
+     | Error reason -> Session.conclude s (Session.Failed reason) ()
+   in
+   match workload_of_params s.Session.params with
+   | Error msg -> Session.conclude s (Session.Failed msg) ()
+   | Ok (`Single isa) -> (
+     match build_config t s isa with
+     | Error msg -> Session.conclude s (Session.Failed msg) ()
+     | Ok cfg ->
+       let resume =
+         match s.Session.resume_from with
+         | Some p when Sys.file_exists p -> Some p
+         | _ -> None
+       in
+       with_journal (fun journal ->
+           let outcome =
+             Campaign.run ~on_event ~on_record ~journal ?resume ~pool:t.pool cfg
+           in
+           ( outcome.Campaign.stats,
+             outcome.Campaign.wall_seconds,
+             outcome.Campaign.telemetry )))
+   | Ok `Diff ->
+     let p = s.Session.params in
+     (match Workload.lookup_setup p.Session.setup with
+     | Error msg -> Session.conclude s (Session.Failed msg) ()
+     | Ok setup ->
+       (* Differential campaigns re-run from scratch after a restart:
+          the comparison needs both sides' full event streams, so a
+          partial journal is not resumed into. *)
+       with_journal (fun journal ->
+           let outcome =
+             Diff.run ~on_event ~on_record ~journal ~pool:t.pool
+               ~name:s.Session.campaign_name ~template:p.Session.template
+               ~setup ~view:(Workload.view_for p.Session.setup)
+               ~programs:p.Session.programs
+               ~tests_per_program:p.Session.tests_per_program
+               ~seed:s.Session.seed
+               ?sat_budget:
+                 (if p.Session.max_conflicts > 0 then
+                    Some (Scamv_smt.Sat.budget ~conflicts:p.Session.max_conflicts ())
+                  else None)
+               ~portfolio:p.Session.portfolio ~clock:t.cfg.clock
+               ~cancel:s.Session.cancel ()
+           in
+           let wall =
+             outcome.Diff.aarch64.Campaign.wall_seconds
+             +. outcome.Diff.riscv.Campaign.wall_seconds
+           in
+           let telemetry =
+             Scamv_telemetry.Collector.merge_reports
+               outcome.Diff.aarch64.Campaign.telemetry
+               outcome.Diff.riscv.Campaign.telemetry
+           in
+           (outcome.Diff.stats, wall, telemetry))));
   persist_meta s;
   bump t (finish_counter (Session.state s))
 
@@ -315,9 +369,14 @@ let submit t ~tenant params =
   let ( let* ) = Result.bind in
   let validated =
     let* tenant = Result.map_error (fun e -> Invalid e) (Tenant.validate_name tenant) in
+    let* isa_workload =
+      Result.map_error (fun e -> Invalid e) (workload_of_params params)
+    in
     let* _ =
       Result.map_error (fun e -> Invalid e)
-        (Workload.lookup_template params.Session.template)
+        (Workload.lookup_template
+           ?isa:(match isa_workload with `Single i -> Some i | `Diff -> None)
+           params.Session.template)
     in
     let* _ =
       Result.map_error (fun e -> Invalid e)

@@ -17,6 +17,7 @@ module Stats = Scamv.Stats
 type params = {
   template : string;
   setup : string;
+  isa : string;  (** ["aarch64"] | ["riscv"] | ["diff"] (both + compare) *)
   programs : int;
   tests_per_program : int;
   seed : int64 option;  (** [None]: draw from the tenant's seed namespace *)
@@ -29,6 +30,7 @@ let default_params =
   {
     template = "A";
     setup = "mct-vs-mspec";
+    isa = "aarch64";
     programs = 10;
     tests_per_program = 10;
     seed = None;
@@ -73,6 +75,15 @@ let params_of_json json =
             match value with
             | Json.Str s -> Ok { p with setup = s }
             | _ -> Error "field setup must be a string")
+          | "isa" -> (
+            match value with
+            | Json.Str (("aarch64" | "riscv" | "diff") as s) ->
+              Ok { p with isa = s }
+            | Json.Str s ->
+              Error
+                (Printf.sprintf
+                   "field isa must be one of aarch64, riscv, diff (got %s)" s)
+            | _ -> Error "field isa must be a string")
           | "programs" ->
             let* n = int_field key value in
             if n < 1 || n > 100_000 then Error "field programs must be in [1, 100000]"
@@ -107,9 +118,14 @@ let params_of_json json =
 
 let params_to_json p =
   Json.Obj
-    [
+    ([
       ("template", Json.Str p.template);
       ("setup", Json.Str p.setup);
+    ]
+    (* appended only when non-default, so pre-existing meta files and
+       status payloads keep their historical bytes *)
+    @ (if p.isa = "aarch64" then [] else [ ("isa", Json.Str p.isa) ])
+    @ [
       ("programs", Json.Num (float_of_int p.programs));
       ("tests_per_program", Json.Num (float_of_int p.tests_per_program));
       ( "seed",
@@ -119,12 +135,12 @@ let params_to_json p =
       ("max_conflicts", Json.Num (float_of_int p.max_conflicts));
       ("deadline_conflicts", Json.Num (float_of_int p.deadline_conflicts));
       ("portfolio", Json.Num (float_of_int p.portfolio));
-    ]
+    ])
 
 let stats_json (s : Stats.t) =
   let i name v = (name, Json.Num (float_of_int v)) in
   Json.Obj
-    [
+    ([
       i "programs" s.Stats.programs;
       i "programs_with_counterexample" s.Stats.programs_with_counterexample;
       i "experiments" s.Stats.experiments;
@@ -136,6 +152,9 @@ let stats_json (s : Stats.t) =
       i "retries" s.Stats.retries;
       i "faults_observed" s.Stats.faults_observed;
     ]
+    @
+    if s.Stats.divergences > 0 then [ i "divergences" s.Stats.divergences ]
+    else [])
 
 (* ---- life cycle ---- *)
 

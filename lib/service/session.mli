@@ -14,6 +14,12 @@
 type params = {
   template : string;
   setup : string;
+  isa : string;
+      (** ["aarch64"] (default) or ["riscv"] run a single-ISA campaign;
+          ["diff"] runs the differential workload ({!Scamv.Diff}): both
+          ISAs under the same seed, with [Diverged] records appended
+          after the two campaigns.  Absent in pre-existing meta files,
+          which load as ["aarch64"]. *)
   programs : int;
   tests_per_program : int;
   seed : int64 option;  (** [None]: draw from the tenant's seed namespace *)

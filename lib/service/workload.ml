@@ -55,8 +55,8 @@ let lookup_setup name =
       (Printf.sprintf "unknown setup %s (expected one of: %s)" name
          (String.concat ", " setup_names))
 
-let lookup_template name =
-  match Templates.by_name name with
+let lookup_template ?isa name =
+  match Templates.by_name ?isa name with
   | t -> Ok t
   | exception Invalid_argument msg -> Error msg
 

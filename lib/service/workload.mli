@@ -9,8 +9,13 @@ val setups : (string * (unit -> Scamv_models.Refinement.t)) list
 val setup_names : string list
 
 val lookup_setup : string -> (Scamv_models.Refinement.t, string) result
+
 val lookup_template :
-  string -> (Scamv_gen.Templates.t Scamv_gen.Gen.t, string) result
+  ?isa:Scamv_arch.Isa.t ->
+  string ->
+  (Scamv_gen.Templates.t Scamv_gen.Gen.t, string) result
+(** Resolve a template name for the given guest ISA (default
+    [Aarch64]); the error message lists the valid names. *)
 
 val view_for : string -> Scamv_microarch.Executor.view
 (** Executor observation view matching a setup name (partition setups

@@ -189,6 +189,11 @@ let prop_symbolic_matches_concrete =
           template_idx
       in
       let { Templates.program; _ } = Gen.generate ~seed template in
+      let program =
+        match program with
+        | Scamv_arch.Isa.Aarch64_program p -> p
+        | Scamv_arch.Isa.Riscv_program _ -> assert false
+      in
       let machine, rng = random_machine (Sm.of_seed (Int64.add seed 77L)) in
       ignore rng;
       let model = model_of_machine machine in
@@ -226,6 +231,11 @@ let prop_spec_instrumentation_transparent =
   QCheck.Test.make ~name:"speculation stubs preserve path conditions" ~count:100
     QCheck.int64 (fun seed ->
       let { Templates.program; _ } = Gen.generate ~seed Templates.template_b in
+      let program =
+        match program with
+        | Scamv_arch.Isa.Aarch64_program p -> p
+        | Scamv_arch.Isa.Riscv_program _ -> assert false
+      in
       let plain = Exec.execute (Scamv_models.Model.annotate Catalog.mct program) in
       let instrumented =
         Exec.execute

@@ -168,6 +168,7 @@ let test_journal_poison_truncates_on_recovery () =
       program_index = i;
       test_index = 0;
       template = "A";
+      isa = Scamv_arch.Isa.Aarch64;
       path_pair = (0, 1);
       verdict = Executor.Inconclusive;
       generation_seconds = 0.0;

@@ -132,7 +132,14 @@ let test_tlb_view_distinguishes_pages_only () =
   let s1 = Machine.create () and s2 = Machine.create () in
   Machine.set_reg s1 (x 0) 0x8000_0000L;
   Machine.set_reg s2 (x 0) 0x8000_0400L (* same page, different set *);
-  let experiment = { Executor.program; state1 = s1; state2 = s2; train = [] } in
+  let experiment =
+    {
+      Executor.program = Scamv_arch.Isa.Aarch64_program program;
+      state1 = s1;
+      state2 = s2;
+      train = [];
+    }
+  in
   let run view =
     Executor.run { (Executor.default_config ~view ()) with Executor.core = quiet } experiment
   in
@@ -238,6 +245,7 @@ let sample_entry i verdict =
     program_index = i;
     test_index = 0;
     template = "A";
+    isa = Scamv_arch.Isa.Aarch64;
     path_pair = (0, 0);
     verdict;
     generation_seconds = 0.25;

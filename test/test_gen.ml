@@ -1,7 +1,14 @@
 module Gen = Scamv_gen.Gen
 module Templates = Scamv_gen.Templates
 module Ast = Scamv_isa.Ast
+module Isa = Scamv_arch.Isa
 module Reg = Scamv_isa.Reg
+
+(* The shape tests below inspect AArch64 instruction arrays; unwrap the
+   guest-program sum once per draw. *)
+let arm = function
+  | Isa.Aarch64_program p -> p
+  | Isa.Riscv_program _ -> Alcotest.fail "aarch64 program expected"
 
 (* ---- combinators ---- *)
 
@@ -90,12 +97,13 @@ let prop_templates_valid =
           idx
       in
       let { Templates.program; _ } = Gen.generate ~seed template in
-      Ast.validate program = Ok ())
+      Isa.validate_program program = Ok ())
 
 let test_stride_shape () =
   List.iter
     (fun { Templates.program; template_name } ->
       Alcotest.(check string) "name" "stride" template_name;
+      let program = arm program in
       let n = Array.length program in
       Alcotest.(check bool) "3..5 loads" true (n >= 3 && n <= 5);
       Array.iter
@@ -123,7 +131,7 @@ let test_stride_shape () =
 let test_template_a_constraints () =
   List.iter
     (fun { Templates.program; _ } ->
-      match program with
+      match arm program with
       | [|
        Ast.Ldr (r2, { Ast.base = _; offset = Ast.Reg r1; _ });
        Ast.Cmp (r1', Ast.Reg r4);
@@ -141,6 +149,7 @@ let test_template_a_constraints () =
 let test_template_b_shape () =
   List.iter
     (fun { Templates.program; _ } ->
+      let program = arm program in
       let loads = Array.to_list program |> List.filter Ast.is_load |> List.length in
       Alcotest.(check bool) "1..4 loads" true (loads >= 1 && loads <= 4);
       let branch_idx =
@@ -161,7 +170,7 @@ let test_template_c_dependency () =
     (fun { Templates.program; _ } ->
       (* The last load's offset register must be data-dependent on the
          first load's destination. *)
-      let instrs = Array.to_list program in
+      let instrs = Array.to_list (arm program) in
       let first_load_dest =
         List.find_map
           (function Ast.Ldr (d, _) -> Some d | _ -> None)
@@ -190,6 +199,7 @@ let test_template_c_dependency () =
 let test_template_d_shape () =
   List.iter
     (fun { Templates.program; _ } ->
+      let program = arm program in
       let jump =
         Array.to_list program
         |> List.mapi (fun i x -> (i, x))
@@ -207,17 +217,20 @@ let test_template_d_shape () =
 
 let test_by_name () =
   List.iter
-    (fun name -> ignore (Gen.generate ~seed:1L (Templates.by_name name)))
-    [ "stride"; "A"; "B"; "C"; "D" ];
+    (fun name ->
+      ignore (Gen.generate ~seed:1L (Templates.by_name name));
+      ignore (Gen.generate ~seed:1L (Templates.by_name ~isa:Isa.Riscv name)))
+    Templates.names;
   Alcotest.check_raises "unknown"
-    (Invalid_argument "Templates.by_name: unknown template X") (fun () ->
-      ignore (Templates.by_name "X"))
+    (Invalid_argument
+       "Templates.by_name: unknown template \"X\" (expected one of: stride, \
+        A, B, C, D)") (fun () -> ignore (Templates.by_name "X"))
 
 let test_seed_diversity () =
   (* Different seeds should not all produce the same program. *)
   let programs =
     generate_many Templates.template_b 20
-    |> List.map (fun t -> Ast.to_string t.Templates.program)
+    |> List.map (fun t -> Isa.program_to_string t.Templates.program)
     |> List.sort_uniq compare
   in
   Alcotest.(check bool) "diverse" true (List.length programs > 5)

@@ -11,12 +11,14 @@ module Sat = Scamv_smt.Sat
 module Templates = Scamv_gen.Templates
 module Refinement = Scamv_models.Refinement
 
-let entry ?(campaign = "c") ?(template = "A") ?(retries = 0) ?(faults = 0) i verdict =
+let entry ?(campaign = "c") ?(template = "A") ?(retries = 0) ?(faults = 0)
+    ?(isa = Scamv_arch.Isa.Aarch64) i verdict =
   {
     Journal.campaign;
     program_index = i;
     test_index = i * 2;
     template;
+    isa;
     path_pair = (i, i + 1);
     verdict;
     generation_seconds = 0.125 +. float_of_int i;
@@ -168,6 +170,56 @@ let test_v2_zero_length_file_recovers () =
   let j, recovery = Journal.load ~path in
   Alcotest.(check Alcotest.int) "no records" 0 recovery.Journal.records;
   Alcotest.(check Alcotest.int) "no events" 0 (List.length (Journal.events j))
+
+let test_isa_tail_compat () =
+  (* The `isa` column is a tail extension: AArch64 rows keep the original
+     13 fields byte-for-byte (so pre-ISA journals load as AArch64), RISC-V
+     rows append a 14th, and both round-trip with the ISA preserved. *)
+  let has_sub s sub =
+    let n = String.length sub and h = String.length s in
+    let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let path = temp_path ".isa" in
+  let j = Journal.create ~path () in
+  Journal.record j (entry 0 Executor.Distinguishable);
+  Journal.record j (entry ~isa:Scamv_arch.Isa.Riscv 1 Executor.Inconclusive);
+  Journal.record_event j
+    (Journal.Diverged
+       {
+         campaign = "c";
+         program_index = 2;
+         pair = (0, 1);
+         aarch64 = Executor.Distinguishable;
+         riscv = Executor.Indistinguishable;
+       });
+  Journal.close j;
+  let bytes = read_file path in
+  let rows = String.split_on_char '\n' bytes in
+  let aarch64_row =
+    List.find (fun r -> has_sub r "experiment,0") rows
+  and riscv_row = List.find (fun r -> has_sub r "experiment,1") rows in
+  Alcotest.(check bool) "aarch64 row keeps 13 fields" false
+    (has_sub aarch64_row ",riscv");
+  Alcotest.(check bool) "riscv row carries the isa tail" true
+    (has_sub riscv_row ",riscv");
+  let loaded, recovery = Journal.load ~path in
+  Alcotest.(check Alcotest.int) "all records recovered" 3 recovery.Journal.records;
+  events_equal j loaded;
+  (match Journal.entries loaded with
+  | [ e0; e1 ] ->
+    Alcotest.(check bool) "13-field row loads as aarch64" true
+      (Scamv_arch.Isa.equal e0.Journal.isa Scamv_arch.Isa.Aarch64);
+    Alcotest.(check bool) "14-field row loads as riscv" true
+      (Scamv_arch.Isa.equal e1.Journal.isa Scamv_arch.Isa.Riscv)
+  | _ -> Alcotest.fail "expected two experiment entries");
+  match Journal.events loaded with
+  | [ _; _; Journal.Diverged { program_index; pair; aarch64; riscv; _ } ] ->
+    Alcotest.(check Alcotest.int) "diverged index" 2 program_index;
+    Alcotest.(check bool) "diverged pair" true (pair = (0, 1));
+    Alcotest.(check bool) "diverged verdicts" true
+      (aarch64 = Executor.Distinguishable && riscv = Executor.Indistinguishable)
+  | _ -> Alcotest.fail "Diverged event lost"
 
 (* ---- retry policy ---- *)
 
@@ -375,6 +427,8 @@ let event_key = function
   | Journal.Quarantined { program_index; pair; _ } -> `Quarantined (program_index, pair)
   | Journal.Program_failed { program_index; reason; _ } -> `Failed (program_index, reason)
   | Journal.Crashed { program_index; reason; _ } -> `Crashed (program_index, reason)
+  | Journal.Diverged { program_index; pair; aarch64; riscv; _ } ->
+    `Diverged (program_index, pair, aarch64, riscv)
 
 let test_campaign_noisy_budgeted_completes () =
   (* A seeded campaign with 10% fault injection and a tight SAT budget must
@@ -487,6 +541,8 @@ let () =
             test_v2_flipped_checksum_byte_recovers;
           Alcotest.test_case "zero-length file recovers" `Quick
             test_v2_zero_length_file_recovers;
+          Alcotest.test_case "isa column is a compatible tail" `Quick
+            test_isa_tail_compat;
         ] );
       ( "retry",
         [

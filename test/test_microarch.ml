@@ -213,6 +213,8 @@ let spectre_program =
     Ast.Ldr (x 5, addr (x 6) (reg (x 2)));
   |]
 
+let spectre_guest = Scamv_arch.Isa.Aarch64_program spectre_program
+
 let train_and_run ?(config = quiet_config) program ~train_state ~state =
   let core = Core.create config in
   for _ = 1 to 5 do
@@ -432,6 +434,11 @@ let prop_speculation_is_architecturally_transparent =
           template_idx
       in
       let { Scamv_gen.Templates.program; _ } = Scamv_gen.Gen.generate ~seed template in
+      let program =
+        match program with
+        | Scamv_arch.Isa.Aarch64_program p -> p
+        | Scamv_arch.Isa.Riscv_program _ -> assert false
+      in
       let m1 = random_state (Splitmix.of_seed seed) in
       let m2 = Machine.copy m1 in
       let core = Core.create ~seed { Core.cortex_a53 with Core.mispredict_noise = 0.5 } in
@@ -474,6 +481,11 @@ let prop_run_deterministic_given_seed =
       let { Scamv_gen.Templates.program; _ } =
         Scamv_gen.Gen.generate ~seed Scamv_gen.Templates.template_b
       in
+      let program =
+        match program with
+        | Scamv_arch.Isa.Aarch64_program p -> p
+        | Scamv_arch.Isa.Riscv_program _ -> assert false
+      in
       let run () =
         let core = Core.create ~seed Core.cortex_a53 in
         let m = random_state (Splitmix.of_seed seed) in
@@ -498,7 +510,7 @@ let test_executor_distinguishes_secret () =
   let s1, s2, train = spectre_pair () in
   let verdict =
     Executor.run exec_config
-      { Executor.program = spectre_program; state1 = s1; state2 = s2; train = [ train ] }
+      { Executor.program = spectre_guest; state1 = s1; state2 = s2; train = [ train ] }
   in
   Alcotest.(check bool) "distinguishable" true (verdict = Executor.Distinguishable)
 
@@ -507,7 +519,7 @@ let test_executor_identical_states_indistinguishable () =
   let verdict =
     Executor.run exec_config
       {
-        Executor.program = spectre_program;
+        Executor.program = spectre_guest;
         state1 = s1;
         state2 = Machine.copy s1;
         train = [ train ];
@@ -524,7 +536,7 @@ let test_executor_region_view_masks_leak () =
   in
   let verdict =
     Executor.run cfg
-      { Executor.program = spectre_program; state1 = s1; state2 = s2; train = [ train ] }
+      { Executor.program = spectre_guest; state1 = s1; state2 = s2; train = [ train ] }
   in
   Alcotest.(check bool) "masked" true (verdict = Executor.Indistinguishable)
 
@@ -545,14 +557,19 @@ let test_executor_inconclusive_on_flaky_prefetch () =
   in
   let verdict =
     Executor.run ~seed:7L cfg
-      { Executor.program; state1 = s; state2 = Machine.copy s; train = [] }
+      {
+        Executor.program = Scamv_arch.Isa.Aarch64_program program;
+        state1 = s;
+        state2 = Machine.copy s;
+        train = [];
+      }
   in
   Alcotest.(check bool) "inconclusive" true (verdict = Executor.Inconclusive)
 
 let test_executor_deterministic_given_seed () =
   let s1, s2, train = spectre_pair () in
   let experiment =
-    { Executor.program = spectre_program; state1 = s1; state2 = s2; train = [ train ] }
+    { Executor.program = spectre_guest; state1 = s1; state2 = s2; train = [ train ] }
   in
   let v1 = Executor.run ~seed:42L exec_config experiment in
   let v2 = Executor.run ~seed:42L exec_config experiment in

@@ -1,11 +1,17 @@
 module Rv = Scamv_riscv.Ast
 module Rv_sem = Scamv_riscv.Semantics
 module Translate = Scamv_riscv.Translate
+module Lift = Scamv_riscv.Lift
 module Arm = Scamv_isa.Ast
 module Arm_sem = Scamv_isa.Semantics
 module Machine = Scamv_isa.Machine
 module Reg = Scamv_isa.Reg
 module Sm = Scamv_util.Splitmix
+module Bir = Scamv_bir.Program
+module Vars = Scamv_bir.Vars
+module Term = Scamv_smt.Term
+module Model = Scamv_smt.Model
+module Eval = Scamv_smt.Eval
 
 let translate_exn p =
   match Translate.translate p with
@@ -102,8 +108,10 @@ let test_rv_branches () =
 
 (* Random supported RV64 programs: ALU soup + guarded loads/stores +
    forward branches.  Memory addresses are confined to a small pool so
-   loads hit stored cells. *)
-let random_program rng =
+   loads hit stored cells.  [native] additionally draws the instructions
+   only the native lifter accepts: register-amount shifts and linking
+   [jal]. *)
+let random_program ?(native = false) rng =
   let rng = ref rng in
   let draw n =
     let v, r = Sm.int !rng n in
@@ -120,7 +128,7 @@ let random_program rng =
   let small_imm () = Int64.of_int (draw 256) in
   let n = 4 + draw 8 in
   let instr i =
-    match draw 14 with
+    match draw (if native then 18 else 14) with
     | 0 -> Rv.Addi (any_reg (), any_reg (), small_imm ())
     | 1 -> Rv.Add (any_reg (), any_reg (), any_reg ())
     | 2 ->
@@ -139,6 +147,10 @@ let random_program rng =
     | 10 -> Rv.Srai (any_reg (), any_reg (), draw 64)
     | 11 -> Rv.Ld (nonzero_reg (), Int64.of_int (8 * draw 4), nonzero_reg ())
     | 12 -> Rv.Sd (nonzero_reg (), Int64.of_int (8 * draw 4), nonzero_reg ())
+    | 14 -> Rv.Sll (any_reg (), any_reg (), any_reg ())
+    | 15 -> Rv.Srl (any_reg (), any_reg (), any_reg ())
+    | 16 -> Rv.Sra (any_reg (), any_reg (), any_reg ())
+    | 17 -> Rv.Jal (any_reg (), i + 1 + draw (n - i))
     | _ ->
       let target = i + 1 + draw (n - i) in
       (match draw 6 with
@@ -172,6 +184,142 @@ let prop_translation_preserves_semantics =
         ignore (Arm_sem.run arm machine);
         Translate.states_agree state machine)
 
+(* ---- native lifting ---- *)
+
+(* The whole point of the native frontend: every x0 idiom, register-amount
+   shift and linking jal the lossy translator rejects lifts cleanly. *)
+let test_native_lifter_accepts_translator_rejects () =
+  let rejected p =
+    match Translate.translate p with Error _ -> true | Ok _ -> false
+  in
+  let liftable p =
+    match Lift.lift p with
+    | (_ : Bir.t) -> true
+    | exception Invalid_argument _ -> false
+  in
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check bool) (name ^ ": translator rejects") true (rejected p);
+      Alcotest.(check bool) (name ^ ": native lifter accepts") true (liftable p))
+    [
+      ("sll", [| Rv.Sll (Rv.x 3, Rv.x 1, Rv.x 2) |]);
+      ("srl", [| Rv.Srl (Rv.x 3, Rv.x 1, Rv.x 2) |]);
+      ("sra", [| Rv.Sra (Rv.x 3, Rv.x 1, Rv.x 2) |]);
+      ("linking jal", [| Rv.Jal (Rv.x 1, 1) |]);
+      ("load to x0", [| Rv.Ld (Rv.x 0, 0L, Rv.x 1) |]);
+      ("store of x0", [| Rv.Sd (Rv.x 0, 0L, Rv.x 1) |]);
+      ("x0 base address", [| Rv.Ld (Rv.x 1, 0L, Rv.x 0) |]);
+      ("in-place negation", [| Rv.Sub (Rv.x 3, Rv.x 0, Rv.x 3) |]);
+    ]
+
+(* Concrete BIR interpretation: walk the blocks from the entry under a
+   model, evaluating assignments as they come.  Store chains are a single
+   [Store] per Sd, so memory updates reduce to one cell write. *)
+let exec_bir bir model0 =
+  let model = ref model0 in
+  let steps = ref 0 in
+  let rec go bid =
+    incr steps;
+    if !steps > 4096 then Alcotest.fail "exec_bir: cyclic program";
+    let b = Bir.block bir bid in
+    List.iter
+      (function
+        | Bir.Assign (v, e) when v = Vars.mem_name -> (
+          match e with
+          | Term.Store (_, a, value) ->
+            let addr = Eval.eval_bv !model a in
+            let value = Eval.eval_bv !model value in
+            model := Model.add_mem_cell !model Vars.mem_name ~addr ~value
+          | _ -> Alcotest.fail "exec_bir: unexpected memory assignment shape")
+        | Bir.Assign (v, e) ->
+          let value =
+            if List.mem v [ Vars.flag_n; Vars.flag_z; Vars.flag_c; Vars.flag_v ]
+            then Model.Bool (Eval.eval_bool !model e)
+            else Model.Bv (Eval.eval_bv !model e, 64)
+          in
+          model := Model.add_var !model v value
+        | Bir.Observe _ -> ())
+      b.Bir.stmts;
+    match b.Bir.term with
+    | Bir.Halt -> ()
+    | Bir.Jmp t -> go t
+    | Bir.Cjmp (c, t, f) -> go (if Eval.eval_bool !model c then t else f)
+  in
+  go (Bir.entry bir);
+  !model
+
+let rv_regs = List.init 31 (fun i -> Rv.x (i + 1))
+
+let model_of_rv_state s =
+  let model =
+    List.fold_left
+      (fun m r ->
+        Model.add_var m (Lift.reg_var r) (Model.Bv (Rv_sem.get_reg s r, 64)))
+      Model.empty rv_regs
+  in
+  List.fold_left
+    (fun m (addr, value) -> Model.add_mem_cell m Vars.mem_name ~addr ~value)
+    model (Rv_sem.mem_bindings s)
+
+(* Differential vs the reference interpreter, over the FULL native
+   instruction set (register-amount shifts, linking jal, x0 idioms). *)
+let prop_native_lift_matches_interpreter =
+  QCheck.Test.make ~name:"natively lifted BIR = RV64 interpreter" ~count:500
+    QCheck.int64 (fun seed ->
+      let program, state = random_program ~native:true (Sm.of_seed seed) in
+      let final = exec_bir (Lift.lift program) (model_of_rv_state state) in
+      Rv_sem.run program state;
+      List.for_all
+        (fun r -> Eval.eval_bv final (Lift.reg_term r) = Rv_sem.get_reg state r)
+        rv_regs
+      && List.for_all
+           (fun (addr, value) ->
+             Eval.eval_bv final
+               (Term.select Vars.mem_term (Term.bv_const addr 64))
+             = value)
+           (Rv_sem.mem_bindings state))
+
+(* On the subset both frontends accept, the native lift and the
+   translate-then-lift route must compute the same final registers (RV64
+   x[k] lives in machine slot k-1 on the translated side). *)
+let model_of_machine m =
+  let model =
+    List.fold_left
+      (fun acc r ->
+        Model.add_var acc (Vars.reg r) (Model.Bv (Machine.get_reg m r, 64)))
+      Model.empty Reg.all
+  in
+  let f = Machine.get_flags m in
+  let model =
+    List.fold_left2
+      (fun acc name b -> Model.add_var acc name (Model.Bool b))
+      model
+      [ Vars.flag_n; Vars.flag_z; Vars.flag_c; Vars.flag_v ]
+      [ f.Machine.n; f.Machine.z; f.Machine.c; f.Machine.v ]
+  in
+  List.fold_left
+    (fun acc (a, v) -> Model.add_mem_cell acc Vars.mem_name ~addr:a ~value:v)
+    model (Machine.mem_bindings m)
+
+let prop_native_lift_agrees_with_translator =
+  QCheck.Test.make ~name:"native lift = translate + lift on the common subset"
+    ~count:300 QCheck.int64 (fun seed ->
+      let program, state = random_program (Sm.of_seed seed) in
+      match Translate.translate program with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok arm ->
+        let native = exec_bir (Lift.lift program) (model_of_rv_state state) in
+        let translated =
+          exec_bir (Scamv_bir.Lifter.lift arm)
+            (model_of_machine (Translate.machine_of_state state))
+        in
+        List.for_all
+          (fun k ->
+            Eval.eval_bv native (Lift.reg_term (Rv.x k))
+            = Eval.eval_bv translated
+                (Term.bv_var (Vars.reg (Reg.x (k - 1))) 64))
+          (List.init 31 (fun i -> i + 1)))
+
 (* The translated program also runs unchanged through the full pipeline:
    a Spectre gadget written in RV64 yields counterexamples. *)
 let test_translated_gadget_through_pipeline () =
@@ -184,9 +332,10 @@ let test_translated_gadget_through_pipeline () =
     |]
   in
   let arm = translate_exn rv in
+  let guest = Scamv_arch.Isa.Aarch64_program arm in
   let setup = Scamv_models.Refinement.mct_vs_mspec () in
   let cfg = Scamv.Pipeline.default_config setup in
-  let session = Scamv.Pipeline.prepare ~seed:3L cfg arm in
+  let session = Scamv.Pipeline.prepare ~seed:3L cfg guest in
   match Scamv.Pipeline.next_test_case session with
   | Scamv.Pipeline.Exhausted | Scamv.Pipeline.Quarantined _
   | Scamv.Pipeline.Crashed _ ->
@@ -196,7 +345,40 @@ let test_translated_gadget_through_pipeline () =
       Scamv_microarch.Executor.run
         (Scamv_microarch.Executor.default_config ())
         {
-          Scamv_microarch.Executor.program = arm;
+          Scamv_microarch.Executor.program = guest;
+          state1 = tc.Scamv.Pipeline.state1;
+          state2 = tc.Scamv.Pipeline.state2;
+          train = tc.Scamv.Pipeline.train;
+        }
+    in
+    Alcotest.(check bool) "speculative leak found" true
+      (verdict = Scamv_microarch.Executor.Distinguishable)
+
+(* The same gadget, natively: the RV64 pipeline (native lift, flagless
+   concretization, compare-and-branch speculation on the simulated core)
+   also finds the speculative leak. *)
+let test_native_gadget_through_pipeline () =
+  let rv =
+    [|
+      Rv.Ld (Rv.x 3, 0L, Rv.x 1);
+      Rv.Bge (Rv.x 3, Rv.x 2, 3);
+      Rv.Ld (Rv.x 5, 0L, Rv.x 3);
+    |]
+  in
+  let guest = Scamv_arch.Isa.Riscv_program rv in
+  let setup = Scamv_models.Refinement.mct_vs_mspec () in
+  let cfg = Scamv.Pipeline.default_config ~isa:Scamv_arch.Isa.Riscv setup in
+  let session = Scamv.Pipeline.prepare ~seed:3L cfg guest in
+  match Scamv.Pipeline.next_test_case session with
+  | Scamv.Pipeline.Exhausted | Scamv.Pipeline.Quarantined _
+  | Scamv.Pipeline.Crashed _ ->
+    Alcotest.fail "expected a test case from the native gadget"
+  | Scamv.Pipeline.Case tc ->
+    let verdict =
+      Scamv_microarch.Executor.run
+        (Scamv_microarch.Executor.default_config ())
+        {
+          Scamv_microarch.Executor.program = guest;
           state1 = tc.Scamv.Pipeline.state1;
           state2 = tc.Scamv.Pipeline.state2;
           train = tc.Scamv.Pipeline.train;
@@ -229,5 +411,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_translation_preserves_semantics;
           Alcotest.test_case "gadget through pipeline" `Quick
             test_translated_gadget_through_pipeline;
+        ] );
+      ( "native lift",
+        [
+          Alcotest.test_case "accepts what the translator rejects" `Quick
+            test_native_lifter_accepts_translator_rejects;
+          QCheck_alcotest.to_alcotest prop_native_lift_matches_interpreter;
+          QCheck_alcotest.to_alcotest prop_native_lift_agrees_with_translator;
+          Alcotest.test_case "native gadget through pipeline" `Quick
+            test_native_gadget_through_pipeline;
         ] );
     ]
