@@ -7,7 +7,7 @@ SMOKE = campaign --template A --setup mct-vs-mspec -p 6 -k 4 --seed 2021 \
 	--fault-rate 0.1 --fault-seed 7 --max-attempts 3 --max-conflicts 100 \
 	--portfolio 2
 
-.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke solver-smoke serve-smoke diff-smoke perf-check clean
+.PHONY: all build test smoke check bench bench-smoke chaos-smoke metrics-smoke solver-smoke serve-smoke diff-smoke perf-check service-perf-check clean
 
 all: build
 
@@ -53,11 +53,13 @@ solver-smoke: build
 # Validation-service acceptance: boot an in-process HTTP server and check
 # the full surface — two tenants submitting and streaming concurrently
 # (both streams byte-identical to batch Campaign.run), byte-identity
-# across --jobs levels, quota 429 backpressure plus queued-campaign
-# cancellation over the wire, and SIGKILL of a serving process followed
-# by a --resume restart that completes the campaign byte-identically.
-# Then a small load run (two client mixes) writes the latency/throughput
-# report.
+# across --concurrency {1,2,4} x --jobs {1,2} servers, HTTP keep-alive
+# reuse witnessed by the server's own counters, quota 429 backpressure
+# plus queued-campaign cancellation over the wire, and SIGKILL of a
+# --concurrency 2 server with two campaigns mid-flight followed by a
+# --resume restart that completes both byte-identically.  Then a small
+# load run (two client mixes + the concurrency-scaling sweep) writes the
+# latency/throughput report.
 serve-smoke: build
 	$(DUNE) exec bench/main.exe -- service --smoke --out BENCH_service.smoke.json
 
@@ -88,11 +90,25 @@ perf-check: build
 
 # Telemetry round trip: run a small parallel campaign with --trace and
 # --metrics, then check both files parse and carry the expected spans and
-# metric families.
+# metric families; then dump /metrics from a live --concurrency 2 server
+# and check the service/scheduler families (pre-registered counters,
+# connection gauges, slice widths) are all exported.
 metrics-smoke: build
 	$(DUNE) exec bin/scamv_cli.exe -- $(SMOKE) --jobs 2 \
 		--trace trace.smoke.json --metrics metrics.smoke.txt
-	$(DUNE) exec bench/main.exe -- validate-telemetry trace.smoke.json metrics.smoke.txt
+	$(DUNE) exec bench/main.exe -- service-metrics --out metrics.service.smoke.txt
+	$(DUNE) exec bench/main.exe -- validate-telemetry trace.smoke.json \
+		metrics.smoke.txt metrics.service.smoke.txt
+
+# Service perf regression gate: re-run the load generator (suite skipped)
+# and fail if the fresh concurrency-1 throughput drops below half the
+# committed BENCH_service.json, or p95 latency more than doubles.  Bounds
+# are loose on purpose: service numbers ride on threads and loopback TCP.
+service-perf-check: build
+	$(DUNE) exec bench/main.exe -- service --load-only \
+		--out BENCH_service.perfcheck.json
+	$(DUNE) exec bench/main.exe -- compare-service BENCH_service.json \
+		BENCH_service.perfcheck.json
 
 clean:
 	$(DUNE) clean

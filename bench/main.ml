@@ -1261,6 +1261,70 @@ let compare_bench ref_file new_file =
       ref_file;
   Printf.printf "OK: generation phase within 25%% of %s\n" ref_file
 
+(* Service perf regression gate (`make service-perf-check`): re-runs the
+   load generator and compares its concurrency-1 scaling entry against
+   the committed BENCH_service.json.  Service throughput is noisier than
+   the solver's generation phase (threads, loopback TCP, campaign
+   scheduling), so the gate is deliberately loose: fail only when fresh
+   throughput drops below half the committed rate or p95 latency more
+   than doubles. *)
+let compare_service ref_file new_file =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  let load file =
+    let text =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error m -> fail "%s" m
+    in
+    try Json.of_string text with Json.Parse_error m -> fail "%s: %s" file m
+  in
+  let conc1 file =
+    let doc = load file in
+    let entries =
+      match Json.member "concurrency_scaling" doc with
+      | Some (Json.Arr l) -> l
+      | _ -> fail "%s: no concurrency_scaling block" file
+    in
+    let entry =
+      match
+        List.find_opt
+          (fun e ->
+            match Json.member "concurrency" e with
+            | Some (Json.Num 1.) -> true
+            | _ -> false)
+          entries
+      with
+      | Some e -> e
+      | None -> fail "%s: no concurrency = 1 entry" file
+    in
+    let throughput =
+      match Json.member "throughput_campaigns_per_second" entry with
+      | Some (Json.Num n) -> n
+      | _ -> fail "%s: concurrency-1 entry has no throughput" file
+    in
+    let p95 =
+      match Json.member "latency_seconds" entry with
+      | Some l -> (
+        match Json.member "p95" l with
+        | Some (Json.Num n) -> n
+        | _ -> fail "%s: concurrency-1 entry has no p95" file)
+      | None -> fail "%s: concurrency-1 entry has no latency_seconds" file
+    in
+    (throughput, p95)
+  in
+  let ref_tp, ref_p95 = conc1 ref_file in
+  let new_tp, new_p95 = conc1 new_file in
+  Printf.printf
+    "concurrency-1: reference %.2f campaigns/s p95 %.3fs, this run %.2f \
+     campaigns/s p95 %.3fs\n"
+    ref_tp ref_p95 new_tp new_p95;
+  if new_tp < ref_tp /. 2. then
+    fail "service throughput dropped below half of %s (%.2f < %.2f)" ref_file
+      new_tp (ref_tp /. 2.);
+  if new_p95 > ref_p95 *. 2. then
+    fail "service p95 latency more than doubled against %s (%.3fs > %.3fs)"
+      ref_file new_p95 (ref_p95 *. 2.);
+  Printf.printf "OK: service throughput and p95 within bounds of %s\n" ref_file
+
 (* Validates the --trace / --metrics output of a campaign run: the trace
    must re-parse with Scamv_util.Json and contain every pipeline span the
    instrumentation promises, and the metrics dump must expose the
@@ -1325,6 +1389,55 @@ let validate_telemetry trace_file metrics_file =
     ];
   Printf.printf "OK: %s (%d spans) and %s validate\n" trace_file
     (List.length events) metrics_file
+
+(* Validates a /metrics dump from a live validation server (the optional
+   third `validate-telemetry` argument, produced by `service-metrics`):
+   the connection-management and scheduler families must all be present —
+   they are pre-registered at startup, so a missing name means the
+   registration regressed, not merely that a counter stayed at zero. *)
+let validate_service_metrics file =
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt in
+  let text =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error m -> fail "%s" m
+  in
+  let has_metric name =
+    String.split_on_char '\n' text
+    |> List.exists (fun line ->
+           String.length line >= String.length name
+           && String.sub line 0 (String.length name) = name)
+  in
+  List.iter
+    (fun required ->
+      if not (has_metric required) then fail "%s: no %s metric" file required)
+    [
+      "scamv_service_http_requests";
+      "scamv_service_campaigns_submitted";
+      "scamv_service_campaigns_completed";
+      "scamv_service_connections_active";
+      "scamv_service_connections_queued";
+      "scamv_service_connections_reused";
+      "scamv_service_connections_rejected";
+      "scamv_service_sessions_total";
+      "scamv_scheduler_concurrent_sessions";
+      "scamv_scheduler_slices";
+      "scamv_scheduler_slice_width";
+    ];
+  (* the dump comes from a server that served a reused request *)
+  let value name =
+    String.split_on_char '\n' text
+    |> List.find_map (fun line ->
+           match String.index_opt line ' ' with
+           | Some i when String.sub line 0 i = name ->
+             float_of_string_opt
+               (String.sub line (i + 1) (String.length line - i - 1))
+           | _ -> None)
+  in
+  (match value "scamv_service_connections_reused" with
+  | Some v when v >= 1.0 -> ()
+  | Some v -> fail "%s: connections_reused stayed at %g" file v
+  | None -> fail "%s: connections_reused has no sample line" file);
+  Printf.printf "OK: %s carries the service/scheduler metric families\n" file
 
 (* ------------------------------------------------------------------ *)
 (* Chaos harness (`make chaos-smoke`)                                  *)
@@ -1513,8 +1626,11 @@ let () =
   | "validate-bench" :: file :: _ ->
     validate_bench file;
     exit 0
-  | "validate-telemetry" :: trace :: metrics :: _ ->
+  | "validate-telemetry" :: trace :: metrics :: rest ->
     validate_telemetry trace metrics;
+    (match rest with
+    | service :: _ -> validate_service_metrics service
+    | [] -> ());
     exit 0
   | "compare-bench" :: ref_file :: new_file :: _ ->
     compare_bench ref_file new_file;
@@ -1532,8 +1648,23 @@ let () =
   | "chaos" :: rest ->
     chaos_suite ~smoke:(List.mem "--smoke" rest) ();
     exit 0
-  | "service-child" :: dir :: _ ->
-    Service_bench.child dir;
+  | "service-child" :: dir :: rest ->
+    let concurrency = match rest with c :: _ -> int_of_string c | [] -> 1 in
+    Service_bench.child ~concurrency dir;
+    exit 0
+  | "service-metrics" :: rest ->
+    let out =
+      let rec find = function
+        | "--out" :: f :: _ -> f
+        | _ :: tail -> find tail
+        | [] -> "metrics.service.txt"
+      in
+      find rest
+    in
+    Service_bench.metrics_dump ~out ();
+    exit 0
+  | "compare-service" :: ref_file :: new_file :: _ ->
+    compare_service ref_file new_file;
     exit 0
   | "service" :: rest ->
     let smoke = List.mem "--smoke" rest in
@@ -1545,7 +1676,7 @@ let () =
       in
       find rest
     in
-    Service_bench.suite ();
+    if not (List.mem "--load-only" rest) then Service_bench.suite ();
     Service_bench.load ~smoke ~out ();
     exit 0
   | _ -> ());

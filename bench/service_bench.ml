@@ -8,17 +8,21 @@
    - two tenants submit and stream campaigns concurrently, and each
      streamed record sequence (and the server's on-disk journal) must be
      byte-identical to a batch Campaign.run of the same parameters;
-   - the same campaign served from a --jobs 1 and a --jobs 2 server must
-     stream identical bytes;
-   - a SIGKILLed server must, after restart from its state directory,
-     finish the interrupted campaign and leave journal + stream
-     indistinguishable from an uninterrupted run;
+   - the same campaigns served at every --concurrency {1,2,4} x
+     --jobs {1,2} combination must stream the same bytes — runner slots
+     and pool slicing are pure scheduling, never observable;
+   - connections are persistent: sequential requests reuse one socket
+     and the /metrics reuse counter proves it;
+   - a SIGKILLed --concurrency 2 server with two campaigns mid-flight
+     must, after restart from its state directory, finish both and leave
+     journals + streams indistinguishable from uninterrupted runs;
    - quota rejections surface as HTTP 429, cancellation as a terminal
      "cancelled" stream, and /metrics as a Prometheus dump.
 
    The load generator measures submit->done latency per campaign across
-   client/campaign mixes and writes throughput + p50/p95/p99 to
-   BENCH_service.json. *)
+   client/campaign mixes, then re-measures one fixed mix at server
+   concurrency 1/2/4 (the concurrency_scaling block), and writes
+   throughput + p50/p95/p99 to BENCH_service.json. *)
 
 module Json = Scamv_util.Json
 module Stopwatch = Scamv_util.Stopwatch
@@ -78,47 +82,61 @@ let read_chunked ic =
   loop ();
   Buffer.contents b
 
-let request ~port ~meth ~path ?(body = "") () =
+let read_response ic =
+  let status_line = read_line_crlf ic in
+  let status =
+    match String.split_on_char ' ' status_line with
+    | _ :: code :: _ -> int_of_string code
+    | _ -> fail "malformed status line %S" status_line
+  in
+  let rec headers acc =
+    match read_line_crlf ic with
+    | "" -> List.rev acc
+    | line -> (
+      match String.index_opt line ':' with
+      | None -> fail "malformed response header %S" line
+      | Some i ->
+        headers
+          (( String.lowercase_ascii (String.sub line 0 i),
+             String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+          :: acc))
+  in
+  let headers = headers [] in
+  let body =
+    match List.assoc_opt "transfer-encoding" headers with
+    | Some "chunked" -> read_chunked ic
+    | _ -> (
+      match List.assoc_opt "content-length" headers with
+      | Some n -> really_input_string ic (int_of_string n)
+      | None -> In_channel.input_all ic)
+  in
+  { status; headers; body }
+
+(* A persistent (keep-alive) connection: every response is framed by
+   Content-Length or chunked encoding, so the socket stays usable for the
+   next request until [close:true] or [close_conn]. *)
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~port =
   let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let request_on c ~meth ~path ?(body = "") ?(close = false) () =
+  Printf.fprintf c.oc "%s %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: %d\r\n%s\r\n%s"
+    meth path (String.length body)
+    (if close then "Connection: close\r\n" else "")
+    body;
+  flush c.oc;
+  read_response c.ic
+
+let request ~port ~meth ~path ?(body = "") () =
+  let c = connect ~port in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      Unix.connect fd
-        (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", port));
-      let oc = Unix.out_channel_of_descr fd in
-      let ic = Unix.in_channel_of_descr fd in
-      Printf.fprintf oc
-        "%s %s HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
-        meth path (String.length body) body;
-      flush oc;
-      let status_line = read_line_crlf ic in
-      let status =
-        match String.split_on_char ' ' status_line with
-        | _ :: code :: _ -> int_of_string code
-        | _ -> fail "malformed status line %S" status_line
-      in
-      let rec headers acc =
-        match read_line_crlf ic with
-        | "" -> List.rev acc
-        | line -> (
-          match String.index_opt line ':' with
-          | None -> fail "malformed response header %S" line
-          | Some i ->
-            headers
-              (( String.lowercase_ascii (String.sub line 0 i),
-                 String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
-              :: acc))
-      in
-      let headers = headers [] in
-      let body =
-        match List.assoc_opt "transfer-encoding" headers with
-        | Some "chunked" -> read_chunked ic
-        | _ -> (
-          match List.assoc_opt "content-length" headers with
-          | Some n -> really_input_string ic (int_of_string n)
-          | None -> In_channel.input_all ic)
-      in
-      { status; headers; body })
+    ~finally:(fun () -> close_conn c)
+    (fun () -> request_on c ~meth ~path ~body ~close:true ())
 
 let body_json r = Json.of_string r.body
 
@@ -227,8 +245,9 @@ let temp_dir prefix =
   Sys.remove d;
   d
 
-let scheduler_config ?state_dir ?(jobs = 1) ?(quota = Tenant.default_quota) () =
-  { Scheduler.jobs; state_dir; quota; clock = Stopwatch.frozen }
+let scheduler_config ?state_dir ?(jobs = 1) ?(concurrency = 1)
+    ?(quota = Tenant.default_quota) () =
+  { Scheduler.jobs; concurrency; state_dir; quota; clock = Stopwatch.frozen }
 
 let start_server scd =
   let srv = Server.create ~port:0 scd in
@@ -365,6 +384,76 @@ let smoke_backpressure_and_cancel () =
   Scheduler.shutdown scd;
   Printf.printf "OK: quota 429 backpressure and queued-campaign cancel\n%!"
 
+(* Persistent connections over the wire: three requests down one socket,
+   with the server's own reuse counter as the witness. *)
+let smoke_keep_alive () =
+  let scd = Scheduler.create ~config:(scheduler_config ()) ~start:false () in
+  let srv = start_server scd in
+  let port = Server.port srv in
+  let c = connect ~port in
+  let r1 = request_on c ~meth:"GET" ~path:"/healthz" () in
+  if r1.status <> 200 then fail "keep-alive: first request: %d" r1.status;
+  if List.assoc_opt "connection" r1.headers <> Some "keep-alive" then
+    fail "keep-alive: server did not advertise a persistent connection";
+  let r2 = request_on c ~meth:"GET" ~path:"/healthz" () in
+  if r2.status <> 200 then fail "keep-alive: second request: %d" r2.status;
+  let r3 = request_on c ~meth:"GET" ~path:"/metrics" ~close:true () in
+  if r3.status <> 200 then fail "keep-alive: metrics request: %d" r3.status;
+  if not (contains_substring r3.body "service_connections_reused 2") then
+    fail "keep-alive: reuse counter did not reach 2:\n%s" r3.body;
+  if List.assoc_opt "connection" r3.headers <> Some "close" then
+    fail "keep-alive: Connection: close not honored";
+  (match In_channel.input_line c.ic with
+  | None -> ()
+  | Some _ -> fail "keep-alive: connection still open after Connection: close");
+  close_conn c;
+  Server.stop srv;
+  Scheduler.shutdown scd;
+  Printf.printf "OK: persistent connection served 3 requests (2 reuses counted)\n%!"
+
+(* The tentpole acceptance: the same two campaigns served at every
+   --concurrency {1,2,4} x --jobs {1,2} combination stream and journal
+   exactly the batch bytes. *)
+let smoke_concurrency_identity () =
+  let refs =
+    List.map
+      (fun s -> (s, batch_reference s ~seed:(Option.get s.seed)))
+      [ spec_alice; spec_bob ]
+  in
+  List.iter
+    (fun (concurrency, jobs) ->
+      let dir = temp_dir "scamv-service-conc" in
+      let scd =
+        Scheduler.create
+          ~config:(scheduler_config ~state_dir:dir ~jobs ~concurrency ())
+          ()
+      in
+      let srv = start_server scd in
+      let port = Server.port srv in
+      (* submit both before streaming so they are in flight together *)
+      let ids = List.map (fun (s, _) -> submit ~port s) refs in
+      List.iter2
+        (fun id (s, (bytes, expected)) ->
+          let lines = stream ~port id in
+          if record_lines lines <> expected then
+            fail
+              "concurrency identity: --concurrency %d --jobs %d: %s stream \
+               differs from batch"
+              concurrency jobs s.tenant;
+          if read_file (Filename.concat dir (id ^ ".journal")) <> bytes then
+            fail
+              "concurrency identity: --concurrency %d --jobs %d: %s journal \
+               differs from batch"
+              concurrency jobs s.tenant)
+        ids refs;
+      Server.stop srv;
+      Scheduler.shutdown scd)
+    [ (1, 1); (1, 2); (2, 1); (2, 2); (4, 1); (4, 2) ];
+  Printf.printf
+    "OK: served campaigns byte-identical to batch across --concurrency \
+     {1,2,4} x --jobs {1,2}\n\
+     %!"
+
 (* ------------------------------------------------------------------ *)
 (* Kill + resume                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -374,10 +463,17 @@ let spec_carol = {
   programs = 10; tests = 4; seed = None;  (* namespace seed *)
 }
 
+let spec_dave = {
+  tenant = "dave"; template = "A"; setup = "mct-vs-mspec";
+  programs = 8; tests = 3; seed = None;  (* namespace seed *)
+}
+
 (* The `service-child` subcommand: a real server on an ephemeral port,
    state in [dir], prints "PORT <n>" and serves until SIGKILLed. *)
-let child dir =
-  let scd = Scheduler.create ~config:(scheduler_config ~state_dir:dir ()) () in
+let child ?(concurrency = 1) dir =
+  let scd =
+    Scheduler.create ~config:(scheduler_config ~state_dir:dir ~concurrency ()) ()
+  in
   let srv = start_server scd in
   Printf.printf "PORT %d\n%!" (Server.port srv);
   while true do
@@ -389,7 +485,7 @@ let kill_resume () =
   let out_read, out_write = Unix.pipe ~cloexec:false () in
   let pid =
     Unix.create_process Sys.executable_name
-      [| Sys.executable_name; "service-child"; dir |]
+      [| Sys.executable_name; "service-child"; dir; "2" |]
       Unix.stdin out_write Unix.stderr
   in
   Unix.close out_write;
@@ -400,14 +496,19 @@ let kill_resume () =
       int_of_string (String.sub line 5 (String.length line - 5))
     | _ -> fail "service child did not report its port"
   in
-  let id = submit ~port spec_carol in
-  (* Wait for journal records to reach the child's disk, then SIGKILL it
-     mid-campaign.  (On a very fast machine the campaign may already be
-     done — recovery of a completed session is exercised instead.) *)
-  let journal_path = Filename.concat dir (id ^ ".journal") in
-  let size () = try (Unix.stat journal_path).Unix.st_size with Unix.Unix_error _ -> 0 in
+  (* Two tenants' campaigns in flight on the concurrency-2 child. *)
+  let id_carol = submit ~port spec_carol in
+  let id_dave = submit ~port spec_dave in
+  (* Wait for journal records from both campaigns to reach the child's
+     disk, then SIGKILL it mid-campaign.  (On a very fast machine a
+     campaign may already be done — recovery of a completed session is
+     exercised instead.) *)
+  let size id =
+    try (Unix.stat (Filename.concat dir (id ^ ".journal"))).Unix.st_size
+    with Unix.Unix_error _ -> 0
+  in
   let give_up = Unix.gettimeofday () +. 120.0 in
-  while size () < 200 do
+  while size id_carol < 200 || size id_dave < 200 do
     if Unix.gettimeofday () > give_up then
       fail "service child wrote no journal records within 120s";
     Unix.sleepf 0.02
@@ -416,14 +517,22 @@ let kill_resume () =
   ignore (Unix.waitpid [] pid);
   close_in child_out;
   (* Restart "the server" from the same state directory: recovery must
-     re-enqueue the interrupted campaign and finish it. *)
-  let scd = Scheduler.create ~config:(scheduler_config ~state_dir:dir ()) () in
+     re-enqueue both interrupted campaigns and finish them.  The restart
+     also runs at --concurrency 2, so recovered sessions land back on
+     derived runner slots. *)
+  let scd =
+    Scheduler.create ~config:(scheduler_config ~state_dir:dir ~concurrency:2 ()) ()
+  in
   let srv = start_server scd in
   let port = Server.port srv in
   Scheduler.drain scd;
-  let seed = Tenant.derive_seed ~tenant:"carol" ~sequence:0 in
-  check_stream_matches_batch ~what:"kill+resume campaign" ~state_dir:dir ~port id
-    spec_carol ~seed;
+  List.iter
+    (fun (id, s) ->
+      let seed = Tenant.derive_seed ~tenant:s.tenant ~sequence:0 in
+      check_stream_matches_batch
+        ~what:(Printf.sprintf "kill+resume campaign (%s)" s.tenant)
+        ~state_dir:dir ~port id s ~seed)
+    [ (id_carol, spec_carol); (id_dave, spec_dave) ];
   Server.stop srv;
   Scheduler.shutdown scd
 
@@ -505,6 +614,64 @@ let run_mix ~port mix =
           ] );
     ]
 
+(* Concurrency scaling: the same fixed mix re-measured against a fresh
+   server at --concurrency 1/2/4, the pool budget sliced accordingly.
+   Runs at concurrency > 1 carry the honesty flag [cores_limited]: on a
+   machine with no spare cores (CI containers routinely schedule a single
+   core) extra runner slots cannot pay off, and the flag keeps a reader
+   from mistaking that for a scaling bug. *)
+let concurrency_scaling ~smoke () =
+  let levels = [ 1; 2; 4 ] in
+  let mk_mix concurrency =
+    {
+      mix_name = Printf.sprintf "concurrency-%d" concurrency;
+      clients = 4;
+      campaigns_per_client = (if smoke then 2 else 6);
+      mix_template = "A";
+      mix_setup = "mct-vs-mspec";
+      mix_programs = 2;
+      mix_tests = 2;
+    }
+  in
+  let throughput j =
+    match Json.member "throughput_campaigns_per_second" j with
+    | Some (Json.Num n) -> n
+    | _ -> fail "concurrency scaling: mix result lost its throughput"
+  in
+  let runs =
+    List.map
+      (fun concurrency ->
+        (* total pool budget = concurrency, so every runner slot gets a
+           width-1 slice and slots scale without oversubscribing a core
+           more than the slot count itself does *)
+        let scd =
+          Scheduler.create
+            ~config:(scheduler_config ~jobs:concurrency ~concurrency ())
+            ()
+        in
+        let srv = start_server scd in
+        let result = run_mix ~port:(Server.port srv) (mk_mix concurrency) in
+        Server.stop srv;
+        Scheduler.shutdown scd;
+        (concurrency, result))
+      levels
+  in
+  let base = throughput (List.assoc 1 runs) in
+  List.map
+    (fun (concurrency, result) ->
+      let t = throughput result in
+      let fields = match result with Json.Obj f -> f | _ -> [] in
+      Json.Obj
+        ([
+           ("concurrency", Json.Num (float_of_int concurrency));
+           ( "speedup_vs_concurrency1",
+             Json.Num (if base > 0. then t /. base else 0.) );
+         ]
+        @ (if concurrency > 1 then [ ("cores_limited", Json.Bool (t < base)) ]
+           else [])
+        @ fields))
+    runs
+
 let load ~smoke ~out () =
   let jobs = 2 in
   let scd = Scheduler.create ~config:(scheduler_config ~jobs ()) () in
@@ -537,17 +704,43 @@ let load ~smoke ~out () =
   let results = List.map (run_mix ~port) mixes in
   Server.stop srv;
   Scheduler.shutdown scd;
+  Printf.printf "## Concurrency scaling (%s)\n%!" (if smoke then "smoke" else "full");
+  let scaling = concurrency_scaling ~smoke () in
   let doc =
     Json.Obj
       [
-        ("schema", Json.Str "scamv-service-bench/v1");
+        ("schema", Json.Str "scamv-service-bench/v2");
         ("mode", Json.Str (if smoke then "smoke" else "full"));
         ("server_jobs", Json.Num (float_of_int jobs));
+        ( "available_cores",
+          Json.Num (float_of_int (Domain.recommended_domain_count ())) );
         ("mixes", Json.Arr results);
+        ("concurrency_scaling", Json.Arr scaling);
       ]
   in
   Out_channel.with_open_bin out (fun oc -> Json.write ~pretty:true oc doc);
   Printf.printf "service bench written to %s\n%!" out
+
+(* The `service-metrics` subcommand (`make metrics-smoke`): boot a
+   --concurrency 2 server, run one campaign and a couple of keep-alive
+   requests so the connection counters move, and dump /metrics to a file
+   for `validate-telemetry` to check the service families. *)
+let metrics_dump ~out () =
+  let scd = Scheduler.create ~config:(scheduler_config ~concurrency:2 ()) () in
+  let srv = start_server scd in
+  let port = Server.port srv in
+  let id = submit ~port { spec_alice with programs = 2; tests = 2 } in
+  let (_ : string list) = stream ~port id in
+  let c = connect ~port in
+  let r1 = request_on c ~meth:"GET" ~path:"/healthz" () in
+  if r1.status <> 200 then fail "metrics dump: healthz: %d" r1.status;
+  let r = request_on c ~meth:"GET" ~path:"/metrics" ~close:true () in
+  if r.status <> 200 then fail "metrics dump: /metrics: %d" r.status;
+  close_conn c;
+  Server.stop srv;
+  Scheduler.shutdown scd;
+  Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc r.body);
+  Printf.printf "service metrics dump written to %s\n%!" out
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
@@ -557,6 +750,8 @@ let suite () =
   Printf.printf "## Service smoke suite\n%!";
   let dir_jobs2 = smoke_two_tenants () in
   smoke_jobs_identity dir_jobs2;
+  smoke_keep_alive ();
   smoke_backpressure_and_cancel ();
+  smoke_concurrency_identity ();
   kill_resume ();
   Printf.printf "service: all acceptance checks passed\n%!"

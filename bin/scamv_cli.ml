@@ -600,6 +600,31 @@ let serve_cmd =
              cores).  Campaign artifacts are byte-identical across $(docv) \
              levels.")
   in
+  let concurrency_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "concurrency" ] ~docv:"K"
+          ~doc:
+            "Campaigns executed at once: the worker pool is partitioned \
+             into $(docv) deterministic slices, each driven by its own \
+             runner.  Slice assignment is a pure function of (tenant, \
+             sequence), so artifacts stay byte-identical across $(docv) \
+             levels.")
+  in
+  let max_connections_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-connections" ] ~docv:"N"
+          ~doc:
+            "Connection workers (and the accept-queue bound); overflow \
+             connections are answered 503 with Retry-After.")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Idle time after which a keep-alive connection is closed.")
+  in
   let state_dir_arg =
     Arg.(
       value
@@ -639,10 +664,25 @@ let serve_cmd =
              functions of their parameters (used by the byte-identity \
              acceptance checks).")
   in
-  let run host port jobs state_dir resume max_backlog max_active frozen =
+  let run host port jobs concurrency max_connections idle_timeout state_dir
+      resume max_backlog max_active frozen =
     let ( let* ) = Result.bind in
     let* () =
       if jobs < 0 then Error (`Msg "--jobs must be at least 0") else Ok ()
+    in
+    let* () =
+      if concurrency < 1 then Error (`Msg "--concurrency must be at least 1")
+      else Ok ()
+    in
+    let* () =
+      if max_connections < 1 then
+        Error (`Msg "--max-connections must be at least 1")
+      else Ok ()
+    in
+    let* () =
+      if idle_timeout <= 0.0 then
+        Error (`Msg "--idle-timeout must be positive")
+      else Ok ()
     in
     let* () =
       if max_backlog < 1 || max_active < 1 then
@@ -672,6 +712,7 @@ let serve_cmd =
     let config =
       {
         Scamv_service.Scheduler.jobs;
+        concurrency;
         state_dir;
         quota =
           { Scamv_service.Tenant.max_backlog; max_active };
@@ -680,7 +721,10 @@ let serve_cmd =
       }
     in
     let scheduler = Scamv_service.Scheduler.create ~config () in
-    let server = Scamv_service.Server.create ~host ~port scheduler in
+    let server =
+      Scamv_service.Server.create ~host ~port ~max_connections ~idle_timeout
+        scheduler
+    in
     let* () =
       try
         Scamv_service.Server.start server;
@@ -710,7 +754,8 @@ let serve_cmd =
   in
   let term =
     Term.(
-      const run $ host_arg $ port_arg $ jobs_arg $ state_dir_arg $ resume_arg
+      const run $ host_arg $ port_arg $ jobs_arg $ concurrency_arg
+      $ max_connections_arg $ idle_timeout_arg $ state_dir_arg $ resume_arg
       $ max_backlog_arg $ max_active_arg $ frozen_clock_arg)
   in
   let info =

@@ -1,17 +1,25 @@
-(* Minimal HTTP/1.1 server-side protocol support, hand-rolled over
-   buffered channels so the service needs no dependencies beyond [Unix].
-   Only what the validation service uses is implemented: one request per
-   connection (the server always answers [Connection: close]),
-   [Content-Length] request bodies, fixed-length responses and chunked
-   transfer encoding for the NDJSON verdict streams. *)
+(* Minimal HTTP/1.1 server-side protocol support, hand-rolled over a
+   small buffered reader so the service needs no dependencies beyond
+   [Unix].  Only what the validation service uses is implemented:
+   persistent (keep-alive) connections with [Connection] semantics for
+   both HTTP/1.1 and HTTP/1.0, [Content-Length] request bodies,
+   fixed-length responses and chunked transfer encoding for the NDJSON
+   verdict streams.  The reader waits for bytes cooperatively — a
+   [Deadline] token bounds each idle wait, polled through select(2) in
+   short slices — so a server can time idle connections out, and a
+   supervisor can cancel the token to wake a parked reader. *)
+
+module Deadline = Scamv_util.Deadline
 
 exception Bad_request of string
+exception Timeout
 
 type request = {
   meth : string;  (** uppercase method, e.g. ["GET"] *)
   target : string;  (** raw request target as received *)
   path : string;  (** percent-decoded path, query stripped *)
   query : (string * string) list;
+  version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
   headers : (string * string) list;  (** names lowercased *)
   body : string;
 }
@@ -19,6 +27,95 @@ type request = {
 let max_line_bytes = 8192
 let max_headers = 64
 let max_body_bytes = 4 * 1024 * 1024
+
+(* ---- buffered reader ---- *)
+
+type src =
+  | Fd of Unix.file_descr
+  | Str of { str : string; mutable off : int }
+
+type reader = { src : src; buf : Bytes.t; mutable pos : int; mutable len : int }
+
+let reader_of_fd fd = { src = Fd fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+let reader_of_string s =
+  { src = Str { str = s; off = 0 }; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+(* Wait until [fd] is readable, cooperating with the idle deadline: the
+   select timeout is one short slice, and the token is re-consulted on
+   every wakeup, so [Deadline.cancel] from another thread unparks the
+   reader within a slice even though nothing is interrupted
+   asynchronously. *)
+let rec wait_readable fd idle =
+  let slice =
+    match idle with
+    | None -> -1.0 (* block until readable *)
+    | Some d -> (
+      match Deadline.remaining_seconds d with
+      | Some r when r <= 0.0 -> raise Timeout
+      | Some r -> Float.min 0.25 r
+      | None -> 0.25 (* virtual token: poll cooperatively *))
+  in
+  match Unix.select [ fd ] [] [] slice with
+  | [], _, _ -> wait_readable fd idle
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd idle
+
+(* [false] = end of stream.  A peer reset is a close, not an error. *)
+let refill ?idle r =
+  match r.src with
+  | Str s ->
+    let remaining = String.length s.str - s.off in
+    if remaining <= 0 then false
+    else begin
+      let n = min (Bytes.length r.buf) remaining in
+      Bytes.blit_string s.str s.off r.buf 0 n;
+      s.off <- s.off + n;
+      r.pos <- 0;
+      r.len <- n;
+      true
+    end
+  | Fd fd ->
+    let rec read () =
+      wait_readable fd idle;
+      match Unix.read fd r.buf 0 (Bytes.length r.buf) with
+      | 0 -> false
+      | n ->
+        r.pos <- 0;
+        r.len <- n;
+        true
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        read ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> false
+    in
+    read ()
+
+let read_byte ?idle r =
+  if r.pos < r.len then begin
+    let c = Bytes.get r.buf r.pos in
+    r.pos <- r.pos + 1;
+    Some c
+  end
+  else if refill ?idle r then begin
+    let c = Bytes.get r.buf 0 in
+    r.pos <- 1;
+    Some c
+  end
+  else None
+
+let read_exact ?idle r n =
+  let out = Bytes.create n in
+  let filled = ref 0 in
+  while !filled < n do
+    if r.pos >= r.len && not (refill ?idle r) then
+      raise (Bad_request "connection closed mid-body");
+    let take = min (n - !filled) (r.len - r.pos) in
+    Bytes.blit r.buf r.pos out !filled take;
+    r.pos <- r.pos + take;
+    filled := !filled + take
+  done;
+  Bytes.to_string out
 
 (* ---- parsing ---- *)
 
@@ -78,16 +175,16 @@ let split_target target =
 (* Read one CRLF- (or bare-LF-) terminated line, without the terminator.
    Raises [Bad_request] past [max_line_bytes]; returns [None] on EOF
    before any byte (a closed keep-alive connection). *)
-let read_line_opt ic =
+let read_line_opt ?idle r =
   let b = Buffer.create 128 in
   let rec loop () =
-    match input_char ic with
-    | exception End_of_file -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
-    | '\n' ->
+    match read_byte ?idle r with
+    | None -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | Some '\n' ->
       let s = Buffer.contents b in
       let len = String.length s in
       Some (if len > 0 && s.[len - 1] = '\r' then String.sub s 0 (len - 1) else s)
-    | c ->
+    | Some c ->
       if Buffer.length b >= max_line_bytes then raise (Bad_request "header line too long");
       Buffer.add_char b c;
       loop ()
@@ -107,8 +204,24 @@ let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
 
 let query req name = List.assoc_opt name req.query
 
-let read_request ic =
-  match read_line_opt ic with
+let connection_tokens req =
+  match header req "connection" with
+  | None -> []
+  | Some v ->
+    String.split_on_char ',' v
+    |> List.map (fun s -> String.lowercase_ascii (String.trim s))
+
+(* HTTP/1.1 defaults to persistent connections unless the client said
+   [Connection: close]; HTTP/1.0 defaults to close unless it asked for
+   [keep-alive]. *)
+let wants_keep_alive req =
+  let tokens = connection_tokens req in
+  if List.mem "close" tokens then false
+  else if req.version = "HTTP/1.0" then List.mem "keep-alive" tokens
+  else true
+
+let read_request ?idle r =
+  match read_line_opt ?idle r with
   | None -> None
   | Some request_line ->
     let meth, target, version =
@@ -121,7 +234,7 @@ let read_request ic =
     if meth = "" || target = "" then raise (Bad_request "malformed request line");
     let rec read_headers acc n =
       if n > max_headers then raise (Bad_request "too many headers");
-      match read_line_opt ic with
+      match read_line_opt ?idle r with
       | None -> raise (Bad_request "connection closed mid-headers")
       | Some "" -> List.rev acc
       | Some line -> read_headers (parse_header line :: acc) (n + 1)
@@ -135,14 +248,32 @@ let read_request ic =
         | None -> raise (Bad_request "malformed Content-Length")
         | Some n when n < 0 -> raise (Bad_request "malformed Content-Length")
         | Some n when n > max_body_bytes -> raise (Bad_request "request body too large")
-        | Some n -> (
-          try really_input_string ic n
-          with End_of_file -> raise (Bad_request "connection closed mid-body")))
+        | Some n -> read_exact ?idle r n)
     in
     let path, query = split_target target in
-    Some { meth = String.uppercase_ascii meth; target; path; query; headers; body }
+    Some
+      {
+        meth = String.uppercase_ascii meth;
+        target;
+        path;
+        query;
+        version;
+        headers;
+        body;
+      }
 
 (* ---- responses ---- *)
+
+(* One write side of a connection.  [keep_alive] is the decision the
+   response head will carry: the server sets it per request (client
+   intent x request cap x shutdown), a handler may force it to [false],
+   and after the handler returns the connection loop reads it back to
+   decide whether to serve another request. *)
+type conn = { oc : out_channel; mutable keep_alive : bool }
+
+let conn_of_channel ?(keep_alive = false) oc = { oc; keep_alive }
+let keep_alive c = c.keep_alive
+let set_keep_alive c v = c.keep_alive <- v
 
 let status_reason = function
   | 200 -> "OK"
@@ -151,42 +282,48 @@ let status_reason = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 409 -> "Conflict"
   | 429 -> "Too Many Requests"
   | 500 -> "Internal Server Error"
   | 503 -> "Service Unavailable"
   | c -> if c < 400 then "OK" else "Error"
 
-let write_head oc ~status headers =
-  Printf.fprintf oc "HTTP/1.1 %d %s\r\n" status (status_reason status);
-  List.iter (fun (k, v) -> Printf.fprintf oc "%s: %s\r\n" k v) headers;
-  output_string oc "\r\n"
+let write_head conn ~status headers =
+  Printf.fprintf conn.oc "HTTP/1.1 %d %s\r\n" status (status_reason status);
+  List.iter (fun (k, v) -> Printf.fprintf conn.oc "%s: %s\r\n" k v) headers;
+  Printf.fprintf conn.oc "Connection: %s\r\n"
+    (if conn.keep_alive then "keep-alive" else "close");
+  output_string conn.oc "\r\n"
 
-let respond ?(headers = []) ?(content_type = "text/plain; charset=utf-8") oc
+let respond ?(headers = []) ?(content_type = "text/plain; charset=utf-8") conn
     ~status body =
-  write_head oc ~status
+  write_head conn ~status
     (("Content-Type", content_type)
     :: ("Content-Length", string_of_int (String.length body))
-    :: ("Connection", "close") :: headers);
-  output_string oc body;
-  flush oc
+    :: headers);
+  output_string conn.oc body;
+  flush conn.oc
 
-let respond_json ?(status = 200) ?(headers = []) oc json =
-  respond ~headers ~content_type:"application/json" oc ~status
+let respond_json ?(status = 200) ?(headers = []) conn json =
+  respond ~headers ~content_type:"application/json" conn ~status
     (Scamv_util.Json.to_string json ^ "\n")
 
 (* ---- chunked streaming ---- *)
 
 type stream = { oc : out_channel; mutable open_ : bool }
 
-let start_stream ?(headers = []) ?(content_type = "application/x-ndjson") oc
+(* Chunked bodies are self-delimiting, so a finished stream leaves the
+   connection reusable — the keep-alive decision in [conn] applies to
+   streams exactly as to fixed-length responses. *)
+let start_stream ?(headers = []) ?(content_type = "application/x-ndjson") conn
     ~status =
-  write_head oc ~status
+  write_head conn ~status
     (("Content-Type", content_type)
     :: ("Transfer-Encoding", "chunked")
-    :: ("Connection", "close") :: headers);
-  flush oc;
-  { oc; open_ = true }
+    :: headers);
+  flush conn.oc;
+  { oc = conn.oc; open_ = true }
 
 let stream_chunk st data =
   if st.open_ && String.length data > 0 then begin

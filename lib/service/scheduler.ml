@@ -1,14 +1,24 @@
 (* The service's brain: admission control, per-tenant FIFO queues served
-   round-robin by a single runner thread, one persistent worker pool
-   shared across campaigns, and journal-backed persistence so a restarted
-   server resumes in-flight campaigns.
+   round-robin by K runner threads (one per pool slice), a deterministically
+   sliced worker pool, and journal-backed persistence so a restarted server
+   resumes in-flight campaigns.
 
    Concurrency model: one mutex guards all scheduler state (tenant table,
-   session table, queues, counters).  The runner thread takes a session
-   out under the lock, runs the campaign with the lock released, and
+   session table, queues, counters).  Each runner thread owns one slot: it
+   takes a session assigned to that slot out under the lock, runs the
+   campaign with the lock released — on the slot's own pool slice — and
    re-acquires it only to publish the result.  Sessions have their own
    locks (see Session), and the ordering discipline is strictly
-   scheduler lock -> session lock, never the reverse. *)
+   scheduler lock -> session lock, never the reverse.
+
+   Determinism under concurrency: slice widths are a pure function of
+   (jobs, concurrency) and a session's slot is a pure function of its
+   (tenant, sequence) — Tenant.derive_slot — so which slice a campaign
+   runs on, and with how many workers, never depends on arrival timing or
+   on what the other slots are doing.  Combined with the per-campaign
+   seeds and the pool's index-ordered batch protocol, a served campaign's
+   journal and record stream stay byte-identical at every --concurrency
+   level and identical to a batch CLI run. *)
 
 module Json = Scamv_util.Json
 module Deadline = Scamv_util.Deadline
@@ -22,6 +32,7 @@ module Isa = Scamv_arch.Isa
 
 type config = {
   jobs : int;
+  concurrency : int;
   state_dir : string option;
   quota : Tenant.quota;
   clock : Stopwatch.clock;
@@ -30,6 +41,7 @@ type config = {
 let default_config =
   {
     jobs = 1;
+    concurrency = 1;
     state_dir = None;
     quota = Tenant.default_quota;
     clock = Stopwatch.wall;
@@ -39,17 +51,21 @@ type submit_error = Invalid of string | Busy of Tenant.rejection | Stopped
 
 type t = {
   cfg : config;
+  concurrency : int;  (** normalized [cfg.concurrency] (>= 1) *)
   lock : Mutex.t;
-  work : Condition.t;  (** signalled on submit/stop; runner waits here *)
-  idle : Condition.t;  (** broadcast when the runner finishes a session *)
+  work : Condition.t;  (** signalled on submit/stop; runners wait here *)
+  idle : Condition.t;  (** broadcast when a runner finishes a session *)
   tenants : (string, Tenant.t) Hashtbl.t;
   sessions : (string, Session.t) Hashtbl.t;
-  pool : Pool.t;
+  slices : Pool.sliced;
   mutable rr : string list;  (** tenant round-robin order *)
   mutable submitted : int;  (** global submission counter *)
   mutable stopping : bool;
-  mutable current : Session.t option;
-  mutable runner : Thread.t option;
+  running : Session.t option array;  (** what each runner slot executes *)
+  mutable runners : Thread.t list;
+  mutable gauge_sources : (unit -> (string * float) list) list;
+      (** live gauges contributed by other layers (the HTTP server's
+          connection gauges); sampled by {!metrics_snapshot} *)
   mutable server_metrics : Metrics.t;  (** request/session counters *)
   mutable campaign_metrics : Metrics.t;  (** merged campaign telemetry *)
 }
@@ -59,6 +75,11 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let bump ?(n = 1) t name = locked t (fun () -> t.server_metrics <- Metrics.add name n t.server_metrics)
+
+let register_gauge_source t f =
+  locked t (fun () -> t.gauge_sources <- t.gauge_sources @ [ f ])
+
+let concurrency t = t.concurrency
 
 (* ---- persistence ---- *)
 
@@ -93,14 +114,33 @@ let tenant_of t name =
     t.rr <- t.rr @ [ name ];
     ten
 
-(* Round-robin pick: first tenant (in rr order) with pending work wins
-   and moves to the back; the others keep their relative order. *)
-let pick t =
+(* Take the tenant's first pending session assigned to [slot], keeping
+   the relative order of everything else in the queue. *)
+let take_for_slot t ten ~slot =
+  let keep = Queue.create () in
+  let found = ref None in
+  Queue.iter
+    (fun id ->
+      if !found = None && (Hashtbl.find t.sessions id).Session.slot = slot then
+        found := Some id
+      else Queue.push id keep)
+    ten.Tenant.pending;
+  (match !found with
+  | Some _ ->
+    Queue.clear ten.Tenant.pending;
+    Queue.transfer keep ten.Tenant.pending
+  | None -> ());
+  !found
+
+(* Round-robin pick for one runner slot: first tenant (in rr order) with
+   pending work for that slot wins and moves to the back; the others keep
+   their relative order. *)
+let pick t ~slot =
   let rec go seen = function
     | [] -> None
     | name :: rest -> (
       let ten = Hashtbl.find t.tenants name in
-      match Queue.take_opt ten.Tenant.pending with
+      match take_for_slot t ten ~slot with
       | None -> go (name :: seen) rest
       | Some id ->
         t.rr <- List.rev_append seen rest @ [ name ];
@@ -110,6 +150,11 @@ let pick t =
 
 let queued_count t =
   Hashtbl.fold (fun _ ten acc -> acc + Queue.length ten.Tenant.pending) t.tenants 0
+
+let running_count t =
+  Array.fold_left
+    (fun acc -> function Some _ -> acc + 1 | None -> acc)
+    0 t.running
 
 (* ---- campaign execution ---- *)
 
@@ -151,7 +196,8 @@ let finish_counter = function
   | Session.Cancelled -> "service.campaigns.cancelled"
   | _ -> "service.campaigns.failed"
 
-let run_session t s =
+let run_session t s ~slot =
+  let pool = Pool.slice t.slices slot in
   Session.set_state s Session.Running;
   persist_meta s;
   (let on_event m = Session.push_line s (Session.progress_line m) in
@@ -192,7 +238,7 @@ let run_session t s =
        in
        with_journal (fun journal ->
            let outcome =
-             Campaign.run ~on_event ~on_record ~journal ?resume ~pool:t.pool cfg
+             Campaign.run ~on_event ~on_record ~journal ?resume ~pool cfg
            in
            ( outcome.Campaign.stats,
              outcome.Campaign.wall_seconds,
@@ -207,7 +253,7 @@ let run_session t s =
           partial journal is not resumed into. *)
        with_journal (fun journal ->
            let outcome =
-             Diff.run ~on_event ~on_record ~journal ~pool:t.pool
+             Diff.run ~on_event ~on_record ~journal ~pool
                ~name:s.Session.campaign_name ~template:p.Session.template
                ~setup ~view:(Workload.view_for p.Session.setup)
                ~programs:p.Session.programs
@@ -233,12 +279,12 @@ let run_session t s =
   persist_meta s;
   bump t (finish_counter (Session.state s))
 
-let rec runner_loop t =
+let rec runner_loop t slot =
   Mutex.lock t.lock;
   let rec next () =
     if t.stopping then None
     else
-      match pick t with
+      match pick t ~slot with
       | Some s -> Some s
       | None ->
         Condition.wait t.work t.lock;
@@ -247,15 +293,15 @@ let rec runner_loop t =
   match next () with
   | None -> Mutex.unlock t.lock
   | Some s ->
-    t.current <- Some s;
+    t.running.(slot) <- Some s;
     Mutex.unlock t.lock;
-    run_session t s;
+    run_session t s ~slot;
     Mutex.lock t.lock;
-    t.current <- None;
+    t.running.(slot) <- None;
     Tenant.finish (Hashtbl.find t.tenants s.Session.tenant);
     Condition.broadcast t.idle;
     Mutex.unlock t.lock;
-    runner_loop t
+    runner_loop t slot
 
 (* ---- restart recovery ---- *)
 
@@ -263,7 +309,10 @@ let rec runner_loop t =
    terminal sessions get their stream lines rebuilt from the journal so
    late readers still see the full sequence; non-terminal ones are
    re-enqueued (in original submission order) with the journal as a
-   resume checkpoint, so completed programs replay instead of re-running. *)
+   resume checkpoint, so completed programs replay instead of re-running.
+   Slots are re-derived from the id's sequence suffix rather than
+   persisted, so a restart under a different --concurrency re-partitions
+   the backlog cleanly. *)
 let recover t dir =
   let metas =
     Sys.readdir dir |> Array.to_list
@@ -290,23 +339,31 @@ let recover t dir =
       let tenant = m.Session.meta_tenant in
       let seed = Option.get m.Session.meta_params.Session.seed in
       let journal_path, meta_path = session_paths t.cfg id in
+      let sequence =
+        match String.rindex_opt id '-' with
+        | Some i ->
+          int_of_string_opt (String.sub id (i + 1) (String.length id - i - 1))
+        | None -> None
+      in
+      let slot =
+        match sequence with
+        | Some seq -> Tenant.derive_slot ~tenant ~sequence:seq ~slots:t.concurrency
+        | None -> 0
+      in
       let s =
         Session.create ~id ~tenant ~params:m.Session.meta_params ~seed
           ~campaign_name:
             (Workload.campaign_name
                ~setup:m.Session.meta_params.Session.setup
                ~template:m.Session.meta_params.Session.template)
-          ?journal_path ?meta_path ~submitted:m.Session.meta_submitted ()
+          ?journal_path ?meta_path ~submitted:m.Session.meta_submitted ~slot ()
       in
       let ten = tenant_of t tenant in
       (* Restore the tenant's sequence high-water mark from the id's
          numeric suffix so future namespace seeds never repeat. *)
-      (match String.rindex_opt id '-' with
-      | Some i -> (
-        match int_of_string_opt (String.sub id (i + 1) (String.length id - i - 1)) with
-        | Some seq when seq >= ten.Tenant.sequence -> ten.Tenant.sequence <- seq + 1
-        | _ -> ())
-      | None -> ());
+      (match sequence with
+      | Some seq when seq >= ten.Tenant.sequence -> ten.Tenant.sequence <- seq + 1
+      | _ -> ());
       Hashtbl.replace t.sessions id s;
       t.submitted <- max t.submitted (m.Session.meta_submitted + 1);
       let terminal =
@@ -339,21 +396,39 @@ let recover t dir =
 (* ---- public interface ---- *)
 
 let create ?(config = default_config) ?(start = true) () =
+  if config.concurrency < 1 then
+    invalid_arg "Scheduler.create: concurrency must be >= 1";
+  let concurrency = config.concurrency in
   let t =
     {
       cfg = config;
+      concurrency;
       lock = Mutex.create ();
       work = Condition.create ();
       idle = Condition.create ();
       tenants = Hashtbl.create 8;
       sessions = Hashtbl.create 32;
-      pool = Pool.create ~size:(Pool.resolve_jobs config.jobs);
+      slices =
+        Pool.create_sliced ~total:(Pool.resolve_jobs config.jobs)
+          ~slices:concurrency;
       rr = [];
       submitted = 0;
       stopping = false;
-      current = None;
-      runner = None;
-      server_metrics = Metrics.empty;
+      running = Array.make concurrency None;
+      runners = [];
+      gauge_sources = [];
+      server_metrics =
+        (* Pre-register the campaign outcome counters so /metrics exposes
+           them (as zeros) from the first scrape. *)
+        List.fold_left
+          (fun m name -> Metrics.add name 0 m)
+          Metrics.empty
+          [
+            "service.campaigns.submitted";
+            "service.campaigns.completed";
+            "service.campaigns.cancelled";
+            "service.campaigns.failed";
+          ];
       campaign_metrics = Metrics.empty;
     }
   in
@@ -362,7 +437,10 @@ let create ?(config = default_config) ?(start = true) () =
   | Some dir ->
     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
     recover t dir);
-  if start then t.runner <- Some (Thread.create runner_loop t);
+  if start then
+    t.runners <-
+      List.init concurrency (fun slot ->
+          Thread.create (fun () -> runner_loop t slot) ());
   t
 
 let submit t ~tenant params =
@@ -399,6 +477,9 @@ let submit t ~tenant params =
               | Some s -> s
               | None -> Tenant.derive_seed ~tenant ~sequence:seq
             in
+            let slot =
+              Tenant.derive_slot ~tenant ~sequence:seq ~slots:t.concurrency
+            in
             let id = Printf.sprintf "%s-%d" tenant seq in
             let submitted = t.submitted in
             t.submitted <- submitted + 1;
@@ -408,7 +489,7 @@ let submit t ~tenant params =
                 ~campaign_name:
                   (Workload.campaign_name ~setup:params.Session.setup
                      ~template:params.Session.template)
-                ?journal_path ?meta_path ~submitted ()
+                ?journal_path ?meta_path ~submitted ~slot ()
             in
             Hashtbl.replace t.sessions id s;
             Queue.push id ten.Tenant.pending;
@@ -426,7 +507,7 @@ let list t =
 
 (* Cancel a session (the DELETE handler).  Queued sessions cancel
    immediately (dequeued, terminal, done-line pushed); a running session
-   gets its cancel token expired and drains cooperatively — the runner
+   gets its cancel token expired and drains cooperatively — its runner
    publishes the Cancelled state when the campaign returns.  Returns
    false when the session was already terminal. *)
 let cancel t s =
@@ -452,22 +533,40 @@ let cancel t s =
 
 let drain t =
   locked t (fun () ->
-      while t.current <> None || queued_count t > 0 do
+      while running_count t > 0 || queued_count t > 0 do
         Condition.wait t.idle t.lock
       done)
 
 let stopped t = locked t (fun () -> t.stopping)
 
 let metrics_snapshot t =
+  let sources = locked t (fun () -> t.gauge_sources) in
+  (* Sample external gauge sources outside the scheduler lock: sources
+     take their own locks (the HTTP server's), and the ordering
+     discipline keeps the scheduler lock innermost-free of them. *)
+  let live = List.concat_map (fun f -> f ()) sources in
   locked t (fun () ->
       let m = Metrics.merge t.campaign_metrics t.server_metrics in
       let m =
         Metrics.set_gauge "service.sessions.queued"
           (float_of_int (queued_count t)) m
       in
+      let running = running_count t in
       let m =
-        Metrics.set_gauge "service.sessions.running"
-          (match t.current with Some _ -> 1.0 | None -> 0.0)
+        Metrics.set_gauge "service.sessions.running" (float_of_int running) m
+      in
+      let m =
+        Metrics.set_gauge "scheduler.concurrent_sessions" (float_of_int running)
+          m
+      in
+      let m =
+        Metrics.set_gauge "scheduler.slices"
+          (float_of_int (Pool.slice_count t.slices))
+          m
+      in
+      let m =
+        Metrics.set_gauge "scheduler.slice_width"
+          (float_of_int (Pool.slice_width t.slices 0))
           m
       in
       let m =
@@ -475,7 +574,12 @@ let metrics_snapshot t =
           (float_of_int (Hashtbl.length t.sessions))
           m
       in
-      Metrics.set_gauge "service.tenants" (float_of_int (Hashtbl.length t.tenants)) m)
+      let m =
+        Metrics.set_gauge "service.tenants"
+          (float_of_int (Hashtbl.length t.tenants))
+          m
+      in
+      List.fold_left (fun m (name, v) -> Metrics.set_gauge name v m) m live)
 
 let shutdown t =
   let proceed =
@@ -495,15 +599,18 @@ let shutdown t =
                 ten.Tenant.pending;
               Queue.clear ten.Tenant.pending)
             t.tenants;
-          (* The running campaign drains at its next cancellation poll. *)
-          (match t.current with
-          | Some s -> Deadline.cancel s.Session.cancel
-          | None -> ());
+          (* Running campaigns drain at their next cancellation poll. *)
+          Array.iter
+            (function
+              | Some s -> Deadline.cancel s.Session.cancel
+              | None -> ())
+            t.running;
           Condition.broadcast t.work;
           true
         end)
   in
   if proceed then begin
-    (match t.runner with Some th -> Thread.join th | None -> ());
-    Pool.shutdown t.pool
+    List.iter Thread.join t.runners;
+    t.runners <- [];
+    Pool.shutdown_sliced t.slices
   end

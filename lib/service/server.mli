@@ -1,7 +1,14 @@
 (** The campaign service's HTTP front end: a listener, an accept loop on
-    its own thread, and a thread per connection.  All campaign logic
-    lives behind {!Scheduler}; this module translates HTTP to scheduler
-    calls.
+    its own thread, and a fixed pool of connection workers fed through a
+    bounded handoff queue.  Connections are persistent (HTTP/1.1
+    keep-alive): a worker serves requests off one socket until the client
+    opts out ([Connection: close]), the per-connection request cap rolls
+    it over, the idle timeout fires, or the server stops.  When the
+    handoff queue is full the acceptor itself answers
+    [503 + Retry-After] — load shedding happens before any per-connection
+    work, so the connection count is bounded by [max_connections].  All
+    campaign logic lives behind {!Scheduler}; this module translates HTTP
+    to scheduler calls.
 
     Routes:
     - [POST /campaigns] — submit (JSON body: {!Session.params} fields
@@ -13,27 +20,42 @@
     - [GET /campaigns/:id/stream?from=N] — chunked NDJSON of the
       session's record/progress lines from index [N] (default 0),
       blocking as the campaign runs, terminated by a [{"done":...}]
-      line.
+      line.  Chunked bodies are self-delimiting, so a finished stream
+      leaves the connection reusable.
     - [DELETE /campaigns/:id] — cooperative cancel.
     - [GET /metrics] — Prometheus text exposition of
-      {!Scheduler.metrics_snapshot}.
+      {!Scheduler.metrics_snapshot} (including the live
+      [service.connections_active] / [service.connections_queued]
+      gauges this module contributes).
     - [GET /healthz] — liveness probe. *)
 
 type t
 
-val create : ?host:string -> ?port:int -> Scheduler.t -> t
-(** Defaults: host ["127.0.0.1"], port [8421].  Port [0] asks the kernel
-    for a free port (tests use this); read it back with {!port} after
-    {!start}. *)
+val create :
+  ?host:string ->
+  ?port:int ->
+  ?max_connections:int ->
+  ?idle_timeout:float ->
+  ?max_requests:int ->
+  Scheduler.t ->
+  t
+(** Defaults: host ["127.0.0.1"], port [8421], 16 connection workers
+    (also the handoff-queue bound), 5 s idle timeout, 1000 requests per
+    connection.  Port [0] asks the kernel for a free port (tests use
+    this); read it back with {!port} after {!start}.
+    @raise Invalid_argument on a non-positive knob. *)
 
 val start : t -> unit
-(** Bind, listen, ignore [SIGPIPE], spawn the accept thread.
+(** Bind, listen, ignore [SIGPIPE], pre-register the connection metrics,
+    spawn the worker pool and the accept thread.
     @raise Unix.Unix_error when the address is unavailable.
     @raise Invalid_argument when already started. *)
 
 val port : t -> int
 
 val stop : t -> unit
-(** Close the listener and join the accept thread.  In-flight connection
-    threads are not joined — drain the scheduler first if their
-    campaigns must finish.  Idempotent. *)
+(** Close the listener, join the accept thread, close queued connections
+    and unpark idle workers (their idle deadlines are cancelled, so they
+    exit within a poll slice).  Workers blocked inside a campaign stream
+    are not joined — drain the scheduler first if their campaigns must
+    finish.  Idempotent. *)

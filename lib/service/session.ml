@@ -180,6 +180,7 @@ type t = {
   journal_path : string option;
   meta_path : string option;
   submitted : int;  (** global submission index; orders [GET /campaigns] *)
+  slot : int;  (** scheduler runner slot / pool slice ({!Tenant.derive_slot}) *)
   cancel : Deadline.t;
   lock : Mutex.t;
   changed : Condition.t;
@@ -193,7 +194,7 @@ type t = {
 }
 
 let create ~id ~tenant ~params ~seed ~campaign_name ?journal_path ?meta_path
-    ~submitted () =
+    ~submitted ?(slot = 0) () =
   {
     id;
     tenant;
@@ -203,6 +204,7 @@ let create ~id ~tenant ~params ~seed ~campaign_name ?journal_path ?meta_path
     journal_path;
     meta_path;
     submitted;
+    slot;
     (* The token only ever expires by explicit [Deadline.cancel]. *)
     cancel = Deadline.create (Deadline.Wall_seconds infinity);
     lock = Mutex.create ();

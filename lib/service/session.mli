@@ -60,6 +60,11 @@ type t = {
   journal_path : string option;
   meta_path : string option;
   submitted : int;  (** global submission index; orders [GET /campaigns] *)
+  slot : int;
+      (** the scheduler runner slot (= pool slice) this session executes
+          on — {!Tenant.derive_slot} of (tenant, sequence, concurrency).
+          Not persisted: recovery re-derives it, so a restart under a
+          different [--concurrency] re-partitions cleanly. *)
   cancel : Scamv_util.Deadline.t;
       (** expires only by explicit {!Scamv_util.Deadline.cancel} — the
           [DELETE /campaigns/:id] path *)
@@ -82,6 +87,7 @@ val create :
   ?journal_path:string ->
   ?meta_path:string ->
   submitted:int ->
+  ?slot:int ->
   unit ->
   t
 

@@ -98,6 +98,27 @@ let expired t =
             end
        end
 
+(* Unlike [expired], this always consults the clock: it serves waiters
+   (e.g. the HTTP idle loop) that poll a few times per second and need an
+   accurate select(2) timeout, not hot loops amortizing the syscall. *)
+let remaining_seconds t =
+  if Atomic.get t.cancelled then Some 0.0
+  else
+    match t.spec with
+    | Conflicts limit ->
+      if t.used >= limit then begin
+        Atomic.set t.cancelled true;
+        Some 0.0
+      end
+      else None
+    | Wall_seconds s ->
+      let rem = s -. (t.clock () -. t.started) in
+      if rem <= 0.0 then begin
+        Atomic.set t.cancelled true;
+        Some 0.0
+      end
+      else Some rem
+
 let tick t n = t.used <- t.used + n
 let check t = if expired t then raise (Expired (describe t))
 

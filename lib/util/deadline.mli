@@ -51,6 +51,12 @@ val expired : t -> bool
 (** Has the deadline passed?  Cheap enough for a hot loop: virtual mode is
     one comparison, wall mode reads the clock every 256th call. *)
 
+val remaining_seconds : t -> float option
+(** Seconds left before a wall deadline fires ([Some 0.] once expired or
+    cancelled, [None] while a virtual deadline still has budget).  Always
+    consults the clock — meant for slow waiters computing a select(2)
+    timeout (the service's idle-connection loop), not for hot loops. *)
+
 val check : t -> unit
 (** @raise Expired if {!expired}. *)
 

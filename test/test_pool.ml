@@ -267,6 +267,78 @@ let test_persistent_pool_consumer_abort_reusable () =
   Alcotest.(check Alcotest.int) "pool reusable after abort" 7 !consumed;
   Pool.shutdown pool
 
+(* ---- sliced pools (concurrent campaign scheduler) ---- *)
+
+let test_slice_widths_partition () =
+  (* Even split with the remainder on the low slices; never below 1 even
+     when oversubscribed; a pure function of (total, slices). *)
+  Alcotest.(check (Alcotest.array Alcotest.int)) "even" [| 2; 2 |]
+    (Pool.slice_widths ~total:4 ~slices:2);
+  Alcotest.(check (Alcotest.array Alcotest.int)) "remainder low" [| 3; 2; 2 |]
+    (Pool.slice_widths ~total:7 ~slices:3);
+  Alcotest.(check (Alcotest.array Alcotest.int)) "oversubscribed floors at 1"
+    [| 1; 1; 1; 1 |]
+    (Pool.slice_widths ~total:2 ~slices:4);
+  Alcotest.(check (Alcotest.array Alcotest.int)) "single slice takes all" [| 5 |]
+    (Pool.slice_widths ~total:5 ~slices:1);
+  for total = 1 to 9 do
+    for slices = 1 to 5 do
+      let w = Pool.slice_widths ~total ~slices in
+      Alcotest.(check Alcotest.int) "one width per slice" slices (Array.length w);
+      Array.iter
+        (fun x -> Alcotest.(check bool) "at least 1" true (x >= 1))
+        w;
+      if total >= slices then
+        Alcotest.(check Alcotest.int) "partitions the budget" total
+          (Array.fold_left ( + ) 0 w)
+    done
+  done;
+  Alcotest.check_raises "zero slices rejected"
+    (Invalid_argument "Pool.slice_widths: slices must be >= 1") (fun () ->
+      ignore (Pool.slice_widths ~total:4 ~slices:0))
+
+let test_sliced_pool_independent_batches () =
+  (* Each slice is a full persistent pool: index-ordered batches run on
+     different slices concurrently without interleaving results. *)
+  let sl = Pool.create_sliced ~total:4 ~slices:2 in
+  Alcotest.(check Alcotest.int) "slices" 2 (Pool.slice_count sl);
+  Alcotest.(check Alcotest.int) "slice 0 width" 2 (Pool.slice_width sl 0);
+  Alcotest.(check Alcotest.int) "slice 1 width" 2 (Pool.slice_width sl 1);
+  let run slot =
+    let consumed = ref [] in
+    Pool.exec (Pool.slice sl slot) ~tasks:6
+      ~worker:(fun i -> (slot * 100) + i)
+      ~consume:(fun i r ->
+        match r with
+        | Ok v -> consumed := (i, v) :: !consumed
+        | Error _ -> Alcotest.fail "unexpected failure")
+      ();
+    List.rev !consumed
+  in
+  let results = Array.make 2 [] in
+  let threads =
+    List.init 2 (fun slot ->
+        Thread.create (fun () -> results.(slot) <- run slot) ())
+  in
+  List.iter Thread.join threads;
+  for slot = 0 to 1 do
+    let expected = List.init 6 (fun i -> (i, (slot * 100) + i)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "slot %d ordered" slot)
+      true
+      (results.(slot) = expected)
+  done;
+  Pool.shutdown_sliced sl;
+  (* idempotent, and every slice now rejects work *)
+  Pool.shutdown_sliced sl;
+  match
+    Pool.exec (Pool.slice sl 0) ~tasks:1 ~worker:(fun i -> i)
+      ~consume:(fun _ _ -> ())
+      ()
+  with
+  | () -> Alcotest.fail "exec on a shut-down slice succeeded"
+  | exception Pool.Shut_down -> ()
+
 (* ---- Summary.merge / Stats.merge ---- *)
 
 let summary_of = List.fold_left Summary.add Summary.empty
@@ -418,6 +490,13 @@ let () =
             test_persistent_pool_crash_respawn;
           Alcotest.test_case "consumer abort leaves pool reusable" `Quick
             test_persistent_pool_consumer_abort_reusable;
+        ] );
+      ( "sliced",
+        [
+          Alcotest.test_case "slice_widths partitions deterministically" `Quick
+            test_slice_widths_partition;
+          Alcotest.test_case "slices run independent ordered batches" `Quick
+            test_sliced_pool_independent_batches;
         ] );
       ( "merge",
         [

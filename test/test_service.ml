@@ -1,8 +1,11 @@
-(* Validation service: HTTP request parsing, routing, tenant quotas and
-   seed namespaces, session streaming semantics, scheduler admission
-   control / backpressure / cancellation, and the acceptance test that a
-   served campaign's streamed record sequence and journal are
-   byte-identical to a batch Campaign.run of the same parameters. *)
+(* Validation service: HTTP request parsing and keep-alive semantics,
+   routing, tenant quotas / seed and slot namespaces, session streaming
+   semantics, scheduler admission control / backpressure / cancellation,
+   over-the-wire connection management (persistent connections, idle
+   timeout, request cap, 503 load shedding), and the acceptance tests
+   that a served campaign's streamed record sequence and journal are
+   byte-identical to a batch Campaign.run of the same parameters — at
+   concurrency 1 and with two campaigns in flight at once. *)
 
 module Json = Scamv_util.Json
 module Stopwatch = Scamv_util.Stopwatch
@@ -13,6 +16,7 @@ module Router = Scamv_service.Router
 module Tenant = Scamv_service.Tenant
 module Session = Scamv_service.Session
 module Scheduler = Scamv_service.Scheduler
+module Server = Scamv_service.Server
 module Workload = Scamv_service.Workload
 
 let temp_path name =
@@ -22,11 +26,8 @@ let temp_path name =
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
-(* Parse raw request bytes through the real channel-based reader. *)
-let parse_request bytes =
-  let path = temp_path ".req" in
-  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc bytes);
-  In_channel.with_open_bin path Http.read_request
+(* Parse raw request bytes through the real reader. *)
+let parse_request bytes = Http.read_request (Http.reader_of_string bytes)
 
 (* ---- http ---- *)
 
@@ -36,6 +37,7 @@ let test_http_parse_get () =
   | Some req ->
     Alcotest.(check string) "method" "GET" req.Http.meth;
     Alcotest.(check string) "path" "/campaigns/a-b/stream" req.Http.path;
+    Alcotest.(check string) "version" "HTTP/1.1" req.Http.version;
     Alcotest.(check (option string)) "query from" (Some "3") (Http.query req "from");
     Alcotest.(check (option string)) "query plus" (Some "a b") (Http.query req "x");
     Alcotest.(check (option string)) "header trim" (Some "v") (Http.header req "x-thing");
@@ -61,6 +63,40 @@ let test_http_rejects_malformed () =
   bad "POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort";
   Alcotest.(check bool) "EOF before any byte is a clean close" true
     (parse_request "" = None)
+
+let test_http_pipelined_requests_share_reader () =
+  (* The reader's buffer persists across read_request calls, so bytes of
+     a second request already buffered are not lost. *)
+  let r =
+    Http.reader_of_string
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n"
+  in
+  (match Http.read_request r with
+  | Some req -> Alcotest.(check string) "first path" "/a" req.Http.path
+  | None -> Alcotest.fail "first request missing");
+  (match Http.read_request r with
+  | Some req ->
+    Alcotest.(check string) "second path" "/b" req.Http.path;
+    Alcotest.(check bool) "second opts out" false (Http.wants_keep_alive req)
+  | None -> Alcotest.fail "second request missing");
+  Alcotest.(check bool) "then EOF" true (Http.read_request r = None)
+
+let test_http_keep_alive_intent () =
+  let intent bytes =
+    match parse_request bytes with
+    | Some req -> Http.wants_keep_alive req
+    | None -> Alcotest.fail "no request parsed"
+  in
+  Alcotest.(check bool) "1.1 default persistent" true
+    (intent "GET / HTTP/1.1\r\n\r\n");
+  Alcotest.(check bool) "1.1 close" false
+    (intent "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  Alcotest.(check bool) "case and token list" false
+    (intent "GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n");
+  Alcotest.(check bool) "1.0 default close" false
+    (intent "GET / HTTP/1.0\r\n\r\n");
+  Alcotest.(check bool) "1.0 keep-alive opt-in" true
+    (intent "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
 
 (* ---- router ---- *)
 
@@ -105,6 +141,32 @@ let test_tenant_names_and_seeds () =
     (s1 <> Tenant.derive_seed ~tenant:"alice" ~sequence:1);
   Alcotest.(check bool) "per-tenant" true
     (s1 <> Tenant.derive_seed ~tenant:"bob" ~sequence:0)
+
+let test_tenant_slot_namespace () =
+  (* A pure function of (tenant, sequence, slots): stable across calls,
+     always in range, degenerate at slots <= 1. *)
+  Alcotest.(check int) "one slot" 0
+    (Tenant.derive_slot ~tenant:"a" ~sequence:3 ~slots:1);
+  for slots = 2 to 5 do
+    for seq = 0 to 19 do
+      let slot = Tenant.derive_slot ~tenant:"t" ~sequence:seq ~slots in
+      Alcotest.(check bool) "in range" true (slot >= 0 && slot < slots);
+      Alcotest.(check int) "stable" slot
+        (Tenant.derive_slot ~tenant:"t" ~sequence:seq ~slots)
+    done
+  done;
+  (* the namespace actually spreads: 20 sequences over 2 slots must use
+     both (the draw is a fixed splitmix stream, so this cannot flake) *)
+  let slots_used =
+    List.sort_uniq compare
+      (List.init 20 (fun seq -> Tenant.derive_slot ~tenant:"t" ~sequence:seq ~slots:2))
+  in
+  Alcotest.(check (list int)) "both slots used" [ 0; 1 ] slots_used;
+  (* independent of the seed draw: slot and seed come from different
+     splitmix positions of the same generator *)
+  Alcotest.(check bool) "seed unchanged by slot draw" true
+    (Tenant.derive_seed ~tenant:"t" ~sequence:4
+    = Tenant.derive_seed ~tenant:"t" ~sequence:4)
 
 let test_tenant_quota () =
   let ten = Tenant.create ~name:"t" ~quota:{ Tenant.max_backlog = 2; max_active = 3 } in
@@ -183,8 +245,9 @@ let test_session_stream_semantics () =
 
 (* ---- scheduler: admission control (no runner thread) ---- *)
 
-let sched_config ?state_dir ?(jobs = 1) ?(quota = Tenant.default_quota) () =
-  { Scheduler.jobs; state_dir; quota; clock = Stopwatch.frozen }
+let sched_config ?state_dir ?(jobs = 1) ?(concurrency = 1)
+    ?(quota = Tenant.default_quota) () =
+  { Scheduler.jobs; concurrency; state_dir; quota; clock = Stopwatch.frozen }
 
 let small_params = { Session.default_params with Session.programs = 2; tests_per_program = 2 }
 
@@ -222,6 +285,7 @@ let test_scheduler_admission () =
   Alcotest.(check string) "id" "a-0" a0.Session.id;
   Alcotest.(check bool) "namespace seed" true
     (a0.Session.seed = Tenant.derive_seed ~tenant:"a" ~sequence:0);
+  Alcotest.(check int) "concurrency-1 slot" 0 a0.Session.slot;
   (* cancelling a queued session frees its backlog slot immediately *)
   Alcotest.(check bool) "cancel" true (Scheduler.cancel t a0);
   Alcotest.(check bool) "cancel idempotent" false (Scheduler.cancel t a0);
@@ -278,6 +342,30 @@ let test_scheduler_cancel_running () =
        lines);
   Scheduler.shutdown t
 
+(* Batch reference for the acceptance checks: the CLI path — same
+   workload resolution, own journal file. *)
+let batch_reference ~programs ~tests_per_program ~seed =
+  let template = Result.get_ok (Workload.lookup_template "A") in
+  let setup = Result.get_ok (Workload.lookup_setup "mct-vs-mspec") in
+  let cfg =
+    Campaign.make
+      ~name:(Workload.campaign_name ~setup:"mct-vs-mspec" ~template:"A")
+      ~template ~setup ~view:(Workload.view_for "mct-vs-mspec") ~programs
+      ~tests_per_program ~seed ~clock:Stopwatch.frozen ()
+  in
+  let ref_path = temp_path ".journal" in
+  Sys.remove ref_path;
+  let journal = Journal.create ~path:ref_path () in
+  let (_ : Campaign.outcome) = Campaign.run ~journal cfg in
+  Journal.close journal;
+  (List.map Session.record_line (Journal.events journal), ref_path)
+
+let record_lines_of s =
+  let lines, _, _ = Session.lines_from s ~from:0 in
+  List.filter
+    (fun l -> String.length l >= 10 && String.sub l 0 10 = "{\"record\":")
+    lines
+
 (* The acceptance check: a served campaign's record stream and journal
    file are byte-identical to a batch Campaign.run of the same
    (template, setup, seed, sizes) under the same frozen clock. *)
@@ -297,32 +385,284 @@ let test_scheduler_stream_matches_batch () =
   wait_terminal s;
   Alcotest.(check bool) "completed" true (Session.state s = Session.Completed);
   Scheduler.shutdown t;
-  (* batch reference, the CLI path: same workload resolution, own journal *)
-  let template = Result.get_ok (Workload.lookup_template "A") in
-  let setup = Result.get_ok (Workload.lookup_setup "mct-vs-mspec") in
-  let cfg =
-    Campaign.make
-      ~name:(Workload.campaign_name ~setup:"mct-vs-mspec" ~template:"A")
-      ~template ~setup ~view:(Workload.view_for "mct-vs-mspec") ~programs:4
-      ~tests_per_program:3 ~seed:2021L ~clock:Stopwatch.frozen ()
+  let expected, ref_path =
+    batch_reference ~programs:4 ~tests_per_program:3 ~seed:2021L
   in
-  let ref_path = temp_path ".journal" in
-  Sys.remove ref_path;
-  let journal = Journal.create ~path:ref_path () in
-  let (_ : Campaign.outcome) = Campaign.run ~journal cfg in
-  Journal.close journal;
-  let expected = List.map Session.record_line (Journal.events journal) in
-  let lines, _, _ = Session.lines_from s ~from:0 in
-  let records =
-    List.filter
-      (fun l -> String.length l >= 10 && String.sub l 0 10 = "{\"record\":")
-      lines
-  in
+  let records = record_lines_of s in
   Alcotest.(check bool) "some records" true (expected <> []);
   Alcotest.(check (list string)) "stream matches batch" expected records;
   let served_journal = Filename.concat dir (s.Session.id ^ ".journal") in
   Alcotest.(check string) "journal bytes match batch" (read_file ref_path)
     (read_file served_journal)
+
+(* Concurrency acceptance: two campaigns in flight at once, each on its
+   own pool slice, still produce streams byte-identical to batch runs. *)
+let test_scheduler_concurrent_matches_batch () =
+  let t =
+    Scheduler.create ~config:(sched_config ~jobs:2 ~concurrency:2 ()) ()
+  in
+  Alcotest.(check int) "slots" 2 (Scheduler.concurrency t);
+  let submit tenant seed =
+    match
+      Scheduler.submit t ~tenant
+        { Session.default_params with Session.programs = 3;
+          tests_per_program = 2; seed = Some seed }
+    with
+    | Ok s -> s
+    | Error _ -> Alcotest.fail "submit failed"
+  in
+  (* Submissions from distinct tenants spread over the slot namespace;
+     whatever the assignment, both must match their batch references. *)
+  let sessions =
+    List.map
+      (fun (tenant, seed) -> (submit tenant seed, seed))
+      [ ("conc-a", 41L); ("conc-b", 42L) ]
+  in
+  Scheduler.drain t;
+  List.iter
+    (fun (s, seed) ->
+      Alcotest.(check bool) "completed" true (Session.state s = Session.Completed);
+      Alcotest.(check bool) "slot in range" true
+        (s.Session.slot >= 0 && s.Session.slot < 2);
+      let expected, _ = batch_reference ~programs:3 ~tests_per_program:2 ~seed in
+      Alcotest.(check (list string))
+        (Printf.sprintf "stream of %s matches batch" s.Session.id)
+        expected (record_lines_of s))
+    sessions;
+  Scheduler.shutdown t
+
+(* ---- server: wire-level connection management ---- *)
+
+let with_server ?(concurrency = 1) ?(jobs = 1) ?max_connections ?idle_timeout
+    ?max_requests ?(start_sched = true) f =
+  let sched =
+    Scheduler.create ~config:(sched_config ~jobs ~concurrency ()) ~start:start_sched ()
+  in
+  let server =
+    Server.create ~port:0 ?max_connections ?idle_timeout ?max_requests sched
+  in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Scheduler.shutdown sched)
+    (fun () -> f sched (Server.port server))
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send fd s =
+  let n = Unix.write_substring fd s 0 (String.length s) in
+  Alcotest.(check int) "request fully written" (String.length s) n
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+(* Read one response off a (possibly persistent) connection: status,
+   lowercased headers, and the body (Content-Length or chunked). *)
+let read_response ic =
+  let status_line = strip_cr (input_line ic) in
+  let status = Scanf.sscanf status_line "HTTP/1.1 %d" (fun c -> c) in
+  let rec headers acc =
+    match strip_cr (input_line ic) with
+    | "" -> List.rev acc
+    | line -> (
+      match String.index_opt line ':' with
+      | Some i ->
+        headers
+          ((String.lowercase_ascii (String.sub line 0 i),
+            String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+          :: acc)
+      | None -> headers acc)
+  in
+  let hs = headers [] in
+  let body =
+    match List.assoc_opt "content-length" hs with
+    | Some n -> really_input_string ic (int_of_string n)
+    | None ->
+      if List.assoc_opt "transfer-encoding" hs = Some "chunked" then begin
+        let b = Buffer.create 256 in
+        let rec chunks () =
+          let size = int_of_string ("0x" ^ strip_cr (input_line ic)) in
+          if size = 0 then ignore (input_line ic)
+          else begin
+            Buffer.add_string b (really_input_string ic size);
+            ignore (input_line ic);
+            chunks ()
+          end
+        in
+        chunks ();
+        Buffer.contents b
+      end
+      else ""
+  in
+  (status, hs, body)
+
+let expect_eof ic =
+  match input_char ic with
+  | exception End_of_file -> ()
+  | _ -> Alcotest.fail "expected the server to close the connection"
+
+let metric_value body name =
+  String.split_on_char '\n' body
+  |> List.find_map (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line 0 i = name ->
+           float_of_string_opt
+             (String.sub line (i + 1) (String.length line - i - 1))
+         | _ -> None)
+
+let test_server_keep_alive_reuse () =
+  with_server (fun _sched port ->
+      let fd = connect port in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* three requests down one connection *)
+          send fd "GET /healthz HTTP/1.1\r\n\r\n";
+          let status, hs, body = read_response ic in
+          Alcotest.(check int) "first status" 200 status;
+          Alcotest.(check (option string)) "first advertises keep-alive"
+            (Some "keep-alive")
+            (List.assoc_opt "connection" hs);
+          Alcotest.(check string) "healthz body" "{\"ok\":true}\n" body;
+          send fd "GET /healthz HTTP/1.1\r\n\r\n";
+          let status, _, _ = read_response ic in
+          Alcotest.(check int) "second status" 200 status;
+          send fd "GET /metrics HTTP/1.1\r\n\r\n";
+          let status, _, body = read_response ic in
+          Alcotest.(check int) "third status" 200 status;
+          (* requests 2 and 3 each count one reuse; the gauge sees this
+             very connection as active *)
+          Alcotest.(check (option (float 0.0))) "reuse counter" (Some 2.0)
+            (metric_value body "scamv_service_connections_reused");
+          Alcotest.(check (option (float 0.0))) "active gauge" (Some 1.0)
+            (metric_value body "scamv_service_connections_active")))
+
+let test_server_connection_close_honored () =
+  with_server (fun _sched port ->
+      let fd = connect port in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          send fd "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+          let status, hs, _ = read_response ic in
+          Alcotest.(check int) "status" 200 status;
+          Alcotest.(check (option string)) "advertises close" (Some "close")
+            (List.assoc_opt "connection" hs);
+          expect_eof ic))
+
+let test_server_idle_timeout_closes () =
+  with_server ~idle_timeout:0.4 (fun _sched port ->
+      let fd = connect port in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          send fd "GET /healthz HTTP/1.1\r\n\r\n";
+          let status, _, _ = read_response ic in
+          Alcotest.(check int) "served before idling" 200 status;
+          (* send nothing more: the idle deadline closes the connection *)
+          expect_eof ic))
+
+let test_server_request_cap_rollover () =
+  with_server ~max_requests:2 (fun _sched port ->
+      let fd = connect port in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          send fd "GET /healthz HTTP/1.1\r\n\r\n";
+          let _, hs, _ = read_response ic in
+          Alcotest.(check (option string)) "first keeps alive" (Some "keep-alive")
+            (List.assoc_opt "connection" hs);
+          send fd "GET /healthz HTTP/1.1\r\n\r\n";
+          let status, hs, _ = read_response ic in
+          Alcotest.(check int) "capped request served" 200 status;
+          Alcotest.(check (option string)) "cap forces close" (Some "close")
+            (List.assoc_opt "connection" hs);
+          expect_eof ic);
+      (* rollover: a fresh connection is served normally *)
+      let fd2 = connect port in
+      let ic2 = Unix.in_channel_of_descr fd2 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          send fd2 "GET /healthz HTTP/1.1\r\n\r\n";
+          let status, _, _ = read_response ic2 in
+          Alcotest.(check int) "fresh connection after rollover" 200 status))
+
+let test_server_malformed_second_request () =
+  with_server (fun _sched port ->
+      let fd = connect port in
+      let ic = Unix.in_channel_of_descr fd in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          send fd "GET /healthz HTTP/1.1\r\n\r\n";
+          let status, _, _ = read_response ic in
+          Alcotest.(check int) "first ok" 200 status;
+          (* garbage on the reused connection: 400, then close — framing
+             is no longer trustworthy *)
+          send fd "BOGUS\r\n\r\n";
+          let status, hs, _ = read_response ic in
+          Alcotest.(check int) "malformed rejected" 400 status;
+          Alcotest.(check (option string)) "and closed" (Some "close")
+            (List.assoc_opt "connection" hs);
+          expect_eof ic);
+      (* the worker is not poisoned: it serves the next connection *)
+      let fd2 = connect port in
+      let ic2 = Unix.in_channel_of_descr fd2 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          send fd2 "GET /healthz HTTP/1.1\r\n\r\n";
+          let status, _, _ = read_response ic2 in
+          Alcotest.(check int) "worker survives" 200 status))
+
+let test_server_backpressure_503 () =
+  (* One connection worker, no campaign runner: a streaming request for a
+     queued session parks the only worker forever, the next connection
+     waits in the handoff queue, and the one after that must be shed with
+     503 + Retry-After by the acceptor itself. *)
+  with_server ~start_sched:false ~max_connections:1 (fun sched port ->
+      let s =
+        match Scheduler.submit sched ~tenant:"bp" small_params with
+        | Ok s -> s
+        | Error _ -> Alcotest.fail "submit failed"
+      in
+      let fd_a = connect port in
+      let ic_a = Unix.in_channel_of_descr fd_a in
+      let closer fd () = try Unix.close fd with Unix.Unix_error _ -> () in
+      Fun.protect ~finally:(closer fd_a) (fun () ->
+          send fd_a
+            (Printf.sprintf
+               "GET /campaigns/%s/stream HTTP/1.1\r\nConnection: close\r\n\r\n"
+               s.Session.id);
+          (* the stream head arrives immediately; the body then blocks *)
+          let line = strip_cr (input_line ic_a) in
+          Alcotest.(check string) "stream head" "HTTP/1.1 200 OK" line;
+          let fd_b = connect port in
+          Fun.protect ~finally:(closer fd_b) (fun () ->
+              (* b sits in the handoff queue; give the acceptor a moment *)
+              Thread.delay 0.05;
+              let fd_c = connect port in
+              let ic_c = Unix.in_channel_of_descr fd_c in
+              Fun.protect ~finally:(closer fd_c) (fun () ->
+                  let status, hs, _ = read_response ic_c in
+                  Alcotest.(check int) "shed with 503" 503 status;
+                  Alcotest.(check (option string)) "retry-after" (Some "1")
+                    (List.assoc_opt "retry-after" hs);
+                  Alcotest.(check (option string)) "and closed" (Some "close")
+                    (List.assoc_opt "connection" hs);
+                  expect_eof ic_c));
+          (* unblock the parked worker so stop is prompt *)
+          ignore (Scheduler.cancel sched s)))
 
 let () =
   Alcotest.run "scamv_service"
@@ -333,6 +673,9 @@ let () =
           Alcotest.test_case "parses POST body" `Quick test_http_parse_post_body;
           Alcotest.test_case "rejects malformed requests" `Quick
             test_http_rejects_malformed;
+          Alcotest.test_case "pipelined bytes survive between requests" `Quick
+            test_http_pipelined_requests_share_reader;
+          Alcotest.test_case "keep-alive intent" `Quick test_http_keep_alive_intent;
         ] );
       ( "router",
         [ Alcotest.test_case "dispatch/405/404" `Quick test_router_dispatch ] );
@@ -340,6 +683,7 @@ let () =
         [
           Alcotest.test_case "names and seed namespace" `Quick
             test_tenant_names_and_seeds;
+          Alcotest.test_case "slot namespace" `Quick test_tenant_slot_namespace;
           Alcotest.test_case "quota admission" `Quick test_tenant_quota;
         ] );
       ( "session",
@@ -356,5 +700,22 @@ let () =
             test_scheduler_cancel_running;
           Alcotest.test_case "stream and journal match batch run" `Quick
             test_scheduler_stream_matches_batch;
+          Alcotest.test_case "concurrent campaigns match batch runs" `Quick
+            test_scheduler_concurrent_matches_batch;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "keep-alive reuse and metrics" `Quick
+            test_server_keep_alive_reuse;
+          Alcotest.test_case "Connection: close honored" `Quick
+            test_server_connection_close_honored;
+          Alcotest.test_case "idle timeout closes cleanly" `Quick
+            test_server_idle_timeout_closes;
+          Alcotest.test_case "request cap rolls the connection over" `Quick
+            test_server_request_cap_rollover;
+          Alcotest.test_case "malformed reused request isolated" `Quick
+            test_server_malformed_second_request;
+          Alcotest.test_case "accept queue sheds with 503" `Quick
+            test_server_backpressure_503;
         ] );
     ]
